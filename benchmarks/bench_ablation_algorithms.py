@@ -1,0 +1,52 @@
+"""Ablation — the full convolution-algorithm landscape vs kernel size.
+
+Section II-B(c): "no one-size-fits-all convolution implementation
+exists: Winograd works best with convolutional layers with 3x3 or 5x5
+kernel sizes, FFT works best with layers with large kernel sizes, while
+the Direct algorithm is better for 1x1 kernel sizes."  The paper
+implements GEMM and Winograd; this extension adds FFT and regenerates
+the crossover table on the A64FX model.  (For 1x1 kernels the im2col
+step degenerates to a reshape, i.e. the direct algorithm.)
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, measured_choice_all
+from repro.kernels import ConvSpec
+from repro.machine import a64fx
+
+KERNEL_SIZES = [(1, 1), (3, 1), (3, 2), (5, 1), (7, 1), (11, 1)]
+
+
+def test_algorithm_landscape(benchmark):
+    machine = a64fx()
+
+    def run():
+        rows = []
+        for k, s in KERNEL_SIZES:
+            spec = ConvSpec(32, 56, 56, 32, k, s, k // 2)
+            r = measured_choice_all(spec, machine)
+            row = {"kernel": f"{k}x{k} s{s}", "winner": r["winner"]}
+            row.update({a: c for a, c in r["cycles"].items()})
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, run)
+    banner("Ablation: convolution-algorithm landscape on A64FX (32ch @56x56)")
+    print(format_table(rows, columns=["kernel", "im2col", "winograd", "fft", "winner"]))
+
+    by_kernel = {r["kernel"]: r for r in rows}
+    # Shape, per the paper's taxonomy:
+    assert by_kernel["1x1 s1"]["winner"] == "im2col"  # direct/GEMM for 1x1
+    assert by_kernel["3x3 s1"]["winner"] == "winograd"  # Winograd for 3x3 s1
+    # FFT for large kernels.  7x7 sits right on the 64->128-point plan
+    # boundary for this input size and can tip either way; 5x5 (64-point
+    # plan) and 11x11 (where GEMM's k^2 growth dominates any plan) are
+    # the robust FFT wins.
+    assert by_kernel["5x5 s1"]["winner"] == "fft"
+    assert by_kernel["11x11 s1"]["winner"] == "fft"
+    # FFT cost is set by the plane, not the kernel: flat in k for equal
+    # plan sizes (7x7 and 11x11 both round up to the 128-point plan).
+    assert by_kernel["11x11 s1"]["fft"] < 1.2 * by_kernel["7x7 s1"]["fft"]
+    # im2col+GEMM cost grows ~k^2.
+    assert by_kernel["11x11 s1"]["im2col"] > 5 * by_kernel["3x3 s1"]["im2col"]

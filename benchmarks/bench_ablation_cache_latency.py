@@ -1,0 +1,60 @@
+"""Ablation — does Fig. 7 survive realistic large-cache latencies?
+
+The paper keeps the L2 latency at the CACTI-derived 1 MB value
+(12 cycles) across the whole 1-256 MB sweep and notes that "larger
+caches are beneficial, *given that their latency remains low*".  This
+ablation re-runs the sweep with a CACTI-like latency growth to quantify
+how much of the benefit survives.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, sweep_cache_sizes
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+CACHES_MB = [1, 8, 64, 256]
+N_LAYERS = 20
+
+
+def test_cache_latency_model_ablation(benchmark, yolo_net):
+    pol = KernelPolicy(gemm="3loop")
+
+    def run():
+        out = {}
+        for model in ("constant", "cacti"):
+            out[model] = sweep_cache_sizes(
+                yolo_net,
+                CACHES_MB,
+                lambda mb, mdl=model: rvv_gem5(
+                    vlen_bits=8192, lanes=8, l2_mb=mb, latency_model=mdl
+                ),
+                pol,
+                N_LAYERS,
+            )
+        return out
+
+    sweeps = run_once(benchmark, run)
+    banner("Ablation: L2 latency model over the Fig. 7 cache sweep (8192-bit RVV)")
+    rows = [
+        {
+            "latency model": model,
+            **{f"{mb}MB": s for mb, s in zip(CACHES_MB, res.speedups())},
+        }
+        for model, res in sweeps.items()
+    ]
+    print(format_table(rows))
+    print(
+        "\nL2 latencies (cacti): "
+        + ", ".join(
+            f"{mb}MB={rvv_gem5(l2_mb=mb, latency_model='cacti').l2.latency}cy"
+            for mb in CACHES_MB
+        )
+    )
+
+    const = sweeps["constant"].speedups()
+    cacti = sweeps["cacti"].speedups()
+    # Shape: with realistic latency growth the big-cache benefit shrinks
+    # but capacity still wins overall.
+    assert cacti[-1] < const[-1]
+    assert cacti[-1] > 1.0

@@ -1,0 +1,56 @@
+"""Extension — multi-core scaling of the optimized kernels.
+
+The paper's study is single-core; its conclusion calls for exploring
+"additional, influential architectural and micro-architectural
+features".  This extension scales the co-design question out: with
+data-parallel convolution over N cores sharing the L2 and DRAM
+bandwidth, how do the vector-length choices of Fig. 6 interact with the
+core count?
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, scaling_curve
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+CORES = (1, 2, 4, 8)
+N_LAYERS = 8
+
+
+def test_multicore_scaling(benchmark, yolo_net):
+    def run():
+        out = {}
+        for vlen in (2048, 16384):
+            curve = scaling_curve(
+                yolo_net,
+                rvv_gem5(vlen_bits=vlen, lanes=8, l2_mb=8),
+                KernelPolicy(gemm="3loop"),
+                CORES,
+                n_layers=N_LAYERS,
+            )
+            out[vlen] = [r.speedup_vs_1 for r in curve]
+        return out
+
+    curves = run_once(benchmark, run)
+    banner("Extension: multi-core scaling on RVV (YOLOv3, 8 layers, shared "
+           "L2 + DRAM bandwidth)")
+    print(
+        format_table(
+            [
+                {"vlen": f"{vlen}-bit",
+                 **{f"{c} cores": s for c, s in zip(CORES, speeds)}}
+                for vlen, speeds in curves.items()
+            ]
+        )
+    )
+    print("\nco-design takeaway: longer vectors raise per-core bandwidth "
+          "demand, so they stop scaling at fewer cores.")
+
+    short, long_ = curves[2048], curves[16384]
+    # Both scale initially...
+    assert short[1] > 1.4 and long_[1] > 1.3
+    # ...the short vector keeps scaling close to linear at 8 cores...
+    assert short[-1] > 5.0
+    # ...while the long vector saturates earlier.
+    assert long_[-1] < short[-1]

@@ -1,0 +1,79 @@
+"""Ablation/extension — fixing Winograd's stride-2 problem.
+
+Section VII-A: Winograd-by-subsampling is 1.4x slower than
+im2col+GEMM on stride-2 layers, and "different algorithmic
+optimizations are required".  This bench evaluates the parity
+decomposition (four stride-1 sub-convolutions, see
+``repro.kernels.winograd.stride2``) against both on YOLOv3's stride-2
+downsampling layers on A64FX.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table
+from repro.kernels import ConvSpec, trace_gemm_6loop, trace_im2col
+from repro.kernels.winograd import trace_stride2_decomposed, trace_winograd_conv
+from repro.machine import TraceSimulator, a64fx
+
+#: YOLOv3's five stride-2 downsampling layers (608x608 input).
+STRIDE2_LAYERS = [
+    ConvSpec(32, 608, 608, 64, 3, 2, 1),
+    ConvSpec(64, 304, 304, 128, 3, 2, 1),
+    ConvSpec(128, 152, 152, 256, 3, 2, 1),
+    ConvSpec(256, 76, 76, 512, 3, 2, 1),
+    ConvSpec(512, 38, 38, 1024, 3, 2, 1),
+]
+
+
+def _gemm(spec):
+    sim = TraceSimulator(a64fx())
+    a = sim.alloc("A", spec.M * spec.K * 4)
+    b = sim.alloc("B", spec.K * spec.N * 4)
+    c = sim.alloc("C", spec.M * spec.N * 4)
+    src = sim.alloc("x", spec.in_channels * spec.in_h * spec.in_w * 4)
+    trace_im2col(sim, spec, src.base, b.base)
+    trace_gemm_6loop(sim, spec.M, spec.N, spec.K, a.base, b.base, c.base)
+    return sim.stats.cycles
+
+
+def _trace(tracer, spec):
+    sim = TraceSimulator(a64fx())
+    tracer(sim, spec)
+    return sim.stats.cycles
+
+
+def test_stride2_decomposition(benchmark):
+    def run():
+        rows = []
+        for spec in STRIDE2_LAYERS:
+            g = _gemm(spec)
+            fall = _trace(trace_winograd_conv, spec)
+            dec = _trace(trace_stride2_decomposed, spec)
+            rows.append(
+                {
+                    "layer": f"{spec.in_channels}->{spec.out_channels} @{spec.in_h}",
+                    "fallback/gemm": g / fall,
+                    "decomposed/gemm": g / dec,
+                    "dec vs fallback": fall / dec,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    banner("Extension: stride-2 Winograd — subsampling fallback vs parity "
+           "decomposition (A64FX)")
+    print(format_table(rows))
+    print("\npaper: fallback is 1.4x slower than GEMM (ratio ~0.71); the "
+          "decomposition recovers most of that gap.")
+
+    from repro.core import geomean
+
+    # Fallback loses to GEMM in aggregate (the paper reports the
+    # network-level 1.4x-slower figure; the very first, im2col-dominated
+    # layer can buck the trend).
+    assert geomean(r["fallback/gemm"] for r in rows) < 1.0
+    for row in rows:
+        # The decomposition is consistently better than the fallback...
+        assert row["dec vs fallback"] > 1.1
+        # ...and roughly competitive with GEMM.
+        assert row["decomposed/gemm"] > 0.6

@@ -1,0 +1,63 @@
+"""Ablation — Winograd tile algorithm: F(2,3) / F(4,3) / F(6,3).
+
+Section IV-B: "Vectorizing the transformations with longer vector
+lengths would require a larger tile size, however, in this case, the
+numerical accuracy would drop" — which is why the paper keeps 8x8 tiles
+(F(6x6,3x3)) and parallelizes *across* tiles instead.  This ablation
+quantifies both sides: multiplication reduction vs fp32 accuracy.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.core import format_table
+from repro.kernels.winograd import winograd_matrices
+
+
+def _fp32_error(m: int, r: int = 3, trials: int = 10) -> float:
+    t = winograd_matrices(m, r)
+    rng = np.random.default_rng(0)
+    worst = 0.0
+    for _ in range(trials):
+        d = rng.standard_normal((t.alpha, t.alpha)).astype(np.float32)
+        g = rng.standard_normal((r, r)).astype(np.float32)
+        u = (t.G @ g.astype(np.float64) @ t.G.T).astype(np.float32)
+        v = (t.Bt @ d.astype(np.float64) @ t.Bt.T).astype(np.float32)
+        y = (t.A.T @ (u * v).astype(np.float64) @ t.A).astype(np.float32)
+        ref = np.zeros((t.m, t.m))
+        for i in range(t.m):
+            for j in range(t.m):
+                ref[i, j] = (
+                    d[i : i + r, j : j + r].astype(np.float64)
+                    * g.astype(np.float64)
+                ).sum()
+        worst = max(worst, float(np.abs(y - ref).max() / (np.abs(ref).max() + 1e-9)))
+    return worst
+
+
+def test_tile_algorithm_ablation(benchmark):
+    def run():
+        rows = []
+        for m in (2, 4, 6, 8, 10):
+            t = winograd_matrices(m, 3)
+            rows.append(
+                {
+                    "algorithm": f"F({m}x{m},3x3)",
+                    "tile": f"{t.alpha}x{t.alpha}",
+                    "mul reduction": t.mul_reduction_2d,
+                    "fp32 rel err": _fp32_error(m),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    banner("Ablation: Winograd tile size — multiplication reduction vs accuracy")
+    print(format_table(rows))
+
+    reductions = [r["mul reduction"] for r in rows]
+    errors = [r["fp32 rel err"] for r in rows]
+    # Shape: bigger tiles save more multiplications...
+    assert reductions == sorted(reductions)
+    # ...but accuracy degrades sharply past the paper's 8x8 tile.
+    assert errors[-1] > 10 * errors[2]  # F(10) far worse than F(6)
+    assert errors[2] < 1e-3  # F(6x6,3x3) is CNN-safe in fp32

@@ -1,0 +1,47 @@
+"""Ablation — GEMM unroll factor on RVV (Section VI-A).
+
+The paper tunes the 3-loop unroll by utilizing up to 32 vector
+registers: "no significant improvement beyond utilizing 16 registers
+... by utilizing the 32 register, we experienced a performance drop by
+~15 % due to register spilling."
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+UNROLLS = [4, 8, 16, 32]
+N_LAYERS = 8
+
+
+def test_unroll_factor_ablation(benchmark, yolo_net):
+    machine = rvv_gem5(vlen_bits=512, lanes=8, l2_mb=1)
+
+    def run():
+        return {
+            u: yolo_net.simulate(
+                machine, KernelPolicy(gemm="3loop", unroll=u), n_layers=N_LAYERS
+            ).cycles
+            for u in UNROLLS
+        }
+
+    cycles = run_once(benchmark, run)
+    base = cycles[16]
+    banner("Ablation: 3-loop unroll factor on RVV @ gem5 (YOLOv3, 8 layers)")
+    print(
+        format_table(
+            [
+                {"unroll": u, "cycles": c, "relative to u16": c / base}
+                for u, c in cycles.items()
+            ]
+        )
+    )
+
+    # Shape: 16 is the sweet spot; 32 spills and loses performance.
+    assert cycles[16] < cycles[4]
+    assert cycles[16] < cycles[8]
+    assert cycles[32] > cycles[16]
+    drop = cycles[32] / cycles[16]
+    assert 1.02 < drop < 1.6  # paper: ~15 % drop

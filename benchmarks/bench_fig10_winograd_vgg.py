@@ -1,0 +1,56 @@
+"""Fig. 10 — vector lengths and L2 sizes with Winograd, VGG16 @ gem5-SVE.
+
+All of VGG16's conv layers are 3x3 stride-1, so the whole network runs
+Winograd.  Paper: 1.4x from 512 -> 2048 bits; 1.4x from 1 MB -> 64 MB
+and *no further benefit* beyond 64 MB — Winograd's cache requirements
+are modest compared to im2col+GEMM (no 9x im2col expansion).
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, sweep_cache_sizes, sweep_vector_lengths
+from repro.machine import sve_gem5
+from repro.nets import KernelPolicy
+
+VLENS = [512, 1024, 2048]
+CACHES_MB = [1, 8, 64, 128, 256]
+PAPER = {"vlen_gain": 1.4, "cache_gain_64": 1.4}
+
+
+def test_fig10_winograd_vgg16_sweep(benchmark, vgg_net):
+    pol = KernelPolicy(gemm="6loop", winograd="stride1")
+
+    def run():
+        vl = sweep_vector_lengths(
+            vgg_net, VLENS, lambda v: sve_gem5(vlen_bits=v, l2_mb=1), pol
+        )
+        cache = sweep_cache_sizes(
+            vgg_net, CACHES_MB, lambda mb: sve_gem5(vlen_bits=2048, l2_mb=mb), pol
+        )
+        return vl, cache
+
+    vl, cache = run_once(benchmark, run)
+    banner("Fig. 10: Winograd sweep on ARM-SVE @ gem5 (VGG16)")
+    print(format_table([
+        {"axis": "vlen@1MB", **{str(v): s for v, s in zip(VLENS, vl.speedups())},
+         "paper": PAPER["vlen_gain"]},
+    ]))
+    print(format_table([
+        {"axis": "L2@2048b", **{f"{mb}MB": s for mb, s in zip(CACHES_MB, cache.speedups())},
+         "paper(1->64MB)": PAPER["cache_gain_64"]},
+    ]))
+    benchmark.extra_info["vlen_gain"] = vl.speedups()[-1]
+    benchmark.extra_info["cache_speedups"] = dict(zip(CACHES_MB, cache.speedups()))
+
+    vg, cg = vl.speedups(), cache.speedups()
+    assert vg == sorted(vg) and vg[-1] > 1.15
+    # Shape: solid gains up to 64 MB...
+    gain_to_64 = cg[CACHES_MB.index(64)]
+    assert gain_to_64 > 1.1
+    # ...then diminishing returns.  The paper's curve is flat past 64 MB;
+    # ours keeps a modest tail because VGG16's largest transformed-weight
+    # panels (512x512x256B = 64 MB) only become fully resident at 128 MB
+    # (see EXPERIMENTS.md).  The knee must still be at/below 64 MB.
+    tail_gain = cg[-1] / gain_to_64
+    assert tail_gain < 1.35
+    assert tail_gain < gain_to_64

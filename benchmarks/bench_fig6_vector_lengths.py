@@ -1,0 +1,44 @@
+"""Fig. 6 — impact of vector length on RISC-V Vector @ gem5.
+
+YOLOv3 (first 20 layers), constant 1 MB L2 and 8 vector lanes, vector
+length swept 512 -> 16384 bits.  Paper: performance improves ~2.5x and
+saturates beyond the 8192-bit vector length (because the L2 miss rate
+climbs, Table III).
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_series, sweep_vector_lengths
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+VLENS = [512, 1024, 2048, 4096, 8192, 16384]
+PAPER_SPEEDUP_512_TO_16384 = 2.5
+N_LAYERS = 20
+
+
+def test_fig6_vector_length_sweep(benchmark, yolo_net):
+    res = run_once(
+        benchmark,
+        lambda: sweep_vector_lengths(
+            yolo_net,
+            VLENS,
+            lambda v: rvv_gem5(vlen_bits=v, lanes=8, l2_mb=1),
+            KernelPolicy(gemm="3loop"),
+            n_layers=N_LAYERS,
+        ),
+    )
+    speed = res.speedups()
+    banner("Fig. 6: vector-length sweep on RVV @ gem5 (YOLOv3, 20 layers)")
+    print(format_series("speedup vs 512-bit", VLENS, speed, "vlen_bits", "speedup"))
+    print(f"\npaper: 512->16384 = {PAPER_SPEEDUP_512_TO_16384}x, saturating >= 8192-bit")
+    benchmark.extra_info["speedups"] = dict(zip(VLENS, speed))
+
+    # Shape checks: substantial gains that saturate at long vectors.
+    assert speed[VLENS.index(8192)] > 2.0  # paper: ~2.5x by 8192-bit
+    # Monotone non-trivial growth up to 8192...
+    for a, b in zip(speed[:4], speed[1:5]):
+        assert b > a * 0.98
+    # ...then saturation: 16384-bit buys (almost) nothing more.
+    gain_tail = speed[-1] / speed[-2]
+    assert 0.8 < gain_tail < 1.15

@@ -1,0 +1,62 @@
+"""Fig. 8 — vector lengths and L2 cache sizes on ARM-SVE @ gem5.
+
+YOLOv3 (first 20 layers) with the optimized 6-loop GEMM.  Paper: at
+1 MB, 512 -> 2048 bits improves 1.34x; at 2048 bits, 1 MB -> 256 MB
+improves 1.6x.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, sweep_cache_sizes, sweep_vector_lengths
+from repro.machine import sve_gem5
+from repro.nets import KernelPolicy
+
+VLENS = [512, 1024, 2048]
+CACHES_MB = [1, 8, 64, 256]
+N_LAYERS = 20
+PAPER = {"vlen_gain": 1.34, "cache_gain": 1.6}
+
+
+def test_fig8_sve_sweep(benchmark, yolo_net):
+    pol = KernelPolicy(gemm="6loop")
+
+    def run():
+        vl = sweep_vector_lengths(
+            yolo_net, VLENS, lambda v: sve_gem5(vlen_bits=v, l2_mb=1), pol, N_LAYERS
+        )
+        cache = sweep_cache_sizes(
+            yolo_net,
+            CACHES_MB,
+            lambda mb: sve_gem5(vlen_bits=2048, l2_mb=mb),
+            pol,
+            N_LAYERS,
+        )
+        return vl, cache
+
+    vl, cache = run_once(benchmark, run)
+    banner("Fig. 8: vector length x L2 size on ARM-SVE @ gem5 (YOLOv3, 20 layers)")
+    print(
+        format_table(
+            [
+                {"axis": "vlen@1MB", **{str(v): s for v, s in zip(VLENS, vl.speedups())},
+                 "paper(512->2048)": PAPER["vlen_gain"]},
+            ]
+        )
+    )
+    print(
+        format_table(
+            [
+                {"axis": "L2@2048b", **{f"{mb}MB": s for mb, s in zip(CACHES_MB, cache.speedups())},
+                 "paper(1->256MB)": PAPER["cache_gain"]},
+            ]
+        )
+    )
+    benchmark.extra_info["vlen_gain"] = vl.speedups()[-1]
+    benchmark.extra_info["cache_gain"] = cache.speedups()[-1]
+
+    # Shape: both axes help, with moderate (not RVV-sized) VL gains.
+    vg = vl.speedups()
+    cg = cache.speedups()
+    assert vg == sorted(vg) and 1.15 < vg[-1] < 2.2
+    assert all(b >= a * 0.99 for a, b in zip(cg, cg[1:]))
+    assert cg[-1] > 1.1

@@ -1,0 +1,51 @@
+"""Fig. 9 — vector lengths and L2 sizes with Winograd, YOLOv3 @ gem5-SVE.
+
+Winograd for 3x3 stride-1 layers, optimized im2col+GEMM otherwise
+(paper's Section VII-B configuration), first 20 layers of YOLOv3.
+Paper: 1.4x from 512 -> 2048 bits at 1 MB; 1.75x from 1 MB -> 256 MB
+(YOLOv3 keeps benefiting from large caches because several layers still
+run im2col+GEMM).
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, sweep_cache_sizes, sweep_vector_lengths
+from repro.machine import sve_gem5
+from repro.nets import KernelPolicy
+
+VLENS = [512, 1024, 2048]
+CACHES_MB = [1, 8, 64, 256]
+N_LAYERS = 20
+PAPER = {"vlen_gain": 1.4, "cache_gain": 1.75}
+
+
+def test_fig9_winograd_yolov3_sweep(benchmark, yolo_net):
+    pol = KernelPolicy(gemm="6loop", winograd="stride1")
+
+    def run():
+        vl = sweep_vector_lengths(
+            yolo_net, VLENS, lambda v: sve_gem5(vlen_bits=v, l2_mb=1), pol, N_LAYERS
+        )
+        cache = sweep_cache_sizes(
+            yolo_net, CACHES_MB, lambda mb: sve_gem5(vlen_bits=2048, l2_mb=mb),
+            pol, N_LAYERS,
+        )
+        return vl, cache
+
+    vl, cache = run_once(benchmark, run)
+    banner("Fig. 9: Winograd sweep on ARM-SVE @ gem5 (YOLOv3, 20 layers)")
+    print(format_table([
+        {"axis": "vlen@1MB", **{str(v): s for v, s in zip(VLENS, vl.speedups())},
+         "paper": PAPER["vlen_gain"]},
+    ]))
+    print(format_table([
+        {"axis": "L2@2048b", **{f"{mb}MB": s for mb, s in zip(CACHES_MB, cache.speedups())},
+         "paper": PAPER["cache_gain"]},
+    ]))
+    benchmark.extra_info["vlen_gain"] = vl.speedups()[-1]
+    benchmark.extra_info["cache_gain"] = cache.speedups()[-1]
+
+    vg, cg = vl.speedups(), cache.speedups()
+    assert vg == sorted(vg) and vg[-1] > 1.2  # longer vectors pay off
+    assert all(b >= a * 0.99 for a, b in zip(cg, cg[1:]))
+    assert cg[-1] > 1.1  # caches keep helping (im2col layers remain)

@@ -1,0 +1,31 @@
+"""Section II-B — execution-time breakdown of CNN inference.
+
+The paper profiles YOLOv3 on A64FX with perf: the convolutional layer
+dominates and GEMM consumes 93.4 % of the computation time.  This bench
+regenerates the per-kernel breakdown from simulated cycles.
+"""
+
+from conftest import banner, run_once
+
+from repro.machine import a64fx
+from repro.nets import KernelPolicy, profile_network
+
+PAPER_GEMM_SHARE = 0.934
+
+
+def test_kernel_breakdown_yolov3_a64fx(benchmark, yolo_net):
+    prof = run_once(
+        benchmark,
+        lambda: profile_network(yolo_net, a64fx(), KernelPolicy(gemm="6loop")),
+    )
+    banner("Section II-B: YOLOv3 kernel breakdown on A64FX")
+    print(prof.format_table())
+    print(f"\npaper: GEMM = {PAPER_GEMM_SHARE:.1%}   measured: {prof.share('gemm'):.1%}")
+    benchmark.extra_info["gemm_share"] = prof.share("gemm")
+    benchmark.extra_info["gemm_share_paper"] = PAPER_GEMM_SHARE
+
+    # Shape: GEMM dominates everything else by a wide margin.
+    assert prof.share("gemm") > 0.75
+    assert prof.top(1)[0][0] == "gemm"
+    others = [s for k, s in prof.shares.items() if k != "gemm"]
+    assert prof.share("gemm") > 4 * max(others)

@@ -1,0 +1,55 @@
+"""Section VI-B(c) — impact of the number of vector lanes on RVV.
+
+YOLOv3 (first 20 layers), 1 MB L2, lanes swept 2 -> 8 for a short and a
+long vector length.  Paper: ~1.25x for the 8192-bit vector length; the
+512-bit configuration scales from 2 to 4 lanes but saturates beyond 4 —
+"additional vector lanes are more beneficial to longer vector lengths".
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, sweep_lanes
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+LANES = [2, 4, 8]
+N_LAYERS = 20
+
+
+def test_lanes_sweep(benchmark, yolo_net):
+    def run():
+        return {
+            vlen: sweep_lanes(
+                yolo_net,
+                LANES,
+                lambda l, v=vlen: rvv_gem5(vlen_bits=v, lanes=l, l2_mb=1),
+                KernelPolicy(gemm="3loop"),
+                n_layers=N_LAYERS,
+            )
+            for vlen in (512, 8192)
+        }
+
+    sweeps = run_once(benchmark, run)
+    banner("Section VI-B(c): vector-lane sweep on RVV @ gem5 (YOLOv3, 20 layers)")
+    rows = [
+        {
+            "vlen": f"{vlen}-bit",
+            **{f"{l} lanes": s for l, s in zip(LANES, res.speedups())},
+        }
+        for vlen, res in sweeps.items()
+    ]
+    print(format_table(rows))
+    print("\npaper: ~1.25x for 8192-bit from 2->8 lanes; 512-bit saturates at 4 lanes")
+
+    s512 = sweeps[512].speedups()
+    s8192 = sweeps[8192].speedups()
+    # Shape: the long vector keeps scaling with lanes...
+    assert s8192[-1] > 1.2
+    assert s8192[2] > s8192[1] > s8192[0]
+    # ...while the short vector saturates beyond 4 lanes.
+    gain_512_4_to_8 = s512[2] / s512[1]
+    gain_8192_4_to_8 = s8192[2] / s8192[1]
+    assert gain_512_4_to_8 < 1.1
+    assert gain_8192_4_to_8 > gain_512_4_to_8
+    # More lanes help longer vectors more, overall.
+    assert s8192[-1] > s512[-1]

@@ -1,0 +1,57 @@
+"""Extension — inference over a stream of images.
+
+Section VI of the paper excludes initialization cycles because the
+overhead "is not incurred when continuously running inference over a
+stream of images".  This bench makes that argument quantitative: with a
+resident network, steady-state images are cheaper than the first (warm
+weights/workspace), and the gap depends on whether the working set fits
+the L2 — one more face of the Fig. 7 capacity question.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+N_IMAGES = 3
+N_LAYERS = 10
+
+
+def test_streaming_steady_state(benchmark, tiny_net):
+    def run():
+        out = {}
+        for mb in (1, 64):
+            per = tiny_net.simulate_stream(
+                rvv_gem5(vlen_bits=2048, lanes=8, l2_mb=mb),
+                KernelPolicy(gemm="3loop"),
+                n_images=N_IMAGES,
+                n_layers=N_LAYERS,
+            )
+            out[mb] = per
+        return out
+
+    streams = run_once(benchmark, run)
+    banner("Extension: YOLOv3-tiny inference over an image stream (RVV)")
+    rows = []
+    for mb, per in streams.items():
+        rows.append(
+            {
+                "L2": f"{mb}MB",
+                **{f"img{i}": st.cycles for i, st in enumerate(per)},
+                "steady miss %": 100 * per[-1].l2_miss_rate,
+                "cold/steady": per[0].cycles / per[-1].cycles,
+            }
+        )
+    print(format_table(rows))
+
+    for mb, per in streams.items():
+        # Steady state: images after the first cost the same...
+        assert per[2].cycles == min(st.cycles for st in per) * 1.001 or (
+            abs(per[2].cycles - per[1].cycles) / per[1].cycles < 0.02
+        )
+        # ...and never more than the cold first image.
+        assert per[1].cycles <= per[0].cycles
+    # A large L2 retains the working set between images.
+    assert streams[64][-1].l2_miss_rate < streams[1][-1].l2_miss_rate
+    assert streams[64][-1].cycles < streams[1][-1].cycles

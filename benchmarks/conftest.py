@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the reproduction benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it runs the corresponding simulation sweep once (timed by
+pytest-benchmark), prints the same rows/series the paper reports next to
+the paper's numbers, and asserts the qualitative *shape* (who wins,
+direction of trends) — not absolute cycle counts, which belong to gem5
+and the authors' A64FX testbed (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.nets import vgg16, yolov3, yolov3_tiny
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def yolo_net():
+    """YOLOv3 at the paper's 608x608 evaluation resolution."""
+    return yolov3()
+
+
+@pytest.fixture(scope="session")
+def tiny_net():
+    """YOLOv3-tiny at 416x416."""
+    return yolov3_tiny()
+
+
+@pytest.fixture(scope="session")
+def vgg_net():
+    """VGG16 at 224x224."""
+    return vgg16()
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

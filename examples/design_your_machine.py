@@ -1,0 +1,74 @@
+"""Design your own vector CPU and evaluate it on CNN inference.
+
+Shows the co-design workflow the paper advocates for hardware
+architects: start from a preset, change one micro-architectural choice
+at a time, and watch what happens to real workloads — here, whether a
+future RVV part should spend its area on longer vectors, more lanes, or
+a bigger L2.
+
+Run:  python examples/design_your_machine.py
+"""
+
+import dataclasses
+
+from repro.core import format_table
+from repro.machine import CacheParams, MB, rvv_gem5
+from repro.nets import KernelPolicy, yolov3
+
+N_LAYERS = 12  # keep the demo quick; use 20+ for paper-grade sweeps
+
+
+def variant(name, machine):
+    return name, machine
+
+
+def main():
+    base = rvv_gem5(vlen_bits=2048, lanes=4, l2_mb=2)
+    candidates = [
+        variant("baseline: 2048b, 4 lanes, 2MB", base),
+        variant("2x vector length", rvv_gem5(vlen_bits=4096, lanes=4, l2_mb=2)),
+        variant("2x lanes", rvv_gem5(vlen_bits=2048, lanes=8, l2_mb=2)),
+        variant("8x L2 cache", rvv_gem5(vlen_bits=2048, lanes=4, l2_mb=16)),
+        variant(
+            "slower DRAM (embedded)",
+            base.with_(dram_latency=400, dram_bytes_per_cycle=8),
+        ),
+        variant(
+            "tiny VectorCache removed",
+            base.with_(
+                vpu=dataclasses.replace(base.vpu, vector_cache_bytes=0)
+            ),
+        ),
+        variant(
+            "L3-class L2 (32MB, slow)",
+            base.with_(l2=CacheParams(32 * MB, 16, 64, 40)),
+        ),
+    ]
+
+    net = yolov3()
+    policy = KernelPolicy(gemm="3loop")
+    base_cycles = None
+    rows = []
+    for name, machine in candidates:
+        stats = net.simulate(machine, policy, n_layers=N_LAYERS)
+        if base_cycles is None:
+            base_cycles = stats.cycles
+        rows.append(
+            {
+                "design": name,
+                "cycles": stats.cycles,
+                "speedup": base_cycles / stats.cycles,
+                "L2 miss %": 100 * stats.l2_miss_rate,
+            }
+        )
+    print(format_table(rows, title="YOLOv3 (first 12 layers) on candidate designs"))
+    print(
+        "\nReading the table like the paper does: at this design point the "
+        "kernels are compute-bound, so extra lanes pay off most, while a "
+        "longer vector raises the L2 miss rate and a bigger-but-slower L2 "
+        "loses outright — the co-design trade-offs of Sections V-VI."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""End-to-end inference demo: image -> letterbox -> YOLOv3-tiny forward.
+
+Mirrors the paper's experimental setup (Section III-B): a 768x576-pixel
+input image is letterboxed to the network resolution and run through the
+Darknet-style pipeline, here with the functional VLA kernels.  The
+detection head output is decoded into the highest-objectness cells.
+
+Run:  python examples/full_inference_demo.py
+"""
+
+import numpy as np
+
+from repro.nets import KernelPolicy, yolov3_tiny
+from repro.workloads import letterbox, synthetic_image
+
+
+def main():
+    # The paper's input: a 768x576 image, resized by Darknet.
+    image = synthetic_image(height=576, width=768)
+    net = yolov3_tiny(width=224, height=224)  # reduced res for a quick demo
+    x = letterbox(image, 224, 224)
+    print(f"input image {image.shape} -> letterboxed {x.shape}")
+
+    out = net.forward(x, KernelPolicy(winograd="stride1"))
+    print(f"detection head output: {out.shape}  (255 = 3 anchors x 85)")
+
+    # Decode: objectness lives at channel 4 of each anchor block.
+    anchors = 3
+    per = out.shape[0] // anchors
+    grid_h, grid_w = out.shape[1:]
+    best = []
+    for a in range(anchors):
+        obj = out[a * per + 4]
+        idx = np.unravel_index(np.argmax(obj), obj.shape)
+        best.append((a, idx, float(obj[idx])))
+    print("\nhighest-objectness grid cells (random weights -> ~0.5):")
+    for a, (gy, gx), score in best:
+        print(f"  anchor {a}: cell ({gy:2d},{gx:2d}) objectness {score:.3f}")
+
+    assert all(0.0 <= s <= 1.0 for _, _, s in best)
+    print(
+        f"\nforward pass done: {len(net.layers)} layers, "
+        f"{len(net.conv_layers())} convolutional, grid {grid_h}x{grid_w}."
+    )
+
+
+if __name__ == "__main__":
+    main()

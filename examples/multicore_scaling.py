@@ -1,0 +1,45 @@
+"""Multi-core scaling of the co-designed kernels (extension).
+
+The paper studies one core; this example asks the follow-on question a
+chip architect faces next: if the die hosts N cores sharing the L2 and
+the DRAM pins, do the single-core vector-length conclusions survive?
+
+Run:  python examples/multicore_scaling.py
+"""
+
+from repro.core import format_table, scaling_curve
+from repro.machine import rvv_gem5
+from repro.nets import KernelPolicy, yolov3
+
+CORES = (1, 2, 8)
+N_LAYERS = 6
+
+
+def main():
+    net = yolov3()
+    rows = []
+    for vlen in (2048, 16384):
+        curve = scaling_curve(
+            net,
+            rvv_gem5(vlen_bits=vlen, lanes=8, l2_mb=8),
+            KernelPolicy(gemm="3loop"),
+            CORES,
+            n_layers=N_LAYERS,
+        )
+        rows.append(
+            {
+                "vlen": f"{vlen}-bit",
+                **{f"{c} cores": round(r.speedup_vs_1, 2)
+                   for c, r in zip(CORES, curve)},
+            }
+        )
+    print(format_table(rows, title="YOLOv3 (first layers) — speedup vs one core"))
+    print(
+        "\nThe single-core sweet spot shifts under contention: very long "
+        "vectors saturate the shared DRAM bandwidth at low core counts, "
+        "while moderate vector lengths keep scaling — co-design again."
+    )
+
+
+if __name__ == "__main__":
+    main()

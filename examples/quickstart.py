@@ -1,0 +1,65 @@
+"""Quickstart: run CNN inference functionally and simulate it on two
+vector architectures.
+
+Builds a small convolutional network, checks the optimized VLA kernels
+against NumPy end to end, and then compares execution-cycle estimates
+for the same network on a RISC-V Vector machine and on the A64FX.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import summarize_stats
+from repro.isa import RVV
+from repro.machine import a64fx, rvv_gem5
+from repro.nets import ConvLayer, KernelPolicy, MaxPoolLayer, Network
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Define a network (Darknet-style layers).
+    # ------------------------------------------------------------------
+    net = Network(
+        [
+            ConvLayer(16, size=3, stride=1, activation="leaky"),
+            MaxPoolLayer(2, 2),
+            ConvLayer(32, size=3, stride=1, activation="leaky"),
+            ConvLayer(16, size=1, stride=1, pad=0, activation="leaky"),
+        ],
+        input_shape=(3, 64, 64),
+        name="quickstart-cnn",
+    )
+    print(net.describe())
+
+    # ------------------------------------------------------------------
+    # 2. Functional inference — the paper's optimized 3-loop VLA GEMM
+    #    produces the same activations as a plain BLAS evaluation.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((3, 64, 64)).astype(np.float32)
+
+    ref = net.forward(x, KernelPolicy(functional_gemm="blas"))
+    vla = net.forward(
+        x, KernelPolicy(functional_gemm="3loop"), isa=RVV(vlen_bits=4096)
+    )
+    err = float(np.abs(ref - vla).max())
+    print(f"\nmax |blas - 3loop VLA| = {err:.2e}  (identical to fp32 rounding)")
+    assert err < 1e-3
+
+    # ------------------------------------------------------------------
+    # 3. Timing simulation on two design points.
+    # ------------------------------------------------------------------
+    print("\nSimulated inference cost:")
+    for machine in (rvv_gem5(vlen_bits=4096, lanes=8, l2_mb=1), a64fx()):
+        stats = net.simulate(machine, KernelPolicy(gemm="6loop"))
+        s = summarize_stats(stats, machine.core.freq_ghz)
+        print(
+            f"  {machine.name:28s} {s['cycles']:12.3e} cycles "
+            f"({s['time_ms']:.3f} ms, {s['gflops']:.1f} GFLOP/s, "
+            f"L2 miss {100 * s['l2_miss_rate']:.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

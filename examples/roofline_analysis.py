@@ -1,0 +1,52 @@
+"""Roofline analysis of YOLOv3's convolutional layers on A64FX.
+
+Reproduces Table IV: per-layer arithmetic intensity (exact formula from
+Section VI-C(a)) and simulated sustained fraction of the 62.5 GFLOP/s
+single-core peak, next to the paper's reported values.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro.core import format_table, roofline_table
+from repro.machine import a64fx
+
+
+def main():
+    machine = a64fx()
+    rows = roofline_table(machine)
+    print(
+        format_table(
+            [
+                {
+                    "layer": r.layer,
+                    "M": r.M,
+                    "N": r.N,
+                    "K": r.K,
+                    "AI (flops/byte)": r.ai,
+                    "AI paper": r.ai_paper,
+                    "% of peak": r.pct_peak,
+                    "% paper": r.pct_peak_paper,
+                }
+                for r in rows
+            ],
+            title=f"Table IV reproduction — peak = {machine.peak_gflops} GFLOP/s",
+        )
+    )
+
+    low = [r for r in rows if r.ai < 20]
+    high = [r for r in rows if r.ai > 80]
+    print(
+        f"\nlow-AI layers (<20 flops/byte) sustain "
+        f"{sum(r.pct_peak for r in low) / len(low):.0f}% of peak on average;"
+        f" high-AI layers (>80) sustain "
+        f"{sum(r.pct_peak for r in high) / len(high):.0f}%."
+    )
+    print(
+        "Matches the paper's observation: layers with small weight "
+        "matrices (small M, K) leave performance on the table — a target "
+        "for future specialization beyond portable VLA kernels."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Algorithm selection: Winograd vs im2col+GEMM per convolution layer.
+
+Walks YOLOv3's distinct convolutional layers on the A64FX model and
+compares the paper's static selection rule (3x3 stride-1 -> Winograd,
+Section VII) with a measurement-driven selector that simulates both
+algorithms — the tool a runtime/compiler would embed.
+
+Also verifies numerically, on a small layer, that the Winograd path with
+the paper's inter-tile VLA transforms computes the same convolution.
+
+Run:  python examples/winograd_vs_gemm.py
+"""
+
+import numpy as np
+
+from repro.core import format_table, measured_choice, paper_rule
+from repro.isa import SVE
+from repro.kernels import ConvSpec, direct_conv2d
+from repro.kernels.winograd import winograd_conv2d
+from repro.machine import a64fx
+from repro.nets import yolov3
+from repro.workloads import discrete_conv_specs
+
+
+def numerical_check():
+    spec = ConvSpec(8, 30, 30, 16, ksize=3, stride=1, pad=1)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 30, 30)).astype(np.float32)
+    w = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+    y_wino = winograd_conv2d(x, w, spec, isa=SVE(2048))  # inter-tile VLA path
+    y_ref = direct_conv2d(x, w, spec)
+    err = float(np.abs(y_wino - y_ref).max())
+    print(f"inter-tile Winograd vs direct convolution: max err = {err:.2e}")
+    assert err < 1e-2
+
+
+def main():
+    numerical_check()
+
+    machine = a64fx()
+    net = yolov3()
+    rows = []
+    agreement = 0
+    specs = [s for s in discrete_conv_specs(net) if s.ksize == 3][:8]
+    for spec in specs:
+        rule = paper_rule(spec)
+        measured = measured_choice(spec, machine)
+        agreement += rule.algorithm == measured.algorithm
+        speed = (
+            measured.gemm_cycles / measured.winograd_cycles
+            if measured.winograd_cycles
+            else float("nan")
+        )
+        rows.append(
+            {
+                "layer": f"{spec.in_channels}->{spec.out_channels} "
+                f"k{spec.ksize}s{spec.stride} @{spec.in_h}",
+                "paper rule": rule.algorithm,
+                "measured": measured.algorithm,
+                "wino speedup": speed,
+            }
+        )
+    print(format_table(rows, title="\nAlgorithm selection on A64FX (YOLOv3 3x3 layers)"))
+    print(
+        f"\npaper's static rule matches the measured choice on "
+        f"{agreement}/{len(rows)} layers"
+    )
+    print(
+        "Conclusion (Section VII): Winograd for 3x3 stride-1; stride-2 "
+        "and 1x1 layers stay on im2col+GEMM."
+    )
+
+
+if __name__ == "__main__":
+    main()

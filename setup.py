@@ -1,0 +1,9 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy (no-PEP-517) editable installs on environments lacking the
+`wheel` package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: reproduction of "Accelerating CNN inference on long vector
+architectures via co-design" (Gupta, Papadopoulou, Pericàs — IPDPS 2023).
+
+Subpackages
+-----------
+``repro.isa``
+    VLA ISA models (RISC-V Vector, ARM SVE) and functional intrinsics.
+``repro.machine``
+    Trace-driven vector-microarchitecture timing simulator (the gem5
+    substitute): caches, prefetchers, TLB, VPU, Table I presets.
+``repro.kernels``
+    The convolutional-layer kernels: im2col, naive / 3-loop / 6-loop
+    GEMM, elementwise kernels, Winograd F(6x6,3x3) with inter-tile
+    channel parallelism.
+``repro.nets``
+    Darknet-like framework with YOLOv3 / YOLOv3-tiny / VGG16.
+``repro.core``
+    Co-design sweeps, roofline analysis, algorithm selection, reporting.
+``repro.workloads``
+    Synthetic images and the paper's layer-shape tables.
+
+Quickstart
+----------
+>>> from repro.machine import rvv_gem5
+>>> from repro.nets import yolov3, KernelPolicy
+>>> net = yolov3()
+>>> stats = net.simulate(rvv_gem5(vlen_bits=4096), KernelPolicy(gemm="3loop"),
+...                      n_layers=4)
+>>> stats.cycles > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+from . import core, isa, kernels, machine, nets, workloads  # noqa: F401
+
+__all__ = ["core", "isa", "kernels", "machine", "nets", "workloads", "__version__"]

@@ -1,0 +1,202 @@
+"""Command-line interface for the reproduction toolkit.
+
+Usage (``python -m repro <command> ...``):
+
+* ``simulate`` — trace-simulate a zoo network on a machine preset;
+* ``sweep``    — one-axis design-space sweep (vlen / cache / lanes);
+* ``roofline`` — regenerate Table IV;
+* ``profile``  — per-kernel cycle breakdown (Section II-B);
+* ``select``   — per-layer convolution-algorithm selection.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .core import (
+    format_series,
+    format_table,
+    measured_choice,
+    paper_rule,
+    roofline_table,
+    summarize_stats,
+    sweep_cache_sizes,
+    sweep_lanes,
+    sweep_vector_lengths,
+)
+from .machine import a64fx, rvv_gem5, sve_gem5
+from .nets import KernelPolicy, profile_network, vgg16, yolov3, yolov3_tiny
+from .workloads import discrete_conv_specs
+
+__all__ = ["main", "build_parser"]
+
+_NETS = {"yolov3": yolov3, "yolov3-tiny": yolov3_tiny, "vgg16": vgg16}
+
+
+def _machine(args) -> object:
+    if args.machine == "rvv":
+        return rvv_gem5(vlen_bits=args.vlen, lanes=args.lanes, l2_mb=args.l2_mb)
+    if args.machine == "sve":
+        return sve_gem5(vlen_bits=min(args.vlen, 2048), l2_mb=args.l2_mb)
+    return a64fx()
+
+
+def _policy(args) -> KernelPolicy:
+    return KernelPolicy(gemm=args.gemm, winograd=args.winograd)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--net", choices=sorted(_NETS), default="yolov3")
+    p.add_argument("--machine", choices=["rvv", "sve", "a64fx"], default="rvv")
+    p.add_argument("--vlen", type=int, default=512, help="vector length in bits")
+    p.add_argument("--lanes", type=int, default=8)
+    p.add_argument("--l2-mb", type=int, default=1, dest="l2_mb")
+    p.add_argument("--gemm", choices=["naive", "3loop", "6loop"], default="3loop")
+    p.add_argument(
+        "--winograd", choices=["off", "stride1", "all3x3"], default="off"
+    )
+    p.add_argument("--layers", type=int, default=None, help="simulate first N layers")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CNN inference on long-vector architectures (IPDPS'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="trace-simulate a network")
+    _add_common(p)
+
+    p = sub.add_parser("sweep", help="one-axis design-space sweep")
+    _add_common(p)
+    p.add_argument(
+        "--axis", choices=["vlen", "cache", "lanes"], default="vlen"
+    )
+    p.add_argument(
+        "--values", type=int, nargs="+", default=None,
+        help="axis values (bits / MB / lanes)",
+    )
+
+    p = sub.add_parser("roofline", help="Table IV roofline analysis")
+    p.add_argument("--gemm", choices=["3loop", "6loop"], default="6loop")
+
+    p = sub.add_parser("profile", help="per-kernel cycle breakdown")
+    _add_common(p)
+
+    p = sub.add_parser("select", help="per-layer algorithm selection")
+    _add_common(p)
+    p.add_argument("--measured", action="store_true",
+                   help="simulate both algorithms instead of the static rule")
+    return parser
+
+
+def cmd_simulate(args) -> int:
+    """``repro simulate``: trace-simulate one network on one machine."""
+    net = _NETS[args.net]()
+    machine = _machine(args)
+    stats = net.simulate(machine, _policy(args), n_layers=args.layers)
+    print(machine.describe())
+    print(format_table([summarize_stats(stats, machine.core.freq_ghz)]))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: one-axis design-space sweep (vlen/cache/lanes)."""
+    net = _NETS[args.net]()
+    policy = _policy(args)
+    if args.axis == "vlen":
+        values = args.values or [512, 1024, 2048, 4096, 8192, 16384]
+        if args.machine == "sve":
+            values = [v for v in values if v <= 2048]
+        factory = (
+            (lambda v: sve_gem5(vlen_bits=v, l2_mb=args.l2_mb))
+            if args.machine == "sve"
+            else (lambda v: rvv_gem5(vlen_bits=v, lanes=args.lanes, l2_mb=args.l2_mb))
+        )
+        res = sweep_vector_lengths(net, values, factory, policy, args.layers)
+    elif args.axis == "cache":
+        values = args.values or [1, 8, 64, 256]
+        factory = (
+            (lambda mb: sve_gem5(vlen_bits=min(args.vlen, 2048), l2_mb=mb))
+            if args.machine == "sve"
+            else (lambda mb: rvv_gem5(vlen_bits=args.vlen, lanes=args.lanes, l2_mb=mb))
+        )
+        res = sweep_cache_sizes(net, values, factory, policy, args.layers)
+    else:
+        values = args.values or [2, 4, 8]
+        res = sweep_lanes(
+            net,
+            values,
+            lambda l: rvv_gem5(vlen_bits=args.vlen, lanes=l, l2_mb=args.l2_mb),
+            policy,
+            args.layers,
+        )
+    print(format_table(res.as_rows()))
+    print()
+    print(format_series("speedup", res.axis, res.speedups(), res.axis_name, "speedup"))
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    """``repro roofline``: regenerate Table IV."""
+    rows = roofline_table(gemm=args.gemm)
+    print(
+        format_table(
+            [
+                {
+                    "layer": r.layer, "M": r.M, "N": r.N, "K": r.K,
+                    "AI": r.ai, "AI paper": r.ai_paper,
+                    "%peak": r.pct_peak, "%peak paper": r.pct_peak_paper,
+                }
+                for r in rows
+            ]
+        )
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile``: Section II-B per-kernel breakdown."""
+    net = _NETS[args.net]()
+    prof = profile_network(net, _machine(args), _policy(args), n_layers=args.layers)
+    print(prof.format_table())
+    return 0
+
+
+def cmd_select(args) -> int:
+    """``repro select``: per-layer algorithm choice (rule or measured)."""
+    net = _NETS[args.net]()
+    machine = _machine(args)
+    rows = []
+    for spec in discrete_conv_specs(net):
+        choice = (
+            measured_choice(spec, machine) if args.measured else paper_rule(spec)
+        )
+        rows.append(
+            {
+                "layer": f"k{spec.ksize}s{spec.stride} "
+                f"{spec.in_channels}->{spec.out_channels}@{spec.in_h}",
+                "algorithm": choice.algorithm,
+                "reason": choice.reason,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "roofline": cmd_roofline,
+    "profile": cmd_profile,
+    "select": cmd_select,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

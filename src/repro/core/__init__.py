@@ -1,0 +1,62 @@
+"""Co-design study machinery — the paper's primary contribution.
+
+Design-point sweeps over vector length / cache size / lanes
+(:mod:`codesign`), roofline analysis (:mod:`roofline`, Table IV),
+per-layer algorithm selection (:mod:`selection`, Section VII), and
+plain-text reporting used by the benchmark harness.
+"""
+
+from .autotune import TuneResult, autotune_blocks, candidate_blockings
+from .export import rows_to_csv, sweep_to_csv
+from .codesign import (
+    DesignPoint,
+    SweepResult,
+    run_design_point,
+    sweep,
+    sweep_cache_sizes,
+    sweep_lanes,
+    sweep_vector_lengths,
+)
+from .metrics import geomean, speedup, summarize_stats
+from .multicore import (
+    MulticoreResult,
+    machine_per_core,
+    scaling_curve,
+    simulate_multicore,
+)
+from .reporting import format_series, format_table, normalize
+from .roofline import RooflineRow, arithmetic_intensity, roofline_table, sustained_gflops
+from .selection import Choice, measured_choice, measured_choice_all, paper_rule
+
+__all__ = [
+    "TuneResult",
+    "autotune_blocks",
+    "candidate_blockings",
+    "DesignPoint",
+    "rows_to_csv",
+    "sweep_to_csv",
+    "SweepResult",
+    "run_design_point",
+    "sweep",
+    "sweep_cache_sizes",
+    "sweep_lanes",
+    "sweep_vector_lengths",
+    "geomean",
+    "MulticoreResult",
+    "machine_per_core",
+    "scaling_curve",
+    "simulate_multicore",
+    "speedup",
+    "summarize_stats",
+    "format_series",
+    "format_table",
+    "normalize",
+    "RooflineRow",
+    "arithmetic_intensity",
+    "roofline_table",
+    "sustained_gflops",
+    "Choice",
+    "measured_choice",
+    "measured_choice_all",
+    "paper_rule",
+]

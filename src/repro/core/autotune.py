@@ -1,0 +1,90 @@
+"""Block-size auto-tuning for the 6-loop GEMM.
+
+Table II of the paper is a hand-run grid search over
+``blockM x blockN x blockK``; this module automates it: enumerate
+candidate blockings (filtered by a cache-footprint feasibility rule),
+simulate each on the target machine, and return the ranking.  A
+compiler or library (BLIS's own analytical model, ATLAS-style
+empirical search) would embed exactly this loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..kernels import trace_gemm_6loop
+from ..kernels.gemm_6loop import BlockSizes
+from ..machine.config import MachineConfig
+from ..machine.simulator import TraceSimulator
+
+__all__ = ["TuneResult", "candidate_blockings", "autotune_blocks"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Ranking entry for one blocking candidate."""
+
+    blocks: BlockSizes
+    cycles: float
+    feasible: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.blocks.m}x{self.blocks.n}x{self.blocks.k}: {self.cycles:.4g}"
+
+
+def candidate_blockings(
+    machine: MachineConfig,
+    ms: Sequence[int] = (16, 32, 64, 128),
+    ns: Sequence[int] = (256, 512, 1024),
+    ks: Sequence[int] = (64, 128, 256),
+    unroll: int = 16,
+) -> List[BlockSizes]:
+    """Enumerate blockings whose packed working set fits the cache that
+    feeds the VPU (the BLIS sizing rule, adapted to the VPU integration:
+    on RVV that is the L2, per Section VI-A)."""
+    budget = (
+        machine.l2.size_bytes
+        if machine.vpu.mem_port == "L2"
+        else machine.l2.size_bytes  # B panel targets L2 on L1-fed VPUs too
+    )
+    out = []
+    for m in ms:
+        if m < unroll:
+            continue
+        for n in ns:
+            for k in ks:
+                b = BlockSizes(m, n, k)
+                if b.footprint_bytes() <= budget:
+                    out.append(b)
+    return out
+
+
+def autotune_blocks(
+    machine: MachineConfig,
+    M: int,
+    N: int,
+    K: int,
+    candidates: Optional[Sequence[BlockSizes]] = None,
+    unroll: int = 16,
+) -> Tuple[BlockSizes, List[TuneResult]]:
+    """Grid-search block sizes for one GEMM shape on *machine*.
+
+    Returns the best blocking and the full ranking (fastest first).
+    """
+    if M <= 0 or N <= 0 or K <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    cands = list(candidates) if candidates is not None else candidate_blockings(machine, unroll=unroll)
+    if not cands:
+        raise ValueError("no feasible blocking candidates for this machine")
+    results: List[TuneResult] = []
+    for blocks in cands:
+        sim = TraceSimulator(machine)
+        a = sim.alloc("A", M * K * 4)
+        b = sim.alloc("B", K * N * 4)
+        c = sim.alloc("C", M * N * 4)
+        trace_gemm_6loop(sim, M, N, K, a.base, b.base, c.base, blocks=blocks,
+                         unroll=unroll)
+        results.append(TuneResult(blocks, sim.stats.cycles, True))
+    results.sort(key=lambda r: r.cycles)
+    return results[0].blocks, results

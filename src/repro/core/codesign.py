@@ -1,0 +1,146 @@
+"""Co-design sweep machinery — the paper's primary contribution.
+
+The paper's method is a joint exploration: fix a kernel configuration
+(software axis), sweep a micro-architectural parameter (hardware axis),
+and observe cycle counts and cache statistics.  This module packages
+that loop: :class:`DesignPoint` couples a machine with a kernel policy,
+and the ``sweep_*`` helpers reproduce the paper's parameter axes
+(vector length, L2 size, vector lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..machine.config import MachineConfig
+from ..machine.simulator import SimStats
+from ..nets.layers import KernelPolicy
+from ..nets.network import Network
+
+__all__ = [
+    "DesignPoint",
+    "SweepResult",
+    "run_design_point",
+    "sweep",
+    "sweep_vector_lengths",
+    "sweep_cache_sizes",
+    "sweep_lanes",
+]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (hardware, software) point in the co-design space."""
+
+    machine: MachineConfig
+    policy: KernelPolicy = KernelPolicy()
+    label: str = ""
+
+    def name(self) -> str:
+        """Display label (explicit, or machine/kernel derived)."""
+        return self.label or f"{self.machine.name}/{self.policy.gemm}"
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a one-axis sweep.
+
+    ``axis`` holds the swept parameter values, ``stats`` the simulation
+    statistics per value, in the same order.
+    """
+
+    axis_name: str
+    axis: List = field(default_factory=list)
+    stats: List[SimStats] = field(default_factory=list)
+
+    def cycles(self) -> List[float]:
+        """Execution cycles per swept value."""
+        return [s.cycles for s in self.stats]
+
+    def speedups(self, baseline_index: int = 0) -> List[float]:
+        """Speedup of each point relative to the point at *baseline_index*
+        (the paper normalizes to the shortest vector / smallest cache)."""
+        base = self.stats[baseline_index].cycles
+        return [base / s.cycles for s in self.stats]
+
+    def miss_rates(self) -> List[float]:
+        """L2 demand miss rate per swept value (Table III)."""
+        return [s.l2_miss_rate for s in self.stats]
+
+    def as_rows(self) -> List[Dict]:
+        """Row dicts for reporting: axis value, cycles, speedup, miss."""
+        speed = self.speedups()
+        return [
+            {
+                self.axis_name: v,
+                "cycles": s.cycles,
+                "speedup": sp,
+                "l2_miss_rate": s.l2_miss_rate,
+                "avg_vlen_elems": s.avg_vlen_elems,
+            }
+            for v, s, sp in zip(self.axis, self.stats, speed)
+        ]
+
+
+def run_design_point(
+    net: Network,
+    point: DesignPoint,
+    n_layers: Optional[int] = None,
+) -> SimStats:
+    """Simulate *net* at one design point."""
+    return net.simulate(point.machine, point.policy, n_layers=n_layers)
+
+
+def sweep(
+    net: Network,
+    axis_name: str,
+    values: Iterable,
+    machine_for: Callable[[object], MachineConfig],
+    policy: KernelPolicy = KernelPolicy(),
+    n_layers: Optional[int] = None,
+) -> SweepResult:
+    """Generic one-axis sweep: build a machine per value and simulate."""
+    result = SweepResult(axis_name=axis_name)
+    for v in values:
+        stats = net.simulate(machine_for(v), policy, n_layers=n_layers)
+        result.axis.append(v)
+        result.stats.append(stats)
+    return result
+
+
+def sweep_vector_lengths(
+    net: Network,
+    vlens: Sequence[int],
+    base_machine: Callable[[int], MachineConfig],
+    policy: KernelPolicy = KernelPolicy(),
+    n_layers: Optional[int] = None,
+) -> SweepResult:
+    """Fig. 6 / Fig. 8 axis: vary the hardware vector length.
+
+    ``base_machine`` maps a vector length in bits to a machine config
+    (e.g. ``lambda v: rvv_gem5(vlen_bits=v, lanes=8, l2_mb=1)``).
+    """
+    return sweep(net, "vlen_bits", vlens, base_machine, policy, n_layers)
+
+
+def sweep_cache_sizes(
+    net: Network,
+    l2_mbs: Sequence[int],
+    base_machine: Callable[[int], MachineConfig],
+    policy: KernelPolicy = KernelPolicy(),
+    n_layers: Optional[int] = None,
+) -> SweepResult:
+    """Fig. 7 / Figs. 8-10 axis: vary the L2 capacity (1-256 MB)."""
+    return sweep(net, "l2_mb", l2_mbs, base_machine, policy, n_layers)
+
+
+def sweep_lanes(
+    net: Network,
+    lanes: Sequence[int],
+    base_machine: Callable[[int], MachineConfig],
+    policy: KernelPolicy = KernelPolicy(),
+    n_layers: Optional[int] = None,
+) -> SweepResult:
+    """Section VI-B(c) axis: vary the number of vector lanes (2-8)."""
+    return sweep(net, "lanes", lanes, base_machine, policy, n_layers)

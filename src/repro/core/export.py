@@ -1,0 +1,34 @@
+"""CSV export for figure data.
+
+The benchmark harness prints text tables; this utility writes the same
+series as CSV so users can plot Figs. 6-10 with their tool of choice
+(the repository deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Sequence
+
+from .codesign import SweepResult
+
+__all__ = ["sweep_to_csv", "rows_to_csv"]
+
+
+def rows_to_csv(rows: Sequence[dict], path: str) -> None:
+    """Write dict rows to *path* (header from the first row's keys)."""
+    if not rows:
+        raise ValueError("no rows to export")
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def sweep_to_csv(result: SweepResult, path: str) -> None:
+    """Write a :class:`SweepResult` (one figure series) as CSV.
+
+    Columns: the swept axis, cycles, speedup, L2 miss rate, average
+    consumed vector length — everything Figs. 6-10 and Table III plot.
+    """
+    rows_to_csv(result.as_rows(), path)

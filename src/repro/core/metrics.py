@@ -1,0 +1,43 @@
+"""Derived metrics shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..machine.simulator import SimStats
+
+__all__ = ["summarize_stats", "speedup", "geomean"]
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    """Baseline-relative speedup (>1 means faster than baseline)."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return baseline_cycles / cycles
+
+
+def geomean(values) -> float:
+    """Geometric mean (the right average for speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    prod = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("geomean requires positive values")
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def summarize_stats(stats: SimStats, freq_ghz: float = 2.0) -> Dict[str, float]:
+    """Flatten a :class:`SimStats` into the fields reports care about."""
+    return {
+        "cycles": stats.cycles,
+        "time_ms": stats.cycles / (freq_ghz * 1e6),
+        "gflops": stats.gflops_per_sec(freq_ghz),
+        "l2_miss_rate": stats.l2_miss_rate,
+        "l1_miss_rate": stats.l1_miss_rate,
+        "avg_vlen_bits": stats.avg_vlen_bits,
+        "vec_instrs": stats.vec_instrs,
+        "dram_fills": stats.dram_fills,
+    }

@@ -1,0 +1,120 @@
+"""Multi-core scaling extension.
+
+The paper evaluates a single core ("on a single core of A64FX") and
+names wider architectural exploration as future work.  This module adds
+the simplest faithful multi-core model on top of the single-core
+simulator: *data-parallel* convolution (the output-pixel dimension N is
+split across cores, the standard OpenMP strategy in Darknet/NNPACK),
+with two shared resources:
+
+* the L2 is shared — each core sees ``l2_size / cores`` of capacity
+  (a capacity-partitioning approximation of competitive sharing);
+* DRAM bandwidth is shared — each core sees
+  ``dram_bytes_per_cycle / cores``.
+
+Per-core work is simulated with the ordinary trace machinery on the
+reduced-N layer shapes; the slowest core bounds the layer.  This exposes
+the co-design interaction the single-core study cannot: long vectors
+push per-core bandwidth demand up, so they saturate at fewer cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..machine.config import CacheParams, MachineConfig
+from ..machine.simulator import SimStats
+from ..nets.layers import KernelPolicy
+from ..nets.network import Network
+
+__all__ = ["MulticoreResult", "machine_per_core", "simulate_multicore"]
+
+
+@dataclass(frozen=True)
+class MulticoreResult:
+    """Outcome of a multi-core simulation."""
+
+    cores: int
+    cycles: float
+    speedup_vs_1: float
+    per_core: SimStats
+
+
+def machine_per_core(machine: MachineConfig, cores: int) -> MachineConfig:
+    """The machine as seen by one of *cores* concurrently-active cores."""
+    if cores < 1:
+        raise ValueError("core count must be >= 1")
+    if cores == 1:
+        return machine
+    l2 = machine.l2
+    share = max(l2.assoc * l2.line_bytes, (l2.size_bytes // cores))
+    # Keep the geometry legal: round down to a multiple of assoc*line.
+    share -= share % (l2.assoc * l2.line_bytes)
+    return machine.with_(
+        l2=CacheParams(share, l2.assoc, l2.line_bytes, l2.latency),
+        dram_bytes_per_cycle=max(1, machine.dram_bytes_per_cycle // cores),
+    )
+
+
+def _split_network(net: Network, cores: int) -> Network:
+    """A per-core view of the network: conv layers keep their channel
+    dimensions but each core computes ~1/cores of the output pixels.
+
+    Output pixels split along the image width, so every per-core layer
+    stays a valid convolution; pooling and elementwise layers scale the
+    same way.
+    """
+    c, h, w = net.input_shape
+    # Downsampling towers need widths divisible by the network's total
+    # stride (32 for YOLOv3/VGG16-class nets); round the shard down and
+    # let the widest shard bound the barrier.
+    align = 32
+    w_share = max(align, (w // cores) // align * align)
+    return Network(net.layers, (c, h, w_share), name=f"{net.name}/core")
+
+
+def simulate_multicore(
+    net: Network,
+    machine: MachineConfig,
+    policy: KernelPolicy = KernelPolicy(),
+    cores: int = 4,
+    n_layers: Optional[int] = None,
+) -> MulticoreResult:
+    """Simulate data-parallel inference on *cores* cores.
+
+    Returns cycles for the slowest core (= the layer-barrier time) and
+    the speedup versus the same machine with one core.
+    """
+    single = net.simulate(machine, policy, n_layers=n_layers)
+    if cores == 1:
+        return MulticoreResult(1, single.cycles, 1.0, single)
+    shard = _split_network(net, cores)
+    per_core = shard.simulate(machine_per_core(machine, cores), policy, n_layers=n_layers)
+    return MulticoreResult(
+        cores=cores,
+        cycles=per_core.cycles,
+        speedup_vs_1=single.cycles / per_core.cycles,
+        per_core=per_core,
+    )
+
+
+def scaling_curve(
+    net: Network,
+    machine: MachineConfig,
+    policy: KernelPolicy = KernelPolicy(),
+    core_counts=(1, 2, 4, 8),
+    n_layers: Optional[int] = None,
+) -> List[MulticoreResult]:
+    """Speedup-vs-cores curve (used by the multicore extension bench)."""
+    return [
+        simulate_multicore(net, machine, policy, cores, n_layers)
+        for cores in core_counts
+    ]
+
+
+__all__.append("scaling_curve")
+
+# dataclasses imported for users extending MulticoreResult.
+_ = dataclasses

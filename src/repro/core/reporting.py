@@ -1,0 +1,60 @@
+"""Plain-text table/series formatting for benches and examples.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep the output uniform and readable
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "normalize"]
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] = None, title: str = "") -> str:
+    """Render dict rows as an aligned text table.
+
+    Floats are shown with 4 significant digits; column order follows
+    *columns* (default: keys of the first row).
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(v):
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    cells = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence[float], x_name: str = "x", y_name: str = "y"
+) -> str:
+    """Render one figure series as aligned ``x y`` pairs."""
+    lines = [f"series: {name} ({x_name} -> {y_name})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {str(x):>10s}  {y:.4g}")
+    return "\n".join(lines)
+
+
+def normalize(values: Sequence[float], to_index: int = 0) -> List[float]:
+    """Normalize a series to the value at *to_index* (paper-style
+    relative performance)."""
+    base = values[to_index]
+    if base == 0:
+        raise ValueError("cannot normalize to a zero baseline")
+    return [v / base for v in values]

@@ -1,0 +1,76 @@
+"""Roofline analysis of convolutional layers (paper Table IV).
+
+Computes each layer's arithmetic intensity with the paper's formula
+(Section VI-C(a)) and its sustained fraction of peak by simulating the
+optimized GEMM on the A64FX model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..kernels import trace_gemm_3loop, trace_gemm_6loop
+from ..machine.config import MachineConfig, a64fx
+from ..machine.simulator import TraceSimulator
+from ..workloads.layer_specs import TABLE4_LAYERS, Table4Row
+
+__all__ = ["RooflineRow", "arithmetic_intensity", "roofline_table"]
+
+
+@dataclass(frozen=True)
+class RooflineRow:
+    """One output row: layer id, dims, AI, simulated sustained %peak,
+    and the paper's reported numbers for comparison."""
+
+    layer: str
+    M: int
+    N: int
+    K: int
+    ai: float
+    pct_peak: float
+    ai_paper: float
+    pct_peak_paper: float
+
+
+def arithmetic_intensity(M: int, N: int, K: int) -> float:
+    """``AI = 2 M N K / (4 (M N + K N + M K))`` (Section VI-C(a))."""
+    return (2.0 * M * N * K) / (4.0 * (M * N + K * N + M * K))
+
+
+def sustained_gflops(
+    M: int, N: int, K: int, machine: MachineConfig, gemm: str = "6loop"
+) -> float:
+    """Simulated sustained GFLOP/s of one GEMM on *machine*."""
+    sim = TraceSimulator(machine)
+    a = sim.alloc("A", M * K * 4)
+    b = sim.alloc("B", K * N * 4)
+    c = sim.alloc("C", M * N * 4)
+    tracer = trace_gemm_6loop if gemm == "6loop" else trace_gemm_3loop
+    tracer(sim, M, N, K, a.base, b.base, c.base)
+    return sim.stats.gflops_per_sec(machine.core.freq_ghz)
+
+
+def roofline_table(
+    machine: Optional[MachineConfig] = None,
+    rows: Sequence[Table4Row] = TABLE4_LAYERS,
+    gemm: str = "6loop",
+) -> List[RooflineRow]:
+    """Reproduce Table IV: AI and sustained %peak per discrete layer."""
+    machine = machine or a64fx()
+    out: List[RooflineRow] = []
+    for r in rows:
+        gf = sustained_gflops(r.M, r.N, r.K, machine, gemm)
+        out.append(
+            RooflineRow(
+                layer=r.layer,
+                M=r.M,
+                N=r.N,
+                K=r.K,
+                ai=arithmetic_intensity(r.M, r.N, r.K),
+                pct_peak=100.0 * gf / machine.peak_gflops,
+                ai_paper=r.ai_paper,
+                pct_peak_paper=r.pct_peak_paper,
+            )
+        )
+    return out

@@ -1,0 +1,100 @@
+"""Per-layer convolution-algorithm selection.
+
+Section VII of the paper concludes that "convolutional layers require
+careful algorithmic selection related to the kernel sizes and strides":
+Winograd wins for 3x3 stride-1 layers (2.4x over the optimized
+im2col+GEMM), loses for 3x3 stride-2 (1.4x slower), and does not apply
+to other kernel sizes.  This module provides both the paper's static
+rule and a measurement-driven selector that simulates both algorithms
+and picks the cheaper — the co-design tool a compiler/runtime would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kernels import ConvSpec, trace_gemm_6loop, trace_im2col
+from ..kernels.winograd import trace_winograd_conv
+from ..machine.config import MachineConfig
+from ..machine.simulator import TraceSimulator
+
+__all__ = ["Choice", "paper_rule", "measured_choice", "measured_choice_all"]
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Outcome of algorithm selection for one layer."""
+
+    algorithm: str  # "winograd" or "im2col"
+    reason: str
+    gemm_cycles: Optional[float] = None
+    winograd_cycles: Optional[float] = None
+
+
+def paper_rule(spec: ConvSpec) -> Choice:
+    """The paper's final recommendation (Section VII-B): Winograd for
+    3x3 stride-1 layers, im2col+GEMM otherwise."""
+    if spec.ksize == 3 and spec.stride == 1:
+        return Choice("winograd", "3x3 stride-1: Winograd 2.4x faster (Sec. VII-A)")
+    if spec.ksize == 3 and spec.stride == 2:
+        return Choice("im2col", "3x3 stride-2: Winograd 1.4x slower (Sec. VII-A)")
+    return Choice("im2col", f"{spec.ksize}x{spec.ksize} kernel: Winograd n/a")
+
+
+def _gemm_cycles(spec: ConvSpec, machine: MachineConfig) -> float:
+    sim = TraceSimulator(machine)
+    a = sim.alloc("A", spec.M * spec.K * 4)
+    b = sim.alloc("B", spec.K * spec.N * 4)
+    c = sim.alloc("C", spec.M * spec.N * 4)
+    src = sim.alloc("x", spec.in_channels * spec.in_h * spec.in_w * 4)
+    if not (spec.ksize == 1 and spec.stride == 1 and spec.pad == 0):
+        trace_im2col(sim, spec, src.base, b.base)
+    trace_gemm_6loop(sim, spec.M, spec.N, spec.K, a.base, b.base, c.base)
+    return sim.stats.cycles
+
+
+def _winograd_cycles(spec: ConvSpec, machine: MachineConfig) -> float:
+    sim = TraceSimulator(machine)
+    trace_winograd_conv(sim, spec)
+    return sim.stats.cycles
+
+
+def measured_choice(spec: ConvSpec, machine: MachineConfig) -> Choice:
+    """Simulate both algorithms for *spec* on *machine*, pick the faster.
+
+    Falls back to im2col+GEMM when Winograd does not apply (non-3x3 or
+    stride > 2).
+    """
+    if spec.ksize != 3 or spec.stride not in (1, 2):
+        return Choice("im2col", "winograd inapplicable")
+    g = _gemm_cycles(spec, machine)
+    w = _winograd_cycles(spec, machine)
+    algo = "winograd" if w < g else "im2col"
+    return Choice(
+        algo,
+        f"measured: winograd {w:.3g} vs im2col+gemm {g:.3g} cycles",
+        gemm_cycles=g,
+        winograd_cycles=w,
+    )
+
+
+def measured_choice_all(spec: ConvSpec, machine: MachineConfig) -> dict:
+    """Extension: simulate the full algorithm landscape of Section
+    II-B(c) — im2col+GEMM, Winograd (3x3 only) and FFT — and return
+    their cycle counts plus the winner.
+
+    Completes the "no one-size-fits-all convolution implementation"
+    study: the paper implements GEMM and Winograd; FFT (best for large
+    kernels) is implemented here as the natural extension.
+    """
+    from ..kernels.fft_conv import trace_fft_conv
+
+    cycles = {"im2col": _gemm_cycles(spec, machine)}
+    if spec.ksize == 3 and spec.stride in (1, 2):
+        cycles["winograd"] = _winograd_cycles(spec, machine)
+    sim = TraceSimulator(machine)
+    trace_fft_conv(sim, spec)
+    cycles["fft"] = sim.stats.cycles
+    winner = min(cycles, key=cycles.get)
+    return {"cycles": cycles, "winner": winner}

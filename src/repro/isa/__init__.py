@@ -1,0 +1,50 @@
+"""Vector-length-agnostic ISA models (RISC-V Vector and ARM SVE).
+
+See Section II-A of the paper.  The concrete classes couple architectural
+limits (MVL, register counts, feature set) with one hardware vector
+length, and :mod:`repro.isa.intrinsics` provides the functional vector
+operations the kernels are written against.
+"""
+
+from .base import F16, F32, F64, I32, I64, ElementType, VectorISA, is_power_of_two
+from .registers import (
+    RegisterFile,
+    RegisterPressureError,
+    estimate_gemm_register_usage,
+    spill_traffic_bytes,
+)
+from .rvv import RVV, vsetvl
+from .sve import SVE, svcntw, whilelt
+
+__all__ = [
+    "ElementType",
+    "VectorISA",
+    "F16",
+    "F32",
+    "F64",
+    "I32",
+    "I64",
+    "is_power_of_two",
+    "RVV",
+    "vsetvl",
+    "SVE",
+    "svcntw",
+    "whilelt",
+    "RegisterFile",
+    "RegisterPressureError",
+    "estimate_gemm_register_usage",
+    "spill_traffic_bytes",
+]
+
+
+def make_isa(name: str, vlen_bits: int) -> VectorISA:
+    """Factory: build an ISA model by name (``"rvv"`` or ``"sve"``)."""
+    name = name.lower()
+    if name == "rvv":
+        return RVV(vlen_bits)
+    if name == "sve":
+        return SVE(vlen_bits)
+    raise ValueError(f"unknown ISA {name!r}; expected 'rvv' or 'sve'")
+
+
+__all__.append("make_isa")

@@ -1,0 +1,138 @@
+"""Base definitions for vector-length-agnostic (VLA) instruction sets.
+
+The paper targets two VLA ISAs: the RISC-V Vector extension (RVV) and the
+ARM Scalable Vector Extension (SVE).  Both expose a *maximum* vector length
+(MVL) fixed by the ISA, while the hardware implements some *vector length*
+(``vlen``) no larger than the MVL, and code queries the usable length at
+run time (``vsetvl`` on RVV, ``svcntw``/``whilelt`` on SVE).
+
+This module defines the shared vocabulary: element types, the abstract
+:class:`VectorISA`, and small helpers used by both concrete ISAs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ElementType",
+    "F16",
+    "F32",
+    "F64",
+    "I32",
+    "I64",
+    "VectorISA",
+    "is_power_of_two",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return ``True`` when *x* is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """A vector element type (SEW in RVV terminology).
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"f32"``.
+    bits:
+        Element width in bits (SEW).
+    dtype:
+        The NumPy dtype backing functional simulation of this type.
+    """
+
+    name: str
+    bits: int
+    dtype: np.dtype
+
+    @property
+    def bytes(self) -> int:
+        """Element width in bytes."""
+        return self.bits // 8
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Half-precision float (not used by the paper's kernels, supported for
+#: completeness of the ISA model).
+F16 = ElementType("f16", 16, np.dtype(np.float16))
+#: Single-precision float — the element type of every CNN kernel in the paper.
+F32 = ElementType("f32", 32, np.dtype(np.float32))
+#: Double-precision float.
+F64 = ElementType("f64", 64, np.dtype(np.float64))
+#: 32-bit signed integer (index vectors for gather/scatter).
+I32 = ElementType("i32", 32, np.dtype(np.int32))
+#: 64-bit signed integer.
+I64 = ElementType("i64", 64, np.dtype(np.int64))
+
+
+class VectorISA(abc.ABC):
+    """Abstract base class describing a VLA vector ISA implementation.
+
+    A :class:`VectorISA` instance couples the *architectural* limits of an
+    ISA (MVL, register count, feature set) with one concrete *hardware*
+    vector length ``vlen_bits``, mirroring how a VLA binary runs unchanged
+    on cores with different vector lengths.
+
+    Parameters
+    ----------
+    vlen_bits:
+        The hardware vector length in bits.  Must be legal for the ISA
+        (validated by :meth:`validate_vlen`).
+    """
+
+    #: ISA name, e.g. ``"rvv"``.
+    name: str = "abstract"
+    #: Architectural maximum vector length in bits.
+    mvl_bits: int = 0
+    #: Number of architectural vector registers.
+    num_vector_registers: int = 32
+    #: Number of predicate registers (0 when the ISA has no predication).
+    num_predicate_registers: int = 0
+    #: Whether software prefetch instructions exist in the ISA.  On RVV the
+    #: compiler drops the intrinsics entirely (paper, Section IV-A).
+    has_sw_prefetch: bool = False
+    #: Whether the ISA offers in-register interleave/transpose intrinsics.
+    #: SVE has them; RVV (at the paper's snapshot) does not, forcing the
+    #: Winograd port to bounce through memory (paper, Section VII).
+    has_register_transpose: bool = False
+
+    def __init__(self, vlen_bits: int):
+        self.validate_vlen(vlen_bits)
+        self.vlen_bits = int(vlen_bits)
+
+    # ------------------------------------------------------------------
+    # Vector-length negotiation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def validate_vlen(self, vlen_bits: int) -> None:
+        """Raise :class:`ValueError` if *vlen_bits* is illegal for the ISA."""
+
+    @abc.abstractmethod
+    def grant_vl(self, requested_elems: int, etype: ElementType) -> int:
+        """Return the *granted* vector length in elements.
+
+        Models ``vsetvl`` (RVV) or ``whilelt`` predication (SVE): given a
+        request of ``requested_elems`` remaining elements, return how many
+        lanes the next vector instruction will process.
+        """
+
+    def max_elems(self, etype: ElementType) -> int:
+        """Maximum number of *etype* elements per vector register."""
+        return self.vlen_bits // etype.bits
+
+    @property
+    def vlen_bytes(self) -> int:
+        """Hardware vector length in bytes."""
+        return self.vlen_bits // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(vlen_bits={self.vlen_bits})"

@@ -1,0 +1,167 @@
+"""Functional (NumPy-backed) vector intrinsics.
+
+The paper's kernels are written in C with low-level intrinsics (EPI
+builtins on RVV, ACLE on SVE).  This module provides the same vocabulary
+as plain functions over flat NumPy arrays, so the Python kernels in
+:mod:`repro.kernels` can be written loop-for-loop like the paper's
+pseudocode (Figs. 1-4) while remaining numerically testable.
+
+Conventions
+-----------
+* "memory" is a flat, 1-D :class:`numpy.ndarray`; offsets are in
+  *elements*, not bytes (the byte<->element mapping is the timing
+  simulator's concern).
+* Loads return fresh arrays (a vector register is a copy of memory, not a
+  view); stores write back explicitly.  This mirrors actual register
+  semantics and avoids accidental aliasing bugs in kernels.
+* Every operation takes ``gvl`` — the granted vector length — and touches
+  exactly ``gvl`` lanes, like predicated/VL-trimmed hardware ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "vle",
+    "vlse",
+    "vse",
+    "vsse",
+    "vgather",
+    "vscatter",
+    "vbroadcast",
+    "vfmacc",
+    "vfmacc_vv",
+    "vfmul",
+    "vfadd",
+    "vfsub",
+    "vfmax",
+    "vle_masked",
+    "vse_masked",
+]
+
+
+def _check_gvl(gvl: int) -> None:
+    if gvl < 0:
+        raise ValueError(f"gvl must be non-negative, got {gvl}")
+
+
+# ----------------------------------------------------------------------
+# Memory ops
+# ----------------------------------------------------------------------
+
+def vle(mem: np.ndarray, off: int, gvl: int) -> np.ndarray:
+    """Unit-stride vector load of ``gvl`` elements starting at *off*."""
+    _check_gvl(gvl)
+    return np.array(mem[off : off + gvl], copy=True)
+
+
+def vlse(mem: np.ndarray, off: int, stride: int, gvl: int) -> np.ndarray:
+    """Strided vector load: elements ``mem[off + i*stride]``."""
+    _check_gvl(gvl)
+    if stride == 0:
+        return np.full(gvl, mem[off], dtype=mem.dtype)
+    return np.array(mem[off : off + gvl * stride : stride], copy=True)
+
+
+def vse(vec: np.ndarray, mem: np.ndarray, off: int, gvl: int) -> None:
+    """Unit-stride vector store of the first ``gvl`` lanes of *vec*."""
+    _check_gvl(gvl)
+    mem[off : off + gvl] = vec[:gvl]
+
+
+def vsse(vec: np.ndarray, mem: np.ndarray, off: int, stride: int, gvl: int) -> None:
+    """Strided vector store: ``mem[off + i*stride] = vec[i]``."""
+    _check_gvl(gvl)
+    mem[off : off + gvl * stride : stride] = vec[:gvl]
+
+
+def vgather(mem: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Gather load: ``out[i] = mem[idx[i]]`` (indices in elements)."""
+    return np.array(mem[idx], copy=True)
+
+
+def vscatter(vec: np.ndarray, mem: np.ndarray, idx: np.ndarray) -> None:
+    """Scatter store: ``mem[idx[i]] = vec[i]``."""
+    mem[idx] = vec[: len(idx)]
+
+
+def vle_masked(
+    mem: np.ndarray, off: int, pred: np.ndarray, fill: float = 0.0
+) -> np.ndarray:
+    """SVE-style predicated load: inactive lanes read as *fill*.
+
+    ``pred`` is a boolean mask over the register's lanes (see
+    :func:`repro.isa.sve.whilelt`).
+    """
+    lanes = len(pred)
+    out = np.full(lanes, fill, dtype=mem.dtype)
+    n_active = int(pred.sum())
+    # whilelt predicates are contiguous from lane 0; general masks are
+    # honoured lane-by-lane.
+    if n_active and pred[:n_active].all():
+        out[:n_active] = mem[off : off + n_active]
+    else:
+        active = np.flatnonzero(pred)
+        out[active] = mem[off + active]
+    return out
+
+
+def vse_masked(vec: np.ndarray, mem: np.ndarray, off: int, pred: np.ndarray) -> None:
+    """SVE-style predicated store: only active lanes are written."""
+    active = np.flatnonzero(pred)
+    mem[off + active] = vec[active]
+
+
+# ----------------------------------------------------------------------
+# Arithmetic ops
+# ----------------------------------------------------------------------
+
+def vbroadcast(x: float, gvl: int, dtype=np.float32) -> np.ndarray:
+    """Broadcast a scalar into a vector register (``vfmv.v.f``/``svdup``)."""
+    _check_gvl(gvl)
+    return np.full(gvl, x, dtype=dtype)
+
+
+def vfmacc(acc: np.ndarray, scalar: float, vec: np.ndarray, gvl: int) -> np.ndarray:
+    """Vector-scalar fused multiply-accumulate: ``acc += scalar * vec``.
+
+    This is the ``vfmacc``/``svmla`` at the heart of the paper's GEMM
+    micro-kernel (Fig. 2 line 11, Fig. 3 line 21).  Updates *acc* in place
+    and returns it.  The scalar operand is converted to the accumulator's
+    element type, as the hardware instruction would.
+    """
+    _check_gvl(gvl)
+    acc[:gvl] += acc.dtype.type(scalar) * vec[:gvl]
+    return acc
+
+
+def vfmacc_vv(acc: np.ndarray, a: np.ndarray, b: np.ndarray, gvl: int) -> np.ndarray:
+    """Vector-vector FMA: ``acc += a * b`` (Winograd tuple multiply)."""
+    _check_gvl(gvl)
+    acc[:gvl] += a[:gvl] * b[:gvl]
+    return acc
+
+
+def vfmul(a: np.ndarray, b, gvl: int) -> np.ndarray:
+    """Elementwise multiply; *b* may be a vector or scalar."""
+    _check_gvl(gvl)
+    return a[:gvl] * b if np.isscalar(b) else a[:gvl] * b[:gvl]
+
+
+def vfadd(a: np.ndarray, b, gvl: int) -> np.ndarray:
+    """Elementwise add; *b* may be a vector or scalar."""
+    _check_gvl(gvl)
+    return a[:gvl] + b if np.isscalar(b) else a[:gvl] + b[:gvl]
+
+
+def vfsub(a: np.ndarray, b, gvl: int) -> np.ndarray:
+    """Elementwise subtract; *b* may be a vector or scalar."""
+    _check_gvl(gvl)
+    return a[:gvl] - b if np.isscalar(b) else a[:gvl] - b[:gvl]
+
+
+def vfmax(a: np.ndarray, b, gvl: int) -> np.ndarray:
+    """Elementwise maximum (used by the vectorized ReLU/leaky activate)."""
+    _check_gvl(gvl)
+    return np.maximum(a[:gvl], b if np.isscalar(b) else b[:gvl])

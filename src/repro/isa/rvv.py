@@ -1,0 +1,83 @@
+"""RISC-V Vector extension (RVV) ISA model.
+
+Mirrors the description in Section II-A(a) of the paper:
+
+* 32 vector registers, maximum supported vector length (MVL) of 16384 bits;
+* ``vlen`` can be any power of two up to the MVL;
+* ``vsetvl`` negotiates the granted vector length (``gvl``) at run time
+  from the requested length (``rvl``) and the element width (``sew``);
+* strided, gather-load and scatter-store operations are available;
+* software prefetch intrinsics are silently dropped by the compiler, and
+  there are (at the paper's snapshot) no in-register transpose intrinsics.
+"""
+
+from __future__ import annotations
+
+from .base import ElementType, VectorISA, is_power_of_two
+
+__all__ = ["RVV", "vsetvl"]
+
+
+class RVV(VectorISA):
+    """The RISC-V Vector extension at one hardware vector length.
+
+    Examples
+    --------
+    >>> from repro.isa import RVV, F32
+    >>> isa = RVV(vlen_bits=16384)
+    >>> isa.max_elems(F32)
+    512
+    >>> isa.grant_vl(100, F32)   # tail shorter than a full register
+    100
+    """
+
+    name = "rvv"
+    mvl_bits = 16384
+    num_vector_registers = 32
+    num_predicate_registers = 0
+    has_sw_prefetch = False
+    has_register_transpose = False
+
+    def validate_vlen(self, vlen_bits: int) -> None:
+        if not is_power_of_two(vlen_bits):
+            raise ValueError(
+                f"RVV vlen must be a power of two, got {vlen_bits}"
+            )
+        if vlen_bits < 64:
+            raise ValueError(f"RVV vlen must be at least 64 bits, got {vlen_bits}")
+        if vlen_bits > self.mvl_bits:
+            raise ValueError(
+                f"RVV vlen {vlen_bits} exceeds the architectural MVL "
+                f"{self.mvl_bits}"
+            )
+
+    def grant_vl(self, requested_elems: int, etype: ElementType) -> int:
+        """``vsetvl``: grant ``min(rvl, vlen/sew)`` elements.
+
+        The real instruction may grant fewer than the maximum for odd
+        requests; like the EPI toolchain used in the paper we model the
+        common ``gvl = min(rvl, VLMAX)`` behaviour.
+        """
+        if requested_elems < 0:
+            raise ValueError("requested element count must be non-negative")
+        return min(requested_elems, self.max_elems(etype))
+
+
+def vsetvl(isa: RVV, rvl: int, etype: ElementType) -> int:
+    """Free-function spelling of the ``vsetvl`` intrinsic (paper Fig. 2, l. 4).
+
+    Parameters
+    ----------
+    isa:
+        The :class:`RVV` instance describing the hardware vector length.
+    rvl:
+        Requested vector length in elements (remaining trip count).
+    etype:
+        Element type, supplying the SEW.
+
+    Returns
+    -------
+    int
+        The granted vector length ``gvl`` in elements.
+    """
+    return isa.grant_vl(rvl, etype)

@@ -1,0 +1,83 @@
+"""ARM Scalable Vector Extension (SVE) ISA model.
+
+Mirrors the description in Section II-A(b) of the paper:
+
+* 32 vector registers and 16 predicate registers;
+* MVL of 2048 bits, hardware lengths from 128 to 2048 bits in increments
+  of 128 bits;
+* per-lane predication: loop tails are handled by ``whilelt``-style
+  predicates masking out inactive lanes rather than a scalar tail loop;
+* gather-load / scatter-store available;
+* software prefetch (``svprfw``-style) instructions exist, and tuple
+  create/transpose intrinsics exist (used by the paper's Winograd port).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ElementType, F32, VectorISA
+
+__all__ = ["SVE", "svcntw", "whilelt"]
+
+
+class SVE(VectorISA):
+    """The ARM SVE ISA at one hardware vector length.
+
+    Examples
+    --------
+    >>> from repro.isa import SVE, F32
+    >>> isa = SVE(vlen_bits=512)
+    >>> isa.max_elems(F32)      # svcntw()
+    16
+    >>> isa.grant_vl(7, F32)    # whilelt keeps 7 active lanes
+    7
+    """
+
+    name = "sve"
+    mvl_bits = 2048
+    num_vector_registers = 32
+    num_predicate_registers = 16
+    has_sw_prefetch = True
+    has_register_transpose = True
+
+    #: SVE hardware lengths are multiples of this granule.
+    granule_bits = 128
+
+    def validate_vlen(self, vlen_bits: int) -> None:
+        if vlen_bits % self.granule_bits != 0:
+            raise ValueError(
+                f"SVE vlen must be a multiple of {self.granule_bits} bits, "
+                f"got {vlen_bits}"
+            )
+        if not (self.granule_bits <= vlen_bits <= self.mvl_bits):
+            raise ValueError(
+                f"SVE vlen must lie in [{self.granule_bits}, {self.mvl_bits}] "
+                f"bits, got {vlen_bits}"
+            )
+
+    def grant_vl(self, requested_elems: int, etype: ElementType) -> int:
+        """Number of active lanes under a ``whilelt`` predicate."""
+        if requested_elems < 0:
+            raise ValueError("requested element count must be non-negative")
+        return min(requested_elems, self.max_elems(etype))
+
+
+def svcntw(isa: SVE) -> int:
+    """``svcntw()``: number of 32-bit lanes in a vector register.
+
+    This is the intrinsic the paper's Winograd inter-tile scheme uses to
+    derive ``interchannels = VL / elements`` (Fig. 4, lines 3-4).
+    """
+    return isa.max_elems(F32)
+
+
+def whilelt(isa: SVE, start: int, bound: int, etype: ElementType = F32) -> np.ndarray:
+    """``whilelt``: build a loop predicate for lanes ``start .. bound``.
+
+    Returns a boolean mask with one entry per lane of a vector register of
+    *etype* elements; lane *i* is active when ``start + i < bound``.
+    """
+    lanes = isa.max_elems(etype)
+    idx = start + np.arange(lanes)
+    return idx < bound

@@ -1,0 +1,58 @@
+"""Convolutional-layer kernels (functional + timing traces).
+
+Every kernel the paper's convolutional layer uses (Section II-B):
+im2col, the three GEMM variants (naive / optimized 3-loop / BLIS-like
+6-loop), the elementwise kernels, the Winograd algorithm, and the direct
+convolution oracle.  Each kernel exposes a functional NumPy path (tested
+against oracles) and a ``trace_*`` path replaying its instruction stream
+on :class:`repro.machine.TraceSimulator`.
+"""
+
+from .convspec import ConvSpec
+from .direct import direct_conv2d
+from .fft_conv import fft_conv2d, fft_plan_size, trace_fft_conv
+from .elementwise import (
+    activate_array,
+    add_bias,
+    copy_cpu,
+    fill_cpu,
+    normalize_cpu,
+    scale_bias,
+    trace_stream_kernel,
+)
+from .gemm_3loop import DEFAULT_UNROLL, gemm_3loop, trace_gemm_3loop
+from .gemm_6loop import PAPER_BLOCK_SIZES, BlockSizes, gemm_6loop, trace_gemm_6loop
+from .gemm_naive import gemm_naive, trace_gemm_naive
+from .im2col import col2im, im2col, trace_im2col
+from .packing import pack_a_panels, pack_b_panels, trace_pack_a, trace_pack_b
+
+__all__ = [
+    "ConvSpec",
+    "fft_conv2d",
+    "fft_plan_size",
+    "trace_fft_conv",
+    "direct_conv2d",
+    "activate_array",
+    "add_bias",
+    "copy_cpu",
+    "fill_cpu",
+    "normalize_cpu",
+    "scale_bias",
+    "trace_stream_kernel",
+    "DEFAULT_UNROLL",
+    "gemm_3loop",
+    "trace_gemm_3loop",
+    "PAPER_BLOCK_SIZES",
+    "BlockSizes",
+    "gemm_6loop",
+    "trace_gemm_6loop",
+    "gemm_naive",
+    "trace_gemm_naive",
+    "col2im",
+    "im2col",
+    "trace_im2col",
+    "pack_a_panels",
+    "pack_b_panels",
+    "trace_pack_a",
+    "trace_pack_b",
+]

@@ -1,0 +1,95 @@
+"""Convolutional-layer shape specification.
+
+Shared vocabulary between the functional kernels, the timing traces, the
+network framework and the roofline analysis.  Follows Section IV-A of the
+paper: a convolutional layer with an ``k x k`` kernel over an input of
+``c`` channels and spatial size ``h x w`` with ``n`` filters maps to a
+GEMM with ``M = n``, ``K = k*k*c`` and ``N = out_h * out_w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConvSpec"]
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Shape and hyper-parameters of one convolutional layer."""
+
+    in_channels: int
+    in_h: int
+    in_w: int
+    out_channels: int
+    ksize: int = 3
+    stride: int = 1
+    pad: int = 1
+
+    def __post_init__(self):
+        for f in ("in_channels", "in_h", "in_w", "out_channels", "ksize", "stride"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+        if self.pad < 0:
+            raise ValueError("pad must be non-negative")
+
+    # -- output geometry ------------------------------------------------
+    @property
+    def out_h(self) -> int:
+        """Output height (Darknet convention: floor division)."""
+        return (self.in_h + 2 * self.pad - self.ksize) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        """Output width."""
+        return (self.in_w + 2 * self.pad - self.ksize) // self.stride + 1
+
+    # -- GEMM view (paper Section IV-A) ---------------------------------
+    @property
+    def M(self) -> int:
+        """GEMM M: number of filters."""
+        return self.out_channels
+
+    @property
+    def K(self) -> int:
+        """GEMM K: ``ksize * ksize * in_channels``."""
+        return self.ksize * self.ksize * self.in_channels
+
+    @property
+    def N(self) -> int:
+        """GEMM N: output pixels ``out_h * out_w``."""
+        return self.out_h * self.out_w
+
+    # -- work/footprint metrics -----------------------------------------
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the layer (= M*N*K)."""
+        return self.M * self.N * self.K
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    def arithmetic_intensity(self) -> float:
+        """AI of the GEMM as defined in Section VI-C(a) of the paper:
+
+        ``AI = 2*M*N*K / (4 * (M*N + K*N + M*K))`` — flops over the bytes
+        of the three f32 matrices.
+        """
+        m, n, k = self.M, self.N, self.K
+        return (2.0 * m * n * k) / (4.0 * (m * n + k * n + m * k))
+
+    @property
+    def winograd_eligible(self) -> bool:
+        """Whether the paper's Winograd path applies (3x3 kernels;
+        Section VII uses it for stride 1 and 2)."""
+        return self.ksize == 3
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"conv {self.in_channels}x{self.in_h}x{self.in_w} -> "
+            f"{self.out_channels}x{self.out_h}x{self.out_w} "
+            f"k{self.ksize}s{self.stride}p{self.pad} "
+            f"[M={self.M} N={self.N} K={self.K}]"
+        )

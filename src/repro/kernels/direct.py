@@ -1,0 +1,41 @@
+"""Direct convolution — the correctness oracle.
+
+A straightforward (but NumPy-vectorized) implementation of 2-D
+cross-correlation with zero padding, used to validate im2col+GEMM and
+Winograd.  Mentioned in Section II-B(c) of the paper as the algorithm of
+choice for 1x1 kernels; here it primarily anchors numerical tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convspec import ConvSpec
+
+__all__ = ["direct_conv2d"]
+
+
+def direct_conv2d(x: np.ndarray, weights: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Direct convolution of ``x (C,H,W)`` with ``weights (F,C,k,k)``.
+
+    Returns the ``(F, out_h, out_w)`` activation in float32, computing in
+    float64 internally for a tight oracle.
+    """
+    c, h, w = x.shape
+    f, cw, kh, kw = weights.shape
+    if (c, h, w) != (spec.in_channels, spec.in_h, spec.in_w):
+        raise ValueError("input does not match spec")
+    if cw != c or kh != spec.ksize or kw != spec.ksize or f != spec.out_channels:
+        raise ValueError("weights do not match spec")
+
+    k, s, p = spec.ksize, spec.stride, spec.pad
+    xp = np.zeros((c, h + 2 * p, w + 2 * p), dtype=np.float64)
+    xp[:, p : p + h, p : p + w] = x
+    out = np.zeros((f, spec.out_h, spec.out_w), dtype=np.float64)
+    w64 = weights.astype(np.float64)
+    for ky in range(k):
+        for kx in range(k):
+            patch = xp[:, ky : ky + s * spec.out_h : s, kx : kx + s * spec.out_w : s]
+            # (F,C) x (C, oh*ow) accumulated per tap.
+            out += np.tensordot(w64[:, :, ky, kx], patch, axes=(1, 0))
+    return out.astype(np.float32)

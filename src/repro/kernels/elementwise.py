@@ -1,0 +1,142 @@
+"""Elementwise kernels of the Darknet convolutional layer.
+
+Section II-B: a convolutional layer in Darknet is built from GEMM,
+im2col, ``fill_cpu``, ``copy_cpu``, ``normalize_cpu``, ``add_bias``,
+``scale_bias`` and ``activate_array``.  The paper vectorizes *all* of
+them (Section IV-A: "we begin by vectorizing all kernels of the
+convolutional layer"); the compiler fails on normalization/activation,
+which are vectorized manually (Section VI-C).
+
+Each kernel has a functional NumPy path (exact Darknet semantics) and a
+``trace_*`` path replaying its streaming memory behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.simulator import TraceSimulator
+
+__all__ = [
+    "fill_cpu",
+    "copy_cpu",
+    "add_bias",
+    "scale_bias",
+    "normalize_cpu",
+    "activate_array",
+    "trace_stream_kernel",
+]
+
+
+def fill_cpu(x: np.ndarray, value: float) -> np.ndarray:
+    """``fill_cpu``: set every element to *value* (in place)."""
+    x[...] = value
+    return x
+
+
+def copy_cpu(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """``copy_cpu``: elementwise copy into *dst* (in place)."""
+    if src.shape != dst.shape:
+        raise ValueError(f"shape mismatch {src.shape} vs {dst.shape}")
+    dst[...] = src
+    return dst
+
+
+def add_bias(x: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """``add_bias``: per-channel bias over a ``(C, ...)`` activation."""
+    if bias.shape[0] != x.shape[0]:
+        raise ValueError("bias length must equal the channel count")
+    x += bias.reshape((-1,) + (1,) * (x.ndim - 1))
+    return x
+
+
+def scale_bias(x: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """``scale_bias``: per-channel scale (batch-norm gamma)."""
+    if scales.shape[0] != x.shape[0]:
+        raise ValueError("scales length must equal the channel count")
+    x *= scales.reshape((-1,) + (1,) * (x.ndim - 1))
+    return x
+
+
+def normalize_cpu(
+    x: np.ndarray, mean: np.ndarray, variance: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """``normalize_cpu``: per-channel batch-norm normalization.
+
+    Darknet: ``x = (x - mean) / sqrt(variance + eps)`` with ``.000001f``.
+    """
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    x -= mean.reshape(shape)
+    x /= np.sqrt(variance.reshape(shape) + np.float32(eps))
+    return x
+
+
+def activate_array(x: np.ndarray, activation: str = "leaky") -> np.ndarray:
+    """``activate_array``: elementwise activation (in place).
+
+    Supports the activations of the paper's networks: ``leaky`` (YOLOv3
+    convs), ``relu`` (VGG16), ``linear`` and ``logistic`` (YOLO heads).
+    """
+    if activation == "linear":
+        return x
+    if activation == "leaky":
+        np.multiply(x, np.float32(0.1), out=x, where=x < 0)
+        return x
+    if activation == "relu":
+        np.maximum(x, 0, out=x)
+        return x
+    if activation == "logistic":
+        np.negative(x, out=x)
+        # Large negative inputs overflow exp to inf; 1/(1+inf) = 0 is the
+        # correct saturated value, so the warning is suppressed.
+        with np.errstate(over="ignore"):
+            np.exp(x, out=x)
+        x += np.float32(1)
+        np.reciprocal(x, out=x)
+        return x
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+# ----------------------------------------------------------------------
+# Timing traces
+# ----------------------------------------------------------------------
+
+def trace_stream_kernel(
+    sim: TraceSimulator,
+    label: str,
+    n_elems: int,
+    base_in: int,
+    base_out: int = -1,
+    reads: int = 1,
+    writes: int = 1,
+    arith_per_elem: float = 1.0,
+) -> None:
+    """Replay a streaming elementwise kernel.
+
+    All the elementwise kernels above share one memory shape: read
+    ``reads`` streams, write ``writes`` streams, a few vector arithmetic
+    ops per element.  ``base_out < 0`` means in-place on ``base_in``.
+    """
+    if n_elems <= 0:
+        return
+    vl = sim.machine.vlen_f32
+    out = base_in if base_out < 0 else base_out
+    n_chunks = -(-n_elems // vl)
+    with sim.kernel(label):
+        for jc in sim.loop(n_chunks, warmup=1, sample=4):
+            j = jc * vl
+            gvl = min(vl, n_elems - j)
+            sim.scalar(3)
+            for _ in range(reads):
+                sim.vload(base_in + j * 4, gvl)
+            if arith_per_elem > 0:
+                sim.varith(gvl, max(1, round(arith_per_elem)), flops_per_elem=1.0)
+            for _ in range(writes):
+                sim.vstore(out + j * 4, gvl)
+    # The full buffers just streamed through the cache; whether later
+    # kernels re-hit them is a pure capacity question (see
+    # MemoryHierarchy.note_resident_range).
+    if reads:
+        sim.hierarchy.note_resident_range(base_in, n_elems * 4)
+    if writes:
+        sim.hierarchy.note_resident_range(out, n_elems * 4)

@@ -1,0 +1,143 @@
+"""FFT-based convolution.
+
+Section II-B(c) of the paper surveys the convolution-algorithm
+landscape: "Winograd works best with convolutional layers with 3x3 or
+5x5 kernel sizes, FFT works best with layers with large kernel sizes,
+while the Direct algorithm is better for 1x1 kernel sizes."  The paper
+optimizes im2col+GEMM and Winograd; this module completes the landscape
+with the FFT algorithm, so the algorithm-selection study can cover all
+three (an extension bench compares them across kernel sizes).
+
+Functional path: per-channel 2-D real FFTs, pointwise complex
+multiply-accumulate across input channels, inverse FFT — mathematically
+exact circular convolution on zero-padded planes, cropped to the valid
+window.  Trace path: the FFT butterflies and the pointwise stage
+replayed as vector work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..machine.simulator import TraceSimulator
+from .convspec import ConvSpec
+
+__all__ = ["fft_conv2d", "trace_fft_conv", "fft_plan_size"]
+
+
+def fft_plan_size(spec: ConvSpec) -> int:
+    """FFT plane size: input+pad rounded up to the next power of two.
+
+    Linear convolution via circular convolution needs at least
+    ``in + k - 1`` points per axis.
+    """
+    need = max(spec.in_h, spec.in_w) + 2 * spec.pad + spec.ksize - 1
+    return 1 << (need - 1).bit_length()
+
+
+def fft_conv2d(x: np.ndarray, weights: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """FFT convolution of ``x (C,H,W)`` with ``weights (F,C,k,k)``.
+
+    Numerically equivalent to direct cross-correlation (within fp
+    rounding of the transforms), any kernel size, any stride.
+    """
+    c, h, w = x.shape
+    f = weights.shape[0]
+    if (c, h, w) != (spec.in_channels, spec.in_h, spec.in_w) or f != spec.out_channels:
+        raise ValueError("input/weights do not match spec")
+    if weights.shape[2] != spec.ksize or weights.shape[3] != spec.ksize:
+        raise ValueError("weights do not match spec kernel size")
+
+    n = fft_plan_size(spec)
+    p, k = spec.pad, spec.ksize
+
+    xp = np.zeros((c, n, n), dtype=np.float64)
+    xp[:, p : p + h, p : p + w] = x
+    # Cross-correlation = convolution with the flipped kernel; flipping
+    # here lets us use plain FFT products.
+    wf = np.zeros((f, c, n, n), dtype=np.float64)
+    wf[:, :, :k, :k] = weights[:, :, ::-1, ::-1]
+
+    fx = np.fft.rfft2(xp)  # (C, n, n//2+1)
+    fw = np.fft.rfft2(wf)  # (F, C, n, n//2+1)
+    fy = np.einsum("fcij,cij->fij", fw, fx, optimize=True)
+    y = np.fft.irfft2(fy, s=(n, n))  # (F, n, n)
+    # Valid cross-correlation outputs start at offset k-1 after flip.
+    out = y[:, k - 1 : k - 1 + spec.out_h * spec.stride : spec.stride,
+            k - 1 : k - 1 + spec.out_w * spec.stride : spec.stride]
+    return np.ascontiguousarray(out).astype(np.float32)
+
+
+def trace_fft_conv(
+    sim: TraceSimulator,
+    spec: ConvSpec,
+    include_weight_fft: bool = False,
+) -> None:
+    """Replay the FFT convolution on the timing simulator.
+
+    Work model: a 2-D FFT of an ``n x n`` plane is ``2n`` length-``n``
+    1-D FFTs of ``5 n log2 n`` flops each, vectorized across rows (the
+    standard vector-machine formulation: each butterfly stage processes
+    whole columns with unit-stride vector ops).  The pointwise stage is
+    a complex multiply-accumulate over channels per frequency bin.
+    Weight FFTs are offline for inference unless *include_weight_fft*.
+    """
+    n = fft_plan_size(spec)
+    c, f = spec.in_channels, spec.out_channels
+    vl = sim.machine.vlen_f32
+    bins = n * (n // 2 + 1)  # rfft2 output bins per plane
+    stages = max(1, int(math.log2(n)))
+
+    xbuf = sim.alloc("fft_x", c * n * n * 8)
+    wbuf = sim.alloc("fft_w", f * c * bins * 8)
+    ybuf = sim.alloc("fft_y", f * bins * 8)
+    out = sim.alloc("fft_out", f * spec.out_h * spec.out_w * 4)
+
+    def _plane_fft(base: int, label: str, n_planes: int) -> None:
+        """One batch of 2-D FFTs: 2*n vector passes per plane per axis."""
+        with sim.kernel(label):
+            for _plane in sim.loop(n_planes, warmup=1, sample=3):
+                for _axis in range(2):
+                    for _stage in sim.loop(stages, warmup=1, sample=3):
+                        # Each stage streams the whole plane: n rows of n
+                        # complex elements, with ~10 flops per point.
+                        n_chunks = -(-n // vl)
+                        for row in sim.loop(n, warmup=1, sample=3):
+                            addr = base + (row * n) * 8
+                            for ch in range(min(n_chunks, 4)):
+                                gvl = min(vl, n - ch * vl)
+                                sim.vload(addr + ch * vl * 8, gvl, ew=8)
+                                sim.varith(gvl, 3, flops_per_elem=10 / 3)
+                                sim.vstore(addr + ch * vl * 8, gvl, ew=8)
+
+    _plane_fft(xbuf.base, "fft_forward", c)
+    if include_weight_fft:
+        _plane_fft(wbuf.base, "fft_weights", f * c)
+    with sim.kernel("fft_pointwise"):
+        # Complex MAC over channels per (f, bin): 8 flops per bin.
+        sim.hierarchy.note_resident_range(wbuf.base, wbuf.nbytes)
+        n_chunks = -(-bins // vl)
+        for fi in sim.loop(f, warmup=1, sample=4):
+            for ci in sim.loop(c, warmup=1, sample=4):
+                w_base = wbuf.base + ((fi * c + ci) * bins) * 8
+                x_base = xbuf.base + (ci * bins) * 8
+                y_base = ybuf.base + (fi * bins) * 8
+                for ch in sim.loop(n_chunks, warmup=1, sample=4):
+                    gvl = min(vl, bins - ch * vl)
+                    sim.vload(w_base + ch * vl * 8, gvl, ew=8)
+                    sim.vload(x_base + ch * vl * 8, gvl, ew=8)
+                    sim.vload(y_base + ch * vl * 8, gvl, ew=8)
+                    sim.varith(gvl, 4)
+                    sim.vstore(y_base + ch * vl * 8, gvl, ew=8)
+    _plane_fft(ybuf.base, "fft_inverse", f)
+    with sim.kernel("fft_crop"):
+        n_out = f * spec.out_h * spec.out_w
+        for ch in sim.loop(-(-n_out // vl), warmup=1, sample=4):
+            gvl = min(vl, n_out - ch * vl)
+            if spec.stride == 1:
+                sim.vload(ybuf.base + ch * vl * 8, gvl, ew=8)
+            else:
+                sim.vgather(ybuf.base, gvl, span_bytes=gvl * spec.stride * 8, ew=8)
+            sim.vstore(out.base + ch * vl * 4, gvl)

@@ -1,0 +1,138 @@
+"""Optimized 3-loop GEMM (paper Fig. 2).
+
+The paper's first optimized GEMM: manual vectorization with intrinsics,
+contiguous vector loads/stores, loop reorder (j outermost, strip-mined by
+the granted vector length) and loop unrolling over rows of C (unroll
+factor 16, tuned in Section VI-A to avoid register spilling).
+
+``C += alpha * A @ B`` with A: MxK, B: KxN, C: MxN, all float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import F32, RegisterFile, VectorISA
+from ..isa.intrinsics import vfmacc, vle, vse
+from ..machine.simulator import TraceSimulator
+
+__all__ = ["DEFAULT_UNROLL", "gemm_3loop", "trace_gemm_3loop"]
+
+#: Section VI-A: no gain beyond 16 registers; 32 spills (~15 % drop).
+DEFAULT_UNROLL = 16
+
+
+def gemm_3loop(
+    isa: VectorISA,
+    alpha: float,
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    unroll: int = DEFAULT_UNROLL,
+    regfile: RegisterFile = None,
+) -> np.ndarray:
+    """Functional 3-loop GEMM, loop-for-loop after Fig. 2.
+
+    Strip-mines the j (column) loop by the granted vector length, keeps
+    ``unroll`` accumulator registers of C live across the k loop, and
+    uses vector-scalar FMA.  Updates *C* in place and returns it.
+
+    Pass a :class:`~repro.isa.RegisterFile` to record register pressure
+    (an unroll of 32 overflows the 32 architectural registers).
+    """
+    M, K = A.shape
+    K2, N = B.shape
+    if K2 != K or C.shape != (M, N):
+        raise ValueError(f"shape mismatch: A{A.shape} B{B.shape} C{C.shape}")
+    if unroll < 1:
+        raise ValueError("unroll must be >= 1")
+    alpha = np.float32(alpha)
+    Bf = B.reshape(-1)
+    Cf = C.reshape(-1)
+    rf = regfile
+
+    j = 0
+    while j < N:
+        gvl = isa.grant_vl(N - j, F32)  # vsetvl (Fig. 2 line 4)
+        i = 0
+        while i < M:
+            u = min(unroll, M - i)
+            if rf is not None:
+                for r in range(u):
+                    rf.alloc(f"vc{r}")
+                rf.alloc("vb")
+                rf.alloc("vaalpha")
+                rf.alloc("vtmp")
+            # Load C rows into accumulator registers (Fig. 2 line 6).
+            acc = [vle(Cf, (i + r) * N + j, gvl) for r in range(u)]
+            for k in range(K):
+                vb = vle(Bf, k * N + j, gvl)  # line 8
+                for r in range(u):
+                    a_alpha = alpha * A[i + r, k]  # line 9 (skipped if 1)
+                    vfmacc(acc[r], a_alpha, vb, gvl)  # line 11
+            for r in range(u):
+                vse(acc[r], Cf, (i + r) * N + j, gvl)  # line 13
+            if rf is not None:
+                rf.free_all()
+            i += u
+        j += gvl
+    return C
+
+
+def trace_gemm_3loop(
+    sim: TraceSimulator,
+    M: int,
+    N: int,
+    K: int,
+    a_base: int,
+    b_base: int,
+    c_base: int,
+    unroll: int = DEFAULT_UNROLL,
+    alpha_is_one: bool = True,
+    jb_sample: int = 6,
+    ig_sample: int = 4,
+) -> None:
+    """Replay the 3-loop GEMM's instruction stream on the simulator.
+
+    Addressing is exact: the inner loop streams row segments
+    ``B[k, j:j+gvl]`` whose starts are ``4*N`` bytes apart — the scattered
+    row-stream pattern that (a) inflates L2 pressure as the vector length
+    grows (Table III) and (b) defeats the A64FX stream prefetcher,
+    motivating the 6-loop packing (Section VI-C).
+
+    The j and i loops are sampled (periodic, disjoint panels); the k loop
+    runs in full so cache capacity pressure is real.
+    """
+    vl = sim.machine.vlen_f32
+    line_elems = sim.machine.l1.line_bytes // 4
+    spilled = max(0, unroll + 3 - 32)  # accumulators + vb/vaalpha/tmp
+    n_jblocks = -(-N // vl)
+    n_igroups = -(-M // unroll)
+    with sim.kernel("gemm"):
+        # The weight matrix is re-streamed every j-block; re-reads hit
+        # iff it fits in the L2 (capacity, not line, question).
+        sim.hierarchy.note_resident_range(a_base, M * K * 4)
+        for jb in sim.loop(n_jblocks, warmup=2, sample=jb_sample):
+            j = jb * vl
+            gvl = min(vl, N - j)
+            sim.scalar(4)  # vsetvl + j-loop bookkeeping
+            for ig in sim.loop(n_igroups, warmup=1, sample=ig_sample):
+                i = ig * unroll
+                u = min(unroll, M - i)
+                sim.scalar(3)
+                for r in range(u):  # load C accumulators
+                    sim.vload(c_base + ((i + r) * N + j) * 4, gvl)
+                for k in range(K):
+                    sim.vload(b_base + (k * N + j) * 4, gvl)
+                    if k % line_elems == 0:
+                        # Scalar A operands stream at 4-byte stride: one
+                        # new line per row every line_elems iterations.
+                        for r in range(u):
+                            sim.scalar_load(a_base + ((i + r) * K + k) * 4)
+                    # u vector-scalar FMAs (broadcast folded, Fig. 2).
+                    sim.varith(gvl, u)
+                    sim.scalar(2 if alpha_is_one else 3)
+                    if spilled:
+                        sim.spill(spilled)
+                for r in range(u):  # store C accumulators
+                    sim.vstore(c_base + ((i + r) * N + j) * 4, gvl)

@@ -1,0 +1,79 @@
+"""Naive GEMM — the Darknet baseline (paper Fig. 1).
+
+``C += alpha * A @ B`` with the i-k-j loop order of Darknet's
+``gemm_nn``, compiled scalar (the paper's baseline uses
+``-fno-vectorize``).  The functional path keeps the exact loop structure
+(the j loop is data-parallel, so NumPy evaluation of it is bit-identical
+to the scalar loop); the trace path prices the scalar instruction stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.core import LOOP_OVERHEAD_INSTRS, NAIVE_GEMM_INNER_INSTRS
+from ..machine.simulator import TraceSimulator
+
+__all__ = ["gemm_naive", "trace_gemm_naive"]
+
+
+def gemm_naive(
+    alpha: float, A: np.ndarray, B: np.ndarray, C: np.ndarray
+) -> np.ndarray:
+    """Fig. 1: ``for i: for k: A_alpha = alpha*A[i,k]; for j: C += A_alpha*B[k,j]``.
+
+    Updates *C* in place and returns it.
+    """
+    M, K = A.shape
+    K2, N = B.shape
+    if K2 != K or C.shape != (M, N):
+        raise ValueError(f"shape mismatch: A{A.shape} B{B.shape} C{C.shape}")
+    alpha = np.float32(alpha)
+    for i in range(M):
+        for k in range(K):
+            a_alpha = alpha * A[i, k]
+            # The j loop of Fig. 1; iterations are independent, so the
+            # NumPy expression computes the identical result.
+            C[i, :] += a_alpha * B[k, :]
+    return C
+
+
+def trace_gemm_naive(
+    sim: TraceSimulator,
+    M: int,
+    N: int,
+    K: int,
+    a_base: int,
+    b_base: int,
+    c_base: int,
+) -> None:
+    """Replay the scalar naive GEMM on the timing simulator.
+
+    Per inner-loop iteration: load ``B[k,j]`` and ``C[i,j]``, one FMA's
+    worth of scalar arithmetic, store ``C[i,j]`` — all through the L1
+    (scalar side), with the loop bookkeeping of an ``-O3`` scalar build.
+
+    The j loop is sampled in *line-sized bursts* so the cache model sees
+    the true spatial locality (consecutive j share a line) at a fraction
+    of the cost.
+    """
+    line = sim.machine.l1.line_bytes
+    burst = max(1, line // 4)  # elements per cache line
+    n_bursts = -(-N // burst)
+    with sim.kernel("gemm"):
+        for i in sim.loop(M, warmup=1, sample=3):
+            for k in sim.loop(K, warmup=2, sample=6):
+                sim.scalar(3)  # a_alpha = alpha * A[i,k] (+ its load below)
+                sim.scalar_load(a_base + (i * K + k) * 4)
+                b_row = b_base + k * N * 4
+                c_row = c_base + i * N * 4
+                for jb in sim.loop(n_bursts, warmup=1, sample=4):
+                    j0 = jb * burst
+                    j_hi = min(N, j0 + burst)
+                    for j in range(j0, j_hi):
+                        sim.scalar_load(b_row + j * 4)
+                        sim.scalar_load(c_row + j * 4)
+                        sim.scalar(NAIVE_GEMM_INNER_INSTRS + LOOP_OVERHEAD_INSTRS)
+                        sim.scalar_store(c_row + j * 4)
+                        # 2 flops (mul+add) per iteration, scalar.
+                        sim.count_flops(2)

@@ -1,0 +1,113 @@
+"""The ``im2col`` kernel (Darknet's ``im2col_cpu``).
+
+Unrolls convolution windows into the columns of a ``K x N`` matrix so
+that convolution becomes a single GEMM (Section IV-A).  The functional
+path matches Darknet's semantics bit-for-bit (zero padding, row-major
+``CHW`` input, ``K = c*k*k`` rows ordered channel-major); the trace path
+replays the kernel's memory behaviour for the timing simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.simulator import TraceSimulator
+from .convspec import ConvSpec
+
+__all__ = ["im2col", "col2im", "trace_im2col"]
+
+
+def im2col(x: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Expand input *x* of shape ``(C, H, W)`` into a ``(K, N)`` matrix.
+
+    Column ``p`` holds the ``c*k*k`` input values under the convolution
+    window of output pixel ``p``; out-of-bounds taps read zero (Darknet's
+    implicit zero padding).
+
+    Vectorized with a single fancy-index gather instead of Python loops
+    (the ``K x N`` result can reach hundreds of MB for YOLOv3 layers).
+    """
+    c, h, w = x.shape
+    if (c, h, w) != (spec.in_channels, spec.in_h, spec.in_w):
+        raise ValueError(
+            f"input shape {(c, h, w)} does not match spec "
+            f"{(spec.in_channels, spec.in_h, spec.in_w)}"
+        )
+    k, s, p = spec.ksize, spec.stride, spec.pad
+    oh, ow = spec.out_h, spec.out_w
+
+    # Row index r of the K dimension decomposes as (channel, ky, kx).
+    chan = np.repeat(np.arange(c), k * k)
+    ky = np.tile(np.repeat(np.arange(k), k), c)
+    kx = np.tile(np.arange(k), c * k)
+    # Column index decomposes as (oy, ox).
+    oy = np.repeat(np.arange(oh), ow)
+    ox = np.tile(np.arange(ow), oh)
+
+    iy = ky[:, None] + s * oy[None, :] - p  # (K, N)
+    ix = kx[:, None] + s * ox[None, :] - p
+    valid = (iy >= 0) & (iy < h) & (ix >= 0) & (ix < w)
+    out = np.zeros((spec.K, spec.N), dtype=x.dtype)
+    cc = np.broadcast_to(chan[:, None], iy.shape)
+    out[valid] = x[cc[valid], np.clip(iy, 0, h - 1)[valid], np.clip(ix, 0, w - 1)[valid]]
+    return out
+
+
+def col2im(cols: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Inverse scatter-add of :func:`im2col` (used by tests as an adjoint
+    property check; Darknet uses it in training only)."""
+    if cols.shape != (spec.K, spec.N):
+        raise ValueError(f"cols shape {cols.shape} != {(spec.K, spec.N)}")
+    c, h, w = spec.in_channels, spec.in_h, spec.in_w
+    k, s, p = spec.ksize, spec.stride, spec.pad
+    oh, ow = spec.out_h, spec.out_w
+
+    chan = np.repeat(np.arange(c), k * k)
+    ky = np.tile(np.repeat(np.arange(k), k), c)
+    kx = np.tile(np.arange(k), c * k)
+    oy = np.repeat(np.arange(oh), ow)
+    ox = np.tile(np.arange(ow), oh)
+    iy = ky[:, None] + s * oy[None, :] - p
+    ix = kx[:, None] + s * ox[None, :] - p
+    valid = (iy >= 0) & (iy < h) & (ix >= 0) & (ix < w)
+    cc = np.broadcast_to(chan[:, None], iy.shape)
+
+    out = np.zeros((c, h, w), dtype=cols.dtype)
+    np.add.at(
+        out,
+        (cc[valid], np.clip(iy, 0, h - 1)[valid], np.clip(ix, 0, w - 1)[valid]),
+        cols[valid],
+    )
+    return out
+
+
+def trace_im2col(sim: TraceSimulator, spec: ConvSpec, src_base: int, dst_base: int) -> None:
+    """Replay im2col's memory behaviour on the timing simulator.
+
+    The vectorized im2col streams each of the K rows of the output: for
+    row (channel, ky, kx) it reads the input plane at stride ``stride``
+    elements and writes ``N`` contiguous elements.  The paper vectorizes
+    im2col with unit-stride stores and (for stride > 1) strided loads.
+    """
+    vl = sim.machine.vlen_f32
+    n = spec.N
+    plane = spec.in_h * spec.in_w
+    with sim.kernel("im2col"):
+        # Sample the K rows; each row's behaviour is homogeneous.
+        for r in sim.loop(spec.K, warmup=1, sample=4):
+            chan = r // (spec.ksize * spec.ksize)
+            src_row = src_base + (chan * plane) * 4
+            dst_row = dst_base + (r * n) * 4
+            n_chunks = -(-n // vl)
+            for jc in sim.loop(n_chunks, warmup=1, sample=3):
+                j = jc * vl
+                gvl = min(vl, n - j)
+                sim.scalar(4)  # index arithmetic, bounds handling
+                if spec.stride == 1:
+                    sim.vload(src_row + j * 4, gvl)
+                else:
+                    sim.vload(src_row + j * spec.stride * 4, gvl, stride=spec.stride * 4)
+                sim.vstore(dst_row + j * 4, gvl)
+        # The produced K x N matrix just streamed through the cache; the
+        # GEMM's re-reads hit iff it still fits (capacity question).
+        sim.hierarchy.note_resident_range(dst_base, spec.K * spec.N * 4)

@@ -1,0 +1,113 @@
+"""Matrix packing for the BLIS-like 6-loop GEMM (paper Fig. 3, lines 5/7).
+
+Packing copies the current blocks of A and B into contiguous,
+panel-major buffers so the micro-kernel walks memory strictly
+sequentially — "to facilitate contiguous cache access in the inner-most
+loop and facilitate prefetching" (Section IV-A).  Panel layouts follow
+BLIS: B is packed in column panels as wide as a vector register, A in
+row panels as tall as the unroll factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.simulator import TraceSimulator
+
+__all__ = ["pack_b_panels", "pack_a_panels", "trace_pack_b", "trace_pack_a"]
+
+
+def pack_b_panels(
+    B: np.ndarray, k1: int, bk: int, j1: int, bn: int, panel_w: int
+) -> np.ndarray:
+    """Pack block ``B[k1:k1+bk, j1:j1+bn]`` into ``(n_panels, bk, panel_w)``.
+
+    ``out[p, k, jj] = B[k1+k, j1 + p*panel_w + jj]``, zero-padded past the
+    block edge so micro-kernel loads are uniform full-width vectors.
+    """
+    if bk <= 0 or bn <= 0 or panel_w <= 0:
+        raise ValueError("block dimensions must be positive")
+    n_panels = -(-bn // panel_w)
+    out = np.zeros((n_panels, bk, panel_w), dtype=B.dtype)
+    block = B[k1 : k1 + bk, j1 : j1 + bn]
+    for p in range(n_panels):
+        j0 = p * panel_w
+        width = min(panel_w, bn - j0)
+        out[p, :, :width] = block[:, j0 : j0 + width]
+    return out
+
+
+def pack_a_panels(
+    A: np.ndarray, i1: int, bm: int, k1: int, bk: int, panel_h: int
+) -> np.ndarray:
+    """Pack block ``A[i1:i1+bm, k1:k1+bk]`` into ``(n_panels, bk, panel_h)``.
+
+    ``out[q, k, r] = A[i1 + q*panel_h + r, k1+k]`` (note the transpose:
+    the micro-kernel consumes A column-by-column), zero-padded.
+    """
+    if bm <= 0 or bk <= 0 or panel_h <= 0:
+        raise ValueError("block dimensions must be positive")
+    n_panels = -(-bm // panel_h)
+    out = np.zeros((n_panels, bk, panel_h), dtype=A.dtype)
+    block = A[i1 : i1 + bm, k1 : k1 + bk]
+    for q in range(n_panels):
+        i0 = q * panel_h
+        height = min(panel_h, bm - i0)
+        out[q, :, :height] = block[i0 : i0 + height, :].T
+    return out
+
+
+# ----------------------------------------------------------------------
+# Timing traces — packing is itself vectorized (Section IV-A: "matrix
+# packing operations are also vectorized using the intrinsic
+# instructions").
+# ----------------------------------------------------------------------
+
+def trace_pack_b(
+    sim: TraceSimulator,
+    b_base: int,
+    pack_base: int,
+    N: int,
+    k1: int,
+    bk: int,
+    j1: int,
+    bn: int,
+    panel_w: int,
+) -> None:
+    """Replay packing of a B block: strided row reads, sequential writes."""
+    n_panels = -(-bn // panel_w)
+    for p in sim.loop(n_panels, warmup=1, sample=3):
+        width = min(panel_w, bn - p * panel_w)
+        for k in sim.loop(bk, warmup=1, sample=4):
+            src = b_base + ((k1 + k) * N + j1 + p * panel_w) * 4
+            dst = pack_base + ((p * bk + k) * panel_w) * 4
+            sim.scalar(3)
+            sim.vload(src, width)
+            sim.vstore(dst, width)
+
+
+def trace_pack_a(
+    sim: TraceSimulator,
+    a_base: int,
+    pack_base: int,
+    K: int,
+    i1: int,
+    bm: int,
+    k1: int,
+    bk: int,
+    panel_h: int,
+) -> None:
+    """Replay packing of an A block.
+
+    The transpose gathers ``panel_h`` values with a row stride of ``4*K``
+    bytes per packed column — strided loads, sequential stores.
+    """
+    n_panels = -(-bm // panel_h)
+    for q in sim.loop(n_panels, warmup=1, sample=2):
+        height = min(panel_h, bm - q * panel_h)
+        for k in sim.loop(bk, warmup=1, sample=4):
+            src = a_base + ((i1 + q * panel_h) * K + k1 + k) * 4
+            dst = pack_base + ((q * bk + k) * panel_h) * 4
+            sim.scalar(3)
+            sim.vload(src, height, stride=4 * K)
+            sim.vstore(dst, height)

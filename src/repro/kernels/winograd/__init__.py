@@ -1,0 +1,55 @@
+"""Winograd convolution (paper Sections IV-B and VII).
+
+F(6x6, 3x3) on 8x8 tiles with the paper's inter-tile channel
+parallelization for VLA vectorization of the transforms, and a
+tuple-multiplication kernel vectorized across the 64 tuple positions.
+"""
+
+from .conv import f6x3, trace_winograd_conv, winograd_conv2d, winograd_tile_count
+from .intertile import (
+    ELEMENTS,
+    interchannel_count,
+    pack_rows,
+    row_combine,
+    tile_transform_intertile,
+    unpack_rows,
+)
+from .matrices import DEFAULT_POINTS, WinogradTransform, winograd_matrices
+from .stride2 import (
+    decomposition_mul_count,
+    stride2_decomposed_conv,
+    trace_stride2_decomposed,
+)
+from .transforms import (
+    extract_tiles,
+    input_transform_batched,
+    output_transform_batched,
+    scatter_tiles,
+    tile_grid,
+    weight_transform_batched,
+)
+
+__all__ = [
+    "f6x3",
+    "trace_winograd_conv",
+    "winograd_conv2d",
+    "winograd_tile_count",
+    "ELEMENTS",
+    "interchannel_count",
+    "pack_rows",
+    "row_combine",
+    "tile_transform_intertile",
+    "unpack_rows",
+    "DEFAULT_POINTS",
+    "decomposition_mul_count",
+    "stride2_decomposed_conv",
+    "trace_stride2_decomposed",
+    "WinogradTransform",
+    "winograd_matrices",
+    "extract_tiles",
+    "input_transform_batched",
+    "output_transform_batched",
+    "scatter_tiles",
+    "tile_grid",
+    "weight_transform_batched",
+]

@@ -1,0 +1,312 @@
+"""Winograd convolution: full layer (functional + timing trace).
+
+Implements the paper's Section IV-B / VII pipeline on 8x8 tiles
+(F(6x6, 3x3)): input transform with inter-tile channel parallelism,
+offline weight transform, VLA-vectorized tuple multiplication across the
+64 tuple positions ("16 blocks with 4 elements in each block ... 64
+elements to utilize the maximum 2048-bit vector lengths"), and the
+output transform.
+
+Stride-2 layers: the paper applies Winograd to stride-2 3x3 layers and
+finds it 1.4x *slower* than im2col+GEMM (Section VII-A).  We reproduce
+that behaviour with the NNPACK-style fallback: compute the stride-1 tile
+grid and subsample — functionally exact, but ~4x wasted work, which the
+trace charges.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ...isa import F32, VectorISA
+from ...machine.simulator import TraceSimulator
+from ..convspec import ConvSpec
+from .intertile import ELEMENTS, interchannel_count, tile_transform_intertile
+from .matrices import WinogradTransform, winograd_matrices
+from .transforms import (
+    extract_tiles,
+    input_transform_batched,
+    output_transform_batched,
+    scatter_tiles,
+    tile_grid,
+    weight_transform_batched,
+)
+
+__all__ = ["f6x3", "winograd_conv2d", "trace_winograd_conv", "winograd_tile_count"]
+
+
+@lru_cache(maxsize=None)
+def f6x3() -> WinogradTransform:
+    """The paper's tile algorithm: F(6x6, 3x3) on 8x8 tiles."""
+    return winograd_matrices(6, 3)
+
+
+def _stride1_geometry(spec: ConvSpec, m: int, alpha: int):
+    """Tile geometry for the stride-1 grid underlying *spec*.
+
+    For stride 2 the kernel computes the full stride-1 output and
+    subsamples, so the grid always covers the stride-1 output.
+    """
+    s1_out_h = spec.in_h + 2 * spec.pad - spec.ksize + 1
+    s1_out_w = spec.in_w + 2 * spec.pad - spec.ksize + 1
+    th, tw = tile_grid(s1_out_h, s1_out_w, m)
+    pad_h = (th - 1) * m + alpha
+    pad_w = (tw - 1) * m + alpha
+    return s1_out_h, s1_out_w, th, tw, pad_h, pad_w
+
+
+def winograd_tile_count(spec: ConvSpec, m: int = 6) -> int:
+    """Number of 8x8 tiles the layer processes (stride-1 grid)."""
+    t = f6x3() if m == 6 else winograd_matrices(m, 3)
+    _, _, th, tw, _, _ = _stride1_geometry(spec, t.m, t.alpha)
+    return th * tw
+
+
+def winograd_conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    spec: ConvSpec,
+    transform: WinogradTransform = None,
+    isa: VectorISA = None,
+    transformed_weights: np.ndarray = None,
+) -> np.ndarray:
+    """Winograd convolution of ``x (C,H,W)`` with ``weights (F,C,3,3)``.
+
+    Numerically equivalent to direct convolution (to f32/f64 rounding of
+    the transform arithmetic).  Pass *isa* to route the input transform
+    through the inter-tile VLA kernel of Fig. 4 (bit-equal to the batched
+    reference); otherwise the batched NumPy path runs.  Pass
+    *transformed_weights* (from :func:`weight_transform_batched`) to model
+    the offline weight transform of Section VII-A.
+    """
+    t = transform or f6x3()
+    if spec.ksize != t.r:
+        raise ValueError(f"Winograd F({t.m},{t.r}) needs {t.r}x{t.r} kernels")
+    if spec.stride not in (1, 2):
+        raise ValueError("Winograd path supports stride 1 and 2 only")
+    c, h, w = x.shape
+    f = weights.shape[0]
+    if (c, h, w) != (spec.in_channels, spec.in_h, spec.in_w) or f != spec.out_channels:
+        raise ValueError("input/weights do not match spec")
+
+    s1_out_h, s1_out_w, th, tw, pad_h, pad_w = _stride1_geometry(spec, t.m, t.alpha)
+    p = spec.pad
+    x_pad = np.zeros((c, pad_h, pad_w), dtype=np.float64)
+    x_pad[:, p : p + h, p : p + w] = x
+
+    tiles = extract_tiles(x_pad, th, tw, t.m, t.alpha)  # (C, P, a, a)
+    n_tiles = th * tw
+    if isa is not None:
+        # Inter-tile VLA input transform across channels (Fig. 4): group
+        # the (C, P) tile axis and vectorize over interchannels tiles.
+        flat = tiles.reshape(c * n_tiles, t.alpha, t.alpha)
+        v = tile_transform_intertile(isa, t.Bt, flat).reshape(
+            c, n_tiles, t.alpha, t.alpha
+        )
+    else:
+        v = input_transform_batched(t, tiles)
+
+    if transformed_weights is None:
+        u = weight_transform_batched(t, weights.astype(np.float64))
+    else:
+        u = transformed_weights
+    # Tuple multiplication: per tuple position (i,j), M = U @ V over
+    # channels — vectorized here across all 64 positions at once, the
+    # way the VLA kernel consumes them.
+    m_tiles = np.einsum("fcij,cpij->fpij", u, v, optimize=True)
+    y_tiles = output_transform_batched(t, m_tiles)  # (F, P, m, m)
+    out = scatter_tiles(y_tiles, th, tw, t.m, s1_out_h, s1_out_w)
+    if spec.stride == 2:
+        out = np.ascontiguousarray(out[:, ::2, ::2])
+    if out.shape[1:] != (spec.out_h, spec.out_w):
+        raise AssertionError("winograd geometry bug")
+    return out.astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# Timing trace
+# ----------------------------------------------------------------------
+
+def _trace_transform_pass(
+    sim: TraceSimulator,
+    isa: VectorISA,
+    n_tiles: int,
+    src_base: int,
+    dst_base: int,
+    n_in: int,
+    n_out: int,
+    src_row_stride: int,
+    coeffs_nonzero: int,
+) -> None:
+    """Trace one inter-tile transform over *n_tiles* tiles.
+
+    Per channel group: pack the group's tile rows into buffers (strided
+    loads + sequential stores), two row-combination passes with a
+    transpose between them, and the store-back.  The transpose is free
+    in-register on SVE; on RVV it costs a scatter/gather round trip per
+    tile (Section VII).
+    """
+    vl = isa.max_elems(F32)
+    group = interchannel_count(isa)
+    n_groups = -(-n_tiles // group)
+    chunks_in = -(-group * n_in * ELEMENTS // (ELEMENTS * vl)) if n_in >= ELEMENTS else 1
+    width_in = group * n_in
+    width_out = group * n_out
+    for _gidx in sim.loop(n_groups, warmup=1, sample=4):
+        # Pack: n_in rows, each gathered from `group` tiles (Fig. 4 l.8-16).
+        for row in range(n_in):
+            sim.vgather(
+                src_base + row * src_row_stride,
+                min(width_in, vl),
+                span_bytes=group * src_row_stride,
+            )
+            sim.vstore(dst_base, min(width_in, vl))
+            if width_in > vl:
+                sim.vload(src_base + row * src_row_stride + vl * 4, width_in - vl)
+                sim.vstore(dst_base + vl * 4, width_in - vl)
+        # Pass 1: n_out output rows, ~coeffs_nonzero FMAs each, per chunk.
+        n_chunks = -(-width_in // vl)
+        sim.varith(min(width_in, vl), n_out * coeffs_nonzero * n_chunks)
+        sim.scalar(3 * n_out)
+        # Transpose between passes.
+        if isa.has_register_transpose:
+            sim.varith(min(width_in, vl), n_in // 2, flops_per_elem=0.0)
+        else:
+            # RVV: scatter to scratch + gather back, per tile.
+            for _tile in range(group):
+                sim.vscatter(dst_base, n_in * n_out, span_bytes=n_in * n_out * 4)
+                sim.vgather(dst_base, n_in * n_out, span_bytes=n_in * n_out * 4)
+        # Pass 2 on transposed rows.
+        n_chunks2 = -(-width_out // vl)
+        sim.varith(min(width_out, vl), n_out * coeffs_nonzero * n_chunks2)
+        # Store back transposed (Fig. 4 l.18).
+        for _row in range(n_out):
+            sim.vstore(dst_base, min(width_out, vl))
+    _ = chunks_in  # geometry hint retained for readability
+
+
+
+
+def _trace_tuple_mult(
+    sim: TraceSimulator,
+    n_tiles: int,
+    f: int,
+    c: int,
+    alpha2: int,
+    u_base: int,
+    v_base: int,
+    m_base: int,
+    vl: int,
+) -> None:
+    """Register-blocked tuple multiplication (the paper's "16 blocks with
+    4 elements in each block"): hold a BF x BP block of M accumulators in
+    registers across the channel loop, so each loaded U/V tile feeds BP
+    (resp. BF) vector FMAs.
+
+    The accumulator block must fit the 32 vector registers: a tuple tile
+    of ``alpha2`` elements occupies ``ceil(alpha2/VL)`` registers, so
+    short vectors force smaller blocks (fewer FMAs per loaded tile) — one
+    more way longer vectors win (Figs. 9/10).
+    """
+    tile_instrs = -(-alpha2 // vl)  # registers (and instrs) per tuple tile
+    acc_budget = max(1, 24 // tile_instrs)
+    bf = max(1, int(acc_budget**0.5))
+    bp = max(1, acc_budget // bf)
+    n_pblocks = -(-n_tiles // bp)
+    n_fblocks = -(-f // bf)
+    for pb in sim.loop(n_pblocks, warmup=2, sample=5):
+        p0 = pb * bp
+        np_ = min(bp, n_tiles - p0)
+        for fb in sim.loop(n_fblocks, warmup=1, sample=4):
+            f0 = fb * bf
+            nf = min(bf, f - f0)
+            # Zero the M accumulator block (registers).
+            sim.varith(min(vl, alpha2), nf * np_ * tile_instrs, flops_per_elem=0.0)
+            for ci in range(c):
+                sim.scalar(3)
+                for r in range(nf):
+                    sim.vload(u_base + (((f0 + r) * c + ci) * alpha2) * 4, alpha2)
+                for q in range(np_):
+                    sim.vload(v_base + (((p0 + q) * c + ci) * alpha2) * 4, alpha2)
+                # nf*np_ vector-vector FMAs over the tuple positions.
+                sim.varith(min(vl, alpha2), nf * np_ * tile_instrs)
+            for r in range(nf):
+                for q in range(np_):
+                    sim.vstore(
+                        m_base + (((p0 + q) * f + f0 + r) * alpha2) * 4, alpha2
+                    )
+
+
+def trace_winograd_conv(
+    sim: TraceSimulator,
+    spec: ConvSpec,
+    include_weight_transform: bool = False,
+) -> None:
+    """Replay a Winograd convolutional layer on the timing simulator.
+
+    Buffers: transformed input tiles ``V`` laid out ``(P, C, 64)`` and
+    accumulators ``M (P, F, 64)`` so the tuple-multiplication inner loop
+    streams sequentially; transformed weights ``U (F, C, 64)`` are reused
+    across tiles — the layer's main cache working set (the reason
+    Winograd saturates at moderate L2 sizes, Figs. 9/10).
+
+    Stride-2 layers run the full stride-1 grid (4x the useful work) and
+    subsample, matching the NNPACK-style fallback.
+    """
+    t = f6x3()
+    isa = sim.machine.make_isa()
+    vl = sim.machine.vlen_f32
+    alpha2 = t.alpha * t.alpha  # 64 tuple positions
+    c, f = spec.in_channels, spec.out_channels
+    _, _, th, tw, pad_h, pad_w = _stride1_geometry(spec, t.m, t.alpha)
+    n_tiles = th * tw
+
+    src = sim.alloc("wino_input", c * pad_h * pad_w * 4)
+    vbuf = sim.alloc("wino_V", n_tiles * c * alpha2 * 4)
+    ubuf = sim.alloc("wino_U", f * c * alpha2 * 4)
+    mbuf = sim.alloc("wino_M", n_tiles * f * alpha2 * 4)
+    out = sim.alloc("wino_out", f * spec.out_h * spec.out_w * 4)
+
+    with sim.kernel("winograd"):
+        # Transformed weights are produced offline and re-streamed every
+        # tile iteration: they stay resident iff F*C*64*4 bytes fit the
+        # L2 — the capacity knee of Figs. 9/10.
+        sim.hierarchy.note_resident_range(ubuf.base, ubuf.nbytes)
+        with sim.kernel("wino_input_transform"):
+            _trace_transform_pass(
+                sim,
+                isa,
+                n_tiles * c,
+                src.base,
+                vbuf.base,
+                t.alpha,
+                t.alpha,
+                src_row_stride=pad_w * 4,
+                coeffs_nonzero=5,
+            )
+        if include_weight_transform:
+            with sim.kernel("wino_weight_transform"):
+                _trace_transform_pass(
+                    sim, isa, f * c, ubuf.base, ubuf.base, t.r, t.alpha,
+                    src_row_stride=t.r * 4, coeffs_nonzero=3,
+                )
+        sim.hierarchy.note_resident_range(vbuf.base, vbuf.nbytes)
+        with sim.kernel("wino_tuple_mult"):
+            _trace_tuple_mult(
+                sim, n_tiles, f, c, alpha2, ubuf.base, vbuf.base, mbuf.base, vl
+            )
+        sim.hierarchy.note_resident_range(mbuf.base, mbuf.nbytes)
+        with sim.kernel("wino_output_transform"):
+            _trace_transform_pass(
+                sim,
+                isa,
+                n_tiles * f,
+                mbuf.base,
+                out.base,
+                t.alpha,
+                t.m,
+                src_row_stride=t.alpha * 4,
+                coeffs_nonzero=4,
+            )

@@ -1,0 +1,145 @@
+"""Inter-tile parallelization of the Winograd transforms (paper Fig. 4/5).
+
+The paper's novel scheme: rather than enlarging the tile (which hurts
+numerical accuracy), keep 8x8 tiles but vectorize the transforms *across
+channels* — ``interchannels = VL / elements`` tiles (one per channel) are
+packed row-wise into buffers so every vector instruction transforms all
+of them simultaneously.  With 512-bit vectors that is 4 channels (one
+tile row from each channel filling two vector registers, Fig. 5); 2048
+bits take 16 channels.
+
+The transform of a tile ``d`` is ``B^T d B``, computed as two passes of
+the 1-D row combination with a transpose between them.  On SVE the
+transpose uses in-register tuple create/transpose intrinsics; on RVV
+those do not exist and the kernel bounces through a temporary buffer
+with scatter/gather (Section VII — the reason the paper's RVV Winograd
+numbers are excluded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...isa import F32, VectorISA
+from ...isa.intrinsics import vbroadcast, vfmacc, vgather, vle, vscatter, vse
+
+__all__ = [
+    "ELEMENTS",
+    "interchannel_count",
+    "pack_rows",
+    "unpack_rows",
+    "row_combine",
+    "tile_transform_intertile",
+]
+
+#: Fig. 4 line 2: the row-segment granularity (4 f32 = 128 bits).
+ELEMENTS = 4
+
+
+def interchannel_count(isa: VectorISA) -> int:
+    """Fig. 4 lines 3-4: ``interchannels = VL / elements``.
+
+    4 for 512-bit vectors, 16 for 2048-bit.
+    """
+    return max(1, isa.max_elems(F32) // ELEMENTS)
+
+
+def pack_rows(tiles: np.ndarray) -> np.ndarray:
+    """Pack a channel group's tiles row-wise into transform buffers.
+
+    ``tiles`` is ``(g, rows, w)`` — one tile per channel.  Returns
+    ``(rows, g*w)`` where buffer row ``i`` holds row ``i`` of every tile
+    back-to-back (Fig. 4 lines 8-16 build exactly this, split into the
+    0-4 and 4-8 element halves ``buff1``/``buff2``; here the halves are
+    consecutive vector-length chunks of one buffer).
+    """
+    g, rows, w = tiles.shape
+    return np.ascontiguousarray(tiles.transpose(1, 0, 2).reshape(rows, g * w))
+
+
+def unpack_rows(buf: np.ndarray, g: int, w: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: ``(rows, g*w)`` -> ``(g, rows, w)``."""
+    rows = buf.shape[0]
+    return np.ascontiguousarray(buf.reshape(rows, g, w).transpose(1, 0, 2))
+
+
+def row_combine(isa: VectorISA, coeffs: np.ndarray, buf: np.ndarray) -> np.ndarray:
+    """Apply the 1-D transform to packed buffers with vector intrinsics.
+
+    ``out[i, :] = sum_k coeffs[i, k] * buf[k, :]`` computed gvl elements
+    at a time with broadcast + vector FMA — each vector instruction
+    advances the transform of ``interchannels`` tiles at once.
+    """
+    n_out, n_in = coeffs.shape
+    if buf.shape[0] != n_in:
+        raise ValueError(f"buffer has {buf.shape[0]} rows, coeffs need {n_in}")
+    width = buf.shape[1]
+    out = np.zeros((n_out, width), dtype=buf.dtype)
+    j = 0
+    while j < width:
+        gvl = isa.grant_vl(width - j, F32)
+        for i in range(n_out):
+            acc = vbroadcast(0.0, gvl, dtype=buf.dtype)
+            for k in range(n_in):
+                ck = coeffs[i, k]
+                if ck != 0.0:
+                    vfmacc(acc, ck, vle(buf[k], j, gvl), gvl)
+            vse(acc, out[i], j, gvl)
+        j += gvl
+    return out
+
+
+def _transpose_tiles(isa: VectorISA, buf: np.ndarray, g: int, w: int) -> np.ndarray:
+    """Transpose each tile inside the packed buffer.
+
+    SVE: models the tuple create/transpose intrinsics (in-register).
+    RVV: models the memory round-trip — scatter rows to a scratch buffer
+    in transposed order, gather them back (Section VII).
+    Both paths produce identical values; they differ only in cost, which
+    the timing trace accounts for separately.
+    """
+    rows = buf.shape[0]
+    tiles = unpack_rows(buf, g, w)  # (g, rows, w)
+    if isa.has_register_transpose:
+        swapped = tiles.transpose(0, 2, 1)  # in-register transpose
+    else:
+        # Scatter/gather through a scratch buffer, tile by tile.
+        swapped = np.empty((g, w, rows), dtype=buf.dtype)
+        scratch = np.empty(rows * w, dtype=buf.dtype)
+        for t in range(g):
+            flat = tiles[t].reshape(-1)  # row-major (rows, w)
+            idx = (np.arange(rows * w) % w) * rows + np.arange(rows * w) // w
+            vscatter(flat, scratch, idx.astype(np.int64))
+            swapped[t] = vgather(scratch, np.arange(rows * w).astype(np.int64)).reshape(
+                w, rows
+            )
+    return pack_rows(swapped)
+
+
+def tile_transform_intertile(
+    isa: VectorISA, mat: np.ndarray, tiles: np.ndarray
+) -> np.ndarray:
+    """2-D tile transform ``M d M^T`` for a batch of tiles, inter-tile style.
+
+    ``mat`` is ``(n_out, n_in)`` (``B^T``: 8x8, ``G``: 8x3, ``A^T``: 6x8),
+    ``tiles`` is ``(nc, n_in, n_in)``.  Channels are processed in groups
+    of ``interchannels``; the remainder group is smaller (Fig. 4's
+    ``count < 4`` fallback runs the same kernel on fewer lanes).
+
+    Returns ``(nc, n_out, n_out)``, numerically equal to
+    ``mat @ d @ mat.T`` per tile.
+    """
+    nc, n_in, n_in2 = tiles.shape
+    if n_in2 != n_in or mat.shape[1] != n_in:
+        raise ValueError("tile/transform shape mismatch")
+    n_out = mat.shape[0]
+    group = interchannel_count(isa)
+    out = np.empty((nc, n_out, n_out), dtype=tiles.dtype)
+    for c0 in range(0, nc, group):
+        g = min(group, nc - c0)
+        buf = pack_rows(tiles[c0 : c0 + g])  # (n_in, g*n_in)
+        half = row_combine(isa, mat, buf)  # rows transformed: (n_out, g*n_in)
+        half_t = _transpose_tiles(isa, half, g, n_in)  # (n_in, g*n_out)
+        full = row_combine(isa, mat, half_t)  # (n_out, g*n_out)
+        out[c0 : c0 + g] = unpack_rows(full, g, n_out).transpose(0, 2, 1)
+    return out

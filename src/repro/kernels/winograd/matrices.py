@@ -1,0 +1,186 @@
+"""Winograd/Cook-Toom transform-matrix generation (exact arithmetic).
+
+The paper's Winograd kernel (from NNPACK) uses F(6x6, 3x3) on 8x8 tiles.
+Rather than hard-coding the constants, we generate the transform
+matrices for any F(m, r) from first principles, in exact rational
+arithmetic, and verify the bilinear identity in the test suite.
+
+Construction
+------------
+For ``alpha = m + r - 1`` and interpolation points
+``a_0 .. a_{alpha-2}`` plus the point at infinity:
+
+* linear convolution of length-m and length-r sequences is
+  evaluation-interpolation: ``s = C [(E_m u) o (E_r v)]`` where ``E_n``
+  evaluates a degree-(n-1) polynomial at the points (the infinity row
+  picks the leading coefficient) and ``C`` interpolates the degree
+  ``alpha-1`` product;
+* by the transposition principle, the *correlation* ``y_i = sum_j
+  d_{i+j} g_j`` (what convolution layers compute) is the transpose in
+  (d, y):  ``y = A^T [(G g) o (B^T d)]`` with ``A = E_m``, ``G = E_r``
+  and ``B^T = C^T = (W^T)^{-1}`` for the full evaluation matrix ``W``.
+
+The 2-D form used on tiles is ``Y = A^T [ (G g G^T) o (B^T d B) ] A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["WinogradTransform", "winograd_matrices", "DEFAULT_POINTS"]
+
+#: Well-conditioned interpolation points for the common tile algorithms.
+#: F(6,3) uses the NNPACK/Lavin point set {0, +-1, +-2, +-1/2}.
+DEFAULT_POINTS = {
+    (2, 3): (Fraction(0), Fraction(1), Fraction(-1)),
+    (4, 3): (Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2)),
+    (6, 3): (
+        Fraction(0),
+        Fraction(1),
+        Fraction(-1),
+        Fraction(2),
+        Fraction(-2),
+        Fraction(1, 2),
+        Fraction(-1, 2),
+    ),
+}
+
+
+def _invert(matrix: List[List[Fraction]]) -> List[List[Fraction]]:
+    """Exact Gauss-Jordan inverse of a square Fraction matrix."""
+    n = len(matrix)
+    aug = [row[:] + [Fraction(int(i == j)) for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot is None:
+            raise ValueError("evaluation matrix is singular: duplicate points?")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = Fraction(1) / aug[col][col]
+        aug[col] = [x * inv_p for x in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [x - factor * y for x, y in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def _evaluation_matrix(points: Sequence[Fraction], n_cols: int) -> List[List[Fraction]]:
+    """Rows ``[1, a, a^2, ...]`` per finite point, then the infinity row
+    ``e_{n_cols-1}`` (leading-coefficient pick)."""
+    rows = [[a**j for j in range(n_cols)] for a in points]
+    rows.append([Fraction(int(j == n_cols - 1)) for j in range(n_cols)])
+    return rows
+
+
+@dataclass(frozen=True)
+class WinogradTransform:
+    """The F(m, r) transform triple.
+
+    Attributes
+    ----------
+    m, r, alpha:
+        Output tile size, filter size, and ``alpha = m + r - 1`` (the
+        input tile size, 8 for the paper's kernels).
+    A:
+        Output transform, shape ``(alpha, m)`` — applied as ``A^T M A``.
+    G:
+        Weight transform, shape ``(alpha, r)`` — ``G g G^T``.
+    Bt:
+        Input transform ``B^T``, shape ``(alpha, alpha)`` — ``B^T d B``.
+    """
+
+    m: int
+    r: int
+    alpha: int
+    A: np.ndarray
+    G: np.ndarray
+    Bt: np.ndarray
+
+    # -- 1-D building blocks (used by tests and the inter-tile kernels) --
+    def transform_input(self, d: np.ndarray) -> np.ndarray:
+        """2-D input transform ``B^T d B`` of an ``alpha x alpha`` tile."""
+        return self.Bt @ d @ self.Bt.T
+
+    def transform_weight(self, g: np.ndarray) -> np.ndarray:
+        """2-D weight transform ``G g G^T`` of an ``r x r`` filter."""
+        return self.G @ g @ self.G.T
+
+    def transform_output(self, m_tile: np.ndarray) -> np.ndarray:
+        """2-D output transform ``A^T M A`` -> ``m x m`` outputs."""
+        return self.A.T @ m_tile @ self.A
+
+    @property
+    def mul_reduction_2d(self) -> float:
+        """Multiplication reduction vs direct conv for one 2-D tile:
+        ``(m*r)^2 / alpha^2`` — about 5.06x for F(6x6, 3x3)."""
+        return (self.m * self.r) ** 2 / self.alpha**2
+
+
+def winograd_matrices(
+    m: int, r: int, points: Optional[Sequence[Fraction]] = None
+) -> WinogradTransform:
+    """Generate exact F(m, r) matrices (returned as float64 arrays).
+
+    Parameters
+    ----------
+    m:
+        Outputs per 1-D tile (6 for the paper's 8x8 tiles).
+    r:
+        Filter taps (3 for the 3x3 convolutions Winograd targets).
+    points:
+        ``m + r - 2`` distinct finite interpolation points (the point at
+        infinity is implicit).  Defaults to :data:`DEFAULT_POINTS`.
+    """
+    if m < 1 or r < 1:
+        raise ValueError("m and r must be >= 1")
+    alpha = m + r - 1
+    if points is None:
+        try:
+            points = DEFAULT_POINTS[(m, r)]
+        except KeyError:
+            # Fallback point schedule: 0, +-1, +-2, ... +-1/2, +-1/4 ...
+            pts: List[Fraction] = [Fraction(0)]
+            k = 1
+            while len(pts) < alpha - 1:
+                for candidate in (Fraction(k), Fraction(-k), Fraction(1, k + 1), Fraction(-1, k + 1)):
+                    if candidate not in pts and len(pts) < alpha - 1:
+                        pts.append(candidate)
+                k += 1
+            points = pts
+    points = tuple(Fraction(p) for p in points)
+    if len(points) != alpha - 1:
+        raise ValueError(f"need {alpha - 1} finite points, got {len(points)}")
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+
+    A_exact = _evaluation_matrix(points, m)  # (alpha, m)
+    G_exact = _evaluation_matrix(points, r)  # (alpha, r)
+    W = _evaluation_matrix(points, alpha)  # (alpha, alpha), full evaluation
+    # B^T = (W^T)^{-1}: transpose of the interpolation matrix.
+    Wt = [[W[j][i] for j in range(alpha)] for i in range(alpha)]
+    Bt_exact = _invert(Wt)
+
+    def to_np(rows: List[List[Fraction]]) -> np.ndarray:
+        return np.array([[float(x) for x in row] for row in rows], dtype=np.float64)
+
+    return WinogradTransform(
+        m=m, r=r, alpha=alpha, A=to_np(A_exact), G=to_np(G_exact), Bt=to_np(Bt_exact)
+    )
+
+
+def _selftest_identity(m: int = 6, r: int = 3, seed: int = 0) -> Tuple[float, float]:
+    """Max abs error of the 1-D bilinear identity on random data.
+
+    Exposed for debugging; the real checks live in the test suite.
+    """
+    t = winograd_matrices(m, r)
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal(t.alpha)
+    g = rng.standard_normal(r)
+    y = t.A.T @ ((t.G @ g) * (t.Bt @ d))
+    ref = np.array([np.dot(d[i : i + r], g) for i in range(m)])
+    return float(np.abs(y - ref).max()), float(np.abs(ref).max())

@@ -1,0 +1,167 @@
+"""Stride-2 Winograd via input/kernel parity decomposition (extension).
+
+Section VII-A finds the NNPACK-style stride-2 fallback (compute the full
+stride-1 grid, subsample) 1.4x *slower* than im2col+GEMM and concludes
+that "different algorithmic optimizations are required to achieve high
+performance for layers with stride 2".  This module implements the
+known remedy, as the paper's future-work item:
+
+decompose by parity.  With ``d_pq[i,j] = d[2i+p, 2j+q]`` and
+``g_pq[a,b] = g[2a+p, 2b+q]`` (p, q in {0,1}),
+
+    y[i,j] = sum_{p,q} sum_{a,b} d_pq[i+a, j+b] * g_pq[a,b]
+
+— four *stride-1* correlations with sub-kernels of sizes 2x2, 2x1, 1x2
+and 1x1, summed.  Each sub-correlation vectorizes cleanly; the 2-tap
+axes use Winograd F(6,2) tiles.  Per 6x6 output tile the decomposition
+costs 49 + 42 + 42 + 36 = 169 multiplies versus 4 x 64 = 256 for the
+subsampling fallback (and 324 for direct stride-2 convolution), with a
+quarter of the fallback's transform traffic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ...machine.simulator import TraceSimulator
+from ..convspec import ConvSpec
+from .conv import _trace_transform_pass, _trace_tuple_mult
+from .matrices import WinogradTransform, winograd_matrices
+from .transforms import tile_grid
+
+__all__ = [
+    "stride2_decomposed_conv",
+    "trace_stride2_decomposed",
+    "decomposition_mul_count",
+]
+
+
+@lru_cache(maxsize=None)
+def f6x2() -> WinogradTransform:
+    """F(6,2): the 1-D tile algorithm for the decomposition's 2-tap axes."""
+    return winograd_matrices(6, 2)
+
+
+def decomposition_mul_count(m: int = 6) -> dict:
+    """Multiplies per ``m x m`` output tile: decomposition vs fallback.
+
+    >>> decomposition_mul_count()["decomposed"]
+    169
+    """
+    alpha2 = m + 2 - 1  # F(m,2) tile size
+    return {
+        "decomposed": alpha2 * alpha2 + 2 * alpha2 * m + m * m,
+        "fallback": 4 * (m + 3 - 1) ** 2,
+        "direct": 9 * m * m,
+    }
+
+
+def stride2_decomposed_conv(
+    x: np.ndarray, weights: np.ndarray, spec: ConvSpec
+) -> np.ndarray:
+    """Stride-2 3x3 convolution via the parity decomposition.
+
+    Numerically exact (computed in float64, like the oracles); the
+    sub-correlations here use direct evaluation — the *algorithmic
+    structure* (which drives the timing trace) is what the decomposition
+    changes, not the arithmetic result.
+    """
+    if spec.ksize != 3 or spec.stride != 2:
+        raise ValueError("decomposition targets 3x3 stride-2 layers")
+    c, h, w = x.shape
+    f = weights.shape[0]
+    if (c, h, w) != (spec.in_channels, spec.in_h, spec.in_w) or f != spec.out_channels:
+        raise ValueError("input/weights do not match spec")
+
+    p = spec.pad
+    oh, ow = spec.out_h, spec.out_w
+    # Pad generously so every phase plane covers index out_dim + 1.
+    hp = np.zeros((c, h + 2 * p + 2, w + 2 * p + 2), dtype=np.float64)
+    hp[:, p : p + h, p : p + w] = x
+    w64 = weights.astype(np.float64)
+
+    out = np.zeros((f, oh, ow), dtype=np.float64)
+    for pp in (0, 1):
+        for qq in (0, 1):
+            phase = hp[:, pp::2, qq::2]  # d_pq
+            taps_a = range(2 if pp == 0 else 1)  # u = 2a+p <= 2
+            taps_b = range(2 if qq == 0 else 1)
+            for a in taps_a:
+                for b in taps_b:
+                    g = w64[:, :, 2 * a + pp, 2 * b + qq]  # (F, C)
+                    window = phase[:, a : a + oh, b : b + ow]
+                    out += np.tensordot(g, window, axes=(1, 0))
+    return out.astype(np.float32)
+
+
+def trace_stride2_decomposed(sim: TraceSimulator, spec: ConvSpec) -> None:
+    """Replay the decomposed stride-2 convolution on the simulator.
+
+    Four stride-1 sub-convolutions on half-resolution phase planes:
+    phase extraction (strided loads, like a stride-2 im2col), F(6,2)
+    input transforms where an axis has 2 taps, register-blocked tuple
+    multiplication per sub-kernel, and a shared output transform /
+    accumulation.
+    """
+    if spec.ksize != 3 or spec.stride != 2:
+        raise ValueError("decomposition targets 3x3 stride-2 layers")
+    t = f6x2()
+    isa = sim.machine.make_isa()
+    vl = sim.machine.vlen_f32
+    c, f = spec.in_channels, spec.out_channels
+    th, tw = tile_grid(spec.out_h, spec.out_w, t.m)
+    n_tiles = th * tw
+    ph, pw = spec.out_h + 2, spec.out_w + 2  # phase-plane extent
+
+    src = sim.alloc("s2_phases", 4 * c * ph * pw * 4)
+    vbuf = sim.alloc("s2_V", n_tiles * c * t.alpha * t.alpha * 4)
+    ubuf = sim.alloc("s2_U", f * c * t.alpha * t.alpha * 4)
+    mbuf = sim.alloc("s2_M", n_tiles * f * t.alpha * t.alpha * 4)
+    out = sim.alloc("s2_out", f * spec.out_h * spec.out_w * 4)
+
+    # Tuple-position counts per sub-kernel parity: (2,2)->a^2, (2,1) and
+    # (1,2) -> a*m, (1,1) -> m^2.
+    sub_positions = [
+        t.alpha * t.alpha,
+        t.alpha * t.m,
+        t.m * t.alpha,
+        t.m * t.m,
+    ]
+
+    with sim.kernel("winograd"):
+        sim.hierarchy.note_resident_range(ubuf.base, ubuf.nbytes)
+        with sim.kernel("s2_phase_extract"):
+            # Strided reads of the 4 phase planes (one pass over the input).
+            n_elems = c * ph * pw
+            for ch in sim.loop(-(-n_elems // vl), warmup=1, sample=4):
+                gvl = min(vl, n_elems - ch * vl)
+                for _phase in range(4):
+                    sim.vload(src.base + ch * vl * 8, gvl, stride=8)
+                    sim.vstore(src.base + ch * vl * 4, gvl)
+        with sim.kernel("wino_input_transform"):
+            # F(6,2) transforms of the 2-tap phases (3 of 4 phases need
+            # at least one transformed axis).
+            _trace_transform_pass(
+                sim, isa, 3 * n_tiles * c, src.base, vbuf.base,
+                t.alpha, t.alpha, src_row_stride=pw * 4, coeffs_nonzero=3,
+            )
+        with sim.kernel("wino_tuple_mult"):
+            for sub in sim.loop(4, warmup=4, sample=0):
+                _trace_tuple_mult(
+                    sim, n_tiles, f, c, sub_positions[sub],
+                    ubuf.base, vbuf.base, mbuf.base, vl,
+                )
+        with sim.kernel("wino_output_transform"):
+            _trace_transform_pass(
+                sim, isa, n_tiles * f, mbuf.base, out.base,
+                t.alpha, t.m, src_row_stride=t.alpha * 4, coeffs_nonzero=3,
+            )
+        with sim.kernel("s2_accumulate"):
+            n_out = f * spec.out_h * spec.out_w
+            for ch in sim.loop(-(-n_out // vl), warmup=1, sample=4):
+                gvl = min(vl, n_out - ch * vl)
+                sim.vload(out.base + ch * vl * 4, gvl)
+                sim.varith(gvl, 3)
+                sim.vstore(out.base + ch * vl * 4, gvl)

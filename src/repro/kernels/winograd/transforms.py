@@ -1,0 +1,90 @@
+"""Tile transforms for Winograd convolution (NNPACK-style 8x8 tiles).
+
+Batched NumPy implementations of the input, weight and output
+transforms, plus the tile-extraction/scatter geometry.  The inter-tile
+VLA vectorization of these transforms (the paper's novel contribution,
+Fig. 4/5) lives in :mod:`repro.kernels.winograd.intertile`; this module
+is the plain reference those kernels are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .matrices import WinogradTransform
+
+__all__ = [
+    "tile_grid",
+    "extract_tiles",
+    "input_transform_batched",
+    "weight_transform_batched",
+    "output_transform_batched",
+    "scatter_tiles",
+]
+
+
+def tile_grid(out_h: int, out_w: int, m: int) -> Tuple[int, int]:
+    """Number of tile rows/cols covering an ``out_h x out_w`` output."""
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("output dimensions must be positive")
+    return -(-out_h // m), -(-out_w // m)
+
+
+def extract_tiles(x_pad: np.ndarray, th: int, tw: int, m: int, alpha: int) -> np.ndarray:
+    """Extract overlapping ``alpha x alpha`` input tiles.
+
+    ``x_pad`` is the zero-padded input plane stack ``(C, Hp, Wp)``; tiles
+    start every ``m`` pixels and overlap by ``alpha - m`` (2 for the 8x8
+    tiles).  Returns ``(C, th*tw, alpha, alpha)``.  ``x_pad`` must be
+    large enough; callers pad with :func:`np.pad` beforehand.
+    """
+    c, hp, wp = x_pad.shape
+    need_h, need_w = (th - 1) * m + alpha, (tw - 1) * m + alpha
+    if hp < need_h or wp < need_w:
+        raise ValueError(
+            f"padded input {hp}x{wp} too small for {th}x{tw} tiles "
+            f"(need {need_h}x{need_w})"
+        )
+    # Strided-view extraction: no data copy until the final reshape.
+    sC, sH, sW = x_pad.strides
+    view = np.lib.stride_tricks.as_strided(
+        x_pad,
+        shape=(c, th, tw, alpha, alpha),
+        strides=(sC, sH * m, sW * m, sH, sW),
+        writeable=False,
+    )
+    return view.reshape(c, th * tw, alpha, alpha).copy()
+
+
+def input_transform_batched(t: WinogradTransform, tiles: np.ndarray) -> np.ndarray:
+    """``B^T d B`` over a batch of tiles ``(..., alpha, alpha)``."""
+    return np.einsum("ij,...jk,lk->...il", t.Bt, tiles, t.Bt, optimize=True)
+
+
+def weight_transform_batched(t: WinogradTransform, weights: np.ndarray) -> np.ndarray:
+    """``G g G^T`` over filters ``(F, C, r, r)`` -> ``(F, C, alpha, alpha)``.
+
+    Performed offline for inference — Section VII-A: "the weight
+    transformation is a major bottleneck, but it can be performed offline".
+    """
+    return np.einsum("ij,fcjk,lk->fcil", t.G, weights, t.G, optimize=True)
+
+
+def output_transform_batched(t: WinogradTransform, m_tiles: np.ndarray) -> np.ndarray:
+    """``A^T M A`` over a batch ``(..., alpha, alpha)`` -> ``(..., m, m)``."""
+    return np.einsum("ji,...jk,kl->...il", t.A, m_tiles, t.A, optimize=True)
+
+
+def scatter_tiles(
+    y_tiles: np.ndarray, th: int, tw: int, m: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Place ``(F, th*tw, m, m)`` output tiles into ``(F, out_h, out_w)``.
+
+    Edge tiles are cropped (the tile grid rounds the output up).
+    """
+    f = y_tiles.shape[0]
+    full = y_tiles.reshape(f, th, tw, m, m).transpose(0, 1, 3, 2, 4)
+    full = full.reshape(f, th * m, tw * m)
+    return np.ascontiguousarray(full[:, :out_h, :out_w])

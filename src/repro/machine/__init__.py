@@ -1,0 +1,66 @@
+"""gem5-substitute: trace-driven vector microarchitecture simulator.
+
+See DESIGN.md §2 (substitution table) and §5 (timing-model notes).
+Public surface: machine presets matching the paper's Table I, the cache /
+prefetcher / hierarchy models, and :class:`TraceSimulator`, which kernels
+replay their instruction streams against.
+"""
+
+from .cache import SetAssocCache
+from .config import (
+    KB,
+    MB,
+    CacheParams,
+    CoreParams,
+    MachineConfig,
+    PrefetcherParams,
+    VPUParams,
+    a64fx,
+    rvv_gem5,
+    sve_gem5,
+)
+from .hierarchy import AccessStats, MemoryHierarchy
+from .latency import (
+    BASE_L2_BYTES,
+    BASE_L2_LATENCY,
+    cacti_like_latency,
+    constant_latency,
+    latency_for,
+)
+from .prefetcher import NullPrefetcher, StreamPrefetcher
+from .report import dump_gem5_stats, format_gem5_stats
+from .simulator import SimStats, TraceSimulator
+from .trace import AddressSpace, Buffer
+from .vpu import varith_cycles, vbroadcast_cycles, vmem_transfer_cycles
+
+__all__ = [
+    "SetAssocCache",
+    "CacheParams",
+    "CoreParams",
+    "MachineConfig",
+    "PrefetcherParams",
+    "VPUParams",
+    "KB",
+    "MB",
+    "a64fx",
+    "rvv_gem5",
+    "sve_gem5",
+    "AccessStats",
+    "MemoryHierarchy",
+    "BASE_L2_BYTES",
+    "BASE_L2_LATENCY",
+    "cacti_like_latency",
+    "constant_latency",
+    "latency_for",
+    "NullPrefetcher",
+    "dump_gem5_stats",
+    "format_gem5_stats",
+    "StreamPrefetcher",
+    "SimStats",
+    "TraceSimulator",
+    "AddressSpace",
+    "Buffer",
+    "varith_cycles",
+    "vbroadcast_cycles",
+    "vmem_transfer_cycles",
+]

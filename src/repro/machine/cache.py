@@ -1,0 +1,165 @@
+"""Set-associative cache model with LRU replacement.
+
+This is the storage component of the simulated memory hierarchy
+(Table I of the paper: 64 KB 4-way L1, 1 MB-256 MB 8/16-way L2, 64 B or
+256 B lines).  The model is functional-state only — *timing* is applied
+by :class:`repro.machine.hierarchy.MemoryHierarchy` using the hit/miss
+outcome returned here.
+
+Implementation notes (hot path)
+-------------------------------
+``access`` is called once per cache line touched by every memory event in
+a simulation, so it is written for speed: each set is a plain Python list
+of line addresses ordered LRU -> MRU, and associativities are small
+(4-16), so the list scan beats any fancier structure.
+"""
+
+from __future__ import annotations
+
+from .latency import BASE_L2_LATENCY
+
+__all__ = ["SetAssocCache"]
+
+
+class SetAssocCache:
+    """A single level of set-associative, write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.  Must be a multiple of ``assoc * line_bytes``.
+    assoc:
+        Associativity (ways per set).
+    line_bytes:
+        Cache-line size in bytes.
+    latency:
+        Hit latency in cycles (used by the hierarchy's timing).
+    name:
+        Label used in stats and error messages.
+    """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "assoc",
+        "line_bytes",
+        "latency",
+        "num_sets",
+        "_sets",
+        "_dirty",
+        "hits",
+        "misses",
+        "writebacks",
+        "prefetch_fills",
+    )
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+        latency: int = BASE_L2_LATENCY,
+        name: str = "cache",
+    ):
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} is not a multiple of "
+                f"assoc*line ({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty = set()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.prefetch_fills = 0
+
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, write: bool = False) -> bool:
+        """Demand access to *line_addr* (already line-granular).
+
+        Returns ``True`` on hit.  A miss allocates the line (write-allocate)
+        and evicts the LRU way, recording a writeback if it was dirty.
+        """
+        ways = self._sets[line_addr % self.num_sets]
+        if line_addr in ways:
+            # LRU update: move to MRU position (end of list).
+            ways.remove(line_addr)
+            ways.append(line_addr)
+            self.hits += 1
+            if write:
+                self._dirty.add(line_addr)
+            return True
+        self.misses += 1
+        ways.append(line_addr)
+        if len(ways) > self.assoc:
+            victim = ways.pop(0)
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.writebacks += 1
+        if write:
+            self._dirty.add(line_addr)
+        return False
+
+    def fill(self, line_addr: int) -> bool:
+        """Prefetch fill: insert *line_addr* without counting a demand access.
+
+        Returns ``True`` when the line was newly inserted (i.e. the
+        prefetch was useful work, not a duplicate of a resident line).
+        """
+        ways = self._sets[line_addr % self.num_sets]
+        if line_addr in ways:
+            return False
+        ways.append(line_addr)
+        self.prefetch_fills += 1
+        if len(ways) > self.assoc:
+            victim = ways.pop(0)
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.writebacks += 1
+        return True
+
+    def contains(self, line_addr: int) -> bool:
+        """Whether *line_addr* is resident (no LRU update, no stats)."""
+        return line_addr in self._sets[line_addr % self.num_sets]
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the raw hit/miss counters (state is kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.prefetch_fills = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines and clear dirty state (stats kept)."""
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Raw demand miss rate (0 when there were no accesses)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (for capacity tests)."""
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SetAssocCache({self.name}, {self.size_bytes >> 10}KB, "
+            f"{self.assoc}-way, {self.line_bytes}B lines)"
+        )

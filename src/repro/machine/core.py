@@ -1,0 +1,34 @@
+"""Scalar-core cost helpers.
+
+The scalar pipeline matters in two places in the paper's study: the
+*naive* Darknet GEMM baseline (pure scalar code, Sections VI-A/VI-C) and
+the loop/bookkeeping overhead that long vectors amortize away (Fig. 6).
+The cost model is intentionally simple — an in-order MinorCPU-like core
+retiring ``1/scalar_cpi`` instructions per cycle — because the paper's
+conclusions hinge on vector-unit and memory behaviour, not scalar IPC.
+"""
+
+from __future__ import annotations
+
+from .config import CoreParams
+
+__all__ = [
+    "scalar_block_cycles",
+    "LOOP_OVERHEAD_INSTRS",
+    "NAIVE_GEMM_INNER_INSTRS",
+]
+
+#: Scalar instructions per loop-nest iteration for bookkeeping after -O3
+#: strength reduction (pointer bump, compare-and-branch).
+LOOP_OVERHEAD_INSTRS = 2
+
+#: Scalar instructions in the naive GEMM inner loop body beyond its
+#: two loads / one store: the scalar FMA and address arithmetic.
+NAIVE_GEMM_INNER_INSTRS = 3
+
+
+def scalar_block_cycles(core: CoreParams, n_instrs: int) -> float:
+    """Cycles to retire *n_instrs* scalar instructions."""
+    if n_instrs < 0:
+        raise ValueError("instruction count must be non-negative")
+    return n_instrs * core.scalar_cpi

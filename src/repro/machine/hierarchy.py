@@ -1,0 +1,304 @@
+"""Two-level memory hierarchy with ISA-specific VPU integration.
+
+Table I and Section III-A of the paper describe two integration styles:
+
+* **RVV @ gem5** — the VPU is *decoupled* and attached to the **L2**: all
+  vector loads/stores bypass the L1 and stream through a small (2 KB)
+  VectorCache into the L2.  Consequence (Section VI-A): BLIS-style L1
+  blocking is useless to vector code, which is why the 6-loop GEMM does
+  not beat the 3-loop GEMM on RVV.
+* **SVE** — vector data is accessed **through the L1** like scalar data,
+  so cache blocking and prefetching pay off (Section VI-C).
+
+Scalar accesses always travel L1 -> L2 -> DRAM.
+
+Each access method returns ``(latency_sum, occupancy, stats)``:
+``latency_sum`` accumulates per-line hit/miss latencies (the simulator
+divides it by the machine's memory-level parallelism to get exposed
+stall), ``occupancy`` is a pair ``(l1_fill, dram_fill)`` of
+*fill-bandwidth* costs for moving whole cache lines between levels —
+bandwidth cannot be hidden by MLP; the simulator nets the L1-fill
+component against the useful transfer already priced, so only *wasted*
+fill (partially-used lines, e.g. 64 useful bytes of an A64FX 256-byte
+line) costs extra — and
+``stats`` is a 6-tuple ``(l1_hits, l1_misses, l2_hits, l2_misses,
+dram_fills, vc_hits)`` over the lines the access touches.
+"""
+
+from __future__ import annotations
+
+from .cache import SetAssocCache
+from .config import MachineConfig
+from .prefetcher import NullPrefetcher, StreamPrefetcher
+
+__all__ = ["MemoryHierarchy", "AccessStats", "Tlb"]
+
+
+class AccessStats:
+    """Index names for the stats tuples returned by the hierarchy."""
+
+    L1_HITS = 0
+    L1_MISSES = 1
+    L2_HITS = 2
+    L2_MISSES = 3
+    DRAM = 4
+    VC_HITS = 5
+
+
+#: Latency of a VectorCache (staging buffer) hit, cycles.
+_VC_HIT_LATENCY = 2
+
+
+class Tlb:
+    """LRU data-TLB (see :class:`repro.machine.config.TLBParams`).
+
+    Exploits Python dict insertion order for the LRU: a hit re-inserts
+    the page at the MRU end; a miss evicts the oldest entry.
+    """
+
+    __slots__ = ("entries", "shift", "penalty", "_pages", "misses", "hits")
+
+    def __init__(self, entries: int, page_bytes: int, penalty: int):
+        self.entries = entries
+        self.shift = page_bytes.bit_length() - 1
+        self.penalty = penalty
+        self._pages = {}
+        self.misses = 0
+        self.hits = 0
+
+    def access(self, addr: int, nbytes: int) -> int:
+        """Translate an access; return the total miss penalty in cycles."""
+        first = addr >> self.shift
+        last = (addr + nbytes - 1) >> self.shift
+        pages = self._pages
+        cost = 0
+        for page in range(first, last + 1):
+            if page in pages:
+                del pages[page]  # refresh LRU position
+                pages[page] = True
+                self.hits += 1
+            else:
+                self.misses += 1
+                cost += self.penalty
+                pages[page] = True
+                if len(pages) > self.entries:
+                    del pages[next(iter(pages))]
+        return cost
+
+    def flush(self) -> None:
+        """Invalidate all translations."""
+        self._pages.clear()
+
+
+class MemoryHierarchy:
+    """Builds and times the cache hierarchy for one machine config."""
+
+    def __init__(self, cfg: MachineConfig):
+        self.cfg = cfg
+        self.l1 = SetAssocCache(
+            cfg.l1.size_bytes, cfg.l1.assoc, cfg.l1.line_bytes, cfg.l1.latency, "L1"
+        )
+        self.l2 = SetAssocCache(
+            cfg.l2.size_bytes, cfg.l2.assoc, cfg.l2.line_bytes, cfg.l2.latency, "L2"
+        )
+        if cfg.vpu.mem_port == "L2" and cfg.vpu.vector_cache_bytes:
+            vc_bytes = cfg.vpu.vector_cache_bytes
+            lines = max(1, vc_bytes // cfg.l2.line_bytes)
+            # The VectorCache is a small fully-associative staging buffer.
+            self.vector_cache = SetAssocCache(
+                vc_bytes, lines, cfg.l2.line_bytes, _VC_HIT_LATENCY, "VectorCache"
+            )
+        else:
+            self.vector_cache = None
+        self.l1_prefetcher = (
+            StreamPrefetcher(
+                cfg.l1_prefetcher.num_streams,
+                cfg.l1_prefetcher.degree,
+                cfg.l1_prefetcher.trigger,
+            )
+            if cfg.l1_prefetcher
+            else NullPrefetcher()
+        )
+        self.l2_prefetcher = (
+            StreamPrefetcher(
+                cfg.l2_prefetcher.num_streams,
+                cfg.l2_prefetcher.degree,
+                cfg.l2_prefetcher.trigger,
+            )
+            if cfg.l2_prefetcher
+            else NullPrefetcher()
+        )
+        self.tlb = (
+            Tlb(cfg.tlb.entries, cfg.tlb.page_bytes, cfg.tlb.miss_penalty)
+            if cfg.tlb
+            else None
+        )
+        self._l1_shift = cfg.l1.line_bytes.bit_length() - 1
+        self._l2_shift = cfg.l2.line_bytes.bit_length() - 1
+        # Coarse residency ranges (see note_resident_range): [start, end),
+        # most recently used last.  Total bytes bounded by the L2 size.
+        self._ranges = []
+        self._range_budget = cfg.l2.size_bytes
+
+    # ------------------------------------------------------------------
+    # Coarse residency model
+    # ------------------------------------------------------------------
+    # Loop *sampling* in the trace kernels (see simulator.py) touches only
+    # a subset of a buffer's lines, which would make inter-kernel reuse
+    # invisible to the line-level cache state: im2col writes the workspace
+    # and GEMM immediately re-reads it; Darknet reuses the same workspace
+    # and activation buffers across layers; Winograd re-streams its U
+    # tiles every tile iteration.  Whether those re-reads hit is purely a
+    # question of whether the buffer still fits in the L2 — which this
+    # byte-range model answers exactly, at O(#buffers) cost.  A demand
+    # miss that falls inside a registered range is priced as an L2 hit.
+
+    def note_resident_range(self, base: int, nbytes: int) -> None:
+        """Declare that ``[base, base+nbytes)`` was just streamed through
+        the L2 (written or fully read).  If the range exceeds the L2
+        capacity only its tail survives, and older ranges are evicted
+        LRU-first until the total fits."""
+        if nbytes <= 0:
+            return
+        end = base + nbytes
+        start = max(base, end - self._range_budget)
+        # Drop any overlapping older registration.
+        self._ranges = [r for r in self._ranges if r[1] <= start or r[0] >= end]
+        self._ranges.append([start, end])
+        total = sum(r[1] - r[0] for r in self._ranges)
+        while total > self._range_budget and len(self._ranges) > 1:
+            victim = self._ranges.pop(0)
+            total -= victim[1] - victim[0]
+        if total > self._range_budget:
+            r = self._ranges[0]
+            r[0] = r[1] - self._range_budget
+
+    def _range_hit(self, addr: int) -> bool:
+        ranges = self._ranges
+        for i in range(len(ranges) - 1, -1, -1):
+            r = ranges[i]
+            if r[0] <= addr < r[1]:
+                if i != len(ranges) - 1:
+                    ranges.append(ranges.pop(i))  # LRU refresh
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def scalar_access(self, addr: int, nbytes: int, write: bool = False):
+        """Scalar-side access: L1 -> L2 -> DRAM.
+
+        Returns ``(latency, occupancy, stats)``.
+        """
+        return self._l1_path(addr, nbytes, write)
+
+    def vector_access(self, addr: int, nbytes: int, write: bool = False):
+        """Vector-side access; the path depends on the VPU integration."""
+        if self.cfg.vpu.mem_port == "L1":
+            return self._l1_path(addr, nbytes, write)
+        return self._l2_path(addr, nbytes, write)
+
+    def _l1_path(self, addr: int, nbytes: int, write: bool):
+        cfg = self.cfg
+        tlb_cost = self.tlb.access(addr, nbytes) if self.tlb else 0
+        l1, l2 = self.l1, self.l2
+        pf1, pf2 = self.l1_prefetcher, self.l2_prefetcher
+        line = cfg.l1.line_bytes
+        fill_l1 = line / cfg.l2_to_l1_bytes_per_cycle
+        fill_l2 = cfg.l2.line_bytes / cfg.dram_bytes_per_cycle
+        first = addr >> self._l1_shift
+        last = (addr + nbytes - 1) >> self._l1_shift
+        ratio = cfg.l2.line_bytes // line  # L2 lines may be wider (equal here)
+        lat = tlb_cost
+        occ1 = 0.0
+        occ2 = 0.0
+        l1h = l1m = l2h = l2m = dram = 0
+        for la in range(first, last + 1):
+            if l1.access(la, write):
+                lat += cfg.l1.latency
+                l1h += 1
+            else:
+                l1m += 1
+                pf1.observe(l1, la)
+                occ1 += fill_l1
+                l2a = la // ratio if ratio > 1 else la
+                if l2.access(l2a, write) or self._range_hit(la << self._l1_shift):
+                    lat += cfg.l1.latency + cfg.l2.latency
+                    l2h += 1
+                else:
+                    l2m += 1
+                    dram += 1
+                    pf2.observe(l2, l2a)
+                    occ2 += fill_l2
+                    lat += cfg.l1.latency + cfg.l2.latency + cfg.dram_latency
+        return lat, (occ1, occ2), (l1h, l1m, l2h, l2m, dram, 0)
+
+    def _l2_path(self, addr: int, nbytes: int, write: bool):
+        """RVV decoupled-VPU path: VectorCache -> L2 -> DRAM (L1 bypassed)."""
+        cfg = self.cfg
+        tlb_cost = self.tlb.access(addr, nbytes) if self.tlb else 0
+        vc, l2 = self.vector_cache, self.l2
+        fill_l2 = cfg.l2.line_bytes / cfg.dram_bytes_per_cycle
+        first = addr >> self._l2_shift
+        last = (addr + nbytes - 1) >> self._l2_shift
+        lat = tlb_cost
+        occ2 = 0.0
+        l2h = l2m = dram = vch = 0
+        for la in range(first, last + 1):
+            if vc is not None and vc.access(la, write):
+                lat += _VC_HIT_LATENCY
+                vch += 1
+                continue
+            if l2.access(la, write) or self._range_hit(la << self._l2_shift):
+                lat += cfg.l2.latency
+                l2h += 1
+            else:
+                l2m += 1
+                dram += 1
+                occ2 += fill_l2
+                lat += cfg.l2.latency + cfg.dram_latency
+            if vc is not None:
+                vc.fill(la)
+        return lat, (0.0, occ2), (0, 0, l2h, l2m, dram, vch)
+
+    # ------------------------------------------------------------------
+    # Software prefetch
+    # ------------------------------------------------------------------
+    def sw_prefetch(self, addr: int, nbytes: int, level: str = "L1") -> int:
+        """Honour a software prefetch hint into *level* (``"L1"``/``"L2"``).
+
+        Returns the number of lines filled.  The caller is responsible for
+        checking :attr:`MachineConfig.honors_sw_prefetch` — on gem5 these
+        are no-ops and on RVV the compiler deletes them (Section IV-A).
+        """
+        if level == "L1":
+            cache, shift = self.l1, self._l1_shift
+        elif level == "L2":
+            cache, shift = self.l2, self._l2_shift
+        else:
+            raise ValueError(f"unknown prefetch level {level!r}")
+        first = addr >> shift
+        last = (addr + nbytes - 1) >> shift
+        filled = 0
+        for la in range(first, last + 1):
+            # Prefetching into L1 implies the line also lands in L2
+            # (inclusive hierarchy).
+            if cache is self.l1:
+                ratio = self.cfg.l2.line_bytes // self.cfg.l1.line_bytes
+                self.l2.fill(la // ratio if ratio > 1 else la)
+            if cache.fill(la):
+                filled += 1
+        return filled
+
+    def flush(self) -> None:
+        """Invalidate all cache state (between independent simulations)."""
+        self.l1.flush()
+        self.l2.flush()
+        if self.vector_cache is not None:
+            self.vector_cache.flush()
+        self.l1_prefetcher.reset()
+        self.l2_prefetcher.reset()
+        self._ranges.clear()
+        if self.tlb:
+            self.tlb.flush()

@@ -1,0 +1,75 @@
+"""Cache-latency models.
+
+The paper derives its simulated L2 latency from the AMD Zen2 L2
+(12 cycles at 7 nm) extrapolated to 1 MB with CACTI, arriving at
+12 cycles, and then — when sweeping L2 size up to 256 MB — argues that
+"larger caches are beneficial, *given that their latency remains low*"
+(Section VI-B(b)).  We therefore provide two models:
+
+* :func:`constant_latency` — the paper's experimental setting: latency
+  stays at the 1 MB value for every size in the sweep (isolating capacity
+  effects from latency effects);
+* :func:`cacti_like_latency` — a CACTI-flavoured power-law growth with
+  capacity, available for the latency-sensitivity ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "BASE_L2_BYTES",
+    "BASE_L2_LATENCY",
+    "constant_latency",
+    "cacti_like_latency",
+]
+
+#: Reference point from the paper: 1 MB L2 at 12 cycles.
+BASE_L2_BYTES = 1 << 20
+BASE_L2_LATENCY = 12
+
+
+def constant_latency(size_bytes: int, base_latency: int = BASE_L2_LATENCY) -> int:
+    """The paper's setting: L2 latency independent of capacity."""
+    if size_bytes <= 0:
+        raise ValueError("cache size must be positive")
+    return base_latency
+
+
+def cacti_like_latency(
+    size_bytes: int,
+    base_bytes: int = BASE_L2_BYTES,
+    base_latency: int = BASE_L2_LATENCY,
+    exponent: float = 0.35,
+) -> int:
+    """CACTI-flavoured latency growth: ``lat = base * (size/base_size)**e``.
+
+    CACTI 6.0 shows SRAM access time growing roughly with the square root
+    of the macro area for NUCA organizations; ``exponent = 0.35`` keeps a
+    256 MB L2 at ~84 cycles, in line with published large-SRAM designs.
+
+    >>> cacti_like_latency(1 << 20)
+    12
+    >>> cacti_like_latency(256 << 20) > 4 * cacti_like_latency(1 << 20)
+    True
+    """
+    if size_bytes <= 0:
+        raise ValueError("cache size must be positive")
+    scale = (size_bytes / base_bytes) ** exponent
+    return max(1, int(round(base_latency * scale)))
+
+
+def latency_for(size_bytes: int, model: str = "constant") -> int:
+    """Dispatch helper used by the machine presets."""
+    if model == "constant":
+        return constant_latency(size_bytes)
+    if model == "cacti":
+        return cacti_like_latency(size_bytes)
+    raise ValueError(f"unknown latency model {model!r}")
+
+
+__all__.append("latency_for")
+
+# Keep ``math`` referenced for introspection tools even though the power
+# law uses the ** operator.
+_ = math.sqrt

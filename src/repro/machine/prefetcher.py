@@ -1,0 +1,96 @@
+"""Hardware stream prefetcher model.
+
+The A64FX's hardware prefetcher is the feature the paper credits for the
+6-loop (BLIS-like) GEMM's 2x win over the 3-loop GEMM on real hardware —
+versus only 15 % on gem5-SVE, which does not model prefetching
+(Section VI-C).  The mechanism: the 6-loop kernel *packs* A and B into
+contiguous buffers, which a sequential stream prefetcher follows
+perfectly, while the 3-loop kernel's inner loop hops across K distinct
+matrix rows (stride N*4 bytes), defeating a stream table of limited size.
+
+We model a classic next-N-lines stream prefetcher with a finite stream
+table: an access that extends a tracked stream prefetches the next
+``degree`` lines into the attached cache; an access that matches no
+stream allocates a new entry (confidence-gated), evicting the least
+recently used stream.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StreamPrefetcher", "NullPrefetcher"]
+
+
+class NullPrefetcher:
+    """Prefetcher stub for machines without hardware prefetch (gem5 runs)."""
+
+    issued = 0
+
+    def observe(self, cache, line_addr: int) -> int:
+        """No-op; returns the number of lines prefetched (always 0)."""
+        return 0
+
+    def reset(self) -> None:
+        """No state to reset."""
+
+
+class StreamPrefetcher:
+    """Sequential stream prefetcher with a finite stream table.
+
+    Parameters
+    ----------
+    num_streams:
+        Stream-table entries.  The 3-loop GEMM generates ~K concurrent row
+        streams; once K exceeds this, its B-matrix loads stop being
+        prefetched — exactly the packing advantage the paper exploits.
+    degree:
+        Lines fetched ahead when a stream advances.
+    trigger:
+        Consecutive-line confirmations required before a stream starts
+        issuing prefetches.
+    """
+
+    __slots__ = ("num_streams", "degree", "trigger", "_streams", "issued")
+
+    def __init__(self, num_streams: int = 8, degree: int = 4, trigger: int = 2):
+        if num_streams <= 0 or degree <= 0 or trigger <= 0:
+            raise ValueError("prefetcher parameters must be positive")
+        self.num_streams = num_streams
+        self.degree = degree
+        self.trigger = trigger
+        # Each stream: [next_expected_line, confidence]; list order is LRU.
+        self._streams = []
+        self.issued = 0
+
+    def observe(self, cache, line_addr: int) -> int:
+        """Feed a demand access; prefetch into *cache* when a stream fires.
+
+        Returns the number of lines inserted into the cache.
+        """
+        streams = self._streams
+        for i, st in enumerate(streams):
+            expected, conf = st
+            # Allow the access to land within the prefetch window of the
+            # stream (it may hit lines we already fetched ahead).
+            if expected <= line_addr < expected + self.degree + 1:
+                st[0] = line_addr + 1
+                st[1] = conf + 1
+                streams.append(streams.pop(i))  # LRU -> MRU
+                if st[1] >= self.trigger:
+                    filled = 0
+                    base = line_addr + 1
+                    for d in range(self.degree):
+                        if cache.fill(base + d):
+                            filled += 1
+                    self.issued += filled
+                    return filled
+                return 0
+        # No stream matched: allocate one expecting the next line.
+        streams.append([line_addr + 1, 1])
+        if len(streams) > self.num_streams:
+            streams.pop(0)
+        return 0
+
+    def reset(self) -> None:
+        """Drop all tracked streams and the issue counter."""
+        self._streams.clear()
+        self.issued = 0

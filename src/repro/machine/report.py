@@ -1,0 +1,71 @@
+"""gem5-style statistics dump.
+
+The paper's methodology reads gem5's ``stats.txt``; this module renders
+a :class:`~repro.machine.simulator.SimStats` in the same
+``name  value  # description`` format so results can be diffed,
+grepped and post-processed with existing gem5 tooling habits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import MachineConfig
+from .simulator import SimStats
+
+__all__ = ["format_gem5_stats", "dump_gem5_stats"]
+
+_DESCRIPTIONS = [
+    ("sim_cycles", "cycles", "Simulated execution cycles"),
+    ("system.cpu.numInsts.scalar", "scalar_instrs", "Scalar instructions retired"),
+    ("system.cpu.numInsts.vector", "vec_instrs", "Vector instructions retired"),
+    ("system.cpu.vpu.memInsts", "vec_mem_instrs", "Vector memory instructions"),
+    ("system.cpu.vpu.elemsProcessed", "vec_elems", "Vector elements processed"),
+    ("system.cpu.vpu.flops", "flops", "Floating-point operations"),
+    ("system.cpu.dcache.bytesRead", "bytes_loaded", "Bytes loaded"),
+    ("system.cpu.dcache.bytesWritten", "bytes_stored", "Bytes stored"),
+    ("system.l1.hits", "l1_hits", "L1 demand hits"),
+    ("system.l1.misses", "l1_misses", "L1 demand misses"),
+    ("system.l2.hits", "l2_hits", "L2 demand hits"),
+    ("system.l2.misses", "l2_misses", "L2 demand misses"),
+    ("system.mem.fills", "dram_fills", "DRAM line fills"),
+    ("system.cpu.vpu.vcHits", "vc_hits", "VectorCache hits"),
+    ("system.cpu.swPrefetches", "sw_prefetches", "Software prefetches issued"),
+    ("system.cpu.regSpills", "spills", "Vector register spills"),
+]
+
+
+def format_gem5_stats(
+    stats: SimStats, machine: Optional[MachineConfig] = None
+) -> str:
+    """Render *stats* in gem5 ``stats.txt`` style."""
+    lines = ["---------- Begin Simulation Statistics ----------"]
+    if machine is not None:
+        lines.append(f"# machine: {machine.describe()}")
+        seconds = stats.cycles / (machine.core.freq_ghz * 1e9)
+        lines.append(f"{'sim_seconds':44s} {seconds:<18.6f} # Simulated seconds")
+    for name, attr, desc in _DESCRIPTIONS:
+        lines.append(f"{name:44s} {getattr(stats, attr):<18.0f} # {desc}")
+    lines.append(
+        f"{'system.l2.missRate':44s} {stats.l2_miss_rate:<18.4f} "
+        "# L2 demand miss rate"
+    )
+    lines.append(
+        f"{'system.cpu.vpu.avgVlenBits':44s} {stats.avg_vlen_bits:<18.1f} "
+        "# Average consumed vector length (bits)"
+    )
+    for kernel, cycles in sorted(stats.kernel_cycles.items(), key=lambda kv: -kv[1]):
+        lines.append(
+            f"{'kernel.' + kernel + '.cycles':44s} {cycles:<18.0f} "
+            f"# Cycles attributed to {kernel}"
+        )
+    lines.append("---------- End Simulation Statistics   ----------")
+    return "\n".join(lines)
+
+
+def dump_gem5_stats(
+    stats: SimStats, path: str, machine: Optional[MachineConfig] = None
+) -> None:
+    """Write :func:`format_gem5_stats` output to *path*."""
+    with open(path, "w") as fh:
+        fh.write(format_gem5_stats(stats, machine) + "\n")

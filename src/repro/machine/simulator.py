@@ -1,0 +1,446 @@
+"""Trace-driven timing simulator.
+
+This is the stand-in for gem5 in the reproduction (see DESIGN.md's
+substitution table).  Kernels *replay* their instruction stream — vector
+loads/stores with real address patterns, vector arithmetic groups, scalar
+bookkeeping — against a :class:`TraceSimulator`, which prices each event
+using the machine's VPU and memory-hierarchy models and accumulates
+cycles plus cache statistics.
+
+Loop sampling
+-------------
+Simulating every iteration of a YOLOv3 GEMM (hundreds of millions of
+MACs) in Python is infeasible, and unnecessary: the loop nests are
+periodic.  :meth:`TraceSimulator.loop` therefore runs a few *warm-up*
+iterations at weight 1 (to warm the caches into steady state) and then a
+small number of *sampled* iterations whose cycle and hit/miss
+contributions are scaled by ``(total - warmup) / sample``.  Cache *state*
+evolves normally during sampled iterations; only the accounting is
+weighted.  Sampling is exact for uniform iterations and a close
+approximation for GEMM/Winograd loop nests, whose per-iteration work and
+reuse pattern are homogeneous after warm-up.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from .config import MachineConfig
+from .hierarchy import MemoryHierarchy
+from .trace import AddressSpace, Buffer
+from .vpu import varith_cycles, vbroadcast_cycles, vmem_transfer_cycles
+
+__all__ = ["SimStats", "TraceSimulator"]
+
+#: Fraction of a store's latency that stalls the pipeline (store buffers
+#: hide most of it).
+_STORE_STALL_FACTOR = 0.25
+#: Outstanding scalar misses overlapped by an in-order core's LSU.
+_SCALAR_MLP = 2.0
+#: Dependency-chain serialization per spilled/reloaded vector register.
+_SPILL_SERIALIZE_CYCLES = 8
+
+
+@dataclass
+class SimStats:
+    """Weighted statistics accumulated by a :class:`TraceSimulator`.
+
+    All counters are floats because sampled iterations contribute
+    fractional (weighted) amounts.
+    """
+
+    cycles: float = 0.0
+    scalar_instrs: float = 0.0
+    vec_instrs: float = 0.0
+    vec_mem_instrs: float = 0.0
+    vec_elems: float = 0.0
+    flops: float = 0.0
+    bytes_loaded: float = 0.0
+    bytes_stored: float = 0.0
+    l1_hits: float = 0.0
+    l1_misses: float = 0.0
+    l2_hits: float = 0.0
+    l2_misses: float = 0.0
+    dram_fills: float = 0.0
+    vc_hits: float = 0.0
+    sw_prefetches: float = 0.0
+    spills: float = 0.0
+    kernel_cycles: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def l2_accesses(self) -> float:
+        """Demand accesses that reached the L2."""
+        return self.l2_hits + self.l2_misses
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 demand miss rate, as reported in Table III of the paper."""
+        total = self.l2_accesses
+        return self.l2_misses / total if total else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 demand miss rate."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def avg_vlen_elems(self) -> float:
+        """Consumed average vector length in elements (Table III)."""
+        return self.vec_elems / self.vec_instrs if self.vec_instrs else 0.0
+
+    @property
+    def avg_vlen_bits(self) -> float:
+        """Consumed average vector length in bits, assuming f32 elements."""
+        return self.avg_vlen_elems * 32
+
+    def gflops_per_sec(self, freq_ghz: float) -> float:
+        """Sustained GFLOP/s at the given core frequency."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.flops / self.cycles * freq_ghz
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Accumulate *other* into ``self`` and return ``self``."""
+        for name in (
+            "cycles",
+            "scalar_instrs",
+            "vec_instrs",
+            "vec_mem_instrs",
+            "vec_elems",
+            "flops",
+            "bytes_loaded",
+            "bytes_stored",
+            "l1_hits",
+            "l1_misses",
+            "l2_hits",
+            "l2_misses",
+            "dram_fills",
+            "vc_hits",
+            "sw_prefetches",
+            "spills",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for k, v in other.kernel_cycles.items():
+            self.kernel_cycles[k] = self.kernel_cycles.get(k, 0.0) + v
+        return self
+
+
+class TraceSimulator:
+    """Prices a kernel's instruction trace on one machine design point."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+        self.hierarchy = MemoryHierarchy(machine)
+        self.address_space = AddressSpace()
+        self.stats = SimStats()
+        self._weights = [1.0]
+        self._w = 1.0
+        self._kernel_stack = ["other"]
+        # Hot-path locals.
+        self._vpu = machine.vpu
+        self._core = machine.core
+        self._ooo_hide = machine.core.ooo_hide
+        self._stall_scale = (1.0 - machine.core.ooo_hide) / machine.vpu.mlp
+
+    # ------------------------------------------------------------------
+    # Allocation & attribution
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, nbytes: int) -> Buffer:
+        """Allocate a simulated buffer (line-aligned, never aliasing)."""
+        return self.address_space.alloc(name, nbytes)
+
+    @contextmanager
+    def kernel(self, label: str):
+        """Attribute cycles accrued in this context to *label*.
+
+        Used by the network runner to reproduce the per-kernel execution
+        breakdown of Section II-B (GEMM = 93.4 % of compute time).
+        """
+        self._kernel_stack.append(label)
+        try:
+            yield
+        finally:
+            self._kernel_stack.pop()
+
+    def _add_cycles(self, c: float) -> None:
+        wc = self._w * c
+        self.stats.cycles += wc
+        label = self._kernel_stack[-1]
+        kc = self.stats.kernel_cycles
+        kc[label] = kc.get(label, 0.0) + wc
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @contextmanager
+    def region(self, weight: float):
+        """Scale everything inside the context by *weight*."""
+        if weight < 0:
+            raise ValueError("region weight must be non-negative")
+        self._weights.append(weight)
+        self._w *= weight
+        try:
+            yield
+        finally:
+            self._weights.pop()
+            self._w /= weight if weight else 1.0
+            # Recompute to avoid float drift after many regions.
+            prod = 1.0
+            for w in self._weights:
+                prod *= w
+            self._w = prod
+
+    def loop(self, total: int, warmup: int = 2, sample: int = 8) -> Iterator[int]:
+        """Iterate a homogeneous loop with warm-up + weighted sampling.
+
+        Yields iteration indices.  When ``total <= warmup + sample + 1``
+        every iteration runs at weight 1; otherwise ``warmup`` leading
+        iterations run unweighted, ``sample`` evenly-spaced *interior*
+        iterations run with weight ``(total - warmup - 1) / sample``, and
+        the final iteration runs unweighted — loop tails (partial vector
+        chunks, edge blocks) are usually on the last iteration and would
+        otherwise be mis-extrapolated.
+        """
+        if total < 0:
+            raise ValueError("loop trip count must be non-negative")
+        if total <= warmup + sample + 1:
+            for i in range(total):
+                yield i
+            return
+        for i in range(warmup):
+            yield i
+        interior = total - warmup - 1
+        weight = interior / sample
+        self._weights.append(weight)
+        self._w *= weight
+        try:
+            step = interior / sample
+            for s in range(sample):
+                yield warmup + int(s * step)
+        finally:
+            self._weights.pop()
+            prod = 1.0
+            for w in self._weights:
+                prod *= w
+            self._w = prod
+        yield total - 1  # the tail iteration, at weight 1
+
+    # ------------------------------------------------------------------
+    # Scalar events
+    # ------------------------------------------------------------------
+    def scalar(self, n: int = 1) -> None:
+        """*n* scalar ALU / bookkeeping instructions."""
+        self.stats.scalar_instrs += self._w * n
+        self._add_cycles(n * self._core.scalar_cpi)
+
+    def scalar_load(self, addr: int, nbytes: int = 4) -> None:
+        """A scalar load (naive kernels, packing bookkeeping)."""
+        lat, occ, st = self.hierarchy.scalar_access(addr, nbytes, write=False)
+        stall = max(0.0, lat - self.machine.l1.latency) / _SCALAR_MLP
+        stall *= 1.0 - self._core.ooo_hide
+        self.stats.scalar_instrs += self._w
+        self.stats.bytes_loaded += self._w * nbytes
+        self._account_mem(st)
+        self._add_cycles(self._core.scalar_cpi + stall + occ[0] + occ[1])
+
+    def scalar_store(self, addr: int, nbytes: int = 4) -> None:
+        """A scalar store."""
+        lat, occ, st = self.hierarchy.scalar_access(addr, nbytes, write=True)
+        stall = max(0.0, lat - self.machine.l1.latency) / _SCALAR_MLP
+        stall *= _STORE_STALL_FACTOR * (1.0 - self._core.ooo_hide)
+        self.stats.scalar_instrs += self._w
+        self.stats.bytes_stored += self._w * nbytes
+        self._account_mem(st)
+        self._add_cycles(self._core.scalar_cpi + stall + occ[0] + occ[1])
+
+    # ------------------------------------------------------------------
+    # Vector events
+    # ------------------------------------------------------------------
+    def _account_mem(self, st) -> None:
+        w = self._w
+        s = self.stats
+        s.l1_hits += w * st[0]
+        s.l1_misses += w * st[1]
+        s.l2_hits += w * st[2]
+        s.l2_misses += w * st[3]
+        s.dram_fills += w * st[4]
+        s.vc_hits += w * st[5]
+
+    def vload(self, addr: int, n_elems: int, ew: int = 4, stride: int = 0) -> None:
+        """Vector load of *n_elems* elements of width *ew* from *addr*.
+
+        ``stride`` is the byte distance between consecutive elements
+        (0 or ``ew`` means unit stride).  Strided/gathered loads touch one
+        line per element once the stride exceeds the line size.
+        """
+        self._vmem(addr, n_elems, ew, stride, write=False)
+
+    def vstore(self, addr: int, n_elems: int, ew: int = 4, stride: int = 0) -> None:
+        """Vector store; see :meth:`vload` for the addressing model."""
+        self._vmem(addr, n_elems, ew, stride, write=True)
+
+    def _vmem(self, addr: int, n_elems: int, ew: int, stride: int, write: bool) -> None:
+        if n_elems <= 0:
+            return
+        vpu = self._vpu
+        nbytes = n_elems * ew
+        l1_line = self.machine.l1.line_bytes
+        if stride in (0, ew):
+            lat, (occ1, occ2), st = self.hierarchy.vector_access(addr, nbytes, write)
+            n_lines = (addr + nbytes - 1) // l1_line - addr // l1_line + 1
+        else:
+            # Strided access: touch each element's line individually.
+            lat = 0
+            occ1 = 0.0
+            occ2 = 0.0
+            acc = [0, 0, 0, 0, 0, 0]
+            for i in range(n_elems):
+                la, oc, s1 = self.hierarchy.vector_access(addr + i * stride, ew, write)
+                lat += la
+                occ1 += oc[0]
+                occ2 += oc[1]
+                for k in range(6):
+                    acc[k] += s1[k]
+            st = tuple(acc)
+            n_lines = n_elems
+        if vpu.mem_port == "L1":
+            # Streamed L1 hits are fully pipelined on an L1-fed VPU: only
+            # latency *beyond* the hit baseline stalls the pipeline.
+            lat = max(0.0, lat - n_lines * self.machine.l1.latency)
+        # Effective MLP grows with the access footprint: a vector load
+        # spanning L lines keeps its own fills in flight.  An L1-fed
+        # scoreboarded pipeline (SVE) additionally overlaps the next
+        # access's fills; the decoupled RVV unit serializes accesses
+        # through its VectorCache.
+        if stride not in (0, ew):
+            # Gathers/strided accesses serialize on address generation:
+            # only a few element fills overlap.
+            overlap = min(n_lines, 4)
+        elif n_lines == 1:
+            overlap = 1  # a dependent single-line load exposes its latency
+        elif vpu.mem_port == "L1":
+            # Scoreboarded streams overlap across accesses too.
+            overlap = 2 * n_lines
+        else:
+            overlap = n_lines  # decoupled unit overlaps its own fills only
+        mlp_eff = max(vpu.mlp, min(overlap, vpu.max_outstanding))
+        stall = lat * (1.0 - self._ooo_hide) / mlp_eff
+        if write:
+            stall *= _STORE_STALL_FACTOR
+        transfer = vmem_transfer_cycles(vpu, nbytes)
+        # L1-fill occupancy is netted against the useful transfer already
+        # priced: only *wasted* fill bandwidth (partially-used lines)
+        # costs extra.  DRAM fill bandwidth is a separate, narrower pipe
+        # and is charged in full.
+        occ = max(0.0, occ1 - transfer) + occ2
+        # No lane-fill term: memory data streams into the lanes as it
+        # arrives (chained), so transfer + exposed stall covers it.
+        cycles = (
+            vpu.mem_issue_overhead
+            + vpu.issue_overhead
+            + transfer
+            + stall
+            + occ
+        )
+        w = self._w
+        s = self.stats
+        s.vec_instrs += w
+        s.vec_mem_instrs += w
+        s.vec_elems += w * n_elems
+        if write:
+            s.bytes_stored += w * nbytes
+        else:
+            s.bytes_loaded += w * nbytes
+        self._account_mem(st)
+        self._add_cycles(cycles)
+
+    def vgather(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
+        """Gather load of *n_elems* elements spread over *span_bytes*.
+
+        Models index-vector gathers (used by the RVV Winograd fallback,
+        Section VII) as evenly spread element accesses over the span.
+        """
+        if n_elems <= 0:
+            return
+        stride = max(ew, span_bytes // max(1, n_elems))
+        self._vmem(addr, n_elems, ew, stride, write=False)
+
+    def vscatter(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
+        """Scatter store counterpart of :meth:`vgather`."""
+        if n_elems <= 0:
+            return
+        stride = max(ew, span_bytes // max(1, n_elems))
+        self._vmem(addr, n_elems, ew, stride, write=True)
+
+    def varith(
+        self, n_elems: int, n_instr: int = 1, flops_per_elem: float = 2.0, ew: int = 4
+    ) -> None:
+        """*n_instr* vector arithmetic instructions of *n_elems* lanes each.
+
+        ``flops_per_elem`` defaults to 2 (an FMA counts multiply + add).
+        """
+        if n_elems <= 0 or n_instr <= 0:
+            return
+        cycles = varith_cycles(self._vpu, n_elems, n_instr, ew)
+        w = self._w
+        s = self.stats
+        s.vec_instrs += w * n_instr
+        s.vec_elems += w * n_instr * n_elems
+        s.flops += w * n_instr * n_elems * flops_per_elem
+        self._add_cycles(cycles)
+
+    def vbroadcast(self, n: int = 1) -> None:
+        """*n* scalar-to-vector broadcast instructions."""
+        self.stats.vec_instrs += self._w * n
+        self._add_cycles(n * vbroadcast_cycles(self._vpu))
+
+    def sw_prefetch(self, addr: int, nbytes: int, level: str = "L1") -> None:
+        """Software prefetch hint (paper Fig. 3, lines 11-17).
+
+        Honoured only on machines with ``honors_sw_prefetch`` (A64FX);
+        on gem5-SVE it costs an issue slot as a no-op; on RVV the compiler
+        removed it, so it costs nothing.
+        """
+        m = self.machine
+        if m.honors_sw_prefetch:
+            self.hierarchy.sw_prefetch(addr, nbytes, level)
+            self.stats.sw_prefetches += self._w
+            self._add_cycles(self._core.scalar_cpi)
+        elif m.sw_prefetch_is_noop_instr:
+            self.stats.scalar_instrs += self._w
+            self._add_cycles(self._core.scalar_cpi)
+        # else: dropped at compile time — free.
+
+    def count_flops(self, n: float) -> None:
+        """Record *n* (weighted) flops without issuing an instruction.
+
+        Used by scalar kernels whose arithmetic is already priced through
+        :meth:`scalar`, so sustained-GFLOPs reporting stays correct.
+        """
+        self.stats.flops += self._w * n
+
+    def spill(self, n_registers: int = 1) -> None:
+        """Register spill traffic: store + reload of full vector registers.
+
+        Charged by kernels whose unroll factor exceeds the architectural
+        register budget (Section VI-A: unroll 32 loses ~15 % to spills).
+        Beyond the memory traffic, each reload serializes the dependent
+        FMA chain — the store/load pair cannot be hidden by chaining —
+        so a fixed dependency penalty is charged per spilled register.
+        """
+        vlen_bytes = self.machine.vlen_bits // 8
+        stack = 0  # spills go to the stack: low, reused addresses
+        for _ in range(n_registers):
+            self.vstore(stack, vlen_bytes // 4, 4)
+            self.vload(stack, vlen_bytes // 4, 4)
+        self._add_cycles(n_registers * _SPILL_SERIALIZE_CYCLES)
+        self.stats.spills += self._w * n_registers
+
+    # ------------------------------------------------------------------
+    def seconds(self) -> float:
+        """Simulated wall-clock seconds at the configured frequency."""
+        return self.stats.cycles / (self.machine.core.freq_ghz * 1e9)

@@ -1,0 +1,74 @@
+"""Address-space bookkeeping for trace-driven simulation.
+
+Kernels don't simulate real data values on the timing path — they replay
+the *addresses* their memory instructions touch.  :class:`AddressSpace`
+is a bump allocator handing out line-aligned regions for the matrices and
+buffers a kernel run uses, so distinct buffers never falsely alias in the
+cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["AddressSpace", "Buffer"]
+
+#: Allocation alignment; a large power of two keeps buffers page-aligned
+#: and makes line-address arithmetic exact for any simulated line size.
+_ALIGN = 4096
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A named, contiguous simulated allocation."""
+
+    name: str
+    base: int
+    nbytes: int
+
+    def addr(self, byte_offset: int) -> int:
+        """Absolute address of *byte_offset* inside the buffer."""
+        if not (0 <= byte_offset <= self.nbytes):
+            raise ValueError(
+                f"offset {byte_offset} outside buffer {self.name!r} "
+                f"of {self.nbytes} bytes"
+            )
+        return self.base + byte_offset
+
+    def elem(self, index: int, ew: int = 4) -> int:
+        """Absolute address of element *index* of width *ew* bytes."""
+        return self.addr(index * ew)
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the buffer."""
+        return self.base + self.nbytes
+
+
+@dataclass
+class AddressSpace:
+    """Bump allocator for simulated buffers."""
+
+    next_free: int = _ALIGN  # keep address 0 unused; eases debugging
+    buffers: Dict[str, Buffer] = field(default_factory=dict)
+
+    def alloc(self, name: str, nbytes: int) -> Buffer:
+        """Allocate *nbytes* under *name*; names may repeat (suffixing)."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        base = self.next_free
+        size = max(nbytes, 1)
+        self.next_free = (base + size + _ALIGN - 1) // _ALIGN * _ALIGN
+        unique = name
+        seq = 1
+        while unique in self.buffers:
+            seq += 1
+            unique = f"{name}#{seq}"
+        buf = Buffer(unique, base, nbytes)
+        self.buffers[unique] = buf
+        return buf
+
+    def total_allocated(self) -> int:
+        """Total bytes handed out so far."""
+        return sum(b.nbytes for b in self.buffers.values())

@@ -1,0 +1,64 @@
+"""Vector-unit timing formulas.
+
+The timing of a vector instruction on an in-order machine with ``lanes``
+parallel 64-bit datapaths follows the classic vector-processor model:
+
+    cycles = lane_fill + ceil(active_elements / elements_per_cycle)
+
+``lane_fill`` is the start-up overhead of filling the lane pipelines —
+Section V of the paper: "adding more pipelines increases the start-up
+overhead, which can potentially degrade the performance with short
+vector lengths".  With chaining, back-to-back independent operations of
+the unrolled GEMM micro-kernel overlap their start-up, which is why the
+fill term is charged per instruction rather than per dependence chain
+but kept small (``lanes / 4``).
+"""
+
+from __future__ import annotations
+
+from .config import VPUParams
+
+__all__ = ["varith_cycles", "vmem_transfer_cycles", "vbroadcast_cycles"]
+
+
+def varith_cycles(
+    vpu: VPUParams, n_elems: int, n_instr: int = 1, ew_bytes: int = 4
+) -> int:
+    """Cycles for a *group* of ``n_instr`` independent vector arithmetic
+    instructions of ``n_elems`` lanes each.
+
+    Back-to-back independent operations (the unrolled FMAs of the GEMM
+    micro-kernel) chain through the lanes, so the lane-fill start-up is
+    paid once per group, the per-instruction cost is the single-pipe
+    execution time, and multiple pipes (A64FX's 2 SIMD units) divide the
+    group's throughput.
+    """
+    if n_elems <= 0 or n_instr <= 0:
+        return 0
+    epc_pipe = vpu.exec_elems_per_cycle(ew_bytes)  # elements/cycle, one pipe
+    per_instr = -(-n_elems // epc_pipe)
+    exec_cycles = -(-(n_instr * per_instr) // vpu.pipes)
+    dispatch = n_instr * vpu.issue_overhead
+    # Dispatch and execution overlap once the VPU is saturated: the
+    # group costs whichever stream is longer, plus the lane fill.
+    return vpu.lane_fill_cycles + max(exec_cycles, dispatch)
+
+
+def vmem_transfer_cycles(vpu: VPUParams, nbytes: int) -> int:
+    """Data-transfer cycles for a vector memory instruction.
+
+    Pure occupancy of the memory port; latency/stall is computed by the
+    simulator from the hierarchy's per-line outcome.
+    """
+    if nbytes <= 0:
+        return 0
+    return -(-nbytes // vpu.port_bytes_per_cycle)
+
+
+def vbroadcast_cycles(vpu: VPUParams) -> int:
+    """Cycles for a scalar-to-vector broadcast (``vfmv``/``svdup``).
+
+    The paper notes the compiler folds the broadcast into vector-scalar
+    FMA forms where possible; one cycle models the register move.
+    """
+    return 1

@@ -1,0 +1,53 @@
+"""Darknet-like CNN inference framework (functional + trace-driven).
+
+Layers, the network container, a Darknet ``.cfg`` parser, the paper's
+model zoo (YOLOv3 @608, YOLOv3-tiny, VGG16) and the per-kernel profiler
+of Section II-B.
+"""
+
+from .darknet_cfg import build_network, parse_cfg
+from .layers import (
+    AvgPoolLayer,
+    ConnectedLayer,
+    ConvLayer,
+    CostLayer,
+    DropoutLayer,
+    KernelPolicy,
+    Layer,
+    MaxPoolLayer,
+    RouteLayer,
+    ShortcutLayer,
+    SoftmaxLayer,
+    UpsampleLayer,
+    YoloLayer,
+)
+from .network import Network
+from .profiler import KernelProfile, profile_network
+from .zoo import vgg16, vgg16_cfg, yolov3, yolov3_cfg, yolov3_tiny, yolov3_tiny_cfg
+
+__all__ = [
+    "build_network",
+    "parse_cfg",
+    "AvgPoolLayer",
+    "ConnectedLayer",
+    "ConvLayer",
+    "CostLayer",
+    "DropoutLayer",
+    "KernelPolicy",
+    "Layer",
+    "MaxPoolLayer",
+    "RouteLayer",
+    "ShortcutLayer",
+    "SoftmaxLayer",
+    "UpsampleLayer",
+    "YoloLayer",
+    "Network",
+    "KernelProfile",
+    "profile_network",
+    "vgg16",
+    "vgg16_cfg",
+    "yolov3",
+    "yolov3_cfg",
+    "yolov3_tiny",
+    "yolov3_tiny_cfg",
+]

@@ -1,0 +1,132 @@
+"""Parser for Darknet ``.cfg`` network description files.
+
+Supports the section types used by the paper's three networks (YOLOv3,
+YOLOv3-tiny, VGG16): ``[net]``, ``[convolutional]``, ``[maxpool]``,
+``[route]``, ``[shortcut]``, ``[upsample]``, ``[yolo]``, ``[avgpool]``,
+``[connected]``, ``[softmax]``, ``[dropout]``, ``[cost]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .layers import (
+    AvgPoolLayer,
+    ConnectedLayer,
+    ConvLayer,
+    CostLayer,
+    DropoutLayer,
+    Layer,
+    MaxPoolLayer,
+    RouteLayer,
+    ShortcutLayer,
+    SoftmaxLayer,
+    UpsampleLayer,
+    YoloLayer,
+)
+from .network import Network
+
+__all__ = ["parse_cfg", "build_network"]
+
+Section = Tuple[str, Dict[str, str]]
+
+
+def parse_cfg(text: str) -> List[Section]:
+    """Parse cfg text into ``(section_name, options)`` pairs.
+
+    Handles comments (``#``/``;``), blank lines, and ``key=value``
+    options; later duplicate keys override earlier ones, as in Darknet.
+    """
+    sections: List[Section] = []
+    current: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ValueError(f"malformed section header: {raw!r}")
+            current = {}
+            sections.append((line[1:-1].strip().lower(), current))
+        else:
+            if "=" not in line:
+                raise ValueError(f"malformed option line: {raw!r}")
+            if not sections:
+                raise ValueError("option line before any section header")
+            key, value = line.split("=", 1)
+            current[key.strip()] = value.strip()
+    return sections
+
+
+def _int(opts: Dict[str, str], key: str, default: int) -> int:
+    return int(opts.get(key, default))
+
+
+def _build_layer(name: str, opts: Dict[str, str]) -> Layer:
+    if name == "convolutional":
+        size = _int(opts, "size", 1)
+        # Darknet: pad=1 means "use size//2"; explicit padding= overrides.
+        if "padding" in opts:
+            pad = int(opts["padding"])
+        elif _int(opts, "pad", 0):
+            pad = size // 2
+        else:
+            pad = 0
+        return ConvLayer(
+            filters=_int(opts, "filters", 1),
+            size=size,
+            stride=_int(opts, "stride", 1),
+            pad=pad,
+            batch_normalize=bool(_int(opts, "batch_normalize", 0)),
+            activation=opts.get("activation", "logistic"),
+        )
+    if name == "maxpool":
+        size = _int(opts, "size", 1)
+        stride = _int(opts, "stride", 1)
+        padding = _int(opts, "padding", size - 1)
+        return MaxPoolLayer(size=size, stride=stride, padding=padding)
+    if name == "route":
+        layers = [int(x) for x in opts["layers"].split(",")]
+        return RouteLayer(layers)
+    if name == "shortcut":
+        return ShortcutLayer(
+            from_layer=int(opts["from"]), activation=opts.get("activation", "linear")
+        )
+    if name == "upsample":
+        return UpsampleLayer(stride=_int(opts, "stride", 2))
+    if name == "yolo":
+        mask = opts.get("mask", "0,1,2").split(",")
+        return YoloLayer(anchors=len(mask), classes=_int(opts, "classes", 80))
+    if name == "avgpool":
+        return AvgPoolLayer()
+    if name == "connected":
+        return ConnectedLayer(
+            output=_int(opts, "output", 1),
+            activation=opts.get("activation", "linear"),
+        )
+    if name == "softmax":
+        return SoftmaxLayer()
+    if name == "dropout":
+        return DropoutLayer(probability=float(opts.get("probability", 0.5)))
+    if name == "cost":
+        return CostLayer()
+    raise ValueError(f"unsupported section [{name}]")
+
+
+def build_network(text: str, name: str = "net") -> Network:
+    """Build a :class:`Network` from cfg text.
+
+    The leading ``[net]`` section supplies the input geometry
+    (``channels`` x ``height`` x ``width``).
+    """
+    sections = parse_cfg(text)
+    if not sections or sections[0][0] not in ("net", "network"):
+        raise ValueError("cfg must start with a [net] section")
+    net_opts = sections[0][1]
+    input_shape = (
+        _int(net_opts, "channels", 3),
+        _int(net_opts, "height", 416),
+        _int(net_opts, "width", 416),
+    )
+    layers = [_build_layer(n, o) for n, o in sections[1:]]
+    return Network(layers, input_shape, name=name)

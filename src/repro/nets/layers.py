@@ -1,0 +1,577 @@
+"""Darknet-style network layers.
+
+Each layer implements the functional forward pass (NumPy, matching
+Darknet's inference semantics) and a ``trace`` method that replays its
+kernels on the timing simulator.  The convolutional layer composes the
+kernels the paper optimizes (Section II-B): im2col, GEMM (naive /
+3-loop / 6-loop), the elementwise kernels, and optionally the Winograd
+path of Section VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..isa import VectorISA
+from ..kernels import (
+    ConvSpec,
+    activate_array,
+    add_bias,
+    gemm_3loop,
+    gemm_6loop,
+    gemm_naive,
+    im2col,
+    normalize_cpu,
+    scale_bias,
+    trace_gemm_3loop,
+    trace_gemm_6loop,
+    trace_gemm_naive,
+    trace_im2col,
+    trace_stream_kernel,
+)
+from ..kernels.gemm_6loop import BlockSizes
+from ..kernels.winograd import trace_winograd_conv, winograd_conv2d
+from ..machine.simulator import TraceSimulator
+
+__all__ = [
+    "KernelPolicy",
+    "Layer",
+    "ConvLayer",
+    "MaxPoolLayer",
+    "ConnectedLayer",
+    "RouteLayer",
+    "ShortcutLayer",
+    "UpsampleLayer",
+    "YoloLayer",
+    "AvgPoolLayer",
+    "SoftmaxLayer",
+    "DropoutLayer",
+    "CostLayer",
+]
+
+Shape = Tuple[int, int, int]  # (channels, height, width)
+
+
+@dataclass(frozen=True)
+class KernelPolicy:
+    """Selects kernel implementations for convolutional layers.
+
+    Attributes
+    ----------
+    gemm:
+        ``"naive"`` (Fig. 1), ``"3loop"`` (Fig. 2) or ``"6loop"`` (Fig. 3).
+    winograd:
+        ``"off"``, ``"stride1"`` (3x3 stride-1 layers only — the
+        configuration Section VII-B recommends) or ``"all3x3"``
+        (3x3 stride 1 and 2, as in the Section VII-A study).
+    unroll:
+        Unroll factor of the GEMM micro-kernel (Section VI-A: 16).
+    blocks:
+        Block sizes for the 6-loop GEMM.
+    functional_gemm:
+        Implementation for the *functional* forward pass: ``"blas"``
+        (np.dot; numerically equivalent, fast) or one of the kernel
+        names to exercise the VLA kernels end-to-end in examples/tests.
+    """
+
+    gemm: str = "3loop"
+    winograd: str = "off"
+    unroll: int = 16
+    blocks: BlockSizes = BlockSizes()
+    functional_gemm: str = "blas"
+
+    def __post_init__(self):
+        if self.gemm not in ("naive", "3loop", "6loop"):
+            raise ValueError(f"unknown gemm kernel {self.gemm!r}")
+        if self.winograd not in ("off", "stride1", "all3x3"):
+            raise ValueError(f"unknown winograd policy {self.winograd!r}")
+        if self.functional_gemm not in ("blas", "naive", "3loop", "6loop"):
+            raise ValueError(f"unknown functional gemm {self.functional_gemm!r}")
+
+    def uses_winograd(self, spec: ConvSpec) -> bool:
+        """Whether this policy routes *spec* through Winograd."""
+        if self.winograd == "off" or spec.ksize != 3:
+            return False
+        if self.winograd == "stride1":
+            return spec.stride == 1
+        return spec.stride in (1, 2)
+
+
+class Layer:
+    """Base class: shape propagation, functional forward, timing trace."""
+
+    #: Label used in per-kernel breakdowns.
+    kind = "layer"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        raise NotImplementedError
+
+    def forward(
+        self, x: np.ndarray, outputs: List[np.ndarray], policy: KernelPolicy, isa
+    ) -> np.ndarray:
+        """Functional forward pass (Darknet inference semantics)."""
+        raise NotImplementedError
+
+    def trace(
+        self,
+        sim: TraceSimulator,
+        in_shape: Shape,
+        policy: KernelPolicy,
+        bases: dict,
+    ) -> None:
+        """Default: free (bookkeeping-only layers)."""
+
+    def shape_key(self, in_shape: Shape):
+        """Hashable key identifying this layer's simulated work; layers
+        with equal keys are deduplicated by the network simulator."""
+        return (self.kind, repr(self), in_shape)
+
+
+class ConvLayer(Layer):
+    """Darknet ``[convolutional]``: conv + batchnorm + bias + activation."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        filters: int,
+        size: int = 3,
+        stride: int = 1,
+        pad: Optional[int] = None,
+        batch_normalize: bool = True,
+        activation: str = "leaky",
+    ):
+        self.filters = filters
+        self.size = size
+        self.stride = stride
+        self.pad = size // 2 if pad is None else pad
+        self.batch_normalize = batch_normalize
+        self.activation = activation
+        self._weights = {}
+
+    def __repr__(self):
+        return (
+            f"conv(f={self.filters},k={self.size},s={self.stride},p={self.pad},"
+            f"bn={int(self.batch_normalize)},act={self.activation})"
+        )
+
+    def spec(self, in_shape: Shape) -> ConvSpec:
+        """The layer's :class:`ConvSpec` for a given input shape."""
+        c, h, w = in_shape
+        return ConvSpec(c, h, w, self.filters, self.size, self.stride, self.pad)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        s = self.spec(in_shape)
+        return (s.M, s.out_h, s.out_w)
+
+    # -- weights ---------------------------------------------------------
+    def weights_for(self, in_shape: Shape, seed: int = 0) -> dict:
+        """Materialize (or fetch cached) random weights for *in_shape*.
+
+        Random weights preserve all performance behaviour; scaled by
+        He-style fan-in so activations stay bounded through deep nets.
+        """
+        key = in_shape
+        if key not in self._weights:
+            spec = self.spec(in_shape)
+            rng = np.random.default_rng(seed + hash(key) % 65536)
+            fan_in = spec.K
+            w = rng.standard_normal(
+                (self.filters, spec.in_channels, self.size, self.size)
+            ).astype(np.float32) * np.float32(np.sqrt(2.0 / fan_in))
+            self._weights[key] = {
+                "w": w,
+                "bias": rng.standard_normal(self.filters).astype(np.float32) * 0.1,
+                "scales": np.ones(self.filters, dtype=np.float32),
+                "mean": np.zeros(self.filters, dtype=np.float32),
+                "var": np.ones(self.filters, dtype=np.float32),
+            }
+        return self._weights[key]
+
+    # -- functional forward ----------------------------------------------
+    def forward(self, x, outputs, policy: KernelPolicy, isa: VectorISA):
+        """Functional forward pass (Darknet inference semantics)."""
+        spec = self.spec(x.shape)
+        wt = self.weights_for(x.shape)
+        if policy.uses_winograd(spec):
+            out = winograd_conv2d(x, wt["w"], spec)
+        else:
+            a = wt["w"].reshape(spec.M, spec.K)
+            if self.size == 1 and self.stride == 1 and self.pad == 0:
+                cols = x.reshape(spec.K, spec.N)  # Darknet skips im2col
+            else:
+                cols = im2col(x, spec)
+            c = np.zeros((spec.M, spec.N), dtype=np.float32)  # fill_cpu
+            impl = policy.functional_gemm
+            if impl == "blas":
+                c += a @ cols
+            elif impl == "naive":
+                gemm_naive(1.0, a, cols, c)
+            elif impl == "3loop":
+                gemm_3loop(isa, 1.0, a, cols, c, unroll=policy.unroll)
+            else:
+                gemm_6loop(isa, 1.0, a, cols, c, blocks=policy.blocks,
+                           unroll=policy.unroll)
+            out = c.reshape(spec.M, spec.out_h, spec.out_w)
+        if self.batch_normalize:
+            normalize_cpu(out, wt["mean"], wt["var"])
+            scale_bias(out, wt["scales"])
+        add_bias(out, wt["bias"])
+        return activate_array(out, self.activation)
+
+    # -- timing trace ------------------------------------------------------
+    def trace(self, sim, in_shape, policy, bases):
+        spec = self.spec(in_shape)
+        n_out = spec.M * spec.N
+        src = bases["activations"]
+        dst = bases["activations2"]
+        if policy.uses_winograd(spec):
+            trace_winograd_conv(sim, spec)
+        else:
+            a = bases["weights"]
+            workspace = bases["workspace"]
+            if self.size == 1 and self.stride == 1 and self.pad == 0:
+                b_base = src  # input used directly as the B matrix
+            else:
+                trace_im2col(sim, spec, src, workspace)
+                b_base = workspace
+            trace_stream_kernel(sim, "fill", n_out, dst, reads=0, writes=1,
+                                arith_per_elem=0)
+            tracer = {
+                "naive": trace_gemm_naive,
+                "3loop": trace_gemm_3loop,
+                "6loop": trace_gemm_6loop,
+            }[policy.gemm]
+            kwargs = {}
+            if policy.gemm == "3loop":
+                kwargs = {"unroll": policy.unroll}
+            elif policy.gemm == "6loop":
+                kwargs = {"unroll": policy.unroll, "blocks": policy.blocks}
+            tracer(sim, spec.M, spec.N, spec.K, a, b_base, dst, **kwargs)
+        if self.batch_normalize:
+            trace_stream_kernel(sim, "normalize", n_out, dst, reads=1, writes=1,
+                                arith_per_elem=2)
+            trace_stream_kernel(sim, "scale_bias", n_out, dst, reads=1, writes=1)
+        trace_stream_kernel(sim, "add_bias", n_out, dst, reads=1, writes=1)
+        if self.activation != "linear":
+            trace_stream_kernel(sim, "activate", n_out, dst, reads=1, writes=1,
+                                arith_per_elem=2)
+
+
+class MaxPoolLayer(Layer):
+    """Darknet ``[maxpool]``."""
+
+    kind = "maxpool"
+
+    def __init__(self, size: int = 2, stride: int = 2, padding: Optional[int] = None):
+        self.size = size
+        self.stride = stride
+        self.padding = (size - 1) if padding is None else padding
+
+    def __repr__(self):
+        return f"maxpool(k={self.size},s={self.stride})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        c, h, w = in_shape
+        return (
+            c,
+            (h + self.padding - self.size) // self.stride + 1,
+            (w + self.padding - self.size) // self.stride + 1,
+        )
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        c, h, w = x.shape
+        _, oh, ow = self.out_shape(x.shape)
+        pad_before = self.padding // 2
+        xp = np.full(
+            (c, h + self.padding, w + self.padding), -np.inf, dtype=x.dtype
+        )
+        xp[:, pad_before : pad_before + h, pad_before : pad_before + w] = x
+        out = np.full((c, oh, ow), -np.inf, dtype=x.dtype)
+        for ky in range(self.size):
+            for kx in range(self.size):
+                np.maximum(
+                    out,
+                    xp[
+                        :,
+                        ky : ky + self.stride * oh : self.stride,
+                        kx : kx + self.stride * ow : self.stride,
+                    ],
+                    out=out,
+                )
+        return out
+
+    def trace(self, sim, in_shape, policy, bases):
+        c, oh, ow = self.out_shape(in_shape)
+        trace_stream_kernel(
+            sim, "maxpool", c * oh * ow, bases["activations"],
+            bases["activations2"], reads=self.size * self.size,
+            arith_per_elem=self.size * self.size,
+        )
+
+
+class ConnectedLayer(Layer):
+    """Darknet ``[connected]`` (fully connected) — a GEMV (GEMM, N=1)."""
+
+    kind = "connected"
+
+    def __init__(self, output: int, activation: str = "relu"):
+        self.output = output
+        self.activation = activation
+        self._weights = {}
+
+    def __repr__(self):
+        return f"connected(out={self.output},act={self.activation})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return (self.output, 1, 1)
+
+    def _w(self, n_in):
+        if n_in not in self._weights:
+            rng = np.random.default_rng(n_in)
+            self._weights[n_in] = (
+                rng.standard_normal((self.output, n_in)).astype(np.float32)
+                * np.float32(np.sqrt(1.0 / n_in)),
+                rng.standard_normal(self.output).astype(np.float32) * 0.1,
+            )
+        return self._weights[n_in]
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        flat = x.reshape(-1)
+        w, b = self._w(flat.size)
+        out = (w @ flat + b).reshape(self.output, 1, 1)
+        return activate_array(out, self.activation)
+
+    def trace(self, sim, in_shape, policy, bases):
+        k = in_shape[0] * in_shape[1] * in_shape[2]
+        with sim.kernel("gemm"):
+            # GEMV: M=output, N=1, K=k; the 3-loop kernel with gvl=1.
+            trace_gemm_3loop(
+                sim, self.output, 1, k, bases["weights"], bases["activations"],
+                bases["activations2"], unroll=policy.unroll,
+            )
+        trace_stream_kernel(sim, "add_bias", self.output, bases["activations2"])
+        if self.activation != "linear":
+            trace_stream_kernel(sim, "activate", self.output, bases["activations2"])
+
+
+class RouteLayer(Layer):
+    """Darknet ``[route]``: concatenate earlier layers' outputs."""
+
+    kind = "route"
+
+    def __init__(self, layers: Sequence[int]):
+        if not layers:
+            raise ValueError("route needs at least one source layer")
+        self.layers = tuple(layers)
+
+    def __repr__(self):
+        return f"route({','.join(map(str, self.layers))})"
+
+    def resolve(self, index: int) -> Tuple[int, ...]:
+        """Translate relative indices to absolute, given our index."""
+        return tuple(l if l >= 0 else index + l for l in self.layers)
+
+    def out_shape_multi(self, shapes: Sequence[Shape]) -> Shape:
+        """Concatenated channels over same-spatial-size sources."""
+        c = sum(s[0] for s in shapes)
+        if any(s[1:] != shapes[0][1:] for s in shapes):
+            raise ValueError(f"route sources disagree on spatial dims: {shapes}")
+        return (c, shapes[0][1], shapes[0][2])
+
+    def out_shape(self, in_shape: Shape) -> Shape:  # pragma: no cover
+        raise RuntimeError("route shape depends on multiple inputs")
+
+    def forward_multi(self, xs: Sequence[np.ndarray]) -> np.ndarray:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return np.concatenate(xs, axis=0)
+
+    def trace_multi(self, sim, shapes: Sequence[Shape], bases) -> None:
+        """Timing trace: a copy of all source activations."""
+        n = sum(s[0] * s[1] * s[2] for s in shapes)
+        trace_stream_kernel(sim, "copy", n, bases["activations"],
+                            bases["activations2"], arith_per_elem=0)
+
+
+class ShortcutLayer(Layer):
+    """Darknet ``[shortcut]``: residual addition."""
+
+    kind = "shortcut"
+
+    def __init__(self, from_layer: int, activation: str = "linear"):
+        self.from_layer = from_layer
+        self.activation = activation
+
+    def __repr__(self):
+        return f"shortcut(from={self.from_layer},act={self.activation})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return in_shape
+
+    def forward_shortcut(self, x, skip):
+        """Residual addition of *x* and *skip*, plus activation."""
+        out = x + skip
+        return activate_array(out, self.activation)
+
+    def forward(self, x, outputs, policy, isa):  # pragma: no cover
+        raise RuntimeError("shortcut needs the network to supply the skip input")
+
+    def trace(self, sim, in_shape, policy, bases):
+        """Functional forward pass (Darknet inference semantics)."""
+        n = in_shape[0] * in_shape[1] * in_shape[2]
+        trace_stream_kernel(sim, "shortcut", n, bases["activations"],
+                            bases["activations2"], reads=2)
+
+
+class UpsampleLayer(Layer):
+    """Darknet ``[upsample]``: nearest-neighbour x2 (YOLOv3 FPN)."""
+
+    kind = "upsample"
+
+    def __init__(self, stride: int = 2):
+        self.stride = stride
+
+    def __repr__(self):
+        return f"upsample(x{self.stride})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        c, h, w = in_shape
+        return (c, h * self.stride, w * self.stride)
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        return x.repeat(self.stride, axis=1).repeat(self.stride, axis=2)
+
+    def trace(self, sim, in_shape, policy, bases):
+        c, h, w = self.out_shape(in_shape)
+        trace_stream_kernel(sim, "upsample", c * h * w, bases["activations"],
+                            bases["activations2"], arith_per_elem=0)
+
+
+class YoloLayer(Layer):
+    """Darknet ``[yolo]`` detection head (inference part).
+
+    Applies the logistic function to the x, y, objectness and class
+    channels of each anchor; leaves w/h channels raw.
+    """
+
+    kind = "yolo"
+
+    def __init__(self, anchors: int = 3, classes: int = 80):
+        self.anchors = anchors
+        self.classes = classes
+
+    def __repr__(self):
+        return f"yolo(anchors={self.anchors},classes={self.classes})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return in_shape
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        out = x.copy()
+        per = self.classes + 5
+        for a in range(self.anchors):
+            base = a * per
+            sl = np.r_[base : base + 2, base + 4 : base + per]
+            out[sl] = activate_array(out[sl].copy(), "logistic")
+        return out
+
+    def trace(self, sim, in_shape, policy, bases):
+        n = in_shape[0] * in_shape[1] * in_shape[2]
+        trace_stream_kernel(sim, "activate", n, bases["activations"],
+                            arith_per_elem=4)
+
+
+class AvgPoolLayer(Layer):
+    """Darknet ``[avgpool]`` (global average pool)."""
+
+    kind = "avgpool"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return (in_shape[0], 1, 1)
+
+    def __repr__(self):
+        return "avgpool(global)"
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        return x.mean(axis=(1, 2), keepdims=True).astype(x.dtype)
+
+    def trace(self, sim, in_shape, policy, bases):
+        n = in_shape[0] * in_shape[1] * in_shape[2]
+        trace_stream_kernel(sim, "avgpool", n, bases["activations"], writes=0)
+
+
+class SoftmaxLayer(Layer):
+    """Darknet ``[softmax]``."""
+
+    kind = "softmax"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return in_shape
+
+    def __repr__(self):
+        return "softmax"
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        flat = x.reshape(-1).astype(np.float64)
+        e = np.exp(flat - flat.max())
+        return (e / e.sum()).astype(np.float32).reshape(x.shape)
+
+    def trace(self, sim, in_shape, policy, bases):
+        n = in_shape[0] * in_shape[1] * in_shape[2]
+        trace_stream_kernel(sim, "softmax", n, bases["activations"],
+                            arith_per_elem=4)
+
+
+class DropoutLayer(Layer):
+    """Darknet ``[dropout]`` — identity at inference time."""
+
+    kind = "dropout"
+
+    def __init__(self, probability: float = 0.5):
+        self.probability = probability
+
+    def __repr__(self):
+        return f"dropout(p={self.probability})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return in_shape
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        return x
+
+
+class CostLayer(Layer):
+    """Darknet ``[cost]`` — no-op at inference time."""
+
+    kind = "cost"
+
+    def __repr__(self):
+        return "cost"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output ``(C, H, W)`` for an input of shape *in_shape*."""
+        return in_shape
+
+    def forward(self, x, outputs, policy, isa):
+        """Functional forward pass (Darknet inference semantics)."""
+        return x

@@ -1,0 +1,157 @@
+"""Model zoo: the paper's three evaluation networks.
+
+``yolov3()`` (107 layers, 75 convolutional — Section II-B), at the
+608x608 network resolution implied by Table IV's matrix sizes (the
+768x576 input image is resized by Darknet); ``yolov3_tiny()`` (13
+convolutional layers); ``vgg16()`` (Darknet's vgg-16.cfg: 13 conv +
+3 connected layers at 224x224).
+
+Each builder emits Darknet ``.cfg`` text and parses it through
+:mod:`repro.nets.darknet_cfg`, so the cfg parser is exercised on every
+use and the definitions stay printable/diffable against upstream cfgs.
+"""
+
+from __future__ import annotations
+
+from .darknet_cfg import build_network
+from .network import Network
+
+__all__ = [
+    "yolov3",
+    "yolov3_tiny",
+    "vgg16",
+    "yolov3_cfg",
+    "yolov3_tiny_cfg",
+    "vgg16_cfg",
+]
+
+
+def _conv(filters, size, stride=1, bn=1, activation="leaky"):
+    pad = 1 if size > 1 else 0
+    return (
+        "[convolutional]\n"
+        + (f"batch_normalize={bn}\n" if bn else "")
+        + f"filters={filters}\nsize={size}\nstride={stride}\npad={pad}\n"
+        + f"activation={activation}\n\n"
+    )
+
+
+def _res_block(bottleneck, filters):
+    """YOLOv3 residual block: 1x1 bottleneck, 3x3, shortcut from -3."""
+    return (
+        _conv(bottleneck, 1)
+        + _conv(filters, 3)
+        + "[shortcut]\nfrom=-3\nactivation=linear\n\n"
+    )
+
+
+def yolov3_cfg(width: int = 608, height: int = 608) -> str:
+    """Generate the standard YOLOv3 cfg (Darknet yolov3.cfg structure)."""
+    s = f"[net]\nchannels=3\nheight={height}\nwidth={width}\n\n"
+    s += _conv(32, 3)  # 0
+    # Downsample + residual towers (Darknet layer indices in comments).
+    s += _conv(64, 3, 2)  # 1
+    s += _res_block(32, 64)  # 2-4
+    s += _conv(128, 3, 2)  # 5
+    s += _res_block(64, 128) * 2  # 6-11
+    s += _conv(256, 3, 2)  # 12
+    s += _res_block(128, 256) * 8  # 13-36
+    s += _conv(512, 3, 2)  # 37
+    s += _res_block(256, 512) * 8  # 38-61
+    s += _conv(1024, 3, 2)  # 62
+    s += _res_block(512, 1024) * 4  # 63-74
+    # Detection head, scale 1 (13x13 at 416; 19x19 at 608).
+    s += _conv(512, 1) + _conv(1024, 3) + _conv(512, 1)  # 75-77
+    s += _conv(1024, 3) + _conv(512, 1) + _conv(1024, 3)  # 78-80
+    s += _conv(255, 1, bn=0, activation="linear")  # 81
+    s += "[yolo]\nmask=6,7,8\nclasses=80\n\n"  # 82
+    # Scale 2.
+    s += "[route]\nlayers=-4\n\n"  # 83
+    s += _conv(256, 1)  # 84
+    s += "[upsample]\nstride=2\n\n"  # 85
+    s += "[route]\nlayers=-1,61\n\n"  # 86
+    s += _conv(256, 1) + _conv(512, 3) + _conv(256, 1)  # 87-89
+    s += _conv(512, 3) + _conv(256, 1) + _conv(512, 3)  # 90-92
+    s += _conv(255, 1, bn=0, activation="linear")  # 93
+    s += "[yolo]\nmask=3,4,5\nclasses=80\n\n"  # 94
+    # Scale 3.
+    s += "[route]\nlayers=-4\n\n"  # 95
+    s += _conv(128, 1)  # 96
+    s += "[upsample]\nstride=2\n\n"  # 97
+    s += "[route]\nlayers=-1,36\n\n"  # 98
+    s += _conv(128, 1) + _conv(256, 3) + _conv(128, 1)  # 99-101
+    s += _conv(256, 3) + _conv(128, 1) + _conv(256, 3)  # 102-104
+    s += _conv(255, 1, bn=0, activation="linear")  # 105
+    s += "[yolo]\nmask=0,1,2\nclasses=80\n\n"  # 106
+    return s
+
+
+def yolov3(width: int = 608, height: int = 608) -> Network:
+    """YOLOv3 at the paper's evaluation resolution (default 608x608)."""
+    return build_network(yolov3_cfg(width, height), name=f"yolov3-{width}")
+
+
+def yolov3_tiny_cfg(width: int = 416, height: int = 416) -> str:
+    """Generate the standard YOLOv3-tiny cfg (13 convolutional layers)."""
+    s = f"[net]\nchannels=3\nheight={height}\nwidth={width}\n\n"
+    s += _conv(16, 3)  # 0
+    s += "[maxpool]\nsize=2\nstride=2\n\n"  # 1
+    s += _conv(32, 3)  # 2
+    s += "[maxpool]\nsize=2\nstride=2\n\n"  # 3
+    s += _conv(64, 3)  # 4
+    s += "[maxpool]\nsize=2\nstride=2\n\n"  # 5
+    s += _conv(128, 3)  # 6
+    s += "[maxpool]\nsize=2\nstride=2\n\n"  # 7
+    s += _conv(256, 3)  # 8
+    s += "[maxpool]\nsize=2\nstride=2\n\n"  # 9
+    s += _conv(512, 3)  # 10
+    s += "[maxpool]\nsize=2\nstride=1\n\n"  # 11
+    s += _conv(1024, 3)  # 12
+    s += _conv(256, 1)  # 13
+    s += _conv(512, 3)  # 14
+    s += _conv(255, 1, bn=0, activation="linear")  # 15
+    s += "[yolo]\nmask=3,4,5\nclasses=80\n\n"  # 16
+    s += "[route]\nlayers=-4\n\n"  # 17
+    s += _conv(128, 1)  # 18
+    s += "[upsample]\nstride=2\n\n"  # 19
+    s += "[route]\nlayers=-1,8\n\n"  # 20
+    s += _conv(256, 3)  # 21
+    s += _conv(255, 1, bn=0, activation="linear")  # 22
+    s += "[yolo]\nmask=0,1,2\nclasses=80\n\n"  # 23
+    return s
+
+
+def yolov3_tiny(width: int = 416, height: int = 416) -> Network:
+    """YOLOv3-tiny (Section VI-A's 14x-speedup workload)."""
+    return build_network(yolov3_tiny_cfg(width, height), name="yolov3-tiny")
+
+
+def vgg16_cfg(width: int = 224, height: int = 224) -> str:
+    """Generate Darknet's vgg-16.cfg: 13 conv (all 3x3 stride 1, relu),
+    5 maxpool, 3 connected, dropout and softmax — 25 layers."""
+    s = f"[net]\nchannels=3\nheight={height}\nwidth={width}\n\n"
+
+    def block(filters, convs):
+        out = _conv(filters, 3, bn=0, activation="relu") * convs
+        out += "[maxpool]\nsize=2\nstride=2\npadding=0\n\n"
+        return out
+
+    s += block(64, 2)  # 0-2
+    s += block(128, 2)  # 3-5
+    s += block(256, 3)  # 6-9
+    s += block(512, 3)  # 10-13
+    s += block(512, 3)  # 14-17
+    s += "[connected]\noutput=4096\nactivation=relu\n\n"  # 18
+    s += "[dropout]\nprobability=.5\n\n"  # 19
+    s += "[connected]\noutput=4096\nactivation=relu\n\n"  # 20
+    s += "[dropout]\nprobability=.5\n\n"  # 21
+    s += "[connected]\noutput=1000\nactivation=linear\n\n"  # 22
+    s += "[softmax]\n\n"  # 23
+    s += "[cost]\ntype=sse\n\n"  # 24
+    return s
+
+
+def vgg16(width: int = 224, height: int = 224) -> Network:
+    """VGG16 image classifier (all conv layers 3x3 stride 1 — the
+    all-Winograd workload of Section VII)."""
+    return build_network(vgg16_cfg(width, height), name="vgg16")

@@ -1,0 +1,18 @@
+"""Evaluation workloads: synthetic inputs and the paper's layer tables."""
+
+from .images import letterbox, synthetic_image
+from .layer_specs import (
+    TABLE4_LAYERS,
+    Table4Row,
+    discrete_conv_specs,
+    first_n_conv_specs,
+)
+
+__all__ = [
+    "letterbox",
+    "synthetic_image",
+    "TABLE4_LAYERS",
+    "Table4Row",
+    "discrete_conv_specs",
+    "first_n_conv_specs",
+]

@@ -1,0 +1,55 @@
+"""Synthetic input images for the evaluation workloads.
+
+The paper runs YOLOv3 on a 768x576-pixel photograph, which Darknet
+letterboxes to the network resolution.  Inference *performance* is
+input-value independent, so a deterministic synthetic image preserves
+all measured behaviour; the generator below also letterboxes like
+Darknet so the functional pipeline is exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["synthetic_image", "letterbox"]
+
+
+def synthetic_image(
+    height: int = 576, width: int = 768, channels: int = 3, seed: int = 0
+) -> np.ndarray:
+    """A deterministic test image in [0, 1], shape ``(C, H, W)``.
+
+    Smooth gradients plus structured noise — exercises padding and
+    activation paths without denormals or extreme values.
+    """
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(
+        np.linspace(0, 1, height), np.linspace(0, 1, width), indexing="ij"
+    )
+    base = np.stack(
+        [
+            0.5 + 0.4 * np.sin(6.0 * xx + 2.0 * c) * np.cos(4.0 * yy - c)
+            for c in range(channels)
+        ]
+    )
+    noise = 0.05 * rng.standard_normal((channels, height, width))
+    return np.clip(base + noise, 0.0, 1.0).astype(np.float32)
+
+
+def letterbox(image: np.ndarray, net_h: int, net_w: int) -> np.ndarray:
+    """Darknet-style letterbox resize to ``(C, net_h, net_w)``.
+
+    Preserves aspect ratio with nearest-neighbour resampling (sufficient
+    for a synthetic input) and pads with the 0.5 grey Darknet uses.
+    """
+    c, h, w = image.shape
+    scale = min(net_w / w, net_h / h)
+    new_w, new_h = max(1, int(w * scale)), max(1, int(h * scale))
+    ys = np.clip((np.arange(new_h) / scale).astype(int), 0, h - 1)
+    xs = np.clip((np.arange(new_w) / scale).astype(int), 0, w - 1)
+    resized = image[:, ys][:, :, xs]
+    out = np.full((c, net_h, net_w), 0.5, dtype=np.float32)
+    top = (net_h - new_h) // 2
+    left = (net_w - new_w) // 2
+    out[:, top : top + new_h, left : left + new_w] = resized
+    return out

@@ -1,0 +1,78 @@
+"""Layer-shape constants from the paper's evaluation.
+
+Table IV lists the 14 *discrete* convolutional-layer GEMM shapes of
+YOLOv3 at the evaluation resolution (each shape may repeat many times in
+the network); the "first 20 layers" subset (15 convolutional) drives the
+hardware-tuning sweeps of Figs. 6-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..kernels import ConvSpec
+from ..nets.network import Network
+
+__all__ = ["Table4Row", "TABLE4_LAYERS", "first_n_conv_specs", "discrete_conv_specs"]
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of Table IV: layer id, GEMM dims, paper-reported AI and
+    sustained fraction of peak on A64FX."""
+
+    layer: str
+    M: int
+    N: int
+    K: int
+    ai_paper: float
+    pct_peak_paper: float
+
+
+#: Table IV of the paper, verbatim.
+TABLE4_LAYERS: Tuple[Table4Row, ...] = (
+    Table4Row("L1", 32, 369664, 27, 7.32, 46),
+    Table4Row("L2", 64, 92416, 288, 26, 72),
+    Table4Row("L3", 32, 92416, 64, 11, 50),
+    Table4Row("L5", 128, 23104, 576, 52, 77),
+    Table4Row("L6", 64, 23104, 128, 21, 70),
+    Table4Row("L10", 256, 5776, 1152, 101, 81),
+    Table4Row("L11", 128, 5776, 256, 42, 75),
+    Table4Row("L38", 256, 1444, 512, 76, 82),
+    Table4Row("L44", 1024, 361, 4608, 126, 83),
+    Table4Row("L45", 512, 361, 1024, 88, 78),
+    Table4Row("L59", 255, 361, 1024, 65, 75),
+    Table4Row("L61", 256, 1444, 768, 85, 91),
+    Table4Row("L62", 512, 1444, 2304, 162, 83),
+    Table4Row("L75", 255, 5776, 256, 63, 75),
+)
+
+
+def first_n_conv_specs(net: Network, n_layers: int) -> List[ConvSpec]:
+    """ConvSpecs of the convolutional layers among the first *n_layers*.
+
+    For YOLOv3 and ``n_layers=20`` this returns 15 specs, matching the
+    paper's "first 20 layers ... out of which 15 are the convolutional
+    layers" (Section VI-B).
+    """
+    return [
+        layer.spec(net.in_shape_of(idx))
+        for idx, layer in net.conv_layers()
+        if idx < n_layers
+    ]
+
+
+def discrete_conv_specs(net: Network) -> List[ConvSpec]:
+    """Unique convolutional shapes of *net*, in first-appearance order
+    (YOLOv3 at 608x608 yields the 14 discrete shapes of Table IV plus
+    a handful of head variations)."""
+    seen = set()
+    out: List[ConvSpec] = []
+    for idx, layer in net.conv_layers():
+        spec = layer.spec(net.in_shape_of(idx))
+        key = (spec.M, spec.N, spec.K)
+        if key not in seen:
+            seen.add(key)
+            out.append(spec)
+    return out

@@ -1,0 +1,89 @@
+"""Tests for the block-size auto-tuner and streaming-inference support."""
+
+import pytest
+
+from repro.core import autotune_blocks, candidate_blockings
+from repro.kernels import BlockSizes
+from repro.machine import MB, a64fx, rvv_gem5
+from repro.nets import ConvLayer, KernelPolicy, Network
+
+
+class TestCandidates:
+    def test_footprint_filter(self):
+        small = candidate_blockings(rvv_gem5(l2_mb=1))
+        large = candidate_blockings(rvv_gem5(l2_mb=64))
+        assert len(small) <= len(large)
+        budget = 1 * MB
+        assert all(b.footprint_bytes() <= budget for b in small)
+
+    def test_unroll_floor(self):
+        cands = candidate_blockings(rvv_gem5(), ms=(8, 16, 32), unroll=16)
+        assert all(b.m >= 16 for b in cands)
+
+
+class TestAutotune:
+    def test_returns_ranked(self):
+        best, ranking = autotune_blocks(
+            rvv_gem5(512), 64, 4096, 128,
+            candidates=[BlockSizes(16, 256, 64), BlockSizes(16, 512, 128)],
+        )
+        assert best == ranking[0].blocks
+        cycles = [r.cycles for r in ranking]
+        assert cycles == sorted(cycles)
+
+    def test_best_close_to_paper_on_rvv(self):
+        """Table II: the paper's hand search lands on 16x512x128; the
+        auto-tuner's winner must be within a few percent of it."""
+        machine = rvv_gem5(512, l2_mb=1)
+        M, N, K = 64, 23104, 288  # an early YOLOv3 layer
+        best, ranking = autotune_blocks(machine, M, N, K)
+        by_blocks = {r.blocks: r.cycles for r in ranking}
+        paper = by_blocks.get(BlockSizes(16, 512, 128))
+        assert paper is not None
+        assert ranking[0].cycles >= 0.9 * paper * 0.9  # sanity
+        assert by_blocks[best] <= paper <= 1.1 * by_blocks[best]
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            autotune_blocks(rvv_gem5(), 0, 10, 10)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            autotune_blocks(rvv_gem5(), 8, 8, 8, candidates=[])
+
+
+class TestStreaming:
+    def net(self):
+        return Network(
+            [ConvLayer(16, 3, 1), ConvLayer(16, 3, 1)], input_shape=(8, 48, 48)
+        )
+
+    def test_per_image_stats(self):
+        per = self.net().simulate_stream(rvv_gem5(2048, l2_mb=64), n_images=3)
+        assert len(per) == 3
+        assert all(st.cycles > 0 for st in per)
+
+    def test_steady_state_at_least_as_fast(self):
+        """Later images reuse warmed caches (weights, workspace)."""
+        per = self.net().simulate_stream(rvv_gem5(2048, l2_mb=64), n_images=3)
+        assert per[1].cycles <= per[0].cycles
+        assert per[2].cycles == pytest.approx(per[1].cycles, rel=0.02)
+
+    def test_small_cache_limits_steady_state_miss_rate(self):
+        """With a ~10 MB working set, a 64 MB L2 retains it between
+        images; a 1 MB L2 cannot."""
+        net = Network([ConvLayer(32, 3, 1)], input_shape=(32, 96, 96))
+        big = net.simulate_stream(rvv_gem5(2048, l2_mb=64), n_images=2)
+        small = net.simulate_stream(rvv_gem5(2048, l2_mb=1), n_images=2)
+        assert big[1].l2_miss_rate < small[1].l2_miss_rate
+        assert big[1].cycles < small[1].cycles
+
+    def test_matches_single_simulation_first_image(self):
+        net = self.net()
+        one = net.simulate(rvv_gem5(2048), KernelPolicy())
+        stream = net.simulate_stream(rvv_gem5(2048), KernelPolicy(), n_images=1)
+        assert stream[0].cycles == pytest.approx(one.cycles, rel=1e-9)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            self.net().simulate_stream(rvv_gem5(), n_images=0)

@@ -1,0 +1,169 @@
+"""Unit + property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import SetAssocCache
+
+
+def make_cache(size=1024, assoc=4, line=64):
+    return SetAssocCache(size, assoc, line, latency=10, name="t")
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        c = make_cache(size=1024, assoc=4, line=64)
+        assert c.num_sets == 4
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(1000, 3, 64)
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 1, 64)
+
+    def test_fully_associative(self):
+        c = SetAssocCache(2048, 32, 64)  # the RVV VectorCache shape
+        assert c.num_sets == 1
+
+
+class TestHitsMisses:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.hits == 1 and c.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        c = make_cache(size=256, assoc=4, line=64)  # 1 set, 4 ways
+        for la in range(4):
+            c.access(la)
+        c.access(0)  # refresh line 0 -> MRU
+        c.access(4)  # evicts line 1 (LRU)
+        assert c.access(0) is True
+        assert c.access(1) is False  # was evicted
+
+    def test_set_isolation(self):
+        c = make_cache(size=1024, assoc=4, line=64)  # 4 sets
+        # Lines 0,4,8,12,16 all map to set 0; lines 1,2,3 to other sets.
+        for la in [0, 4, 8, 12, 16]:
+            c.access(la)
+        assert c.access(1) is False  # untouched set: cold
+        assert c.access(4) is True  # still resident in set 0
+
+    def test_conflict_misses(self):
+        c = make_cache(size=1024, assoc=4, line=64)  # 4 sets, 4 ways
+        # 5 lines in the same set thrash with LRU when cycled in order.
+        seq = [0, 4, 8, 12, 16] * 3
+        for la in seq:
+            c.access(la)
+        assert c.misses == len(seq)  # classic LRU pathological pattern
+
+    def test_miss_rate(self):
+        c = make_cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(1 / 3)
+
+    def test_miss_rate_empty(self):
+        assert make_cache().miss_rate == 0.0
+
+
+class TestDirtyWriteback:
+    def test_writeback_on_dirty_eviction(self):
+        c = make_cache(size=256, assoc=4, line=64)
+        c.access(0, write=True)
+        for la in range(1, 5):
+            c.access(la)
+        assert c.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = make_cache(size=256, assoc=4, line=64)
+        for la in range(5):
+            c.access(la)
+        assert c.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = make_cache(size=256, assoc=4, line=64)
+        c.access(0)
+        c.access(0, write=True)
+        for la in range(1, 5):
+            c.access(la)
+        assert c.writebacks == 1
+
+
+class TestPrefetchFill:
+    def test_fill_makes_future_hit(self):
+        c = make_cache()
+        assert c.fill(7) is True
+        assert c.access(7) is True
+        assert c.prefetch_fills == 1
+
+    def test_fill_duplicate_is_noop(self):
+        c = make_cache()
+        c.access(7)
+        assert c.fill(7) is False
+
+    def test_fill_does_not_count_demand(self):
+        c = make_cache()
+        c.fill(3)
+        assert c.accesses == 0
+
+
+class TestStateOps:
+    def test_flush(self):
+        c = make_cache()
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+        assert c.resident_lines() == 1
+
+    def test_reset_stats_keeps_state(self):
+        c = make_cache()
+        c.access(0)
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0
+        assert c.access(0) is True  # line still resident
+
+    def test_contains_no_side_effects(self):
+        c = make_cache()
+        c.access(0)
+        hits, misses = c.hits, c.misses
+        assert c.contains(0) and not c.contains(99)
+        assert (c.hits, c.misses) == (hits, misses)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_resident_never_exceeds_capacity(self, addrs):
+        c = make_cache(size=512, assoc=2, line=64)  # 8 lines capacity
+        for la in addrs:
+            c.access(la)
+        assert c.resident_lines() <= 8
+        assert c.hits + c.misses == len(addrs)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_rehit_after_access(self, addrs):
+        """Immediately re-accessing any line must hit (MRU residency)."""
+        c = make_cache(size=1024, assoc=4, line=64)
+        for la in addrs:
+            c.access(la)
+            assert c.contains(la)
+
+    @given(
+        st.integers(1, 64).map(lambda w: w * 64),
+        st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+    )
+    @settings(max_examples=30)
+    def test_bigger_cache_never_more_misses(self, small_size, addrs):
+        """Miss count must be monotone non-increasing with capacity (LRU
+        inclusion property for fully-associative caches)."""
+        small = SetAssocCache(small_size, small_size // 64, 64)
+        big = SetAssocCache(small_size * 4, small_size * 4 // 64, 64)
+        for la in addrs:
+            small.access(la)
+            big.access(la)
+        assert big.misses <= small.misses

@@ -1,0 +1,110 @@
+"""Tests for ConvSpec geometry and the paper's GEMM mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels import ConvSpec
+
+
+class TestGeometry:
+    def test_same_padding_stride1(self):
+        s = ConvSpec(3, 608, 608, 32, ksize=3, stride=1, pad=1)
+        assert (s.out_h, s.out_w) == (608, 608)
+
+    def test_stride2_halves(self):
+        s = ConvSpec(32, 608, 608, 64, ksize=3, stride=2, pad=1)
+        assert (s.out_h, s.out_w) == (304, 304)
+
+    def test_1x1(self):
+        s = ConvSpec(64, 304, 304, 32, ksize=1, stride=1, pad=0)
+        assert (s.out_h, s.out_w) == (304, 304)
+
+    def test_no_pad_shrinks(self):
+        s = ConvSpec(3, 10, 10, 4, ksize=3, stride=1, pad=0)
+        assert (s.out_h, s.out_w) == (8, 8)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ConvSpec(0, 10, 10, 4)
+        with pytest.raises(ValueError):
+            ConvSpec(3, 10, 10, 4, pad=-1)
+        with pytest.raises(ValueError):
+            ConvSpec(3, 10, 10, 4, stride=0)
+
+
+class TestGemmMapping:
+    """Table IV of the paper pins YOLOv3's per-layer M/N/K at 608x608."""
+
+    def test_yolo_l1(self):
+        s = ConvSpec(3, 608, 608, 32, 3, 1, 1)
+        assert (s.M, s.N, s.K) == (32, 369664, 27)
+
+    def test_yolo_l2(self):
+        s = ConvSpec(32, 608, 608, 64, 3, 2, 1)
+        assert (s.M, s.N, s.K) == (64, 92416, 288)
+
+    def test_yolo_l3(self):
+        s = ConvSpec(64, 304, 304, 32, 1, 1, 0)
+        assert (s.M, s.N, s.K) == (32, 92416, 64)
+
+    def test_yolo_l44(self):
+        s = ConvSpec(512, 19, 19, 1024, 3, 1, 1)
+        assert (s.M, s.N, s.K) == (1024, 361, 4608)
+
+    def test_macs(self):
+        s = ConvSpec(3, 4, 4, 2, 3, 1, 1)
+        assert s.macs == s.M * s.N * s.K
+        assert s.flops == 2 * s.macs
+
+
+class TestArithmeticIntensity:
+    """AI formula from Section VI-C(a), checked against Table IV rows."""
+
+    @pytest.mark.parametrize(
+        "m,n,k,ai",
+        [
+            (32, 369664, 27, 7.32),
+            (64, 92416, 288, 26),
+            (128, 23104, 576, 52),
+            (256, 5776, 1152, 101),
+            (1024, 361, 4608, 126),
+            (512, 1444, 2304, 162),
+        ],
+    )
+    def test_table4_values(self, m, n, k, ai):
+        computed = (2.0 * m * n * k) / (4.0 * (m * n + k * n + m * k))
+        assert computed == pytest.approx(ai, rel=0.02)
+
+    def test_spec_matches_formula(self):
+        s = ConvSpec(32, 608, 608, 64, 3, 2, 1)
+        m, n, k = s.M, s.N, s.K
+        expect = (2.0 * m * n * k) / (4.0 * (m * n + k * n + m * k))
+        assert s.arithmetic_intensity() == pytest.approx(expect)
+
+
+class TestWinogradEligibility:
+    def test_3x3_eligible(self):
+        assert ConvSpec(3, 10, 10, 4, ksize=3).winograd_eligible
+        assert ConvSpec(3, 10, 10, 4, ksize=3, stride=2).winograd_eligible
+
+    def test_1x1_not(self):
+        assert not ConvSpec(3, 10, 10, 4, ksize=1, pad=0).winograd_eligible
+
+
+@given(
+    c=st.integers(1, 16),
+    h=st.integers(3, 64),
+    w=st.integers(3, 64),
+    f=st.integers(1, 16),
+    k=st.integers(1, 5),
+    s=st.integers(1, 3),
+    p=st.integers(0, 3),
+)
+def test_output_dims_darknet_formula(c, h, w, f, k, s, p):
+    if h + 2 * p < k or w + 2 * p < k:
+        return
+    spec = ConvSpec(c, h, w, f, k, s, p)
+    assert spec.out_h == (h + 2 * p - k) // s + 1
+    assert spec.out_w == (w + 2 * p - k) // s + 1
+    assert spec.out_h >= 1 and spec.out_w >= 1

@@ -1,0 +1,176 @@
+"""Tests for the co-design core: sweeps, roofline, selection, reporting."""
+
+import pytest
+
+from repro.core import (
+    Choice,
+    DesignPoint,
+    arithmetic_intensity,
+    format_series,
+    format_table,
+    geomean,
+    measured_choice,
+    normalize,
+    paper_rule,
+    roofline_table,
+    run_design_point,
+    speedup,
+    summarize_stats,
+    sweep_cache_sizes,
+    sweep_lanes,
+    sweep_vector_lengths,
+)
+from repro.kernels import ConvSpec
+from repro.machine import a64fx, rvv_gem5
+from repro.nets import ConvLayer, KernelPolicy, Network
+from repro.workloads import TABLE4_LAYERS
+
+
+def small_net():
+    return Network(
+        [ConvLayer(8, 3, 1), ConvLayer(16, 3, 2)], input_shape=(4, 32, 32)
+    )
+
+
+class TestSweeps:
+    def test_vector_length_sweep(self):
+        res = sweep_vector_lengths(
+            small_net(), [512, 2048], lambda v: rvv_gem5(vlen_bits=v)
+        )
+        assert res.axis == [512, 2048]
+        assert len(res.stats) == 2
+        assert res.speedups()[0] == 1.0
+        assert res.speedups()[1] > 1.0  # longer vectors help
+
+    def test_cache_sweep(self):
+        res = sweep_cache_sizes(
+            small_net(), [1, 64], lambda mb: rvv_gem5(vlen_bits=4096, l2_mb=mb)
+        )
+        assert res.cycles()[1] <= res.cycles()[0]
+
+    def test_lanes_sweep(self):
+        res = sweep_lanes(
+            small_net(), [2, 8], lambda l: rvv_gem5(vlen_bits=4096, lanes=l)
+        )
+        assert res.cycles()[1] < res.cycles()[0]
+
+    def test_rows(self):
+        res = sweep_vector_lengths(
+            small_net(), [512], lambda v: rvv_gem5(vlen_bits=v)
+        )
+        row = res.as_rows()[0]
+        assert set(row) >= {"vlen_bits", "cycles", "speedup", "l2_miss_rate"}
+
+    def test_design_point(self):
+        p = DesignPoint(rvv_gem5(), KernelPolicy(), label="x")
+        st = run_design_point(small_net(), p)
+        assert st.cycles > 0
+        assert p.name() == "x"
+        assert DesignPoint(rvv_gem5()).name().startswith("rvv")
+
+
+class TestRoofline:
+    def test_ai_formula_matches_table4(self):
+        for row in TABLE4_LAYERS:
+            # rel=0.05 because the paper rounds (e.g. L3: 10.66 -> "11").
+            assert arithmetic_intensity(row.M, row.N, row.K) == pytest.approx(
+                row.ai_paper, rel=0.05
+            )
+
+    def test_roofline_table_small_subset(self):
+        rows = roofline_table(rows=TABLE4_LAYERS[:2])
+        assert len(rows) == 2
+        for r in rows:
+            assert 0 < r.pct_peak < 100
+            assert r.ai == pytest.approx(r.ai_paper, rel=0.03)
+
+    def test_low_ai_layer_has_lower_pct_peak(self):
+        """Table IV trend: L1 (AI 7.3) sustains less than L10 (AI 101)."""
+        sub = [TABLE4_LAYERS[0], TABLE4_LAYERS[5]]
+        rows = roofline_table(rows=sub)
+        assert rows[0].pct_peak < rows[1].pct_peak
+
+
+class TestSelection:
+    def test_paper_rule(self):
+        assert paper_rule(ConvSpec(4, 8, 8, 4, 3, 1, 1)).algorithm == "winograd"
+        assert paper_rule(ConvSpec(4, 8, 8, 4, 3, 2, 1)).algorithm == "im2col"
+        assert paper_rule(ConvSpec(4, 8, 8, 4, 1, 1, 0)).algorithm == "im2col"
+
+    def test_measured_choice_agrees_with_rule_on_a64fx(self):
+        m = a64fx()
+        s1 = ConvSpec(64, 76, 76, 128, 3, 1, 1)
+        s2 = ConvSpec(64, 76, 76, 128, 3, 2, 1)
+        c1 = measured_choice(s1, m)
+        c2 = measured_choice(s2, m)
+        assert c1.algorithm == "winograd"
+        assert c2.algorithm == "im2col"
+        assert c1.winograd_cycles < c1.gemm_cycles
+
+    def test_measured_choice_inapplicable(self):
+        c = measured_choice(ConvSpec(4, 8, 8, 4, 1, 1, 0), a64fx())
+        assert c.algorithm == "im2col"
+        assert c.gemm_cycles is None
+
+    def test_choice_is_frozen(self):
+        c = Choice("winograd", "why")
+        with pytest.raises(Exception):
+            c.algorithm = "fft"
+
+
+class TestMetricsReporting:
+    def test_speedup(self):
+        assert speedup(100, 50) == 2.0
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1, -1])
+
+    def test_summarize(self):
+        st = small_net().simulate(rvv_gem5())
+        d = summarize_stats(st)
+        assert d["cycles"] == st.cycles
+        assert d["time_ms"] > 0
+
+    def test_format_table(self):
+        out = format_table(
+            [{"a": 1, "b": 1.23456}, {"a": 2, "b": 3.0}], title="T"
+        )
+        assert "T" in out and "1.235" in out and out.count("\n") == 4
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [0.5, 1.0])
+        assert "s" in out and "0.5" in out
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0]) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize([0.0, 1.0])
+
+
+class TestCsvExport:
+    def test_sweep_roundtrip(self, tmp_path):
+        from repro.core import sweep_to_csv
+
+        res = sweep_vector_lengths(
+            small_net(), [512, 1024], lambda v: rvv_gem5(vlen_bits=v)
+        )
+        path = tmp_path / "fig6.csv"
+        sweep_to_csv(res, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("vlen_bits,cycles,speedup")
+        assert len(lines) == 3  # header + 2 points
+
+    def test_empty_rows_rejected(self, tmp_path):
+        from repro.core import rows_to_csv
+
+        with pytest.raises(ValueError):
+            rows_to_csv([], str(tmp_path / "x.csv"))

@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.isa.base
+import repro.isa.registers
+import repro.isa.rvv
+import repro.isa.sve
+import repro.kernels.winograd.stride2
+import repro.machine.latency
+
+MODULES = [
+    repro.isa.base,
+    repro.isa.registers,
+    repro.isa.rvv,
+    repro.isa.sve,
+    repro.kernels.winograd.stride2,
+    repro.machine.latency,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"

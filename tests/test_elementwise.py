@@ -1,0 +1,134 @@
+"""Tests for the Darknet elementwise kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kernels import (
+    activate_array,
+    add_bias,
+    copy_cpu,
+    fill_cpu,
+    normalize_cpu,
+    scale_bias,
+    trace_stream_kernel,
+)
+from repro.machine import TraceSimulator, rvv_gem5
+
+f32s = st.floats(-50, 50, width=32)
+
+
+class TestFillCopy:
+    def test_fill(self):
+        x = np.empty(10, dtype=np.float32)
+        fill_cpu(x, 3.5)
+        assert (x == 3.5).all()
+
+    def test_copy(self):
+        src = np.arange(6, dtype=np.float32)
+        dst = np.zeros(6, dtype=np.float32)
+        copy_cpu(src, dst)
+        np.testing.assert_array_equal(dst, src)
+
+    def test_copy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            copy_cpu(np.zeros(3), np.zeros(4))
+
+
+class TestBiasScale:
+    def test_add_bias_per_channel(self):
+        x = np.zeros((2, 3, 3), dtype=np.float32)
+        add_bias(x, np.array([1.0, -1.0], dtype=np.float32))
+        assert (x[0] == 1).all() and (x[1] == -1).all()
+
+    def test_scale_bias(self):
+        x = np.ones((2, 4), dtype=np.float32)
+        scale_bias(x, np.array([2.0, 3.0], dtype=np.float32))
+        assert (x[0] == 2).all() and (x[1] == 3).all()
+
+    def test_channel_count_checked(self):
+        with pytest.raises(ValueError):
+            add_bias(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            scale_bias(np.zeros((2, 2)), np.zeros(3))
+
+    def test_inplace(self):
+        x = np.zeros((1, 2), dtype=np.float32)
+        assert add_bias(x, np.ones(1, dtype=np.float32)) is x
+
+
+class TestNormalize:
+    def test_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 1000)).astype(np.float32) * 5 + 2
+        mean = x.mean(axis=1)
+        var = x.var(axis=1)
+        normalize_cpu(x, mean, var)
+        np.testing.assert_allclose(x.mean(axis=1), 0, atol=1e-4)
+        np.testing.assert_allclose(x.var(axis=1), 1, atol=1e-2)
+
+    def test_darknet_epsilon(self):
+        x = np.ones((1, 4), dtype=np.float32)
+        normalize_cpu(x, np.ones(1, np.float32), np.zeros(1, np.float32))
+        assert np.isfinite(x).all()  # eps prevents division by zero
+
+
+class TestActivations:
+    def test_linear_identity(self):
+        x = np.array([-1.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(activate_array(x.copy(), "linear"), x)
+
+    def test_leaky(self):
+        x = np.array([-10.0, 10.0], dtype=np.float32)
+        out = activate_array(x.copy(), "leaky")
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+    def test_relu(self):
+        x = np.array([-3.0, 3.0], dtype=np.float32)
+        np.testing.assert_array_equal(activate_array(x.copy(), "relu"), [0, 3])
+
+    def test_logistic(self):
+        x = np.array([0.0], dtype=np.float32)
+        np.testing.assert_allclose(activate_array(x.copy(), "logistic"), [0.5])
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            activate_array(np.zeros(1), "swish")
+
+    @given(x=arrays(np.float32, 32, elements=f32s))
+    @settings(max_examples=30)
+    def test_leaky_matches_definition(self, x):
+        out = activate_array(x.copy(), "leaky")
+        ref = np.where(x > 0, x, np.float32(0.1) * x)
+        np.testing.assert_allclose(out, ref, rtol=1e-6, atol=1e-6)
+
+    @given(x=arrays(np.float32, 16, elements=f32s))
+    @settings(max_examples=30)
+    def test_logistic_range(self, x):
+        out = activate_array(x.copy(), "logistic")
+        assert ((out >= 0) & (out <= 1)).all()
+
+
+class TestStreamTrace:
+    def test_basic_accounting(self):
+        sim = TraceSimulator(rvv_gem5())
+        buf = sim.alloc("x", 4096)
+        trace_stream_kernel(sim, "activate", 1024, buf.base)
+        assert sim.stats.kernel_cycles["activate"] > 0
+        # One read + one write stream of 1024 f32.
+        assert sim.stats.bytes_loaded == pytest.approx(4096, rel=0.01)
+        assert sim.stats.bytes_stored == pytest.approx(4096, rel=0.01)
+
+    def test_zero_elements_free(self):
+        sim = TraceSimulator(rvv_gem5())
+        trace_stream_kernel(sim, "fill", 0, 0)
+        assert sim.stats.cycles == 0
+
+    def test_reads_writes_counts(self):
+        sim = TraceSimulator(rvv_gem5())
+        buf = sim.alloc("x", 1 << 16)
+        out = sim.alloc("y", 1 << 16)
+        trace_stream_kernel(sim, "maxpool", 4096, buf.base, out.base, reads=4, writes=1)
+        assert sim.stats.bytes_loaded == pytest.approx(4 * 4096 * 4, rel=0.01)

@@ -1,0 +1,99 @@
+"""Tests for the FFT convolution extension (paper Section II-B(c))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import ConvSpec, direct_conv2d, fft_conv2d, fft_plan_size, trace_fft_conv
+from repro.machine import TraceSimulator, a64fx, rvv_gem5
+
+
+def rand_layer(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((spec.in_channels, spec.in_h, spec.in_w)).astype(np.float32)
+    w = rng.standard_normal(
+        (spec.out_channels, spec.in_channels, spec.ksize, spec.ksize)
+    ).astype(np.float32)
+    return x, w
+
+
+class TestPlanSize:
+    def test_power_of_two(self):
+        spec = ConvSpec(3, 14, 11, 5, 3, 1, 1)
+        n = fft_plan_size(spec)
+        assert n & (n - 1) == 0
+        assert n >= spec.in_h + 2 * spec.pad + spec.ksize - 1
+
+    def test_grows_with_kernel(self):
+        small = fft_plan_size(ConvSpec(1, 30, 30, 1, 3, 1, 1))
+        large = fft_plan_size(ConvSpec(1, 30, 30, 1, 11, 1, 5))
+        assert large >= small
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ConvSpec(3, 14, 11, 5, 3, 1, 1),
+            ConvSpec(2, 16, 16, 4, 5, 1, 2),
+            ConvSpec(2, 9, 9, 3, 3, 2, 1),
+            ConvSpec(4, 8, 8, 2, 1, 1, 0),
+            ConvSpec(2, 12, 12, 3, 7, 1, 3),
+            ConvSpec(1, 6, 6, 1, 3, 1, 0),  # no padding
+        ],
+    )
+    def test_matches_direct(self, spec):
+        x, w = rand_layer(spec)
+        y = fft_conv2d(x, w, spec)
+        ref = direct_conv2d(x, w, spec)
+        assert y.shape == ref.shape
+        np.testing.assert_allclose(y, ref, rtol=1e-4, atol=1e-4)
+
+    def test_shape_validation(self):
+        spec = ConvSpec(3, 8, 8, 4)
+        with pytest.raises(ValueError):
+            fft_conv2d(np.zeros((2, 8, 8), np.float32), np.zeros((4, 3, 3, 3), np.float32), spec)
+        with pytest.raises(ValueError):
+            fft_conv2d(np.zeros((3, 8, 8), np.float32), np.zeros((4, 3, 5, 5), np.float32), spec)
+
+    @given(seed=st.integers(0, 50), k=st.sampled_from([1, 3, 5, 7]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_kernel_sizes(self, seed, k):
+        spec = ConvSpec(2, 12, 10, 3, k, 1, k // 2)
+        x, w = rand_layer(spec, seed)
+        np.testing.assert_allclose(
+            fft_conv2d(x, w, spec), direct_conv2d(x, w, spec), rtol=2e-4, atol=2e-4
+        )
+
+
+class TestTrace:
+    def test_runs_and_attributes(self):
+        sim = TraceSimulator(a64fx())
+        trace_fft_conv(sim, ConvSpec(16, 56, 56, 16, 5, 1, 2))
+        kc = sim.stats.kernel_cycles
+        for label in ("fft_forward", "fft_pointwise", "fft_inverse", "fft_crop"):
+            assert kc.get(label, 0) > 0
+        assert "fft_weights" not in kc  # offline by default
+
+    def test_weight_fft_optional(self):
+        sim = TraceSimulator(rvv_gem5(512))
+        trace_fft_conv(sim, ConvSpec(4, 16, 16, 4, 5, 1, 2), include_weight_fft=True)
+        assert sim.stats.kernel_cycles.get("fft_weights", 0) > 0
+
+    def test_cost_insensitive_to_kernel_size(self):
+        """FFT's selling point: cost is set by the plan size, not k.
+
+        48 + 2*pad + k - 1 stays within the 64-point plan for both k=3
+        (52) and k=7 (60), so their costs are nearly identical."""
+
+        def cycles(k):
+            sim = TraceSimulator(a64fx())
+            spec = ConvSpec(16, 48, 48, 16, k, 1, k // 2)
+            from repro.kernels import fft_plan_size
+            assert fft_plan_size(spec) == 64
+            trace_fft_conv(sim, spec)
+            return sim.stats.cycles
+
+        c3, c7 = cycles(3), cycles(7)
+        assert c7 < 1.2 * c3

@@ -1,0 +1,262 @@
+"""Tests for the three GEMM variants: numerics, structure, traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import RVV, SVE, RegisterFile
+from repro.kernels import (
+    BlockSizes,
+    DEFAULT_UNROLL,
+    PAPER_BLOCK_SIZES,
+    gemm_3loop,
+    gemm_6loop,
+    gemm_naive,
+    pack_a_panels,
+    pack_b_panels,
+    trace_gemm_3loop,
+    trace_gemm_6loop,
+    trace_gemm_naive,
+)
+from repro.machine import TraceSimulator, a64fx, rvv_gem5, sve_gem5
+
+
+def rand_problem(m, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((m, k)).astype(np.float32),
+        rng.standard_normal((k, n)).astype(np.float32),
+        rng.standard_normal((m, n)).astype(np.float32),
+    )
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, -2.0, 0.0])
+    def test_naive_matches_blas(self, alpha):
+        a, b, c = rand_problem(9, 13, 21)
+        ref = c + np.float32(alpha) * (a @ b)
+        out = gemm_naive(alpha, a, b, c.copy())
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("isa", [RVV(512), RVV(4096), SVE(512), SVE(2048)])
+    def test_3loop_matches_blas(self, isa):
+        a, b, c = rand_problem(18, 7, 100)
+        ref = c + a @ b
+        out = gemm_3loop(isa, 1.0, a, b, c.copy())
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("unroll", [1, 3, 16, 32])
+    def test_3loop_any_unroll(self, unroll):
+        a, b, c = rand_problem(18, 7, 33)
+        ref = c + a @ b
+        out = gemm_3loop(RVV(512), 1.0, a, b, c.copy(), unroll=unroll)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("blocks", PAPER_BLOCK_SIZES)
+    def test_6loop_paper_blocks(self, blocks):
+        a, b, c = rand_problem(40, 300, 70, seed=3)
+        ref = c + a @ b
+        out = gemm_6loop(RVV(512), 1.0, a, b, c.copy(), blocks=blocks)
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_6loop_tiny_blocks_edges(self):
+        a, b, c = rand_problem(7, 11, 13, seed=4)
+        ref = c + 0.5 * (a @ b)
+        out = gemm_6loop(SVE(256), 0.5, a, b, c.copy(), blocks=BlockSizes(4, 8, 3))
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_shape_mismatch(self):
+        a, b, c = rand_problem(4, 5, 6)
+        with pytest.raises(ValueError):
+            gemm_naive(1.0, a, b[:-1], c)
+        with pytest.raises(ValueError):
+            gemm_3loop(RVV(512), 1.0, a, b, c[:, :-1])
+        with pytest.raises(ValueError):
+            gemm_3loop(RVV(512), 1.0, a, b, c, unroll=0)
+
+    @given(
+        m=st.integers(1, 12),
+        k=st.integers(1, 12),
+        n=st.integers(1, 40),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_variants_agree_property(self, m, k, n, seed):
+        """All three GEMMs compute the same function for any shape."""
+        a, b, c = rand_problem(m, k, n, seed)
+        r1 = gemm_naive(1.0, a, b, c.copy())
+        r2 = gemm_3loop(RVV(256), 1.0, a, b, c.copy(), unroll=4)
+        r3 = gemm_6loop(SVE(128), 1.0, a, b, c.copy(), blocks=BlockSizes(4, 16, 8))
+        np.testing.assert_allclose(r2, r1, rtol=1e-4, atol=1e-4)
+        np.testing.assert_allclose(r3, r1, rtol=1e-4, atol=1e-4)
+
+
+class TestRegisterPressure:
+    def test_unroll16_no_spill(self):
+        a, b, c = rand_problem(32, 4, 20)
+        rf = RegisterFile(RVV(512))
+        gemm_3loop(RVV(512), 1.0, a, b, c, unroll=16, regfile=rf)
+        assert rf.spills == 0
+        assert rf.peak_live == 19  # 16 accumulators + vb + vaalpha + tmp
+
+    def test_unroll32_spills(self):
+        # Section VI-A: using all 32 registers causes spilling.
+        a, b, c = rand_problem(32, 4, 20)
+        rf = RegisterFile(RVV(512))
+        gemm_3loop(RVV(512), 1.0, a, b, c, unroll=32, regfile=rf)
+        assert rf.spills > 0
+
+
+class TestPacking:
+    def test_pack_b_layout(self):
+        b = np.arange(6 * 10, dtype=np.float32).reshape(6, 10)
+        p = pack_b_panels(b, k1=1, bk=3, j1=2, bn=6, panel_w=4)
+        assert p.shape == (2, 3, 4)
+        np.testing.assert_array_equal(p[0, 0], b[1, 2:6])
+        np.testing.assert_array_equal(p[1, 2, :2], b[3, 6:8])
+        assert (p[1, :, 2:] == 0).all()  # zero padding past the block
+
+    def test_pack_a_transposes(self):
+        a = np.arange(8 * 5, dtype=np.float32).reshape(8, 5)
+        p = pack_a_panels(a, i1=2, bm=4, k1=1, bk=3, panel_h=2)
+        assert p.shape == (2, 3, 2)
+        np.testing.assert_array_equal(p[0, :, 0], a[2, 1:4])
+        np.testing.assert_array_equal(p[0, :, 1], a[3, 1:4])
+        np.testing.assert_array_equal(p[1, :, 0], a[4, 1:4])
+
+    def test_pack_invalid(self):
+        b = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            pack_b_panels(b, 0, 0, 0, 4, 4)
+
+    def test_footprint(self):
+        assert BlockSizes(16, 512, 128).footprint_bytes() == 4 * (
+            16 * 128 + 128 * 512 + 16 * 512
+        )
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            BlockSizes(0, 1, 1)
+
+
+class TestTraces:
+    """Structural checks on the instruction streams the traces emit."""
+
+    def _sim(self, machine, M=32, N=512, K=64):
+        sim = TraceSimulator(machine)
+        a = sim.alloc("A", M * K * 4)
+        b = sim.alloc("B", K * N * 4)
+        c = sim.alloc("C", M * N * 4)
+        return sim, a, b, c, (M, N, K)
+
+    def test_3loop_flop_count_exact(self):
+        """Sampled trace must account every MAC of the GEMM."""
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(512))
+        trace_gemm_3loop(sim, M, N, K, a.base, b.base, c.base)
+        assert sim.stats.flops == pytest.approx(2 * M * N * K, rel=1e-6)
+
+    def test_6loop_flop_count_exact(self):
+        sim, a, b, c, (M, N, K) = self._sim(sve_gem5(512))
+        trace_gemm_6loop(sim, M, N, K, a.base, b.base, c.base)
+        assert sim.stats.flops == pytest.approx(2 * M * N * K, rel=1e-6)
+
+    def test_naive_flop_count_exact(self):
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(512), M=8, N=64, K=8)
+        trace_gemm_naive(sim, M, N, K, a.base, b.base, c.base)
+        assert sim.stats.flops == pytest.approx(2 * M * N * K, rel=1e-6)
+
+    def test_naive_has_no_vector_instructions(self):
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(512), M=4, N=32, K=4)
+        trace_gemm_naive(sim, M, N, K, a.base, b.base, c.base)
+        assert sim.stats.vec_instrs == 0
+
+    def test_avg_vlen_tracks_hardware_vlen(self):
+        """Table III: consumed average VL is near the hardware VL when N
+        divides cleanly, lower when tails dominate."""
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(16384), N=1024)
+        trace_gemm_3loop(sim, M, N, K, a.base, b.base, c.base)
+        assert sim.stats.avg_vlen_elems == pytest.approx(512, rel=0.05)
+
+    def test_avg_vlen_with_tail(self):
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(16384), N=600)
+        trace_gemm_3loop(sim, M, N, K, a.base, b.base, c.base)
+        # Two j-blocks of 512 and 88 elements -> average 300.
+        assert 250 <= sim.stats.avg_vlen_elems < 512
+
+    def test_rvv_vector_traffic_bypasses_l1(self):
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(512))
+        trace_gemm_3loop(sim, M, N, K, a.base, b.base, c.base)
+        # Only the scalar A-operand loads touch the L1.
+        assert sim.stats.l2_accesses > 0
+        assert sim.hierarchy.l1.accesses < sim.hierarchy.l2.accesses
+
+    def test_spill_traffic_charged_for_unroll32(self):
+        sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(512))
+        trace_gemm_3loop(sim, M, N, K, a.base, b.base, c.base, unroll=32)
+        assert sim.stats.spills > 0
+
+    def test_unroll32_slower_than_16_rvv(self):
+        """Section VI-A: unroll 32 loses ~15% to register spilling."""
+
+        def cycles(unroll):
+            # Non-power-of-two N: a power-of-two row stride would add L2
+            # conflict thrashing unrelated to register pressure.
+            sim, a, b, c, (M, N, K) = self._sim(rvv_gem5(512), M=64, N=2056, K=128)
+            trace_gemm_3loop(sim, M, N, K, a.base, b.base, c.base, unroll=unroll)
+            return sim.stats.cycles
+
+        c16, c32 = cycles(16), cycles(32)
+        assert c32 > c16
+        assert c32 / c16 < 1.6  # slower, but not catastrophically
+
+    def test_6loop_prefetches_only_where_supported(self):
+        for machine, expect in [(a64fx(), True), (rvv_gem5(512), False)]:
+            sim, a, b, c, (M, N, K) = self._sim(machine)
+            trace_gemm_6loop(sim, M, N, K, a.base, b.base, c.base)
+            assert (sim.stats.sw_prefetches > 0) == expect
+
+    def test_a64fx_6loop_beats_3loop(self):
+        """Section VI-C: BLIS-like 6-loop ~2x on A64FX."""
+        M, N, K = 256, 5776, 1152
+
+        def cycles(tracer):
+            sim = TraceSimulator(a64fx())
+            a = sim.alloc("A", M * K * 4)
+            b = sim.alloc("B", K * N * 4)
+            c = sim.alloc("C", M * N * 4)
+            tracer(sim, M, N, K, a.base, b.base, c.base)
+            return sim.stats.cycles
+
+        ratio = cycles(trace_gemm_6loop) / cycles(trace_gemm_3loop)
+        assert ratio < 0.85  # clearly faster
+
+    def test_rvv_6loop_does_not_beat_3loop(self):
+        """Table II: BLIS-like optimizations do not pay on RVV."""
+        # Non-power-of-two N, as in YOLOv3's layers: a power-of-two row
+        # stride would add L2 conflict thrashing that packing avoids.
+        M, N, K = 64, 7776, 288
+
+        def cycles(tracer):
+            sim = TraceSimulator(rvv_gem5(512))
+            a = sim.alloc("A", M * K * 4)
+            b = sim.alloc("B", K * N * 4)
+            c = sim.alloc("C", M * N * 4)
+            tracer(sim, M, N, K, a.base, b.base, c.base)
+            return sim.stats.cycles
+
+        ratio = cycles(trace_gemm_6loop) / cycles(trace_gemm_3loop)
+        assert ratio > 0.98
+
+    def test_naive_much_slower_than_3loop(self):
+        M, N, K = 16, 2048, 64
+
+        def cycles(tracer):
+            sim = TraceSimulator(rvv_gem5(512))
+            a = sim.alloc("A", M * K * 4)
+            b = sim.alloc("B", K * N * 4)
+            c = sim.alloc("C", M * N * 4)
+            tracer(sim, M, N, K, a.base, b.base, c.base)
+            return sim.stats.cycles
+
+        assert cycles(trace_gemm_naive) / cycles(trace_gemm_3loop) > 5

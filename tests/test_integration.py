@@ -1,0 +1,130 @@
+"""Cross-module integration tests: the full pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.isa import RVV, SVE
+from repro.kernels import (
+    ConvSpec,
+    direct_conv2d,
+    fft_conv2d,
+    gemm_3loop,
+    gemm_6loop,
+    im2col,
+)
+from repro.kernels.winograd import stride2_decomposed_conv, winograd_conv2d
+from repro.machine import a64fx, rvv_gem5, sve_gem5
+from repro.nets import ConvLayer, KernelPolicy, Network, build_network, yolov3_tiny
+from repro.workloads import letterbox, synthetic_image
+
+
+class TestAllAlgorithmsAgree:
+    """Every convolution algorithm in the library computes the same
+    function — the strongest cross-module invariant we have."""
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_five_way_agreement(self, stride):
+        spec = ConvSpec(4, 18, 15, 6, 3, stride, 1)
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((4, 18, 15)).astype(np.float32)
+        w = rng.standard_normal((6, 4, 3, 3)).astype(np.float32)
+
+        ref = direct_conv2d(x, w, spec)
+
+        # im2col + 3-loop VLA GEMM
+        cols = im2col(x, spec)
+        c1 = np.zeros((spec.M, spec.N), dtype=np.float32)
+        gemm_3loop(RVV(1024), 1.0, w.reshape(spec.M, spec.K), cols, c1)
+        np.testing.assert_allclose(c1.reshape(ref.shape), ref, rtol=1e-3, atol=1e-3)
+
+        # im2col + 6-loop BLIS-like GEMM
+        c2 = np.zeros((spec.M, spec.N), dtype=np.float32)
+        gemm_6loop(SVE(512), 1.0, w.reshape(spec.M, spec.K), cols, c2)
+        np.testing.assert_allclose(c2.reshape(ref.shape), ref, rtol=1e-3, atol=1e-3)
+
+        # Winograd (inter-tile VLA input transform)
+        y3 = winograd_conv2d(x, w, spec, isa=SVE(2048))
+        np.testing.assert_allclose(y3, ref, rtol=1e-3, atol=1e-3)
+
+        # FFT
+        y4 = fft_conv2d(x, w, spec)
+        np.testing.assert_allclose(y4, ref, rtol=1e-3, atol=1e-3)
+
+        # Stride-2 parity decomposition
+        if stride == 2:
+            y5 = stride2_decomposed_conv(x, w, spec)
+            np.testing.assert_allclose(y5, ref, rtol=1e-3, atol=1e-3)
+
+
+class TestEndToEndPipeline:
+    def test_image_to_detections(self):
+        """Full Darknet-style flow: image -> letterbox -> network."""
+        img = synthetic_image(height=96, width=128)
+        net = yolov3_tiny(width=96, height=96)
+        x = letterbox(img, 96, 96)
+        out = net.forward(x)
+        assert out.shape[0] == 255
+        assert np.isfinite(out).all()
+
+    def test_policy_invariance_of_network_output(self):
+        """Kernel policy must not change *what* is computed."""
+        net = yolov3_tiny(width=64, height=64)
+        x = synthetic_image(height=64, width=64)
+        base = net.forward(x, KernelPolicy(winograd="off"))
+        wino = net.forward(x, KernelPolicy(winograd="all3x3"))
+        np.testing.assert_allclose(base, wino, rtol=5e-2, atol=5e-3)
+
+    def test_cfg_network_simulates_everywhere(self):
+        cfg = (
+            "[net]\nheight=32\nwidth=32\nchannels=3\n"
+            "[convolutional]\nbatch_normalize=1\nfilters=8\nsize=3\nstride=1\n"
+            "pad=1\nactivation=leaky\n"
+            "[maxpool]\nsize=2\nstride=2\n"
+            "[convolutional]\nfilters=4\nsize=1\nstride=1\nactivation=linear\n"
+        )
+        net = build_network(cfg)
+        for machine in (rvv_gem5(2048), sve_gem5(1024), a64fx()):
+            st = net.simulate(machine, KernelPolicy(gemm="6loop"))
+            assert st.cycles > 0
+            assert st.flops > 2 * 0.9 * sum(
+                l.spec(net.in_shape_of(i)).macs for i, l in net.conv_layers()
+            )
+
+
+class TestSimulationConsistency:
+    """Invariants the timing simulation must satisfy across the stack."""
+
+    def _net(self):
+        return Network(
+            [ConvLayer(16, 3, 1), ConvLayer(32, 3, 2)], input_shape=(8, 40, 40)
+        )
+
+    def test_flops_independent_of_machine(self):
+        net = self._net()
+        f1 = net.simulate(rvv_gem5(512), KernelPolicy(gemm="3loop")).flops
+        f2 = net.simulate(rvv_gem5(16384), KernelPolicy(gemm="3loop")).flops
+        f3 = net.simulate(a64fx(), KernelPolicy(gemm="3loop")).flops
+        assert f1 == pytest.approx(f2, rel=0.01)
+        assert f1 == pytest.approx(f3, rel=0.01)
+
+    def test_deterministic(self):
+        net = self._net()
+        a = net.simulate(sve_gem5(512), KernelPolicy(gemm="6loop"))
+        b = net.simulate(sve_gem5(512), KernelPolicy(gemm="6loop"))
+        assert a.cycles == b.cycles
+        assert a.l2_misses == b.l2_misses
+
+    def test_more_compute_more_cycles(self):
+        small = Network([ConvLayer(8, 3, 1)], input_shape=(4, 32, 32))
+        large = Network([ConvLayer(32, 3, 1)], input_shape=(4, 32, 32))
+        m = rvv_gem5(2048)
+        assert (
+            large.simulate(m, KernelPolicy()).cycles
+            > small.simulate(m, KernelPolicy()).cycles
+        )
+
+    def test_gflops_below_machine_peak(self):
+        net = self._net()
+        for machine in (rvv_gem5(4096), sve_gem5(2048), a64fx()):
+            st = net.simulate(machine, KernelPolicy(gemm="6loop"))
+            assert st.gflops_per_sec(machine.core.freq_ghz) < machine.peak_gflops * 1.05

@@ -1,0 +1,146 @@
+"""Unit tests for repro.isa.base / rvv / sve: VLA length negotiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import F16, F32, F64, RVV, SVE, is_power_of_two, make_isa, svcntw, vsetvl, whilelt
+
+
+class TestElementTypes:
+    def test_widths(self):
+        assert F32.bits == 32 and F32.bytes == 4
+        assert F64.bits == 64 and F64.bytes == 8
+        assert F16.bits == 16 and F16.bytes == 2
+
+    def test_dtypes(self):
+        assert F32.dtype == np.float32
+        assert F64.dtype == np.float64
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("x", [1, 2, 4, 512, 16384])
+    def test_true(self, x):
+        assert is_power_of_two(x)
+
+    @pytest.mark.parametrize("x", [0, -2, 3, 511, 768])
+    def test_false(self, x):
+        assert not is_power_of_two(x)
+
+
+class TestRVV:
+    def test_mvl_is_16384(self):
+        assert RVV.mvl_bits == 16384
+
+    @pytest.mark.parametrize("vlen", [64, 512, 2048, 16384])
+    def test_legal_vlens(self, vlen):
+        assert RVV(vlen).vlen_bits == vlen
+
+    @pytest.mark.parametrize("vlen", [0, 96, 32768, 100])
+    def test_illegal_vlens(self, vlen):
+        with pytest.raises(ValueError):
+            RVV(vlen)
+
+    def test_max_elems_f32(self):
+        assert RVV(16384).max_elems(F32) == 512
+        assert RVV(512).max_elems(F32) == 16
+
+    def test_max_elems_f64(self):
+        assert RVV(512).max_elems(F64) == 8
+
+    def test_vsetvl_full_request(self):
+        isa = RVV(512)
+        assert vsetvl(isa, 1000, F32) == 16
+
+    def test_vsetvl_tail(self):
+        isa = RVV(512)
+        assert vsetvl(isa, 7, F32) == 7
+        assert vsetvl(isa, 0, F32) == 0
+
+    def test_vsetvl_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vsetvl(RVV(512), -1, F32)
+
+    def test_no_sw_prefetch(self):
+        # Section IV-A: RVV does not support prefetching.
+        assert not RVV(512).has_sw_prefetch
+
+    def test_no_register_transpose(self):
+        # Section VII: no transpose intrinsics on RVV.
+        assert not RVV(512).has_register_transpose
+
+    @given(rvl=st.integers(0, 10_000), vlen_exp=st.integers(6, 14))
+    def test_grant_never_exceeds_request_or_vlmax(self, rvl, vlen_exp):
+        isa = RVV(1 << vlen_exp)
+        gvl = isa.grant_vl(rvl, F32)
+        assert 0 <= gvl <= min(rvl, isa.max_elems(F32))
+        if rvl > 0:
+            assert gvl > 0
+
+    @given(rvl=st.integers(1, 10_000))
+    def test_strip_mining_consumes_exactly(self, rvl):
+        """Repeated vsetvl loops must consume every element exactly once."""
+        isa = RVV(2048)
+        remaining, steps = rvl, 0
+        while remaining:
+            gvl = isa.grant_vl(remaining, F32)
+            remaining -= gvl
+            steps += 1
+            assert steps <= rvl  # termination guard
+        assert remaining == 0
+
+
+class TestSVE:
+    def test_mvl_is_2048(self):
+        assert SVE.mvl_bits == 2048
+
+    @pytest.mark.parametrize("vlen", [128, 256, 512, 1024, 2048])
+    def test_legal_vlens(self, vlen):
+        assert SVE(vlen).vlen_bits == vlen
+
+    @pytest.mark.parametrize("vlen", [64, 100, 4096, 576])
+    def test_illegal_vlens(self, vlen):
+        with pytest.raises(ValueError):
+            SVE(vlen)
+
+    def test_svcntw(self):
+        assert svcntw(SVE(512)) == 16
+        assert svcntw(SVE(2048)) == 64
+
+    def test_whilelt_full(self):
+        p = whilelt(SVE(512), 0, 100)
+        assert p.all() and len(p) == 16
+
+    def test_whilelt_tail(self):
+        p = whilelt(SVE(512), 96, 100)
+        assert p[:4].all() and not p[4:].any()
+
+    def test_whilelt_empty(self):
+        p = whilelt(SVE(512), 100, 100)
+        assert not p.any()
+
+    def test_has_predicates_and_prefetch(self):
+        isa = SVE(512)
+        assert isa.num_predicate_registers == 16
+        assert isa.has_sw_prefetch
+        assert isa.has_register_transpose
+
+    @given(start=st.integers(0, 1000), extra=st.integers(0, 1000))
+    def test_whilelt_active_count_matches_grant(self, start, extra):
+        isa = SVE(1024)
+        bound = start + extra
+        p = whilelt(isa, start, bound)
+        assert int(p.sum()) == isa.grant_vl(bound - start, F32)
+
+
+class TestFactory:
+    def test_make_rvv(self):
+        assert isinstance(make_isa("rvv", 512), RVV)
+
+    def test_make_sve(self):
+        assert isinstance(make_isa("SVE", 512), SVE)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_isa("avx", 512)

@@ -1,0 +1,161 @@
+"""Unit + property tests for the functional vector intrinsics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.isa import SVE, whilelt
+from repro.isa.intrinsics import (
+    vbroadcast,
+    vfadd,
+    vfmacc,
+    vfmacc_vv,
+    vfmax,
+    vfmul,
+    vfsub,
+    vgather,
+    vle,
+    vle_masked,
+    vlse,
+    vscatter,
+    vse,
+    vse_masked,
+    vsse,
+)
+
+f32s = st.floats(-1e3, 1e3, width=32)
+
+
+def mem(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n).astype(np.float32)
+
+
+class TestLoadsStores:
+    def test_vle_copies(self):
+        m = mem()
+        v = vle(m, 4, 8)
+        np.testing.assert_array_equal(v, m[4:12])
+        v[0] = 99.0
+        assert m[4] != 99.0  # register is a copy, not a view
+
+    def test_vse_roundtrip(self):
+        m = mem()
+        v = vle(m, 0, 16)
+        out = np.zeros(64, dtype=np.float32)
+        vse(v, out, 8, 16)
+        np.testing.assert_array_equal(out[8:24], m[:16])
+        assert (out[:8] == 0).all() and (out[24:] == 0).all()
+
+    def test_vse_partial_gvl(self):
+        m = mem()
+        v = vle(m, 0, 16)
+        out = np.zeros(16, dtype=np.float32)
+        vse(v, out, 0, 5)
+        np.testing.assert_array_equal(out[:5], m[:5])
+        assert (out[5:] == 0).all()
+
+    def test_vlse_strided(self):
+        m = np.arange(32, dtype=np.float32)
+        v = vlse(m, 1, 3, 5)
+        np.testing.assert_array_equal(v, [1, 4, 7, 10, 13])
+
+    def test_vlse_zero_stride_broadcasts(self):
+        m = np.arange(8, dtype=np.float32)
+        v = vlse(m, 3, 0, 4)
+        np.testing.assert_array_equal(v, [3, 3, 3, 3])
+
+    def test_vsse_strided(self):
+        out = np.zeros(12, dtype=np.float32)
+        vsse(np.array([1, 2, 3], dtype=np.float32), out, 1, 4, 3)
+        np.testing.assert_array_equal(out[[1, 5, 9]], [1, 2, 3])
+
+    def test_gather_scatter_roundtrip(self):
+        m = mem(32)
+        idx = np.array([5, 1, 30, 2], dtype=np.int64)
+        g = vgather(m, idx)
+        np.testing.assert_array_equal(g, m[idx])
+        out = np.zeros(32, dtype=np.float32)
+        vscatter(g, out, idx)
+        np.testing.assert_array_equal(out[idx], m[idx])
+
+    def test_negative_gvl_rejected(self):
+        with pytest.raises(ValueError):
+            vle(mem(), 0, -1)
+
+
+class TestMaskedOps:
+    def test_masked_load_tail(self):
+        isa = SVE(512)
+        m = np.arange(20, dtype=np.float32)
+        pred = whilelt(isa, 16, 20)  # 4 active lanes
+        v = vle_masked(m, 16, pred)
+        np.testing.assert_array_equal(v[:4], m[16:20])
+        assert (v[4:] == 0).all()
+
+    def test_masked_store_leaves_inactive(self):
+        isa = SVE(512)
+        out = np.full(32, -1.0, dtype=np.float32)
+        pred = whilelt(isa, 0, 3)
+        vse_masked(np.arange(16, dtype=np.float32), out, 0, pred)
+        np.testing.assert_array_equal(out[:3], [0, 1, 2])
+        assert (out[3:] == -1).all()
+
+    def test_masked_load_general_mask(self):
+        m = np.arange(32, dtype=np.float32)
+        pred = np.zeros(16, dtype=bool)
+        pred[[1, 7, 13]] = True
+        v = vle_masked(m, 0, pred, fill=-5.0)
+        assert v[1] == 1 and v[7] == 7 and v[13] == 13
+        assert v[0] == -5.0
+
+
+class TestArithmetic:
+    def test_vbroadcast(self):
+        v = vbroadcast(2.5, 8)
+        assert v.dtype == np.float32
+        np.testing.assert_array_equal(v, np.full(8, 2.5, dtype=np.float32))
+
+    def test_vfmacc_matches_numpy(self):
+        acc = np.ones(8, dtype=np.float32)
+        b = np.arange(8, dtype=np.float32)
+        vfmacc(acc, 2.0, b, 8)
+        np.testing.assert_allclose(acc, 1.0 + 2.0 * np.arange(8))
+
+    def test_vfmacc_respects_gvl(self):
+        acc = np.zeros(8, dtype=np.float32)
+        vfmacc(acc, 1.0, np.ones(8, dtype=np.float32), 3)
+        np.testing.assert_array_equal(acc, [1, 1, 1, 0, 0, 0, 0, 0])
+
+    def test_vfmacc_vv(self):
+        acc = np.zeros(4, dtype=np.float32)
+        vfmacc_vv(acc, np.array([1, 2, 3, 4.0], np.float32), np.array([5, 6, 7, 8.0], np.float32), 4)
+        np.testing.assert_array_equal(acc, [5, 12, 21, 32])
+
+    @given(
+        a=arrays(np.float32, 16, elements=f32s),
+        b=arrays(np.float32, 16, elements=f32s),
+        gvl=st.integers(0, 16),
+    )
+    def test_elementwise_ops_match_numpy(self, a, b, gvl):
+        np.testing.assert_array_equal(vfadd(a, b, gvl), a[:gvl] + b[:gvl])
+        np.testing.assert_array_equal(vfsub(a, b, gvl), a[:gvl] - b[:gvl])
+        np.testing.assert_array_equal(vfmul(a, b, gvl), a[:gvl] * b[:gvl])
+        np.testing.assert_array_equal(vfmax(a, b, gvl), np.maximum(a[:gvl], b[:gvl]))
+
+    @given(a=arrays(np.float32, 8, elements=f32s), s=f32s, gvl=st.integers(0, 8))
+    def test_scalar_variants(self, a, s, gvl):
+        np.testing.assert_array_equal(vfmul(a, s, gvl), a[:gvl] * np.float32(s))
+        np.testing.assert_array_equal(vfmax(a, 0.0, gvl), np.maximum(a[:gvl], 0.0))
+
+    @given(
+        acc0=arrays(np.float32, 32, elements=f32s),
+        vec=arrays(np.float32, 32, elements=f32s),
+        scalar=f32s,
+    )
+    def test_vfmacc_property(self, acc0, vec, scalar):
+        acc = acc0.copy()
+        vfmacc(acc, scalar, vec, 32)
+        np.testing.assert_allclose(acc, acc0 + np.float32(scalar) * vec, rtol=1e-5, atol=1e-4)

@@ -1,0 +1,77 @@
+"""Tests for the multi-core scaling extension."""
+
+import pytest
+
+from repro.core import machine_per_core, scaling_curve, simulate_multicore
+from repro.machine import MB, rvv_gem5
+from repro.nets import ConvLayer, KernelPolicy, Network
+
+
+def net():
+    # Width 256 so 32-pixel shard alignment stays exact up to 8 cores.
+    return Network(
+        [ConvLayer(16, 3, 1), ConvLayer(32, 3, 2)], input_shape=(8, 64, 256)
+    )
+
+
+class TestMachinePerCore:
+    def test_single_core_identity(self):
+        m = rvv_gem5()
+        assert machine_per_core(m, 1) is m
+
+    def test_l2_partitioned(self):
+        m = rvv_gem5(l2_mb=8)
+        per = machine_per_core(m, 4)
+        assert per.l2.size_bytes == 2 * MB
+        assert per.l2.assoc == m.l2.assoc
+
+    def test_dram_bw_shared(self):
+        m = rvv_gem5()
+        per = machine_per_core(m, 4)
+        assert per.dram_bytes_per_cycle == m.dram_bytes_per_cycle // 4
+
+    def test_geometry_stays_legal(self):
+        m = rvv_gem5(l2_mb=1)
+        per = machine_per_core(m, 3)
+        # size must stay a multiple of assoc*line
+        assert per.l2.size_bytes % (per.l2.assoc * per.l2.line_bytes) == 0
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            machine_per_core(rvv_gem5(), 0)
+
+
+class TestSimulateMulticore:
+    def test_one_core_matches_single(self):
+        n = net()
+        m = rvv_gem5(2048)
+        single = n.simulate(m, KernelPolicy())
+        multi = simulate_multicore(n, m, KernelPolicy(), cores=1)
+        assert multi.cycles == pytest.approx(single.cycles, rel=1e-9)
+        assert multi.speedup_vs_1 == 1.0
+
+    def test_more_cores_faster(self):
+        n = net()
+        m = rvv_gem5(2048, l2_mb=8)
+        r2 = simulate_multicore(n, m, KernelPolicy(), cores=2)
+        assert r2.speedup_vs_1 > 1.3
+
+    def test_scaling_curve_monotone(self):
+        curve = scaling_curve(
+            net(), rvv_gem5(2048, l2_mb=8), KernelPolicy(), (1, 2, 4)
+        )
+        speeds = [r.speedup_vs_1 for r in curve]
+        assert speeds[0] == 1.0
+        assert speeds == sorted(speeds)
+
+    def test_long_vectors_scale_worse(self):
+        """The extension's co-design point: long vectors demand more
+        bandwidth per core, so they saturate at fewer cores."""
+        big = Network([ConvLayer(32, 3, 1)], input_shape=(32, 128, 128))
+        short = scaling_curve(
+            big, rvv_gem5(1024, l2_mb=4), KernelPolicy(gemm="3loop"), (1, 8)
+        )[-1]
+        long_ = scaling_curve(
+            big, rvv_gem5(16384, l2_mb=4), KernelPolicy(gemm="3loop"), (1, 8)
+        )[-1]
+        assert long_.speedup_vs_1 < short.speedup_vs_1

@@ -1,0 +1,173 @@
+"""Tests for the network layers: shapes, forwards, policies."""
+
+import numpy as np
+import pytest
+
+from repro.isa import SVE
+from repro.kernels import ConvSpec, direct_conv2d
+from repro.nets import (
+    AvgPoolLayer,
+    ConnectedLayer,
+    ConvLayer,
+    DropoutLayer,
+    KernelPolicy,
+    MaxPoolLayer,
+    RouteLayer,
+    ShortcutLayer,
+    SoftmaxLayer,
+    UpsampleLayer,
+    YoloLayer,
+)
+
+
+class TestKernelPolicy:
+    def test_defaults(self):
+        p = KernelPolicy()
+        assert p.gemm == "3loop" and p.winograd == "off" and p.unroll == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelPolicy(gemm="7loop")
+        with pytest.raises(ValueError):
+            KernelPolicy(winograd="always")
+        with pytest.raises(ValueError):
+            KernelPolicy(functional_gemm="magic")
+
+    def test_winograd_rules(self):
+        s1 = ConvSpec(4, 8, 8, 4, 3, 1, 1)
+        s2 = ConvSpec(4, 8, 8, 4, 3, 2, 1)
+        s3 = ConvSpec(4, 8, 8, 4, 1, 1, 0)
+        assert not KernelPolicy(winograd="off").uses_winograd(s1)
+        p = KernelPolicy(winograd="stride1")
+        assert p.uses_winograd(s1) and not p.uses_winograd(s2)
+        q = KernelPolicy(winograd="all3x3")
+        assert q.uses_winograd(s1) and q.uses_winograd(s2) and not q.uses_winograd(s3)
+
+
+class TestConvLayer:
+    def test_out_shape_same_padding(self):
+        layer = ConvLayer(8, 3, 1)
+        assert layer.out_shape((3, 16, 16)) == (8, 16, 16)
+
+    def test_forward_matches_direct(self):
+        layer = ConvLayer(5, 3, 1, batch_normalize=False, activation="linear")
+        x = np.random.default_rng(0).standard_normal((3, 10, 10)).astype(np.float32)
+        out = layer.forward(x, [], KernelPolicy(), None)
+        wt = layer.weights_for(x.shape)
+        ref = direct_conv2d(x, wt["w"], layer.spec(x.shape)) + wt["bias"][:, None, None]
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_forward_winograd_equals_gemm_path(self):
+        layer = ConvLayer(4, 3, 1, batch_normalize=True, activation="leaky")
+        x = np.random.default_rng(1).standard_normal((3, 12, 12)).astype(np.float32)
+        a = layer.forward(x, [], KernelPolicy(winograd="off"), None)
+        b = layer.forward(x, [], KernelPolicy(winograd="stride1"), None)
+        np.testing.assert_allclose(a, b, rtol=2e-3, atol=2e-3)
+
+    def test_forward_kernel_gemms_agree(self):
+        layer = ConvLayer(4, 3, 2, batch_normalize=False, activation="relu")
+        x = np.random.default_rng(2).standard_normal((2, 9, 9)).astype(np.float32)
+        isa = SVE(512)
+        ref = layer.forward(x, [], KernelPolicy(functional_gemm="blas"), isa)
+        for impl in ("naive", "3loop", "6loop"):
+            out = layer.forward(x, [], KernelPolicy(functional_gemm=impl), isa)
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_weights_cached(self):
+        layer = ConvLayer(4, 3)
+        w1 = layer.weights_for((3, 8, 8))
+        w2 = layer.weights_for((3, 8, 8))
+        assert w1 is w2
+
+
+class TestMaxPool:
+    def test_standard_2x2(self):
+        layer = MaxPoolLayer(2, 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = layer.forward(x, [], KernelPolicy(), None)
+        np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_tiny_stride1_pool(self):
+        # YOLOv3-tiny layer 11: size 2, stride 1 keeps spatial dims.
+        layer = MaxPoolLayer(2, 1)
+        assert layer.out_shape((512, 13, 13)) == (512, 13, 13)
+
+    def test_forward_shape(self):
+        layer = MaxPoolLayer(2, 1)
+        x = np.random.default_rng(0).standard_normal((2, 5, 5)).astype(np.float32)
+        out = layer.forward(x, [], KernelPolicy(), None)
+        assert out.shape == (2, 5, 5)
+        assert np.isfinite(out).all()
+
+
+class TestRouteShortcut:
+    def test_route_resolve_relative(self):
+        r = RouteLayer([-4])
+        assert r.resolve(83) == (79,)
+
+    def test_route_resolve_mixed(self):
+        r = RouteLayer([-1, 61])
+        assert r.resolve(86) == (85, 61)
+
+    def test_route_concat(self):
+        r = RouteLayer([0, 1])
+        a = np.ones((2, 3, 3), dtype=np.float32)
+        b = np.zeros((1, 3, 3), dtype=np.float32)
+        out = r.forward_multi([a, b])
+        assert out.shape == (3, 3, 3)
+
+    def test_route_spatial_mismatch(self):
+        r = RouteLayer([0, 1])
+        with pytest.raises(ValueError):
+            r.out_shape_multi([(2, 3, 3), (1, 4, 4)])
+
+    def test_route_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RouteLayer([])
+
+    def test_shortcut_adds(self):
+        s = ShortcutLayer(-3)
+        a = np.full((1, 2, 2), 2.0, dtype=np.float32)
+        b = np.full((1, 2, 2), 3.0, dtype=np.float32)
+        np.testing.assert_array_equal(s.forward_shortcut(a, b), np.full((1, 2, 2), 5.0))
+
+
+class TestOtherLayers:
+    def test_upsample(self):
+        u = UpsampleLayer(2)
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]], dtype=np.float32)
+        out = u.forward(x, [], KernelPolicy(), None)
+        assert out.shape == (1, 4, 4)
+        assert out[0, 0, 0] == out[0, 1, 1] == 1.0
+
+    def test_yolo_logistic_channels(self):
+        y = YoloLayer(anchors=1, classes=2)  # 7 channels per anchor
+        x = np.zeros((7, 2, 2), dtype=np.float32)
+        out = y.forward(x, [], KernelPolicy(), None)
+        # x, y, obj, classes -> logistic(0) = 0.5; w,h untouched.
+        assert (out[[0, 1, 4, 5, 6]] == 0.5).all()
+        assert (out[[2, 3]] == 0).all()
+
+    def test_avgpool(self):
+        a = AvgPoolLayer()
+        x = np.arange(8, dtype=np.float32).reshape(2, 2, 2)
+        out = a.forward(x, [], KernelPolicy(), None)
+        assert out.shape == (2, 1, 1)
+        np.testing.assert_allclose(out.ravel(), [1.5, 5.5])
+
+    def test_softmax_sums_to_one(self):
+        s = SoftmaxLayer()
+        x = np.random.default_rng(0).standard_normal((10, 1, 1)).astype(np.float32)
+        out = s.forward(x, [], KernelPolicy(), None)
+        assert out.sum() == pytest.approx(1.0, rel=1e-5)
+
+    def test_dropout_is_identity(self):
+        d = DropoutLayer(0.5)
+        x = np.ones((3, 2, 2), dtype=np.float32)
+        assert d.forward(x, [], KernelPolicy(), None) is x
+
+    def test_connected(self):
+        c = ConnectedLayer(10, activation="linear")
+        x = np.ones((4, 2, 2), dtype=np.float32)
+        out = c.forward(x, [], KernelPolicy(), None)
+        assert out.shape == (10, 1, 1)

@@ -1,0 +1,214 @@
+"""Tests for Network: shape propagation, forward, timing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.machine import rvv_gem5, sve_gem5
+from repro.nets import (
+    ConvLayer,
+    KernelPolicy,
+    MaxPoolLayer,
+    Network,
+    RouteLayer,
+    ShortcutLayer,
+    UpsampleLayer,
+    build_network,
+    parse_cfg,
+)
+
+
+def tiny_net():
+    return Network(
+        [
+            ConvLayer(4, 3, 1),
+            ConvLayer(8, 3, 2),
+            ConvLayer(4, 1, 1, pad=0),
+            ConvLayer(8, 3, 1),
+            ShortcutLayer(-3),
+            MaxPoolLayer(2, 2),
+        ],
+        input_shape=(3, 16, 16),
+        name="tiny",
+    )
+
+
+class TestShapes:
+    def test_propagation(self):
+        net = tiny_net()
+        assert net.shapes() == [
+            (4, 16, 16),
+            (8, 8, 8),
+            (4, 8, 8),
+            (8, 8, 8),
+            (8, 8, 8),
+            (8, 4, 4),
+        ]
+
+    def test_in_shape_of(self):
+        net = tiny_net()
+        assert net.in_shape_of(0) == (3, 16, 16)
+        assert net.in_shape_of(2) == (8, 8, 8)
+
+    def test_route_shapes(self):
+        net = Network(
+            [
+                ConvLayer(4, 3, 1),
+                ConvLayer(8, 3, 2),
+                UpsampleLayer(2),
+                RouteLayer([-1, 0]),
+            ],
+            input_shape=(3, 8, 8),
+        )
+        assert net.shapes()[-1] == (12, 8, 8)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network([], (3, 8, 8))
+
+    def test_conv_layers_inventory(self):
+        assert len(tiny_net().conv_layers()) == 4
+
+    def test_describe(self):
+        d = tiny_net().describe()
+        assert "conv" in d and "maxpool" in d
+
+
+class TestForward:
+    def test_runs_and_shapes(self):
+        net = tiny_net()
+        x = np.random.default_rng(0).standard_normal((3, 16, 16)).astype(np.float32)
+        out = net.forward(x)
+        assert out.shape == (8, 4, 4)
+        assert np.isfinite(out).all()
+
+    def test_shortcut_needs_matching_channels(self):
+        net = tiny_net()
+        x = np.zeros((3, 16, 16), dtype=np.float32)
+        out = net.forward(x)  # shapes line up by construction
+        assert out.shape == (8, 4, 4)
+
+    def test_wrong_input_shape(self):
+        with pytest.raises(ValueError):
+            tiny_net().forward(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_n_layers_prefix(self):
+        net = tiny_net()
+        x = np.zeros((3, 16, 16), dtype=np.float32)
+        out = net.forward(x, n_layers=2)
+        assert out.shape == (8, 8, 8)
+
+    def test_winograd_policy_matches_gemm_policy(self):
+        net = Network(
+            [ConvLayer(4, 3, 1), ConvLayer(6, 3, 1)], input_shape=(3, 12, 12)
+        )
+        x = np.random.default_rng(1).standard_normal((3, 12, 12)).astype(np.float32)
+        a = net.forward(x, KernelPolicy(winograd="off"))
+        b = net.forward(x, KernelPolicy(winograd="stride1"))
+        np.testing.assert_allclose(a, b, rtol=5e-3, atol=5e-3)
+
+
+class TestSimulate:
+    def test_basic(self):
+        st = tiny_net().simulate(rvv_gem5(512))
+        assert st.cycles > 0
+        assert st.kernel_cycles.get("gemm", 0) > 0
+
+    def test_dedup_matches_full(self):
+        """Weighted dedup must closely track the full simulation."""
+        net = Network(
+            [ConvLayer(8, 3, 1) for _ in range(6)], input_shape=(8, 16, 16)
+        )
+        full = net.simulate(sve_gem5(512), deduplicate=False)
+        dedup = net.simulate(sve_gem5(512), deduplicate=True)
+        assert dedup.cycles == pytest.approx(full.cycles, rel=0.1)
+
+    def test_n_layers_cheaper(self):
+        net = tiny_net()
+        part = net.simulate(rvv_gem5(512), n_layers=2)
+        full = net.simulate(rvv_gem5(512))
+        assert part.cycles < full.cycles
+
+    def test_longer_vectors_fewer_instructions(self):
+        net = tiny_net()
+        short = net.simulate(rvv_gem5(512))
+        long_ = net.simulate(rvv_gem5(4096))
+        assert long_.vec_instrs < short.vec_instrs
+
+    def test_winograd_policy_traces_winograd(self):
+        net = Network([ConvLayer(8, 3, 1)], input_shape=(8, 32, 32))
+        st = net.simulate(sve_gem5(512), KernelPolicy(winograd="stride1"))
+        assert st.kernel_cycles.get("wino_tuple_mult", 0) > 0
+        assert st.kernel_cycles.get("gemm", 0) == 0
+
+
+class TestCfgParser:
+    CFG = """
+# comment
+[net]
+height=8
+width=8
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[connected]
+output=10
+activation=relu
+
+[softmax]
+"""
+
+    def test_parse_sections(self):
+        sections = parse_cfg(self.CFG)
+        assert [s[0] for s in sections] == [
+            "net",
+            "convolutional",
+            "maxpool",
+            "connected",
+            "softmax",
+        ]
+        assert sections[1][1]["filters"] == "4"
+
+    def test_build_and_forward(self):
+        net = build_network(self.CFG)
+        assert net.input_shape == (3, 8, 8)
+        out = net.forward(np.zeros((3, 8, 8), dtype=np.float32))
+        assert out.shape == (10, 1, 1)
+
+    def test_pad_semantics(self):
+        net = build_network(
+            "[net]\nheight=8\nwidth=8\nchannels=1\n"
+            "[convolutional]\nfilters=2\nsize=3\nstride=1\npad=1\nactivation=linear\n"
+        )
+        assert net.layers[0].pad == 1  # pad=1 means size//2
+
+    def test_explicit_padding_overrides(self):
+        net = build_network(
+            "[net]\nheight=8\nwidth=8\nchannels=1\n"
+            "[convolutional]\nfilters=2\nsize=5\nstride=1\npadding=0\nactivation=linear\n"
+        )
+        assert net.layers[0].pad == 0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cfg("[net\nheight=1")
+        with pytest.raises(ValueError):
+            parse_cfg("height=1")
+        with pytest.raises(ValueError):
+            parse_cfg("[net]\nbogus line")
+        with pytest.raises(ValueError):
+            build_network("[convolutional]\nfilters=1\n")
+
+    def test_unknown_section(self):
+        with pytest.raises(ValueError):
+            build_network("[net]\nheight=4\nwidth=4\nchannels=1\n[gru]\n")

@@ -1,0 +1,51 @@
+"""Tests for the per-kernel profiler (paper Section II-B)."""
+
+import pytest
+
+from repro.machine import a64fx, rvv_gem5
+from repro.nets import ConvLayer, KernelPolicy, Network, profile_network, yolov3
+
+
+def net():
+    return Network(
+        [ConvLayer(16, 3, 1), ConvLayer(32, 3, 2), ConvLayer(16, 1, 1, pad=0)],
+        input_shape=(8, 32, 32),
+    )
+
+
+class TestProfiler:
+    def test_shares_sum_to_one(self):
+        prof = profile_network(net(), rvv_gem5(512))
+        assert sum(prof.shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_gemm_dominates(self):
+        """Section II-B: GEMM consumes ~93.4% of YOLOv3 compute time.
+
+        Our simulated breakdown lands in the same high-80s/90s band."""
+        prof = profile_network(yolov3(), a64fx(), KernelPolicy(gemm="6loop"))
+        assert prof.share("gemm") > 0.75
+        assert prof.share("gemm") > 5 * prof.share("im2col")
+
+    def test_winograd_rollup(self):
+        prof = profile_network(
+            net(), a64fx(), KernelPolicy(gemm="6loop", winograd="stride1")
+        )
+        assert prof.share("winograd") > 0
+        assert "wino_tuple_mult" not in prof.shares  # rolled up
+
+    def test_top(self):
+        prof = profile_network(net(), rvv_gem5(512))
+        top = prof.top(2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]
+        # For tiny layers im2col rivals GEMM; both must lead the profile.
+        assert {top[0][0], top[1][0]} == {"gemm", "im2col"}
+
+    def test_format_table(self):
+        prof = profile_network(net(), rvv_gem5(512))
+        out = prof.format_table()
+        assert "gemm" in out and "%" in out
+
+    def test_share_absent_kernel(self):
+        prof = profile_network(net(), rvv_gem5(512))
+        assert prof.share("fft") == 0.0

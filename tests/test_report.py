@@ -1,0 +1,48 @@
+"""Tests for the gem5-style statistics dump."""
+
+from repro.machine import TraceSimulator, format_gem5_stats, dump_gem5_stats, rvv_gem5
+
+
+def make_stats():
+    sim = TraceSimulator(rvv_gem5(1024))
+    buf = sim.alloc("x", 4096)
+    with sim.kernel("gemm"):
+        sim.vload(buf.base, 32)
+        sim.varith(32, 4)
+    sim.scalar(10)
+    return sim
+
+
+class TestFormat:
+    def test_contains_core_counters(self):
+        sim = make_stats()
+        out = format_gem5_stats(sim.stats, sim.machine)
+        assert "sim_cycles" in out
+        assert "system.l2.missRate" in out
+        assert "kernel.gemm.cycles" in out
+        assert "sim_seconds" in out
+        assert out.startswith("---------- Begin")
+
+    def test_machine_optional(self):
+        sim = make_stats()
+        out = format_gem5_stats(sim.stats)
+        assert "sim_seconds" not in out
+        assert "sim_cycles" in out
+
+    def test_gem5_column_format(self):
+        """Every stat line is `name value # description`."""
+        sim = make_stats()
+        for line in format_gem5_stats(sim.stats).splitlines()[1:-1]:
+            if line.startswith("#"):
+                continue
+            assert "#" in line
+            name_value = line.split("#")[0].split()
+            assert len(name_value) == 2
+            float(name_value[1])  # parses as a number
+
+    def test_dump_roundtrip(self, tmp_path):
+        sim = make_stats()
+        path = tmp_path / "stats.txt"
+        dump_gem5_stats(sim.stats, str(path), sim.machine)
+        text = path.read_text()
+        assert "End Simulation Statistics" in text

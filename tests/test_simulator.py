@@ -1,0 +1,271 @@
+"""Tests for the trace simulator: event pricing, sampling, attribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    SimStats,
+    TraceSimulator,
+    a64fx,
+    rvv_gem5,
+    sve_gem5,
+    varith_cycles,
+    vmem_transfer_cycles,
+)
+
+
+@pytest.fixture
+def sim():
+    return TraceSimulator(rvv_gem5(vlen_bits=512, lanes=8, l2_mb=1))
+
+
+class TestAllocation:
+    def test_buffers_dont_overlap(self, sim):
+        a = sim.alloc("A", 1000)
+        b = sim.alloc("B", 1000)
+        assert a.end <= b.base
+
+    def test_duplicate_names_uniquified(self, sim):
+        a1 = sim.alloc("A", 10)
+        a2 = sim.alloc("A", 10)
+        assert a1.name != a2.name
+
+    def test_elem_addressing(self, sim):
+        a = sim.alloc("A", 64)
+        assert a.elem(3) == a.base + 12
+        with pytest.raises(ValueError):
+            a.elem(1000)
+
+
+class TestEventPricing:
+    def test_scalar_cycles(self, sim):
+        sim.scalar(10)
+        assert sim.stats.cycles == 10 * sim.machine.core.scalar_cpi
+        assert sim.stats.scalar_instrs == 10
+
+    def test_varith_counts_flops(self, sim):
+        sim.varith(16, n_instr=4)  # 4 FMAs x 16 lanes x 2 flops
+        assert sim.stats.flops == 128
+        assert sim.stats.vec_instrs == 4
+        assert sim.stats.vec_elems == 64
+
+    def test_varith_cycles_formula(self):
+        cfg = rvv_gem5(lanes=8)
+        # 8 lanes -> 16 f32/cycle; 512 elems -> 32 exec cycles, which
+        # dominate the 3-cycle dispatch; plus lane fill 2.
+        assert varith_cycles(cfg.vpu, 512) == 34
+        # Short vectors are dispatch-bound on the decoupled VPU:
+        # max(exec=1, dispatch=3) + fill 2.
+        assert varith_cycles(cfg.vpu, 16) == 5
+        # A group of independent ops pays the lane fill once.
+        assert varith_cycles(cfg.vpu, 512, n_instr=4) == 2 + 4 * 32
+
+    def test_lane_scaling(self):
+        c2 = varith_cycles(rvv_gem5(lanes=2).vpu, 256)
+        c8 = varith_cycles(rvv_gem5(lanes=8).vpu, 256)
+        assert c2 > c8
+
+    def test_vmem_transfer(self):
+        cfg = rvv_gem5()
+        assert vmem_transfer_cycles(cfg.vpu, 2048) == 32  # 64 B/cycle port
+
+    def test_vload_accounts_memory(self, sim):
+        a = sim.alloc("A", 4096)
+        sim.vload(a.base, 16)
+        assert sim.stats.bytes_loaded == 64
+        assert sim.stats.vec_mem_instrs == 1
+        assert sim.stats.l2_misses == 1  # cold
+
+    def test_vload_miss_costs_more_than_hit(self):
+        s = TraceSimulator(rvv_gem5())
+        a = s.alloc("A", 4096)
+        s.vload(a.base, 16)
+        cold = s.stats.cycles
+        s.vload(a.base, 16)
+        warm = s.stats.cycles - cold
+        assert warm < cold
+
+    def test_store_stall_discounted(self):
+        s1 = TraceSimulator(sve_gem5())
+        s2 = TraceSimulator(sve_gem5())
+        a1 = s1.alloc("A", 4096)
+        a2 = s2.alloc("A", 4096)
+        s1.vload(a1.base, 16)
+        s2.vstore(a2.base, 16)
+        assert s2.stats.cycles < s1.stats.cycles
+
+    def test_strided_load_touches_line_per_elem(self, sim):
+        a = sim.alloc("A", 1 << 16)
+        sim.vload(a.base, 8, stride=256)
+        assert sim.stats.l2_misses == 8
+
+    def test_gather_spread(self, sim):
+        a = sim.alloc("A", 1 << 16)
+        sim.vgather(a.base, 8, span_bytes=8 * 256)
+        assert sim.stats.l2_misses == 8
+
+    def test_zero_elem_ops_free(self, sim):
+        sim.vload(0, 0)
+        sim.varith(0, 5)
+        assert sim.stats.cycles == 0
+
+    def test_spill_traffic(self, sim):
+        sim.spill(2)
+        assert sim.stats.spills == 2
+        assert sim.stats.bytes_stored == 2 * 64
+        assert sim.stats.bytes_loaded == 2 * 64
+
+
+class TestSwPrefetch:
+    def test_rvv_drops_prefetch_free(self):
+        s = TraceSimulator(rvv_gem5())
+        a = s.alloc("A", 4096)
+        s.sw_prefetch(a.base, 256)
+        assert s.stats.cycles == 0  # compiler deleted the intrinsic
+
+    def test_gem5_sve_noop_costs_issue_slot(self):
+        s = TraceSimulator(sve_gem5())
+        a = s.alloc("A", 4096)
+        s.sw_prefetch(a.base, 256)
+        assert s.stats.cycles > 0
+        assert s.stats.sw_prefetches == 0  # did not actually prefetch
+
+    def test_a64fx_honours_prefetch(self):
+        s = TraceSimulator(a64fx())
+        a = s.alloc("A", 4096)
+        s.sw_prefetch(a.base, 256, "L1")
+        assert s.stats.sw_prefetches == 1
+        before = s.stats.l1_misses
+        s.vload(a.base, 16)
+        assert s.stats.l1_misses == before  # prefetched -> hit
+
+
+class TestSampling:
+    def test_small_loop_runs_fully(self, sim):
+        seen = list(sim.loop(5, warmup=2, sample=8))
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_sampled_loop_weights_cycles(self):
+        """A loop of N identical iterations must cost ~N x one iteration."""
+        full = TraceSimulator(rvv_gem5())
+        sampled = TraceSimulator(rvv_gem5())
+        n = 500
+        for _ in range(n):
+            full.scalar(7)
+        for _ in sampled.loop(n, warmup=4, sample=8):
+            sampled.scalar(7)
+        assert sampled.stats.cycles == pytest.approx(full.stats.cycles, rel=1e-9)
+
+    def test_sampled_memory_stats_scale(self):
+        """Streaming loads: weighted miss counts track the full run."""
+        n = 400
+        full = TraceSimulator(rvv_gem5())
+        a = full.alloc("A", n * 64)
+        for i in range(n):
+            full.vload(a.base + i * 64, 16)
+        sampled = TraceSimulator(rvv_gem5())
+        b = sampled.alloc("A", n * 64)
+        for i in sampled.loop(n, warmup=4, sample=8):
+            sampled.vload(b.base + i * 64, 16)
+        assert sampled.stats.l2_misses == pytest.approx(full.stats.l2_misses, rel=0.05)
+
+    def test_nested_sampling_weights_multiply(self):
+        s = TraceSimulator(rvv_gem5())
+        for _ in s.loop(100, warmup=2, sample=4):
+            for _ in s.loop(50, warmup=2, sample=4):
+                s.scalar(1)
+        assert s.stats.cycles == pytest.approx(100 * 50, rel=1e-9)
+
+    def test_weight_restored_after_loop(self, sim):
+        for _ in sim.loop(100, warmup=1, sample=2):
+            pass
+        sim.scalar(1)
+        assert sim._w == 1.0
+
+    def test_region_context(self, sim):
+        with sim.region(10.0):
+            sim.scalar(3)
+        assert sim.stats.cycles == 30
+        sim.scalar(1)
+        assert sim.stats.cycles == 31
+
+    def test_region_negative_rejected(self, sim):
+        with pytest.raises(ValueError):
+            with sim.region(-1):
+                pass
+
+    @given(n=st.integers(1, 2000), w=st.integers(0, 8), s=st.integers(1, 16))
+    @settings(max_examples=40)
+    def test_sampled_scalar_total_exact(self, n, w, s):
+        sim = TraceSimulator(rvv_gem5())
+        for _ in sim.loop(n, warmup=w, sample=s):
+            sim.scalar(1)
+        assert sim.stats.cycles == pytest.approx(n, rel=1e-9)
+
+
+class TestAttribution:
+    def test_kernel_labels(self, sim):
+        with sim.kernel("gemm"):
+            sim.scalar(10)
+        with sim.kernel("im2col"):
+            sim.scalar(5)
+        sim.scalar(1)
+        kc = sim.stats.kernel_cycles
+        assert kc["gemm"] == 10 and kc["im2col"] == 5 and kc["other"] == 1
+
+    def test_nested_kernel_attribution(self, sim):
+        with sim.kernel("conv"):
+            with sim.kernel("gemm"):
+                sim.scalar(2)
+            sim.scalar(3)
+        kc = sim.stats.kernel_cycles
+        assert kc["gemm"] == 2 and kc["conv"] == 3
+
+
+class TestSimStats:
+    def test_merge(self):
+        a, b = SimStats(), SimStats()
+        a.cycles, b.cycles = 10, 5
+        a.kernel_cycles["g"] = 10
+        b.kernel_cycles["g"] = 5
+        b.kernel_cycles["w"] = 1
+        a.merge(b)
+        assert a.cycles == 15
+        assert a.kernel_cycles == {"g": 15, "w": 1}
+
+    def test_rates_empty(self):
+        s = SimStats()
+        assert s.l2_miss_rate == 0.0
+        assert s.avg_vlen_elems == 0.0
+        assert s.gflops_per_sec(2.0) == 0.0
+
+    def test_avg_vlen(self, sim):
+        sim.varith(16, 1)
+        sim.varith(8, 1)
+        assert sim.stats.avg_vlen_elems == 12
+        assert sim.stats.avg_vlen_bits == 384
+
+    def test_gflops(self):
+        s = SimStats()
+        s.flops, s.cycles = 64, 2
+        assert s.gflops_per_sec(2.0) == 64.0
+
+    def test_seconds(self, sim):
+        sim.scalar(2_000_000_000)
+        assert sim.seconds() == pytest.approx(1.0)
+
+
+class TestOoOHiding:
+    def test_a64fx_hides_more_stall_than_inorder(self):
+        """Same miss, less exposed latency on the OoO machine."""
+
+        def exposed(cfg):
+            s = TraceSimulator(cfg)
+            a = s.alloc("A", 4096)
+            s.vload(a.base, 16)  # cold miss
+            miss = s.stats.cycles
+            s.vload(a.base, 16)  # hit
+            return miss - (s.stats.cycles - miss)
+
+        assert exposed(a64fx()) < exposed(sve_gem5())

@@ -1,0 +1,138 @@
+"""Tests for the TLB model and the coarse range-residency model."""
+
+import pytest
+
+from repro.machine import MemoryHierarchy, a64fx, rvv_gem5, sve_gem5
+from repro.machine.hierarchy import Tlb
+
+
+class TestTlb:
+    def make(self, entries=4):
+        return Tlb(entries=entries, page_bytes=4096, penalty=30)
+
+    def test_cold_miss_then_hit(self):
+        t = self.make()
+        assert t.access(0, 4) == 30
+        assert t.access(100, 4) == 0
+        assert (t.hits, t.misses) == (1, 1)
+
+    def test_page_granularity(self):
+        t = self.make()
+        t.access(0, 4)
+        assert t.access(4095, 1) == 0  # same page
+        assert t.access(4096, 1) == 30  # next page
+
+    def test_spanning_access(self):
+        t = self.make()
+        assert t.access(4000, 8192) == 3 * 30  # touches 3 pages
+
+    def test_lru_eviction(self):
+        t = self.make(entries=2)
+        t.access(0, 4)
+        t.access(4096, 4)
+        t.access(0, 4)  # refresh page 0
+        t.access(8192, 4)  # evicts page 1 (LRU)
+        assert t.access(0, 4) == 0
+        assert t.access(4096, 4) == 30
+
+    def test_flush(self):
+        t = self.make()
+        t.access(0, 4)
+        t.flush()
+        assert t.access(0, 4) == 30
+
+    def test_thrash_many_streams(self):
+        """The 3-loop GEMM pattern: more concurrent pages than entries."""
+        t = self.make(entries=4)
+        cost = 0
+        for _round in range(3):
+            for s in range(8):
+                cost += t.access(s * 100_000, 4)
+        assert cost == 3 * 8 * 30  # every access misses
+
+    def test_machine_wiring(self):
+        assert MemoryHierarchy(a64fx()).tlb is not None  # real silicon
+        assert MemoryHierarchy(rvv_gem5()).tlb is None  # gem5 SE mode
+        assert MemoryHierarchy(sve_gem5()).tlb is None
+
+
+class TestRangeResidency:
+    def hier(self, l2_mb=1):
+        return MemoryHierarchy(rvv_gem5(l2_mb=l2_mb))
+
+    def test_range_hit_counts_as_l2_hit(self):
+        h = self.hier()
+        h.note_resident_range(1 << 20, 4096)
+        lat, _occ, st = h.vector_access(1 << 20, 64)
+        assert st[2] == 1 and st[3] == 0  # L2 hit, no miss
+
+    def test_outside_range_misses(self):
+        h = self.hier()
+        h.note_resident_range(1 << 20, 4096)
+        _, _occ, st = h.vector_access(1 << 22, 64)
+        assert st[3] == 1  # miss
+
+    def test_oversized_range_keeps_tail(self):
+        """A buffer bigger than the L2 leaves only its tail resident."""
+        h = self.hier(l2_mb=1)
+        base = 1 << 24
+        h.note_resident_range(base, 8 << 20)  # 8 MB into a 1 MB L2
+        _, _occ, st = h.vector_access(base, 64)  # head: evicted
+        assert st[3] == 1
+        _, _occ, st = h.vector_access(base + (8 << 20) - 64, 64)  # tail
+        assert st[2] == 1
+
+    def test_big_cache_keeps_whole_range(self):
+        h = self.hier(l2_mb=256)
+        base = 1 << 24
+        h.note_resident_range(base, 8 << 20)
+        _, _occ, st = h.vector_access(base, 64)
+        assert st[2] == 1  # head survives in a 256 MB L2
+
+    def test_lru_between_ranges(self):
+        h = self.hier(l2_mb=1)
+        a, b, c = 1 << 24, 1 << 25, 1 << 26
+        half = 512 << 10
+        h.note_resident_range(a, half)
+        h.note_resident_range(b, half)
+        h.note_resident_range(c, half)  # evicts range a (budget = 1 MB)
+        _, _o, st = h.vector_access(a, 64)
+        assert st[3] == 1
+        _, _o, st = h.vector_access(b, 64)
+        assert st[2] == 1
+
+    def test_reregistration_replaces(self):
+        h = self.hier()
+        h.note_resident_range(0, 4096)
+        h.note_resident_range(0, 4096)  # same range, no double counting
+        assert len(h._ranges) == 1
+
+    def test_zero_size_ignored(self):
+        h = self.hier()
+        h.note_resident_range(0, 0)
+        assert h._ranges == []
+
+    def test_flush_clears_ranges(self):
+        h = self.hier()
+        h.note_resident_range(0, 4096)
+        h.flush()
+        _, _o, st = h.vector_access(0, 64)
+        assert st[3] == 1
+
+
+class TestResidencyDrivesCacheSweep:
+    def test_workspace_reuse_visible_only_in_big_cache(self):
+        """The Fig. 7 mechanism in miniature: a 4 MB buffer written then
+        re-read hits only when the L2 can hold it."""
+
+        def misses(l2_mb):
+            h = MemoryHierarchy(rvv_gem5(l2_mb=l2_mb))
+            h.note_resident_range(1 << 24, 4 << 20)
+            miss = 0
+            for i in range(0, 4 << 20, 64 << 8):  # sample lines
+                _, _o, st = h.vector_access((1 << 24) + i, 64)
+                miss += st[3]
+            return miss
+
+        assert misses(64) == 0
+        assert misses(1) > 0

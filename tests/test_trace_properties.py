@@ -1,0 +1,133 @@
+"""Property-based tests on the trace kernels' accounting invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    BlockSizes,
+    ConvSpec,
+    trace_gemm_3loop,
+    trace_gemm_6loop,
+    trace_im2col,
+    trace_stream_kernel,
+)
+from repro.kernels.winograd import trace_winograd_conv, winograd_tile_count
+from repro.machine import TraceSimulator, a64fx, rvv_gem5, sve_gem5
+
+
+def gemm_sim(machine, M, N, K):
+    sim = TraceSimulator(machine)
+    a = sim.alloc("A", M * K * 4)
+    b = sim.alloc("B", K * N * 4)
+    c = sim.alloc("C", M * N * 4)
+    return sim, a.base, b.base, c.base
+
+
+machines = st.sampled_from(
+    [rvv_gem5(512), rvv_gem5(8192), sve_gem5(512), sve_gem5(2048), a64fx()]
+)
+
+
+class TestGemmTraceProperties:
+    @given(
+        machine=machines,
+        M=st.integers(1, 80),
+        N=st.integers(1, 700),
+        K=st.integers(1, 90),
+        unroll=st.sampled_from([4, 16, 32]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_3loop_flops_exact_for_any_shape(self, machine, M, N, K, unroll):
+        """Weighted sampling must account every MAC exactly, for every
+        machine, shape and unroll factor."""
+        sim, a, b, c = gemm_sim(machine, M, N, K)
+        trace_gemm_3loop(sim, M, N, K, a, b, c, unroll=unroll)
+        assert sim.stats.flops == pytest.approx(2 * M * N * K, rel=1e-6)
+        assert sim.stats.cycles > 0
+
+    @given(
+        machine=machines,
+        M=st.integers(1, 60),
+        N=st.integers(1, 600),
+        K=st.integers(1, 70),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_6loop_flops_exact_for_any_shape(self, machine, M, N, K):
+        sim, a, b, c = gemm_sim(machine, M, N, K)
+        trace_gemm_6loop(sim, M, N, K, a, b, c, blocks=BlockSizes(16, 128, 32))
+        assert sim.stats.flops == pytest.approx(2 * M * N * K, rel=1e-6)
+
+    @given(M=st.integers(8, 64), N=st.integers(64, 2000), K=st.integers(8, 128))
+    @settings(max_examples=15, deadline=None)
+    def test_cycles_scale_with_work(self, M, N, K):
+        """Doubling N should roughly double the cycles (sampled trace)."""
+        m = rvv_gem5(1024)
+        sim1, a, b, c = gemm_sim(m, M, N, K)
+        trace_gemm_3loop(sim1, M, N, K, a, b, c)
+        sim2, a, b, c = gemm_sim(m, M, 2 * N, K)
+        trace_gemm_3loop(sim2, M, 2 * N, K, a, b, c)
+        ratio = sim2.stats.cycles / sim1.stats.cycles
+        assert 1.2 < ratio < 3.5
+
+    @given(machine=machines)
+    @settings(max_examples=5, deadline=None)
+    def test_load_bytes_at_least_compulsory(self, machine):
+        """The GEMM must read at least one full pass of B."""
+        M, N, K = 32, 512, 64
+        sim, a, b, c = gemm_sim(machine, M, N, K)
+        trace_gemm_3loop(sim, M, N, K, a, b, c)
+        assert sim.stats.bytes_loaded >= 0.9 * (K * N * 4)
+
+
+class TestStreamAndIm2colProperties:
+    @given(n=st.integers(1, 100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_stream_bytes_exact(self, n):
+        sim = TraceSimulator(sve_gem5(512))
+        buf = sim.alloc("x", n * 4)
+        trace_stream_kernel(sim, "k", n, buf.base, reads=1, writes=1)
+        assert sim.stats.bytes_loaded == pytest.approx(n * 4, rel=1e-6)
+        assert sim.stats.bytes_stored == pytest.approx(n * 4, rel=1e-6)
+
+    @given(
+        c=st.integers(1, 16),
+        hw=st.integers(8, 64),
+        k=st.sampled_from([1, 3, 5]),
+        s=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_im2col_write_volume(self, c, hw, k, s):
+        """im2col writes exactly the K x N matrix."""
+        spec = ConvSpec(c, hw, hw, 4, k, s, k // 2)
+        sim = TraceSimulator(rvv_gem5(2048))
+        src = sim.alloc("x", c * hw * hw * 4)
+        dst = sim.alloc("cols", spec.K * spec.N * 4)
+        trace_im2col(sim, spec, src.base, dst.base)
+        assert sim.stats.bytes_stored == pytest.approx(spec.K * spec.N * 4, rel=0.02)
+
+
+class TestWinogradTraceProperties:
+    @given(
+        c=st.integers(1, 32),
+        f=st.integers(1, 32),
+        hw=st.sampled_from([19, 38, 76]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_tuple_flops_lower_bound(self, c, f, hw):
+        """The tuple multiplication must perform at least
+        64 * F * C * tiles MACs (transforms add more on top)."""
+        spec = ConvSpec(c, hw, hw, f, 3, 1, 1)
+        sim = TraceSimulator(a64fx())
+        trace_winograd_conv(sim, spec)
+        expect = 2 * 64 * f * c * winograd_tile_count(spec)
+        assert sim.stats.flops >= 0.95 * expect
+
+    @given(machine=machines)
+    @settings(max_examples=5, deadline=None)
+    def test_winograd_flops_below_direct(self, machine):
+        """Winograd's whole point: fewer flops than im2col+GEMM."""
+        spec = ConvSpec(32, 76, 76, 32, 3, 1, 1)
+        sim = TraceSimulator(machine)
+        trace_winograd_conv(sim, spec)
+        assert sim.stats.flops < 0.7 * spec.flops

@@ -1,0 +1,216 @@
+"""Tests for the full Winograd convolution and inter-tile kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import RVV, SVE
+from repro.kernels import ConvSpec, direct_conv2d
+from repro.kernels.winograd import (
+    f6x3,
+    interchannel_count,
+    pack_rows,
+    row_combine,
+    tile_transform_intertile,
+    trace_winograd_conv,
+    unpack_rows,
+    weight_transform_batched,
+    winograd_conv2d,
+    winograd_tile_count,
+)
+from repro.machine import TraceSimulator, a64fx, rvv_gem5, sve_gem5
+
+
+def rand_layer(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((spec.in_channels, spec.in_h, spec.in_w)).astype(np.float32)
+    w = rng.standard_normal(
+        (spec.out_channels, spec.in_channels, spec.ksize, spec.ksize)
+    ).astype(np.float32)
+    return x, w
+
+
+class TestConvCorrectness:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ConvSpec(1, 8, 8, 1, 3, 1, 1),
+            ConvSpec(3, 14, 11, 5, 3, 1, 1),
+            ConvSpec(4, 20, 17, 6, 3, 1, 1),
+            ConvSpec(2, 6, 6, 2, 3, 1, 0),  # no padding
+            ConvSpec(5, 32, 32, 4, 3, 1, 1),
+        ],
+    )
+    def test_stride1_matches_direct(self, spec):
+        x, w = rand_layer(spec)
+        y = winograd_conv2d(x, w, spec)
+        ref = direct_conv2d(x, w, spec)
+        np.testing.assert_allclose(y, ref, rtol=1e-3, atol=1e-3)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ConvSpec(2, 9, 9, 3, 3, 2, 1),
+            ConvSpec(3, 16, 12, 4, 3, 2, 1),
+        ],
+    )
+    def test_stride2_matches_direct(self, spec):
+        x, w = rand_layer(spec, seed=1)
+        y = winograd_conv2d(x, w, spec)
+        ref = direct_conv2d(x, w, spec)
+        assert y.shape == ref.shape
+        np.testing.assert_allclose(y, ref, rtol=1e-3, atol=1e-3)
+
+    def test_offline_weight_transform_path(self):
+        spec = ConvSpec(3, 12, 12, 4, 3, 1, 1)
+        x, w = rand_layer(spec, seed=2)
+        u = weight_transform_batched(f6x3(), w.astype(np.float64))
+        y = winograd_conv2d(x, w, spec, transformed_weights=u)
+        np.testing.assert_allclose(
+            y, winograd_conv2d(x, w, spec), rtol=1e-6, atol=1e-6
+        )
+
+    def test_rejects_non3x3(self):
+        spec = ConvSpec(3, 12, 12, 4, 1, 1, 0)
+        x = np.zeros((3, 12, 12), dtype=np.float32)
+        w = np.zeros((4, 3, 1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            winograd_conv2d(x, w, spec)
+
+    def test_rejects_stride3(self):
+        spec = ConvSpec(3, 12, 12, 4, 3, 3, 1)
+        x, w = rand_layer(spec)
+        with pytest.raises(ValueError):
+            winograd_conv2d(x, w, spec)
+
+    @given(seed=st.integers(0, 50), h=st.integers(7, 24), w=st.integers(7, 24))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_geometry(self, seed, h, w):
+        spec = ConvSpec(2, h, w, 3, 3, 1, 1)
+        x, wt = rand_layer(spec, seed)
+        y = winograd_conv2d(x, wt, spec)
+        ref = direct_conv2d(x, wt, spec)
+        np.testing.assert_allclose(y, ref, rtol=2e-3, atol=2e-3)
+
+
+class TestInterTileKernels:
+    def test_interchannel_count_matches_paper(self):
+        # Fig. 4: 512-bit -> 4 channels, 2048-bit -> 16 channels.
+        assert interchannel_count(SVE(512)) == 4
+        assert interchannel_count(SVE(2048)) == 16
+        assert interchannel_count(RVV(16384)) == 128
+
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        tiles = rng.standard_normal((4, 8, 8))
+        buf = pack_rows(tiles)
+        assert buf.shape == (8, 32)
+        # Buffer row i = row i of each tile, concatenated (Fig. 5).
+        np.testing.assert_array_equal(buf[2, 8:16], tiles[1, 2])
+        np.testing.assert_array_equal(unpack_rows(buf, 4, 8), tiles)
+
+    def test_row_combine_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        t = f6x3()
+        tiles = rng.standard_normal((4, 8, 8))
+        buf = pack_rows(tiles)
+        out = row_combine(SVE(512), t.Bt, buf)
+        expected = pack_rows(np.einsum("ij,cjk->cik", t.Bt, tiles))
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-12)
+
+    def test_row_combine_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            row_combine(SVE(512), np.zeros((8, 8)), np.zeros((7, 32)))
+
+    @pytest.mark.parametrize("isa", [SVE(512), SVE(2048), RVV(512), RVV(4096)])
+    def test_full_transform_matches_reference(self, isa):
+        """The inter-tile 2-D transform equals B^T d B per tile, on both
+        the SVE (register-transpose) and RVV (scatter/gather) paths."""
+        rng = np.random.default_rng(2)
+        t = f6x3()
+        tiles = rng.standard_normal((10, 8, 8))  # non-multiple of group
+        out = tile_transform_intertile(isa, t.Bt, tiles)
+        ref = np.einsum("ij,cjk,lk->cil", t.Bt, tiles, t.Bt)
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-10)
+
+    def test_rectangular_transform(self):
+        """Weight transform G g G^T: 3x3 -> 8x8 through the same kernel."""
+        rng = np.random.default_rng(3)
+        t = f6x3()
+        gs = rng.standard_normal((5, 3, 3))
+        out = tile_transform_intertile(SVE(512), t.G, gs)
+        ref = np.einsum("ij,cjk,lk->cil", t.G, gs, t.G)
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-10)
+
+    def test_single_channel_fallback(self):
+        # Fig. 4's count < 4 branch: fewer tiles than interchannels.
+        t = f6x3()
+        tiles = np.random.default_rng(4).standard_normal((1, 8, 8))
+        out = tile_transform_intertile(SVE(2048), t.Bt, tiles)
+        ref = t.Bt @ tiles[0] @ t.Bt.T
+        np.testing.assert_allclose(out[0], ref, rtol=1e-9, atol=1e-10)
+
+
+class TestTileCount:
+    def test_tile_count_stride1(self):
+        spec = ConvSpec(3, 24, 24, 4, 3, 1, 1)  # out 24x24 -> 4x4 tiles
+        assert winograd_tile_count(spec) == 16
+
+    def test_tile_count_rounds_up(self):
+        spec = ConvSpec(3, 20, 20, 4, 3, 1, 1)  # out 20x20 -> ceil(20/6)=4
+        assert winograd_tile_count(spec) == 16
+
+    def test_stride2_uses_stride1_grid(self):
+        s1 = ConvSpec(3, 24, 24, 4, 3, 1, 1)
+        s2 = ConvSpec(3, 24, 24, 4, 3, 2, 1)
+        assert winograd_tile_count(s2) == winograd_tile_count(s1)
+
+
+class TestTrace:
+    def test_trace_runs_and_attributes(self):
+        sim = TraceSimulator(a64fx())
+        trace_winograd_conv(sim, ConvSpec(16, 38, 38, 32, 3, 1, 1))
+        kc = sim.stats.kernel_cycles
+        assert kc.get("wino_tuple_mult", 0) > 0
+        assert kc.get("wino_input_transform", 0) > 0
+        assert kc.get("wino_output_transform", 0) > 0
+        assert "wino_weight_transform" not in kc  # offline by default
+
+    def test_weight_transform_optional(self):
+        sim = TraceSimulator(a64fx())
+        trace_winograd_conv(
+            sim, ConvSpec(16, 38, 38, 32, 3, 1, 1), include_weight_transform=True
+        )
+        assert sim.stats.kernel_cycles.get("wino_weight_transform", 0) > 0
+
+    def test_tuple_mult_flops_match_theory(self):
+        spec = ConvSpec(16, 38, 38, 32, 3, 1, 1)
+        sim = TraceSimulator(a64fx())
+        trace_winograd_conv(sim, spec)
+        expect = 64 * spec.in_channels * spec.out_channels * winograd_tile_count(spec) * 2
+        # Transforms add flops on top of the tuple multiplication.
+        assert sim.stats.flops >= 0.9 * expect
+
+    def test_rvv_transpose_penalty(self):
+        """Section VII: without transpose intrinsics the RVV transforms
+        bounce through memory, costing more than SVE's."""
+
+        def transform_cycles(machine):
+            sim = TraceSimulator(machine)
+            trace_winograd_conv(sim, ConvSpec(16, 38, 38, 16, 3, 1, 1))
+            kc = sim.stats.kernel_cycles
+            return kc["wino_input_transform"] / sim.machine.core.freq_ghz
+
+        assert transform_cycles(rvv_gem5(512)) > transform_cycles(sve_gem5(512))
+
+    def test_stride2_costs_more_than_stride1_per_output(self):
+        """The subsampling fallback wastes ~4x work (Section VII-A)."""
+
+        def per_output(stride):
+            spec = ConvSpec(16, 38, 38, 16, 3, stride, 1)
+            sim = TraceSimulator(a64fx())
+            trace_winograd_conv(sim, spec)
+            return sim.stats.cycles / (spec.M * spec.N)
+
+        assert per_output(2) > 2.5 * per_output(1)

@@ -1,0 +1,155 @@
+"""Tests for the Cook-Toom transform generator: exactness of the
+bilinear identity for 1-D and 2-D Winograd convolution."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.winograd import WinogradTransform, winograd_matrices
+
+
+def correlation_1d(d, g):
+    m = len(d) - len(g) + 1
+    return np.array([np.dot(d[i : i + len(g)], g) for i in range(m)])
+
+
+def correlation_2d(d, g):
+    m = d.shape[0] - g.shape[0] + 1
+    out = np.zeros((m, m))
+    for i in range(m):
+        for j in range(m):
+            out[i, j] = (d[i : i + g.shape[0], j : j + g.shape[1]] * g).sum()
+    return out
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (6, 3)])
+    def test_shapes(self, m, r):
+        t = winograd_matrices(m, r)
+        alpha = m + r - 1
+        assert t.alpha == alpha
+        assert t.A.shape == (alpha, m)
+        assert t.G.shape == (alpha, r)
+        assert t.Bt.shape == (alpha, alpha)
+
+    def test_f63_is_8x8(self):
+        """The paper's NNPACK kernel: 8x8 tiles."""
+        t = winograd_matrices(6, 3)
+        assert t.alpha == 8
+        assert t.mul_reduction_2d == pytest.approx(5.0625)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            winograd_matrices(2, 3, points=[Fraction(1), Fraction(1)])
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(ValueError):
+            winograd_matrices(6, 3, points=[Fraction(0), Fraction(1)])
+
+    def test_invalid_mr(self):
+        with pytest.raises(ValueError):
+            winograd_matrices(0, 3)
+
+    def test_fallback_points_for_unusual_sizes(self):
+        t = winograd_matrices(6, 5)  # no default point table entry
+        assert t.alpha == 10
+        rng = np.random.default_rng(0)
+        d, g = rng.standard_normal(10), rng.standard_normal(5)
+        y = t.A.T @ ((t.G @ g) * (t.Bt @ d))
+        np.testing.assert_allclose(y, correlation_1d(d, g), rtol=1e-8, atol=1e-8)
+
+
+class TestBilinearIdentity:
+    @pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (6, 3)])
+    def test_1d_identity(self, m, r):
+        t = winograd_matrices(m, r)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            d = rng.standard_normal(t.alpha)
+            g = rng.standard_normal(r)
+            y = t.A.T @ ((t.G @ g) * (t.Bt @ d))
+            np.testing.assert_allclose(y, correlation_1d(d, g), rtol=1e-9, atol=1e-9)
+
+    def test_2d_identity_f63(self):
+        t = winograd_matrices(6, 3)
+        rng = np.random.default_rng(3)
+        d = rng.standard_normal((8, 8))
+        g = rng.standard_normal((3, 3))
+        y = t.transform_output(t.transform_weight(g) * t.transform_input(d))
+        np.testing.assert_allclose(y, correlation_2d(d, g), rtol=1e-8, atol=1e-8)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_2d_identity_property(self, seed):
+        t = winograd_matrices(6, 3)
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(-2, 2, (8, 8))
+        g = rng.uniform(-2, 2, (3, 3))
+        y = t.transform_output(t.transform_weight(g) * t.transform_input(d))
+        np.testing.assert_allclose(y, correlation_2d(d, g), rtol=1e-7, atol=1e-7)
+
+    def test_identity_is_exact_on_integers(self):
+        """The generated matrices are exact rationals, so integer tiles
+        produce exactly-representable results."""
+        t = winograd_matrices(4, 3)
+        d = np.arange(36, dtype=np.float64).reshape(6, 6)
+        g = np.ones((3, 3))
+        y = t.transform_output(t.transform_weight(g) * t.transform_input(d))
+        np.testing.assert_allclose(y, correlation_2d(d, g), atol=1e-9)
+
+
+class TestTransformHelpers:
+    def test_transform_shapes(self):
+        t = winograd_matrices(6, 3)
+        assert t.transform_input(np.zeros((8, 8))).shape == (8, 8)
+        assert t.transform_weight(np.zeros((3, 3))).shape == (8, 8)
+        assert t.transform_output(np.zeros((8, 8))).shape == (6, 6)
+
+    def test_dataclass_frozen(self):
+        t = winograd_matrices(2, 3)
+        with pytest.raises(Exception):
+            t.m = 99
+
+    def test_larger_tiles_reduce_muls_more(self):
+        """The paper's motivation for bigger tiles (and why accuracy
+        concerns cap them at 8x8)."""
+        reductions = [winograd_matrices(m, 3).mul_reduction_2d for m in (2, 4, 6)]
+        assert reductions == sorted(reductions)
+
+
+class TestNumericalAccuracy:
+    def test_f63_fp32_accuracy_within_cnn_tolerance(self):
+        """F(6,3) in fp32 stays within ~1e-3 relative error — the paper's
+        reason to stop at 8x8 tiles rather than longer-vector tiles."""
+        t = winograd_matrices(6, 3)
+        rng = np.random.default_rng(11)
+        worst = 0.0
+        for _ in range(20):
+            d = rng.standard_normal((8, 8)).astype(np.float32)
+            g = rng.standard_normal((3, 3)).astype(np.float32)
+            u = (t.G @ g.astype(np.float64) @ t.G.T).astype(np.float32)
+            v = (t.Bt @ d.astype(np.float64) @ t.Bt.T).astype(np.float32)
+            y = (t.A.T @ (u * v).astype(np.float64) @ t.A).astype(np.float32)
+            ref = correlation_2d(d.astype(np.float64), g.astype(np.float64))
+            worst = max(worst, float(np.abs(y - ref).max() / (np.abs(ref).max() + 1)))
+        assert worst < 1e-3
+
+    def test_bigger_tile_is_less_accurate(self):
+        """Sanity: F(10,3)-class tiles lose accuracy vs F(6,3) — the
+        numerical cliff the paper's inter-tile scheme avoids."""
+
+        def fp32_err(m):
+            t = winograd_matrices(m, 3)
+            rng = np.random.default_rng(5)
+            d = rng.standard_normal((t.alpha, t.alpha)).astype(np.float32)
+            g = rng.standard_normal((3, 3)).astype(np.float32)
+            u = (t.G @ g.astype(np.float64) @ t.G.T).astype(np.float32)
+            v = (t.Bt @ d.astype(np.float64) @ t.Bt.T).astype(np.float32)
+            y = (t.A.T @ (u * v).astype(np.float64) @ t.A).astype(np.float32)
+            ref = correlation_2d(d.astype(np.float64), g.astype(np.float64))
+            return float(np.abs(y - ref).max())
+
+        assert fp32_err(10) > fp32_err(6)

@@ -1,0 +1,64 @@
+"""Tests for synthetic images and the paper's layer tables."""
+
+import numpy as np
+import pytest
+
+from repro.nets import yolov3
+from repro.workloads import (
+    TABLE4_LAYERS,
+    discrete_conv_specs,
+    first_n_conv_specs,
+    letterbox,
+    synthetic_image,
+)
+
+
+class TestSyntheticImage:
+    def test_shape_and_range(self):
+        img = synthetic_image()
+        assert img.shape == (3, 576, 768)  # the paper's 768x576 input
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(synthetic_image(seed=5), synthetic_image(seed=5))
+
+    def test_seed_changes_noise(self):
+        assert not np.array_equal(synthetic_image(seed=0), synthetic_image(seed=1))
+
+
+class TestLetterbox:
+    def test_resizes_to_network_dims(self):
+        img = synthetic_image(height=576, width=768)
+        out = letterbox(img, 608, 608)
+        assert out.shape == (3, 608, 608)
+
+    def test_aspect_preserved_with_grey_bars(self):
+        img = np.ones((3, 100, 200), dtype=np.float32)
+        out = letterbox(img, 100, 100)
+        # 2:1 image into a square: grey bars above and below.
+        assert (out[:, 0, :] == 0.5).all()
+        assert (out[:, 50, :] == 1.0).all()
+
+    def test_identity_when_same_size(self):
+        img = synthetic_image(height=64, width=64)
+        np.testing.assert_array_equal(letterbox(img, 64, 64), img)
+
+
+class TestTable4:
+    def test_fourteen_discrete_layers(self):
+        assert len(TABLE4_LAYERS) == 14
+
+    def test_rows_have_paper_data(self):
+        l44 = next(r for r in TABLE4_LAYERS if r.layer == "L44")
+        assert (l44.M, l44.N, l44.K) == (1024, 361, 4608)
+        assert l44.pct_peak_paper == 83
+
+    def test_specs_helpers(self):
+        net = yolov3()
+        assert len(first_n_conv_specs(net, 20)) == 15
+        discrete = discrete_conv_specs(net)
+        # 14 discrete shapes of Table IV plus a few head variants.
+        assert 14 <= len(discrete) <= 22
+        dims = {(s.M, s.N, s.K) for s in discrete}
+        assert len(dims) == len(discrete)  # actually unique
