@@ -1,0 +1,127 @@
+"""Simulator self-performance: wall-clock of the simulation pipeline.
+
+Unlike the other bench modules (which reproduce the *paper's* numbers),
+this one tracks the *repository's own* performance trajectory: how fast
+one design point simulates, how a small sweep scales with parallel
+workers, and how much the persistent simcache saves on re-runs.  It
+emits one machine-parseable ``BENCH {json}`` row per run so successive
+PRs can be compared (grep the pytest output for ``^BENCH ``).
+
+Kept intentionally small (yolov3-tiny, few layers) so it adds seconds,
+not minutes, to the suite; the headline acceptance numbers for large
+sweeps are recorded in docs/PERFORMANCE.md.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import banner, run_once
+
+from repro.core import sweep_vector_lengths
+from repro.core.simcache import cache_dir
+from repro.machine import rvv_gem5
+from repro.machine.simulator import SimStats
+from repro.nets import KernelPolicy
+
+_VLENS = [512, 1024, 2048, 4096]
+_POLICY = KernelPolicy(gemm="3loop")
+_LAYERS = 6
+
+
+def _machine_for(vlen: int):
+    return rvv_gem5(vlen_bits=vlen, lanes=8, l2_mb=1)
+
+
+def test_simulator_selfperf(benchmark, tiny_net):
+    def run():
+        # Single design point, serial.
+        t0 = time.perf_counter()
+        point_stats = tiny_net.simulate(
+            _machine_for(2048), _POLICY, n_layers=_LAYERS
+        )
+        t_point = time.perf_counter() - t0
+
+        # Small sweep, serial vs parallel (jobs from REPRO_JOBS, else 2).
+        t0 = time.perf_counter()
+        serial = sweep_vector_lengths(
+            tiny_net, _VLENS, _machine_for, _POLICY, n_layers=_LAYERS, jobs=1
+        )
+        t_serial = time.perf_counter() - t0
+
+        jobs = int(os.environ.get("REPRO_JOBS", "0") or "0") or 2
+        t0 = time.perf_counter()
+        parallel = sweep_vector_lengths(
+            tiny_net, _VLENS, _machine_for, _POLICY, n_layers=_LAYERS, jobs=jobs
+        )
+        t_parallel = time.perf_counter() - t0
+
+        # Cold vs warm simcache, in a throwaway directory.
+        tmp = tempfile.mkdtemp(prefix="simcache-bench-")
+        old_dir = os.environ.get("REPRO_SIMCACHE_DIR")
+        os.environ["REPRO_SIMCACHE_DIR"] = tmp
+        try:
+            t0 = time.perf_counter()
+            sweep_vector_lengths(
+                tiny_net, _VLENS, _machine_for, _POLICY,
+                n_layers=_LAYERS, jobs=1, use_cache=True,
+            )
+            t_cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = sweep_vector_lengths(
+                tiny_net, _VLENS, _machine_for, _POLICY,
+                n_layers=_LAYERS, jobs=1, use_cache=True,
+            )
+            t_warm = time.perf_counter() - t0
+        finally:
+            if old_dir is None:
+                os.environ.pop("REPRO_SIMCACHE_DIR", None)
+            else:
+                os.environ["REPRO_SIMCACHE_DIR"] = old_dir
+            shutil.rmtree(tmp, ignore_errors=True)
+
+        return (
+            point_stats, serial, parallel, warm, jobs,
+            t_point, t_serial, t_parallel, t_cold, t_warm,
+        )
+
+    (
+        point_stats, serial, parallel, warm, jobs,
+        t_point, t_serial, t_parallel, t_cold, t_warm,
+    ) = run_once(benchmark, run)
+
+    def identical(a, b):
+        return all(
+            getattr(a, f) == getattr(b, f) for f in SimStats.FIELDS
+        ) and a.kernel_cycles == b.kernel_cycles
+
+    par_ok = all(identical(a, b) for a, b in zip(serial.stats, parallel.stats))
+    warm_ok = all(identical(a, b) for a, b in zip(serial.stats, warm.stats))
+
+    row = {
+        "bench": "simulator_selfperf",
+        "point_s": round(t_point, 4),
+        "sweep_serial_s": round(t_serial, 4),
+        "sweep_parallel_s": round(t_parallel, 4),
+        "jobs": jobs,
+        "simcache_cold_s": round(t_cold, 4),
+        "simcache_warm_s": round(t_warm, 4),
+        "parallel_identical": par_ok,
+        "warm_identical": warm_ok,
+    }
+    banner("Simulator self-performance (yolov3-tiny, 6 layers)")
+    print(f"single point            : {t_point:.3f}s")
+    print(f"4-point sweep, serial   : {t_serial:.3f}s")
+    print(f"4-point sweep, jobs={jobs}   : {t_parallel:.3f}s")
+    print(f"simcache cold / warm    : {t_cold:.3f}s / {t_warm:.4f}s")
+    print("BENCH " + json.dumps(row, sort_keys=True))
+    benchmark.extra_info.update(row)
+
+    # Correctness gates: parallel and cached results must be identical.
+    assert par_ok and warm_ok
+    # A warm cache re-run must be nearly free.
+    assert t_warm < 0.5 * t_cold
+    # Sanity: the point simulated real work.
+    assert point_stats.cycles > 0

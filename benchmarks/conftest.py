@@ -6,11 +6,36 @@ pytest-benchmark), prints the same rows/series the paper reports next to
 the paper's numbers, and asserts the qualitative *shape* (who wins,
 direction of trends) — not absolute cycle counts, which belong to gem5
 and the authors' A64FX testbed (see EXPERIMENTS.md).
+
+Parallelism and memoization are environment-driven so the scripts need
+no changes (see docs/PERFORMANCE.md):
+
+* ``REPRO_JOBS=N``     — sweeps fan design points over N workers
+  (``sweep(..., jobs=None)`` consults this variable);
+* ``REPRO_SIMCACHE=1`` — ``Network.simulate`` memoizes results under
+  ``.simcache/`` so re-runs are nearly free.
 """
+
+import os
 
 import pytest
 
+from repro.core.parallel import JOBS_ENV, resolve_jobs
+from repro.core.simcache import cache_dir, cache_enabled
 from repro.nets import vgg16, yolov3, yolov3_tiny
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _report_accel_env():
+    """Print the effective jobs/simcache settings once per session."""
+    jobs = resolve_jobs(None)
+    if jobs > 1 or cache_enabled(None):
+        print(
+            f"\n[benchmarks] {JOBS_ENV}={os.environ.get(JOBS_ENV, '')!r} "
+            f"-> jobs={jobs}, simcache="
+            f"{'on (' + cache_dir() + ')' if cache_enabled(None) else 'off'}"
+        )
+    yield
 
 
 def run_once(benchmark, fn):

@@ -79,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--values", type=int, nargs="+", default=None,
         help="axis values (bits / MB / lanes)",
     )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers for design points (default: $REPRO_JOBS "
+             "or serial; 0 = all cores)",
+    )
+    p.add_argument(
+        "--simcache", action="store_true", default=None,
+        help="memoize results on disk under .simcache/ "
+             "(also enabled by REPRO_SIMCACHE=1)",
+    )
 
     p = sub.add_parser("roofline", help="Table IV roofline analysis")
     p.add_argument("--gemm", choices=["3loop", "6loop"], default="6loop")
@@ -116,7 +126,9 @@ def cmd_sweep(args) -> int:
             if args.machine == "sve"
             else (lambda v: rvv_gem5(vlen_bits=v, lanes=args.lanes, l2_mb=args.l2_mb))
         )
-        res = sweep_vector_lengths(net, values, factory, policy, args.layers)
+        res = sweep_vector_lengths(
+            net, values, factory, policy, args.layers, args.jobs, args.simcache
+        )
     elif args.axis == "cache":
         values = args.values or [1, 8, 64, 256]
         factory = (
@@ -124,7 +136,9 @@ def cmd_sweep(args) -> int:
             if args.machine == "sve"
             else (lambda mb: rvv_gem5(vlen_bits=args.vlen, lanes=args.lanes, l2_mb=mb))
         )
-        res = sweep_cache_sizes(net, values, factory, policy, args.layers)
+        res = sweep_cache_sizes(
+            net, values, factory, policy, args.layers, args.jobs, args.simcache
+        )
     else:
         values = args.values or [2, 4, 8]
         res = sweep_lanes(
@@ -133,6 +147,8 @@ def cmd_sweep(args) -> int:
             lambda l: rvv_gem5(vlen_bits=args.vlen, lanes=l, l2_mb=args.l2_mb),
             policy,
             args.layers,
+            args.jobs,
+            args.simcache,
         )
     print(format_table(res.as_rows()))
     print()

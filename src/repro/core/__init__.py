@@ -18,6 +18,8 @@ from .codesign import (
     sweep_vector_lengths,
 )
 from .metrics import geomean, speedup, summarize_stats
+from .parallel import resolve_jobs, simulate_points
+from . import simcache
 from .multicore import (
     MulticoreResult,
     machine_per_core,
@@ -42,6 +44,9 @@ __all__ = [
     "sweep_lanes",
     "sweep_vector_lengths",
     "geomean",
+    "resolve_jobs",
+    "simulate_points",
+    "simcache",
     "MulticoreResult",
     "machine_per_core",
     "scaling_curve",

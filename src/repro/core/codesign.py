@@ -17,6 +17,7 @@ from ..machine.config import MachineConfig
 from ..machine.simulator import SimStats
 from ..nets.layers import KernelPolicy
 from ..nets.network import Network
+from .parallel import resolve_jobs, simulate_points
 
 __all__ = [
     "DesignPoint",
@@ -87,9 +88,16 @@ def run_design_point(
     net: Network,
     point: DesignPoint,
     n_layers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> SimStats:
-    """Simulate *net* at one design point."""
-    return net.simulate(point.machine, point.policy, n_layers=n_layers)
+    """Simulate *net* at one design point.
+
+    ``use_cache`` opts into the persistent result cache (see
+    :mod:`repro.core.simcache`); ``None`` defers to ``REPRO_SIMCACHE``.
+    """
+    return net.simulate(
+        point.machine, point.policy, n_layers=n_layers, use_cache=use_cache
+    )
 
 
 def sweep(
@@ -99,11 +107,31 @@ def sweep(
     machine_for: Callable[[object], MachineConfig],
     policy: KernelPolicy = KernelPolicy(),
     n_layers: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> SweepResult:
-    """Generic one-axis sweep: build a machine per value and simulate."""
+    """Generic one-axis sweep: build a machine per value and simulate.
+
+    ``jobs`` selects parallel execution over design points: ``None``
+    consults the ``REPRO_JOBS`` environment variable (default serial),
+    0 or negative means all cores.  Parallel runs return results in the
+    same order, with statistics identical to the serial path; if the
+    inputs cannot be shipped to workers the sweep silently runs
+    serially.  ``use_cache`` opts into the persistent result cache
+    (see :mod:`repro.core.simcache`).
+    """
+    values = list(values)
+    machines = [machine_for(v) for v in values]
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1:
+        stats_list = simulate_points(
+            net, machines, policy, n_layers, n_jobs, use_cache
+        )
+        if stats_list is not None:
+            return SweepResult(axis_name=axis_name, axis=values, stats=stats_list)
     result = SweepResult(axis_name=axis_name)
-    for v in values:
-        stats = net.simulate(machine_for(v), policy, n_layers=n_layers)
+    for v, machine in zip(values, machines):
+        stats = net.simulate(machine, policy, n_layers=n_layers, use_cache=use_cache)
         result.axis.append(v)
         result.stats.append(stats)
     return result
@@ -115,13 +143,15 @@ def sweep_vector_lengths(
     base_machine: Callable[[int], MachineConfig],
     policy: KernelPolicy = KernelPolicy(),
     n_layers: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> SweepResult:
     """Fig. 6 / Fig. 8 axis: vary the hardware vector length.
 
     ``base_machine`` maps a vector length in bits to a machine config
     (e.g. ``lambda v: rvv_gem5(vlen_bits=v, lanes=8, l2_mb=1)``).
     """
-    return sweep(net, "vlen_bits", vlens, base_machine, policy, n_layers)
+    return sweep(net, "vlen_bits", vlens, base_machine, policy, n_layers, jobs, use_cache)
 
 
 def sweep_cache_sizes(
@@ -130,9 +160,11 @@ def sweep_cache_sizes(
     base_machine: Callable[[int], MachineConfig],
     policy: KernelPolicy = KernelPolicy(),
     n_layers: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> SweepResult:
     """Fig. 7 / Figs. 8-10 axis: vary the L2 capacity (1-256 MB)."""
-    return sweep(net, "l2_mb", l2_mbs, base_machine, policy, n_layers)
+    return sweep(net, "l2_mb", l2_mbs, base_machine, policy, n_layers, jobs, use_cache)
 
 
 def sweep_lanes(
@@ -141,6 +173,8 @@ def sweep_lanes(
     base_machine: Callable[[int], MachineConfig],
     policy: KernelPolicy = KernelPolicy(),
     n_layers: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> SweepResult:
     """Section VI-B(c) axis: vary the number of vector lanes (2-8)."""
-    return sweep(net, "lanes", lanes, base_machine, policy, n_layers)
+    return sweep(net, "lanes", lanes, base_machine, policy, n_layers, jobs, use_cache)

@@ -1,0 +1,100 @@
+"""Parallel design-point evaluation.
+
+Trace replay is embarrassingly parallel across design points (each
+point builds its own simulator and touches no shared state), so sweeps
+fan points out over a :mod:`multiprocessing` pool.  The network is
+pickled once and shipped to each worker via the pool initializer;
+per-point tasks then carry only the (picklable, frozen) machine config
+and kernel policy.
+
+Guarantees:
+
+* **Deterministic ordering** — results come back in task order
+  (``Pool.map`` preserves it), so a parallel sweep's ``SweepResult``
+  is indistinguishable from the serial one.
+* **Bitwise-identical stats** — workers run the same simulation code on
+  the same inputs; no accumulation order changes.
+* **Graceful fallback** — if the network or a task fails to pickle, or
+  ``jobs`` resolves to 1, the caller gets ``None`` and runs serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import List, Optional, Sequence, Tuple
+
+from ..machine.config import MachineConfig
+from ..machine.simulator import SimStats
+from ..nets.layers import KernelPolicy
+
+__all__ = ["resolve_jobs", "simulate_points"]
+
+#: Environment variable consulted when ``jobs`` is not given explicitly,
+#: so benchmark scripts and the CLI pick up parallelism without code
+#: changes: ``REPRO_JOBS=4 pytest benchmarks/...``.
+JOBS_ENV = "REPRO_JOBS"
+
+_worker_net = None
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count.
+
+    ``None`` consults the ``REPRO_JOBS`` environment variable (default
+    1, i.e. serial); 0 or a negative value means "all cores".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _init_worker(payload: bytes) -> None:
+    global _worker_net
+    _worker_net = pickle.loads(payload)
+
+
+def _run_task(task: Tuple[MachineConfig, KernelPolicy, Optional[int], Optional[bool]]):
+    machine, policy, n_layers, use_cache = task
+    return _worker_net.simulate(
+        machine, policy, n_layers=n_layers, use_cache=use_cache
+    )
+
+
+def simulate_points(
+    net,
+    machines: Sequence[MachineConfig],
+    policy: KernelPolicy,
+    n_layers: Optional[int],
+    jobs: int,
+    use_cache: Optional[bool] = None,
+) -> Optional[List[SimStats]]:
+    """Simulate *net* on each machine in *machines* using *jobs* workers.
+
+    Returns the stats in input order, or ``None`` when parallel
+    execution is not possible (single job, single point, or unpicklable
+    inputs) — the caller then falls back to the serial loop.
+    """
+    if jobs <= 1 or len(machines) <= 1:
+        return None
+    try:
+        payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
+        tasks = [(m, policy, n_layers, use_cache) for m in machines]
+        pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None  # graceful serial fallback
+    n_procs = min(jobs, len(machines))
+    try:
+        with multiprocessing.Pool(
+            processes=n_procs, initializer=_init_worker, initargs=(payload,)
+        ) as pool:
+            return pool.map(_run_task, tasks, chunksize=1)
+    except (pickle.PicklingError, AttributeError):
+        return None

@@ -1,0 +1,184 @@
+"""Persistent memoization of simulation results.
+
+Trace simulation is deterministic: the ``SimStats`` produced by
+:meth:`repro.nets.network.Network.simulate` is a pure function of the
+network's layer structure, the :class:`MachineConfig`, the
+:class:`KernelPolicy`, the layer limit / dedup settings, and the timing
+model itself.  The ~20 benchmark scripts and repeated figure
+reproductions therefore re-simulate the same design points over and
+over.  This module caches results on disk, keyed by a content hash of
+all of those inputs, so repeated points are free across processes *and*
+across runs.
+
+Usage is opt-in:
+
+* ``Network.simulate(..., use_cache=True)`` or
+* environment ``REPRO_SIMCACHE=1`` (picked up when ``use_cache`` is left
+  as ``None``), or
+* the CLI's ``--simcache`` flag.
+
+Invalidation is structural: the key hashes every field of every config
+dataclass (recursively), so changing *any* parameter — a cache latency,
+a block size, the layer count — produces a different key.  Changes to
+the timing model itself are covered by :data:`MODEL_VERSION`, which must
+be bumped whenever simulator/hierarchy arithmetic changes results.
+
+Entries are one JSON file per key under :func:`cache_dir` (default
+``.simcache/``, override with ``REPRO_SIMCACHE_DIR``).  Writes are
+atomic (temp file + ``os.replace``), so concurrent sweep workers can
+share one cache directory.  A corrupt or unreadable entry is treated as
+a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from ..machine.simulator import SimStats
+
+__all__ = [
+    "MODEL_VERSION",
+    "cache_dir",
+    "cache_enabled",
+    "cache_key",
+    "load",
+    "store",
+    "clear",
+]
+
+#: Bump whenever the timing model changes numerics (simulator,
+#: hierarchy, cache, VPU, kernel traces): cached entries from older
+#: versions are then never returned.
+MODEL_VERSION = "2026-08-pr1"
+
+_ENV_FLAG = "REPRO_SIMCACHE"
+_ENV_DIR = "REPRO_SIMCACHE_DIR"
+
+
+def cache_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve an opt-in flag: explicit argument wins, else the
+    ``REPRO_SIMCACHE`` environment variable ("1"/"true"/"yes" enable)."""
+    if flag is not None:
+        return flag
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def cache_dir() -> str:
+    """Directory holding cache entries (created lazily by :func:`store`)."""
+    return os.environ.get(_ENV_DIR, "").strip() or ".simcache"
+
+
+def _canon(obj):
+    """Canonical, JSON-serializable form of a config value tree."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__class__": type(obj).__name__,
+            **{
+                f.name: _canon(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    # Fallback for non-dataclass objects (layer instances define a
+    # parameter-complete repr; see Layer.shape_key).
+    return repr(obj)
+
+
+def cache_key(net, machine, policy, n_layers, deduplicate: bool = True) -> str:
+    """Content hash identifying one simulation's full input."""
+    payload = {
+        "model_version": MODEL_VERSION,
+        "net": {
+            "name": net.name,
+            "input_shape": list(net.input_shape),
+            "layers": [repr(layer) for layer in net.layers],
+        },
+        "machine": _canon(machine),
+        "policy": _canon(policy),
+        "n_layers": n_layers,
+        "deduplicate": deduplicate,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _entry_path(key: str) -> str:
+    return os.path.join(cache_dir(), key + ".json")
+
+
+def load(key: str) -> Optional[SimStats]:
+    """Return the cached :class:`SimStats` for *key*, or ``None``.
+
+    Any problem — missing file, bad JSON, wrong schema, stale model
+    version — is a miss, not an error.
+    """
+    try:
+        with open(_entry_path(key), "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        if entry.get("model_version") != MODEL_VERSION:
+            return None
+        fields = entry["fields"]
+        stats = SimStats(**{name: float(fields[name]) for name in SimStats.FIELDS})
+        stats.kernel_cycles = {
+            str(k): float(v) for k, v in entry["kernel_cycles"].items()
+        }
+        return stats
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def store(key: str, stats: SimStats) -> None:
+    """Persist *stats* under *key* (atomic; failures are silent).
+
+    JSON float round-tripping in Python is exact (repr is the shortest
+    round-trip form), so a cache hit returns bitwise-identical numbers.
+    """
+    entry = {
+        "model_version": MODEL_VERSION,
+        "fields": {name: getattr(stats, name) for name in SimStats.FIELDS},
+        "kernel_cycles": dict(stats.kernel_cycles),
+    }
+    directory = cache_dir()
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, _entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # read-only filesystem etc.: caching is best-effort
+
+
+def clear() -> int:
+    """Delete all entries in the cache directory; returns the count."""
+    directory = cache_dir()
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if name.endswith(".json"):
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -9,9 +9,12 @@ outcome returned here.
 Implementation notes (hot path)
 -------------------------------
 ``access`` is called once per cache line touched by every memory event in
-a simulation, so it is written for speed: each set is a plain Python list
-of line addresses ordered LRU -> MRU, and associativities are small
-(4-16), so the list scan beats any fancier structure.
+a simulation, so it is written for speed: each set is a plain Python dict
+mapping line address -> dirty flag, ordered LRU -> MRU (dict insertion
+order).  Membership, LRU refresh (pop + reinsert) and LRU eviction
+(``next(iter(set))``) are all O(1), which matters most for the RVV
+VectorCache — a 32-way fully-associative set that a list scan would walk
+on every single vector line touch.
 """
 
 from __future__ import annotations
@@ -46,7 +49,6 @@ class SetAssocCache:
         "latency",
         "num_sets",
         "_sets",
-        "_dirty",
         "hits",
         "misses",
         "writebacks",
@@ -74,8 +76,8 @@ class SetAssocCache:
         self.line_bytes = line_bytes
         self.latency = latency
         self.num_sets = size_bytes // (assoc * line_bytes)
-        self._sets = [[] for _ in range(self.num_sets)]
-        self._dirty = set()
+        # One dict per set: line address -> dirty flag, LRU -> MRU order.
+        self._sets = [{} for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
@@ -89,23 +91,17 @@ class SetAssocCache:
         and evicts the LRU way, recording a writeback if it was dirty.
         """
         ways = self._sets[line_addr % self.num_sets]
-        if line_addr in ways:
-            # LRU update: move to MRU position (end of list).
-            ways.remove(line_addr)
-            ways.append(line_addr)
+        dirty = ways.pop(line_addr, None)
+        if dirty is not None:
+            # LRU update: reinsertion moves the line to the MRU position.
+            ways[line_addr] = dirty or write
             self.hits += 1
-            if write:
-                self._dirty.add(line_addr)
             return True
         self.misses += 1
-        ways.append(line_addr)
+        ways[line_addr] = write
         if len(ways) > self.assoc:
-            victim = ways.pop(0)
-            if victim in self._dirty:
-                self._dirty.discard(victim)
+            if ways.pop(next(iter(ways))):
                 self.writebacks += 1
-        if write:
-            self._dirty.add(line_addr)
         return False
 
     def fill(self, line_addr: int) -> bool:
@@ -117,12 +113,10 @@ class SetAssocCache:
         ways = self._sets[line_addr % self.num_sets]
         if line_addr in ways:
             return False
-        ways.append(line_addr)
+        ways[line_addr] = False
         self.prefetch_fills += 1
         if len(ways) > self.assoc:
-            victim = ways.pop(0)
-            if victim in self._dirty:
-                self._dirty.discard(victim)
+            if ways.pop(next(iter(ways))):
                 self.writebacks += 1
         return True
 
@@ -139,9 +133,13 @@ class SetAssocCache:
         self.prefetch_fills = 0
 
     def flush(self) -> None:
-        """Invalidate all lines and clear dirty state (stats kept)."""
-        self._sets = [[] for _ in range(self.num_sets)]
-        self._dirty.clear()
+        """Invalidate all lines and clear dirty state (stats kept).
+
+        Clears the set dicts *in place* so that hot-path code holding a
+        direct reference to a set (see ``MemoryHierarchy``) stays valid.
+        """
+        for ways in self._sets:
+            ways.clear()
 
     @property
     def accesses(self) -> int:

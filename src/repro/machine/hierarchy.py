@@ -135,6 +135,29 @@ class MemoryHierarchy:
         )
         self._l1_shift = cfg.l1.line_bytes.bit_length() - 1
         self._l2_shift = cfg.l2.line_bytes.bit_length() - 1
+        # Hot-path constants, hoisted out of the per-line loops.
+        self._l1_lat = cfg.l1.latency
+        self._l2_lat = cfg.l2.latency
+        self._dram_lat = cfg.dram_latency
+        self._fill_l1 = cfg.l1.line_bytes / cfg.l2_to_l1_bytes_per_cycle
+        self._fill_l2 = cfg.l2.line_bytes / cfg.dram_bytes_per_cycle
+        self._l1_l2_ratio = cfg.l2.line_bytes // cfg.l1.line_bytes
+        # The VectorCache is fully associative (lines == assoc), i.e. a
+        # single set; the access paths manipulate that dict directly.
+        # Cache.flush() clears sets in place, so the reference stays valid.
+        self._vc_set = self.vector_cache._sets[0] if self.vector_cache else None
+        self._pf1_on = not isinstance(self.l1_prefetcher, NullPrefetcher)
+        self._pf2_on = not isinstance(self.l2_prefetcher, NullPrefetcher)
+        # Pre-resolved access paths (the VPU integration is fixed per
+        # config): callers on the simulator hot path bind these directly
+        # instead of going through the dispatching wrappers below.
+        self.scalar_path = self._l1_path
+        if cfg.vpu.mem_port == "L1":
+            self.vector_path = self._l1_path
+            self.strided_vector_path = self._strided_l1_path
+        else:
+            self.vector_path = self._l2_path
+            self.strided_vector_path = self._strided_l2_path
         # Coarse residency ranges (see note_resident_range): [start, end),
         # most recently used last.  Total bytes bounded by the L2 size.
         self._ranges = []
@@ -199,67 +222,482 @@ class MemoryHierarchy:
             return self._l1_path(addr, nbytes, write)
         return self._l2_path(addr, nbytes, write)
 
+    # The four path methods below inline :meth:`SetAssocCache.access`
+    # (dict pop / reinsert, LRU eviction, dirty merge) instead of calling
+    # it: they run once per cache line of every memory event in a
+    # simulation, and the call overhead plus live counter updates
+    # dominate the profile.  ``SetAssocCache.access`` remains the
+    # reference semantics — keep them in lock-step.  Cache-object
+    # hit/miss/writeback counters are accumulated in locals and flushed
+    # once per call (addition commutes, and nothing reads them mid-call).
+
     def _l1_path(self, addr: int, nbytes: int, write: bool):
-        cfg = self.cfg
+        shift = self._l1_shift
+        first = addr >> shift
+        if (addr + nbytes - 1) >> shift == first:
+            return self._l1_one_line(addr, nbytes, first, write)
         tlb_cost = self.tlb.access(addr, nbytes) if self.tlb else 0
         l1, l2 = self.l1, self.l2
-        pf1, pf2 = self.l1_prefetcher, self.l2_prefetcher
-        line = cfg.l1.line_bytes
-        fill_l1 = line / cfg.l2_to_l1_bytes_per_cycle
-        fill_l2 = cfg.l2.line_bytes / cfg.dram_bytes_per_cycle
-        first = addr >> self._l1_shift
-        last = (addr + nbytes - 1) >> self._l1_shift
-        ratio = cfg.l2.line_bytes // line  # L2 lines may be wider (equal here)
+        l1_sets, l1_num, l1_assoc = l1._sets, l1.num_sets, l1.assoc
+        l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+        pf1 = self.l1_prefetcher if self._pf1_on else None
+        pf2 = self.l2_prefetcher if self._pf2_on else None
+        shift = self._l1_shift
+        l1_lat = self._l1_lat
+        l1_l2_lat = l1_lat + self._l2_lat
+        l1_l2_dram_lat = l1_l2_lat + self._dram_lat
+        fill_l1 = self._fill_l1
+        fill_l2 = self._fill_l2
+        first = addr >> shift
+        last = (addr + nbytes - 1) >> shift
+        ratio = self._l1_l2_ratio  # L2 lines may be wider (equal here)
+        range_hit = self._range_hit
         lat = tlb_cost
         occ1 = 0.0
         occ2 = 0.0
         l1h = l1m = l2h = l2m = dram = 0
+        l1_wb = l2m_o = l2_wb = 0
         for la in range(first, last + 1):
-            if l1.access(la, write):
-                lat += cfg.l1.latency
+            ways = l1_sets[la % l1_num]
+            dirty = ways.pop(la, None)
+            if dirty is not None:
+                ways[la] = dirty or write
+                lat += l1_lat
                 l1h += 1
-            else:
-                l1m += 1
-                pf1.observe(l1, la)
-                occ1 += fill_l1
-                l2a = la // ratio if ratio > 1 else la
-                if l2.access(l2a, write) or self._range_hit(la << self._l1_shift):
-                    lat += cfg.l1.latency + cfg.l2.latency
-                    l2h += 1
-                else:
-                    l2m += 1
-                    dram += 1
-                    pf2.observe(l2, l2a)
-                    occ2 += fill_l2
-                    lat += cfg.l1.latency + cfg.l2.latency + cfg.dram_latency
-        return lat, (occ1, occ2), (l1h, l1m, l2h, l2m, dram, 0)
-
-    def _l2_path(self, addr: int, nbytes: int, write: bool):
-        """RVV decoupled-VPU path: VectorCache -> L2 -> DRAM (L1 bypassed)."""
-        cfg = self.cfg
-        tlb_cost = self.tlb.access(addr, nbytes) if self.tlb else 0
-        vc, l2 = self.vector_cache, self.l2
-        fill_l2 = cfg.l2.line_bytes / cfg.dram_bytes_per_cycle
-        first = addr >> self._l2_shift
-        last = (addr + nbytes - 1) >> self._l2_shift
-        lat = tlb_cost
-        occ2 = 0.0
-        l2h = l2m = dram = vch = 0
-        for la in range(first, last + 1):
-            if vc is not None and vc.access(la, write):
-                lat += _VC_HIT_LATENCY
-                vch += 1
                 continue
-            if l2.access(la, write) or self._range_hit(la << self._l2_shift):
-                lat += cfg.l2.latency
+            ways[la] = write
+            if len(ways) > l1_assoc:
+                if ways.pop(next(iter(ways))):
+                    l1_wb += 1
+            l1m += 1
+            if pf1 is not None:
+                pf1.observe(l1, la)
+            occ1 += fill_l1
+            l2a = la // ratio if ratio > 1 else la
+            ways2 = l2_sets[l2a % l2_num]
+            dirty2 = ways2.pop(l2a, None)
+            if dirty2 is not None:
+                ways2[l2a] = dirty2 or write
+                hit2 = True
+            else:
+                l2m_o += 1
+                ways2[l2a] = write
+                if len(ways2) > l2_assoc:
+                    if ways2.pop(next(iter(ways2))):
+                        l2_wb += 1
+                hit2 = range_hit(la << shift)
+            if hit2:
+                lat += l1_l2_lat
                 l2h += 1
             else:
                 l2m += 1
                 dram += 1
+                if pf2 is not None:
+                    pf2.observe(l2, l2a)
                 occ2 += fill_l2
-                lat += cfg.l2.latency + cfg.dram_latency
-            if vc is not None:
-                vc.fill(la)
+                lat += l1_l2_dram_lat
+        l1.hits += l1h
+        l1.misses += l1m
+        l1.writebacks += l1_wb
+        l2.hits += l1m - l2m_o
+        l2.misses += l2m_o
+        l2.writebacks += l2_wb
+        return lat, (occ1, occ2), (l1h, l1m, l2h, l2m, dram, 0)
+
+    def _l1_one_line(self, addr: int, nbytes: int, la: int, write: bool):
+        """Single-line specialization of :meth:`_l1_path`.
+
+        Scalar loads/stores are overwhelmingly single-line (and mostly
+        L1 hits), so the common case skips the multi-line prologue and
+        the per-line loop entirely.  Side effects and arithmetic mirror
+        one iteration of :meth:`_l1_path` exactly.
+        """
+        tlb = self.tlb
+        lat = 0
+        if tlb is not None:
+            page = addr >> tlb.shift
+            pages = tlb._pages
+            if page in pages and (addr + nbytes - 1) >> tlb.shift == page:
+                del pages[page]  # refresh LRU position
+                pages[page] = True
+                tlb.hits += 1
+            else:
+                lat = tlb.access(addr, nbytes)
+        l1 = self.l1
+        ways = l1._sets[la % l1.num_sets]
+        dirty = ways.pop(la, None)
+        if dirty is not None:
+            ways[la] = dirty or write
+            l1.hits += 1
+            return lat + self._l1_lat, (0.0, 0.0), (1, 0, 0, 0, 0, 0)
+        l1.misses += 1
+        ways[la] = write
+        if len(ways) > l1.assoc:
+            if ways.pop(next(iter(ways))):
+                l1.writebacks += 1
+        if self._pf1_on:
+            self.l1_prefetcher.observe(l1, la)
+        occ1 = 0.0 + self._fill_l1
+        ratio = self._l1_l2_ratio
+        l2a = la // ratio if ratio > 1 else la
+        l2 = self.l2
+        ways2 = l2._sets[l2a % l2.num_sets]
+        dirty2 = ways2.pop(l2a, None)
+        if dirty2 is not None:
+            ways2[l2a] = dirty2 or write
+            l2.hits += 1
+            return (
+                lat + self._l1_lat + self._l2_lat,
+                (occ1, 0.0),
+                (0, 1, 1, 0, 0, 0),
+            )
+        l2.misses += 1
+        ways2[l2a] = write
+        if len(ways2) > l2.assoc:
+            if ways2.pop(next(iter(ways2))):
+                l2.writebacks += 1
+        if self._range_hit(la << self._l1_shift):
+            return (
+                lat + self._l1_lat + self._l2_lat,
+                (occ1, 0.0),
+                (0, 1, 1, 0, 0, 0),
+            )
+        if self._pf2_on:
+            self.l2_prefetcher.observe(l2, l2a)
+        return (
+            lat + self._l1_lat + self._l2_lat + self._dram_lat,
+            (occ1, 0.0 + self._fill_l2),
+            (0, 1, 0, 1, 1, 0),
+        )
+
+    def _l2_path(self, addr: int, nbytes: int, write: bool):
+        """RVV decoupled-VPU path: VectorCache -> L2 -> DRAM (L1 bypassed).
+
+        A VectorCache *miss* write-allocates the line (that is what
+        staging means here), so no separate fill step is needed after the
+        L2 lookup — the line is already resident for the next access.
+        """
+        tlb = self.tlb
+        if tlb is not None:
+            page = addr >> tlb.shift
+            pages = tlb._pages
+            if page in pages and (addr + nbytes - 1) >> tlb.shift == page:
+                del pages[page]  # refresh LRU position
+                pages[page] = True
+                tlb.hits += 1
+                tlb_cost = 0
+            else:
+                tlb_cost = tlb.access(addr, nbytes)
+        else:
+            tlb_cost = 0
+        vc, l2 = self.vector_cache, self.l2
+        vc_set = self._vc_set
+        l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+        shift = self._l2_shift
+        l2_lat = self._l2_lat
+        l2_dram_lat = l2_lat + self._dram_lat
+        fill_l2 = self._fill_l2
+        range_hit = self._range_hit
+        ranges = self._ranges
+        first = addr >> shift
+        last = (addr + nbytes - 1) >> shift
+        lat = tlb_cost
+        occ2 = 0.0
+        l2h = l2m = dram = vch = 0
+        vc_wb = l2h_o = l2m_o = l2_wb = 0
+        if vc_set is not None:
+            # The VC is a single fully-associative set at steady-state
+            # capacity; its size is tracked in a local (a hit leaves it
+            # unchanged, a miss either evicts or grows it) to avoid a
+            # len() call per line.
+            vc_assoc = vc.assoc
+            vc_pop = vc_set.pop
+            vc_len = len(vc_set)
+            for la in range(first, last + 1):
+                dirty = vc_pop(la, None)
+                if dirty is not None:
+                    vc_set[la] = dirty or write
+                    lat += _VC_HIT_LATENCY
+                    vch += 1
+                    continue
+                vc_set[la] = write
+                if vc_len >= vc_assoc:
+                    if vc_pop(next(iter(vc_set))):
+                        vc_wb += 1
+                else:
+                    vc_len += 1
+                ways = l2_sets[la % l2_num]
+                dirty = ways.pop(la, None)
+                if dirty is not None:
+                    ways[la] = dirty or write
+                    l2h_o += 1
+                    lat += l2_lat
+                    l2h += 1
+                    continue
+                l2m_o += 1
+                ways[la] = write
+                if len(ways) > l2_assoc:
+                    if ways.pop(next(iter(ways))):
+                        l2_wb += 1
+                # MRU-range fast path: _range_hit walks newest-first and
+                # does not reorder on a last-entry hit, so checking it
+                # inline is equivalent.
+                a = la << shift
+                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                    lat += l2_lat
+                    l2h += 1
+                elif range_hit(a):
+                    lat += l2_lat
+                    l2h += 1
+                else:
+                    l2m += 1
+                    dram += 1
+                    occ2 += fill_l2
+                    lat += l2_dram_lat
+        else:
+            for la in range(first, last + 1):
+                ways = l2_sets[la % l2_num]
+                dirty = ways.pop(la, None)
+                if dirty is not None:
+                    ways[la] = dirty or write
+                    l2h_o += 1
+                    lat += l2_lat
+                    l2h += 1
+                    continue
+                l2m_o += 1
+                ways[la] = write
+                if len(ways) > l2_assoc:
+                    if ways.pop(next(iter(ways))):
+                        l2_wb += 1
+                # MRU-range fast path: _range_hit walks newest-first and
+                # does not reorder on a last-entry hit, so checking it
+                # inline is equivalent.
+                a = la << shift
+                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                    lat += l2_lat
+                    l2h += 1
+                elif range_hit(a):
+                    lat += l2_lat
+                    l2h += 1
+                else:
+                    l2m += 1
+                    dram += 1
+                    occ2 += fill_l2
+                    lat += l2_dram_lat
+        if vc is not None:
+            vc.hits += vch
+            vc.misses += l2h_o + l2m_o
+            vc.writebacks += vc_wb
+        l2.hits += l2h_o
+        l2.misses += l2m_o
+        l2.writebacks += l2_wb
+        return lat, (0.0, occ2), (0, 0, l2h, l2m, dram, vch)
+
+    # ------------------------------------------------------------------
+    # Bulk strided access
+    # ------------------------------------------------------------------
+    def strided_vector_access(
+        self, addr: int, n_elems: int, ew: int, stride: int, write: bool = False
+    ):
+        """Bulk vector-side access of *n_elems* elements of width *ew* at
+        byte distance *stride*, as issued by one strided load/store or
+        gather/scatter.
+
+        Numerically identical to ``n_elems`` successive
+        :meth:`vector_access` calls at ``addr + i * stride`` with the
+        partial latencies / occupancies / stats summed — but evaluated in
+        one pass: consecutive elements that fall on the line just touched
+        (``stride < line_bytes``) take a deduplicated fast path that
+        charges the guaranteed hit directly instead of re-walking the
+        lookup machinery, and the same-page TLB refresh is likewise
+        short-circuited.  Returns the same ``(latency, occupancy, stats)``
+        triple as :meth:`vector_access`.
+        """
+        if self.cfg.vpu.mem_port == "L1":
+            return self._strided_l1_path(addr, n_elems, ew, stride, write)
+        return self._strided_l2_path(addr, n_elems, ew, stride, write)
+
+    def _strided_l1_path(self, addr: int, n_elems: int, ew: int, stride: int, write: bool):
+        l1, l2 = self.l1, self.l2
+        l1_sets, l1_num, l1_assoc = l1._sets, l1.num_sets, l1.assoc
+        l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+        pf1 = self.l1_prefetcher if self._pf1_on else None
+        pf2 = self.l2_prefetcher if self._pf2_on else None
+        tlb = self.tlb
+        tlb_shift = tlb.shift if tlb is not None else 0
+        shift = self._l1_shift
+        l1_lat = self._l1_lat
+        l1_l2_lat = l1_lat + self._l2_lat
+        l1_l2_dram_lat = l1_l2_lat + self._dram_lat
+        fill_l1 = self._fill_l1
+        fill_l2 = self._fill_l2
+        ratio = self._l1_l2_ratio
+        range_hit = self._range_hit
+        lat = 0
+        occ1 = 0.0
+        occ2 = 0.0
+        l1h = l1m = l2h = l2m = dram = 0
+        l1_wb = l2m_o = l2_wb = 0
+        prev_line = -1
+        prev_page = -1
+        for i in range(n_elems):
+            a = addr + i * stride
+            end = a + ew - 1
+            if tlb is not None:
+                page = a >> tlb_shift
+                if page == prev_page and (end >> tlb_shift) == page:
+                    tlb.hits += 1  # page is MRU from the previous element
+                else:
+                    lat += tlb.access(a, ew)
+                    prev_page = page if (end >> tlb_shift) == page else -1
+            first = a >> shift
+            last = end >> shift
+            if first == last == prev_line:
+                # Deduplicated line: normally still resident from the
+                # previous element (write-allocate); refresh LRU and merge
+                # the dirty bit exactly as access() would.  If prefetch
+                # fills evicted it in between (only possible in degenerate
+                # single-set geometries), fall through to the miss path.
+                ways = l1_sets[first % l1_num]
+                dirty = ways.pop(first, None)
+                if dirty is not None:
+                    ways[first] = dirty or write
+                    lat += l1_lat
+                    l1h += 1
+                    continue
+            for la in range(first, last + 1):
+                ways = l1_sets[la % l1_num]
+                dirty = ways.pop(la, None)
+                if dirty is not None:
+                    ways[la] = dirty or write
+                    lat += l1_lat
+                    l1h += 1
+                    continue
+                ways[la] = write
+                if len(ways) > l1_assoc:
+                    if ways.pop(next(iter(ways))):
+                        l1_wb += 1
+                l1m += 1
+                if pf1 is not None:
+                    pf1.observe(l1, la)
+                occ1 += fill_l1
+                l2a = la // ratio if ratio > 1 else la
+                ways2 = l2_sets[l2a % l2_num]
+                dirty2 = ways2.pop(l2a, None)
+                if dirty2 is not None:
+                    ways2[l2a] = dirty2 or write
+                    hit2 = True
+                else:
+                    l2m_o += 1
+                    ways2[l2a] = write
+                    if len(ways2) > l2_assoc:
+                        if ways2.pop(next(iter(ways2))):
+                            l2_wb += 1
+                    hit2 = range_hit(la << shift)
+                if hit2:
+                    lat += l1_l2_lat
+                    l2h += 1
+                else:
+                    l2m += 1
+                    dram += 1
+                    if pf2 is not None:
+                        pf2.observe(l2, l2a)
+                    occ2 += fill_l2
+                    lat += l1_l2_dram_lat
+            prev_line = last
+        l1.hits += l1h
+        l1.misses += l1m
+        l1.writebacks += l1_wb
+        l2.hits += l1m - l2m_o
+        l2.misses += l2m_o
+        l2.writebacks += l2_wb
+        return lat, (occ1, occ2), (l1h, l1m, l2h, l2m, dram, 0)
+
+    def _strided_l2_path(self, addr: int, n_elems: int, ew: int, stride: int, write: bool):
+        vc, l2 = self.vector_cache, self.l2
+        vc_set = self._vc_set
+        vc_assoc = vc.assoc if vc is not None else 0
+        l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+        tlb = self.tlb
+        tlb_shift = tlb.shift if tlb is not None else 0
+        shift = self._l2_shift
+        l2_lat = self._l2_lat
+        l2_dram_lat = l2_lat + self._dram_lat
+        fill_l2 = self._fill_l2
+        range_hit = self._range_hit
+        lat = 0
+        occ2 = 0.0
+        l2h = l2m = dram = vch = 0
+        vc_wb = l2h_o = l2m_o = l2_wb = 0
+        prev_line = -1
+        prev_page = -1
+        for i in range(n_elems):
+            a = addr + i * stride
+            end = a + ew - 1
+            if tlb is not None:
+                page = a >> tlb_shift
+                if page == prev_page and (end >> tlb_shift) == page:
+                    tlb.hits += 1
+                else:
+                    lat += tlb.access(a, ew)
+                    prev_page = page if (end >> tlb_shift) == page else -1
+            first = a >> shift
+            last = end >> shift
+            if first == last == prev_line:
+                # Deduplicated line: the previous element left it resident
+                # (and MRU) in the cache that served it — a guaranteed hit.
+                if vc_set is not None:
+                    vc_set[first] = vc_set.pop(first) or write
+                    lat += _VC_HIT_LATENCY
+                    vch += 1
+                else:
+                    ways = l2_sets[first % l2_num]
+                    ways[first] = ways.pop(first) or write
+                    l2h_o += 1
+                    lat += l2_lat
+                    l2h += 1
+                continue
+            for la in range(first, last + 1):
+                if vc_set is not None:
+                    dirty = vc_set.pop(la, None)
+                    if dirty is not None:
+                        vc_set[la] = dirty or write
+                        lat += _VC_HIT_LATENCY
+                        vch += 1
+                        continue
+                    vc_set[la] = write
+                    if len(vc_set) > vc_assoc:
+                        if vc_set.pop(next(iter(vc_set))):
+                            vc_wb += 1
+                ways = l2_sets[la % l2_num]
+                dirty = ways.pop(la, None)
+                if dirty is not None:
+                    ways[la] = dirty or write
+                    l2h_o += 1
+                    hit = True
+                else:
+                    l2m_o += 1
+                    ways[la] = write
+                    if len(ways) > l2_assoc:
+                        if ways.pop(next(iter(ways))):
+                            l2_wb += 1
+                    hit = range_hit(la << shift)
+                if hit:
+                    lat += l2_lat
+                    l2h += 1
+                else:
+                    l2m += 1
+                    dram += 1
+                    occ2 += fill_l2
+                    lat += l2_dram_lat
+            prev_line = last
+        if vc is not None:
+            vc.hits += vch
+            vc.misses += l2h_o + l2m_o
+            vc.writebacks += vc_wb
+        l2.hits += l2h_o
+        l2.misses += l2m_o
+        l2.writebacks += l2_wb
         return lat, (0.0, occ2), (0, 0, l2h, l2m, dram, vch)
 
     # ------------------------------------------------------------------

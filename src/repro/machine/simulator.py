@@ -43,13 +43,36 @@ _SCALAR_MLP = 2.0
 _SPILL_SERIALIZE_CYCLES = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Weighted statistics accumulated by a :class:`TraceSimulator`.
 
     All counters are floats because sampled iterations contribute
-    fractional (weighted) amounts.
+    fractional (weighted) amounts.  ``slots=True`` because the counter
+    updates are on the simulator's hottest path.
     """
+
+    #: Canonical ordering of the scalar (float) counters.  Single source
+    #: of truth for :meth:`merge`, :meth:`Network.simulate_stream`'s
+    #: snapshot differencing, and the simcache's (de)serialization.
+    FIELDS = (
+        "cycles",
+        "scalar_instrs",
+        "vec_instrs",
+        "vec_mem_instrs",
+        "vec_elems",
+        "flops",
+        "bytes_loaded",
+        "bytes_stored",
+        "l1_hits",
+        "l1_misses",
+        "l2_hits",
+        "l2_misses",
+        "dram_fills",
+        "vc_hits",
+        "sw_prefetches",
+        "spills",
+    )
 
     cycles: float = 0.0
     scalar_instrs: float = 0.0
@@ -105,24 +128,7 @@ class SimStats:
 
     def merge(self, other: "SimStats") -> "SimStats":
         """Accumulate *other* into ``self`` and return ``self``."""
-        for name in (
-            "cycles",
-            "scalar_instrs",
-            "vec_instrs",
-            "vec_mem_instrs",
-            "vec_elems",
-            "flops",
-            "bytes_loaded",
-            "bytes_stored",
-            "l1_hits",
-            "l1_misses",
-            "l2_hits",
-            "l2_misses",
-            "dram_fills",
-            "vc_hits",
-            "sw_prefetches",
-            "spills",
-        ):
+        for name in self.FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for k, v in other.kernel_cycles.items():
             self.kernel_cycles[k] = self.kernel_cycles.get(k, 0.0) + v
@@ -145,6 +151,22 @@ class TraceSimulator:
         self._core = machine.core
         self._ooo_hide = machine.core.ooo_hide
         self._stall_scale = (1.0 - machine.core.ooo_hide) / machine.vpu.mlp
+        self._l1_line = machine.l1.line_bytes
+        self._l1_lat = machine.l1.latency
+        self._scalar_cpi = machine.core.scalar_cpi
+        # Pre-resolved hierarchy access paths (see MemoryHierarchy):
+        # skips one delegating call per memory event.
+        self._scalar_access = self.hierarchy.scalar_path
+        self._vec_access = self.hierarchy.vector_path
+        self._strided_access = self.hierarchy.strided_vector_path
+        # varith_cycles is pure in (n_elems, n_instr, ew) for a fixed VPU;
+        # GEMM micro-kernels call it millions of times with a handful of
+        # distinct shapes, so memoize per simulator.
+        self._varith_memo = {}
+        # The cycle arithmetic in _vmem is likewise pure in what the
+        # hierarchy returned plus the access shape; traces revisit the
+        # same few hundred combinations millions of times.
+        self._vmem_memo = {}
 
     # ------------------------------------------------------------------
     # Allocation & attribution
@@ -234,28 +256,67 @@ class TraceSimulator:
     # ------------------------------------------------------------------
     def scalar(self, n: int = 1) -> None:
         """*n* scalar ALU / bookkeeping instructions."""
-        self.stats.scalar_instrs += self._w * n
-        self._add_cycles(n * self._core.scalar_cpi)
+        w = self._w
+        s = self.stats
+        s.scalar_instrs += w * n
+        wc = w * (n * self._scalar_cpi)
+        s.cycles += wc
+        kc = s.kernel_cycles
+        label = self._kernel_stack[-1]
+        kc[label] = kc.get(label, 0.0) + wc
 
     def scalar_load(self, addr: int, nbytes: int = 4) -> None:
         """A scalar load (naive kernels, packing bookkeeping)."""
-        lat, occ, st = self.hierarchy.scalar_access(addr, nbytes, write=False)
-        stall = max(0.0, lat - self.machine.l1.latency) / _SCALAR_MLP
-        stall *= 1.0 - self._core.ooo_hide
-        self.stats.scalar_instrs += self._w
-        self.stats.bytes_loaded += self._w * nbytes
-        self._account_mem(st)
-        self._add_cycles(self._core.scalar_cpi + stall + occ[0] + occ[1])
+        lat, occ, st = self._scalar_access(addr, nbytes, False)
+        w = self._w
+        s = self.stats
+        s.scalar_instrs += w
+        s.bytes_loaded += w * nbytes
+        s.l1_hits += w * st[0]
+        # Zero stat terms are skipped: the counters are non-negative
+        # floats, so += 0.0 is a bitwise no-op (same for the stall/occ
+        # terms below — an L1 hit has lat == l1_lat and zero occupancy).
+        if st[1]:
+            s.l1_misses += w * st[1]
+            s.l2_hits += w * st[2]
+            s.l2_misses += w * st[3]
+            s.dram_fills += w * st[4]
+        d = lat - self._l1_lat
+        if d > 0:
+            stall = max(0.0, d) / _SCALAR_MLP
+            stall *= 1.0 - self._ooo_hide
+            wc = w * (self._scalar_cpi + stall + occ[0] + occ[1])
+        else:
+            wc = w * self._scalar_cpi
+        s.cycles += wc
+        kc = s.kernel_cycles
+        label = self._kernel_stack[-1]
+        kc[label] = kc.get(label, 0.0) + wc
 
     def scalar_store(self, addr: int, nbytes: int = 4) -> None:
         """A scalar store."""
-        lat, occ, st = self.hierarchy.scalar_access(addr, nbytes, write=True)
-        stall = max(0.0, lat - self.machine.l1.latency) / _SCALAR_MLP
-        stall *= _STORE_STALL_FACTOR * (1.0 - self._core.ooo_hide)
-        self.stats.scalar_instrs += self._w
-        self.stats.bytes_stored += self._w * nbytes
-        self._account_mem(st)
-        self._add_cycles(self._core.scalar_cpi + stall + occ[0] + occ[1])
+        lat, occ, st = self._scalar_access(addr, nbytes, True)
+        w = self._w
+        s = self.stats
+        s.scalar_instrs += w
+        s.bytes_stored += w * nbytes
+        s.l1_hits += w * st[0]
+        if st[1]:  # see scalar_load for the zero-skip argument
+            s.l1_misses += w * st[1]
+            s.l2_hits += w * st[2]
+            s.l2_misses += w * st[3]
+            s.dram_fills += w * st[4]
+        d = lat - self._l1_lat
+        if d > 0:
+            stall = max(0.0, d) / _SCALAR_MLP
+            stall *= _STORE_STALL_FACTOR * (1.0 - self._ooo_hide)
+            wc = w * (self._scalar_cpi + stall + occ[0] + occ[1])
+        else:
+            wc = w * self._scalar_cpi
+        s.cycles += wc
+        kc = s.kernel_cycles
+        label = self._kernel_stack[-1]
+        kc[label] = kc.get(label, 0.0) + wc
 
     # ------------------------------------------------------------------
     # Vector events
@@ -286,66 +347,75 @@ class TraceSimulator:
     def _vmem(self, addr: int, n_elems: int, ew: int, stride: int, write: bool) -> None:
         if n_elems <= 0:
             return
-        vpu = self._vpu
         nbytes = n_elems * ew
-        l1_line = self.machine.l1.line_bytes
-        if stride in (0, ew):
-            lat, (occ1, occ2), st = self.hierarchy.vector_access(addr, nbytes, write)
+        if stride == 0 or stride == ew:
+            unit_stride = True
+            lat, (occ1, occ2), st = self._vec_access(addr, nbytes, write)
+            l1_line = self._l1_line
             n_lines = (addr + nbytes - 1) // l1_line - addr // l1_line + 1
         else:
-            # Strided access: touch each element's line individually.
-            lat = 0
-            occ1 = 0.0
-            occ2 = 0.0
-            acc = [0, 0, 0, 0, 0, 0]
-            for i in range(n_elems):
-                la, oc, s1 = self.hierarchy.vector_access(addr + i * stride, ew, write)
-                lat += la
-                occ1 += oc[0]
-                occ2 += oc[1]
-                for k in range(6):
-                    acc[k] += s1[k]
-            st = tuple(acc)
+            # Strided access: each element touches its own line(s); the
+            # hierarchy walks them in one pass (numerically identical to
+            # the per-element loop — see docs/TIMING_MODEL.md).
+            unit_stride = False
+            lat, (occ1, occ2), st = self._strided_access(
+                addr, n_elems, ew, stride, write
+            )
             n_lines = n_elems
-        if vpu.mem_port == "L1":
-            # Streamed L1 hits are fully pipelined on an L1-fed VPU: only
-            # latency *beyond* the hit baseline stalls the pipeline.
-            lat = max(0.0, lat - n_lines * self.machine.l1.latency)
-        # Effective MLP grows with the access footprint: a vector load
-        # spanning L lines keeps its own fills in flight.  An L1-fed
-        # scoreboarded pipeline (SVE) additionally overlaps the next
-        # access's fills; the decoupled RVV unit serializes accesses
-        # through its VectorCache.
-        if stride not in (0, ew):
-            # Gathers/strided accesses serialize on address generation:
-            # only a few element fills overlap.
-            overlap = min(n_lines, 4)
-        elif n_lines == 1:
-            overlap = 1  # a dependent single-line load exposes its latency
-        elif vpu.mem_port == "L1":
-            # Scoreboarded streams overlap across accesses too.
-            overlap = 2 * n_lines
-        else:
-            overlap = n_lines  # decoupled unit overlaps its own fills only
-        mlp_eff = max(vpu.mlp, min(overlap, vpu.max_outstanding))
-        stall = lat * (1.0 - self._ooo_hide) / mlp_eff
-        if write:
-            stall *= _STORE_STALL_FACTOR
-        transfer = vmem_transfer_cycles(vpu, nbytes)
-        # L1-fill occupancy is netted against the useful transfer already
-        # priced: only *wasted* fill bandwidth (partially-used lines)
-        # costs extra.  DRAM fill bandwidth is a separate, narrower pipe
-        # and is charged in full.
-        occ = max(0.0, occ1 - transfer) + occ2
-        # No lane-fill term: memory data streams into the lanes as it
-        # arrives (chained), so transfer + exposed stall covers it.
-        cycles = (
-            vpu.mem_issue_overhead
-            + vpu.issue_overhead
-            + transfer
-            + stall
-            + occ
-        )
+        # The cycle count below is a pure function of this key for a
+        # fixed machine config; traces revisit few distinct combinations.
+        memo = self._vmem_memo
+        key = (lat, occ1, occ2, nbytes, n_lines, write, unit_stride)
+        cycles = memo.get(key)
+        if cycles is None:
+            vpu = self._vpu
+            if vpu.mem_port == "L1":
+                # Streamed L1 hits are fully pipelined on an L1-fed VPU:
+                # only latency *beyond* the hit baseline stalls the pipe.
+                lat = lat - n_lines * self._l1_lat
+                if lat < 0.0:
+                    lat = 0.0
+            # Effective MLP grows with the access footprint: a vector
+            # load spanning L lines keeps its own fills in flight.  An
+            # L1-fed scoreboarded pipeline (SVE) additionally overlaps
+            # the next access's fills; the decoupled RVV unit serializes
+            # accesses through its VectorCache.
+            if not unit_stride:
+                # Gathers/strided accesses serialize on address
+                # generation: only a few element fills overlap.
+                overlap = n_lines if n_lines < 4 else 4
+            elif n_lines == 1:
+                overlap = 1  # a dependent 1-line load exposes its latency
+            elif vpu.mem_port == "L1":
+                # Scoreboarded streams overlap across accesses too.
+                overlap = 2 * n_lines
+            else:
+                overlap = n_lines  # decoupled unit overlaps own fills only
+            if overlap > vpu.max_outstanding:
+                overlap = vpu.max_outstanding
+            mlp_eff = vpu.mlp if vpu.mlp > overlap else overlap
+            stall = lat * (1.0 - self._ooo_hide) / mlp_eff
+            if write:
+                stall *= _STORE_STALL_FACTOR
+            transfer = vmem_transfer_cycles(vpu, nbytes)
+            # L1-fill occupancy is netted against the useful transfer
+            # already priced: only *wasted* fill bandwidth (partially-
+            # used lines) costs extra.  DRAM fill bandwidth is a
+            # separate, narrower pipe and is charged in full.
+            occ = occ1 - transfer
+            if occ < 0.0:
+                occ = 0.0
+            occ += occ2
+            # No lane-fill term: memory data streams into the lanes as
+            # it arrives (chained), so transfer + exposed stall covers
+            # it.
+            cycles = memo[key] = (
+                vpu.mem_issue_overhead
+                + vpu.issue_overhead
+                + transfer
+                + stall
+                + occ
+            )
         w = self._w
         s = self.stats
         s.vec_instrs += w
@@ -355,8 +425,25 @@ class TraceSimulator:
             s.bytes_stored += w * nbytes
         else:
             s.bytes_loaded += w * nbytes
-        self._account_mem(st)
-        self._add_cycles(cycles)
+        # Zero stat terms skipped (bitwise no-op adds, see scalar_load):
+        # the RVV path never touches the L1, the SVE path never the VC.
+        if st[0]:
+            s.l1_hits += w * st[0]
+        if st[1]:
+            s.l1_misses += w * st[1]
+        if st[2]:
+            s.l2_hits += w * st[2]
+        if st[3]:
+            s.l2_misses += w * st[3]
+        if st[4]:
+            s.dram_fills += w * st[4]
+        if st[5]:
+            s.vc_hits += w * st[5]
+        wc = w * cycles
+        s.cycles += wc
+        kc = s.kernel_cycles
+        label = self._kernel_stack[-1]
+        kc[label] = kc.get(label, 0.0) + wc
 
     def vgather(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
         """Gather load of *n_elems* elements spread over *span_bytes*.
@@ -385,13 +472,21 @@ class TraceSimulator:
         """
         if n_elems <= 0 or n_instr <= 0:
             return
-        cycles = varith_cycles(self._vpu, n_elems, n_instr, ew)
+        memo = self._varith_memo
+        key = (n_elems, n_instr, ew)
+        cycles = memo.get(key)
+        if cycles is None:
+            cycles = memo[key] = varith_cycles(self._vpu, n_elems, n_instr, ew)
         w = self._w
         s = self.stats
         s.vec_instrs += w * n_instr
         s.vec_elems += w * n_instr * n_elems
         s.flops += w * n_instr * n_elems * flops_per_elem
-        self._add_cycles(cycles)
+        wc = w * cycles
+        s.cycles += wc
+        kc = s.kernel_cycles
+        label = self._kernel_stack[-1]
+        kc[label] = kc.get(label, 0.0) + wc
 
     def vbroadcast(self, n: int = 1) -> None:
         """*n* scalar-to-vector broadcast instructions."""

@@ -22,25 +22,9 @@ __all__ = ["Network"]
 
 Shape = Tuple[int, int, int]
 
-#: Scalar SimStats fields differenced by :meth:`Network.simulate_stream`.
-_STREAM_FIELDS = (
-    "cycles",
-    "scalar_instrs",
-    "vec_instrs",
-    "vec_mem_instrs",
-    "vec_elems",
-    "flops",
-    "bytes_loaded",
-    "bytes_stored",
-    "l1_hits",
-    "l1_misses",
-    "l2_hits",
-    "l2_misses",
-    "dram_fills",
-    "vc_hits",
-    "sw_prefetches",
-    "spills",
-)
+#: Scalar SimStats fields differenced by :meth:`Network.simulate_stream`
+#: (canonical list lives on SimStats).
+_STREAM_FIELDS = SimStats.FIELDS
 
 
 class Network:
@@ -128,6 +112,7 @@ class Network:
         policy: KernelPolicy = KernelPolicy(),
         n_layers: Optional[int] = None,
         deduplicate: bool = True,
+        use_cache: Optional[bool] = None,
     ) -> SimStats:
         """Trace-simulate inference on *machine*; returns the statistics.
 
@@ -135,7 +120,23 @@ class Network:
         the largest layer, ping-pong activation buffers, and a per-network
         weight region.  With ``deduplicate`` (default), repeated
         layer shapes are simulated once inside a weighted region.
+
+        ``use_cache`` opts into the persistent result cache
+        (:mod:`repro.core.simcache`): ``True``/``False`` force it on or
+        off, ``None`` (default) defers to the ``REPRO_SIMCACHE``
+        environment variable.  Simulation is deterministic, so a cache
+        hit returns the same statistics the simulation would produce.
         """
+        # Imported lazily to avoid a cycle (repro.core imports this
+        # module at package init).
+        from ..core import simcache
+
+        ckey = None
+        if simcache.cache_enabled(use_cache):
+            ckey = simcache.cache_key(self, machine, policy, n_layers, deduplicate)
+            cached = simcache.load(ckey)
+            if cached is not None:
+                return cached
         sim = TraceSimulator(machine)
         shapes = self.shapes()
         limit = len(self.layers) if n_layers is None else min(n_layers, len(self.layers))
@@ -195,6 +196,8 @@ class Network:
                 bases["activations2"],
                 bases["activations"],
             )
+        if ckey is not None:
+            simcache.store(ckey, sim.stats)
         return sim.stats
 
     def simulate_stream(

@@ -1,0 +1,149 @@
+"""Persistent simulation-result cache: hits, invalidation, robustness."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import run_design_point, simcache
+from repro.core.codesign import DesignPoint
+from repro.machine import rvv_gem5
+from repro.machine.simulator import SimStats
+from repro.nets import ConvLayer, KernelPolicy, Network
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_SIMCACHE", raising=False)
+    return tmp_path
+
+
+def small_net(name="net"):
+    return Network(
+        [ConvLayer(8, 3, 1), ConvLayer(16, 3, 2)],
+        input_shape=(4, 32, 32),
+        name=name,
+    )
+
+
+def assert_identical(a: SimStats, b: SimStats):
+    for field in SimStats.FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.kernel_cycles == b.kernel_cycles
+
+
+MACHINE = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+
+
+class TestKey:
+    def test_identical_inputs_same_key(self, cache_env):
+        k1 = simcache.cache_key(small_net(), MACHINE, KernelPolicy(), None)
+        k2 = simcache.cache_key(small_net(), MACHINE, KernelPolicy(), None)
+        assert k1 == k2
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            lambda: (small_net(), MACHINE.with_(dram_latency=121), KernelPolicy(), None),
+            lambda: (small_net(), MACHINE.with_(vlen_bits=2048), KernelPolicy(), None),
+            lambda: (small_net(), MACHINE, KernelPolicy(gemm="6loop"), None),
+            lambda: (small_net(), MACHINE, KernelPolicy(unroll=8), None),
+            lambda: (small_net(), MACHINE, KernelPolicy(), 1),
+            lambda: (
+                Network([ConvLayer(8, 3, 1), ConvLayer(16, 5, 2)], (4, 32, 32)),
+                MACHINE,
+                KernelPolicy(),
+                None,
+            ),
+        ],
+    )
+    def test_any_changed_field_changes_key(self, cache_env, variant):
+        base = simcache.cache_key(small_net(), MACHINE, KernelPolicy(), None)
+        net, machine, policy, n_layers = variant()
+        assert simcache.cache_key(net, machine, policy, n_layers) != base
+
+    def test_nested_machine_field_changes_key(self, cache_env):
+        base = simcache.cache_key(small_net(), MACHINE, KernelPolicy(), None)
+        deeper = MACHINE.with_(l2=MACHINE.l2.__class__(
+            size_bytes=MACHINE.l2.size_bytes,
+            assoc=MACHINE.l2.assoc,
+            line_bytes=MACHINE.l2.line_bytes,
+            latency=MACHINE.l2.latency + 1,
+        ))
+        assert simcache.cache_key(small_net(), deeper, KernelPolicy(), None) != base
+
+
+class TestRoundTrip:
+    def test_hit_returns_identical_stats(self, cache_env):
+        net = small_net()
+        fresh = net.simulate(MACHINE, KernelPolicy(), use_cache=False)
+        first = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        assert_identical(fresh, first)
+        assert len(os.listdir(cache_env)) == 1
+        # Second call must be served from disk and still be identical.
+        again = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        assert_identical(fresh, again)
+
+    def test_miss_on_changed_config(self, cache_env):
+        net = small_net()
+        net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        net.simulate(MACHINE.with_(dram_latency=150), KernelPolicy(), use_cache=True)
+        assert len(os.listdir(cache_env)) == 2
+
+    def test_env_flag_opt_in(self, cache_env, monkeypatch):
+        net = small_net()
+        net.simulate(MACHINE, KernelPolicy())  # default: off
+        assert len(os.listdir(cache_env)) == 0
+        monkeypatch.setenv("REPRO_SIMCACHE", "1")
+        net.simulate(MACHINE, KernelPolicy())
+        assert len(os.listdir(cache_env)) == 1
+
+    def test_run_design_point_uses_cache(self, cache_env):
+        net = small_net()
+        point = DesignPoint(machine=MACHINE)
+        first = run_design_point(net, point, use_cache=True)
+        assert len(os.listdir(cache_env)) == 1
+        second = run_design_point(net, point, use_cache=True)
+        assert_identical(first, second)
+
+
+class TestRobustness:
+    def _entry(self, cache_env):
+        (name,) = os.listdir(cache_env)
+        return os.path.join(cache_env, name)
+
+    def test_corrupt_json_is_a_miss_not_fatal(self, cache_env):
+        net = small_net()
+        fresh = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        with open(self._entry(cache_env), "w") as fh:
+            fh.write("{ not json !!!")
+        again = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        assert_identical(fresh, again)
+
+    def test_wrong_schema_is_a_miss(self, cache_env):
+        net = small_net()
+        fresh = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        with open(self._entry(cache_env), "w") as fh:
+            json.dump({"model_version": simcache.MODEL_VERSION, "bogus": 1}, fh)
+        again = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        assert_identical(fresh, again)
+
+    def test_stale_model_version_is_a_miss(self, cache_env):
+        net = small_net()
+        fresh = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        path = self._entry(cache_env)
+        with open(path) as fh:
+            entry = json.load(fh)
+        entry["model_version"] = "ancient"
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        assert simcache.load(os.path.basename(path)[: -len(".json")]) is None
+        again = net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        assert_identical(fresh, again)
+
+    def test_clear(self, cache_env):
+        net = small_net()
+        net.simulate(MACHINE, KernelPolicy(), use_cache=True)
+        assert simcache.clear() == 1
+        assert os.listdir(cache_env) == []
