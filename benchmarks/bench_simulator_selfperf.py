@@ -12,6 +12,7 @@ not minutes, to the suite; the headline acceptance numbers for large
 sweeps are recorded in docs/PERFORMANCE.md.
 """
 
+import gc
 import json
 import os
 import shutil
@@ -20,7 +21,7 @@ import time
 
 from conftest import banner, run_once
 
-from repro.core import sweep_vector_lengths
+from repro.core import sweep_cache_sizes, sweep_vector_lengths, tracecache
 from repro.core.simcache import cache_dir
 from repro.machine import rvv_gem5
 from repro.machine.simulator import SimStats
@@ -125,3 +126,86 @@ def test_simulator_selfperf(benchmark, tiny_net):
     assert t_warm < 0.5 * t_cold
     # Sanity: the point simulated real work.
     assert point_stats.cycles > 0
+
+
+#: The paper's Fig. 7 cache axis: the headline beneficiary of trace
+#: replay, since every point shares one kernel event stream.
+_L2_SWEEP_MB = [1, 2, 4, 8, 16, 32, 64, 256]
+
+
+def test_sweep_trace_replay(benchmark, yolo_net):
+    """Capture-once / replay-many vs per-point simulation, cold & serial.
+
+    Times a Fig.7-style 8-point L2-size sweep of YOLOv3 twice through
+    the public ``sweep_cache_sizes`` API: once with tracing disabled
+    (the pre-trace-engine baseline, re-running the kernels at every
+    point) and once with the capture/replay engine.  Statistics must be
+    bitwise identical; the headline number is the speedup.
+
+    ``REPRO_BENCH_SWEEP_LAYERS`` shrinks the layer count for smoke runs
+    (CI uses a handful of layers; the acceptance figure in
+    docs/PERFORMANCE.md is the default 20).
+    """
+    n_layers = int(os.environ.get("REPRO_BENCH_SWEEP_LAYERS", "20") or "20")
+    policy = KernelPolicy(gemm="3loop")
+    factory = lambda mb: rvv_gem5(vlen_bits=2048, lanes=8, l2_mb=mb)
+
+    def run():
+        tracecache.clear_registry()
+        # The cyclic GC otherwise charges its pauses to whichever path
+        # happens to allocate more at once; disable it while timing.
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            off = sweep_cache_sizes(
+                yolo_net, _L2_SWEEP_MB, factory, policy,
+                n_layers=n_layers, jobs=1, use_trace=False,
+            )
+            t_off = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            on = sweep_cache_sizes(
+                yolo_net, _L2_SWEEP_MB, factory, policy,
+                n_layers=n_layers, jobs=1, use_trace=True,
+            )
+            t_on = time.perf_counter() - t0
+        finally:
+            gc.enable()
+            gc.collect()
+            tracecache.clear_registry()
+        return off, on, t_off, t_on
+
+    off, on, t_off, t_on = run_once(benchmark, run)
+
+    def hex_identical(a, b):
+        return all(
+            getattr(a, f).hex() == getattr(b, f).hex() for f in SimStats.FIELDS
+        ) and {k: v.hex() for k, v in a.kernel_cycles.items()} == {
+            k: v.hex() for k, v in b.kernel_cycles.items()
+        }
+
+    identical = all(hex_identical(a, b) for a, b in zip(off.stats, on.stats))
+    speedup = t_off / t_on if t_on > 0 else float("inf")
+
+    row = {
+        "bench": "sweep_trace_replay",
+        "n_points": len(_L2_SWEEP_MB),
+        "n_layers": n_layers,
+        "sweep_direct_s": round(t_off, 4),
+        "sweep_trace_s": round(t_on, 4),
+        "speedup": round(speedup, 3),
+        "bitwise_identical": identical,
+        "sources": on.sources,
+    }
+    banner(f"Trace-replay sweep (yolov3, {n_layers} layers, 8 L2 points)")
+    print(f"per-point (trace off)   : {t_off:.3f}s")
+    print(f"capture+replay (on)     : {t_on:.3f}s")
+    print(f"speedup                 : {speedup:.2f}x")
+    print("BENCH " + json.dumps(row, sort_keys=True))
+    benchmark.extra_info.update(row)
+
+    assert identical
+    assert on.sources[0] == "captured"
+    assert all(s == "replayed" for s in on.sources[1:])
+    # Acceptance target is >=3x at 20 layers (docs/PERFORMANCE.md); gate
+    # at 2x so machine noise and tiny smoke configs don't flake CI.
+    assert speedup >= 2.0

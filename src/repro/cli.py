@@ -59,6 +59,21 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--layers", type=int, default=None, help="simulate first N layers")
 
 
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    """Tri-state trace toggle: absent -> REPRO_TRACE / per-command default
+    (on for sweeps, off for single simulations)."""
+    g = p.add_mutually_exclusive_group()
+    g.add_argument(
+        "--trace", action="store_true", default=None, dest="trace",
+        help="capture the kernel event stream once and replay it for "
+             "every point sharing it (default for sweeps)",
+    )
+    g.add_argument(
+        "--no-trace", action="store_false", dest="trace",
+        help="always re-run kernels at every design point",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -69,9 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="trace-simulate a network")
     _add_common(p)
+    _add_trace_flags(p)
 
     p = sub.add_parser("sweep", help="one-axis design-space sweep")
     _add_common(p)
+    _add_trace_flags(p)
     p.add_argument(
         "--axis", choices=["vlen", "cache", "lanes"], default="vlen"
     )
@@ -107,7 +124,9 @@ def cmd_simulate(args) -> int:
     """``repro simulate``: trace-simulate one network on one machine."""
     net = _NETS[args.net]()
     machine = _machine(args)
-    stats = net.simulate(machine, _policy(args), n_layers=args.layers)
+    stats = net.simulate(
+        machine, _policy(args), n_layers=args.layers, use_trace=args.trace
+    )
     print(machine.describe())
     print(format_table([summarize_stats(stats, machine.core.freq_ghz)]))
     return 0
@@ -127,7 +146,8 @@ def cmd_sweep(args) -> int:
             else (lambda v: rvv_gem5(vlen_bits=v, lanes=args.lanes, l2_mb=args.l2_mb))
         )
         res = sweep_vector_lengths(
-            net, values, factory, policy, args.layers, args.jobs, args.simcache
+            net, values, factory, policy, args.layers, args.jobs,
+            args.simcache, args.trace,
         )
     elif args.axis == "cache":
         values = args.values or [1, 8, 64, 256]
@@ -137,7 +157,8 @@ def cmd_sweep(args) -> int:
             else (lambda mb: rvv_gem5(vlen_bits=args.vlen, lanes=args.lanes, l2_mb=mb))
         )
         res = sweep_cache_sizes(
-            net, values, factory, policy, args.layers, args.jobs, args.simcache
+            net, values, factory, policy, args.layers, args.jobs,
+            args.simcache, args.trace,
         )
     else:
         values = args.values or [2, 4, 8]
@@ -149,6 +170,7 @@ def cmd_sweep(args) -> int:
             args.layers,
             args.jobs,
             args.simcache,
+            args.trace,
         )
     print(format_table(res.as_rows()))
     print()

@@ -48,12 +48,18 @@ class SweepResult:
     """Outcome of a one-axis sweep.
 
     ``axis`` holds the swept parameter values, ``stats`` the simulation
-    statistics per value, in the same order.
+    statistics per value, in the same order.  ``sources`` records each
+    point's provenance: ``"direct"`` (fully simulated), ``"captured"``
+    (simulated while recording the shared trace), ``"replayed"`` (priced
+    from a recorded trace without re-running kernels) or ``"cached"``
+    (persistent result cache hit).  It is empty for results built by
+    hand; consumers should treat a missing entry as ``"direct"``.
     """
 
     axis_name: str
     axis: List = field(default_factory=list)
     stats: List[SimStats] = field(default_factory=list)
+    sources: List[str] = field(default_factory=list)
 
     def cycles(self) -> List[float]:
         """Execution cycles per swept value."""
@@ -61,16 +67,35 @@ class SweepResult:
 
     def speedups(self, baseline_index: int = 0) -> List[float]:
         """Speedup of each point relative to the point at *baseline_index*
-        (the paper normalizes to the shortest vector / smallest cache)."""
+        (the paper normalizes to the shortest vector / smallest cache).
+
+        Degenerate zero-cycle points (e.g. a zero-layer sweep) yield
+        1.0 against a zero-cycle baseline and ``inf`` otherwise, rather
+        than raising ``ZeroDivisionError``.
+        """
+        if not self.stats:
+            return []
         base = self.stats[baseline_index].cycles
-        return [base / s.cycles for s in self.stats]
+        out = []
+        for s in self.stats:
+            if s.cycles == 0:
+                out.append(1.0 if base == 0 else float("inf"))
+            else:
+                out.append(base / s.cycles)
+        return out
 
     def miss_rates(self) -> List[float]:
         """L2 demand miss rate per swept value (Table III)."""
         return [s.l2_miss_rate for s in self.stats]
 
+    def source_of(self, index: int) -> str:
+        """Provenance of point *index* (``"direct"`` when unrecorded)."""
+        return self.sources[index] if index < len(self.sources) else "direct"
+
     def as_rows(self) -> List[Dict]:
-        """Row dicts for reporting: axis value, cycles, speedup, miss."""
+        """Row dicts for reporting: axis value, cycles, speedup, miss,
+        and the point's provenance (captured / replayed / cached /
+        direct)."""
         speed = self.speedups()
         return [
             {
@@ -79,8 +104,9 @@ class SweepResult:
                 "speedup": sp,
                 "l2_miss_rate": s.l2_miss_rate,
                 "avg_vlen_elems": s.avg_vlen_elems,
+                "source": self.source_of(i),
             }
-            for v, s, sp in zip(self.axis, self.stats, speed)
+            for i, (v, s, sp) in enumerate(zip(self.axis, self.stats, speed))
         ]
 
 
@@ -100,6 +126,90 @@ def run_design_point(
     )
 
 
+def _simulate_group(
+    net: Network,
+    machines: Sequence[MachineConfig],
+    policy: KernelPolicy,
+    n_layers: Optional[int],
+    use_cache: Optional[bool],
+    use_trace: Optional[bool],
+):
+    """Serially simulate one machine list with capture-once/replay-many.
+
+    Points are first resolved against the persistent result cache, then
+    grouped by trace key (:func:`repro.core.tracecache.trace_key`);
+    each multi-point group with a uniform event stream runs the kernels
+    once — via :func:`repro.machine.replay.capture_sweep`, or
+    :func:`~repro.machine.replay.replay_sweep` when the registry already
+    holds the trace — and prices every sibling from the shared stream.
+    Anything left (singleton groups, lane/VL-coupled groups the replay
+    engine declines) falls back to ordinary per-point simulation.
+
+    Returns ``(stats, sources)`` in input order; statistics are bitwise
+    identical to per-point simulation regardless of the path taken.
+    """
+    from . import simcache, tracecache
+    from ..machine.replay import capture_sweep, replay_sweep
+
+    n = len(machines)
+    stats: List[Optional[SimStats]] = [None] * n
+    sources = ["direct"] * n
+    cache_on = simcache.cache_enabled(use_cache)
+    ckeys: List[Optional[str]] = [None] * n
+    pending = []
+    for i, machine in enumerate(machines):
+        if cache_on:
+            ckeys[i] = simcache.cache_key(net, machine, policy, n_layers, True)
+            hit = simcache.load(ckeys[i])
+            if hit is not None:
+                stats[i] = hit
+                sources[i] = "cached"
+                continue
+        pending.append(i)
+
+    # Tracing defaults ON for sweeps: capture costs ~1/10 of pricing, so
+    # it pays for itself from the second point of a group onwards.
+    if tracecache.trace_enabled(use_trace, default=True) and len(pending) > 1:
+        groups: Dict[str, List[int]] = {}
+        for i in pending:
+            key = tracecache.trace_key(net, machines[i], policy, n_layers, True)
+            groups.setdefault(key, []).append(i)
+        for key, idxs in groups.items():
+            if len(idxs) < 2:
+                continue  # capturing pays only when replayed
+            group = [machines[i] for i in idxs]
+            trace = tracecache.get(key)
+            if trace is not None:
+                priced = replay_sweep(trace, group)
+                labels = ["replayed"] * len(idxs)
+            else:
+                priced = capture_sweep(
+                    lambda sim: net._emit_trace(sim, policy, n_layers, True),
+                    group,
+                )
+                labels = ["captured"] + ["replayed"] * (len(idxs) - 1)
+            if priced is None:
+                continue  # non-uniform group: per-point fallback below
+            for j, i in enumerate(idxs):
+                stats[i] = priced[j]
+                sources[i] = labels[j]
+                if ckeys[i] is not None:
+                    simcache.store(ckeys[i], priced[j])
+
+    for i in pending:
+        if stats[i] is None:
+            stats[i] = net.simulate(
+                machines[i],
+                policy,
+                n_layers=n_layers,
+                use_cache=False,
+                use_trace=False,
+            )
+            if ckeys[i] is not None:
+                simcache.store(ckeys[i], stats[i])
+    return stats, sources
+
+
 def sweep(
     net: Network,
     axis_name: str,
@@ -109,6 +219,7 @@ def sweep(
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    use_trace: Optional[bool] = None,
 ) -> SweepResult:
     """Generic one-axis sweep: build a machine per value and simulate.
 
@@ -119,22 +230,33 @@ def sweep(
     inputs cannot be shipped to workers the sweep silently runs
     serially.  ``use_cache`` opts into the persistent result cache
     (see :mod:`repro.core.simcache`).
+
+    ``use_trace`` controls the capture-once/replay-many engine
+    (:mod:`repro.core.tracecache`): points whose kernel event stream is
+    identical — e.g. every point of an L2-size or DRAM sweep — run the
+    kernels once and are priced from the shared recorded trace, with
+    bitwise-identical statistics.  ``None`` (the default) enables it
+    for sweeps unless ``REPRO_TRACE`` says otherwise; each point's
+    provenance lands in ``SweepResult.sources``.
     """
     values = list(values)
     machines = [machine_for(v) for v in values]
     n_jobs = resolve_jobs(jobs)
     if n_jobs > 1:
-        stats_list = simulate_points(
-            net, machines, policy, n_layers, n_jobs, use_cache
+        out = simulate_points(
+            net, machines, policy, n_layers, n_jobs, use_cache, use_trace
         )
-        if stats_list is not None:
-            return SweepResult(axis_name=axis_name, axis=values, stats=stats_list)
-    result = SweepResult(axis_name=axis_name)
-    for v, machine in zip(values, machines):
-        stats = net.simulate(machine, policy, n_layers=n_layers, use_cache=use_cache)
-        result.axis.append(v)
-        result.stats.append(stats)
-    return result
+        if out is not None:
+            stats_list, sources = out
+            return SweepResult(
+                axis_name=axis_name, axis=values, stats=stats_list, sources=sources
+            )
+    stats_list, sources = _simulate_group(
+        net, machines, policy, n_layers, use_cache, use_trace
+    )
+    return SweepResult(
+        axis_name=axis_name, axis=values, stats=stats_list, sources=sources
+    )
 
 
 def sweep_vector_lengths(
@@ -145,13 +267,17 @@ def sweep_vector_lengths(
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    use_trace: Optional[bool] = None,
 ) -> SweepResult:
     """Fig. 6 / Fig. 8 axis: vary the hardware vector length.
 
     ``base_machine`` maps a vector length in bits to a machine config
     (e.g. ``lambda v: rvv_gem5(vlen_bits=v, lanes=8, l2_mb=1)``).
     """
-    return sweep(net, "vlen_bits", vlens, base_machine, policy, n_layers, jobs, use_cache)
+    return sweep(
+        net, "vlen_bits", vlens, base_machine, policy, n_layers, jobs,
+        use_cache, use_trace,
+    )
 
 
 def sweep_cache_sizes(
@@ -162,9 +288,17 @@ def sweep_cache_sizes(
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    use_trace: Optional[bool] = None,
 ) -> SweepResult:
-    """Fig. 7 / Figs. 8-10 axis: vary the L2 capacity (1-256 MB)."""
-    return sweep(net, "l2_mb", l2_mbs, base_machine, policy, n_layers, jobs, use_cache)
+    """Fig. 7 / Figs. 8-10 axis: vary the L2 capacity (1-256 MB).
+
+    The prime beneficiary of trace replay: every point of an L2 sweep
+    shares one kernel event stream, so the kernels run exactly once.
+    """
+    return sweep(
+        net, "l2_mb", l2_mbs, base_machine, policy, n_layers, jobs,
+        use_cache, use_trace,
+    )
 
 
 def sweep_lanes(
@@ -175,6 +309,16 @@ def sweep_lanes(
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    use_trace: Optional[bool] = None,
 ) -> SweepResult:
-    """Section VI-B(c) axis: vary the number of vector lanes (2-8)."""
-    return sweep(net, "lanes", lanes, base_machine, policy, n_layers, jobs, use_cache)
+    """Section VI-B(c) axis: vary the number of vector lanes (2-8).
+
+    Lane count changes pricing arithmetic, not the event stream, so the
+    points share a trace key — but the replay engine's shared pricing
+    pass does not split on lanes, so ``replay_sweep`` declines the
+    group and each point simulates directly (see docs/TRACE_REPLAY.md).
+    """
+    return sweep(
+        net, "lanes", lanes, base_machine, policy, n_layers, jobs,
+        use_cache, use_trace,
+    )

@@ -4,8 +4,17 @@ Trace replay is embarrassingly parallel across design points (each
 point builds its own simulator and touches no shared state), so sweeps
 fan points out over a :mod:`multiprocessing` pool.  The network is
 pickled once and shipped to each worker via the pool initializer;
-per-point tasks then carry only the (picklable, frozen) machine config
-and kernel policy.
+per-chunk tasks then carry only (picklable, frozen) machine configs,
+the kernel policy, and an optional trace-registry key.
+
+Capture-once / replay-many across processes: the parent groups points
+by :func:`repro.core.tracecache.trace_key`, captures each distinct
+kernel event stream once, and spills it to disk (``.npz`` next to
+``.simcache/``) so every worker — a separate process with its own
+in-memory registry — can load it and price its chunk of points with
+:func:`repro.machine.replay.replay_sweep` instead of re-running the
+kernels.  Workers that cannot load the trace (spill disabled by the
+filesystem, say) silently fall back to direct per-point simulation.
 
 Guarantees:
 
@@ -13,7 +22,8 @@ Guarantees:
   (``Pool.map`` preserves it), so a parallel sweep's ``SweepResult``
   is indistinguishable from the serial one.
 * **Bitwise-identical stats** — workers run the same simulation code on
-  the same inputs; no accumulation order changes.
+  the same inputs, and trace replay is bitwise-faithful by
+  construction; no accumulation order changes.
 * **Graceful fallback** — if the network or a task fails to pickle, or
   ``jobs`` resolves to 1, the caller gets ``None`` and runs serially.
 """
@@ -23,7 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..machine.config import MachineConfig
 from ..machine.simulator import SimStats
@@ -61,11 +71,49 @@ def _init_worker(payload: bytes) -> None:
     _worker_net = pickle.loads(payload)
 
 
-def _run_task(task: Tuple[MachineConfig, KernelPolicy, Optional[int], Optional[bool]]):
-    machine, policy, n_layers, use_cache = task
-    return _worker_net.simulate(
-        machine, policy, n_layers=n_layers, use_cache=use_cache
-    )
+#: One task = one chunk of machines sharing a trace key (or a single
+#: machine with ``tkey=None`` for the direct path).
+_Chunk = Tuple[
+    List[MachineConfig], KernelPolicy, Optional[int], Optional[bool], Optional[str]
+]
+
+
+def _run_chunk(task: _Chunk) -> Tuple[List[SimStats], List[str]]:
+    machines, policy, n_layers, use_cache, tkey = task
+    if tkey is not None and len(machines) > 1:
+        from . import simcache, tracecache
+        from ..machine.replay import replay_sweep
+
+        trace = tracecache.get(tkey, spill=True)
+        if trace is not None:
+            priced = replay_sweep(trace, machines)
+            if priced is not None:
+                if simcache.cache_enabled(use_cache):
+                    for machine, stats in zip(machines, priced):
+                        simcache.store(
+                            simcache.cache_key(
+                                _worker_net, machine, policy, n_layers, True
+                            ),
+                            stats,
+                        )
+                return priced, ["replayed"] * len(machines)
+    out = [
+        _worker_net.simulate(m, policy, n_layers=n_layers, use_cache=use_cache)
+        for m in machines
+    ]
+    return out, ["direct"] * len(machines)
+
+
+def _chunk_indices(idxs: List[int], n_chunks: int) -> List[List[int]]:
+    """Split *idxs* into at most *n_chunks* contiguous, balanced runs."""
+    n_chunks = max(1, min(n_chunks, len(idxs)))
+    size, extra = divmod(len(idxs), n_chunks)
+    chunks, start = [], 0
+    for c in range(n_chunks):
+        end = start + size + (1 if c < extra else 0)
+        chunks.append(idxs[start:end])
+        start = end
+    return chunks
 
 
 def simulate_points(
@@ -75,26 +123,91 @@ def simulate_points(
     n_layers: Optional[int],
     jobs: int,
     use_cache: Optional[bool] = None,
-) -> Optional[List[SimStats]]:
+    use_trace: Optional[bool] = None,
+) -> Optional[Tuple[List[SimStats], List[str]]]:
     """Simulate *net* on each machine in *machines* using *jobs* workers.
 
-    Returns the stats in input order, or ``None`` when parallel
-    execution is not possible (single job, single point, or unpicklable
-    inputs) — the caller then falls back to the serial loop.
+    Returns ``(stats, sources)`` in input order, or ``None`` when
+    parallel execution is not possible (single job, single point, or
+    unpicklable inputs) — the caller then falls back to the serial
+    loop.  With tracing enabled (the default for sweeps), each distinct
+    kernel event stream is captured once in the parent, spilled to
+    disk, and replayed by the workers; a point's entry in ``sources``
+    says which path priced it.
     """
     if jobs <= 1 or len(machines) <= 1:
         return None
     try:
         payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
-        tasks = [(m, policy, n_layers, use_cache) for m in machines]
+    except Exception:
+        return None  # graceful serial fallback, before any capture
+
+    from . import tracecache
+
+    machines = list(machines)
+    # key -> indices sharing one kernel event stream; None = trace off.
+    trace_groups: Dict[Optional[str], List[int]] = {}
+    captured_idx = None
+    if tracecache.trace_enabled(use_trace, default=True):
+        from ..machine.replay import uniform_group
+
+        for i, machine in enumerate(machines):
+            key = tracecache.trace_key(net, machine, policy, n_layers, True)
+            trace_groups.setdefault(key, []).append(i)
+        for key, idxs in list(trace_groups.items()):
+            group = [machines[i] for i in idxs]
+            if len(idxs) < 2 or not uniform_group(group):
+                # Replay cannot price the group; run its points direct.
+                for i in idxs:
+                    trace_groups.setdefault(None, []).append(i)
+                del trace_groups[key]
+                continue
+            if tracecache.get(key, spill=True) is None:
+                # Capture once here; forced spill hands the stream to
+                # the worker processes.  record_trace may be slower
+                # than one direct simulation only for tiny nets, where
+                # the whole sweep is cheap anyway.
+                trace = net.record_trace(
+                    machines[idxs[0]], policy, n_layers=n_layers, key=key
+                )
+                tracecache.put(key, trace, spill=True)
+                if captured_idx is None:
+                    captured_idx = idxs[0]
+    else:
+        trace_groups[None] = list(range(len(machines)))
+
+    tasks: List[_Chunk] = []
+    task_idxs: List[List[int]] = []
+    for key, idxs in trace_groups.items():
+        if key is None:
+            for i in idxs:  # direct points parallelize individually
+                tasks.append(([machines[i]], policy, n_layers, use_cache, None))
+                task_idxs.append([i])
+        else:
+            for chunk in _chunk_indices(idxs, jobs):
+                tasks.append(
+                    ([machines[i] for i in chunk], policy, n_layers, use_cache, key)
+                )
+                task_idxs.append(chunk)
+
+    try:
         pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception:
         return None  # graceful serial fallback
-    n_procs = min(jobs, len(machines))
+    n_procs = min(jobs, len(tasks))
     try:
         with multiprocessing.Pool(
             processes=n_procs, initializer=_init_worker, initargs=(payload,)
         ) as pool:
-            return pool.map(_run_task, tasks, chunksize=1)
+            chunk_results = pool.map(_run_chunk, tasks, chunksize=1)
     except (pickle.PicklingError, AttributeError):
         return None
+    stats: List[Optional[SimStats]] = [None] * len(machines)
+    sources = ["direct"] * len(machines)
+    for idxs, (chunk_stats, chunk_sources) in zip(task_idxs, chunk_results):
+        for i, s, src in zip(idxs, chunk_stats, chunk_sources):
+            stats[i] = s
+            sources[i] = src
+    if captured_idx is not None and sources[captured_idx] == "replayed":
+        sources[captured_idx] = "captured"
+    return stats, sources

@@ -1,0 +1,191 @@
+"""Registry for recorded kernel traces (capture-once / replay-many).
+
+The macro-event stream a network's kernels emit is a pure function of
+(layer structure, :class:`KernelPolicy`, layer limit / dedup settings)
+plus the *VL-relevant* machine fields the kernels actually read: the ISA
+name, the vector length, and the L1 line size (which sets burst and
+unroll granularity in the GEMM micro-kernels).  Everything else — L2
+geometry, lane count, latencies, prefetchers — only affects *pricing*,
+not the event stream.  A one-axis co-design sweep along any of those
+axes therefore re-emits the exact same trace at every design point.
+
+This module keys traces by a content hash of exactly those inputs and
+holds them in a small in-process registry, with optional on-disk spill
+(``.npz`` next to ``.simcache/``) so parallel sweep workers — separate
+processes — can share one capture.  See docs/TRACE_REPLAY.md.
+
+Resolution of the ``use_trace`` tri-state (mirrors simcache):
+explicit ``True``/``False`` wins; otherwise ``REPRO_TRACE`` ("0"/"off"
+disable, "1"/"on" enable); otherwise the caller's *default* — ``True``
+for multi-point sweeps, ``False`` for single simulations (capturing a
+trace costs about a tenth of pricing it, so it only pays off when the
+trace is replayed more than once).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional, Tuple
+
+from ..machine.trace import TRACE_FORMAT_VERSION, RecordedTrace
+from .simcache import _canon, cache_dir
+
+__all__ = [
+    "trace_enabled",
+    "spill_enabled",
+    "spill_dir",
+    "trace_key",
+    "get",
+    "put",
+    "get_or_capture",
+    "clear_registry",
+]
+
+_ENV_FLAG = "REPRO_TRACE"
+_ENV_SPILL = "REPRO_TRACE_SPILL"
+_ENV_DIR = "REPRO_TRACE_DIR"
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off")
+
+#: In-process registry: key -> RecordedTrace.  Bounded — a 20-layer
+#: YOLOv3 trace is ~1.4M events (~60 MB columnar, more once decoded), so
+#: only the most recently used few stay resident.
+_REGISTRY: dict = {}
+_REGISTRY_CAP = 4
+
+
+def trace_enabled(flag: Optional[bool] = None, default: bool = False) -> bool:
+    """Resolve the ``use_trace`` tri-state (see module docstring)."""
+    if flag is not None:
+        return flag
+    env = os.environ.get(_ENV_FLAG, "").strip().lower()
+    if env in _TRUE:
+        return True
+    if env in _FALSE:
+        return False
+    return default
+
+
+def spill_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether traces spill to disk (``REPRO_TRACE_SPILL``; default off)."""
+    if flag is not None:
+        return flag
+    return os.environ.get(_ENV_SPILL, "").strip().lower() in _TRUE
+
+
+def spill_dir() -> str:
+    """Directory for spilled traces (next to the simcache by default)."""
+    return os.environ.get(_ENV_DIR, "").strip() or os.path.join(
+        cache_dir(), "traces"
+    )
+
+
+def trace_key(net, machine, policy, n_layers, deduplicate: bool = True) -> str:
+    """Content hash of everything the *event stream* depends on.
+
+    Deliberately excludes L2 size/assoc/latency, lane count, DRAM
+    parameters, prefetchers — kernels never read those, so traces are
+    shared across such sweep axes.  Includes the trace format version so
+    stale spill files are never reused after an encoding change.
+    """
+    payload = {
+        "trace_format": TRACE_FORMAT_VERSION,
+        "net": {
+            "name": net.name,
+            "input_shape": list(net.input_shape),
+            "layers": [repr(layer) for layer in net.layers],
+        },
+        "policy": _canon(policy),
+        "n_layers": n_layers,
+        "deduplicate": deduplicate,
+        "machine": {
+            "isa_name": machine.isa_name,
+            "vlen_bits": machine.vlen_bits,
+            "l1_line_bytes": machine.l1.line_bytes,
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _spill_path(key: str) -> str:
+    return os.path.join(spill_dir(), key + ".npz")
+
+
+def get(key: str, spill: Optional[bool] = None) -> Optional[RecordedTrace]:
+    """Look *key* up in the registry, then (optionally) on disk."""
+    trace = _REGISTRY.get(key)
+    if trace is not None:
+        # Refresh LRU position.
+        _REGISTRY.pop(key, None)
+        _REGISTRY[key] = trace
+        return trace
+    if spill_enabled(spill):
+        try:
+            trace = RecordedTrace.load(_spill_path(key))
+        except (OSError, ValueError, KeyError, EOFError):
+            return None
+        put(key, trace, spill=False)  # already on disk
+        return trace
+    return None
+
+
+def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
+    """Register *trace* under *key*; optionally spill it to disk."""
+    _REGISTRY.pop(key, None)
+    _REGISTRY[key] = trace
+    while len(_REGISTRY) > _REGISTRY_CAP:
+        _REGISTRY.pop(next(iter(_REGISTRY)))
+    if spill_enabled(spill):
+        directory = spill_dir()
+        try:
+            os.makedirs(directory, exist_ok=True)
+            # The .npz suffix matters: numpy would otherwise append one
+            # and write next to the (empty) mkstemp placeholder.
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz")
+            os.close(fd)
+            try:
+                trace.save(tmp)
+                os.replace(tmp, _spill_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # spilling is best-effort, like the simcache
+
+
+def get_or_capture(
+    net,
+    machine,
+    policy,
+    n_layers,
+    deduplicate: bool = True,
+    spill: Optional[bool] = None,
+) -> Tuple[RecordedTrace, bool]:
+    """Return ``(trace, was_cached)`` for the given simulation inputs.
+
+    On a registry/spill miss the network is re-traced once with a
+    :class:`~repro.machine.trace.TraceRecorder` and the result
+    registered (and spilled, when enabled) for everyone else.
+    """
+    key = trace_key(net, machine, policy, n_layers, deduplicate)
+    trace = get(key, spill=spill)
+    if trace is not None:
+        return trace, True
+    trace = net.record_trace(
+        machine, policy, n_layers=n_layers, deduplicate=deduplicate, key=key
+    )
+    put(key, trace, spill=spill)
+    return trace, False
+
+
+def clear_registry() -> None:
+    """Drop all in-process traces (tests; does not touch spill files)."""
+    _REGISTRY.clear()

@@ -23,6 +23,14 @@ fill (partially-used lines, e.g. 64 useful bytes of an A64FX 256-byte
 line) costs extra — and
 ``stats`` is a 6-tuple ``(l1_hits, l1_misses, l2_hits, l2_misses,
 dram_fills, vc_hits)`` over the lines the access touches.
+
+.. warning:: Lock-step with :mod:`repro.machine.replay`.  The trace
+   replay engines duplicate this module's L2 walk — set indexing,
+   eviction, dirty-bit and resident-range handling, including the
+   order of ``_range_hit`` LRU refreshes — so that replayed sweeps are
+   *bitwise identical* to direct simulation.  Any behavioural change
+   here (or in accumulation order) must be mirrored in replay.py's
+   point passes; ``tests/test_trace_replay.py`` is the tripwire.
 """
 
 from __future__ import annotations

@@ -1,0 +1,1780 @@
+"""Replay recorded kernel traces against one or many design points.
+
+Three engines, three speed classes:
+
+* :func:`replay` — feed a :class:`~repro.machine.trace.RecordedTrace`
+  back through a regular :class:`~repro.machine.simulator.TraceSimulator`
+  event by event.  Skips all kernel-side work (loop bookkeeping, address
+  arithmetic, policy dispatch) but re-prices every event; bitwise
+  identical to direct simulation by construction, since it calls the
+  very same event methods with the very same arguments and weights.
+
+* :func:`replay_sweep` — price one trace on a whole *group* of machines
+  that differ only in L2 geometry/latency and DRAM parameters (the
+  paper's Fig. 7/8 cache sweeps).  The trace is walked **once** through
+  the group-invariant upstream levels (TLB, L1, prefetcher, VectorCache
+  — all identical across the group), producing a compact *program* of
+  pre-priced invariant cycle contributions plus the per-event list of
+  line addresses that reached the L2.  Each design point then replays
+  only that program against its own L2/range model — typically a few
+  percent of the events carry pending lines, so a point costs a small
+  fraction of a direct simulation.
+
+* :func:`capture_sweep` — the same split, but the shared pass is driven
+  directly by the kernels (no intermediate trace): one kernel run prices
+  the whole group.  This is the serial cold-sweep fast path.
+
+Bitwise identity
+----------------
+The split relies on properties of the direct simulator that are easy to
+state and checked by tests/test_trace_replay.py:
+
+* Latency sums are integers until the final stall arithmetic, so
+  splitting ``lat`` into an upstream part (shared pass) and
+  ``l2_lat * pending + dram_lat * misses`` (point pass) is exact.
+* Per-event cycle pricing is a pure function of the walk outcome —
+  :func:`~repro.machine.simulator.vmem_event_cycles` is shared with the
+  simulator, and the scalar-miss formula below is kept in lock-step
+  with ``TraceSimulator.scalar_load``/``scalar_store``.
+* ``SimStats`` counters are accumulated per field in event order; the
+  twelve group-invariant fields are folded once in the shared pass and
+  copied into every point's result.
+* ``occ2`` is a repeated sum of ``fill_l2`` — reproduced with a
+  running table so point ``k`` misses cost exactly the same float.
+* Dirty bits only feed cache-object writeback counters (never
+  ``SimStats``), so the point-pass L2 walk may store ``True``
+  unconditionally without perturbing residency or LRU order.
+
+The conflict-free fast path (:func:`_point_pass_fast`) additionally
+exploits that an L2 in which no set's distinct-line population exceeds
+the associativity never evicts: a lookup then hits **iff** the line was
+touched before, which the shared pass precomputes per event (a repeat
+count plus the list of first-touch lines).  Only the residency-range
+outcome still varies per point, so those points skip the cache walk
+entirely.  Prefetcher/prefetch-hint fills disable the shortcut (they
+insert lines outside the demand stream).
+
+The hierarchy walks in :class:`_GroupCapture` mirror
+``MemoryHierarchy._l1_path`` / ``_l2_path`` and their strided variants
+line for line (minus the L2 lookup, which is deferred): keep them in
+lock-step with hierarchy.py when the model changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .config import MachineConfig
+from .hierarchy import _VC_HIT_LATENCY, MemoryHierarchy
+from .simulator import (
+    _SCALAR_MLP,
+    _SPILL_SERIALIZE_CYCLES,
+    _STORE_STALL_FACTOR,
+    SimStats,
+    TraceSimulator,
+    vmem_event_cycles,
+)
+from .trace import (
+    OP_COUNT_FLOPS,
+    OP_NOTE_RANGE,
+    OP_SCALAR,
+    OP_SCALAR_LOAD,
+    OP_SCALAR_STORE,
+    OP_SPILL,
+    OP_SW_PREFETCH,
+    OP_VARITH,
+    OP_VBROADCAST,
+    OP_VLOAD,
+    OP_VSTORE,
+    AddressSpace,
+    RecordedTrace,
+    SampledTraceBase,
+)
+from .vpu import varith_cycles, vbroadcast_cycles
+
+__all__ = ["replay", "replay_sweep", "capture_sweep", "uniform_group"]
+
+#: SimStats fields that do not depend on L2/DRAM parameters: everything
+#: upstream of the L2 plus the pure instruction/byte/flop counts.
+_INVARIANT_FIELDS = (
+    "scalar_instrs",
+    "vec_instrs",
+    "vec_mem_instrs",
+    "vec_elems",
+    "flops",
+    "bytes_loaded",
+    "bytes_stored",
+    "l1_hits",
+    "l1_misses",
+    "vc_hits",
+    "sw_prefetches",
+    "spills",
+)
+
+
+def _check_compatible(trace: RecordedTrace, machine: MachineConfig) -> None:
+    if not trace.compatible_with(machine):
+        raise ValueError(
+            f"trace (isa={trace.isa_name}, vlen={trace.vlen_bits}b, "
+            f"l1_line={trace.l1_line_bytes}) cannot replay on machine "
+            f"{machine.name!r} ({machine.isa_name}, {machine.vlen_bits}b, "
+            f"l1_line={machine.l1.line_bytes})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Single-point replay
+# ----------------------------------------------------------------------
+def replay(trace: RecordedTrace, machine: MachineConfig) -> SimStats:
+    """Price *trace* on *machine*; bitwise identical to direct simulation.
+
+    Raises ``ValueError`` if the trace was captured for a different
+    (ISA, vector length, L1 line) combination — those change the event
+    stream itself, not just its pricing.
+    """
+    _check_compatible(trace, machine)
+    sim = TraceSimulator(machine)
+    labels = trace.labels
+    stack = sim._kernel_stack
+    vmem = sim._vmem
+    scalar = sim.scalar
+    scalar_load = sim.scalar_load
+    scalar_store = sim.scalar_store
+    varith = sim.varith
+    note_range = sim.hierarchy.note_resident_range
+    cur_w = 1.0
+    cur_kid = 0
+    for op, w, kid, i0, i1, i2, i3, f0 in trace.rows():
+        if w != cur_w:
+            sim._w = cur_w = w
+        if kid != cur_kid:
+            stack[-1] = labels[kid]
+            cur_kid = kid
+        if op == OP_VLOAD:
+            vmem(i0, i1, i2, i3, False)
+        elif op == OP_SCALAR:
+            scalar(i0)
+        elif op == OP_SCALAR_LOAD:
+            scalar_load(i0, i1)
+        elif op == OP_VARITH:
+            varith(i0, i1, f0, i2)
+        elif op == OP_VSTORE:
+            vmem(i0, i1, i2, i3, True)
+        elif op == OP_SCALAR_STORE:
+            scalar_store(i0, i1)
+        elif op == OP_NOTE_RANGE:
+            note_range(i0, i1)
+        elif op == OP_SW_PREFETCH:
+            sim.sw_prefetch(i0, i1, "L1" if i2 == 0 else "L2")
+        elif op == OP_VBROADCAST:
+            sim.vbroadcast(i0)
+        elif op == OP_COUNT_FLOPS:
+            sim.count_flops(f0)
+        elif op == OP_SPILL:
+            sim.spill(i0)
+        else:
+            raise ValueError(f"unknown trace opcode {op}")
+    return sim.stats
+
+
+# ----------------------------------------------------------------------
+# Group replay: shared upstream pass + per-point L2 pass
+# ----------------------------------------------------------------------
+def uniform_group(machines: Sequence[MachineConfig]) -> bool:
+    """True if the machines differ only in fields the split supports:
+    L2 size/associativity/latency, DRAM latency/bandwidth (and labels).
+
+    The L2 *line size* must match across the group — it sets the line
+    granularity of the recorded pending-line lists.
+    """
+    m0 = machines[0]
+    for m in machines[1:]:
+        if m.l2.line_bytes != m0.l2.line_bytes:
+            return False
+        if (
+            replace(
+                m,
+                name=m0.name,
+                l2=m0.l2,
+                dram_latency=m0.dram_latency,
+                dram_bytes_per_cycle=m0.dram_bytes_per_cycle,
+                peak_gflops=m0.peak_gflops,
+            )
+            != m0
+        ):
+            return False
+    return True
+
+
+_uniform_group = uniform_group  # private alias kept for callers/tests
+
+
+class _GroupCapture(SampledTraceBase):
+    """Event-driven shared pass over the group-invariant hierarchy levels.
+
+    Presents the TraceSimulator event API (so kernels — or a recorded
+    trace — can drive it directly) and walks every memory event through
+    the levels that are identical across an L2/DRAM sweep group: TLB,
+    L1, L1 prefetcher, VectorCache.  Output (see :meth:`finish`) is the
+    replay *program* the point passes price, the folded invariant
+    ``SimStats`` fields, and the group constants.
+
+    ``prog`` items (in original event order):
+
+    * ``float`` — a pre-priced, weighted cycle contribution.  Never
+      coalesced: the point pass must fold cycles in the direct
+      simulator's event order for bitwise identity.
+    * ``(1, label)`` — kernel-label switch (emitted lazily, only ahead
+      of items that add cycles, so no spurious ``kernel_cycles``
+      entries).
+    * ``(2, base, nbytes)`` — ``note_resident_range`` call.
+    * ``(3, w, addrs, inv_lat, occ1, nbytes, n_lines, write, unit, iid,
+      nh0, ft)`` — a vector memory event with pending lines for the L2.
+      ``addrs`` holds one *byte address* per pending line (the
+      source-level granularity and shift are group constants, so they
+      are folded here once instead of per line per point; the point
+      pass recovers the L2 line as ``a >> l2_shift``).  ``nh0`` counts
+      lines touched before (guaranteed hits in a conflict-free L2) and
+      ``ft`` holds the first-touch lines' addresses, both for
+      :func:`_point_pass_fast`.
+    * ``(4, w, addrs, inv_lat, occ1, write, nh0, ft)`` — a scalar
+      access with at least one L1 miss.
+    * ``(5, lines)`` — honoured software-prefetch fills into the L2.
+    """
+
+    def __init__(self, base: MachineConfig):
+        super().__init__()
+        self.machine = base
+        self.address_space = AddressSpace()
+        # Kernels only reach the hierarchy via note_resident_range.
+        self.hierarchy = self
+        hier = MemoryHierarchy(base)
+        vpu = base.vpu
+        self._vpu = vpu
+        self._port_l1 = vpu.mem_port == "L1"
+        self._scalar_cpi = base.core.scalar_cpi
+        self._ooo_hide = base.core.ooo_hide
+        self._l1_line = base.l1.line_bytes
+        self._l1_shift = hier._l1_shift
+        self._l2_shift = hier._l2_shift
+        self._l1_lat = hier._l1_lat
+        self._fill_l1 = hier._fill_l1
+        self._ratio = hier._l1_l2_ratio
+        l1 = hier.l1
+        self._l1 = l1
+        self._l1_sets = l1._sets
+        self._l1_num = l1.num_sets
+        self._l1_assoc = l1.assoc
+        self._pf1 = hier.l1_prefetcher if hier._pf1_on else None
+        self._pf2_cfg = hier._pf2_on
+        self._tlb = hier.tlb
+        self._tlb_shift = hier.tlb.shift if hier.tlb is not None else 0
+        vc = hier.vector_cache
+        self._vc_set = hier._vc_set
+        self._vc_assoc = vc.assoc if vc is not None else 0
+        self._honors = base.honors_sw_prefetch
+        self._noop_pf = base.sw_prefetch_is_noop_instr
+        self._vb_cycles = vbroadcast_cycles(vpu)
+        # Vector pending lines are L1-granular on an L1-port machine,
+        # L2-granular otherwise; scalar ones are always L1-granular.
+        # Both are emitted as byte addresses (granularity folded at
+        # capture).  ``seen`` (the first-touch set, = the distinct-line
+        # set the eligibility checks use) is kept L2-granular.
+        self._v_shift = self._l1_shift if self._port_l1 else self._l2_shift
+
+        self._prog: list = []
+        self._append = self._prog.append  # pre-bound: hot-path use
+        self._cur_label: Optional[str] = None  # forces the first switch
+        self._seen: set = set()
+        self._inv_ids: dict = {}
+        self._vmem_inv_memo: dict = {}
+        self._varith_memo: dict = {}
+        self._has_fills = False
+        self._max_range_total = 0
+        self._inf_ranges: list = []
+
+        self._scalar_instrs = 0.0
+        self._vec_instrs = 0.0
+        self._vec_mem_instrs = 0.0
+        self._vec_elems = 0.0
+        self._flops = 0.0
+        self._bytes_loaded = 0.0
+        self._bytes_stored = 0.0
+        self._l1_hits_c = 0.0
+        self._l1_misses_c = 0.0
+        self._vc_hits_c = 0.0
+        self._sw_prefetches_c = 0.0
+        self._spills_c = 0.0
+
+    # -- bookkeeping ---------------------------------------------------
+    def alloc(self, name, nbytes):
+        return self.address_space.alloc(name, nbytes)
+
+    def note_resident_range(self, base: int, nbytes: int) -> None:
+        self._prog.append((2, base, nbytes))
+        if nbytes > 0:
+            # Track the would-be range total under an infinite budget:
+            # if it never exceeds a point's L2 capacity, that point
+            # never trims or evicts a range (eligibility for the
+            # equivalence-class shortcut in the point driver).
+            end_r = base + nbytes
+            inf_ranges = [
+                r for r in self._inf_ranges if r[1] <= base or r[0] >= end_r
+            ]
+            inf_ranges.append((base, end_r))
+            self._inf_ranges = inf_ranges
+            total = 0
+            for r in inf_ranges:
+                total += r[1] - r[0]
+            if total > self._max_range_total:
+                self._max_range_total = total
+
+    def _switch(self, append) -> None:
+        label = self._kernel_stack[-1]
+        if label != self._cur_label:
+            append((1, label))
+            self._cur_label = label
+
+    # -- events (TraceSimulator API) -----------------------------------
+    def scalar(self, n: int = 1) -> None:
+        w = self._w
+        self._scalar_instrs += w * n
+        append = self._append
+        label = self._kernel_stack[-1]
+        if label != self._cur_label:
+            append((1, label))
+            self._cur_label = label
+        append(w * (n * self._scalar_cpi))
+
+    def scalar_load(self, addr: int, nbytes: int = 4) -> None:
+        self._scalar_mem(addr, nbytes, False)
+
+    def scalar_store(self, addr: int, nbytes: int = 4) -> None:
+        self._scalar_mem(addr, nbytes, True)
+
+    def _scalar_mem(self, addr: int, nbytes: int, write: bool) -> None:
+        # Scalar accesses always take the L1 path (mirrors
+        # MemoryHierarchy._l1_path minus the deferred L2 walk).
+        l1_shift = self._l1_shift
+        first = addr >> l1_shift
+        last = (addr + nbytes - 1) >> l1_shift
+        if first == last:
+            # Single-line fast path — the overwhelmingly common scalar
+            # shape.  Same arithmetic as the generic loop below on a
+            # one-line walk, minus its list/loop machinery.
+            tlb = self._tlb
+            lat_i = tlb.access(addr, nbytes) if tlb is not None else 0
+            ways = self._l1_sets[first % self._l1_num]
+            dirty = ways.pop(first, None)
+            w = self._w
+            self._scalar_instrs += w
+            if write:
+                self._bytes_stored += w * nbytes
+            else:
+                self._bytes_loaded += w * nbytes
+            append = self._append
+            label = self._kernel_stack[-1]
+            if label != self._cur_label:
+                append((1, label))
+                self._cur_label = label
+            if dirty is not None:
+                ways[first] = dirty or write
+                self._l1_hits_c += w
+                # No pending line: invariant price, lock-step with
+                # TraceSimulator.scalar_load/scalar_store where
+                # d = (lat_i + l1_lat) - l1_lat == lat_i exactly (ints).
+                if lat_i > 0:
+                    stall = max(0.0, lat_i) / _SCALAR_MLP
+                    if write:
+                        stall *= _STORE_STALL_FACTOR * (1.0 - self._ooo_hide)
+                    else:
+                        stall *= 1.0 - self._ooo_hide
+                    append(w * (self._scalar_cpi + stall + 0.0 + 0.0))
+                else:
+                    append(w * self._scalar_cpi)
+                return
+            ways[first] = write
+            if len(ways) > self._l1_assoc:
+                ways.pop(next(iter(ways)))
+            if self._pf1 is not None:
+                self._pf1.observe(self._l1, first)
+            self._l1_misses_c += w * 1
+            # occ1 = 0.0 + fill_l1 and lat_i += l1_lat, as in the loop.
+            lat_i += self._l1_lat
+            a = first << l1_shift
+            k = a >> self._l2_shift
+            seen = self._seen
+            if k in seen:
+                nh0 = 1
+                ft = ()
+            else:
+                seen.add(k)
+                nh0 = 0
+                ft = (a,)
+            append((4, w, (a,), lat_i, 0.0 + self._fill_l1, write, nh0, ft))
+            return
+        tlb = self._tlb
+        lat_i = tlb.access(addr, nbytes) if tlb is not None else 0
+        l1_sets, l1_num, l1_assoc = self._l1_sets, self._l1_num, self._l1_assoc
+        l1_lat = self._l1_lat
+        pf1 = self._pf1
+        fill_l1 = self._fill_l1
+        occ1 = 0.0
+        l1h = l1m = 0
+        pend = []
+        for la in range(first, last + 1):
+            ways = l1_sets[la % l1_num]
+            dirty = ways.pop(la, None)
+            if dirty is not None:
+                ways[la] = dirty or write
+                lat_i += l1_lat
+                l1h += 1
+                continue
+            ways[la] = write
+            if len(ways) > l1_assoc:
+                ways.pop(next(iter(ways)))
+            l1m += 1
+            if pf1 is not None:
+                pf1.observe(self._l1, la)
+            occ1 += fill_l1
+            lat_i += l1_lat  # L1 share of the miss latency
+            pend.append(la)
+        w = self._w
+        self._scalar_instrs += w
+        if write:
+            self._bytes_stored += w * nbytes
+        else:
+            self._bytes_loaded += w * nbytes
+        self._l1_hits_c += w * l1h
+        if l1m:
+            self._l1_misses_c += w * l1m
+        append = self._append
+        label = self._kernel_stack[-1]
+        if label != self._cur_label:
+            append((1, label))
+            self._cur_label = label
+        if pend:
+            seen = self._seen
+            l2_shift = self._l2_shift
+            nh0 = 0
+            addrs = []
+            ft = []
+            for la in pend:
+                a = la << l1_shift
+                addrs.append(a)
+                k = a >> l2_shift
+                if k in seen:
+                    nh0 += 1
+                else:
+                    seen.add(k)
+                    ft.append(a)
+            append((4, w, tuple(addrs), lat_i, occ1, write, nh0, tuple(ft)))
+        else:
+            # Lock-step with TraceSimulator.scalar_load/scalar_store
+            # (occupancies are 0.0 without an L1 miss).
+            d = lat_i - l1_lat
+            if d > 0:
+                stall = max(0.0, d) / _SCALAR_MLP
+                if write:
+                    stall *= _STORE_STALL_FACTOR * (1.0 - self._ooo_hide)
+                else:
+                    stall *= 1.0 - self._ooo_hide
+                append(w * (self._scalar_cpi + stall + 0.0 + 0.0))
+            else:
+                append(w * self._scalar_cpi)
+
+    def vload(self, addr: int, n_elems: int, ew: int = 4, stride: int = 0) -> None:
+        if n_elems <= 0:
+            return
+        self._vmem(addr, n_elems, ew, stride, False)
+
+    def vstore(self, addr: int, n_elems: int, ew: int = 4, stride: int = 0) -> None:
+        if n_elems <= 0:
+            return
+        self._vmem(addr, n_elems, ew, stride, True)
+
+    def vgather(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
+        if n_elems <= 0:
+            return
+        # Same lowering as TraceSimulator.vgather.
+        stride = max(ew, span_bytes // max(1, n_elems))
+        self._vmem(addr, n_elems, ew, stride, False)
+
+    def vscatter(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
+        if n_elems <= 0:
+            return
+        stride = max(ew, span_bytes // max(1, n_elems))
+        self._vmem(addr, n_elems, ew, stride, True)
+
+    def _vmem(self, addr: int, n_elems: int, ew: int, stride: int, write: bool) -> None:
+        nbytes = n_elems * ew
+        tlb = self._tlb
+        port_l1 = self._port_l1
+        vch = 0
+        if stride == 0 or stride == ew:
+            unit = True
+            # Pricing granularity is the L1 line even on L2-port
+            # machines — lock-step with TraceSimulator._vmem.
+            l1_line = self._l1_line
+            n_lines = (addr + nbytes - 1) // l1_line - addr // l1_line + 1
+            if port_l1:
+                # Mirrors MemoryHierarchy._l1_path minus the L2 walk
+                # (its single-line fast path is semantics-preserving,
+                # so the generic loop covers both).
+                lat_i = tlb.access(addr, nbytes) if tlb is not None else 0
+                l1_shift = self._l1_shift
+                first = addr >> l1_shift
+                last = (addr + nbytes - 1) >> l1_shift
+                l1_sets, l1_num = self._l1_sets, self._l1_num
+                l1_assoc = self._l1_assoc
+                l1_lat = self._l1_lat
+                pf1 = self._pf1
+                fill_l1 = self._fill_l1
+                occ1 = 0.0
+                l1h = l1m = 0
+                pend = []
+                for la in range(first, last + 1):
+                    ways = l1_sets[la % l1_num]
+                    dirty = ways.pop(la, None)
+                    if dirty is not None:
+                        ways[la] = dirty or write
+                        lat_i += l1_lat
+                        l1h += 1
+                        continue
+                    ways[la] = write
+                    if len(ways) > l1_assoc:
+                        ways.pop(next(iter(ways)))
+                    l1m += 1
+                    if pf1 is not None:
+                        pf1.observe(self._l1, la)
+                    occ1 += fill_l1
+                    lat_i += l1_lat  # L1 share of the miss latency
+                    pend.append(la)
+            else:
+                # Mirrors MemoryHierarchy._l2_path up to the L2 walk
+                # (a VC miss write-allocates before the L2 lookup).
+                lat_i = tlb.access(addr, nbytes) if tlb is not None else 0
+                l2_shift = self._l2_shift
+                first = addr >> l2_shift
+                last = (addr + nbytes - 1) >> l2_shift
+                vc_set = self._vc_set
+                if vc_set is not None:
+                    vc_assoc = self._vc_assoc
+                    pend = []
+                    vc_pop = vc_set.pop
+                    vc_len = len(vc_set)
+                    for la in range(first, last + 1):
+                        dirty = vc_pop(la, None)
+                        if dirty is not None:
+                            vc_set[la] = dirty or write
+                            lat_i += _VC_HIT_LATENCY
+                            vch += 1
+                            continue
+                        vc_set[la] = write
+                        if vc_len >= vc_assoc:
+                            vc_pop(next(iter(vc_set)))
+                        else:
+                            vc_len += 1
+                        pend.append(la)
+                else:
+                    pend = list(range(first, last + 1))
+                occ1 = 0.0
+                l1h = l1m = 0
+        else:
+            unit = False
+            n_lines = n_elems
+            tlb_shift = self._tlb_shift
+            if port_l1:
+                # Mirrors MemoryHierarchy._strided_l1_path.
+                l1_shift = self._l1_shift
+                l1_sets, l1_num = self._l1_sets, self._l1_num
+                l1_assoc = self._l1_assoc
+                l1_lat = self._l1_lat
+                pf1 = self._pf1
+                fill_l1 = self._fill_l1
+                lat_i = 0
+                occ1 = 0.0
+                l1h = l1m = 0
+                pend = []
+                prev_line = -1
+                prev_page = -1
+                for idx in range(n_elems):
+                    a = addr + idx * stride
+                    end = a + ew - 1
+                    if tlb is not None:
+                        page = a >> tlb_shift
+                        if page == prev_page and (end >> tlb_shift) == page:
+                            tlb.hits += 1  # MRU page: no LRU refresh
+                        else:
+                            lat_i += tlb.access(a, ew)
+                            prev_page = (
+                                page if (end >> tlb_shift) == page else -1
+                            )
+                    first = a >> l1_shift
+                    last = end >> l1_shift
+                    if first == last == prev_line:
+                        ways = l1_sets[first % l1_num]
+                        dirty = ways.pop(first, None)
+                        if dirty is not None:
+                            ways[first] = dirty or write
+                            lat_i += l1_lat
+                            l1h += 1
+                            continue
+                    for la in range(first, last + 1):
+                        ways = l1_sets[la % l1_num]
+                        dirty = ways.pop(la, None)
+                        if dirty is not None:
+                            ways[la] = dirty or write
+                            lat_i += l1_lat
+                            l1h += 1
+                            continue
+                        ways[la] = write
+                        if len(ways) > l1_assoc:
+                            ways.pop(next(iter(ways)))
+                        l1m += 1
+                        if pf1 is not None:
+                            pf1.observe(self._l1, la)
+                        occ1 += fill_l1
+                        lat_i += l1_lat
+                        pend.append(la)
+                    prev_line = last
+            else:
+                # Mirrors MemoryHierarchy._strided_l2_path.
+                l2_shift = self._l2_shift
+                vc_set = self._vc_set
+                vc_assoc = self._vc_assoc
+                lat_i = 0
+                pend = []
+                prev_line = -1
+                prev_page = -1
+                for idx in range(n_elems):
+                    a = addr + idx * stride
+                    end = a + ew - 1
+                    if tlb is not None:
+                        page = a >> tlb_shift
+                        if page == prev_page and (end >> tlb_shift) == page:
+                            tlb.hits += 1
+                        else:
+                            lat_i += tlb.access(a, ew)
+                            prev_page = (
+                                page if (end >> tlb_shift) == page else -1
+                            )
+                    first = a >> l2_shift
+                    last = end >> l2_shift
+                    if first == last == prev_line:
+                        if vc_set is not None:
+                            vc_set[first] = vc_set.pop(first) or write
+                            lat_i += _VC_HIT_LATENCY
+                            vch += 1
+                        else:
+                            # Guaranteed L2 hit: the previous element
+                            # left the line resident and MRU in every
+                            # point's L2, so a plain pending line
+                            # reproduces the hit and its latency.
+                            pend.append(first)
+                        continue
+                    for la in range(first, last + 1):
+                        if vc_set is not None:
+                            dirty = vc_set.pop(la, None)
+                            if dirty is not None:
+                                vc_set[la] = dirty or write
+                                lat_i += _VC_HIT_LATENCY
+                                vch += 1
+                                continue
+                            vc_set[la] = write
+                            if len(vc_set) > vc_assoc:
+                                vc_set.pop(next(iter(vc_set)))
+                        pend.append(la)
+                    prev_line = last
+                occ1 = 0.0
+                l1h = l1m = 0
+        w = self._w
+        self._vec_instrs += w
+        self._vec_mem_instrs += w
+        self._vec_elems += w * n_elems
+        if write:
+            self._bytes_stored += w * nbytes
+        else:
+            self._bytes_loaded += w * nbytes
+        if l1h:
+            self._l1_hits_c += w * l1h
+        if l1m:
+            self._l1_misses_c += w * l1m
+        if vch:
+            self._vc_hits_c += w * vch
+        append = self._append
+        label = self._kernel_stack[-1]
+        if label != self._cur_label:
+            append((1, label))
+            self._cur_label = label
+        if pend:
+            key = (w, lat_i, occ1, nbytes, n_lines, write, unit)
+            inv_ids = self._inv_ids
+            iid = inv_ids.get(key)
+            if iid is None:
+                iid = inv_ids[key] = len(inv_ids)
+            seen = self._seen
+            v_shift = self._v_shift
+            l2_shift = self._l2_shift
+            nh0 = 0
+            addrs = []
+            ft = []
+            for la in pend:
+                a = la << v_shift
+                addrs.append(a)
+                k = a >> l2_shift
+                if k in seen:
+                    nh0 += 1
+                else:
+                    seen.add(k)
+                    ft.append(a)
+            append(
+                (3, w, tuple(addrs), lat_i, occ1, nbytes, n_lines, write,
+                 unit, iid, nh0, tuple(ft))
+            )
+        else:
+            # Fully served upstream: the cycle cost is invariant.
+            mkey = (lat_i, occ1, nbytes, n_lines, write, unit)
+            memo = self._vmem_inv_memo
+            cycles = memo.get(mkey)
+            if cycles is None:
+                cycles = memo[mkey] = vmem_event_cycles(
+                    self._vpu, self._l1_lat, self._ooo_hide, lat_i, occ1,
+                    0.0, nbytes, n_lines, write, unit,
+                )
+            append(w * cycles)
+
+    def varith(
+        self, n_elems: int, n_instr: int = 1, flops_per_elem: float = 2.0, ew: int = 4
+    ) -> None:
+        if n_elems <= 0 or n_instr <= 0:
+            return
+        vkey = (n_elems, n_instr, ew)
+        memo = self._varith_memo
+        cycles = memo.get(vkey)
+        if cycles is None:
+            cycles = memo[vkey] = varith_cycles(self._vpu, n_elems, n_instr, ew)
+        w = self._w
+        self._vec_instrs += w * n_instr
+        self._vec_elems += w * n_instr * n_elems
+        self._flops += w * n_instr * n_elems * flops_per_elem
+        append = self._append
+        label = self._kernel_stack[-1]
+        if label != self._cur_label:
+            append((1, label))
+            self._cur_label = label
+        append(w * cycles)
+
+    def vbroadcast(self, n: int = 1) -> None:
+        w = self._w
+        self._vec_instrs += w * n
+        append = self._append
+        label = self._kernel_stack[-1]
+        if label != self._cur_label:
+            append((1, label))
+            self._cur_label = label
+        append(w * (n * self._vb_cycles))
+
+    def sw_prefetch(self, addr: int, nbytes: int, level: str = "L1") -> None:
+        if level not in ("L1", "L2"):
+            raise ValueError(f"unknown prefetch level {level!r}")
+        w = self._w
+        append = self._append
+        if self._honors:
+            self._has_fills = True
+            if level == "L1":
+                # L1-level prefetch: the L1 fill is group-invariant
+                # (done here); the implied inclusive L2 fill runs in
+                # every point (mirrors MemoryHierarchy.sw_prefetch).
+                l1_shift = self._l1_shift
+                firstp = addr >> l1_shift
+                lastp = (addr + nbytes - 1) >> l1_shift
+                ratio = self._ratio
+                l1_sets, l1_num = self._l1_sets, self._l1_num
+                l1_assoc = self._l1_assoc
+                fills = []
+                for la in range(firstp, lastp + 1):
+                    fills.append(la // ratio if ratio > 1 else la)
+                    ways = l1_sets[la % l1_num]
+                    if la not in ways:
+                        ways[la] = False
+                        if len(ways) > l1_assoc:
+                            ways.pop(next(iter(ways)))
+                append((5, tuple(fills)))
+            else:
+                l2_shift = self._l2_shift
+                firstp = addr >> l2_shift
+                lastp = (addr + nbytes - 1) >> l2_shift
+                append((5, tuple(range(firstp, lastp + 1))))
+            self._sw_prefetches_c += w
+            self._switch(append)
+            append(w * self._scalar_cpi)
+        elif self._noop_pf:
+            self._scalar_instrs += w
+            self._switch(append)
+            append(w * self._scalar_cpi)
+        # else: dropped at compile time — free.
+
+    def count_flops(self, n: float) -> None:
+        self._flops += self._w * n
+
+    def spill(self, n_registers: int = 1) -> None:
+        # Mirrors TraceSimulator.spill: per register one full-vector
+        # store and reload at stack address 0, then the serialization
+        # penalty and the spill counter.
+        n_elems = (self.machine.vlen_bits // 8) // 4
+        for _ in range(n_registers):
+            self.vstore(0, n_elems, 4)
+            self.vload(0, n_elems, 4)
+        w = self._w
+        append = self._append
+        self._switch(append)
+        append(w * (n_registers * _SPILL_SERIALIZE_CYCLES))
+        self._spills_c += w * n_registers
+
+    # -- freezing ------------------------------------------------------
+    def finish(self):
+        """Return ``(prog, inv, gc)`` for the point passes."""
+        inv = SimStats()
+        inv.scalar_instrs = self._scalar_instrs
+        inv.vec_instrs = self._vec_instrs
+        inv.vec_mem_instrs = self._vec_mem_instrs
+        inv.vec_elems = self._vec_elems
+        inv.flops = self._flops
+        inv.bytes_loaded = self._bytes_loaded
+        inv.bytes_stored = self._bytes_stored
+        inv.l1_hits = self._l1_hits_c
+        inv.l1_misses = self._l1_misses_c
+        inv.vc_hits = self._vc_hits_c
+        inv.sw_prefetches = self._sw_prefetches_c
+        inv.spills = self._spills_c
+        gc = {
+            "vpu": self._vpu,
+            "port_l1": self._port_l1,
+            "l1_lat": self._l1_lat,
+            "ooo_hide": self._ooo_hide,
+            "scalar_cpi": self._scalar_cpi,
+            "l2_shift": self._l2_shift,
+            "distinct": self._seen,
+            "max_range_total": self._max_range_total,
+            "has_fills": self._has_fills,
+            "pf2_cfg": self._pf2_cfg,
+        }
+        return self._prog, inv, gc
+
+
+def _shared_pass(trace: RecordedTrace, base: MachineConfig):
+    """Drive a :class:`_GroupCapture` from a recorded trace's rows."""
+    cap = _GroupCapture(base)
+    labels = trace.labels
+    stack = cap._kernel_stack
+    vmem = cap._vmem
+    scalar = cap.scalar
+    scalar_mem = cap._scalar_mem
+    varith = cap.varith
+    note_range = cap.note_resident_range
+    cur_w = 1.0
+    cur_kid = 0
+    for op, w, kid, i0, i1, i2, i3, f0 in trace.rows():
+        if w != cur_w:
+            cap._w = cur_w = w
+        if kid != cur_kid:
+            stack[-1] = labels[kid]
+            cur_kid = kid
+        if op == OP_VLOAD:
+            vmem(i0, i1, i2, i3, False)
+        elif op == OP_SCALAR:
+            scalar(i0)
+        elif op == OP_SCALAR_LOAD:
+            scalar_mem(i0, i1, False)
+        elif op == OP_VARITH:
+            varith(i0, i1, f0, i2)
+        elif op == OP_VSTORE:
+            vmem(i0, i1, i2, i3, True)
+        elif op == OP_SCALAR_STORE:
+            scalar_mem(i0, i1, True)
+        elif op == OP_NOTE_RANGE:
+            note_range(i0, i1)
+        elif op == OP_SW_PREFETCH:
+            cap.sw_prefetch(i0, i1, "L1" if i2 == 0 else "L2")
+        elif op == OP_VBROADCAST:
+            cap.vbroadcast(i0)
+        elif op == OP_COUNT_FLOPS:
+            cap.count_flops(f0)
+        elif op == OP_SPILL:
+            cap.spill(i0)
+        else:
+            raise ValueError(f"unknown trace opcode {op}")
+    return cap.finish()
+
+
+def _point_pass(prog: list, inv: SimStats, machine: MachineConfig, gc: dict) -> SimStats:
+    """Price the shared-pass program against one design point's L2."""
+    hier = MemoryHierarchy(machine)
+    l2 = hier.l2
+    l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+    pf2 = hier.l2_prefetcher if hier._pf2_on else None
+    range_hit = hier._range_hit
+    note_range = hier.note_resident_range
+    l2_lat = hier._l2_lat
+    dram_lat = hier._dram_lat
+    fill_l2 = hier._fill_l2
+    vpu = gc["vpu"]
+    l1_lat = gc["l1_lat"]
+    ooo_hide = gc["ooo_hide"]
+    scalar_cpi = gc["scalar_cpi"]
+    l2_shift = gc["l2_shift"]
+    # Only the L1-port vector path feeds the L2 prefetcher (the RVV L2
+    # path has no prefetcher); the scalar path always does.
+    v_pf2 = pf2 if gc["port_l1"] else None
+    # occ2 is a repeated sum of fill_l2 in the direct simulator; the
+    # table reproduces the exact fold for any miss count.
+    occ_tab = [0.0]
+    fin_memo = {}
+    fin4 = {}
+    kc = {}
+    cur = None
+    kcur = 0.0
+    cycles = 0.0
+    l2_hits = l2_misses = dram_fills = 0.0
+    # _range_hit only reorders the range list in place;
+    # note_resident_range (tag 2) rebinds it, refreshed there.
+    ranges = hier._ranges
+
+    for it in prog:
+        if type(it) is float:
+            cycles += it
+            kcur += it
+            continue
+        tag = it[0]
+        if tag == 3:
+            (_, w, addrs, inv_lat, occ1, nbytes, n_lines, write, unit,
+             iid, _nh0, _ft) = it
+            nh = nm = 0
+            for a in addrs:
+                l2a = a >> l2_shift
+                ways = l2_sets[l2a % l2_num]
+                if ways.pop(l2a, None) is not None:
+                    # Dirty bits only feed writeback counters SimStats
+                    # never reads; storing True keeps LRU state exact.
+                    ways[l2a] = True
+                    nh += 1
+                    continue
+                ways[l2a] = True
+                if len(ways) > l2_assoc:
+                    ways.pop(next(iter(ways)))
+                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                    nh += 1
+                elif range_hit(a):
+                    nh += 1
+                else:
+                    nm += 1
+                    if v_pf2 is not None:
+                        v_pf2.observe(l2, l2a)
+            mkey = (iid, nh, nm)
+            cached = fin_memo.get(mkey)
+            if cached is None:
+                while nm >= len(occ_tab):
+                    occ_tab.append(occ_tab[-1] + fill_l2)
+                lat = inv_lat + l2_lat * (nh + nm) + dram_lat * nm
+                c = vmem_event_cycles(
+                    vpu, l1_lat, ooo_hide, lat, occ1, occ_tab[nm],
+                    nbytes, n_lines, write, unit,
+                )
+                cached = fin_memo[mkey] = (w * c, w * nh, w * nm)
+            wc, wh, wm = cached
+            cycles += wc
+            kcur += wc
+            if wh:
+                l2_hits += wh
+            if wm:
+                l2_misses += wm
+                dram_fills += wm
+        elif tag == 4:
+            _, w, addrs, inv_lat, occ1, write, _nh0, _ft = it
+            nh = nm = 0
+            for a in addrs:
+                l2a = a >> l2_shift
+                ways = l2_sets[l2a % l2_num]
+                if ways.pop(l2a, None) is not None:
+                    ways[l2a] = True
+                    nh += 1
+                    continue
+                ways[l2a] = True
+                if len(ways) > l2_assoc:
+                    ways.pop(next(iter(ways)))
+                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                    nh += 1
+                elif range_hit(a):
+                    nh += 1
+                else:
+                    nm += 1
+                    if pf2 is not None:
+                        pf2.observe(l2, l2a)
+            mkey = (w, inv_lat, occ1, write, nh, nm)
+            cached = fin4.get(mkey)
+            if cached is None:
+                while nm >= len(occ_tab):
+                    occ_tab.append(occ_tab[-1] + fill_l2)
+                lat = inv_lat + l2_lat * (nh + nm) + dram_lat * nm
+                # Lock-step with TraceSimulator.scalar_load/scalar_store.
+                d = lat - l1_lat
+                if d > 0:
+                    stall = max(0.0, d) / _SCALAR_MLP
+                    if write:
+                        stall *= _STORE_STALL_FACTOR * (1.0 - ooo_hide)
+                    else:
+                        stall *= 1.0 - ooo_hide
+                    wc = w * (scalar_cpi + stall + occ1 + occ_tab[nm])
+                else:
+                    wc = w * scalar_cpi
+                cached = fin4[mkey] = (wc, w * nh, w * nm)
+            wc, wh, wm = cached
+            cycles += wc
+            kcur += wc
+            l2_hits += wh
+            l2_misses += wm
+            dram_fills += wm
+        elif tag == 1:
+            if cur is not None:
+                kc[cur] = kcur
+            cur = it[1]
+            kcur = kc.get(cur, 0.0)
+        elif tag == 2:
+            note_range(it[1], it[2])
+            ranges = hier._ranges
+        else:  # tag 5: honoured software-prefetch fills into the L2
+            for la in it[1]:
+                ways = l2_sets[la % l2_num]
+                if la not in ways:
+                    ways[la] = False
+                    if len(ways) > l2_assoc:
+                        ways.pop(next(iter(ways)))
+
+    if cur is not None:
+        kc[cur] = kcur
+    out = SimStats()
+    out.cycles = cycles
+    out.l2_hits = l2_hits
+    out.l2_misses = l2_misses
+    out.dram_fills = dram_fills
+    for name in _INVARIANT_FIELDS:
+        setattr(out, name, getattr(inv, name))
+    out.kernel_cycles = kc
+    return out
+
+
+def _point_pass_hybrid(
+    prog: list, inv: SimStats, machine: MachineConfig, gc: dict, hot: set
+) -> SimStats:
+    """Point pass that walks only lines mapping to *hot* L2 sets.
+
+    ``hot`` holds every distinct L2 line whose set's distinct-line
+    population exceeds the associativity.  All other ("cold") sets can
+    never evict, so a cold lookup hits **iff** the line was touched
+    before — decided from the per-event first-touch list without
+    touching cache structures.  Cold first touches still run the
+    residency-range check *in stream order* (interleaved with the hot
+    walk exactly as in :func:`_point_pass`), because ``_range_hit``
+    LRU-refreshes the range list and a later trim picks its victims by
+    that order.  Caller guarantees no prefetcher fills (cold sets must
+    see the pure demand stream).
+    """
+    hier = MemoryHierarchy(machine)
+    l2 = hier.l2
+    l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+    range_hit = hier._range_hit
+    note_range = hier.note_resident_range
+    l2_lat = hier._l2_lat
+    dram_lat = hier._dram_lat
+    fill_l2 = hier._fill_l2
+    vpu = gc["vpu"]
+    l1_lat = gc["l1_lat"]
+    ooo_hide = gc["ooo_hide"]
+    scalar_cpi = gc["scalar_cpi"]
+    l2_shift = gc["l2_shift"]
+    occ_tab = [0.0]
+    fin_memo = {}
+    fin4 = {}
+    kc = {}
+    cur = None
+    kcur = 0.0
+    cycles = 0.0
+    l2_hits = l2_misses = dram_fills = 0.0
+    # _range_hit only reorders the range list in place;
+    # note_resident_range (tag 2) rebinds it, refreshed there.
+    ranges = hier._ranges
+
+    for it in prog:
+        if type(it) is float:
+            cycles += it
+            kcur += it
+            continue
+        tag = it[0]
+        if tag == 3:
+            (_, w, addrs, inv_lat, occ1, nbytes, n_lines, write, unit,
+             iid, _nh0, ft) = it
+            nh = nm = 0
+            if ft:
+                ftset = set(ft)
+                for a in addrs:
+                    l2a = a >> l2_shift
+                    if l2a in hot:
+                        ways = l2_sets[l2a % l2_num]
+                        if ways.pop(l2a, None) is not None:
+                            ways[l2a] = True
+                            nh += 1
+                            continue
+                        ways[l2a] = True
+                        if len(ways) > l2_assoc:
+                            ways.pop(next(iter(ways)))
+                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                            nh += 1
+                        elif range_hit(a):
+                            nh += 1
+                        else:
+                            nm += 1
+                    elif a in ftset:
+                        # Cold first touch: range check, in stream order.
+                        ftset.remove(a)
+                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                            nh += 1
+                        elif range_hit(a):
+                            nh += 1
+                        else:
+                            nm += 1
+                    else:
+                        nh += 1  # cold repeat: can never have been evicted
+            else:
+                # No first touches in this event: every cold line is a
+                # repeat, hence a guaranteed hit.
+                for a in addrs:
+                    l2a = a >> l2_shift
+                    if l2a in hot:
+                        ways = l2_sets[l2a % l2_num]
+                        if ways.pop(l2a, None) is not None:
+                            ways[l2a] = True
+                            nh += 1
+                            continue
+                        ways[l2a] = True
+                        if len(ways) > l2_assoc:
+                            ways.pop(next(iter(ways)))
+                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                            nh += 1
+                        elif range_hit(a):
+                            nh += 1
+                        else:
+                            nm += 1
+                    else:
+                        nh += 1
+            mkey = (iid, nh, nm)
+            cached = fin_memo.get(mkey)
+            if cached is None:
+                while nm >= len(occ_tab):
+                    occ_tab.append(occ_tab[-1] + fill_l2)
+                lat = inv_lat + l2_lat * (nh + nm) + dram_lat * nm
+                c = vmem_event_cycles(
+                    vpu, l1_lat, ooo_hide, lat, occ1, occ_tab[nm],
+                    nbytes, n_lines, write, unit,
+                )
+                cached = fin_memo[mkey] = (w * c, w * nh, w * nm)
+            wc, wh, wm = cached
+            cycles += wc
+            kcur += wc
+            if wh:
+                l2_hits += wh
+            if wm:
+                l2_misses += wm
+                dram_fills += wm
+        elif tag == 4:
+            _, w, addrs, inv_lat, occ1, write, _nh0, ft = it
+            nh = nm = 0
+            if ft:
+                ftset = set(ft)
+                for a in addrs:
+                    l2a = a >> l2_shift
+                    if l2a in hot:
+                        ways = l2_sets[l2a % l2_num]
+                        if ways.pop(l2a, None) is not None:
+                            ways[l2a] = True
+                            nh += 1
+                            continue
+                        ways[l2a] = True
+                        if len(ways) > l2_assoc:
+                            ways.pop(next(iter(ways)))
+                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                            nh += 1
+                        elif range_hit(a):
+                            nh += 1
+                        else:
+                            nm += 1
+                    elif a in ftset:
+                        ftset.remove(a)
+                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                            nh += 1
+                        elif range_hit(a):
+                            nh += 1
+                        else:
+                            nm += 1
+                    else:
+                        nh += 1
+            else:
+                for a in addrs:
+                    l2a = a >> l2_shift
+                    if l2a in hot:
+                        ways = l2_sets[l2a % l2_num]
+                        if ways.pop(l2a, None) is not None:
+                            ways[l2a] = True
+                            nh += 1
+                            continue
+                        ways[l2a] = True
+                        if len(ways) > l2_assoc:
+                            ways.pop(next(iter(ways)))
+                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                            nh += 1
+                        elif range_hit(a):
+                            nh += 1
+                        else:
+                            nm += 1
+                    else:
+                        nh += 1
+            mkey = (w, inv_lat, occ1, write, nh, nm)
+            cached = fin4.get(mkey)
+            if cached is None:
+                while nm >= len(occ_tab):
+                    occ_tab.append(occ_tab[-1] + fill_l2)
+                lat = inv_lat + l2_lat * (nh + nm) + dram_lat * nm
+                d = lat - l1_lat
+                if d > 0:
+                    stall = max(0.0, d) / _SCALAR_MLP
+                    if write:
+                        stall *= _STORE_STALL_FACTOR * (1.0 - ooo_hide)
+                    else:
+                        stall *= 1.0 - ooo_hide
+                    wc = w * (scalar_cpi + stall + occ1 + occ_tab[nm])
+                else:
+                    wc = w * scalar_cpi
+                cached = fin4[mkey] = (wc, w * nh, w * nm)
+            wc, wh, wm = cached
+            cycles += wc
+            kcur += wc
+            l2_hits += wh
+            l2_misses += wm
+            dram_fills += wm
+        elif tag == 1:
+            if cur is not None:
+                kc[cur] = kcur
+            cur = it[1]
+            kcur = kc.get(cur, 0.0)
+        elif tag == 2:
+            note_range(it[1], it[2])
+            ranges = hier._ranges
+        else:
+            raise ValueError("prefetch fills in a hybrid point pass")
+
+    if cur is not None:
+        kc[cur] = kcur
+    out = SimStats()
+    out.cycles = cycles
+    out.l2_hits = l2_hits
+    out.l2_misses = l2_misses
+    out.dram_fills = dram_fills
+    for name in _INVARIANT_FIELDS:
+        setattr(out, name, getattr(inv, name))
+    out.kernel_cycles = kc
+    return out
+
+
+def _point_pass_fast(
+    prog: list, inv: SimStats, machine: MachineConfig, gc: dict
+) -> SimStats:
+    """Conflict-free point pass: no L2 set ever exceeds its associativity.
+
+    Such an L2 never evicts, so a lookup hits **iff** the line was
+    touched before — which the shared pass precomputed per event
+    (``nh0`` repeat-touch hits plus the ``ft`` first-touch list).  Only
+    the residency-range checks still depend on the point (range budgets
+    trim differently per L2 capacity), so this walks just the
+    first-touch lines against the range model and skips the cache
+    structures entirely.  Caller guarantees: no prefetcher fills, no
+    tag-5 items (checked via ``gc``), and the set-population bound.
+    """
+    hier = MemoryHierarchy(machine)
+    range_hit = hier._range_hit
+    note_range = hier.note_resident_range
+    l2_lat = hier._l2_lat
+    dram_lat = hier._dram_lat
+    fill_l2 = hier._fill_l2
+    vpu = gc["vpu"]
+    l1_lat = gc["l1_lat"]
+    ooo_hide = gc["ooo_hide"]
+    scalar_cpi = gc["scalar_cpi"]
+    occ_tab = [0.0]
+    fin_memo = {}
+    fin4 = {}
+    kc = {}
+    cur = None
+    kcur = 0.0
+    cycles = 0.0
+    l2_hits = l2_misses = dram_fills = 0.0
+    # _range_hit only reorders the range list in place;
+    # note_resident_range (tag 2) rebinds it, refreshed there.
+    ranges = hier._ranges
+
+    for it in prog:
+        if type(it) is float:
+            cycles += it
+            kcur += it
+            continue
+        tag = it[0]
+        if tag == 3:
+            nh = it[10]
+            nm = 0
+            ft = it[11]
+            if ft:
+                for a in ft:
+                    if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                        nh += 1
+                    elif range_hit(a):
+                        nh += 1
+                    else:
+                        nm += 1
+            mkey = (it[9], nh, nm)
+            cached = fin_memo.get(mkey)
+            if cached is None:
+                w = it[1]
+                while nm >= len(occ_tab):
+                    occ_tab.append(occ_tab[-1] + fill_l2)
+                lat = it[3] + l2_lat * (nh + nm) + dram_lat * nm
+                c = vmem_event_cycles(
+                    vpu, l1_lat, ooo_hide, lat, it[4], occ_tab[nm],
+                    it[5], it[6], it[7], it[8],
+                )
+                cached = fin_memo[mkey] = (w * c, w * nh, w * nm)
+            wc, wh, wm = cached
+            cycles += wc
+            kcur += wc
+            if wh:
+                l2_hits += wh
+            if wm:
+                l2_misses += wm
+                dram_fills += wm
+        elif tag == 4:
+            nh = it[6]
+            nm = 0
+            ft = it[7]
+            if ft:
+                for a in ft:
+                    if ranges and ranges[-1][0] <= a < ranges[-1][1]:
+                        nh += 1
+                    elif range_hit(a):
+                        nh += 1
+                    else:
+                        nm += 1
+            w = it[1]
+            mkey = (w, it[3], it[4], it[5], nh, nm)
+            cached = fin4.get(mkey)
+            if cached is None:
+                while nm >= len(occ_tab):
+                    occ_tab.append(occ_tab[-1] + fill_l2)
+                lat = it[3] + l2_lat * (nh + nm) + dram_lat * nm
+                d = lat - l1_lat
+                if d > 0:
+                    stall = max(0.0, d) / _SCALAR_MLP
+                    if it[5]:
+                        stall *= _STORE_STALL_FACTOR * (1.0 - ooo_hide)
+                    else:
+                        stall *= 1.0 - ooo_hide
+                    wc = w * (scalar_cpi + stall + it[4] + occ_tab[nm])
+                else:
+                    wc = w * scalar_cpi
+                cached = fin4[mkey] = (wc, w * nh, w * nm)
+            wc, wh, wm = cached
+            cycles += wc
+            kcur += wc
+            l2_hits += wh
+            l2_misses += wm
+            dram_fills += wm
+        elif tag == 1:
+            if cur is not None:
+                kc[cur] = kcur
+            cur = it[1]
+            kcur = kc.get(cur, 0.0)
+        elif tag == 2:
+            note_range(it[1], it[2])
+            ranges = hier._ranges
+        else:
+            raise ValueError(
+                "prefetch fills in a conflict-free point pass"
+            )
+
+    if cur is not None:
+        kc[cur] = kcur
+    out = SimStats()
+    out.cycles = cycles
+    out.l2_hits = l2_hits
+    out.l2_misses = l2_misses
+    out.dram_fills = dram_fills
+    for name in _INVARIANT_FIELDS:
+        setattr(out, name, getattr(inv, name))
+    out.kernel_cycles = kc
+    return out
+
+
+def _point_pass_fast2(
+    prog: list,
+    inv: SimStats,
+    ma: MachineConfig,
+    mb: MachineConfig,
+    gc: dict,
+):
+    """Two conflict-free points in one pass over the program.
+
+    Identical per-point arithmetic to :func:`_point_pass_fast` (fully
+    duplicated state, suffixes ``a``/``b``); the shared iteration,
+    dispatch, and invariant-float handling are paid once instead of
+    twice — which dominates a conflict-free pass.  Returns a pair of
+    ``SimStats``.
+    """
+    hier_a = MemoryHierarchy(ma)
+    hier_b = MemoryHierarchy(mb)
+    range_hit_a = hier_a._range_hit
+    range_hit_b = hier_b._range_hit
+    note_range_a = hier_a.note_resident_range
+    note_range_b = hier_b.note_resident_range
+    l2_lat_a, l2_lat_b = hier_a._l2_lat, hier_b._l2_lat
+    dram_lat_a, dram_lat_b = hier_a._dram_lat, hier_b._dram_lat
+    fill_l2_a, fill_l2_b = hier_a._fill_l2, hier_b._fill_l2
+    vpu = gc["vpu"]
+    l1_lat = gc["l1_lat"]
+    ooo_hide = gc["ooo_hide"]
+    scalar_cpi = gc["scalar_cpi"]
+    occ_tab_a = [0.0]
+    occ_tab_b = [0.0]
+    fin_a = {}
+    fin_b = {}
+    fin4_a = {}
+    fin4_b = {}
+    kc_a = {}
+    kc_b = {}
+    cur = None
+    kcur_a = kcur_b = 0.0
+    cycles_a = cycles_b = 0.0
+    l2h_a = l2m_a = df_a = 0.0
+    l2h_b = l2m_b = df_b = 0.0
+    ranges_a = hier_a._ranges
+    ranges_b = hier_b._ranges
+
+    for it in prog:
+        if type(it) is float:
+            cycles_a += it
+            kcur_a += it
+            cycles_b += it
+            kcur_b += it
+            continue
+        tag = it[0]
+        if tag == 3:
+            nh0 = it[10]
+            ft = it[11]
+            nh_a = nh_b = nh0
+            nm_a = nm_b = 0
+            if ft:
+                for a in ft:
+                    if ranges_a and ranges_a[-1][0] <= a < ranges_a[-1][1]:
+                        nh_a += 1
+                    elif range_hit_a(a):
+                        nh_a += 1
+                    else:
+                        nm_a += 1
+                for a in ft:
+                    if ranges_b and ranges_b[-1][0] <= a < ranges_b[-1][1]:
+                        nh_b += 1
+                    elif range_hit_b(a):
+                        nh_b += 1
+                    else:
+                        nm_b += 1
+            iid = it[9]
+            mkey = (iid, nh_a, nm_a)
+            cached = fin_a.get(mkey)
+            if cached is None:
+                w = it[1]
+                while nm_a >= len(occ_tab_a):
+                    occ_tab_a.append(occ_tab_a[-1] + fill_l2_a)
+                lat = it[3] + l2_lat_a * (nh_a + nm_a) + dram_lat_a * nm_a
+                c = vmem_event_cycles(
+                    vpu, l1_lat, ooo_hide, lat, it[4], occ_tab_a[nm_a],
+                    it[5], it[6], it[7], it[8],
+                )
+                cached = fin_a[mkey] = (w * c, w * nh_a, w * nm_a)
+            wc, wh, wm = cached
+            cycles_a += wc
+            kcur_a += wc
+            if wh:
+                l2h_a += wh
+            if wm:
+                l2m_a += wm
+                df_a += wm
+            mkey = (iid, nh_b, nm_b)
+            cached = fin_b.get(mkey)
+            if cached is None:
+                w = it[1]
+                while nm_b >= len(occ_tab_b):
+                    occ_tab_b.append(occ_tab_b[-1] + fill_l2_b)
+                lat = it[3] + l2_lat_b * (nh_b + nm_b) + dram_lat_b * nm_b
+                c = vmem_event_cycles(
+                    vpu, l1_lat, ooo_hide, lat, it[4], occ_tab_b[nm_b],
+                    it[5], it[6], it[7], it[8],
+                )
+                cached = fin_b[mkey] = (w * c, w * nh_b, w * nm_b)
+            wc, wh, wm = cached
+            cycles_b += wc
+            kcur_b += wc
+            if wh:
+                l2h_b += wh
+            if wm:
+                l2m_b += wm
+                df_b += wm
+        elif tag == 4:
+            nh0 = it[6]
+            ft = it[7]
+            nh_a = nh_b = nh0
+            nm_a = nm_b = 0
+            if ft:
+                for a in ft:
+                    if ranges_a and ranges_a[-1][0] <= a < ranges_a[-1][1]:
+                        nh_a += 1
+                    elif range_hit_a(a):
+                        nh_a += 1
+                    else:
+                        nm_a += 1
+                for a in ft:
+                    if ranges_b and ranges_b[-1][0] <= a < ranges_b[-1][1]:
+                        nh_b += 1
+                    elif range_hit_b(a):
+                        nh_b += 1
+                    else:
+                        nm_b += 1
+            w = it[1]
+            mkey = (w, it[3], it[4], it[5], nh_a, nm_a)
+            cached = fin4_a.get(mkey)
+            if cached is None:
+                while nm_a >= len(occ_tab_a):
+                    occ_tab_a.append(occ_tab_a[-1] + fill_l2_a)
+                lat = it[3] + l2_lat_a * (nh_a + nm_a) + dram_lat_a * nm_a
+                d = lat - l1_lat
+                if d > 0:
+                    stall = max(0.0, d) / _SCALAR_MLP
+                    if it[5]:
+                        stall *= _STORE_STALL_FACTOR * (1.0 - ooo_hide)
+                    else:
+                        stall *= 1.0 - ooo_hide
+                    wc = w * (scalar_cpi + stall + it[4] + occ_tab_a[nm_a])
+                else:
+                    wc = w * scalar_cpi
+                cached = fin4_a[mkey] = (wc, w * nh_a, w * nm_a)
+            wc, wh, wm = cached
+            cycles_a += wc
+            kcur_a += wc
+            l2h_a += wh
+            l2m_a += wm
+            df_a += wm
+            mkey = (w, it[3], it[4], it[5], nh_b, nm_b)
+            cached = fin4_b.get(mkey)
+            if cached is None:
+                while nm_b >= len(occ_tab_b):
+                    occ_tab_b.append(occ_tab_b[-1] + fill_l2_b)
+                lat = it[3] + l2_lat_b * (nh_b + nm_b) + dram_lat_b * nm_b
+                d = lat - l1_lat
+                if d > 0:
+                    stall = max(0.0, d) / _SCALAR_MLP
+                    if it[5]:
+                        stall *= _STORE_STALL_FACTOR * (1.0 - ooo_hide)
+                    else:
+                        stall *= 1.0 - ooo_hide
+                    wc = w * (scalar_cpi + stall + it[4] + occ_tab_b[nm_b])
+                else:
+                    wc = w * scalar_cpi
+                cached = fin4_b[mkey] = (wc, w * nh_b, w * nm_b)
+            wc, wh, wm = cached
+            cycles_b += wc
+            kcur_b += wc
+            l2h_b += wh
+            l2m_b += wm
+            df_b += wm
+        elif tag == 1:
+            if cur is not None:
+                kc_a[cur] = kcur_a
+                kc_b[cur] = kcur_b
+            cur = it[1]
+            kcur_a = kc_a.get(cur, 0.0)
+            kcur_b = kc_b.get(cur, 0.0)
+        elif tag == 2:
+            note_range_a(it[1], it[2])
+            note_range_b(it[1], it[2])
+            ranges_a = hier_a._ranges
+            ranges_b = hier_b._ranges
+        else:
+            raise ValueError("prefetch fills in a conflict-free point pass")
+
+    if cur is not None:
+        kc_a[cur] = kcur_a
+        kc_b[cur] = kcur_b
+    out = []
+    for cycles, l2h, l2m, df, kc in (
+        (cycles_a, l2h_a, l2m_a, df_a, kc_a),
+        (cycles_b, l2h_b, l2m_b, df_b, kc_b),
+    ):
+        st = SimStats()
+        st.cycles = cycles
+        st.l2_hits = l2h
+        st.l2_misses = l2m
+        st.dram_fills = df
+        for name in _INVARIANT_FIELDS:
+            setattr(st, name, getattr(inv, name))
+        st.kernel_cycles = kc
+        out.append(st)
+    return out
+
+
+def _copy_stats(st: SimStats) -> SimStats:
+    out = SimStats()
+    for name in SimStats.FIELDS:
+        setattr(out, name, getattr(st, name))
+    out.kernel_cycles = dict(st.kernel_cycles)
+    return out
+
+
+def _run_points(
+    prog: list, inv: SimStats, gc: dict, machines: Sequence[MachineConfig]
+) -> List[SimStats]:
+    """Price the shared-pass program on every machine of the group.
+
+    Per point, picks the cheapest valid engine:
+
+    * conflict-free points (no set over associativity, no prefetch
+      fills) run :func:`_point_pass_fast`;
+    * among those, points whose residency ranges never trim share walk
+      outcomes — results depend only on ``(l2_latency, dram_latency,
+      dram_bytes_per_cycle)``, so each such signature is priced once
+      and copied (on a constant-latency L2 model this collapses the
+      whole large-cache tail of a Fig. 7 sweep into one pass);
+    * points where under half the distinct lines map to conflicted
+      sets walk only those via :func:`_point_pass_hybrid`;
+    * everything else takes the exact cache walk of :func:`_point_pass`.
+    """
+    distinct = gc["distinct"]
+    lines = (
+        np.fromiter(distinct, dtype=np.int64, count=len(distinct))
+        if distinct
+        else None
+    )
+    can_fast = not gc["has_fills"] and not gc["pf2_cfg"]
+    max_total = gc["max_range_total"]
+    results: List[Optional[SimStats]] = [None] * len(machines)
+    eq_owner = {}  # sig -> index of the point that computes it
+    eq_copies = []  # (index, owner index)
+    fast_jobs = []  # indices, priced pairwise below
+    slow_jobs = []  # (index, hot-or-None)
+    for i, m in enumerate(machines):
+        engine = _point_pass
+        hot = None
+        if can_fast:
+            l2cfg = m.l2
+            num_sets = l2cfg.size_bytes // (l2cfg.assoc * l2cfg.line_bytes)
+            if num_sets > 0:
+                if lines is None:
+                    engine = _point_pass_fast
+                else:
+                    line_hot = (
+                        np.bincount(lines % num_sets)[lines % num_sets]
+                        > l2cfg.assoc
+                    )
+                    if not line_hot.any():
+                        engine = _point_pass_fast
+                    elif float(line_hot.mean()) < 0.5:
+                        engine = _point_pass_hybrid
+                        hot = set(lines[line_hot].tolist())
+        if engine is _point_pass_fast:
+            if max_total <= m.l2.size_bytes:
+                sig = (m.l2.latency, m.dram_latency, m.dram_bytes_per_cycle)
+                owner = eq_owner.get(sig)
+                if owner is not None:
+                    eq_copies.append((i, owner))
+                    continue
+                eq_owner[sig] = i
+            fast_jobs.append(i)
+        elif engine is _point_pass_hybrid:
+            slow_jobs.append((i, hot))
+        else:
+            slow_jobs.append((i, None))
+    j = 0
+    while j + 1 < len(fast_jobs):
+        ia, ib = fast_jobs[j], fast_jobs[j + 1]
+        results[ia], results[ib] = _point_pass_fast2(
+            prog, inv, machines[ia], machines[ib], gc
+        )
+        j += 2
+    if j < len(fast_jobs):
+        i = fast_jobs[j]
+        results[i] = _point_pass_fast(prog, inv, machines[i], gc)
+    for i, hot in slow_jobs:
+        if hot is not None:
+            results[i] = _point_pass_hybrid(prog, inv, machines[i], gc, hot)
+        else:
+            results[i] = _point_pass(prog, inv, machines[i], gc)
+    for i, owner in eq_copies:
+        results[i] = _copy_stats(results[owner])
+    return results
+
+
+def replay_sweep(
+    trace: RecordedTrace, machines: Sequence[MachineConfig]
+) -> Optional[List[SimStats]]:
+    """Price *trace* on every machine of an L2/DRAM sweep group.
+
+    Returns one ``SimStats`` per machine (bitwise identical to direct
+    simulation), or ``None`` when the group varies in a field the
+    shared-pass split does not support (e.g. a lane or VL sweep) — the
+    caller should fall back to per-point simulation.
+    """
+    machines = list(machines)
+    if not machines:
+        return []
+    for m in machines:
+        _check_compatible(trace, m)
+    if not uniform_group(machines):
+        return None
+    prog, inv, gc = _shared_pass(trace, machines[0])
+    return _run_points(prog, inv, gc, machines)
+
+
+def capture_sweep(
+    emit: Callable, machines: Sequence[MachineConfig]
+) -> Optional[List[SimStats]]:
+    """Run the kernels once and price every machine of a sweep group.
+
+    *emit* is called with a simulator-API object (a
+    :class:`_GroupCapture`) and must drive the kernel event stream into
+    it — e.g. ``lambda sim: net._emit_trace(sim, policy, n, True)``.
+    The kernels run against ``machines[0]``; since a uniform group only
+    varies in fields kernels never read (L2 geometry, DRAM), the event
+    stream is valid for the whole group.
+
+    Returns one ``SimStats`` per machine (bitwise identical to direct
+    simulation), or ``None`` for non-uniform groups — the caller should
+    fall back to per-point simulation.  This fuses capture and the
+    shared pricing pass: nothing is re-walked, making it the fastest
+    cold path for a serial one-axis sweep.
+    """
+    machines = list(machines)
+    if not machines:
+        return []
+    if not uniform_group(machines):
+        return None
+    cap = _GroupCapture(machines[0])
+    emit(cap)
+    prog, inv, gc = cap.finish()
+    return _run_points(prog, inv, gc, machines)

@@ -23,16 +23,15 @@ reuse pattern are homogeneous after warm-up.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict
 
 from .config import MachineConfig
 from .hierarchy import MemoryHierarchy
-from .trace import AddressSpace, Buffer
+from .trace import AddressSpace, Buffer, SampledTraceBase
 from .vpu import varith_cycles, vbroadcast_cycles, vmem_transfer_cycles
 
-__all__ = ["SimStats", "TraceSimulator"]
+__all__ = ["SimStats", "TraceSimulator", "SampledTraceBase", "vmem_event_cycles"]
 
 #: Fraction of a store's latency that stalls the pipeline (store buffers
 #: hide most of it).
@@ -41,6 +40,74 @@ _STORE_STALL_FACTOR = 0.25
 _SCALAR_MLP = 2.0
 #: Dependency-chain serialization per spilled/reloaded vector register.
 _SPILL_SERIALIZE_CYCLES = 8
+
+
+def vmem_event_cycles(
+    vpu,
+    l1_lat: float,
+    ooo_hide: float,
+    lat,
+    occ1: float,
+    occ2: float,
+    nbytes: int,
+    n_lines: int,
+    write: bool,
+    unit_stride: bool,
+) -> float:
+    """Pure cycle cost of one vector memory event.
+
+    Extracted from :meth:`TraceSimulator._vmem` so the trace replayer
+    (:mod:`repro.machine.replay`) prices replayed events with the exact
+    same arithmetic — bitwise identity depends on the operation order
+    here, so treat any edit as a model change.
+    """
+    if vpu.mem_port == "L1":
+        # Streamed L1 hits are fully pipelined on an L1-fed VPU:
+        # only latency *beyond* the hit baseline stalls the pipe.
+        lat = lat - n_lines * l1_lat
+        if lat < 0.0:
+            lat = 0.0
+    # Effective MLP grows with the access footprint: a vector
+    # load spanning L lines keeps its own fills in flight.  An
+    # L1-fed scoreboarded pipeline (SVE) additionally overlaps
+    # the next access's fills; the decoupled RVV unit serializes
+    # accesses through its VectorCache.
+    if not unit_stride:
+        # Gathers/strided accesses serialize on address
+        # generation: only a few element fills overlap.
+        overlap = n_lines if n_lines < 4 else 4
+    elif n_lines == 1:
+        overlap = 1  # a dependent 1-line load exposes its latency
+    elif vpu.mem_port == "L1":
+        # Scoreboarded streams overlap across accesses too.
+        overlap = 2 * n_lines
+    else:
+        overlap = n_lines  # decoupled unit overlaps own fills only
+    if overlap > vpu.max_outstanding:
+        overlap = vpu.max_outstanding
+    mlp_eff = vpu.mlp if vpu.mlp > overlap else overlap
+    stall = lat * (1.0 - ooo_hide) / mlp_eff
+    if write:
+        stall *= _STORE_STALL_FACTOR
+    transfer = vmem_transfer_cycles(vpu, nbytes)
+    # L1-fill occupancy is netted against the useful transfer
+    # already priced: only *wasted* fill bandwidth (partially-
+    # used lines) costs extra.  DRAM fill bandwidth is a
+    # separate, narrower pipe and is charged in full.
+    occ = occ1 - transfer
+    if occ < 0.0:
+        occ = 0.0
+    occ += occ2
+    # No lane-fill term: memory data streams into the lanes as
+    # it arrives (chained), so transfer + exposed stall covers
+    # it.
+    return (
+        vpu.mem_issue_overhead
+        + vpu.issue_overhead
+        + transfer
+        + stall
+        + occ
+    )
 
 
 @dataclass(slots=True)
@@ -135,17 +202,15 @@ class SimStats:
         return self
 
 
-class TraceSimulator:
+class TraceSimulator(SampledTraceBase):
     """Prices a kernel's instruction trace on one machine design point."""
 
     def __init__(self, machine: MachineConfig):
+        super().__init__()
         self.machine = machine
         self.hierarchy = MemoryHierarchy(machine)
         self.address_space = AddressSpace()
         self.stats = SimStats()
-        self._weights = [1.0]
-        self._w = 1.0
-        self._kernel_stack = ["other"]
         # Hot-path locals.
         self._vpu = machine.vpu
         self._core = machine.core
@@ -175,81 +240,12 @@ class TraceSimulator:
         """Allocate a simulated buffer (line-aligned, never aliasing)."""
         return self.address_space.alloc(name, nbytes)
 
-    @contextmanager
-    def kernel(self, label: str):
-        """Attribute cycles accrued in this context to *label*.
-
-        Used by the network runner to reproduce the per-kernel execution
-        breakdown of Section II-B (GEMM = 93.4 % of compute time).
-        """
-        self._kernel_stack.append(label)
-        try:
-            yield
-        finally:
-            self._kernel_stack.pop()
-
     def _add_cycles(self, c: float) -> None:
         wc = self._w * c
         self.stats.cycles += wc
         label = self._kernel_stack[-1]
         kc = self.stats.kernel_cycles
         kc[label] = kc.get(label, 0.0) + wc
-
-    # ------------------------------------------------------------------
-    # Sampling
-    # ------------------------------------------------------------------
-    @contextmanager
-    def region(self, weight: float):
-        """Scale everything inside the context by *weight*."""
-        if weight < 0:
-            raise ValueError("region weight must be non-negative")
-        self._weights.append(weight)
-        self._w *= weight
-        try:
-            yield
-        finally:
-            self._weights.pop()
-            self._w /= weight if weight else 1.0
-            # Recompute to avoid float drift after many regions.
-            prod = 1.0
-            for w in self._weights:
-                prod *= w
-            self._w = prod
-
-    def loop(self, total: int, warmup: int = 2, sample: int = 8) -> Iterator[int]:
-        """Iterate a homogeneous loop with warm-up + weighted sampling.
-
-        Yields iteration indices.  When ``total <= warmup + sample + 1``
-        every iteration runs at weight 1; otherwise ``warmup`` leading
-        iterations run unweighted, ``sample`` evenly-spaced *interior*
-        iterations run with weight ``(total - warmup - 1) / sample``, and
-        the final iteration runs unweighted — loop tails (partial vector
-        chunks, edge blocks) are usually on the last iteration and would
-        otherwise be mis-extrapolated.
-        """
-        if total < 0:
-            raise ValueError("loop trip count must be non-negative")
-        if total <= warmup + sample + 1:
-            for i in range(total):
-                yield i
-            return
-        for i in range(warmup):
-            yield i
-        interior = total - warmup - 1
-        weight = interior / sample
-        self._weights.append(weight)
-        self._w *= weight
-        try:
-            step = interior / sample
-            for s in range(sample):
-                yield warmup + int(s * step)
-        finally:
-            self._weights.pop()
-            prod = 1.0
-            for w in self._weights:
-                prod *= w
-            self._w = prod
-        yield total - 1  # the tail iteration, at weight 1
 
     # ------------------------------------------------------------------
     # Scalar events
@@ -368,53 +364,9 @@ class TraceSimulator:
         key = (lat, occ1, occ2, nbytes, n_lines, write, unit_stride)
         cycles = memo.get(key)
         if cycles is None:
-            vpu = self._vpu
-            if vpu.mem_port == "L1":
-                # Streamed L1 hits are fully pipelined on an L1-fed VPU:
-                # only latency *beyond* the hit baseline stalls the pipe.
-                lat = lat - n_lines * self._l1_lat
-                if lat < 0.0:
-                    lat = 0.0
-            # Effective MLP grows with the access footprint: a vector
-            # load spanning L lines keeps its own fills in flight.  An
-            # L1-fed scoreboarded pipeline (SVE) additionally overlaps
-            # the next access's fills; the decoupled RVV unit serializes
-            # accesses through its VectorCache.
-            if not unit_stride:
-                # Gathers/strided accesses serialize on address
-                # generation: only a few element fills overlap.
-                overlap = n_lines if n_lines < 4 else 4
-            elif n_lines == 1:
-                overlap = 1  # a dependent 1-line load exposes its latency
-            elif vpu.mem_port == "L1":
-                # Scoreboarded streams overlap across accesses too.
-                overlap = 2 * n_lines
-            else:
-                overlap = n_lines  # decoupled unit overlaps own fills only
-            if overlap > vpu.max_outstanding:
-                overlap = vpu.max_outstanding
-            mlp_eff = vpu.mlp if vpu.mlp > overlap else overlap
-            stall = lat * (1.0 - self._ooo_hide) / mlp_eff
-            if write:
-                stall *= _STORE_STALL_FACTOR
-            transfer = vmem_transfer_cycles(vpu, nbytes)
-            # L1-fill occupancy is netted against the useful transfer
-            # already priced: only *wasted* fill bandwidth (partially-
-            # used lines) costs extra.  DRAM fill bandwidth is a
-            # separate, narrower pipe and is charged in full.
-            occ = occ1 - transfer
-            if occ < 0.0:
-                occ = 0.0
-            occ += occ2
-            # No lane-fill term: memory data streams into the lanes as
-            # it arrives (chained), so transfer + exposed stall covers
-            # it.
-            cycles = memo[key] = (
-                vpu.mem_issue_overhead
-                + vpu.issue_overhead
-                + transfer
-                + stall
-                + occ
+            cycles = memo[key] = vmem_event_cycles(
+                self._vpu, self._l1_lat, self._ooo_hide,
+                lat, occ1, occ2, nbytes, n_lines, write, unit_stride,
             )
         w = self._w
         s = self.stats

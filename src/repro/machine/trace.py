@@ -1,18 +1,39 @@
-"""Address-space bookkeeping for trace-driven simulation.
+"""Address-space bookkeeping and trace capture for trace-driven simulation.
 
 Kernels don't simulate real data values on the timing path — they replay
 the *addresses* their memory instructions touch.  :class:`AddressSpace`
 is a bump allocator handing out line-aligned regions for the matrices and
 buffers a kernel run uses, so distinct buffers never falsely alias in the
 cache model.
+
+This module also holds the capture side of the capture-once /
+replay-many engine (see docs/TRACE_REPLAY.md): :class:`TraceRecorder`
+presents the same event API as :class:`~repro.machine.simulator
+.TraceSimulator` but, instead of pricing events, appends them — with
+their final sampling weight and kernel label — to an in-memory list
+that :meth:`TraceRecorder.finish` freezes into a :class:`RecordedTrace`
+(compact columnar NumPy arrays).  A recorded trace can then be replayed
+against any machine that shares the trace's VL-relevant fields
+(ISA name, vector length, L1 line size) without re-entering kernel
+code — see :mod:`repro.machine.replay`.
 """
 
 from __future__ import annotations
 
+import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["AddressSpace", "Buffer"]
+import numpy as np
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "SampledTraceBase",
+    "TraceRecorder",
+    "RecordedTrace",
+]
 
 #: Allocation alignment; a large power of two keeps buffers page-aligned
 #: and makes line-address arithmetic exact for any simulated line size.
@@ -72,3 +93,448 @@ class AddressSpace:
     def total_allocated(self) -> int:
         """Total bytes handed out so far."""
         return sum(b.nbytes for b in self.buffers.values())
+
+
+class SampledTraceBase:
+    """Weight-stack and kernel-attribution machinery for trace consumers.
+
+    Shared by :class:`~repro.machine.simulator.TraceSimulator` (which
+    prices events) and :class:`TraceRecorder` (which records them): both
+    must compute *identical* sampling weights, so the region/loop float
+    arithmetic lives in exactly one place.
+    """
+
+    def __init__(self):
+        self._weights = [1.0]
+        self._w = 1.0
+        self._kernel_stack = ["other"]
+
+    @contextmanager
+    def kernel(self, label: str):
+        """Attribute cycles accrued in this context to *label*.
+
+        Used by the network runner to reproduce the per-kernel execution
+        breakdown of Section II-B (GEMM = 93.4 % of compute time).
+        """
+        self._kernel_stack.append(label)
+        try:
+            yield
+        finally:
+            self._kernel_stack.pop()
+
+    @contextmanager
+    def region(self, weight: float):
+        """Scale everything inside the context by *weight*."""
+        if weight < 0:
+            raise ValueError("region weight must be non-negative")
+        self._weights.append(weight)
+        self._w *= weight
+        try:
+            yield
+        finally:
+            self._weights.pop()
+            self._w /= weight if weight else 1.0
+            # Recompute to avoid float drift after many regions.
+            prod = 1.0
+            for w in self._weights:
+                prod *= w
+            self._w = prod
+
+    def loop(self, total: int, warmup: int = 2, sample: int = 8) -> Iterator[int]:
+        """Iterate a homogeneous loop with warm-up + weighted sampling.
+
+        Yields iteration indices.  When ``total <= warmup + sample + 1``
+        every iteration runs at weight 1; otherwise ``warmup`` leading
+        iterations run unweighted, ``sample`` evenly-spaced *interior*
+        iterations run with weight ``(total - warmup - 1) / sample``, and
+        the final iteration runs unweighted — loop tails (partial vector
+        chunks, edge blocks) are usually on the last iteration and would
+        otherwise be mis-extrapolated.
+        """
+        if total < 0:
+            raise ValueError("loop trip count must be non-negative")
+        if total <= warmup + sample + 1:
+            for i in range(total):
+                yield i
+            return
+        for i in range(warmup):
+            yield i
+        interior = total - warmup - 1
+        weight = interior / sample
+        self._weights.append(weight)
+        self._w *= weight
+        try:
+            step = interior / sample
+            for s in range(sample):
+                yield warmup + int(s * step)
+        finally:
+            self._weights.pop()
+            prod = 1.0
+            for w in self._weights:
+                prod *= w
+            self._w = prod
+        yield total - 1  # the tail iteration, at weight 1
+
+
+# ----------------------------------------------------------------------
+# Trace capture
+# ----------------------------------------------------------------------
+# Event opcodes.  The recorder lowers the full TraceSimulator API onto
+# these: gathers/scatters become strided loads/stores at capture time
+# (using the simulator's exact stride formula), so the replayer never
+# needs the gather-specific entry points.
+OP_SCALAR = 0
+OP_SCALAR_LOAD = 1
+OP_SCALAR_STORE = 2
+OP_VLOAD = 3
+OP_VSTORE = 4
+OP_VARITH = 5
+OP_VBROADCAST = 6
+OP_SW_PREFETCH = 7
+OP_COUNT_FLOPS = 8
+OP_SPILL = 9
+OP_NOTE_RANGE = 10
+
+#: Bumped whenever the event encoding or the set of recorded operations
+#: changes; part of the trace content key (see repro.core.tracecache).
+TRACE_FORMAT_VERSION = 1
+
+
+class RecordedTrace:
+    """A frozen, columnar macro-event trace.
+
+    Eight parallel NumPy arrays hold one entry per event: ``op`` (opcode
+    above), ``w`` (the sampling weight the event ran at), ``kid`` (index
+    into :attr:`labels`, the kernel-attribution label), four integer
+    operands ``i0..i3`` and one float operand ``f0`` (meaning depends on
+    the opcode — see :class:`TraceRecorder`).  Replay is valid on any
+    machine whose VL-relevant fields match :attr:`isa_name`,
+    :attr:`vlen_bits` and :attr:`l1_line_bytes`; everything else (L2
+    geometry, lane count, latencies, prefetchers) is free to vary.
+    """
+
+    __slots__ = (
+        "key", "isa_name", "vlen_bits", "l1_line_bytes", "labels",
+        "meta", "_cols", "_rows",
+    )
+
+    #: Column (name, dtype) pairs, in row-tuple order.
+    _COLUMNS = (
+        ("op", np.uint8), ("w", np.float64), ("kid", np.uint32),
+        ("i0", np.int64), ("i1", np.int64), ("i2", np.int64),
+        ("i3", np.int64), ("f0", np.float64),
+    )
+
+    def __init__(self, key, isa_name, vlen_bits, l1_line_bytes, labels,
+                 op=None, w=None, kid=None, i0=None, i1=None, i2=None,
+                 i3=None, f0=None, meta=None, rows=None):
+        self.key: Optional[str] = key
+        self.isa_name: str = isa_name
+        self.vlen_bits: int = vlen_bits
+        self.l1_line_bytes: int = l1_line_bytes
+        self.labels: Tuple[str, ...] = tuple(labels)
+        if op is not None:
+            self._cols = (op, w, kid, i0, i1, i2, i3, f0)
+        elif rows is None:
+            raise ValueError("need either columns or rows")
+        else:
+            self._cols = None  # built lazily from rows (see _columns)
+        self.meta: Dict = dict(meta or {})
+        self._rows = rows
+
+    def _columns(self) -> tuple:
+        """The eight parallel arrays, columnarizing the rows on demand.
+
+        Capture hands over the raw event-tuple list (columnarizing is
+        pure overhead when the trace is consumed in-process, which walks
+        :meth:`rows` anyway); the arrays are materialized only when
+        something needs them — :meth:`save`, :meth:`nbytes`, or direct
+        column access.
+        """
+        if self._cols is None:
+            ev = self._rows
+            n = len(ev)
+            if n == 0:
+                self._cols = tuple(
+                    np.zeros(0, dt) for _, dt in self._COLUMNS
+                )
+            else:
+                # One C-level pass over the tuples; exact as long as the
+                # integer operands fit a float64 mantissa (bump-allocator
+                # addresses are far below 2**53 — checked, with an exact
+                # per-column fallback just in case).
+                arr = np.array(ev, dtype=np.float64)
+                if float(np.abs(arr[:, 3:7]).max()) < 2.0**53:
+                    self._cols = tuple(
+                        arr[:, i].copy() if dt is np.float64
+                        else arr[:, i].astype(dt)
+                        for i, (_, dt) in enumerate(self._COLUMNS)
+                    )
+                else:
+                    cols = list(zip(*ev))
+                    self._cols = tuple(
+                        np.fromiter(cols[i], dt, n)
+                        for i, (_, dt) in enumerate(self._COLUMNS)
+                    )
+        return self._cols
+
+    op = property(lambda self: self._columns()[0])
+    w = property(lambda self: self._columns()[1])
+    kid = property(lambda self: self._columns()[2])
+    i0 = property(lambda self: self._columns()[3])
+    i1 = property(lambda self: self._columns()[4])
+    i2 = property(lambda self: self._columns()[5])
+    i3 = property(lambda self: self._columns()[6])
+    f0 = property(lambda self: self._columns()[7])
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self._cols[0])
+
+    def nbytes(self) -> int:
+        """In-memory size of the columnar encoding."""
+        return sum(c.nbytes for c in self._columns())
+
+    def compatible_with(self, machine) -> bool:
+        """True if *machine* can replay this trace (VL bucket match)."""
+        return (
+            machine.isa_name == self.isa_name
+            and machine.vlen_bits == self.vlen_bits
+            and machine.l1.line_bytes == self.l1_line_bytes
+        )
+
+    def rows(self) -> list:
+        """Decoded row tuples ``(op, w, kid, i0, i1, i2, i3, f0)``.
+
+        Built once per trace and cached — the replayer iterates plain
+        Python tuples, which is much faster than per-row array indexing.
+        Freshly captured traces are already row-backed (the recorder's
+        event tuples have exactly this shape), so this is free for them.
+        """
+        if self._rows is None:
+            cols = self._columns()
+            self._rows = list(zip(*(c.tolist() for c in cols)))
+        return self._rows
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize to an ``.npz`` file (no pickling)."""
+        np.savez(
+            path,
+            op=self.op, w=self.w, kid=self.kid,
+            i0=self.i0, i1=self.i1, i2=self.i2, i3=self.i3, f0=self.f0,
+            labels=np.array(self.labels, dtype=np.str_),
+            header=np.array(
+                json.dumps(
+                    {
+                        "key": self.key,
+                        "isa_name": self.isa_name,
+                        "vlen_bits": self.vlen_bits,
+                        "l1_line_bytes": self.l1_line_bytes,
+                        "format": TRACE_FORMAT_VERSION,
+                        "meta": self.meta,
+                    }
+                ),
+                dtype=np.str_,
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "RecordedTrace":
+        with np.load(path, allow_pickle=False) as z:
+            header = json.loads(str(z["header"]))
+            if header.get("format") != TRACE_FORMAT_VERSION:
+                raise ValueError(
+                    f"trace format {header.get('format')!r} != "
+                    f"{TRACE_FORMAT_VERSION} (stale spill file)"
+                )
+            return cls(
+                header.get("key"),
+                header["isa_name"],
+                header["vlen_bits"],
+                header["l1_line_bytes"],
+                [str(s) for s in z["labels"].tolist()],
+                z["op"].copy(), z["w"].copy(), z["kid"].copy(),
+                z["i0"].copy(), z["i1"].copy(), z["i2"].copy(),
+                z["i3"].copy(), z["f0"].copy(),
+                meta=header.get("meta"),
+            )
+
+
+class _RecorderHierarchy:
+    """Stand-in for ``sim.hierarchy`` while recording.
+
+    Kernels only touch the hierarchy through
+    :meth:`note_resident_range`; the recorder captures those calls as
+    events so replay can reconstruct the residency-range state.
+    """
+
+    __slots__ = ("_rec",)
+
+    def __init__(self, rec: "TraceRecorder"):
+        self._rec = rec
+
+    def note_resident_range(self, base: int, nbytes: int) -> None:
+        rec = self._rec
+        rec._events.append(
+            (OP_NOTE_RANGE, rec._w, rec._cur_kid, base, nbytes, 0, 0, 0.0)
+        )
+
+
+class TraceRecorder(SampledTraceBase):
+    """Captures the macro-event stream a kernel issues, without pricing.
+
+    Presents the same API surface as
+    :class:`~repro.machine.simulator.TraceSimulator` (events, sampling
+    contexts, allocation, ``machine``/``hierarchy`` attributes) so the
+    network runner and kernels run unmodified.  Events are appended as
+    plain tuples (one append per event — this is the capture hot path)
+    and frozen into a :class:`RecordedTrace` by :meth:`finish`.
+
+    The event methods replicate the TraceSimulator's early-out guards
+    exactly: an event the simulator would not price at all (e.g. a
+    zero-element vector load) is not recorded, while events that merely
+    contribute zero cycles (e.g. ``scalar(0)``) *are*, because they
+    still touch the kernel-cycle attribution dict.
+    """
+
+    def __init__(self, machine):
+        super().__init__()
+        self.machine = machine
+        self.address_space = AddressSpace()
+        self.hierarchy = _RecorderHierarchy(self)
+        self._events: list = []
+        self._labels: Dict[str, int] = {"other": 0}
+        self._cur_kid = 0
+
+    # -- bookkeeping ---------------------------------------------------
+    def alloc(self, name: str, nbytes: int) -> Buffer:
+        """Allocate a simulated buffer (same bump allocator as pricing)."""
+        return self.address_space.alloc(name, nbytes)
+
+    @contextmanager
+    def kernel(self, label: str):
+        """Attribute events in this context to *label*.
+
+        Overrides the base context manager to keep the current label id
+        cached — events record it once per ``kernel()`` entry instead of
+        one dict lookup per event (the capture hot path).
+        """
+        self._kernel_stack.append(label)
+        prev = self._cur_kid
+        labels = self._labels
+        kid = labels.get(label)
+        if kid is None:
+            kid = labels[label] = len(labels)
+        self._cur_kid = kid
+        try:
+            yield
+        finally:
+            self._kernel_stack.pop()
+            self._cur_kid = prev
+
+    def _kid(self) -> int:
+        return self._cur_kid
+
+    # -- events (mirror TraceSimulator's signatures) -------------------
+    def scalar(self, n: int = 1) -> None:
+        self._events.append((OP_SCALAR, self._w, self._cur_kid, n, 0, 0, 0, 0.0))
+
+    def scalar_load(self, addr: int, nbytes: int = 4) -> None:
+        self._events.append(
+            (OP_SCALAR_LOAD, self._w, self._cur_kid, addr, nbytes, 0, 0, 0.0)
+        )
+
+    def scalar_store(self, addr: int, nbytes: int = 4) -> None:
+        self._events.append(
+            (OP_SCALAR_STORE, self._w, self._cur_kid, addr, nbytes, 0, 0, 0.0)
+        )
+
+    def vload(self, addr: int, n_elems: int, ew: int = 4, stride: int = 0) -> None:
+        if n_elems <= 0:
+            return
+        self._events.append(
+            (OP_VLOAD, self._w, self._cur_kid, addr, n_elems, ew, stride, 0.0)
+        )
+
+    def vstore(self, addr: int, n_elems: int, ew: int = 4, stride: int = 0) -> None:
+        if n_elems <= 0:
+            return
+        self._events.append(
+            (OP_VSTORE, self._w, self._cur_kid, addr, n_elems, ew, stride, 0.0)
+        )
+
+    def vgather(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
+        if n_elems <= 0:
+            return
+        # Same lowering as TraceSimulator.vgather.
+        stride = max(ew, span_bytes // max(1, n_elems))
+        self._events.append(
+            (OP_VLOAD, self._w, self._cur_kid, addr, n_elems, ew, stride, 0.0)
+        )
+
+    def vscatter(self, addr: int, n_elems: int, span_bytes: int, ew: int = 4) -> None:
+        if n_elems <= 0:
+            return
+        stride = max(ew, span_bytes // max(1, n_elems))
+        self._events.append(
+            (OP_VSTORE, self._w, self._cur_kid, addr, n_elems, ew, stride, 0.0)
+        )
+
+    def varith(
+        self, n_elems: int, n_instr: int = 1, flops_per_elem: float = 2.0, ew: int = 4
+    ) -> None:
+        if n_elems <= 0 or n_instr <= 0:
+            return
+        self._events.append(
+            (OP_VARITH, self._w, self._cur_kid, n_elems, n_instr, ew, 0,
+             flops_per_elem)
+        )
+
+    def vbroadcast(self, n: int = 1) -> None:
+        self._events.append(
+            (OP_VBROADCAST, self._w, self._cur_kid, n, 0, 0, 0, 0.0)
+        )
+
+    def sw_prefetch(self, addr: int, nbytes: int, level: str = "L1") -> None:
+        if level not in ("L1", "L2"):
+            raise ValueError(f"unknown prefetch level {level!r}")
+        self._events.append(
+            (OP_SW_PREFETCH, self._w, self._cur_kid, addr, nbytes,
+             0 if level == "L1" else 1, 0, 0.0)
+        )
+
+    def count_flops(self, n: float) -> None:
+        self._events.append(
+            (OP_COUNT_FLOPS, self._w, self._cur_kid, 0, 0, 0, 0, float(n))
+        )
+
+    def spill(self, n_registers: int = 1) -> None:
+        self._events.append(
+            (OP_SPILL, self._w, self._cur_kid, n_registers, 0, 0, 0, 0.0)
+        )
+
+    # -- freezing ------------------------------------------------------
+    def finish(self, key: Optional[str] = None, meta=None) -> RecordedTrace:
+        """Freeze the captured events into a :class:`RecordedTrace`.
+
+        The event tuples already have the row shape replay iterates, so
+        the trace is handed over row-backed; the columnar arrays are
+        materialized lazily, only if the trace is spilled to disk.
+        """
+        labels = [None] * len(self._labels)
+        for name, kid in self._labels.items():
+            labels[kid] = name
+        m = self.machine
+        return RecordedTrace(
+            key,
+            m.isa_name,
+            m.vlen_bits,
+            m.l1.line_bytes,
+            labels,
+            meta=meta,
+            rows=self._events,
+        )

@@ -113,6 +113,7 @@ class Network:
         n_layers: Optional[int] = None,
         deduplicate: bool = True,
         use_cache: Optional[bool] = None,
+        use_trace: Optional[bool] = None,
     ) -> SimStats:
         """Trace-simulate inference on *machine*; returns the statistics.
 
@@ -126,10 +127,18 @@ class Network:
         off, ``None`` (default) defers to the ``REPRO_SIMCACHE``
         environment variable.  Simulation is deterministic, so a cache
         hit returns the same statistics the simulation would produce.
+
+        ``use_trace`` opts into the capture-once/replay-many trace path
+        (:mod:`repro.core.tracecache`): the kernel event stream is
+        captured once per (layers, policy, ISA, VL) bucket and replayed
+        here — bitwise-identical statistics, and nearly free when the
+        trace registry already holds the stream (e.g. during a sweep
+        along an L2 or lane axis).  ``None`` (default) defers to
+        ``REPRO_TRACE``, which is off for single simulations.
         """
         # Imported lazily to avoid a cycle (repro.core imports this
         # module at package init).
-        from ..core import simcache
+        from ..core import simcache, tracecache
 
         ckey = None
         if simcache.cache_enabled(use_cache):
@@ -137,7 +146,55 @@ class Network:
             cached = simcache.load(ckey)
             if cached is not None:
                 return cached
-        sim = TraceSimulator(machine)
+        if tracecache.trace_enabled(use_trace, default=False):
+            from ..machine.replay import replay
+
+            trace, _ = tracecache.get_or_capture(
+                self, machine, policy, n_layers, deduplicate
+            )
+            stats = replay(trace, machine)
+        else:
+            sim = TraceSimulator(machine)
+            self._emit_trace(sim, policy, n_layers, deduplicate)
+            stats = sim.stats
+        if ckey is not None:
+            simcache.store(ckey, stats)
+        return stats
+
+    def record_trace(
+        self,
+        machine: MachineConfig,
+        policy: KernelPolicy = KernelPolicy(),
+        n_layers: Optional[int] = None,
+        deduplicate: bool = True,
+        key: Optional[str] = None,
+    ):
+        """Capture this network's macro-event stream without pricing it.
+
+        Returns a :class:`repro.machine.trace.RecordedTrace` that
+        :func:`repro.machine.replay.replay` turns into the exact
+        :class:`SimStats` that :meth:`simulate` would produce on any
+        machine sharing *machine*'s ISA name, vector length and L1 line
+        size.
+        """
+        from ..machine.trace import TraceRecorder
+
+        rec = TraceRecorder(machine)
+        self._emit_trace(rec, policy, n_layers, deduplicate)
+        limit = len(self.layers) if n_layers is None else min(
+            n_layers, len(self.layers)
+        )
+        return rec.finish(
+            key=key,
+            meta={"net": self.name, "n_layers": limit, "policy": repr(policy)},
+        )
+
+    def _emit_trace(self, sim, policy, n_layers, deduplicate) -> None:
+        """Drive all layer traces into *sim*.
+
+        *sim* is anything with the TraceSimulator event API — the pricing
+        simulator itself or a :class:`repro.machine.trace.TraceRecorder`.
+        """
         shapes = self.shapes()
         limit = len(self.layers) if n_layers is None else min(n_layers, len(self.layers))
 
@@ -196,9 +253,6 @@ class Network:
                 bases["activations2"],
                 bases["activations"],
             )
-        if ckey is not None:
-            simcache.store(ckey, sim.stats)
-        return sim.stats
 
     def simulate_stream(
         self,
@@ -216,29 +270,34 @@ class Network:
             raise ValueError("need at least one image")
         sim = TraceSimulator(machine)
         per_image: List[SimStats] = []
+        limit = len(self.layers) if n_layers is None else min(
+            n_layers, len(self.layers)
+        )
+        # Buffer sizing and dedup counts are per-network constants —
+        # computed once here, not once per image.
+        buffers = self._stream_buffers(sim, limit)
+        counts = {}
+        for idx in range(limit):
+            key = self._dedup_key(idx, self.layers[idx])
+            counts[key] = counts.get(key, 0) + 1
         # Reuse the buffer layout of simulate() but keep one simulator
         # alive across images, as Darknet does with a resident network.
-        baseline = SimStats()
         for _img in range(n_images):
             before = self._snapshot(sim.stats)
-            self._simulate_into(sim, policy, n_layers)
+            self._simulate_into(sim, policy, limit, buffers, counts)
             after = self._snapshot(sim.stats)
             delta = SimStats()
             for field_, b, a in zip(_STREAM_FIELDS, before, after):
                 setattr(delta, field_, a - b)
             per_image.append(delta)
-        baseline.merge(sim.stats)
         return per_image
 
     @staticmethod
     def _snapshot(stats: SimStats):
         return [getattr(stats, f) for f in _STREAM_FIELDS]
 
-    def _simulate_into(self, sim, policy, n_layers):
-        """One forward pass's trace into an existing simulator."""
-        limit = len(self.layers) if n_layers is None else min(
-            n_layers, len(self.layers)
-        )
+    def _stream_buffers(self, sim, limit: int) -> Dict[str, int]:
+        """Allocate the shared buffer layout for a streaming run."""
         shapes = self.shapes()
         max_elems = max(
             (s[0] * s[1] * s[2] for s in shapes[:limit]), default=1
@@ -255,19 +314,15 @@ class Network:
                 spec = layer.spec(self.in_shape_of(idx))
                 workspace_elems = max(workspace_elems, spec.K * spec.N)
                 weight_elems = max(weight_elems, spec.M * spec.K)
-        buffers = getattr(sim, "_network_buffers", None)
-        if buffers is None:
-            buffers = {
-                "activations": sim.alloc("activations", max_elems * 4).base,
-                "activations2": sim.alloc("activations2", max_elems * 4).base,
-                "workspace": sim.alloc("workspace", workspace_elems * 4).base,
-                "weights": sim.alloc("weights", weight_elems * 4).base,
-            }
-            sim._network_buffers = buffers
-        counts = {}
-        for idx in range(limit):
-            key = self._dedup_key(idx, self.layers[idx])
-            counts[key] = counts.get(key, 0) + 1
+        return {
+            "activations": sim.alloc("activations", max_elems * 4).base,
+            "activations2": sim.alloc("activations2", max_elems * 4).base,
+            "workspace": sim.alloc("workspace", workspace_elems * 4).base,
+            "weights": sim.alloc("weights", weight_elems * 4).base,
+        }
+
+    def _simulate_into(self, sim, policy, limit, buffers, counts):
+        """One forward pass's trace into an existing simulator."""
         seen: Dict = {}
         for idx in range(limit):
             layer = self.layers[idx]

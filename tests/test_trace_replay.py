@@ -1,0 +1,338 @@
+"""Capture-once / replay-many trace engine: bitwise identity & keying.
+
+The contract under test is strict: pricing a recorded kernel event
+stream — via :func:`repro.machine.replay.replay`, a shared-pass
+``replay_sweep``, or the fused ``capture_sweep`` — must produce
+``SimStats`` *bitwise identical* (``float.hex`` equal) to driving the
+kernels straight into a :class:`TraceSimulator`.  Equality within an
+epsilon is not enough; the replay engines mirror the simulator's
+accumulation order exactly, and these tests are the tripwire for any
+drift (see the lock-step warning in ``repro/machine/replay.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import sweep_cache_sizes, sweep_lanes, tracecache
+from repro.core.codesign import SweepResult
+from repro.machine import a64fx, rvv_gem5, sve_gem5
+from repro.machine.replay import (
+    _GroupCapture,
+    _point_pass,
+    _point_pass_fast,
+    _point_pass_fast2,
+    _point_pass_hybrid,
+    capture_sweep,
+    replay,
+    replay_sweep,
+    uniform_group,
+)
+from repro.machine.simulator import SimStats, TraceSimulator
+from repro.machine.trace import RecordedTrace
+from repro.nets import ConvLayer, KernelPolicy, MaxPoolLayer, Network
+from repro.nets.zoo import yolov3_tiny
+
+
+def hexs(st: SimStats):
+    """Exact fingerprint: every counter as float.hex + kernel cycles."""
+    fields = tuple(getattr(st, f).hex() for f in SimStats.FIELDS)
+    kc = tuple(sorted((k, v.hex()) for k, v in st.kernel_cycles.items()))
+    return fields, kc
+
+
+def assert_bitwise(a: SimStats, b: SimStats):
+    for f in SimStats.FIELDS:
+        assert getattr(a, f).hex() == getattr(b, f).hex(), f
+    assert hexs(a)[1] == hexs(b)[1]
+
+
+def direct(net, machine, policy, n_layers):
+    sim = TraceSimulator(machine)
+    net._emit_trace(sim, policy, n_layers, True)
+    return sim.stats
+
+
+def small_net():
+    return Network(
+        [ConvLayer(8, 3, 1), MaxPoolLayer(2, 2), ConvLayer(16, 3, 1)],
+        input_shape=(4, 32, 32),
+        name="small",
+    )
+
+
+L2_SIZES = [1, 4, 64]
+
+CASES = [
+    pytest.param(
+        lambda mb: rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=mb),
+        KernelPolicy(),
+        6,
+        id="rvv",
+    ),
+    pytest.param(
+        lambda mb: rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=mb),
+        KernelPolicy(gemm="6loop"),
+        6,
+        id="rvv-6loop",
+    ),
+    pytest.param(
+        lambda mb: rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=mb),
+        KernelPolicy(winograd="stride1"),
+        6,
+        id="rvv-winograd",
+    ),
+    pytest.param(
+        lambda mb: sve_gem5(vlen_bits=512, l2_mb=mb), KernelPolicy(), 6, id="sve"
+    ),
+    pytest.param(
+        lambda mb: a64fx().with_(
+            l2=a64fx().l2.__class__(
+                size_bytes=mb << 20,
+                assoc=a64fx().l2.assoc,
+                line_bytes=a64fx().l2.line_bytes,
+                latency=a64fx().l2.latency,
+            )
+        ),
+        KernelPolicy(),
+        6,
+        id="a64fx",
+    ),
+]
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("mk,policy,n", CASES)
+    def test_replay_and_sweeps_match_direct(self, mk, policy, n):
+        net = yolov3_tiny()
+        machines = [mk(mb) for mb in L2_SIZES]
+        ds = [direct(net, m, policy, n) for m in machines]
+
+        trace = net.record_trace(machines[0], policy, n_layers=n)
+        assert_bitwise(ds[0], replay(trace, machines[0]))
+
+        replayed = replay_sweep(trace, machines)
+        assert replayed is not None
+        for d, r in zip(ds, replayed):
+            assert_bitwise(d, r)
+
+        fused = capture_sweep(
+            lambda sim: net._emit_trace(sim, policy, n, True), machines
+        )
+        assert fused is not None
+        for d, c in zip(ds, fused):
+            assert_bitwise(d, c)
+
+    def test_mixed_dram_and_tiny_l2_group(self):
+        """Uniform groups may vary DRAM parameters, not just L2 size."""
+        net = yolov3_tiny()
+        base = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+        tiny = base.with_(
+            l2=base.l2.__class__(
+                size_bytes=64 * 1024,
+                assoc=base.l2.assoc,
+                line_bytes=base.l2.line_bytes,
+                latency=base.l2.latency,
+            )
+        )
+        group = [
+            tiny,
+            base.with_(dram_latency=300),
+            rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=64).with_(dram_bytes_per_cycle=8),
+        ]
+        assert uniform_group(group)
+        ds = [direct(net, m, KernelPolicy(), 6) for m in group]
+        trace = net.record_trace(group[0], KernelPolicy(), n_layers=6)
+        for d, r in zip(ds, replay_sweep(trace, group)):
+            assert_bitwise(d, r)
+
+    def test_zero_layer_trace(self):
+        net = yolov3_tiny()
+        m = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+        trace = net.record_trace(m, KernelPolicy(), n_layers=0)
+        assert_bitwise(direct(net, m, KernelPolicy(), 0), replay(trace, m))
+
+    def test_lane_group_declined(self):
+        """Lanes change pricing arithmetic itself -> engines decline."""
+        net = yolov3_tiny()
+        group = [rvv_gem5(vlen_bits=1024, lanes=l, l2_mb=1) for l in (2, 8)]
+        assert not uniform_group(group)
+        trace = net.record_trace(group[0], KernelPolicy(), n_layers=2)
+        assert replay_sweep(trace, group) is None
+        assert (
+            capture_sweep(
+                lambda sim: net._emit_trace(sim, KernelPolicy(), 2, True), group
+            )
+            is None
+        )
+
+    def test_incompatible_machine_raises(self):
+        net = yolov3_tiny()
+        trace = net.record_trace(
+            rvv_gem5(vlen_bits=1024, lanes=4), KernelPolicy(), n_layers=2
+        )
+        with pytest.raises(ValueError):
+            replay(trace, rvv_gem5(vlen_bits=2048, lanes=4))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        net = yolov3_tiny()
+        m = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+        trace = net.record_trace(m, KernelPolicy(), n_layers=2, key="k123")
+        path = str(tmp_path / "t.npz")
+        trace.save(path)
+        loaded = RecordedTrace.load(path)
+        assert loaded.key == "k123"
+        assert loaded.n_events == trace.n_events
+        assert_bitwise(replay(trace, m), replay(loaded, m))
+
+
+class TestPointPassEngines:
+    """The specialised point passes must agree with the full walk.
+
+    ``_run_points`` routes each design point to the cheapest engine its
+    cache pressure allows (full walk / hybrid hot-set / conflict-free
+    fast, pairwise-fused).  Here each engine is run explicitly against
+    the full walk on the same shared program.
+    """
+
+    @pytest.fixture(scope="class")
+    def captured(self):
+        net = yolov3_tiny()
+        m0 = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+        cap = _GroupCapture(m0)
+        net._emit_trace(cap, KernelPolicy(), 6, True)
+        return cap.finish()
+
+    def test_hybrid_matches_full(self, captured):
+        prog, inv, gc = captured
+        assert not gc["has_fills"] and not gc["pf2_cfg"]
+        m = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+        num_sets = m.l2.size_bytes // m.l2.line_bytes // m.l2.assoc
+        lines = np.fromiter(gc["distinct"], dtype=np.int64)
+        sets = lines % num_sets
+        hot_mask = np.bincount(sets)[sets] > m.l2.assoc
+        # The 1 MB point of this net sits in hybrid territory: a few
+        # overcommitted sets, everything else conflict-free.
+        assert 0 < hot_mask.sum() < len(lines)
+        hot = set(lines[hot_mask].tolist())
+        assert_bitwise(
+            _point_pass(prog, inv, m, gc),
+            _point_pass_hybrid(prog, inv, m, gc, hot),
+        )
+
+    def test_fast_and_fast2_match_full(self, captured):
+        prog, inv, gc = captured
+        ma = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=64)
+        mb = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=256)
+        ref_a = _point_pass(prog, inv, ma, gc)
+        ref_b = _point_pass(prog, inv, mb, gc)
+        assert_bitwise(ref_a, _point_pass_fast(prog, inv, ma, gc))
+        pair = _point_pass_fast2(prog, inv, ma, mb, gc)
+        assert_bitwise(ref_a, pair[0])
+        assert_bitwise(ref_b, pair[1])
+
+    def test_run_points_selects_all_engines(self, monkeypatch):
+        """An L2 sweep of this net routes through every engine."""
+        from repro.machine import replay as R
+
+        calls = []
+        for name in ("_point_pass", "_point_pass_hybrid", "_point_pass_fast2"):
+            orig = getattr(R, name)
+            monkeypatch.setattr(
+                R, name,
+                (lambda orig, name: lambda *a: (calls.append(name), orig(*a))[1])(
+                    orig, name
+                ),
+            )
+        net = yolov3_tiny()
+        sizes = [1, 2, 4, 64]  # hybrid, fast2 pair x2, (64: fast pair member)
+        machines = [rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=mb) for mb in sizes]
+        fused = capture_sweep(
+            lambda sim: net._emit_trace(sim, KernelPolicy(), 6, True), machines
+        )
+        for m, f in zip(machines, fused):
+            assert_bitwise(direct(net, m, KernelPolicy(), 6), f)
+        assert "_point_pass_hybrid" in calls
+        assert "_point_pass_fast2" in calls
+
+
+class TestTraceKey:
+    def key(self, net=None, machine=None, policy=None, n_layers=6):
+        return tracecache.trace_key(
+            net or yolov3_tiny(),
+            machine or rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1),
+            policy or KernelPolicy(),
+            n_layers,
+        )
+
+    def test_pricing_axes_share_a_key(self):
+        base = self.key()
+        assert base == self.key(machine=rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=256))
+        assert base == self.key(machine=rvv_gem5(vlen_bits=1024, lanes=2, l2_mb=1))
+        assert base == self.key(
+            machine=rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1).with_(dram_latency=999)
+        )
+
+    def test_stream_axes_change_the_key(self):
+        base = self.key()
+        assert base != self.key(machine=rvv_gem5(vlen_bits=2048, lanes=4, l2_mb=1))
+        assert base != self.key(machine=sve_gem5(vlen_bits=1024, l2_mb=1))
+        assert base != self.key(policy=KernelPolicy(gemm="6loop"))
+        assert base != self.key(n_layers=4)
+        assert base != self.key(net=small_net())
+
+    def test_registry_and_spill(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        tracecache.clear_registry()
+        net = small_net()
+        m = rvv_gem5(vlen_bits=512, lanes=4, l2_mb=1)
+        trace, cached = tracecache.get_or_capture(net, m, KernelPolicy(), None, spill=True)
+        assert not cached
+        _, cached = tracecache.get_or_capture(net, m, KernelPolicy(), None, spill=True)
+        assert cached
+        # A fresh registry (= another worker process) loads the spill.
+        tracecache.clear_registry()
+        key = tracecache.trace_key(net, m, KernelPolicy(), None)
+        loaded = tracecache.get(key, spill=True)
+        assert loaded is not None
+        assert_bitwise(replay(trace, m), replay(loaded, m))
+        tracecache.clear_registry()
+
+
+class TestSweepIntegration:
+    def test_sources_and_identity(self):
+        net = small_net()
+        factory = lambda mb: rvv_gem5(vlen_bits=512, lanes=4, l2_mb=mb)
+        on = sweep_cache_sizes(net, [1, 4, 16], factory)
+        off = sweep_cache_sizes(net, [1, 4, 16], factory, use_trace=False)
+        assert on.sources == ["captured", "replayed", "replayed"]
+        assert off.sources == ["direct", "direct", "direct"]
+        for a, b in zip(on.stats, off.stats):
+            assert_bitwise(a, b)
+        assert [r["source"] for r in on.as_rows()] == on.sources
+
+    def test_lane_sweep_falls_back_to_direct(self):
+        net = small_net()
+        res = sweep_lanes(
+            net, [2, 8], lambda l: rvv_gem5(vlen_bits=512, lanes=l, l2_mb=1)
+        )
+        assert res.sources == ["direct", "direct"]
+
+    def test_simcache_hits_win_over_replay(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path / "sc"))
+        net = small_net()
+        factory = lambda mb: rvv_gem5(vlen_bits=512, lanes=4, l2_mb=mb)
+        first = sweep_cache_sizes(net, [1, 4], factory, use_cache=True)
+        second = sweep_cache_sizes(net, [1, 4], factory, use_cache=True)
+        assert first.sources == ["captured", "replayed"]
+        assert second.sources == ["cached", "cached"]
+        for a, b in zip(first.stats, second.stats):
+            assert_bitwise(a, b)
+
+    def test_zero_cycle_speedups_guarded(self):
+        res = SweepResult(axis_name="x", axis=[1, 2], stats=[SimStats(), SimStats()])
+        assert res.speedups() == [1.0, 1.0]
+        live = SweepResult(
+            axis_name="x", axis=[1, 2], stats=[SimStats(cycles=10.0), SimStats()]
+        )
+        assert live.speedups() == [1.0, float("inf")]
+        assert SweepResult(axis_name="x").speedups() == []
