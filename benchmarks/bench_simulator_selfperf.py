@@ -22,7 +22,6 @@ import time
 from conftest import banner, run_once
 
 from repro.core import sweep_cache_sizes, sweep_vector_lengths, tracecache
-from repro.core.simcache import cache_dir
 from repro.machine import rvv_gem5
 from repro.machine.simulator import SimStats
 from repro.nets import KernelPolicy
@@ -148,7 +147,8 @@ def test_sweep_trace_replay(benchmark, yolo_net):
     """
     n_layers = int(os.environ.get("REPRO_BENCH_SWEEP_LAYERS", "20") or "20")
     policy = KernelPolicy(gemm="3loop")
-    factory = lambda mb: rvv_gem5(vlen_bits=2048, lanes=8, l2_mb=mb)
+    def factory(mb):
+        return rvv_gem5(vlen_bits=2048, lanes=8, l2_mb=mb)
 
     def run():
         tracecache.clear_registry()
@@ -209,3 +209,61 @@ def test_sweep_trace_replay(benchmark, yolo_net):
     # Acceptance target is >=3x at 20 layers (docs/PERFORMANCE.md); gate
     # at 2x so machine noise and tiny smoke configs don't flake CI.
     assert speedup >= 2.0
+
+
+def test_analysis_selfperf(benchmark, yolo_net):
+    """Static-analyzer runtime on an already-captured trace.
+
+    ``repro analyze`` is a CI gate, so its cost on a cached trace is a
+    number worth tracking: the full verifier + working-set + roofline
+    pass over a 20-layer YOLOv3 trace (~1.4M events) must stay cheap
+    relative to the capture it rides on.  ``REPRO_BENCH_SWEEP_LAYERS``
+    shrinks the layer count for smoke runs, same as the sweep bench.
+    """
+    from repro.analysis import analyze_trace
+    from repro.core.tracecache import get_or_capture
+
+    n_layers = int(os.environ.get("REPRO_BENCH_SWEEP_LAYERS", "20") or "20")
+    machine = rvv_gem5(vlen_bits=2048, lanes=8, l2_mb=1)
+    policy = KernelPolicy(gemm="3loop")
+
+    def run():
+        tracecache.clear_registry()
+        t0 = time.perf_counter()
+        trace, _ = get_or_capture(yolo_net, machine, policy, n_layers)
+        t_capture = time.perf_counter() - t0
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            report = analyze_trace(
+                trace, machine, policy=policy, net_name=yolo_net.name
+            )
+            t_analyze = time.perf_counter() - t0
+        finally:
+            gc.enable()
+            gc.collect()
+            tracecache.clear_registry()
+        return report, trace.n_events, t_capture, t_analyze
+
+    report, n_events, t_capture, t_analyze = run_once(benchmark, run)
+
+    row = {
+        "bench": "analysis_selfperf",
+        "n_layers": n_layers,
+        "n_events": n_events,
+        "capture_s": round(t_capture, 4),
+        "analyze_s": round(t_analyze, 4),
+        "findings": len(report.findings),
+    }
+    banner(f"Static analysis (yolov3, {n_layers} layers, cached trace)")
+    print(f"capture                 : {t_capture:.3f}s")
+    print(f"analyze ({n_events / 1e6:.2f}M events)  : {t_analyze:.3f}s")
+    print("BENCH " + json.dumps(row, sort_keys=True))
+    benchmark.extra_info.update(row)
+
+    # The analyzer must come back clean on the shipped network...
+    assert report.ok, [f.as_row() for f in report.findings]
+    assert report.working_set and report.bounds
+    # ...and stay interactive: a few seconds for the full 20-layer
+    # trace (the acceptance figure in docs/PERFORMANCE.md is <1s).
+    assert t_analyze < 5.0

@@ -12,7 +12,7 @@ Run:  python examples/design_your_machine.py
 import dataclasses
 
 from repro.core import format_table
-from repro.machine import CacheParams, MB, rvv_gem5
+from repro.machine import MB, CacheParams, rvv_gem5
 from repro.nets import KernelPolicy, yolov3
 
 N_LAYERS = 12  # keep the demo quick; use 20+ for paper-grade sweeps

@@ -1,0 +1,125 @@
+"""Static analysis over recorded kernel traces and machine configs.
+
+The pass pipeline of ``repro analyze`` (see docs/ANALYSIS.md):
+
+1. :func:`~repro.analysis.lint.lint_config` — machine/policy linter
+   (illegal vector lengths, broken cache geometry, pack-buffer
+   overflows);
+2. :func:`~repro.analysis.verifier.verify_trace` — proves every
+   recorded memory event lands in an allocated buffer, no buffers
+   alias, and no event exceeds its ISA vector-length grant;
+3. :func:`~repro.analysis.workingset.working_sets` /
+   :func:`~repro.analysis.workingset.predict_l2_knee` — static
+   per-kernel footprints, compulsory-miss floors, and the L2 capacity
+   where the miss curve knees (Table III / Fig. 5 without simulating);
+4. :func:`~repro.analysis.bounds.static_bounds` — per-kernel
+   compute/memory cycle floors, a sound lower bound on simulated
+   cycles, optionally asserted against a real replay (*oracle* mode).
+
+Everything runs on the cached :class:`~repro.machine.trace
+.RecordedTrace` — analysis of an already-captured network re-traces
+nothing.
+"""
+
+from __future__ import annotations
+
+from .bounds import check_bounds_against_sim, static_bounds
+from .findings import AnalysisReport, Finding
+from .lint import lint_config
+from .verifier import verify_trace
+from .workingset import predict_l2_knee, working_sets
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "analyze_network",
+    "analyze_trace",
+    "check_bounds_against_sim",
+    "lint_config",
+    "predict_l2_knee",
+    "static_bounds",
+    "verify_trace",
+    "working_sets",
+]
+
+
+def _policy_name(policy) -> str:
+    if policy is None:
+        return "default"
+    return (
+        f"gemm={getattr(policy, 'gemm', '?')} "
+        f"winograd={getattr(policy, 'winograd', '?')} "
+        f"unroll={getattr(policy, 'unroll', '?')}"
+    )
+
+
+def analyze_trace(trace, machine, policy=None, oracle: bool = False,
+                  net_name: str = "?") -> AnalysisReport:
+    """Run the full pass pipeline over an already-captured trace."""
+    findings = lint_config(machine, policy) if policy is not None else []
+    findings += verify_trace(trace, machine)
+
+    ws = working_sets(trace, machine)
+    knee = predict_l2_knee(trace, machine)
+    brows = static_bounds(trace, machine)
+
+    oracle_info = None
+    if oracle:
+        from ..machine.replay import replay
+
+        stats = replay(trace, machine)
+        findings += check_bounds_against_sim(brows, stats)
+        bound = brows[-1]["bound_mcycles"] * 1e6  # the "* total" row
+        oracle_info = {
+            "simulated_mcycles": stats.cycles / 1e6,
+            "bound_mcycles": bound / 1e6,
+            "bound_tightness": bound / stats.cycles if stats.cycles else 0.0,
+            "l2_miss_rate": stats.l2_miss_rate,
+        }
+
+    return AnalysisReport(
+        net=net_name,
+        machine=machine.name,
+        policy=_policy_name(policy),
+        trace_key=trace.key,
+        n_events=trace.n_events,
+        n_buffers=len(trace.buffers),
+        findings=findings,
+        working_set=ws,
+        bounds=brows,
+        l2_knee_bytes=knee,
+        oracle=oracle_info,
+    )
+
+
+def analyze_network(
+    net,
+    machine,
+    policy=None,
+    n_layers=None,
+    deduplicate: bool = True,
+    oracle: bool = False,
+) -> AnalysisReport:
+    """Analyze *net* on *machine*: lint, verify, estimate, bound.
+
+    The trace comes from the capture-once registry
+    (:func:`repro.core.tracecache.get_or_capture`), so a network that
+    was already simulated with ``use_trace`` is analyzed without
+    re-tracing.  With ``oracle=True`` the trace is additionally
+    replayed and the static bounds asserted against the simulated
+    cycles (consistency oracle for model drift).
+    """
+    if policy is None:
+        from ..nets.layers import KernelPolicy
+
+        policy = KernelPolicy()
+    from ..core import tracecache
+
+    trace, was_cached = tracecache.get_or_capture(
+        net, machine, policy, n_layers, deduplicate
+    )
+    report = analyze_trace(
+        trace, machine, policy=policy, oracle=oracle, net_name=net.name
+    )
+    report.trace_cached = was_cached
+    return report

@@ -1,0 +1,223 @@
+"""Static cycle lower bounds (per-kernel roofline) over a recorded trace.
+
+The timing simulator prices each macro-event as a sum of
+state-independent terms (issue, dispatch, data transfer, arithmetic
+occupancy) plus state-dependent terms (cache stalls, wasted fill
+occupancy) that are provably non-negative — see
+:func:`repro.machine.simulator.vmem_event_cycles`: ``stall >= 0`` and
+``occ = max(0, occ1 - transfer) + occ2 >= 0``.  Summing only the
+state-independent terms therefore yields a *sound lower bound* on the
+simulated cycles of every event, every kernel label, and the whole
+trace, on any machine the trace can replay on.
+
+This is the trace-level analogue of the paper's roofline argument
+(Table IV): per kernel, the bound splits into a **compute** floor
+(vector arithmetic + broadcasts + scalar bookkeeping — what a perfect
+memory system would cost) and a **memory** floor (issue + mandatory
+port occupancy of every load/store — what perfect arithmetic would
+cost).  A simulated result *below* the bound is arithmetically
+impossible and indicates model drift; the analyzer's oracle mode
+asserts the inequality against a real replay.
+
+Per-event floors (weighted by the event's sampling weight):
+
+========================  ==================================================
+opcode                    floor
+========================  ==================================================
+``scalar(n)``             ``n * scalar_cpi``                        (exact)
+``scalar_load/store``     ``scalar_cpi``
+``vload/vstore``          ``mem_issue + issue + transfer(nbytes)``
+``varith(n, k, ew)``      ``varith_cycles(vpu, n, k, ew)``          (exact)
+``vbroadcast(n)``         ``n * vbroadcast_cycles(vpu)``            (exact)
+``sw_prefetch``           ``scalar_cpi`` if priced, else 0          (exact)
+``spill(n)``              ``n * (serialize + 2*(mem_issue + issue
+                          + transfer(vlen_bytes)))``
+``count_flops/range``     0                                         (exact)
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..machine.simulator import _SPILL_SERIALIZE_CYCLES
+from ..machine.trace import (
+    OP_COUNT_FLOPS,
+    OP_SCALAR,
+    OP_SCALAR_LOAD,
+    OP_SCALAR_STORE,
+    OP_SPILL,
+    OP_SW_PREFETCH,
+    OP_VARITH,
+    OP_VBROADCAST,
+    OP_VLOAD,
+    OP_VSTORE,
+)
+from ..machine.vpu import varith_cycles, vbroadcast_cycles
+from .findings import Finding
+
+__all__ = ["static_bounds", "check_bounds_against_sim"]
+
+#: Relative tolerance when asserting bound <= simulated cycles; covers
+#: float summation-order noise, nothing more.
+_REL_TOL = 1e-6
+
+
+def _event_floors(trace, machine) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-event weighted (compute_floor, memory_floor) cycle arrays."""
+    vpu = machine.vpu
+    cpi = machine.core.scalar_cpi
+    op = np.asarray(trace.op)
+    w = np.asarray(trace.w)
+    i0 = np.asarray(trace.i0)
+    i1 = np.asarray(trace.i1)
+    i2 = np.asarray(trace.i2)
+    n = len(op)
+    compute = np.zeros(n, dtype=np.float64)
+    memory = np.zeros(n, dtype=np.float64)
+
+    # Scalar bookkeeping: n * cpi, exact.
+    m = op == OP_SCALAR
+    compute[m] = i0[m] * cpi
+
+    # Scalar memory: at least the issue cost of the instruction.
+    m = (op == OP_SCALAR_LOAD) | (op == OP_SCALAR_STORE)
+    memory[m] = cpi
+
+    # Vector memory: fixed issue overheads plus the mandatory port
+    # occupancy of moving nbytes; stall and wasted-fill terms are >= 0.
+    m = (op == OP_VLOAD) | (op == OP_VSTORE)
+    if m.any():
+        nbytes = i1[m] * i2[m]
+        transfer = -(-nbytes // vpu.port_bytes_per_cycle)
+        memory[m] = vpu.mem_issue_overhead + vpu.issue_overhead + transfer
+
+    # Vector arithmetic: the simulator's own (state-independent) formula,
+    # evaluated once per distinct (n_elems, n_instr, ew) shape.
+    m = op == OP_VARITH
+    if m.any():
+        shapes = np.stack([i0[m], i1[m], i2[m]], axis=1)
+        uniq, inv = np.unique(shapes, axis=0, return_inverse=True)
+        per_shape = np.array(
+            [varith_cycles(vpu, int(a), int(b), int(c)) for a, b, c in uniq],
+            dtype=np.float64,
+        )
+        compute[m] = per_shape[inv]
+
+    # Broadcasts: n instructions at the fixed register-move cost.
+    m = op == OP_VBROADCAST
+    compute[m] = i0[m] * vbroadcast_cycles(vpu)
+
+    # Software prefetch: exactly one issue slot if the machine prices it.
+    if machine.honors_sw_prefetch or machine.sw_prefetch_is_noop_instr:
+        m = op == OP_SW_PREFETCH
+        memory[m] = cpi
+
+    # Spills: per register, the serialization penalty plus the floors of
+    # the store + reload of one full vector register.
+    m = op == OP_SPILL
+    if m.any():
+        vlen_bytes = machine.vlen_bits // 8
+        transfer = -(-vlen_bytes // vpu.port_bytes_per_cycle)
+        per_reg = _SPILL_SERIALIZE_CYCLES + 2 * (
+            vpu.mem_issue_overhead + vpu.issue_overhead + transfer
+        )
+        memory[m] = i0[m] * per_reg
+
+    return compute * w, memory * w
+
+
+def static_bounds(trace, machine) -> List[Dict]:
+    """Per-kernel-label static bound rows, most-bounded first.
+
+    Columns: ``kernel``, ``compute_mcycles`` (arithmetic floor),
+    ``memory_mcycles`` (data-movement floor), ``bound_mcycles`` (their
+    sum — the sound lower bound on simulated cycles), ``gflop``
+    (weighted flops), ``bound_gflops`` (the roofline throughput ceiling
+    those two numbers imply at the machine's clock).  A ``* total`` row
+    closes the table.
+    """
+    compute, memory = _event_floors(trace, machine)
+    kid = np.asarray(trace.kid)
+    w = np.asarray(trace.w)
+    op = np.asarray(trace.op)
+    i0 = np.asarray(trace.i0)
+    i1 = np.asarray(trace.i1)
+    f0 = np.asarray(trace.f0)
+    n_labels = len(trace.labels)
+    safe_kid = np.minimum(kid, n_labels - 1) if n_labels else kid
+
+    c_by = np.bincount(safe_kid, weights=compute, minlength=n_labels)
+    m_by = np.bincount(safe_kid, weights=memory, minlength=n_labels)
+    # Flops: varith contributes n_elems * n_instr * flops_per_elem;
+    # count_flops contributes f0 directly.
+    flops_ev = np.where(
+        op == OP_VARITH, i0 * i1 * f0, np.where(op == OP_COUNT_FLOPS, f0, 0.0)
+    )
+    f_by = np.bincount(safe_kid, weights=flops_ev * w, minlength=n_labels)
+
+    freq = machine.core.freq_ghz
+    rows: List[Dict] = []
+    for k, label in enumerate(trace.labels):
+        bound = c_by[k] + m_by[k]
+        if bound == 0.0 and f_by[k] == 0.0:
+            continue
+        rows.append(
+            {
+                "kernel": label,
+                "compute_mcycles": c_by[k] / 1e6,
+                "memory_mcycles": m_by[k] / 1e6,
+                "bound_mcycles": bound / 1e6,
+                "gflop": f_by[k] / 1e9,
+                "bound_gflops": (f_by[k] / bound * freq) if bound else 0.0,
+            }
+        )
+    rows.sort(key=lambda r: -r["bound_mcycles"])
+    total_b = float(c_by.sum() + m_by.sum())
+    rows.append(
+        {
+            "kernel": "* total",
+            "compute_mcycles": float(c_by.sum()) / 1e6,
+            "memory_mcycles": float(m_by.sum()) / 1e6,
+            "bound_mcycles": total_b / 1e6,
+            "gflop": float(f_by.sum()) / 1e9,
+            "bound_gflops": (float(f_by.sum()) / total_b * freq) if total_b else 0.0,
+        }
+    )
+    return rows
+
+
+def check_bounds_against_sim(bound_rows, stats) -> List[Finding]:
+    """Oracle: assert every static bound is <= the simulated cycles.
+
+    *stats* is the :class:`~repro.machine.simulator.SimStats` of a real
+    replay of the same trace on the same machine.  A violated
+    inequality means the bound arithmetic and the simulator have
+    diverged (model drift) and is reported as ``oracle/bound-exceeds-sim``.
+    """
+    findings: List[Finding] = []
+    for row in bound_rows:
+        label = row["kernel"]
+        bound = row["bound_mcycles"] * 1e6
+        if label == "* total":
+            sim = stats.cycles
+        else:
+            sim = stats.kernel_cycles.get(label)
+            if sim is None:
+                continue
+        if bound > sim * (1.0 + _REL_TOL):
+            findings.append(
+                Finding(
+                    rule="oracle/bound-exceeds-sim",
+                    severity="error",
+                    where=label,
+                    message=(
+                        f"static lower bound {bound:.0f} cycles exceeds "
+                        f"simulated {sim:.0f} cycles (model drift)"
+                    ),
+                    detail={"bound": bound, "simulated": sim},
+                )
+            )
+    return findings

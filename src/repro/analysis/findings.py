@@ -1,0 +1,176 @@
+"""Findings and the aggregate report of the static-analysis pipeline.
+
+A :class:`Finding` is one rule violation: a machine/policy configuration
+the kernels cannot legally run on (``config/*`` rules, see
+:mod:`repro.analysis.lint`), a recorded macro-event that provably does
+something the kernel contract forbids (``trace/*`` rules, see
+:mod:`repro.analysis.verifier`), or a simulated result that contradicts
+a static bound (``oracle/*`` rules).  Rule identifiers are stable
+strings so suppression lists and tests can match on them.
+
+:class:`AnalysisReport` aggregates everything one
+:func:`repro.analysis.analyze_network` run produced: the findings, the
+per-kernel working-set rows, the per-kernel static cycle bounds, and
+(optionally) the oracle cross-check against a real simulation.  It
+renders to text (via :mod:`repro.core.reporting`) and to JSON for the
+CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.reporting import format_kv, format_table
+
+__all__ = ["Finding", "AnalysisReport"]
+
+#: Finding severities, most severe first.  ``error`` findings mean the
+#: trace/config is provably wrong; ``warning`` findings flag legal but
+#: self-defeating configurations (e.g. an unroll factor that spills).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation discovered by a static-analysis pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable identifier, namespaced by pass: ``config/...``,
+        ``trace/...`` or ``oracle/...``.
+    severity:
+        ``"error"`` or ``"warning"``.
+    where:
+        Locus of the violation — a kernel label for trace rules, a
+        config field for lint rules.
+    message:
+        Human-readable one-liner.
+    count:
+        Number of events collapsed into this finding (trace rules
+        aggregate per (rule, kernel) so a corrupted trace produces a
+        handful of findings, not millions).
+    detail:
+        Rule-specific context (example event operands, limits, ...).
+    """
+
+    rule: str
+    severity: str
+    where: str
+    message: str
+    count: int = 1
+    detail: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def as_row(self) -> Dict:
+        """Row dict for :func:`repro.core.reporting.format_table`."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "where": self.where,
+            "count": self.count,
+            "message": self.message,
+        }
+
+    def as_dict(self) -> Dict:
+        """JSON-ready representation (detail included)."""
+        row = self.as_row()
+        row["detail"] = self.detail
+        return row
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced.
+
+    ``working_set`` and ``bounds`` hold one row dict per kernel label
+    (see :mod:`repro.analysis.workingset` / :mod:`repro.analysis.bounds`
+    for the column meanings); ``oracle`` is ``None`` unless the run
+    cross-checked the static bounds against a real simulation.
+    """
+
+    net: str
+    machine: str
+    policy: str
+    trace_key: Optional[str] = None
+    trace_cached: bool = False
+    n_events: int = 0
+    n_buffers: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    working_set: List[Dict] = field(default_factory=list)
+    bounds: List[Dict] = field(default_factory=list)
+    l2_knee_bytes: int = 0
+    oracle: Optional[Dict] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no rule fired (the CI gate's pass condition)."""
+        return not self.findings
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    def findings_for(self, rule: str) -> List[Finding]:
+        """All findings with the given rule id (test helper)."""
+        return [f for f in self.findings if f.rule == rule]
+
+    # -- rendering -----------------------------------------------------
+    def to_text(self) -> str:
+        """Multi-section plain-text report."""
+        head = {
+            "net": self.net,
+            "machine": self.machine,
+            "policy": self.policy,
+            "events": self.n_events,
+            "buffers": self.n_buffers,
+            "trace": (self.trace_key or "")[:12]
+            + (" (cached)" if self.trace_cached else " (captured)"),
+        }
+        parts = [format_kv("analyze", head)]
+        if self.findings:
+            parts.append(
+                format_table(
+                    [f.as_row() for f in self.findings],
+                    title=f"findings ({self.n_errors} errors, "
+                    f"{len(self.findings) - self.n_errors} warnings)",
+                )
+            )
+        else:
+            parts.append("findings: none")
+        if self.working_set:
+            ws = self.working_set + [
+                {"kernel": "* predicted L2 knee", "resident_kb": self.l2_knee_bytes / 1024}
+            ]
+            parts.append(format_table(ws, title="working sets (static)"))
+        if self.bounds:
+            parts.append(format_table(self.bounds, title="static cycle bounds"))
+        if self.oracle is not None:
+            parts.append(format_kv("oracle (replayed simulation)", self.oracle))
+        return "\n\n".join(parts)
+
+    def to_json(self) -> str:
+        """JSON document with the same content as :meth:`to_text`."""
+        return json.dumps(
+            {
+                "net": self.net,
+                "machine": self.machine,
+                "policy": self.policy,
+                "trace_key": self.trace_key,
+                "trace_cached": self.trace_cached,
+                "n_events": self.n_events,
+                "n_buffers": self.n_buffers,
+                "ok": self.ok,
+                "findings": [f.as_dict() for f in self.findings],
+                "working_set": self.working_set,
+                "bounds": self.bounds,
+                "l2_knee_bytes": self.l2_knee_bytes,
+                "oracle": self.oracle,
+            },
+            sort_keys=True,
+        )

@@ -1,0 +1,178 @@
+"""Machine/policy config linter.
+
+Catches design points that the simulator would happily price but that
+no real machine or kernel build could execute: vector lengths outside
+the ISA's architectural envelope, cache geometries that break line
+inclusion, and kernel blocking parameters that overflow the pack
+buffers the 6-loop GEMM allocates (paper Fig. 3: the packed B panel is
+``bk x bn`` and the micro-kernel streams it in whole-VL rows, so ``bn``
+must be a positive multiple of the vector length).
+
+Every rule returns a :class:`~repro.analysis.findings.Finding`;
+severities follow the contract in :mod:`repro.analysis.findings`
+(``error`` = cannot execute, ``warning`` = legal but self-defeating,
+e.g. an unroll factor the register file cannot hold — Section VI-A
+measures ~15 % lost to spills at unroll 32).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import is_power_of_two
+from .findings import Finding
+
+__all__ = ["lint_config"]
+
+
+def _lint_cache(level: str, cache, findings: List[Finding]) -> None:
+    if cache.line_bytes <= 0 or not is_power_of_two(cache.line_bytes):
+        findings.append(
+            Finding(
+                rule="config/line-not-pow2",
+                severity="error",
+                where=level,
+                message=(
+                    f"{level} line size {cache.line_bytes} B is not a "
+                    f"power of two; line-address arithmetic would be wrong"
+                ),
+            )
+        )
+
+
+def lint_config(machine, policy=None) -> List[Finding]:
+    """Lint one machine design point and (optionally) a kernel policy."""
+    findings: List[Finding] = []
+
+    # config/vlen-illegal: the ISA model enforces the architectural
+    # envelope (RVV: power-of-two in [64, 16384]; SVE: multiple of 128
+    # in [128, 2048] — paper Section II-A).
+    isa = None
+    try:
+        isa = machine.make_isa()
+    except ValueError as e:
+        findings.append(
+            Finding(
+                rule="config/vlen-illegal",
+                severity="error",
+                where="vlen_bits",
+                message=f"vlen {machine.vlen_bits} illegal for "
+                f"{machine.isa_name}: {e}",
+            )
+        )
+
+    _lint_cache("l1", machine.l1, findings)
+    _lint_cache("l2", machine.l2, findings)
+
+    # config/line-inclusion: an inclusive hierarchy refills the L1 from
+    # L2 lines, so the L2 line must contain whole L1 lines.
+    if machine.l2.line_bytes < machine.l1.line_bytes or (
+        machine.l1.line_bytes > 0
+        and machine.l2.line_bytes % machine.l1.line_bytes != 0
+    ):
+        findings.append(
+            Finding(
+                rule="config/line-inclusion",
+                severity="error",
+                where="l2",
+                message=(
+                    f"L2 line ({machine.l2.line_bytes} B) must be a "
+                    f"multiple of the L1 line ({machine.l1.line_bytes} B)"
+                ),
+            )
+        )
+
+    # config/l2-smaller-than-l1: a backing level smaller than the level
+    # it backs cannot be inclusive and makes miss accounting meaningless.
+    if machine.l2.size_bytes < machine.l1.size_bytes:
+        findings.append(
+            Finding(
+                rule="config/l2-smaller-than-l1",
+                severity="error",
+                where="l2",
+                message=(
+                    f"L2 ({machine.l2.size_bytes} B) is smaller than the "
+                    f"L1 ({machine.l1.size_bytes} B)"
+                ),
+            )
+        )
+
+    if policy is None:
+        return findings
+
+    vl = machine.vlen_f32
+    blocks = getattr(policy, "blocks", None)
+    if getattr(policy, "gemm", None) == "6loop" and blocks is not None:
+        # config/pack-block-vl: trace_pack_b rounds the packed panel up
+        # to whole vector rows; a bn below (or not a multiple of) the
+        # vector length overruns the bk*bn packB allocation (Fig. 3).
+        if blocks.n < vl or blocks.n % vl != 0:
+            findings.append(
+                Finding(
+                    rule="config/pack-block-vl",
+                    severity="error",
+                    where="policy.blocks.n",
+                    message=(
+                        f"6-loop block n={blocks.n} must be a positive "
+                        f"multiple of the f32 vector length ({vl}); the "
+                        f"packed B panel would overflow"
+                    ),
+                )
+            )
+        # config/pack-block-unroll: the micro-kernel walks packA in
+        # unroll-row groups; a bm not divisible by the group height
+        # reads past the packed A block on the last group.
+        group = min(policy.unroll, blocks.m)
+        if group > 0 and blocks.m % group != 0:
+            findings.append(
+                Finding(
+                    rule="config/pack-block-unroll",
+                    severity="error",
+                    where="policy.blocks.m",
+                    message=(
+                        f"6-loop block m={blocks.m} is not a multiple of "
+                        f"the micro-kernel row group "
+                        f"(min(unroll={policy.unroll}, m))"
+                    ),
+                )
+            )
+
+    # config/winograd-vl: the inter-tile Winograd tuple-multiply issues
+    # alpha^2 = 64-element f32 macro-events (one 8x8 transformed tile
+    # per access, Section VII); below 256-bit vectors that exceeds an
+    # LMUL-8 register group and the kernel cannot be compiled.
+    if getattr(policy, "winograd", "off") != "off":
+        tile_bytes = 64 * 4
+        if 8 * (machine.vlen_bits // 8) < tile_bytes:
+            findings.append(
+                Finding(
+                    rule="config/winograd-vl",
+                    severity="error",
+                    where="policy.winograd",
+                    message=(
+                        f"inter-tile Winograd needs an 8x8 f32 tile "
+                        f"({tile_bytes} B) to fit an LMUL-8 register "
+                        f"group; vlen {machine.vlen_bits} bits is too "
+                        f"short"
+                    ),
+                )
+            )
+
+    # config/unroll-spill: legal, but the accumulators plus the three
+    # working registers exceed the 32 architectural vector registers and
+    # every k-iteration pays spill traffic (Section VI-A: ~15 % at 32).
+    spilled = policy.unroll + 3 - 32
+    if isa is not None and spilled > 0:
+        findings.append(
+            Finding(
+                rule="config/unroll-spill",
+                severity="warning",
+                where="policy.unroll",
+                message=(
+                    f"unroll {policy.unroll} needs {policy.unroll + 3} "
+                    f"vector registers; {spilled} spill every k-iteration"
+                ),
+            )
+        )
+
+    return findings

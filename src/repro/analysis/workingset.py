@@ -1,0 +1,153 @@
+"""Static working-set and reuse estimation over a recorded trace.
+
+The paper's co-design argument (Sections VI-C and VIII) hinges on how
+each kernel's working set compares to the L2: the 3-loop GEMM re-streams
+the whole weight matrix per j-block, so its miss curve knees exactly
+where the L2 stops holding that matrix (Table III), while the 6-loop
+kernel packs panels sized to stay resident.  This pass derives those
+quantities *without simulating*:
+
+* **footprint** — distinct cache lines each kernel label touches, via an
+  exact line-aligned interval union over all its demand accesses;
+* **compulsory floor** — the cold-miss lower bound implied by the
+  footprint (every distinct line must be fetched at least once,
+  regardless of cache size);
+* **traffic** — total weighted bytes moved, whose ratio to the footprint
+  is the static reuse factor;
+* **L2 knee** — the smallest L2 capacity at which the largest
+  streamed-through range (declared via ``note_resident_range``, the same
+  declarations the hierarchy model prices) becomes resident.  Above the
+  knee, re-streams hit; below, they miss — the capacity sweep's miss
+  curve (Fig. 5) knees there.
+
+Everything is vectorized over the trace's columnar arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..machine.trace import (
+    OP_NOTE_RANGE,
+    OP_SCALAR_LOAD,
+    OP_SCALAR_STORE,
+    OP_VLOAD,
+    OP_VSTORE,
+)
+
+__all__ = ["working_sets", "predict_l2_knee"]
+
+
+def _distinct_line_bytes(starts: np.ndarray, ends: np.ndarray, line: int) -> int:
+    """Exact union size (in bytes) of line-aligned [start, end) intervals.
+
+    Sort by start, take the running maximum of ends, and a new disjoint
+    run begins wherever a start exceeds every previous end; summing the
+    per-run extents via ``reduceat`` gives the union without
+    materializing per-line sets (a YOLOv3 GEMM touches millions of
+    lines).
+    """
+    if starts.size == 0:
+        return 0
+    starts = (starts // line) * line
+    ends = ((ends + line - 1) // line) * line
+    order = np.argsort(starts, kind="stable")
+    s = starts[order]
+    e = np.maximum.accumulate(ends[order])
+    new_run = np.ones(s.size, dtype=bool)
+    new_run[1:] = s[1:] > e[:-1]
+    run_idx = np.flatnonzero(new_run)
+    run_end = np.maximum.reduceat(e, run_idx)
+    return int((run_end - s[run_idx]).sum())
+
+
+def working_sets(trace, machine) -> List[Dict]:
+    """Per-kernel-label static working-set rows.
+
+    Columns: ``kernel``, ``accesses`` (weighted demand accesses),
+    ``traffic_mb`` (weighted bytes moved), ``resident_kb`` (distinct L2
+    lines touched, i.e. the static footprint), ``reuse`` (traffic /
+    footprint — 1.0 means pure streaming, large means cache-friendly),
+    ``cold_miss_floor`` (compulsory misses: footprint / line).
+    """
+    line = machine.l2.line_bytes
+    op = np.asarray(trace.op)
+    w = np.asarray(trace.w)
+    kid = np.asarray(trace.kid)
+    i0 = np.asarray(trace.i0)
+    i1 = np.asarray(trace.i1)
+    i2 = np.asarray(trace.i2)
+    i3 = np.asarray(trace.i3)
+
+    is_vmem = (op == OP_VLOAD) | (op == OP_VSTORE)
+    is_smem = (op == OP_SCALAR_LOAD) | (op == OP_SCALAR_STORE)
+    mem = is_vmem | is_smem
+
+    # Byte extent of each access (same per-opcode shapes as the
+    # verifier's bounds rule).
+    unit = (i3 == 0) | (i3 == i2)
+    v_ext = np.where(unit, i1 * i2, (np.maximum(i1, 1) - 1) * np.abs(i3) + i2)
+    ext = np.where(is_vmem, v_ext, np.where(is_smem, i1, 0))
+
+    # Restrict to memory events once, then group by kernel label — one
+    # stable sort instead of one full-trace mask per label.
+    sel = np.flatnonzero(mem)
+    kid_m = kid[sel]
+    starts_m = i0[sel].astype(np.int64)
+    ext_m = np.maximum(ext[sel], 0).astype(np.int64)
+    w_m = w[sel]
+    order = np.argsort(kid_m, kind="stable")
+    kid_s = kid_m[order]
+    group_starts = np.searchsorted(kid_s, np.arange(len(trace.labels) + 1))
+
+    rows: List[Dict] = []
+    for k, label in enumerate(trace.labels):
+        lo, hi = group_starts[k], group_starts[k + 1]
+        if lo == hi:
+            continue
+        g = order[lo:hi]
+        starts = starts_m[g]
+        ends = starts + ext_m[g]
+        footprint = _distinct_line_bytes(starts, ends, line)
+        traffic = float((w_m[g] * ext_m[g]).sum())
+        rows.append(
+            {
+                "kernel": label,
+                "accesses": float(w_m[g].sum()),
+                "traffic_mb": traffic / (1 << 20),
+                "resident_kb": footprint / 1024,
+                "reuse": traffic / footprint if footprint else 0.0,
+                "cold_miss_floor": footprint // line if line else 0,
+            }
+        )
+    rows.sort(key=lambda r: -r["traffic_mb"])
+    return rows
+
+
+def predict_l2_knee(trace, machine) -> int:
+    """Predict the L2 capacity (bytes) where the miss curve knees.
+
+    The kernels declare every range they re-stream through the L2 with
+    ``note_resident_range`` — exactly the ranges the hierarchy model
+    prices as resident when they fit (see
+    :meth:`MemoryHierarchy.note_resident_range`).  The largest declared
+    range is therefore the static knee: an L2 at least that big converts
+    the dominant kernel's re-streams from misses to hits; any smaller
+    L2 leaves them missing.  For the 3-loop GEMM this is the largest
+    layer's weight-matrix footprint (``M*K*4`` bytes), reproducing the
+    capacity cliff of Table III / Fig. 5.
+
+    Returns 0 when the trace declares no ranges (nothing re-streams, no
+    knee — e.g. a pure elementwise network).
+    """
+    op = np.asarray(trace.op)
+    sel = op == OP_NOTE_RANGE
+    if not sel.any():
+        return 0
+    line = machine.l2.line_bytes
+    nbytes = np.asarray(trace.i1)[sel]
+    # Ranges are priced at line granularity; round up like the hierarchy.
+    largest = int(nbytes.max())
+    return -(-largest // line) * line if line else largest

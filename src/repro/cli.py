@@ -6,7 +6,9 @@ Usage (``python -m repro <command> ...``):
 * ``sweep``    — one-axis design-space sweep (vlen / cache / lanes);
 * ``roofline`` — regenerate Table IV;
 * ``profile``  — per-kernel cycle breakdown (Section II-B);
-* ``select``   — per-layer convolution-algorithm selection.
+* ``select``   — per-layer convolution-algorithm selection;
+* ``analyze``  — static trace verifier, working-set and roofline-bound
+  report (exit code 1 on any finding; see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -117,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--measured", action="store_true",
                    help="simulate both algorithms instead of the static rule")
+
+    p = sub.add_parser(
+        "analyze",
+        help="statically verify a network's kernel trace and report "
+             "working sets and cycle bounds",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--oracle", action="store_true",
+        help="also replay the trace and assert the static cycle bound "
+             "against the simulated cycles",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
     return parser
 
 
@@ -225,12 +243,33 @@ def cmd_select(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """``repro analyze``: static trace verification + estimator report.
+
+    Exit code 0 means the lint/verifier/oracle passes found nothing;
+    any finding (including warnings) returns 1, so CI can gate on it.
+    """
+    net = _NETS[args.net]()
+    machine = _machine(args)
+    report = net.analyze(
+        machine, _policy(args), n_layers=args.layers, oracle=args.oracle
+    )
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(machine.describe())
+        print()
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "roofline": cmd_roofline,
     "profile": cmd_profile,
     "select": cmd_select,
+    "analyze": cmd_analyze,
 }
 
 

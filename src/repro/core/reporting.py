@@ -9,7 +9,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-__all__ = ["format_table", "format_series", "normalize"]
+__all__ = ["format_kv", "format_table", "format_series", "normalize"]
+
+
+def format_kv(title: str, pairs: Dict) -> str:
+    """Render a dict as an aligned ``key: value`` block with a title.
+
+    Used by report headers (e.g. ``repro analyze``) where a table would
+    waste width on a single row.  Floats get the same 4-significant-digit
+    treatment as :func:`format_table`.
+    """
+    lines = [title] if title else []
+    width = max((len(str(k)) for k in pairs), default=0)
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        lines.append(f"  {str(k):<{width}} : {v}")
+    return "\n".join(lines)
 
 
 def format_table(rows: Sequence[Dict], columns: Sequence[str] = None, title: str = "") -> str:

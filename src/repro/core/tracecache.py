@@ -36,6 +36,7 @@ from .simcache import _canon, cache_dir
 __all__ = [
     "trace_enabled",
     "spill_enabled",
+    "verify_enabled",
     "spill_dir",
     "trace_key",
     "get",
@@ -47,6 +48,7 @@ __all__ = [
 _ENV_FLAG = "REPRO_TRACE"
 _ENV_SPILL = "REPRO_TRACE_SPILL"
 _ENV_DIR = "REPRO_TRACE_DIR"
+_ENV_VERIFY = "REPRO_TRACE_VERIFY"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("0", "false", "no", "off")
@@ -116,6 +118,18 @@ def _spill_path(key: str) -> str:
     return os.path.join(spill_dir(), key + ".npz")
 
 
+def verify_enabled() -> bool:
+    """Whether spill-loaded traces are run through the static verifier.
+
+    ``REPRO_TRACE_VERIFY=1`` guards against corrupted or hand-edited
+    spill files poisoning a sweep: a trace that fails
+    :func:`repro.analysis.verify_trace` is treated as a cache miss (and
+    re-captured), never replayed.  Off by default — in-process traces
+    are trusted, and the verifier costs a few ms per load.
+    """
+    return os.environ.get(_ENV_VERIFY, "").strip().lower() in _TRUE
+
+
 def get(key: str, spill: Optional[bool] = None) -> Optional[RecordedTrace]:
     """Look *key* up in the registry, then (optionally) on disk."""
     trace = _REGISTRY.get(key)
@@ -129,6 +143,11 @@ def get(key: str, spill: Optional[bool] = None) -> Optional[RecordedTrace]:
             trace = RecordedTrace.load(_spill_path(key))
         except (OSError, ValueError, KeyError, EOFError):
             return None
+        if verify_enabled():
+            from ..analysis import verify_trace  # deferred import
+
+            if verify_trace(trace):
+                return None  # corrupted spill: treat as a miss
         put(key, trace, spill=False)  # already on disk
         return trace
     return None

@@ -41,38 +41,56 @@ __all__ = [
 ]
 
 
-def _check_gvl(gvl: int) -> None:
+def _check_gvl(gvl: int, max_elems: int = None) -> None:
+    """Validate a granted vector length.
+
+    ``max_elems`` is the ISA grant ceiling (``isa.max_elems(etype)``).
+    When supplied, a ``gvl`` above it fails fast instead of silently
+    over-reading memory — a mis-negotiated ``vsetvl``/``whilelt`` would
+    otherwise surface only as wrong numerics far downstream.
+    """
     if gvl < 0:
         raise ValueError(f"gvl must be non-negative, got {gvl}")
+    if max_elems is not None and gvl > max_elems:
+        raise ValueError(
+            f"gvl {gvl} exceeds the ISA grant of {max_elems} elements"
+        )
 
 
 # ----------------------------------------------------------------------
 # Memory ops
 # ----------------------------------------------------------------------
 
-def vle(mem: np.ndarray, off: int, gvl: int) -> np.ndarray:
+def vle(mem: np.ndarray, off: int, gvl: int, max_elems: int = None) -> np.ndarray:
     """Unit-stride vector load of ``gvl`` elements starting at *off*."""
-    _check_gvl(gvl)
+    _check_gvl(gvl, max_elems)
     return np.array(mem[off : off + gvl], copy=True)
 
 
-def vlse(mem: np.ndarray, off: int, stride: int, gvl: int) -> np.ndarray:
+def vlse(
+    mem: np.ndarray, off: int, stride: int, gvl: int, max_elems: int = None
+) -> np.ndarray:
     """Strided vector load: elements ``mem[off + i*stride]``."""
-    _check_gvl(gvl)
+    _check_gvl(gvl, max_elems)
     if stride == 0:
         return np.full(gvl, mem[off], dtype=mem.dtype)
     return np.array(mem[off : off + gvl * stride : stride], copy=True)
 
 
-def vse(vec: np.ndarray, mem: np.ndarray, off: int, gvl: int) -> None:
+def vse(
+    vec: np.ndarray, mem: np.ndarray, off: int, gvl: int, max_elems: int = None
+) -> None:
     """Unit-stride vector store of the first ``gvl`` lanes of *vec*."""
-    _check_gvl(gvl)
+    _check_gvl(gvl, max_elems)
     mem[off : off + gvl] = vec[:gvl]
 
 
-def vsse(vec: np.ndarray, mem: np.ndarray, off: int, stride: int, gvl: int) -> None:
+def vsse(
+    vec: np.ndarray, mem: np.ndarray, off: int, stride: int, gvl: int,
+    max_elems: int = None,
+) -> None:
     """Strided vector store: ``mem[off + i*stride] = vec[i]``."""
-    _check_gvl(gvl)
+    _check_gvl(gvl, max_elems)
     mem[off : off + gvl * stride : stride] = vec[:gvl]
 
 
@@ -117,13 +135,15 @@ def vse_masked(vec: np.ndarray, mem: np.ndarray, off: int, pred: np.ndarray) -> 
 # Arithmetic ops
 # ----------------------------------------------------------------------
 
-def vbroadcast(x: float, gvl: int, dtype=np.float32) -> np.ndarray:
+def vbroadcast(x: float, gvl: int, dtype=np.float32, max_elems: int = None) -> np.ndarray:
     """Broadcast a scalar into a vector register (``vfmv.v.f``/``svdup``)."""
-    _check_gvl(gvl)
+    _check_gvl(gvl, max_elems)
     return np.full(gvl, x, dtype=dtype)
 
 
-def vfmacc(acc: np.ndarray, scalar: float, vec: np.ndarray, gvl: int) -> np.ndarray:
+def vfmacc(
+    acc: np.ndarray, scalar: float, vec: np.ndarray, gvl: int, max_elems: int = None
+) -> np.ndarray:
     """Vector-scalar fused multiply-accumulate: ``acc += scalar * vec``.
 
     This is the ``vfmacc``/``svmla`` at the heart of the paper's GEMM
@@ -131,7 +151,7 @@ def vfmacc(acc: np.ndarray, scalar: float, vec: np.ndarray, gvl: int) -> np.ndar
     and returns it.  The scalar operand is converted to the accumulator's
     element type, as the hardware instruction would.
     """
-    _check_gvl(gvl)
+    _check_gvl(gvl, max_elems)
     acc[:gvl] += acc.dtype.type(scalar) * vec[:gvl]
     return acc
 

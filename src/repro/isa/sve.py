@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ElementType, F32, VectorISA
+from .base import F32, ElementType, VectorISA
 
 __all__ = ["SVE", "svcntw", "whilelt"]
 

@@ -50,6 +50,7 @@ def gemm_3loop(
     Bf = B.reshape(-1)
     Cf = C.reshape(-1)
     rf = regfile
+    mvl = isa.max_elems(F32)  # grant ceiling, asserted by every intrinsic
 
     j = 0
     while j < N:
@@ -64,14 +65,14 @@ def gemm_3loop(
                 rf.alloc("vaalpha")
                 rf.alloc("vtmp")
             # Load C rows into accumulator registers (Fig. 2 line 6).
-            acc = [vle(Cf, (i + r) * N + j, gvl) for r in range(u)]
+            acc = [vle(Cf, (i + r) * N + j, gvl, mvl) for r in range(u)]
             for k in range(K):
-                vb = vle(Bf, k * N + j, gvl)  # line 8
+                vb = vle(Bf, k * N + j, gvl, mvl)  # line 8
                 for r in range(u):
                     a_alpha = alpha * A[i + r, k]  # line 9 (skipped if 1)
-                    vfmacc(acc[r], a_alpha, vb, gvl)  # line 11
+                    vfmacc(acc[r], a_alpha, vb, gvl, mvl)  # line 11
             for r in range(u):
-                vse(acc[r], Cf, (i + r) * N + j, gvl)  # line 13
+                vse(acc[r], Cf, (i + r) * N + j, gvl, mvl)  # line 13
             if rf is not None:
                 rf.free_all()
             i += u

@@ -97,16 +97,16 @@ def gemm_6loop(
                         q = i // u_max
                         panelA = pA[q]
                         acc = [
-                            vle(Cf, (i1 + i + r) * N + j1 + j, gvl)
+                            vle(Cf, (i1 + i + r) * N + j1 + j, gvl, vlmax)
                             for r in range(u)
                         ]  # line 14
                         for k in range(bk):  # line 15
-                            vb = vle(panelB, k * vlmax, gvl)  # line 18
+                            vb = vle(panelB, k * vlmax, gvl, vlmax)  # line 18
                             arow = panelA[k]
                             for r in range(u):
-                                vfmacc(acc[r], alpha * arow[r], vb, gvl)  # line 21
+                                vfmacc(acc[r], alpha * arow[r], vb, gvl, vlmax)  # line 21
                         for r in range(u):
-                            vse(acc[r], Cf, (i1 + i + r) * N + j1 + j, gvl)  # line 23
+                            vse(acc[r], Cf, (i1 + i + r) * N + j1 + j, gvl, vlmax)  # line 23
                         i += u
                     j += gvl
     return C

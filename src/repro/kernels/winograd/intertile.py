@@ -75,16 +75,17 @@ def row_combine(isa: VectorISA, coeffs: np.ndarray, buf: np.ndarray) -> np.ndarr
         raise ValueError(f"buffer has {buf.shape[0]} rows, coeffs need {n_in}")
     width = buf.shape[1]
     out = np.zeros((n_out, width), dtype=buf.dtype)
+    mvl = isa.max_elems(F32)
     j = 0
     while j < width:
         gvl = isa.grant_vl(width - j, F32)
         for i in range(n_out):
-            acc = vbroadcast(0.0, gvl, dtype=buf.dtype)
+            acc = vbroadcast(0.0, gvl, dtype=buf.dtype, max_elems=mvl)
             for k in range(n_in):
                 ck = coeffs[i, k]
                 if ck != 0.0:
-                    vfmacc(acc, ck, vle(buf[k], j, gvl), gvl)
-            vse(acc, out[i], j, gvl)
+                    vfmacc(acc, ck, vle(buf[k], j, gvl, mvl), gvl, mvl)
+            vse(acc, out[i], j, gvl, mvl)
         j += gvl
     return out
 

@@ -146,7 +146,8 @@ def winograd_matrices(
             pts: List[Fraction] = [Fraction(0)]
             k = 1
             while len(pts) < alpha - 1:
-                for candidate in (Fraction(k), Fraction(-k), Fraction(1, k + 1), Fraction(-1, k + 1)):
+                for candidate in (Fraction(k), Fraction(-k),
+                                  Fraction(1, k + 1), Fraction(-1, k + 1)):
                     if candidate not in pts and len(pts) < alpha - 1:
                         pts.append(candidate)
                 k += 1

@@ -128,14 +128,29 @@ def _check_compatible(trace: RecordedTrace, machine: MachineConfig) -> None:
 # ----------------------------------------------------------------------
 # Single-point replay
 # ----------------------------------------------------------------------
-def replay(trace: RecordedTrace, machine: MachineConfig) -> SimStats:
+def replay(
+    trace: RecordedTrace, machine: MachineConfig, verify: bool = False
+) -> SimStats:
     """Price *trace* on *machine*; bitwise identical to direct simulation.
 
     Raises ``ValueError`` if the trace was captured for a different
     (ISA, vector length, L1 line) combination — those change the event
-    stream itself, not just its pricing.
+    stream itself, not just its pricing.  With ``verify=True`` the
+    trace is first run through the static verifier
+    (:func:`repro.analysis.verify_trace`) and a ``ValueError`` raised
+    on any finding — cheap insurance when replaying traces of unknown
+    provenance (e.g. spill files from another process).
     """
     _check_compatible(trace, machine)
+    if verify:
+        from ..analysis import verify_trace  # deferred: analysis is optional
+
+        bad = verify_trace(trace, machine)
+        if bad:
+            raise ValueError(
+                f"trace failed verification ({len(bad)} findings): "
+                + "; ".join(f.message for f in bad[:3])
+            )
     sim = TraceSimulator(machine)
     labels = trace.labels
     stack = sim._kernel_stack

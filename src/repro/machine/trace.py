@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -197,7 +197,9 @@ OP_NOTE_RANGE = 10
 
 #: Bumped whenever the event encoding or the set of recorded operations
 #: changes; part of the trace content key (see repro.core.tracecache).
-TRACE_FORMAT_VERSION = 1
+#: v2 added the allocation table (``RecordedTrace.buffers``), which the
+#: static analyzers need to prove bounds (see repro.analysis).
+TRACE_FORMAT_VERSION = 2
 
 
 class RecordedTrace:
@@ -215,7 +217,7 @@ class RecordedTrace:
 
     __slots__ = (
         "key", "isa_name", "vlen_bits", "l1_line_bytes", "labels",
-        "meta", "_cols", "_rows",
+        "buffers", "meta", "_cols", "_rows",
     )
 
     #: Column (name, dtype) pairs, in row-tuple order.
@@ -227,12 +229,18 @@ class RecordedTrace:
 
     def __init__(self, key, isa_name, vlen_bits, l1_line_bytes, labels,
                  op=None, w=None, kid=None, i0=None, i1=None, i2=None,
-                 i3=None, f0=None, meta=None, rows=None):
+                 i3=None, f0=None, meta=None, rows=None, buffers=()):
         self.key: Optional[str] = key
         self.isa_name: str = isa_name
         self.vlen_bits: int = vlen_bits
         self.l1_line_bytes: int = l1_line_bytes
         self.labels: Tuple[str, ...] = tuple(labels)
+        #: Allocation table at capture time: ``(name, base, nbytes)``
+        #: triples in allocation order.  Lets the static analyzers
+        #: (repro.analysis) prove every event lands inside a buffer.
+        self.buffers: Tuple[Tuple[str, int, int], ...] = tuple(
+            (str(n), int(b), int(s)) for n, b, s in buffers
+        )
         if op is not None:
             self._cols = (op, w, kid, i0, i1, i2, i3, f0)
         elif rows is None:
@@ -335,6 +343,7 @@ class RecordedTrace:
                         "vlen_bits": self.vlen_bits,
                         "l1_line_bytes": self.l1_line_bytes,
                         "format": TRACE_FORMAT_VERSION,
+                        "buffers": [list(b) for b in self.buffers],
                         "meta": self.meta,
                     }
                 ),
@@ -361,6 +370,7 @@ class RecordedTrace:
                 z["i0"].copy(), z["i1"].copy(), z["i2"].copy(),
                 z["i3"].copy(), z["f0"].copy(),
                 meta=header.get("meta"),
+                buffers=header.get("buffers", ()),
             )
 
 
@@ -537,4 +547,8 @@ class TraceRecorder(SampledTraceBase):
             labels,
             meta=meta,
             rows=self._events,
+            buffers=[
+                (b.name, b.base, b.nbytes)
+                for b in self.address_space.buffers.values()
+            ],
         )

@@ -16,7 +16,14 @@ import numpy as np
 
 from ..machine.config import MachineConfig
 from ..machine.simulator import SimStats, TraceSimulator
-from .layers import ConvLayer, KernelPolicy, Layer, RouteLayer, ShortcutLayer
+from .layers import (
+    ConnectedLayer,
+    ConvLayer,
+    KernelPolicy,
+    Layer,
+    RouteLayer,
+    ShortcutLayer,
+)
 
 __all__ = ["Network"]
 
@@ -189,37 +196,39 @@ class Network:
             meta={"net": self.name, "n_layers": limit, "policy": repr(policy)},
         )
 
+    def analyze(
+        self,
+        machine: MachineConfig,
+        policy: KernelPolicy = KernelPolicy(),
+        n_layers: Optional[int] = None,
+        deduplicate: bool = True,
+        oracle: bool = False,
+    ):
+        """Statically analyze this network's trace on *machine*.
+
+        Runs the :mod:`repro.analysis` pass pipeline (config lint, trace
+        verifier, working-set estimator, static roofline bound) over the
+        recorded macro-event stream — fetched through the trace registry,
+        so a stream already captured for simulation or a sweep is
+        analyzed without re-tracing.  With ``oracle=True`` the report
+        also cross-checks the static bounds against one simulated run.
+        Returns an :class:`repro.analysis.AnalysisReport`.
+        """
+        from ..analysis import analyze_network
+
+        return analyze_network(
+            self, machine, policy=policy, n_layers=n_layers,
+            deduplicate=deduplicate, oracle=oracle,
+        )
+
     def _emit_trace(self, sim, policy, n_layers, deduplicate) -> None:
         """Drive all layer traces into *sim*.
 
         *sim* is anything with the TraceSimulator event API — the pricing
         simulator itself or a :class:`repro.machine.trace.TraceRecorder`.
         """
-        shapes = self.shapes()
         limit = len(self.layers) if n_layers is None else min(n_layers, len(self.layers))
-
-        max_elems = max(
-            (s[0] * s[1] * s[2] for s in shapes[:limit]),
-            default=0,
-        )
-        max_elems = max(
-            max_elems, self.input_shape[0] * self.input_shape[1] * self.input_shape[2]
-        )
-        workspace_elems = 1
-        weight_elems = 1
-        for idx in range(limit):
-            layer = self.layers[idx]
-            if isinstance(layer, ConvLayer):
-                spec = layer.spec(self.in_shape_of(idx))
-                workspace_elems = max(workspace_elems, spec.K * spec.N)
-                weight_elems = max(weight_elems, spec.M * spec.K)
-
-        bases = {
-            "activations": sim.alloc("activations", max_elems * 4).base,
-            "activations2": sim.alloc("activations2", max_elems * 4).base,
-            "workspace": sim.alloc("workspace", workspace_elems * 4).base,
-            "weights": sim.alloc("weights", weight_elems * 4).base,
-        }
+        bases = self._alloc_shared_buffers(sim, limit)
 
         counts = {}
         if deduplicate:
@@ -275,7 +284,7 @@ class Network:
         )
         # Buffer sizing and dedup counts are per-network constants —
         # computed once here, not once per image.
-        buffers = self._stream_buffers(sim, limit)
+        buffers = self._alloc_shared_buffers(sim, limit)
         counts = {}
         for idx in range(limit):
             key = self._dedup_key(idx, self.layers[idx])
@@ -296,8 +305,15 @@ class Network:
     def _snapshot(stats: SimStats):
         return [getattr(stats, f) for f in _STREAM_FIELDS]
 
-    def _stream_buffers(self, sim, limit: int) -> Dict[str, int]:
-        """Allocate the shared buffer layout for a streaming run."""
+    def _alloc_shared_buffers(self, sim, limit: int) -> Dict[str, int]:
+        """Allocate the shared Darknet-style buffer layout.
+
+        ``weights`` must cover every layer that streams a weight matrix
+        through ``bases["weights"]`` — convolutions read ``M*K`` packed
+        filter elements, fully-connected layers read their full
+        ``output x n_in`` matrix (a GEMV's A operand), which for VGG-16's
+        first FC layer is ~40x larger than any conv filter block.
+        """
         shapes = self.shapes()
         max_elems = max(
             (s[0] * s[1] * s[2] for s in shapes[:limit]), default=1
@@ -314,6 +330,10 @@ class Network:
                 spec = layer.spec(self.in_shape_of(idx))
                 workspace_elems = max(workspace_elems, spec.K * spec.N)
                 weight_elems = max(weight_elems, spec.M * spec.K)
+            elif isinstance(layer, ConnectedLayer):
+                in_shape = self.in_shape_of(idx)
+                n_in = in_shape[0] * in_shape[1] * in_shape[2]
+                weight_elems = max(weight_elems, layer.output * n_in)
         return {
             "activations": sim.alloc("activations", max_elems * 4).base,
             "activations2": sim.alloc("activations2", max_elems * 4).base,

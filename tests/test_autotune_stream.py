@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import autotune_blocks, candidate_blockings
 from repro.kernels import BlockSizes
-from repro.machine import MB, a64fx, rvv_gem5
+from repro.machine import MB, rvv_gem5
 from repro.nets import ConvLayer, KernelPolicy, Network
 
 

@@ -7,9 +7,8 @@ from hypothesis import strategies as st
 
 from repro.isa import RVV, SVE, RegisterFile
 from repro.kernels import (
-    BlockSizes,
-    DEFAULT_UNROLL,
     PAPER_BLOCK_SIZES,
+    BlockSizes,
     gemm_3loop,
     gemm_6loop,
     gemm_naive,

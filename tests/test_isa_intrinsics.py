@@ -131,7 +131,8 @@ class TestArithmetic:
 
     def test_vfmacc_vv(self):
         acc = np.zeros(4, dtype=np.float32)
-        vfmacc_vv(acc, np.array([1, 2, 3, 4.0], np.float32), np.array([5, 6, 7, 8.0], np.float32), 4)
+        vfmacc_vv(acc, np.array([1, 2, 3, 4.0], np.float32),
+                  np.array([5, 6, 7, 8.0], np.float32), 4)
         np.testing.assert_array_equal(acc, [5, 12, 21, 32])
 
     @given(

@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.core import resolve_jobs, simulate_points, sweep_vector_lengths
 from repro.core.parallel import JOBS_ENV
 from repro.machine import rvv_gem5, sve_gem5
@@ -52,7 +50,9 @@ class TestParallelParity:
     def test_rvv_sweep_identical(self):
         net = small_net()
         vlens = [512, 1024, 2048]
-        factory = lambda v: rvv_gem5(vlen_bits=v, lanes=4, l2_mb=1)
+
+        def factory(v):
+            return rvv_gem5(vlen_bits=v, lanes=4, l2_mb=1)
         serial = sweep_vector_lengths(net, vlens, factory, jobs=1)
         parallel = sweep_vector_lengths(net, vlens, factory, jobs=2)
         assert serial.axis == parallel.axis == vlens

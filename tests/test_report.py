@@ -1,6 +1,6 @@
 """Tests for the gem5-style statistics dump."""
 
-from repro.machine import TraceSimulator, format_gem5_stats, dump_gem5_stats, rvv_gem5
+from repro.machine import TraceSimulator, dump_gem5_stats, format_gem5_stats, rvv_gem5
 
 
 def make_stats():

@@ -1,7 +1,5 @@
 """Tests for the TLB model and the coarse range-residency model."""
 
-import pytest
-
 from repro.machine import MemoryHierarchy, a64fx, rvv_gem5, sve_gem5
 from repro.machine.hierarchy import Tlb
 

@@ -301,7 +301,10 @@ class TestTraceKey:
 class TestSweepIntegration:
     def test_sources_and_identity(self):
         net = small_net()
-        factory = lambda mb: rvv_gem5(vlen_bits=512, lanes=4, l2_mb=mb)
+
+        def factory(mb):
+            return rvv_gem5(vlen_bits=512, lanes=4, l2_mb=mb)
+
         on = sweep_cache_sizes(net, [1, 4, 16], factory)
         off = sweep_cache_sizes(net, [1, 4, 16], factory, use_trace=False)
         assert on.sources == ["captured", "replayed", "replayed"]
@@ -320,7 +323,10 @@ class TestSweepIntegration:
     def test_simcache_hits_win_over_replay(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path / "sc"))
         net = small_net()
-        factory = lambda mb: rvv_gem5(vlen_bits=512, lanes=4, l2_mb=mb)
+
+        def factory(mb):
+            return rvv_gem5(vlen_bits=512, lanes=4, l2_mb=mb)
+
         first = sweep_cache_sizes(net, [1, 4], factory, use_cache=True)
         second = sweep_cache_sizes(net, [1, 4], factory, use_cache=True)
         assert first.sources == ["captured", "replayed"]

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kernels.winograd import WinogradTransform, winograd_matrices
+from repro.kernels.winograd import winograd_matrices
 
 
 def correlation_1d(d, g):

@@ -1,7 +1,6 @@
 """Tests for synthetic images and the paper's layer tables."""
 
 import numpy as np
-import pytest
 
 from repro.nets import yolov3
 from repro.workloads import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nets import (
-    ConvLayer,
     KernelPolicy,
     vgg16,
     vgg16_cfg,
