@@ -220,7 +220,7 @@ def test_analysis_selfperf(benchmark, yolo_net):
     relative to the capture it rides on.  ``REPRO_BENCH_SWEEP_LAYERS``
     shrinks the layer count for smoke runs, same as the sweep bench.
     """
-    from repro.analysis import analyze_trace
+    from repro.analysis import analyze_trace, reuse_distances
     from repro.core.tracecache import get_or_capture
 
     n_layers = int(os.environ.get("REPRO_BENCH_SWEEP_LAYERS", "20") or "20")
@@ -239,13 +239,20 @@ def test_analysis_selfperf(benchmark, yolo_net):
                 trace, machine, policy=policy, net_name=yolo_net.name
             )
             t_analyze = time.perf_counter() - t0
+            # The temporal reuse-distance pass alone (columns are
+            # already materialized by the full pipeline above).
+            t0 = time.perf_counter()
+            rr = reuse_distances(trace, machine)
+            t_reuse = time.perf_counter() - t0
         finally:
             gc.enable()
             gc.collect()
             tracecache.clear_registry()
-        return report, trace.n_events, t_capture, t_analyze
+        return report, rr, trace.n_events, t_capture, t_analyze, t_reuse
 
-    report, n_events, t_capture, t_analyze = run_once(benchmark, run)
+    report, rr, n_events, t_capture, t_analyze, t_reuse = run_once(
+        benchmark, run
+    )
 
     row = {
         "bench": "analysis_selfperf",
@@ -253,17 +260,22 @@ def test_analysis_selfperf(benchmark, yolo_net):
         "n_events": n_events,
         "capture_s": round(t_capture, 4),
         "analyze_s": round(t_analyze, 4),
+        "reuse_s": round(t_reuse, 4),
+        "reuse_touches": rr.n_touches,
         "findings": len(report.findings),
     }
     banner(f"Static analysis (yolov3, {n_layers} layers, cached trace)")
     print(f"capture                 : {t_capture:.3f}s")
     print(f"analyze ({n_events / 1e6:.2f}M events)  : {t_analyze:.3f}s")
+    print(f"reuse   ({rr.n_touches / 1e6:.2f}M touches) : {t_reuse:.3f}s")
     print("BENCH " + json.dumps(row, sort_keys=True))
     benchmark.extra_info.update(row)
 
     # The analyzer must come back clean on the shipped network...
     assert report.ok, [f.as_row() for f in report.findings]
-    assert report.working_set and report.bounds
+    assert report.working_set and report.bounds and report.reuse
     # ...and stay interactive: a few seconds for the full 20-layer
     # trace (the acceptance figure in docs/PERFORMANCE.md is <1s).
     assert t_analyze < 5.0
+    # The reuse-distance pass alone must also stay interactive.
+    assert t_reuse < 5.0

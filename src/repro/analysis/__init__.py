@@ -23,20 +23,32 @@ nothing.
 
 from __future__ import annotations
 
+from .baseline import canonical_report, diff_documents
 from .bounds import check_bounds_against_sim, static_bounds
+from .defuse import defuse_trace
 from .findings import AnalysisReport, Finding
 from .lint import lint_config
+from .reusedist import ReuseReport, reuse_distances
+from .rules import RULES, filter_findings, rule_rows
 from .verifier import verify_trace
 from .workingset import predict_l2_knee, working_sets
 
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "RULES",
+    "ReuseReport",
     "analyze_network",
     "analyze_trace",
+    "canonical_report",
     "check_bounds_against_sim",
+    "defuse_trace",
+    "diff_documents",
+    "filter_findings",
     "lint_config",
     "predict_l2_knee",
+    "reuse_distances",
+    "rule_rows",
     "static_bounds",
     "verify_trace",
     "working_sets",
@@ -54,14 +66,32 @@ def _policy_name(policy) -> str:
 
 
 def analyze_trace(trace, machine, policy=None, oracle: bool = False,
-                  net_name: str = "?") -> AnalysisReport:
-    """Run the full pass pipeline over an already-captured trace."""
+                  net_name: str = "?", max_examples: int = 3,
+                  rules=None, ignore=None,
+                  reuse: bool = True) -> AnalysisReport:
+    """Run the full pass pipeline over an already-captured trace.
+
+    *max_examples* caps the example events attached to each aggregated
+    finding (and is surfaced in the JSON report so committed baselines
+    stay stable when counts change).  *rules* / *ignore* are iterables
+    of rule-id prefixes (``"dataflow"``, ``"trace/oob-overrun"``, ...)
+    selecting which findings the report keeps — estimator sections are
+    always produced.  *reuse* toggles the temporal reuse-distance pass
+    (:mod:`repro.analysis.reusedist`).
+    """
     findings = lint_config(machine, policy) if policy is not None else []
-    findings += verify_trace(trace, machine)
+    findings += verify_trace(trace, machine, max_examples=max_examples)
 
     ws = working_sets(trace, machine)
     knee = predict_l2_knee(trace, machine)
     brows = static_bounds(trace, machine)
+
+    reuse_rows, reuse_knee, reuse_curve = [], 0, {}
+    if reuse:
+        rr = reuse_distances(trace, machine)
+        reuse_rows = rr.rows()
+        reuse_knee = rr.predicted_knee_bytes()
+        reuse_curve = rr.miss_curve()
 
     oracle_info = None
     if oracle:
@@ -69,6 +99,7 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
 
         stats = replay(trace, machine)
         findings += check_bounds_against_sim(brows, stats)
+
         bound = brows[-1]["bound_mcycles"] * 1e6  # the "* total" row
         oracle_info = {
             "simulated_mcycles": stats.cycles / 1e6,
@@ -76,6 +107,8 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
             "bound_tightness": bound / stats.cycles if stats.cycles else 0.0,
             "l2_miss_rate": stats.l2_miss_rate,
         }
+
+    findings = filter_findings(findings, rules=rules, ignore=ignore)
 
     return AnalysisReport(
         net=net_name,
@@ -88,6 +121,10 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
         working_set=ws,
         bounds=brows,
         l2_knee_bytes=knee,
+        reuse=reuse_rows,
+        reuse_knee_bytes=reuse_knee,
+        reuse_curve=reuse_curve,
+        max_examples=max_examples,
         oracle=oracle_info,
     )
 
@@ -99,6 +136,10 @@ def analyze_network(
     n_layers=None,
     deduplicate: bool = True,
     oracle: bool = False,
+    max_examples: int = 3,
+    rules=None,
+    ignore=None,
+    reuse: bool = True,
 ) -> AnalysisReport:
     """Analyze *net* on *machine*: lint, verify, estimate, bound.
 
@@ -119,7 +160,8 @@ def analyze_network(
         net, machine, policy, n_layers, deduplicate
     )
     report = analyze_trace(
-        trace, machine, policy=policy, oracle=oracle, net_name=net.name
+        trace, machine, policy=policy, oracle=oracle, net_name=net.name,
+        max_examples=max_examples, rules=rules, ignore=ignore, reuse=reuse,
     )
     report.trace_cached = was_cached
     return report

@@ -1,0 +1,98 @@
+"""Differential report gate: diff a live analysis report vs a baseline.
+
+Zero-findings gating (PR 3) only notices when a rule *fires*; it is
+blind to silent drift — a footprint that doubles, a static bound that
+collapses, a reuse histogram that shifts a bucket.  This module
+canonicalizes an :class:`~repro.analysis.findings.AnalysisReport` into
+a stable JSON document, committed under ``tests/data/analysis/``, and
+diffs live reports against it with a readable dotted-path output.
+
+Canonical form
+--------------
+* volatile fields dropped (``trace_key``, ``trace_cached`` — they
+  change whenever unrelated capture plumbing changes);
+* every float rounded to 6 significant digits (cross-platform libm
+  noise stays out of the diff);
+* ``json.dumps(sort_keys=True)`` ordering, lists kept in report order
+  (finding and row order is deterministic: trace order).
+
+Workflow (see docs/ANALYSIS.md): when an intentional change shifts a
+report, re-generate with ``repro analyze --net ... --baseline <path>
+--update-baseline`` and commit the new file *in the same PR*, with the
+diff pasted into the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+__all__ = [
+    "canonical_report",
+    "diff_documents",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Fields that change without the analysis result changing.
+_VOLATILE = ("trace_key", "trace_cached")
+
+
+def _round_floats(obj):
+    if isinstance(obj, float):
+        return float(f"{obj:.6g}")
+    if isinstance(obj, dict):
+        return {k: _round_floats(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_round_floats(v) for v in obj]
+    return obj
+
+
+def canonical_report(report) -> Dict:
+    """Stable JSON-ready document for *report* (volatile fields out)."""
+    doc = json.loads(report.to_json())
+    for key in _VOLATILE:
+        doc.pop(key, None)
+    return _round_floats(doc)
+
+
+def diff_documents(baseline, live, path: str = "") -> List[str]:
+    """Readable recursive diff: one ``path: baseline -> live`` per leaf."""
+    out: List[str] = []
+    if isinstance(baseline, dict) and isinstance(live, dict):
+        for key in sorted(set(baseline) | set(live)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in baseline:
+                out.append(f"{sub}: (absent in baseline) -> {_short(live[key])}")
+            elif key not in live:
+                out.append(f"{sub}: {_short(baseline[key])} -> (absent in live)")
+            else:
+                out += diff_documents(baseline[key], live[key], sub)
+        return out
+    if isinstance(baseline, list) and isinstance(live, list):
+        if len(baseline) != len(live):
+            out.append(f"{path}: length {len(baseline)} -> {len(live)}")
+        for i, (b, v) in enumerate(zip(baseline, live)):
+            out += diff_documents(b, v, f"{path}[{i}]")
+        return out
+    if baseline != live:
+        out.append(f"{path}: {_short(baseline)} -> {_short(live)}")
+    return out
+
+
+def _short(value, limit: int = 120) -> str:
+    s = json.dumps(value, sort_keys=True, default=str)
+    return s if len(s) <= limit else s[: limit - 3] + "..."
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_baseline(path: str, doc: Dict) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,343 @@
+"""Def-use verification over buffer byte-ranges of a recorded trace.
+
+Writes are *defs*, reads are *uses*.  The pass partitions demand
+accesses per allocated buffer, splits each buffer's access sequence
+into maximal same-kind *runs* (a pack kernel's store burst, a consume
+kernel's load burst), and checks producer/consumer ordering between
+kernels on the interval algebra of run hulls:
+
+* ``dataflow/read-before-write`` — a read that lands entirely outside
+  everything written so far, on bytes that a *different* kernel label
+  defines **later**: the classic consume-before-pack ordering bug.
+* ``dataflow/write-after-read-overlap`` — a write from a different
+  kernel landing on bytes that an earlier read already consumed while
+  they were still (partially) undefined: aliasable scratch reuse where
+  the producer arrived after its consumer.
+* ``dataflow/dead-store`` — a scratch buffer that is written more than
+  once (overlapping stores) yet **never read anywhere** in the trace:
+  packing work whose result no kernel consumes.  Buffer-granular by
+  design (see below).
+
+Why hulls and labels, not exact bytes
+-------------------------------------
+Sampled loops (``SampledTraceBase.loop``) record only warmup + sampled
++ tail iterations, so the exact byte union of a pack kernel's stores is
+full of holes that the real kernel fills; and the Winograd transform
+traces fold their destination writes onto the panel base (they model
+traffic, not exact addresses).  Byte-exact def-use chains over such
+streams would drown in false positives.  Run *hulls* (the address span
+of a maximal same-kind burst) are sampling-invariant, and requiring
+**positive evidence** — a later def from a different kernel label —
+means purely-folded or genuinely-unknowable patterns are skipped
+rather than guessed at.  In-place transforms and read-modify-write
+accumulators (same label reads+writes) are therefore exempt by
+construction.
+
+Buffer classification
+---------------------
+* **external** — models pre-initialized data: name starts with one of
+  ``EXTERNAL_PREFIXES`` (the network-level ping-pong activations and
+  the weight arrays), or the buffer's very first recorded access is a
+  read (the padded-input stand-ins ``wino_input``/``fft_x``/ offline
+  weight tiles ``wino_U``, and in-place FFT planes).  Skipped entirely.
+* **sink** — names ending in ``_out`` are layer outputs: live-out by
+  convention, exempt from ``dead-store`` only.
+* everything else is **scratch** and gets all three rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..machine.trace import (
+    OP_SCALAR_LOAD,
+    OP_SCALAR_STORE,
+    OP_VLOAD,
+    OP_VSTORE,
+)
+from .findings import Finding
+
+__all__ = ["defuse_trace", "EXTERNAL_PREFIXES", "SINK_SUFFIXES"]
+
+#: Buffers modelling externally-initialized, network-lifetime data.
+EXTERNAL_PREFIXES = ("activations", "weights")
+
+#: Buffers that are a layer's final output: live-out past the trace.
+SINK_SUFFIXES = ("_out",)
+
+#: Dead-store noise floor: the never-read fraction of multiply-written
+#: bytes must exceed this before the rule fires (pack kernels may
+#: legally leave a partial trailing line unconsumed per panel).
+_DEAD_FRACTION = 0.25
+
+
+def _merge(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Union of half-open intervals, sorted and coalesced."""
+    if not intervals:
+        return []
+    ivs = sorted(intervals)
+    out = [list(ivs[0])]
+    for lo, hi in ivs[1:]:
+        if lo <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], hi)
+        else:
+            out.append([lo, hi])
+    return [(lo, hi) for lo, hi in out]
+
+
+def _overlap_any(starts: np.ndarray, ends: np.ndarray,
+                 ivs: List[Tuple[int, int]]) -> np.ndarray:
+    """Per-event mask: does [start, end) intersect any interval?"""
+    if not ivs:
+        return np.zeros(starts.size, dtype=bool)
+    lo = np.array([iv[0] for iv in ivs], dtype=np.int64)
+    hi = np.array([iv[1] for iv in ivs], dtype=np.int64)
+    # Candidate: last interval starting before the event's end.
+    j = np.searchsorted(lo, ends, side="left") - 1
+    jc = np.clip(j, 0, lo.size - 1)
+    return (j >= 0) & (hi[jc] > starts)
+
+
+def _contained(starts: np.ndarray, ends: np.ndarray,
+               ivs: List[Tuple[int, int]]) -> np.ndarray:
+    """Per-event mask: is [start, end) fully inside one interval?"""
+    if not ivs:
+        return np.zeros(starts.size, dtype=bool)
+    lo = np.array([iv[0] for iv in ivs], dtype=np.int64)
+    hi = np.array([iv[1] for iv in ivs], dtype=np.int64)
+    j = np.searchsorted(lo, starts, side="right") - 1
+    jc = np.clip(j, 0, lo.size - 1)
+    return (j >= 0) & (ends <= hi[jc])
+
+
+def _subtract(ivs: List[Tuple[int, int]],
+              cut: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Interval-set difference ``ivs - cut`` (both merged)."""
+    out = []
+    for lo, hi in ivs:
+        cur = lo
+        for clo, chi in cut:
+            if chi <= cur or clo >= hi:
+                continue
+            if clo > cur:
+                out.append((cur, clo))
+            cur = max(cur, chi)
+            if cur >= hi:
+                break
+        if cur < hi:
+            out.append((cur, hi))
+    return out
+
+
+def _length(ivs: List[Tuple[int, int]]) -> int:
+    return sum(hi - lo for lo, hi in ivs)
+
+
+class _BufferStream:
+    """One buffer's demand accesses in trace order."""
+
+    def __init__(self, name, starts, ends, is_write, kid, eidx):
+        self.name = name
+        self.starts = starts
+        self.ends = ends
+        self.is_write = is_write
+        self.kid = kid
+        self.eidx = eidx  # original event indices (finding examples)
+
+    def runs(self):
+        """Yield (kind, slice) for maximal same-kind runs."""
+        if self.starts.size == 0:
+            return
+        change = np.flatnonzero(self.is_write[1:] != self.is_write[:-1]) + 1
+        bounds = np.concatenate(([0], change, [self.is_write.size]))
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            yield bool(self.is_write[a]), slice(int(a), int(b))
+
+
+def _classify(name: str, first_is_read: bool) -> str:
+    # Deduplicated captures suffix repeated allocations with "#<n>"
+    # ("wino_out#2"); classification is on the base name.
+    base = name.split("#", 1)[0]
+    if base.startswith(EXTERNAL_PREFIXES) or first_is_read:
+        return "external"
+    if base.endswith(SINK_SUFFIXES):
+        return "sink"
+    return "scratch"
+
+
+def _finding(view, rule, severity, buf_name, label, message, sel,
+             max_examples, **detail) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=severity,
+        where=f"{label} @ {buf_name}",
+        message=message,
+        count=int(len(sel)),
+        detail={
+            "examples": [view.example(int(i)) for i in sel[:max_examples]],
+            **detail,
+        },
+    )
+
+
+def defuse_trace(trace, machine=None, max_examples: int = 3) -> List[Finding]:
+    """Check producer/consumer ordering on every scratch buffer."""
+    from .verifier import _TraceView  # shared columnar view / examples
+
+    view = _TraceView(trace)
+    op = view.op
+    is_read = (op == OP_VLOAD) | (op == OP_SCALAR_LOAD)
+    is_write = (op == OP_VSTORE) | (op == OP_SCALAR_STORE)
+    mem = is_read | is_write
+    idx = np.flatnonzero(mem)
+    findings: List[Finding] = []
+    if idx.size == 0 or not trace.buffers:
+        return findings
+
+    addr = view.i0[idx]
+    n, ew, stride = view.i1[idx], view.i2[idx], view.i3[idx]
+    is_v = (op[idx] == OP_VLOAD) | (op[idx] == OP_VSTORE)
+    unit = (stride == 0) | (stride == ew)
+    v_ext = np.where(unit, n * ew, (np.maximum(n, 1) - 1) * np.abs(stride) + ew)
+    ext = np.where(is_v, v_ext, n)  # scalar: i1 = nbytes
+    ends = addr + np.maximum(ext, 1)
+
+    bufs = sorted(trace.buffers, key=lambda b: b[1])
+    bases = np.array([b[1] for b in bufs], dtype=np.int64)
+    tops = np.array([b[1] + b[2] for b in bufs], dtype=np.int64)
+    pos = np.searchsorted(bases, addr, side="right") - 1
+    safe = np.clip(pos, 0, len(bufs) - 1)
+    inside = (pos >= 0) & (addr < tops[safe]) & (ends <= tops[safe])
+    # Accesses outside any buffer belong to the bounds rules, not here.
+    if not inside.any():
+        return findings
+
+    line = int(machine.l2.line_bytes) if machine is not None else 64
+    order = np.argsort(pos[inside], kind="stable")
+    sel = idx[inside][order]
+    b_of = pos[inside][order]
+    starts_s = addr[inside][order]
+    ends_s = ends[inside][order]
+    write_s = is_write[sel]
+    kid_s = view.kid[sel]
+    cuts = np.searchsorted(b_of, np.arange(len(bufs) + 1))
+
+    for bi, (bname, _base, _nbytes) in enumerate(bufs):
+        lo, hi = cuts[bi], cuts[bi + 1]
+        if lo == hi:
+            continue
+        stream = _BufferStream(
+            bname, starts_s[lo:hi], ends_s[lo:hi],
+            write_s[lo:hi], kid_s[lo:hi], sel[lo:hi],
+        )
+        kind = _classify(bname, first_is_read=not bool(stream.is_write[0]))
+        if kind == "external":
+            continue
+        _check_buffer(view, stream, kind, line, max_examples, findings)
+    return findings
+
+
+def _check_buffer(view, stream, kind, line, max_examples, findings):
+    runs = list(stream.runs())
+    # Per-run metadata: (is_write, hull, dominant label).
+    meta = []
+    for w, sl in runs:
+        labels = np.unique(stream.kid[sl])
+        meta.append({
+            "write": w,
+            "hull": (int(stream.starts[sl].min()), int(stream.ends[sl].max())),
+            "labels": set(int(x) for x in labels),
+            "slice": sl,
+        })
+
+    # ---- dead-store: multiply-written, never-read scratch ------------
+    if kind == "scratch" and not any(not m["write"] for m in meta):
+        w_starts = stream.starts
+        w_ends = stream.ends
+        o = np.argsort(w_starts, kind="stable")
+        run_max = np.maximum.accumulate(w_ends[o])
+        overlapped = w_starts[o][1:] < run_max[:-1]
+        if overlapped.any():
+            multi = _length(_merge([
+                (int(a), int(b))
+                for a, b in zip(w_starts[o][1:][overlapped],
+                                np.minimum(w_ends[o][1:], run_max[:-1])[overlapped])
+            ]))
+            total = _length(_merge(
+                [(int(a), int(b)) for a, b in zip(w_starts, w_ends)]
+            ))
+            if multi >= max(line, _DEAD_FRACTION * total):
+                hot = np.flatnonzero(stream.is_write)
+                labels = np.unique(stream.kid)
+                label = view.label_of(int(labels[0]))
+                findings.append(_finding(
+                    view, "dataflow/dead-store", "warning", stream.name,
+                    label,
+                    f"buffer {stream.name!r} is written repeatedly "
+                    f"({multi} overlapping bytes) but never read",
+                    stream.eidx[hot], max_examples,
+                    overlapping_bytes=int(multi),
+                ))
+        return
+
+    # ---- ordered def-use walk ----------------------------------------
+    defined: List[Tuple[int, int]] = []   # union of write-run hulls so far
+    stale: List[Tuple[int, Tuple[int, int]]] = []  # (reader label, interval)
+    for ri, m in enumerate(meta):
+        sl = m["slice"]
+        starts = stream.starts[sl]
+        ends = stream.ends[sl]
+        if not m["write"]:
+            # Uses.  Fully-undefined reads are read-before-write
+            # *candidates*; they fire only with positive evidence — a
+            # later write run from a different kernel covering them.
+            outside = ~_overlap_any(starts, ends, defined)
+            if outside.any():
+                later = _merge([
+                    mm["hull"] for mm in meta[ri + 1:]
+                    if mm["write"] and not (mm["labels"] & m["labels"])
+                ])
+                guilty = outside & _overlap_any(starts, ends, later)
+                if guilty.any():
+                    bad = np.flatnonzero(guilty)
+                    label = view.label_of(int(stream.kid[sl][bad[0]]))
+                    findings.append(_finding(
+                        view, "dataflow/read-before-write", "error",
+                        stream.name, label,
+                        f"read of {stream.name!r} before the bytes are "
+                        "written (producer kernel runs later)",
+                        stream.eidx[sl][bad], max_examples,
+                    ))
+            # Partially-defined reads contribute their undefined bytes
+            # to the stale set (write-after-read evidence).
+            partial = ~outside & ~_contained(starts, ends, defined)
+            for i in np.flatnonzero(partial):
+                for iv in _subtract(
+                    [(int(starts[i]), int(ends[i]))], defined
+                ):
+                    stale.append((int(stream.kid[sl][i]), iv))
+        else:
+            if stale:
+                hostile = _merge([
+                    iv for lab, iv in stale if lab not in m["labels"]
+                ])
+                guilty = _overlap_any(starts, ends, hostile)
+                if guilty.any():
+                    bad = np.flatnonzero(guilty)
+                    label = view.label_of(int(stream.kid[sl][bad[0]]))
+                    findings.append(_finding(
+                        view, "dataflow/write-after-read-overlap", "error",
+                        stream.name, label,
+                        f"write to {stream.name!r} lands on bytes an "
+                        "earlier read already consumed while undefined",
+                        stream.eidx[sl][bad], max_examples,
+                    ))
+            hull = m["hull"]
+            defined = _merge(defined + [hull])
+            stale = [
+                (lab, iv) for lab, ivs in
+                ((lab, _subtract([iv], [hull])) for lab, iv in stale)
+                for iv in ivs
+            ]

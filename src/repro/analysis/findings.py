@@ -105,6 +105,10 @@ class AnalysisReport:
     working_set: List[Dict] = field(default_factory=list)
     bounds: List[Dict] = field(default_factory=list)
     l2_knee_bytes: int = 0
+    reuse: List[Dict] = field(default_factory=list)
+    reuse_knee_bytes: int = 0
+    reuse_curve: Dict = field(default_factory=dict)
+    max_examples: int = 3
     oracle: Optional[Dict] = None
 
     @property
@@ -150,6 +154,12 @@ class AnalysisReport:
             parts.append(format_table(ws, title="working sets (static)"))
         if self.bounds:
             parts.append(format_table(self.bounds, title="static cycle bounds"))
+        if self.reuse:
+            parts.append(format_table(
+                self.reuse,
+                title=f"temporal reuse (predicted L2 knee "
+                f"{self.reuse_knee_bytes / 2**20:.0f}MB)",
+            ))
         if self.oracle is not None:
             parts.append(format_kv("oracle (replayed simulation)", self.oracle))
         return "\n\n".join(parts)
@@ -170,6 +180,10 @@ class AnalysisReport:
                 "working_set": self.working_set,
                 "bounds": self.bounds,
                 "l2_knee_bytes": self.l2_knee_bytes,
+                "reuse": self.reuse,
+                "reuse_knee_bytes": self.reuse_knee_bytes,
+                "reuse_curve": self.reuse_curve,
+                "max_examples": self.max_examples,
                 "oracle": self.oracle,
             },
             sort_keys=True,

@@ -1,0 +1,335 @@
+"""Temporal reuse-distance analysis over recorded kernel traces.
+
+The working-set estimator (:mod:`repro.analysis.workingset`) is
+*spatial*: it knows what each kernel touches, but not *when* a line is
+touched again.  The paper's co-design argument — the L2 capacity sweep
+of Table III / Fig. 5, the im2col-vs-Winograd stream comparison — is a
+statement about **reuse distances**: a capacity ``C`` converts exactly
+those re-references whose LRU stack distance is below ``C`` from misses
+into hits.  This pass computes line-granular reuse-distance histograms
+per kernel label directly from the macro-event address columns, fully
+vectorized (no Python loop over events or line touches).
+
+Method
+------
+1. **Expansion** — every demand access (vector or scalar, prefetches
+   excluded) is expanded to the set of cache lines it touches with a
+   ``repeat`` + ramp construction: unit-stride events cover a dense
+   line range, strided events one line per element.
+2. **Virtual time** — each line touch carries its event's sampling
+   weight (see ``SampledTraceBase.loop``), and the clock is the running
+   *weighted* touch count.  A sampled iteration standing for ``w`` real
+   iterations advances the clock by ``w``, so reuse intervals measured
+   on the sampled stream approximate the real stream's intervals: the
+   sum of weights across a skipped span equals the span's real access
+   count, which is exactly what an LRU stack distance integrates over.
+3. **Reuse times** — per line, the weighted-time gap to the previous
+   touch of the same line (stable argsort by line id, diff within
+   groups).  First touches are *cold*.
+4. **Stack distance** — the StatStack conversion (Eklov & Hagersten,
+   ISPASS 2010): the expected number of distinct lines inside a reuse
+   window of length ``T`` is ``sd(T) = integral_0^T P(rt > tau) dtau``,
+   with ``P(rt > tau)`` the weighted tail of the reuse-time
+   distribution (cold touches stay in the tail forever).  The tail is
+   piecewise constant between sorted reuse times, so the integral is an
+   exact piecewise-linear function evaluated per touch with one
+   ``searchsorted`` — no per-event loop, and on a cyclic re-streaming
+   pattern (the dominant GEMM/Winograd behaviour) it reproduces the
+   exact stack distance.
+
+The result supports a predicted miss-ratio curve ``miss(C)`` for
+arbitrary capacity and a predicted L2 knee, validated against a real
+``sweep_cache_sizes`` run in ``tests/test_temporal.py`` (tolerance
+band documented in docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..machine.trace import (
+    OP_SCALAR_LOAD,
+    OP_SCALAR_STORE,
+    OP_VLOAD,
+    OP_VSTORE,
+)
+
+__all__ = ["ReuseReport", "reuse_distances"]
+
+#: Number of log2 stack-distance buckets: bucket ``b`` holds reuses with
+#: stack distance in ``[2^b, 2^(b+1))`` lines.  42 buckets cover any
+#: address space this repo can allocate.
+N_BUCKETS = 42
+
+#: Standard capacities (bytes) at which the report tabulates the
+#: predicted miss-ratio curve: 64 KB .. 256 MB in powers of two.
+CURVE_CAPACITIES = tuple(1 << k for k in range(16, 29))
+
+#: Expanding a trace to line touches multiplies the event count by the
+#: mean lines-per-event; beyond this many touches, events are
+#: systematically subsampled (weights rescaled) to bound memory.
+MAX_LINE_TOUCHES = 32_000_000
+
+
+@dataclass
+class ReuseReport:
+    """Per-kernel-label reuse-distance histograms and derived curves.
+
+    ``hist[i, b]`` is the weighted line-touch mass of label ``i`` whose
+    stack distance falls in bucket ``b`` (``[2^b, 2^(b+1))`` lines);
+    ``cold[i]`` the weighted first-touch mass; ``total[i]`` the whole
+    weighted touch mass of the label.  Distances are in units of
+    ``line_bytes``-sized cache lines.
+    """
+
+    labels: List[str] = field(default_factory=list)
+    hist: np.ndarray = field(default_factory=lambda: np.zeros((0, N_BUCKETS)))
+    cold: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    total: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    line_bytes: int = 64
+    n_lines: int = 0
+    n_touches: int = 0
+
+    # -- curves --------------------------------------------------------
+    def miss_ratio(self, capacity_bytes: int, label: Optional[str] = None) -> float:
+        """Predicted miss ratio of a fully-associative LRU cache.
+
+        A reuse whose stack distance (in lines) is at least
+        ``capacity/line_bytes`` misses; cold touches always miss.
+        Within a log2 bucket the mass is interpolated linearly in
+        log2(distance).
+        """
+        if label is None:
+            hist = self.hist.sum(axis=0)
+            cold = float(self.cold.sum())
+            total = float(self.total.sum())
+        else:
+            i = self.labels.index(label)
+            hist, cold, total = self.hist[i], float(self.cold[i]), float(self.total[i])
+        if total <= 0:
+            return 0.0
+        cap_lines = max(1.0, capacity_bytes / self.line_bytes)
+        b = np.log2(cap_lines)
+        whole = int(np.floor(b))
+        tail = float(hist[min(whole + 1, N_BUCKETS):].sum()) if whole + 1 < N_BUCKETS else 0.0
+        if 0 <= whole < N_BUCKETS:
+            tail += float(hist[whole]) * (1.0 - (b - whole))
+        elif whole < 0:
+            tail = float(hist.sum())
+        return (tail + cold) / total
+
+    def miss_curve(
+        self, capacities=CURVE_CAPACITIES, label: Optional[str] = None
+    ) -> Dict[str, float]:
+        """``miss(C)`` tabulated at *capacities* (JSON-stable str keys)."""
+        return {str(int(c)): self.miss_ratio(int(c), label) for c in capacities}
+
+    def predicted_knee_bytes(self, coverage: float = 0.95) -> int:
+        """Smallest power-of-two capacity capturing *coverage* of reuse.
+
+        The knee of the capacity sweep: beyond it, growing the cache
+        only chips at the residual (cold misses are unavoidable).
+        """
+        hist = self.hist.sum(axis=0)
+        reuse_mass = float(hist.sum())
+        if reuse_mass <= 0:
+            return self.line_bytes
+        residual = np.cumsum(hist[::-1])[::-1]  # mass with sd >= 2^b
+        allowed = (1.0 - coverage) * reuse_mass
+        for b in range(N_BUCKETS):
+            above = float(residual[b + 1]) if b + 1 < N_BUCKETS else 0.0
+            if above <= allowed:
+                # Capacity 2^(b+1) lines covers every reuse in bucket b.
+                return (1 << (b + 1)) * self.line_bytes
+        return (1 << N_BUCKETS) * self.line_bytes
+
+    # -- tabulation ----------------------------------------------------
+    def _label_quantile(self, i: int, q: float) -> float:
+        """Approximate stack-distance quantile (lines) of one label."""
+        hist = self.hist[i]
+        mass = float(hist.sum())
+        if mass <= 0:
+            return 0.0
+        cum = np.cumsum(hist)
+        b = int(np.searchsorted(cum, q * mass))
+        return float(2 ** min(b + 1, N_BUCKETS))
+
+    def rows(self) -> List[Dict]:
+        """Per-label rows for the report table."""
+        out = []
+        order = np.argsort(-self.total)
+        for i in order:
+            total = float(self.total[i])
+            if total <= 0:
+                continue
+            out.append({
+                "kernel": self.labels[i],
+                "touches_m": total / 1e6,
+                "cold_pct": 100.0 * float(self.cold[i]) / total,
+                "sd_p50_kb": self._label_quantile(i, 0.5) * self.line_bytes / 1024,
+                "sd_p90_kb": self._label_quantile(i, 0.9) * self.line_bytes / 1024,
+                "miss_1mb_pct": 100.0 * self.miss_ratio(1 << 20, self.labels[i]),
+            })
+        return out
+
+    def as_dict(self) -> Dict:
+        """JSON-ready summary (histograms included, per label)."""
+        return {
+            "line_bytes": self.line_bytes,
+            "n_lines": self.n_lines,
+            "n_touches": self.n_touches,
+            "knee_bytes": self.predicted_knee_bytes(),
+            "miss_curve": self.miss_curve(),
+            "labels": {
+                self.labels[i]: {
+                    "total": float(self.total[i]),
+                    "cold": float(self.cold[i]),
+                    "hist": [float(x) for x in self.hist[i]],
+                }
+                for i in range(len(self.labels))
+                if self.total[i] > 0
+            },
+        }
+
+
+def _expand_lines(trace, line: int, max_touches: int):
+    """Expand demand accesses to (line_id, weight, kid) touch streams."""
+    op = np.asarray(trace.op)
+    mem = (op == OP_VLOAD) | (op == OP_VSTORE) | \
+          (op == OP_SCALAR_LOAD) | (op == OP_SCALAR_STORE)
+    idx = np.flatnonzero(mem)
+    if idx.size == 0:
+        return (np.zeros(0, np.int64), np.zeros(0), np.zeros(0, np.int64))
+
+    addr = np.asarray(trace.i0)[idx]
+    n = np.asarray(trace.i1)[idx]
+    ew = np.asarray(trace.i2)[idx]
+    stride = np.asarray(trace.i3)[idx]
+    w = np.asarray(trace.w)[idx]
+    kid = np.asarray(trace.kid)[idx].astype(np.int64)
+
+    is_v = (op[idx] == OP_VLOAD) | (op[idx] == OP_VSTORE)
+    # Scalar events: i1 = nbytes, dense.  Vector unit-stride: dense
+    # extent n*ew.  Vector strided: one touch per element.
+    ext = np.where(is_v, n * np.maximum(ew, 1), np.maximum(n, 1))
+    unit = ~is_v | (stride == 0) | (stride == ew)
+    first_line = addr // line
+    last_line = np.where(unit, (addr + np.maximum(ext, 1) - 1) // line, 0)
+    counts = np.where(unit, last_line - first_line + 1, np.maximum(n, 1))
+    counts = np.maximum(counts, 1).astype(np.int64)
+
+    total = int(counts.sum())
+    if total > max_touches:
+        # Systematic event subsampling with weight rescaling keeps the
+        # weighted mass (and therefore the curves) asymptotically
+        # unchanged while bounding memory.
+        step = -(-total // max_touches)
+        keep = np.arange(0, idx.size, step)
+        addr, stride, w, kid = addr[keep], stride[keep], w[keep] * step, kid[keep]
+        unit, first_line, counts = unit[keep], first_line[keep], counts[keep]
+
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    m = int(counts.sum())
+    eidx = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    ramp = np.arange(m, dtype=np.int64) - offsets[eidx]
+    lines = np.where(
+        unit[eidx],
+        first_line[eidx] + ramp,
+        (addr[eidx] + ramp * stride[eidx]) // line,
+    )
+    return lines, w[eidx], kid[eidx]
+
+
+def reuse_distances(
+    trace, machine=None, max_touches: int = MAX_LINE_TOUCHES
+) -> ReuseReport:
+    """Compute per-label reuse-distance histograms for *trace*.
+
+    Line granularity comes from the machine's L2 line (the capacity
+    sweep this pass predicts is an L2 sweep); 64 bytes when *machine*
+    is ``None``.
+    """
+    line = int(machine.l2.line_bytes) if machine is not None else 64
+    labels = list(trace.labels)
+    nlab = len(labels)
+    report = ReuseReport(
+        labels=labels,
+        hist=np.zeros((nlab, N_BUCKETS)),
+        cold=np.zeros(nlab),
+        total=np.zeros(nlab),
+        line_bytes=line,
+    )
+    lines, w, kid = _expand_lines(trace, line, max_touches)
+    if lines.size == 0:
+        return report
+    kid = np.clip(kid, 0, nlab - 1)
+    report.n_touches = int(lines.size)
+    report.total = np.bincount(kid, weights=w, minlength=nlab)
+
+    # Weighted virtual clock: the time *after* each touch.
+    vt = np.cumsum(w)
+
+    # Previous-touch gap per line: stable sort by line id keeps time
+    # order inside each line's group.
+    order = np.argsort(lines, kind="stable")
+    sl = lines[order]
+    first = np.empty(sl.size, dtype=bool)
+    first[0] = True
+    np.not_equal(sl[1:], sl[:-1], out=first[1:])
+    report.n_lines = int(first.sum())
+
+    svt = vt[order]
+    rt = np.empty(sl.size)
+    rt[0] = 0.0
+    rt[1:] = svt[1:] - svt[:-1]  # gap to previous touch in the group
+    sw = w[order]
+    skid = kid[order]
+
+    report.cold = np.bincount(skid[first], weights=sw[first], minlength=nlab)
+
+    reuse = ~first
+    if not reuse.any():
+        return report
+    r = rt[reuse]
+    rw = sw[reuse]
+    rkid = skid[reuse]
+
+    # StatStack tail integral: P(rt > tau) is piecewise constant
+    # between sorted reuse times; sd(T) = integral of the tail to T.
+    total_mass = float(w.sum())
+    ro = np.argsort(r, kind="stable")
+    rs = r[ro]
+    cw = np.cumsum(rw[ro])
+    # Collapse duplicates so breakpoints are strictly increasing.
+    uniq = np.empty(rs.size, dtype=bool)
+    uniq[-1] = True
+    np.not_equal(rs[1:], rs[:-1], out=uniq[:-1])
+    us = rs[uniq]          # unique reuse times, ascending
+    ucw = cw[uniq]         # weighted mass with rt <= us
+    tail = total_mass - np.concatenate(([0.0], ucw[:-1]))  # mass with rt >= us
+    # Prefix integral of the tail: integ[k] = integral from 0 to us[k]
+    # (tail is constant at tail[k] over the segment ending at us[k]).
+    seg = np.concatenate(([us[0]], np.diff(us))) * tail
+    integ = np.cumsum(seg)
+    tail_after = total_mass - ucw  # mass with rt > us (tail beyond us[k])
+
+    j = np.searchsorted(us, r, side="right") - 1
+    base = np.where(j >= 0, integ[np.maximum(j, 0)], 0.0)
+    lo = np.where(j >= 0, us[np.maximum(j, 0)], 0.0)
+    t_at = np.where(j >= 0, tail_after[np.maximum(j, 0)], total_mass)
+    # sd(T) = integral_0^T P(rt > tau) dtau; counts the reused line
+    # itself, so a cyclic stream over R lines yields exactly sd = R.
+    sd = (base + t_at * (r - lo)) / total_mass  # expected distinct lines
+
+    bucket = np.clip(
+        np.floor(np.log2(np.maximum(sd, 1.0))).astype(np.int64), 0, N_BUCKETS - 1
+    )
+    flat = np.bincount(
+        rkid * N_BUCKETS + bucket, weights=rw, minlength=nlab * N_BUCKETS
+    )
+    report.hist = flat.reshape(nlab, N_BUCKETS)
+    return report

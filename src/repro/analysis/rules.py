@@ -1,0 +1,70 @@
+"""Registry of every analysis rule: id, severity, pass, description.
+
+One row per rule the pipeline can emit (the same table documented in
+docs/ANALYSIS.md).  ``repro analyze --list-rules`` prints it, and
+``--rules``/``--ignore`` prefix filters are validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["RULES", "filter_findings", "rule_rows"]
+
+#: rule id -> (severity, pass, one-line description).
+RULES: Dict[str, Tuple[str, str, str]] = {
+    # -- config lint ----------------------------------------------------
+    "config/vlen-illegal": ("error", "lint", "vector length unconstructible for the ISA"),
+    "config/line-not-pow2": ("error", "lint", "cache line size is not a power of two"),
+    "config/line-inclusion": ("error", "lint", "L2 line smaller than / not a multiple of the L1 line"),
+    "config/l2-smaller-than-l1": ("error", "lint", "inverted capacity hierarchy"),
+    "config/pack-block-vl": ("error", "lint", "6-loop blocks.n smaller than / not a multiple of VL"),
+    "config/pack-block-unroll": ("error", "lint", "6-loop blocks.m not divisible by the unroll"),
+    "config/winograd-vl": ("error", "lint", "Winograd policy but LMUL-8 group cannot hold an 8x8 tile"),
+    "config/unroll-spill": ("warning", "lint", "unroll factor exceeds the 32-register budget"),
+    # -- trace verifier ---------------------------------------------------
+    "trace/oob-unallocated": ("error", "verifier", "memory event outside every allocated buffer"),
+    "trace/oob-overrun": ("error", "verifier", "access starts in a buffer but runs past its end"),
+    "trace/buffer-overlap": ("error", "verifier", "allocation table entries alias each other"),
+    "trace/vl-exceeds-grant": ("error", "verifier", "vector op exceeds its ISA VL / LMUL-8 grant"),
+    "trace/bad-stride": ("error", "verifier", "negative stride or stride below the element width"),
+    "trace/bad-elem-width": ("error", "verifier", "element width outside {1,2,4,8,16}"),
+    "trace/bad-weight": ("error", "verifier", "sampling weight negative or non-finite"),
+    "trace/bad-opcode": ("error", "verifier", "unknown opcode or unlabeled kernel id"),
+    "trace/prefetch-level": ("error", "verifier", "software-prefetch level other than L1/L2"),
+    "trace/vlen-illegal": ("error", "verifier", "recorded vlen_bits unconstructible for the ISA"),
+    "trace/machine-mismatch": ("error", "verifier", "trace captured for a different ISA/VL/line"),
+    # -- def-use dataflow -------------------------------------------------
+    "dataflow/read-before-write": ("error", "defuse", "scratch consumed before its producer kernel wrote it"),
+    "dataflow/write-after-read-overlap": ("error", "defuse", "write lands on bytes an earlier read consumed while undefined"),
+    "dataflow/dead-store": ("warning", "defuse", "scratch written repeatedly but never read by any kernel"),
+    # -- oracle -----------------------------------------------------------
+    "oracle/bound-exceeds-sim": ("error", "bounds", "static cycle floor exceeds the simulated cycles"),
+}
+
+
+def rule_rows() -> List[Dict]:
+    """Rows for ``repro analyze --list-rules``."""
+    return [
+        {"rule": rule, "severity": sev, "pass": pas, "description": desc}
+        for rule, (sev, pas, desc) in sorted(RULES.items())
+    ]
+
+
+def filter_findings(findings, rules: Optional[Iterable[str]] = None,
+                    ignore: Optional[Iterable[str]] = None):
+    """Keep findings matching any *rules* prefix, minus *ignore* prefixes.
+
+    Prefix semantics: ``dataflow`` selects the whole family,
+    ``dataflow/dead-store`` exactly one rule.  ``rules=None`` keeps
+    everything.
+    """
+    rules = tuple(rules) if rules else None
+    ignore = tuple(ignore) if ignore else ()
+
+    def keep(f):
+        if rules is not None and not f.rule.startswith(rules):
+            return False
+        return not (ignore and f.rule.startswith(ignore))
+
+    return [f for f in findings if keep(f)]

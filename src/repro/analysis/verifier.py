@@ -80,8 +80,9 @@ def _op_name(op: int) -> str:
 class _TraceView:
     """Columnar view plus the per-event helpers the rules share."""
 
-    def __init__(self, trace):
+    def __init__(self, trace, max_examples: int = _MAX_EXAMPLES):
         self.trace = trace
+        self.max_examples = max_examples
         self.op = np.asarray(trace.op)
         self.w = np.asarray(trace.w)
         self.kid = np.asarray(trace.kid)
@@ -132,7 +133,7 @@ def _aggregate(
                 message=message,
                 count=int(sel.size),
                 detail={
-                    "examples": [view.example(i) for i in sel[:_MAX_EXAMPLES]]
+                    "examples": [view.example(i) for i in sel[: view.max_examples]]
                 },
             )
         )
@@ -310,12 +311,23 @@ def _check_encoding(view: _TraceView, findings: List[Finding]) -> None:
 # Entry point
 # ----------------------------------------------------------------------
 
-def verify_trace(trace, machine=None) -> List[Finding]:
+def verify_trace(
+    trace,
+    machine=None,
+    max_examples: int = _MAX_EXAMPLES,
+    dataflow: bool = True,
+) -> List[Finding]:
     """Run every trace rule; return the (possibly empty) finding list.
 
     *machine* is optional: when given, the trace's replay-compatibility
     contract (ISA name, vector length, L1 line size — see
     :meth:`RecordedTrace.compatible_with`) is checked as a rule too.
+    *max_examples* caps the example events attached to each aggregated
+    finding (surfaced in the JSON report so baselines stay stable), and
+    *dataflow* additionally runs the def-use pass
+    (:func:`repro.analysis.defuse.defuse_trace`) so ``replay(...,
+    verify=True)`` and the spill-guard gate on producer/consumer
+    ordering too.
     """
     findings: List[Finding] = []
 
@@ -352,10 +364,16 @@ def verify_trace(trace, machine=None) -> List[Finding]:
     _check_buffer_table(trace, findings)
 
     if trace.n_events:
-        view = _TraceView(trace)
+        view = _TraceView(trace, max_examples=max_examples)
         _check_bounds(view, findings)
         if isa is not None:
             _check_vl(view, trace.vlen_bits, findings)
         _check_encoding(view, findings)
+        if dataflow:
+            from .defuse import defuse_trace
+
+            findings += defuse_trace(
+                trace, machine, max_examples=max_examples
+            )
 
     return findings

@@ -14,6 +14,8 @@ Usage (``python -m repro <command> ...``):
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from typing import List, Optional
 
 from .core import (
@@ -135,6 +137,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the report as JSON instead of text",
     )
+    p.add_argument(
+        "--rules", default=None, metavar="PREFIX[,PREFIX...]",
+        help="only report findings whose rule id starts with one of "
+             "these comma-separated prefixes (e.g. 'dataflow,trace')",
+    )
+    p.add_argument(
+        "--ignore", default=None, metavar="PREFIX[,PREFIX...]",
+        help="drop findings whose rule id starts with one of these "
+             "comma-separated prefixes",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (id, severity, pass, description) "
+             "and exit",
+    )
+    p.add_argument(
+        "--max-examples", type=int, default=3, metavar="N",
+        help="example events attached to each aggregated finding "
+             "(surfaced in the JSON report; default 3)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="diff the canonical report against a committed baseline "
+             "JSON; a non-empty diff fails the run",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the canonical report to --baseline instead of "
+             "diffing against it",
+    )
     return parser
 
 
@@ -243,24 +275,63 @@ def cmd_select(args) -> int:
     return 0
 
 
+def _split_prefixes(spec):
+    if not spec:
+        return None
+    return [p.strip() for p in spec.split(",") if p.strip()]
+
+
 def cmd_analyze(args) -> int:
     """``repro analyze``: static trace verification + estimator report.
 
-    Exit code 0 means the lint/verifier/oracle passes found nothing;
-    any finding (including warnings) returns 1, so CI can gate on it.
+    Exit code 0 means the lint/verifier/dataflow/oracle passes found
+    nothing (and, with ``--baseline``, that the canonical report
+    matches the committed reference); any finding or baseline drift
+    returns 1, so CI can gate on it.
     """
+    from .analysis import canonical_report, diff_documents, rule_rows
+    from .analysis.baseline import load_baseline, write_baseline
+
+    if args.list_rules:
+        print(format_table(rule_rows(), title="analysis rules"))
+        return 0
+
     net = _NETS[args.net]()
     machine = _machine(args)
     report = net.analyze(
-        machine, _policy(args), n_layers=args.layers, oracle=args.oracle
+        machine, _policy(args), n_layers=args.layers, oracle=args.oracle,
+        max_examples=args.max_examples,
+        rules=_split_prefixes(args.rules),
+        ignore=_split_prefixes(args.ignore),
     )
     if args.as_json:
-        print(report.to_json())
+        print(report.to_json() if args.baseline is None
+              else json.dumps(canonical_report(report), sort_keys=True))
     else:
         print(machine.describe())
         print()
         print(report.to_text())
-    return 0 if report.ok else 1
+
+    status = 0 if report.ok else 1
+    if args.baseline is not None:
+        doc = canonical_report(report)
+        if args.update_baseline:
+            write_baseline(args.baseline, doc)
+            print(f"baseline written: {args.baseline}", file=sys.stderr)
+        else:
+            drift = diff_documents(load_baseline(args.baseline), doc)
+            if drift:
+                print(
+                    f"report drifted from baseline {args.baseline} "
+                    f"({len(drift)} differences):",
+                    file=sys.stderr,
+                )
+                for line in drift[:200]:
+                    print(f"  {line}", file=sys.stderr)
+                status = status or 1
+            else:
+                print(f"baseline match: {args.baseline}", file=sys.stderr)
+    return status
 
 
 _COMMANDS = {

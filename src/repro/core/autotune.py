@@ -74,10 +74,10 @@ def autotune_blocks(
     """
     if M <= 0 or N <= 0 or K <= 0:
         raise ValueError("GEMM dimensions must be positive")
-    if candidates is not None:
-        cands = list(candidates)
-    else:
-        cands = candidate_blockings(machine, unroll=unroll)
+    cands = (
+        list(candidates) if candidates is not None
+        else candidate_blockings(machine, unroll=unroll)
+    )
     if not cands:
         raise ValueError("no feasible blocking candidates for this machine")
     results: List[TuneResult] = []

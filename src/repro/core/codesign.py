@@ -35,7 +35,7 @@ class DesignPoint:
     """One (hardware, software) point in the co-design space."""
 
     machine: MachineConfig
-    policy: KernelPolicy = KernelPolicy()
+    policy: KernelPolicy = field(default_factory=KernelPolicy)
     label: str = ""
 
     def name(self) -> str:
@@ -215,7 +215,7 @@ def sweep(
     axis_name: str,
     values: Iterable,
     machine_for: Callable[[object], MachineConfig],
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
@@ -239,6 +239,8 @@ def sweep(
     for sweeps unless ``REPRO_TRACE`` says otherwise; each point's
     provenance lands in ``SweepResult.sources``.
     """
+    if policy is None:
+        policy = KernelPolicy()
     values = list(values)
     machines = [machine_for(v) for v in values]
     n_jobs = resolve_jobs(jobs)
@@ -263,7 +265,7 @@ def sweep_vector_lengths(
     net: Network,
     vlens: Sequence[int],
     base_machine: Callable[[int], MachineConfig],
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
@@ -274,6 +276,8 @@ def sweep_vector_lengths(
     ``base_machine`` maps a vector length in bits to a machine config
     (e.g. ``lambda v: rvv_gem5(vlen_bits=v, lanes=8, l2_mb=1)``).
     """
+    if policy is None:
+        policy = KernelPolicy()
     return sweep(
         net, "vlen_bits", vlens, base_machine, policy, n_layers, jobs,
         use_cache, use_trace,
@@ -284,7 +288,7 @@ def sweep_cache_sizes(
     net: Network,
     l2_mbs: Sequence[int],
     base_machine: Callable[[int], MachineConfig],
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
@@ -295,6 +299,8 @@ def sweep_cache_sizes(
     The prime beneficiary of trace replay: every point of an L2 sweep
     shares one kernel event stream, so the kernels run exactly once.
     """
+    if policy is None:
+        policy = KernelPolicy()
     return sweep(
         net, "l2_mb", l2_mbs, base_machine, policy, n_layers, jobs,
         use_cache, use_trace,
@@ -305,7 +311,7 @@ def sweep_lanes(
     net: Network,
     lanes: Sequence[int],
     base_machine: Callable[[int], MachineConfig],
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     n_layers: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
@@ -318,6 +324,8 @@ def sweep_lanes(
     pass does not split on lanes, so ``replay_sweep`` declines the
     group and each point simulates directly (see docs/TRACE_REPLAY.md).
     """
+    if policy is None:
+        policy = KernelPolicy()
     return sweep(
         net, "lanes", lanes, base_machine, policy, n_layers, jobs,
         use_cache, use_trace,

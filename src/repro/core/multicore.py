@@ -78,7 +78,7 @@ def _split_network(net: Network, cores: int) -> Network:
 def simulate_multicore(
     net: Network,
     machine: MachineConfig,
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     cores: int = 4,
     n_layers: Optional[int] = None,
 ) -> MulticoreResult:
@@ -87,6 +87,8 @@ def simulate_multicore(
     Returns cycles for the slowest core (= the layer-barrier time) and
     the speedup versus the same machine with one core.
     """
+    if policy is None:
+        policy = KernelPolicy()
     single = net.simulate(machine, policy, n_layers=n_layers)
     if cores == 1:
         return MulticoreResult(1, single.cycles, 1.0, single)
@@ -103,11 +105,13 @@ def simulate_multicore(
 def scaling_curve(
     net: Network,
     machine: MachineConfig,
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     core_counts=(1, 2, 4, 8),
     n_layers: Optional[int] = None,
 ) -> List[MulticoreResult]:
     """Speedup-vs-cores curve (used by the multicore extension bench)."""
+    if policy is None:
+        policy = KernelPolicy()
     return [
         simulate_multicore(net, machine, policy, cores, n_layers)
         for cores in core_counts

@@ -37,6 +37,7 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import suppress
 from typing import Optional
 
 from ..machine.simulator import SimStats
@@ -149,7 +150,8 @@ def store(key: str, stats: SimStats) -> None:
         "kernel_cycles": dict(stats.kernel_cycles),
     }
     directory = cache_dir()
-    try:
+    # read-only filesystem etc.: caching is best-effort
+    with suppress(OSError):
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
@@ -157,13 +159,9 @@ def store(key: str, stats: SimStats) -> None:
                 json.dump(entry, fh)
             os.replace(tmp, _entry_path(key))
         except BaseException:
-            try:
+            with suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
-    except OSError:
-        pass  # read-only filesystem etc.: caching is best-effort
 
 
 def clear() -> int:
@@ -176,9 +174,7 @@ def clear() -> int:
         return 0
     for name in names:
         if name.endswith(".json"):
-            try:
+            with suppress(OSError):
                 os.unlink(os.path.join(directory, name))
                 removed += 1
-            except OSError:
-                pass
     return removed

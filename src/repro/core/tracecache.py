@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import suppress
 from typing import Optional, Tuple
 
 from ..machine.trace import TRACE_FORMAT_VERSION, RecordedTrace
@@ -161,7 +162,8 @@ def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
         _REGISTRY.pop(next(iter(_REGISTRY)))
     if spill_enabled(spill):
         directory = spill_dir()
-        try:
+        # spilling is best-effort, like the simcache
+        with suppress(OSError):
             os.makedirs(directory, exist_ok=True)
             # The .npz suffix matters: numpy would otherwise append one
             # and write next to the (empty) mkstemp placeholder.
@@ -171,13 +173,9 @@ def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
                 trace.save(tmp)
                 os.replace(tmp, _spill_path(key))
             except BaseException:
-                try:
+                with suppress(OSError):
                     os.unlink(tmp)
-                except OSError:
-                    pass
                 raise
-        except OSError:
-            pass  # spilling is best-effort, like the simcache
 
 
 def get_or_capture(

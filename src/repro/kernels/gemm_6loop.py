@@ -14,6 +14,7 @@ on RVV, whose VPU reads via the L2 and ignores prefetch (Table II).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -60,7 +61,7 @@ def gemm_6loop(
     A: np.ndarray,
     B: np.ndarray,
     C: np.ndarray,
-    blocks: BlockSizes = BlockSizes(),
+    blocks: Optional[BlockSizes] = None,
     unroll: int = DEFAULT_UNROLL,
 ) -> np.ndarray:
     """Functional 6-loop GEMM, loop-for-loop after Fig. 3.
@@ -69,6 +70,8 @@ def gemm_6loop(
     identical to :func:`~repro.kernels.gemm_3loop.gemm_3loop` up to f32
     summation-order effects within each K block.
     """
+    if blocks is None:
+        blocks = BlockSizes()
     M, K = A.shape
     K2, N = B.shape
     if K2 != K or C.shape != (M, N):
@@ -120,7 +123,7 @@ def trace_gemm_6loop(
     a_base: int,
     b_base: int,
     c_base: int,
-    blocks: BlockSizes = BlockSizes(),
+    blocks: Optional[BlockSizes] = None,
     unroll: int = DEFAULT_UNROLL,
     alpha_is_one: bool = True,
 ) -> None:
@@ -132,6 +135,8 @@ def trace_gemm_6loop(
     events follow Fig. 3: C block into L1 (line 11), packed panels into
     L2 (lines 12-13) and the next k-slices into L1 (lines 16-17).
     """
+    if blocks is None:
+        blocks = BlockSizes()
     vl = sim.machine.vlen_f32
     u_max = min(unroll, blocks.m)
     line = sim.machine.l1.line_bytes

@@ -108,10 +108,11 @@ def winograd_conv2d(
     else:
         v = input_transform_batched(t, tiles)
 
-    if transformed_weights is None:
-        u = weight_transform_batched(t, weights.astype(np.float64))
-    else:
-        u = transformed_weights
+    u = (
+        weight_transform_batched(t, weights.astype(np.float64))
+        if transformed_weights is None
+        else transformed_weights
+    )
     # Tuple multiplication: per tuple position (i,j), M = U @ V over
     # channels — vectorized here across all 64 positions at once, the
     # way the VLA kernel consumes them.

@@ -99,9 +99,8 @@ class SetAssocCache:
             return True
         self.misses += 1
         ways[line_addr] = write
-        if len(ways) > self.assoc:
-            if ways.pop(next(iter(ways))):
-                self.writebacks += 1
+        if len(ways) > self.assoc and ways.pop(next(iter(ways))):
+            self.writebacks += 1
         return False
 
     def fill(self, line_addr: int) -> bool:
@@ -115,9 +114,8 @@ class SetAssocCache:
             return False
         ways[line_addr] = False
         self.prefetch_fills += 1
-        if len(ways) > self.assoc:
-            if ways.pop(next(iter(ways))):
-                self.writebacks += 1
+        if len(ways) > self.assoc and ways.pop(next(iter(ways))):
+            self.writebacks += 1
         return True
 
     def contains(self, line_addr: int) -> bool:

@@ -274,9 +274,8 @@ class MemoryHierarchy:
                 l1h += 1
                 continue
             ways[la] = write
-            if len(ways) > l1_assoc:
-                if ways.pop(next(iter(ways))):
-                    l1_wb += 1
+            if len(ways) > l1_assoc and ways.pop(next(iter(ways))):
+                l1_wb += 1
             l1m += 1
             if pf1 is not None:
                 pf1.observe(l1, la)
@@ -290,9 +289,8 @@ class MemoryHierarchy:
             else:
                 l2m_o += 1
                 ways2[l2a] = write
-                if len(ways2) > l2_assoc:
-                    if ways2.pop(next(iter(ways2))):
-                        l2_wb += 1
+                if len(ways2) > l2_assoc and ways2.pop(next(iter(ways2))):
+                    l2_wb += 1
                 hit2 = range_hit(la << shift)
             if hit2:
                 lat += l1_l2_lat
@@ -340,9 +338,8 @@ class MemoryHierarchy:
             return lat + self._l1_lat, (0.0, 0.0), (1, 0, 0, 0, 0, 0)
         l1.misses += 1
         ways[la] = write
-        if len(ways) > l1.assoc:
-            if ways.pop(next(iter(ways))):
-                l1.writebacks += 1
+        if len(ways) > l1.assoc and ways.pop(next(iter(ways))):
+            l1.writebacks += 1
         if self._pf1_on:
             self.l1_prefetcher.observe(l1, la)
         occ1 = 0.0 + self._fill_l1
@@ -361,9 +358,8 @@ class MemoryHierarchy:
             )
         l2.misses += 1
         ways2[l2a] = write
-        if len(ways2) > l2.assoc:
-            if ways2.pop(next(iter(ways2))):
-                l2.writebacks += 1
+        if len(ways2) > l2.assoc and ways2.pop(next(iter(ways2))):
+            l2.writebacks += 1
         if self._range_hit(la << self._l1_shift):
             return (
                 lat + self._l1_lat + self._l2_lat,
@@ -444,17 +440,13 @@ class MemoryHierarchy:
                     continue
                 l2m_o += 1
                 ways[la] = write
-                if len(ways) > l2_assoc:
-                    if ways.pop(next(iter(ways))):
-                        l2_wb += 1
+                if len(ways) > l2_assoc and ways.pop(next(iter(ways))):
+                    l2_wb += 1
                 # MRU-range fast path: _range_hit walks newest-first and
                 # does not reorder on a last-entry hit, so checking it
                 # inline is equivalent.
                 a = la << shift
-                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                    lat += l2_lat
-                    l2h += 1
-                elif range_hit(a):
+                if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                     lat += l2_lat
                     l2h += 1
                 else:
@@ -474,17 +466,13 @@ class MemoryHierarchy:
                     continue
                 l2m_o += 1
                 ways[la] = write
-                if len(ways) > l2_assoc:
-                    if ways.pop(next(iter(ways))):
-                        l2_wb += 1
+                if len(ways) > l2_assoc and ways.pop(next(iter(ways))):
+                    l2_wb += 1
                 # MRU-range fast path: _range_hit walks newest-first and
                 # does not reorder on a last-entry hit, so checking it
                 # inline is equivalent.
                 a = la << shift
-                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                    lat += l2_lat
-                    l2h += 1
-                elif range_hit(a):
+                if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                     lat += l2_lat
                     l2h += 1
                 else:
@@ -582,9 +570,8 @@ class MemoryHierarchy:
                     l1h += 1
                     continue
                 ways[la] = write
-                if len(ways) > l1_assoc:
-                    if ways.pop(next(iter(ways))):
-                        l1_wb += 1
+                if len(ways) > l1_assoc and ways.pop(next(iter(ways))):
+                    l1_wb += 1
                 l1m += 1
                 if pf1 is not None:
                     pf1.observe(l1, la)
@@ -598,9 +585,8 @@ class MemoryHierarchy:
                 else:
                     l2m_o += 1
                     ways2[l2a] = write
-                    if len(ways2) > l2_assoc:
-                        if ways2.pop(next(iter(ways2))):
-                            l2_wb += 1
+                    if len(ways2) > l2_assoc and ways2.pop(next(iter(ways2))):
+                        l2_wb += 1
                     hit2 = range_hit(la << shift)
                 if hit2:
                     lat += l1_l2_lat
@@ -674,9 +660,8 @@ class MemoryHierarchy:
                         vch += 1
                         continue
                     vc_set[la] = write
-                    if len(vc_set) > vc_assoc:
-                        if vc_set.pop(next(iter(vc_set))):
-                            vc_wb += 1
+                    if len(vc_set) > vc_assoc and vc_set.pop(next(iter(vc_set))):
+                        vc_wb += 1
                 ways = l2_sets[la % l2_num]
                 dirty = ways.pop(la, None)
                 if dirty is not None:
@@ -686,9 +671,8 @@ class MemoryHierarchy:
                 else:
                     l2m_o += 1
                     ways[la] = write
-                    if len(ways) > l2_assoc:
-                        if ways.pop(next(iter(ways))):
-                            l2_wb += 1
+                    if len(ways) > l2_assoc and ways.pop(next(iter(ways))):
+                        l2_wb += 1
                     hit = range_hit(la << shift)
                 if hit:
                     lat += l2_lat

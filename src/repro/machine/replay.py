@@ -529,7 +529,7 @@ class _GroupCapture(SampledTraceBase):
         tlb = self._tlb
         port_l1 = self._port_l1
         vch = 0
-        if stride == 0 or stride == ew:
+        if stride in (0, ew):
             unit = True
             # Pricing granularity is the L1 line even on L2-port
             # machines — lock-step with TraceSimulator._vmem.
@@ -981,9 +981,7 @@ def _point_pass(prog: list, inv: SimStats, machine: MachineConfig, gc: dict) -> 
                 ways[l2a] = True
                 if len(ways) > l2_assoc:
                     ways.pop(next(iter(ways)))
-                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                    nh += 1
-                elif range_hit(a):
+                if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                     nh += 1
                 else:
                     nm += 1
@@ -1021,9 +1019,7 @@ def _point_pass(prog: list, inv: SimStats, machine: MachineConfig, gc: dict) -> 
                 ways[l2a] = True
                 if len(ways) > l2_assoc:
                     ways.pop(next(iter(ways)))
-                if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                    nh += 1
-                elif range_hit(a):
+                if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                     nh += 1
                 else:
                     nm += 1
@@ -1146,18 +1142,14 @@ def _point_pass_hybrid(
                         ways[l2a] = True
                         if len(ways) > l2_assoc:
                             ways.pop(next(iter(ways)))
-                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                            nh += 1
-                        elif range_hit(a):
+                        if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                             nh += 1
                         else:
                             nm += 1
                     elif a in ftset:
                         # Cold first touch: range check, in stream order.
                         ftset.remove(a)
-                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                            nh += 1
-                        elif range_hit(a):
+                        if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                             nh += 1
                         else:
                             nm += 1
@@ -1177,9 +1169,7 @@ def _point_pass_hybrid(
                         ways[l2a] = True
                         if len(ways) > l2_assoc:
                             ways.pop(next(iter(ways)))
-                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                            nh += 1
-                        elif range_hit(a):
+                        if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                             nh += 1
                         else:
                             nm += 1
@@ -1220,17 +1210,13 @@ def _point_pass_hybrid(
                         ways[l2a] = True
                         if len(ways) > l2_assoc:
                             ways.pop(next(iter(ways)))
-                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                            nh += 1
-                        elif range_hit(a):
+                        if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                             nh += 1
                         else:
                             nm += 1
                     elif a in ftset:
                         ftset.remove(a)
-                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                            nh += 1
-                        elif range_hit(a):
+                        if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                             nh += 1
                         else:
                             nm += 1
@@ -1248,9 +1234,7 @@ def _point_pass_hybrid(
                         ways[l2a] = True
                         if len(ways) > l2_assoc:
                             ways.pop(next(iter(ways)))
-                        if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                            nh += 1
-                        elif range_hit(a):
+                        if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                             nh += 1
                         else:
                             nm += 1
@@ -1351,9 +1335,7 @@ def _point_pass_fast(
             ft = it[11]
             if ft:
                 for a in ft:
-                    if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                        nh += 1
-                    elif range_hit(a):
+                    if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                         nh += 1
                     else:
                         nm += 1
@@ -1383,9 +1365,7 @@ def _point_pass_fast(
             ft = it[7]
             if ft:
                 for a in ft:
-                    if ranges and ranges[-1][0] <= a < ranges[-1][1]:
-                        nh += 1
-                    elif range_hit(a):
+                    if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
                         nh += 1
                     else:
                         nm += 1
@@ -1498,16 +1478,12 @@ def _point_pass_fast2(
             nm_a = nm_b = 0
             if ft:
                 for a in ft:
-                    if ranges_a and ranges_a[-1][0] <= a < ranges_a[-1][1]:
-                        nh_a += 1
-                    elif range_hit_a(a):
+                    if (ranges_a and ranges_a[-1][0] <= a < ranges_a[-1][1]) or range_hit_a(a):
                         nh_a += 1
                     else:
                         nm_a += 1
                 for a in ft:
-                    if ranges_b and ranges_b[-1][0] <= a < ranges_b[-1][1]:
-                        nh_b += 1
-                    elif range_hit_b(a):
+                    if (ranges_b and ranges_b[-1][0] <= a < ranges_b[-1][1]) or range_hit_b(a):
                         nh_b += 1
                     else:
                         nm_b += 1
@@ -1559,16 +1535,12 @@ def _point_pass_fast2(
             nm_a = nm_b = 0
             if ft:
                 for a in ft:
-                    if ranges_a and ranges_a[-1][0] <= a < ranges_a[-1][1]:
-                        nh_a += 1
-                    elif range_hit_a(a):
+                    if (ranges_a and ranges_a[-1][0] <= a < ranges_a[-1][1]) or range_hit_a(a):
                         nh_a += 1
                     else:
                         nm_a += 1
                 for a in ft:
-                    if ranges_b and ranges_b[-1][0] <= a < ranges_b[-1][1]:
-                        nh_b += 1
-                    elif range_hit_b(a):
+                    if (ranges_b and ranges_b[-1][0] <= a < ranges_b[-1][1]) or range_hit_b(a):
                         nh_b += 1
                     else:
                         nm_b += 1
@@ -1736,10 +1708,11 @@ def _run_points(
         i = fast_jobs[j]
         results[i] = _point_pass_fast(prog, inv, machines[i], gc)
     for i, hot in slow_jobs:
-        if hot is not None:
-            results[i] = _point_pass_hybrid(prog, inv, machines[i], gc, hot)
-        else:
-            results[i] = _point_pass(prog, inv, machines[i], gc)
+        results[i] = (
+            _point_pass_hybrid(prog, inv, machines[i], gc, hot)
+            if hot is not None
+            else _point_pass(prog, inv, machines[i], gc)
+        )
     for i, owner in eq_copies:
         results[i] = _copy_stats(results[owner])
     return results

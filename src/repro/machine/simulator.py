@@ -344,7 +344,7 @@ class TraceSimulator(SampledTraceBase):
         if n_elems <= 0:
             return
         nbytes = n_elems * ew
-        if stride == 0 or stride == ew:
+        if stride in (0, ew):
             unit_stride = True
             lat, (occ1, occ2), st = self._vec_access(addr, nbytes, write)
             l1_line = self._l1_line

@@ -202,10 +202,11 @@ class ConvLayer(Layer):
             out = winograd_conv2d(x, wt["w"], spec)
         else:
             a = wt["w"].reshape(spec.M, spec.K)
-            if self.size == 1 and self.stride == 1 and self.pad == 0:
-                cols = x.reshape(spec.K, spec.N)  # Darknet skips im2col
-            else:
-                cols = im2col(x, spec)
+            cols = (
+                x.reshape(spec.K, spec.N)  # Darknet skips im2col
+                if self.size == 1 and self.stride == 1 and self.pad == 0
+                else im2col(x, spec)
+            )
             c = np.zeros((spec.M, spec.N), dtype=np.float32)  # fill_cpu
             impl = policy.functional_gemm
             if impl == "blas":

@@ -85,11 +85,13 @@ class Network:
     def forward(
         self,
         x: np.ndarray,
-        policy: KernelPolicy = KernelPolicy(),
+        policy: Optional[KernelPolicy] = None,
         isa=None,
         n_layers: Optional[int] = None,
     ) -> np.ndarray:
         """Run inference; returns the last executed layer's activation."""
+        if policy is None:
+            policy = KernelPolicy()
         if x.shape != self.input_shape:
             raise ValueError(f"input shape {x.shape} != {self.input_shape}")
         outputs: List[np.ndarray] = []
@@ -116,7 +118,7 @@ class Network:
     def simulate(
         self,
         machine: MachineConfig,
-        policy: KernelPolicy = KernelPolicy(),
+        policy: Optional[KernelPolicy] = None,
         n_layers: Optional[int] = None,
         deduplicate: bool = True,
         use_cache: Optional[bool] = None,
@@ -143,6 +145,8 @@ class Network:
         along an L2 or lane axis).  ``None`` (default) defers to
         ``REPRO_TRACE``, which is off for single simulations.
         """
+        if policy is None:
+            policy = KernelPolicy()
         # Imported lazily to avoid a cycle (repro.core imports this
         # module at package init).
         from ..core import simcache, tracecache
@@ -171,7 +175,7 @@ class Network:
     def record_trace(
         self,
         machine: MachineConfig,
-        policy: KernelPolicy = KernelPolicy(),
+        policy: Optional[KernelPolicy] = None,
         n_layers: Optional[int] = None,
         deduplicate: bool = True,
         key: Optional[str] = None,
@@ -184,6 +188,8 @@ class Network:
         machine sharing *machine*'s ISA name, vector length and L1 line
         size.
         """
+        if policy is None:
+            policy = KernelPolicy()
         from ..machine.trace import TraceRecorder
 
         rec = TraceRecorder(machine)
@@ -199,10 +205,14 @@ class Network:
     def analyze(
         self,
         machine: MachineConfig,
-        policy: KernelPolicy = KernelPolicy(),
+        policy: Optional[KernelPolicy] = None,
         n_layers: Optional[int] = None,
         deduplicate: bool = True,
         oracle: bool = False,
+        max_examples: int = 3,
+        rules=None,
+        ignore=None,
+        reuse: bool = True,
     ):
         """Statically analyze this network's trace on *machine*.
 
@@ -212,13 +222,20 @@ class Network:
         so a stream already captured for simulation or a sweep is
         analyzed without re-tracing.  With ``oracle=True`` the report
         also cross-checks the static bounds against one simulated run.
+        ``rules``/``ignore`` scope the reported findings by rule-id
+        prefix, *max_examples* caps example events per finding, and
+        ``reuse=False`` skips the temporal reuse-distance pass.
         Returns an :class:`repro.analysis.AnalysisReport`.
         """
+        if policy is None:
+            policy = KernelPolicy()
         from ..analysis import analyze_network
 
         return analyze_network(
             self, machine, policy=policy, n_layers=n_layers,
             deduplicate=deduplicate, oracle=oracle,
+            max_examples=max_examples, rules=rules, ignore=ignore,
+            reuse=reuse,
         )
 
     def _emit_trace(self, sim, policy, n_layers, deduplicate) -> None:
@@ -266,7 +283,7 @@ class Network:
     def simulate_stream(
         self,
         machine: MachineConfig,
-        policy: KernelPolicy = KernelPolicy(),
+        policy: Optional[KernelPolicy] = None,
         n_images: int = 4,
         n_layers: Optional[int] = None,
     ) -> List[SimStats]:
@@ -275,6 +292,8 @@ class Network:
         over a stream).  Returns per-image statistics sharing one cache /
         TLB state: the first image runs cold, later images steady-state.
         """
+        if policy is None:
+            policy = KernelPolicy()
         if n_images < 1:
             raise ValueError("need at least one image")
         sim = TraceSimulator(machine)

@@ -55,7 +55,7 @@ class KernelProfile:
 def profile_network(
     net: Network,
     machine: MachineConfig,
-    policy: KernelPolicy = KernelPolicy(),
+    policy: Optional[KernelPolicy] = None,
     n_layers: Optional[int] = None,
 ) -> KernelProfile:
     """Simulate *net* and reduce its cycles to per-kernel shares.
@@ -63,6 +63,8 @@ def profile_network(
     Winograd sub-stages are rolled up under ``"winograd"`` so the
     breakdown compares directly with the paper's GEMM/im2col/... split.
     """
+    if policy is None:
+        policy = KernelPolicy()
     stats = net.simulate(machine, policy, n_layers=n_layers)
     total = stats.cycles or 1.0
     shares: Dict[str, float] = {}

@@ -35,6 +35,7 @@ from repro.machine.trace import (
     OP_SW_PREFETCH,
     OP_VARITH,
     OP_VLOAD,
+    OP_VSTORE,
     RecordedTrace,
     TraceRecorder,
 )
@@ -537,3 +538,109 @@ def test_tracecache_verify_discards_corrupt_spill(tmp_path, monkeypatch, trace, 
     loaded = tracecache.get("goodf00d")
     assert loaded is not None and loaded.n_events == trace.n_events
     tracecache.clear_registry()
+
+
+# ----------------------------------------------------------------------
+# SVE-preset and stride-2 Winograd coverage (verifier + new passes)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def sve_machine():
+    return sve_gem5(vlen_bits=512, l2_mb=1)
+
+
+@pytest.fixture(scope="module")
+def sve_trace(sve_machine):
+    return small_net().record_trace(sve_machine, KernelPolicy())
+
+
+def test_sve_clean_trace_has_no_findings(sve_trace, sve_machine):
+    assert verify_trace(sve_trace, sve_machine) == []
+
+
+def test_sve_oob_unallocated_fires(sve_trace, sve_machine):
+    top = max(b + s for _, b, s in sve_trace.buffers)
+
+    def shift(cols):
+        i = np.flatnonzero(cols["op"] == OP_VLOAD)[0]
+        cols["i0"][i] = top + 4096
+
+    found = verify_trace(mutate(sve_trace, shift), sve_machine)
+    assert "trace/oob-unallocated" in rules_of(found)
+
+
+def test_sve_vl_exceeds_grant_fires(sve_trace, sve_machine):
+    def inflate(cols):
+        i = np.flatnonzero(cols["op"] == OP_VLOAD)[0]
+        cols["i1"][i] = 10 ** 6
+
+    found = verify_trace(mutate(sve_trace, inflate), sve_machine)
+    assert "trace/vl-exceeds-grant" in rules_of(found)
+
+
+@pytest.fixture(scope="module", params=["rvv", "sve"])
+def s2_setup(request):
+    """Stride-2 decomposed Winograd trace (the Section VII-A kernel)."""
+    from repro.kernels import ConvSpec
+    from repro.kernels.winograd import trace_stride2_decomposed
+
+    m = (rvv_gem5(l2_mb=4) if request.param == "rvv"
+         else sve_gem5(l2_mb=4))
+    rec = TraceRecorder(m)
+    trace_stride2_decomposed(rec, ConvSpec(16, 32, 32, 16, 3, 2, 1))
+    return m, rec.finish()
+
+
+def test_stride2_winograd_analyzes_clean(s2_setup):
+    m, t = s2_setup
+    rep = analyze_trace(t, m, net_name="s2")
+    assert rep.ok, [f.as_dict() for f in rep.findings]
+    assert any(r["kernel"].startswith(("wino", "s2")) for r in rep.reuse)
+    assert {"s2_phase_extract", "wino_tuple_mult", "s2_accumulate"} <= set(
+        t.labels
+    )
+
+
+def test_stride2_winograd_verifier_corruption_fires(s2_setup):
+    m, t = s2_setup
+    top = max(b + s for _, b, s in t.buffers)
+
+    def shift(cols):
+        i = np.flatnonzero(cols["op"] == OP_VLOAD)[0]
+        cols["i0"][i] = top + 4096
+
+    assert "trace/oob-unallocated" in rules_of(verify_trace(mutate(t, shift), m))
+
+
+def test_stride2_winograd_dataflow_corruption_fires(s2_setup):
+    """Delaying the base-covering tuple-mult M-writes past their reader.
+
+    Same surgery as the im2col test in test_temporal.py, applied to the
+    stride-2 Winograd pipeline: ``wino_output_transform`` then consumes
+    ``s2_M`` bytes that are only produced afterwards.  (The output
+    transform's reads fold onto the panel base, so the *first* half of
+    the ascending write stream is the one that feeds it.)
+    """
+    from repro.analysis import defuse_trace
+
+    m, t = s2_setup
+    kid_mult = t.labels.index("wino_tuple_mult")
+    kid = np.asarray(t.kid)
+    base = next(b for n, b, _s in t.buffers if n == "s2_M")
+    # Every tuple-mult pass rewrites s2_M from its base, so split by
+    # address, not time: delay all writes into the consumed window.
+    move = (
+        (kid == kid_mult)
+        & (np.asarray(t.op) == OP_VSTORE)
+        & (np.asarray(t.i0) >= base)
+        & (np.asarray(t.i0) < base + 1024)
+    )
+    order = np.argsort(move, kind="stable")
+
+    def permute(cols):
+        for name in cols:
+            cols[name][:] = cols[name][order]
+
+    found = defuse_trace(mutate(t, permute), m)
+    assert "dataflow/read-before-write" in rules_of(found)
+    assert any("s2_M" in f.where for f in found)

@@ -191,9 +191,8 @@ class TestSampling:
         assert sim.stats.cycles == 31
 
     def test_region_negative_rejected(self, sim):
-        with pytest.raises(ValueError):
-            with sim.region(-1):
-                pass
+        with pytest.raises(ValueError), sim.region(-1):
+            pass
 
     @given(n=st.integers(1, 2000), w=st.integers(0, 8), s=st.integers(1, 16))
     @settings(max_examples=40)

@@ -1,0 +1,576 @@
+"""Temporal dataflow analysis: reuse distances, def-use, baseline gate.
+
+Three pass families under test:
+
+* **Reuse distances** (:mod:`repro.analysis.reusedist`) — exact on
+  handmade cyclic/strided streams, monotone miss curves on real traces,
+  and the predicted L2 knee validated against a *real*
+  ``sweep_cache_sizes`` run (tolerance: within one power of two of the
+  capacity where the simulated miss curve flattens — the band
+  documented in docs/ANALYSIS.md).
+* **Def-use chains** (:mod:`repro.analysis.defuse`) — every seeded
+  corruption trips exactly its rule, every shipped preset/policy comes
+  back clean, and exemptions (external buffers, ``_out`` sinks,
+  same-label RMW) hold.
+* **Baseline gate** (:mod:`repro.analysis.baseline`) — canonical
+  reports are reproducible, the committed references match live runs,
+  and injected drift flips the CLI exit code.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_trace,
+    canonical_report,
+    defuse_trace,
+    diff_documents,
+    filter_findings,
+    reuse_distances,
+    rule_rows,
+    verify_trace,
+)
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES
+from repro.cli import main
+from repro.core import sweep_cache_sizes, tracecache
+from repro.machine import rvv_gem5, sve_gem5
+from repro.machine.config import KB, MB
+from repro.machine.trace import RecordedTrace, TraceRecorder
+from repro.nets import ConvLayer, KernelPolicy, Network
+from repro.nets.zoo import yolov3_tiny
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rvv_gem5(vlen_bits=512, l2_mb=1)
+
+
+def small_net():
+    return Network(
+        [ConvLayer(8, 3, 1), ConvLayer(16, 3, 1)],
+        input_shape=(4, 32, 32),
+        name="small",
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(machine):
+    return small_net().record_trace(machine, KernelPolicy())
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Reuse distances: exact on handmade streams
+# ----------------------------------------------------------------------
+
+def test_cyclic_stream_exact_stack_distance(machine):
+    """Re-streaming R lines cyclically gives stack distance exactly R."""
+    line = machine.l2.line_bytes
+    R, passes = 64, 5
+    rec = TraceRecorder(machine)
+    buf = rec.alloc("x", R * line)
+    with rec.kernel("k"):
+        for _ in range(passes):
+            for i in range(R):
+                rec.vload(buf.base + i * line, line // 4, 4)
+    rr = reuse_distances(rec.finish(), machine)
+    assert rr.n_lines == R
+    assert float(rr.cold.sum()) == R
+    assert float(rr.total.sum()) == passes * R
+    hist = rr.hist.sum(axis=0)
+    b = int(np.log2(R))
+    # All reuse mass in the bucket containing R; nothing anywhere else.
+    assert hist[b] == (passes - 1) * R
+    assert hist.sum() == hist[b]
+    # A cache of 2R lines holds the whole loop: only cold misses left.
+    assert rr.miss_ratio(2 * R * line) == pytest.approx(1 / passes)
+    # Half the loop thrashes LRU completely.
+    assert rr.miss_ratio(R * line // 2) == 1.0
+
+
+def test_strided_expansion_one_line_per_element(machine):
+    line = machine.l2.line_bytes
+    rec = TraceRecorder(machine)
+    buf = rec.alloc("x", 1 << 20)
+    with rec.kernel("k"):
+        rec.vload(buf.base, 8, 4, stride=line)  # 8 distinct lines
+        rec.vload(buf.base, 8, 4, stride=line)  # ... reused at depth 8
+    rr = reuse_distances(rec.finish(), machine)
+    assert rr.n_lines == 8 and rr.n_touches == 16
+    assert float(rr.cold.sum()) == 8
+    assert rr.hist.sum(axis=0)[3] == 8  # sd = 8 -> bucket log2(8) = 3
+
+
+def test_per_label_histograms_are_disjoint(machine):
+    line = machine.l2.line_bytes
+    rec = TraceRecorder(machine)
+    buf = rec.alloc("x", 64 * line)
+    with rec.kernel("a"):
+        for _ in range(2):
+            for i in range(4):
+                rec.vload(buf.base + i * line, line // 4, 4)
+    with rec.kernel("b"):
+        for _ in range(2):
+            for i in range(8):
+                rec.vload(buf.base + (32 + i) * line, line // 4, 4)
+    rr = reuse_distances(rec.finish(), machine)
+    ia, ib = rr.labels.index("a"), rr.labels.index("b")
+    assert rr.total[ia] == 8 and rr.total[ib] == 16
+    assert rr.cold[ia] == 4 and rr.cold[ib] == 8
+    assert rr.hist[ia].sum() == 4 and rr.hist[ib].sum() == 8
+    # Label "a" cycles 4 lines: exact sd = 4 (bucket 2).  Label "b"
+    # cycles 8, but StatStack mixes in a's shorter reuse times, so its
+    # estimate is slightly below 8 — still strictly deeper than a's.
+    assert rr.hist[ia, 2] == 4
+    assert rr._label_quantile(ib, 0.5) >= rr._label_quantile(ia, 0.5)
+    assert rr.miss_ratio(4 * line, "b") == 1.0  # 4 lines thrash b
+    assert rr.miss_ratio(16 * line, "b") == 0.5  # 16 lines hold it
+
+
+def test_sampling_weights_enter_the_clock(machine):
+    """A weighted touch advances virtual time by its weight."""
+    line = machine.l2.line_bytes
+    rec = TraceRecorder(machine)
+    buf = rec.alloc("x", 64 * line)
+    with rec.kernel("k"), rec.region(3.0):
+        rec.vload(buf.base, line // 4, 4)
+    rr = reuse_distances(rec.finish(), machine)
+    assert float(rr.total.sum()) == 3.0
+    assert float(rr.cold.sum()) == 3.0
+
+
+def test_miss_curve_monotone_on_real_trace(trace, machine):
+    rr = reuse_distances(trace, machine)
+    curve = rr.miss_curve()
+    caps = sorted(curve, key=int)
+    vals = [curve[c] for c in caps]
+    assert all(0.0 <= v <= 1.0 for v in vals)
+    assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+    # The knee is one of the tabulated capacities' neighbourhood and
+    # the curve is essentially flat (cold-only) beyond it.
+    knee = rr.predicted_knee_bytes()
+    assert knee >= rr.line_bytes
+
+
+def test_reuse_report_rows_and_dict(trace, machine):
+    rr = reuse_distances(trace, machine)
+    rows = rr.rows()
+    assert rows and {"kernel", "touches_m", "cold_pct", "sd_p50_kb",
+                     "sd_p90_kb", "miss_1mb_pct"} <= set(rows[0])
+    # Sorted by touch mass, heaviest first.
+    masses = [r["touches_m"] for r in rows]
+    assert masses == sorted(masses, reverse=True)
+    doc = rr.as_dict()
+    assert doc["n_touches"] == rr.n_touches and doc["labels"]
+
+
+def test_im2col_winograd_reuse_separation(machine):
+    """Winograd's transform streams have shorter reuse than im2col+GEMM.
+
+    The paper's Section VII argument: the Winograd pipeline trades the
+    im2col'd GEMM's long re-streaming reuse for tile-local transforms.
+    The per-label histograms must show gemm's median stack distance
+    above the winograd transforms' (on the same layer shapes).
+    """
+    net = Network([ConvLayer(32, 3, 1)], input_shape=(16, 32, 32), name="c")
+    t_gemm = net.record_trace(machine, KernelPolicy(winograd="off"))
+    t_wino = net.record_trace(machine, KernelPolicy(winograd="stride1"))
+    r_gemm = reuse_distances(t_gemm, machine)
+    r_wino = reuse_distances(t_wino, machine)
+    assert "gemm" in r_gemm.labels
+    wino_labels = [l for l in r_wino.labels if l.startswith("wino")]
+    assert wino_labels
+    gemm_p50 = r_gemm._label_quantile(r_gemm.labels.index("gemm"), 0.5)
+    wino_p50 = max(
+        r_wino._label_quantile(r_wino.labels.index(l), 0.5)
+        for l in wino_labels
+        if r_wino.hist[r_wino.labels.index(l)].sum() > 0
+    )
+    assert wino_p50 <= gemm_p50
+
+
+def test_knee_matches_real_cache_sweep():
+    """Predicted knee within one power of two of the sweep's flat point.
+
+    The documented tolerance band (docs/ANALYSIS.md): the predicted
+    knee ``K`` satisfies ``F/2 <= K <= 2F`` where ``F`` is the smallest
+    swept capacity whose simulated miss rate equals the largest swept
+    capacity's (the measured flattening).  The predicted miss-ratio
+    curve must also order the swept capacities the same way the
+    simulation does.
+    """
+    net = yolov3_tiny()
+    m = rvv_gem5(vlen_bits=512, l2_mb=1)
+    t, _ = tracecache.get_or_capture(net, m, KernelPolicy(), 13)
+    rr = reuse_distances(t, m)
+    knee = rr.predicted_knee_bytes()
+
+    sizes = [4, 32, 64]
+    res = sweep_cache_sizes(
+        net, sizes,
+        lambda mb: rvv_gem5(vlen_bits=512, l2_mb=mb),
+        n_layers=13, use_trace=True,
+    )
+    sim = {r["l2_mb"]: r["l2_miss_rate"] for r in res.as_rows()}
+    flat = next(
+        mb for mb in sizes if abs(sim[mb] - sim[sizes[-1]]) < 1e-9
+    )
+    assert flat * MB // 2 <= knee <= 2 * flat * MB, (knee, flat)
+
+    # Ordering agreement: predicted miss(C) decreasing exactly where
+    # the simulated miss rate decreases.
+    pred = [rr.miss_ratio(mb * MB) for mb in sizes]
+    simv = [sim[mb] for mb in sizes]
+    for (pa, pb), (sa, sb) in zip(
+        zip(pred, pred[1:]), zip(simv, simv[1:])
+    ):
+        if sa > sb + 1e-6:
+            assert pa > pb, (pred, simv)
+        assert pb <= pa + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Def-use: every seeded corruption fires exactly its rule
+# ----------------------------------------------------------------------
+
+def _seed_read_before_write(machine):
+    rec = TraceRecorder(machine)
+    ws = rec.alloc("ws", 64 * KB)
+    with rec.kernel("pack"):
+        rec.vstore(ws.base, 64, 4)                 # defines [0, 256)
+    with rec.kernel("consume"):
+        rec.vload(ws.base + 4096, 64, 4)           # reads undefined bytes
+    with rec.kernel("pack_late"):
+        rec.vstore(ws.base + 4096, 64, 4)          # ... defined only later
+    return rec.finish()
+
+
+def test_read_before_write_fires(machine):
+    found = defuse_trace(_seed_read_before_write(machine), machine)
+    assert rules_of(found) == {"dataflow/read-before-write"}
+    (f,) = found
+    assert f.severity == "error" and f.count == 1
+    assert "consume" in f.where and "ws" in f.where
+    assert f.detail["examples"][0]["op"] == "vload"
+
+
+def test_write_after_read_overlap_fires(machine):
+    rec = TraceRecorder(machine)
+    ws = rec.alloc("ws", 64 * KB)
+    with rec.kernel("pack"):
+        rec.vstore(ws.base, 32, 4)                 # defines [0, 128)
+    with rec.kernel("consume"):
+        rec.vload(ws.base + 64, 48, 4)             # [64, 256): half stale
+    with rec.kernel("late_writer"):
+        rec.vstore(ws.base + 128, 16, 4)           # lands on stale bytes
+    found = defuse_trace(rec.finish(), machine)
+    assert rules_of(found) == {"dataflow/write-after-read-overlap"}
+    (f,) = found
+    assert f.severity == "error" and "late_writer" in f.where
+
+
+def test_dead_store_fires(machine):
+    rec = TraceRecorder(machine)
+    ws = rec.alloc("ws", 64 * KB)
+    with rec.kernel("pack"):
+        rec.vstore(ws.base, 256, 4)
+        rec.vstore(ws.base, 256, 4)                # rewrites, never read
+    found = defuse_trace(rec.finish(), machine)
+    assert rules_of(found) == {"dataflow/dead-store"}
+    (f,) = found
+    assert f.severity == "warning"
+    assert f.detail["overlapping_bytes"] == 1024
+
+
+def test_same_label_rmw_is_clean(machine):
+    """In-place accumulate (same kernel reads + writes) never fires."""
+    rec = TraceRecorder(machine)
+    acc = rec.alloc("acc_buf", 64 * KB)
+    with rec.kernel("accumulate"):
+        rec.vstore(acc.base, 64, 4)
+        for _ in range(3):
+            rec.vload(acc.base, 128, 4)            # reads past the def
+            rec.vstore(acc.base, 128, 4)
+    assert defuse_trace(rec.finish(), machine) == []
+
+
+def test_sink_buffer_exempt_from_dead_store(machine):
+    rec = TraceRecorder(machine)
+    out = rec.alloc("layer_out", 64 * KB)
+    with rec.kernel("store"):
+        rec.vstore(out.base, 256, 4)
+        rec.vstore(out.base, 256, 4)               # live-out by convention
+    assert defuse_trace(rec.finish(), machine) == []
+
+
+def test_external_buffers_skipped(machine):
+    rec = TraceRecorder(machine)
+    act = rec.alloc("activations0", 64 * KB)
+    scratch = rec.alloc("mystery", 64 * KB)
+    with rec.kernel("k"):
+        rec.vload(act.base, 64, 4)                 # external by prefix
+        rec.vload(scratch.base, 64, 4)             # first access is a read
+    with rec.kernel("k2"):
+        rec.vstore(act.base, 64, 4)
+        rec.vstore(scratch.base, 64, 4)
+    assert defuse_trace(rec.finish(), machine) == []
+
+
+def test_verify_trace_gates_on_dataflow(machine):
+    bad = _seed_read_before_write(machine)
+    assert "dataflow/read-before-write" in rules_of(verify_trace(bad, machine))
+    assert verify_trace(bad, machine, dataflow=False) == []
+
+
+def test_replay_verify_rejects_dataflow_corruption(machine):
+    from repro.machine.replay import replay
+
+    bad = _seed_read_before_write(machine)
+    with pytest.raises(ValueError, match="failed verification"):
+        replay(bad, machine, verify=True)
+
+
+def test_real_trace_surgery_consume_before_pack(trace, machine):
+    """Delaying half of layer-0's im2col trips read-before-write.
+
+    Moving *all* of im2col would make the workspace's first access a
+    read, which the pass deliberately treats as external data; moving
+    the upper half keeps im2col as the first writer while the GEMM
+    consumes rows that are now only produced after it ran.
+    """
+    kid_im2col = trace.labels.index("im2col")
+    kid_gemm = trace.labels.index("gemm")
+    kid = np.asarray(trace.kid)
+    first_gemm = int(np.flatnonzero(kid == kid_gemm)[0])
+    layer0 = np.flatnonzero(kid[:first_gemm] == kid_im2col)
+    move = np.zeros(kid.size, dtype=bool)
+    move[layer0[layer0.size // 2:]] = True
+    # Stable two-phase order: everything else first, moved events last.
+    order = np.argsort(move, kind="stable")
+    cols = [
+        np.asarray(getattr(trace, name))[order]
+        for name in ("op", "w", "kid", "i0", "i1", "i2", "i3", "f0")
+    ]
+    bad = RecordedTrace(
+        trace.key, trace.isa_name, trace.vlen_bits, trace.l1_line_bytes,
+        trace.labels, *cols, buffers=trace.buffers,
+    )
+    found = defuse_trace(bad, machine)
+    assert "dataflow/read-before-write" in rules_of(found)
+    assert any("workspace" in f.where for f in found)
+
+
+def test_all_dataflow_rules_registered():
+    fired = {"dataflow/read-before-write",
+             "dataflow/write-after-read-overlap",
+             "dataflow/dead-store"}
+    assert fired <= set(RULES)
+    for rule in fired:
+        sev, pas, _desc = RULES[rule]
+        assert pas == "defuse" and sev in ("error", "warning")
+
+
+# ----------------------------------------------------------------------
+# Zero findings on shipped presets (defuse included via verify_trace)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "machine_fn, policy",
+    [
+        (lambda: rvv_gem5(l2_mb=4), KernelPolicy(gemm="6loop", winograd="all3x3")),
+        (lambda: sve_gem5(l2_mb=4), KernelPolicy(gemm="6loop", winograd="all3x3")),
+        (lambda: sve_gem5(l2_mb=4), KernelPolicy(winograd="stride1")),
+    ],
+    ids=["rvv-6loop-all3x3", "sve-6loop-all3x3", "sve-wino"],
+)
+def test_presets_defuse_clean(machine_fn, policy):
+    m = machine_fn()
+    rep = yolov3_tiny().analyze(m, policy, n_layers=6)
+    assert rep.ok, [f.as_dict() for f in rep.findings]
+    assert rep.reuse and rep.reuse_knee_bytes > 0
+
+
+# ----------------------------------------------------------------------
+# Rule filtering and example caps (CLI satellites)
+# ----------------------------------------------------------------------
+
+def _findings():
+    return [
+        Finding(rule="trace/oob-overrun", severity="error", where="a", message="m"),
+        Finding(rule="dataflow/dead-store", severity="warning", where="b", message="m"),
+        Finding(rule="config/vlen-illegal", severity="error", where="c", message="m"),
+    ]
+
+
+def test_filter_findings_prefixes():
+    fs = _findings()
+    assert filter_findings(fs) == fs
+    assert rules_of(filter_findings(fs, rules=["dataflow"])) == {
+        "dataflow/dead-store"
+    }
+    assert rules_of(filter_findings(fs, rules=["trace", "config"])) == {
+        "trace/oob-overrun", "config/vlen-illegal"
+    }
+    assert rules_of(filter_findings(fs, ignore=["dataflow/dead-store"])) == {
+        "trace/oob-overrun", "config/vlen-illegal"
+    }
+    assert filter_findings(fs, rules=["dataflow"], ignore=["dataflow"]) == []
+
+
+def test_rule_rows_cover_registry():
+    rows = rule_rows()
+    assert {r["rule"] for r in rows} == set(RULES)
+    assert all(r["severity"] in ("error", "warning") for r in rows)
+
+
+def test_max_examples_caps_detail(machine):
+    rec = TraceRecorder(machine)
+    ws = rec.alloc("ws", 64 * KB)
+    with rec.kernel("pack"):
+        rec.vstore(ws.base, 64, 4)
+    with rec.kernel("consume"):
+        for i in range(8):
+            rec.vload(ws.base + 4096 + i * 256, 64, 4)
+    with rec.kernel("pack_late"):
+        for i in range(8):
+            rec.vstore(ws.base + 4096 + i * 256, 64, 4)
+    bad = rec.finish()
+    for cap in (1, 5):
+        found = verify_trace(bad, machine, max_examples=cap)
+        (f,) = found
+        assert f.count == 8 and len(f.detail["examples"]) == cap
+
+
+def test_max_examples_in_report(trace, machine):
+    rep = analyze_trace(trace, machine, net_name="small", max_examples=7)
+    assert rep.max_examples == 7
+    assert json.loads(rep.to_json())["max_examples"] == 7
+
+
+def test_analyze_trace_rule_filters(trace, machine):
+    # An unconstructible vlen makes lint and the verifier fire;
+    # filtering must be able to silence them selectively.
+    bad = rvv_gem5(vlen_bits=512, l2_mb=1)
+    object.__setattr__(bad, "vlen_bits", 384)
+    rep = analyze_trace(trace, bad, policy=KernelPolicy(), net_name="s")
+    assert not rep.ok
+    rep2 = analyze_trace(
+        trace, bad, policy=KernelPolicy(), net_name="s",
+        ignore=["config", "trace"],
+    )
+    assert rep2.ok
+    rep3 = analyze_trace(
+        trace, bad, policy=KernelPolicy(), net_name="s", rules=["dataflow"]
+    )
+    assert rep3.ok
+
+
+def test_cli_list_rules(capsys):
+    rc = main(["analyze", "--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "dataflow/dead-store" in out and "trace/oob-overrun" in out
+
+
+def test_cli_rules_and_max_examples(capsys):
+    rc = main(["analyze", "--net", "yolov3-tiny", "--layers", "2",
+               "--l2-mb", "4", "--rules", "dataflow,trace",
+               "--max-examples", "5", "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0 and doc["ok"] is True and doc["max_examples"] == 5
+
+
+def test_cli_ignore_suppresses_failure(capsys):
+    # vlen 384 fails lint + verifier; ignoring both families passes.
+    rc = main(["analyze", "--net", "yolov3-tiny", "--layers", "2",
+               "--vlen", "384"])
+    assert rc == 1
+    capsys.readouterr()
+    rc = main(["analyze", "--net", "yolov3-tiny", "--layers", "2",
+               "--vlen", "384", "--ignore", "config,trace"])
+    capsys.readouterr()
+    assert rc == 0
+
+
+# ----------------------------------------------------------------------
+# Baseline gate
+# ----------------------------------------------------------------------
+
+def test_canonical_report_reproducible(trace, machine):
+    rep1 = analyze_trace(trace, machine, policy=KernelPolicy(), net_name="s")
+    rep2 = analyze_trace(trace, machine, policy=KernelPolicy(), net_name="s")
+    d1, d2 = canonical_report(rep1), canonical_report(rep2)
+    assert "trace_key" not in d1 and "trace_cached" not in d1
+    assert diff_documents(d1, d2) == []
+    assert json.dumps(d1, sort_keys=True) == json.dumps(d2, sort_keys=True)
+
+
+def test_diff_documents_readable():
+    base = {"a": 1, "rows": [{"x": 1.0}, {"x": 2.0}], "gone": True}
+    live = {"a": 2, "rows": [{"x": 1.0}], "new": "k"}
+    drift = diff_documents(base, live)
+    assert any(d.startswith("a: 1 -> 2") for d in drift)
+    assert any("rows: length 2 -> 1" in d for d in drift)
+    assert any("gone" in d and "absent in live" in d for d in drift)
+    assert any("new" in d and "absent in baseline" in d for d in drift)
+    assert diff_documents(base, base) == []
+
+
+def test_baseline_roundtrip_and_drift(tmp_path, trace, machine):
+    rep = analyze_trace(trace, machine, policy=KernelPolicy(), net_name="s")
+    path = str(tmp_path / "base.json")
+    doc = canonical_report(rep)
+    write_baseline(path, doc)
+    assert diff_documents(load_baseline(path), doc) == []
+    tampered = load_baseline(path)
+    tampered["n_events"] += 1
+    drift = diff_documents(tampered, doc)
+    assert len(drift) == 1 and drift[0].startswith("n_events:")
+
+
+def test_cli_baseline_gate(tmp_path, capsys):
+    path = str(tmp_path / "tiny.json")
+    args = ["analyze", "--net", "yolov3-tiny", "--layers", "2",
+            "--l2-mb", "4", "--baseline", path]
+    assert main(args + ["--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(args) == 0                      # matches what it wrote
+    capsys.readouterr()
+    doc = load_baseline(path)
+    doc["reuse_knee_bytes"] *= 2
+    write_baseline(path, doc)
+    assert main(args) == 1                      # injected drift fails
+    err = capsys.readouterr().err
+    assert "drifted" in err and "reuse_knee_bytes" in err
+
+
+def test_cli_baseline_json_is_canonical(tmp_path, capsys):
+    path = str(tmp_path / "tiny.json")
+    args = ["analyze", "--net", "yolov3-tiny", "--layers", "2",
+            "--l2-mb", "4", "--baseline", path, "--json"]
+    assert main(args + ["--update-baseline"]) == 0
+    out = capsys.readouterr().out
+    # stdout carries the canonical document (CI artifact), identical to
+    # the baseline file just written.
+    assert diff_documents(load_baseline(path), json.loads(out)) == []
+
+
+def test_committed_baseline_matches_live():
+    """The in-repo yolov3-tiny/rvv reference matches a fresh analysis."""
+    import os
+
+    path = os.path.join(
+        os.path.dirname(__file__), "data", "analysis", "yolov3-tiny-rvv.json"
+    )
+    rep = yolov3_tiny().analyze(rvv_gem5(), KernelPolicy())
+    drift = diff_documents(load_baseline(path), canonical_report(rep))
+    assert drift == [], drift[:20]
