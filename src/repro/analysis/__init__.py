@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from .baseline import canonical_report, diff_documents
 from .bounds import check_bounds_against_sim, static_bounds
+from .cachestate import cache_state_findings
 from .defuse import defuse_trace
 from .findings import AnalysisReport, Finding
 from .lint import lint_config
@@ -40,6 +41,7 @@ __all__ = [
     "ReuseReport",
     "analyze_network",
     "analyze_trace",
+    "cache_state_findings",
     "canonical_report",
     "check_bounds_against_sim",
     "defuse_trace",

@@ -38,6 +38,13 @@ __all__ = [
 #: Fields that change without the analysis result changing.
 _VOLATILE = ("trace_key", "trace_cached")
 
+#: Finding families that describe the local ``.simcache/`` state
+#: (quarantined entries, orphaned journals — see
+#: :mod:`repro.analysis.cachestate`), not the network under analysis.
+#: They vary per machine and per run, so committed baselines exclude
+#: them.
+_ENV_RULE_PREFIXES = ("cache/", "sweep/")
+
 
 def _round_floats(obj):
     if isinstance(obj, float):
@@ -54,6 +61,13 @@ def canonical_report(report) -> Dict:
     doc = json.loads(report.to_json())
     for key in _VOLATILE:
         doc.pop(key, None)
+    findings = [
+        f for f in doc.get("findings", [])
+        if not str(f.get("rule", "")).startswith(_ENV_RULE_PREFIXES)
+    ]
+    if len(findings) != len(doc.get("findings", [])):
+        doc["findings"] = findings
+        doc["ok"] = not findings  # keep 'ok' consistent with the kept set
     return _round_floats(doc)
 
 

@@ -1,0 +1,78 @@
+"""Cache-state pass: surface quarantined entries and orphaned journals.
+
+The resilience layer (:mod:`repro.core.resilience`) never *fails* on a
+corrupt cache file — it quarantines the file and recomputes, so a sweep
+survives.  But silent self-healing hides an operational signal: a
+growing quarantine directory means something keeps corrupting the
+cache (disk errors, version skew, a crashing writer), and a journal
+without a ``done`` record means a sweep was interrupted and nobody
+resumed it.  This pass turns that on-disk state into ordinary
+``warning`` findings so ``repro analyze`` (and the CI lint gate's
+``--rules``/``--ignore`` filters) can report it.
+
+Both rules are *environmental*: they describe the local ``.simcache/``
+directory, not the network under analysis.  They are therefore stripped
+from the canonical baseline document (see
+:mod:`repro.analysis.baseline`) — committed baselines must not drift
+with the state of whoever's scratch cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..core.resilience import list_journals, list_quarantined
+from .findings import Finding
+
+__all__ = ["cache_state_findings"]
+
+#: Journals younger than this are likely a sweep still running in
+#: another process, not an orphan.
+_ORPHAN_MIN_AGE_S = 60.0
+
+
+def cache_state_findings(min_age_s: float = _ORPHAN_MIN_AGE_S) -> List[Finding]:
+    """Findings for quarantined cache files and unfinished journals.
+
+    Read-only: nothing is deleted or resumed here.  Remedies are in the
+    finding messages — ``repro sweep --resume`` finishes an orphaned
+    journal, deleting the quarantine directory acknowledges corrupt
+    entries.
+    """
+    findings: List[Finding] = []
+    for entry in list_quarantined():
+        findings.append(
+            Finding(
+                rule="cache/corrupt-entry",
+                severity="warning",
+                where=os.path.basename(entry["file"]),
+                message=entry["reason"] or "quarantined cache file",
+                detail={"file": entry["file"], "when": entry["when"]},
+            )
+        )
+    for journal in list_journals():
+        if journal["done"] or journal["age_s"] < min_age_s:
+            continue
+        findings.append(
+            Finding(
+                rule="sweep/orphaned-journal",
+                severity="warning",
+                where=os.path.basename(journal["path"]),
+                message=(
+                    f"interrupted sweep checkpoint: "
+                    f"{journal['n_ok']}/{journal['n_points']} points done"
+                    + (f", {journal['n_failed']} failed" if journal["n_failed"] else "")
+                    + " — finish it with 'repro sweep --resume' or delete it"
+                ),
+                detail={
+                    "path": journal["path"],
+                    "sweep_key": journal["sweep_key"],
+                    "n_points": journal["n_points"],
+                    "n_ok": journal["n_ok"],
+                    "n_failed": journal["n_failed"],
+                    "age_s": journal["age_s"],
+                },
+            )
+        )
+    return findings

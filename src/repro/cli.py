@@ -14,6 +14,7 @@ Usage (``python -m repro <command> ...``):
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -110,6 +111,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize results on disk under .simcache/ "
              "(also enabled by REPRO_SIMCACHE=1)",
     )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="journal completed points under .simcache/journal/ and "
+             "restore them on the next --resume run of the same sweep",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="print the point grid, journal/cache/quarantine state and "
+             "estimated work, without simulating anything",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="per-point retry budget on failure (default: $REPRO_RETRIES "
+             "or 2), with exponential backoff",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point timeout in parallel mode (default: "
+             "$REPRO_POINT_TIMEOUT or none); timed-out points retry",
+    )
+    p.add_argument(
+        "--max-failures", type=int, default=None, dest="max_failures",
+        metavar="N",
+        help="tolerate up to N permanently failed points (reported as "
+             "source 'failed') before aborting; default 0 = fail fast",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the sweep result as JSON (exact float round-trip) "
+             "instead of tables",
+    )
 
     p = sub.add_parser("roofline", help="Table IV roofline analysis")
     p.add_argument("--gemm", choices=["3loop", "6loop"], default="6loop")
@@ -182,10 +214,13 @@ def cmd_simulate(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    """``repro sweep``: one-axis design-space sweep (vlen/cache/lanes)."""
-    net = _NETS[args.net]()
-    policy = _policy(args)
+def _sweep_spec(args):
+    """Resolve the CLI axis into ``(axis_name, values, factory, runner)``.
+
+    ``axis_name`` matches what the ``sweep_*`` helper passes to
+    :func:`repro.core.codesign.sweep` — ``--dry-run`` relies on that to
+    compute the same journal key as a real run.
+    """
     if args.axis == "vlen":
         values = args.values or [512, 1024, 2048, 4096, 8192, 16384]
         if args.machine == "sve":
@@ -195,37 +230,153 @@ def cmd_sweep(args) -> int:
             if args.machine == "sve"
             else (lambda v: rvv_gem5(vlen_bits=v, lanes=args.lanes, l2_mb=args.l2_mb))
         )
-        res = sweep_vector_lengths(
-            net, values, factory, policy, args.layers, args.jobs,
-            args.simcache, args.trace,
-        )
-    elif args.axis == "cache":
+        return "vlen_bits", values, factory, sweep_vector_lengths
+    if args.axis == "cache":
         values = args.values or [1, 8, 64, 256]
         factory = (
             (lambda mb: sve_gem5(vlen_bits=min(args.vlen, 2048), l2_mb=mb))
             if args.machine == "sve"
             else (lambda mb: rvv_gem5(vlen_bits=args.vlen, lanes=args.lanes, l2_mb=mb))
         )
-        res = sweep_cache_sizes(
-            net, values, factory, policy, args.layers, args.jobs,
-            args.simcache, args.trace,
-        )
-    else:
-        values = args.values or [2, 4, 8]
-        res = sweep_lanes(
-            net,
-            values,
-            lambda l: rvv_gem5(vlen_bits=args.vlen, lanes=l, l2_mb=args.l2_mb),
-            policy,
-            args.layers,
-            args.jobs,
-            args.simcache,
-            args.trace,
-        )
-    print(format_table(res.as_rows()))
+        return "l2_mb", values, factory, sweep_cache_sizes
+    values = args.values or [2, 4, 8]
+    factory = lambda l: rvv_gem5(  # noqa: E731
+        vlen_bits=args.vlen, lanes=l, l2_mb=args.l2_mb
+    )
+    return "lanes", values, factory, sweep_lanes
+
+
+def _sweep_retry(args):
+    """CLI retry policy: env defaults, overridden by --retries/--timeout."""
+    from .core.resilience import RetryPolicy
+
+    retry = RetryPolicy.from_env()
+    overrides = {}
+    if args.retries is not None:
+        overrides["max_retries"] = max(0, args.retries)
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout if args.timeout > 0 else None
+    return dataclasses.replace(retry, **overrides) if overrides else retry
+
+
+def _sweep_dry_run(args, net, policy, axis_name, values, factory) -> int:
+    """``repro sweep --dry-run``: report planned work without simulating.
+
+    Classifies every design point as journal-complete, simcache-hit or
+    pending, groups pending points by trace key (the kernels run once
+    per multi-point group), and lists quarantined cache entries — all
+    from on-disk state; nothing is written.
+    """
+    from .core import simcache, tracecache
+    from .core.resilience import Journal, list_quarantined, sweep_key
+
+    machines = [factory(v) for v in values]
+    n = len(machines)
+    journal = Journal.status(
+        sweep_key(net, axis_name, values, machines, policy, args.layers), n
+    )
+    cache_on = simcache.cache_enabled(args.simcache)
+    trace_on = tracecache.trace_enabled(args.trace, default=True)
+    rows, pending, groups = [], [], {}
+    for i, (value, machine) in enumerate(zip(values, machines)):
+        if i in journal.completed:
+            state = "journal"
+        elif cache_on and simcache.load(
+            simcache.cache_key(net, machine, policy, args.layers, True)
+        ) is not None:
+            state = "cached"
+        else:
+            state = "pending"
+            pending.append(i)
+            if trace_on:
+                key = tracecache.trace_key(net, machine, policy, args.layers, True)
+                groups.setdefault(key, []).append(i)
+        rows.append({axis_name: value, "state": state})
+    shared = [idxs for idxs in groups.values() if len(idxs) > 1]
+    kernel_runs = len(shared) + sum(
+        1 for idxs in groups.values() if len(idxs) == 1
+    ) if trace_on else len(pending)
+    quarantined = list_quarantined()
+    summary = {
+        "net": net.name,
+        "axis": axis_name,
+        "points": n,
+        "journal": len(journal.completed),
+        "journal_failed": len(journal.failed),
+        "journal_done": journal.done,
+        "cached": sum(1 for r in rows if r["state"] == "cached"),
+        "pending": len(pending),
+        "trace_groups": len(shared),
+        "estimated_kernel_runs": kernel_runs,
+        "quarantined": len(quarantined),
+    }
+    if args.as_json:
+        print(json.dumps({"summary": summary, "points": rows}, sort_keys=True))
+        return 0
+    print(format_table(rows, title=f"dry run: {net.name} {axis_name} sweep"))
     print()
-    print(format_series("speedup", res.axis, res.speedups(), res.axis_name, "speedup"))
+    for key, label in (
+        ("journal", "journal-complete"), ("cached", "simcache hits"),
+        ("pending", "pending"),
+    ):
+        print(f"  {label}: {summary[key]}/{n}")
+    if summary["journal_failed"]:
+        print(f"  journal failures (will retry): {summary['journal_failed']}")
+    print(
+        f"  estimated kernel runs: {kernel_runs} "
+        f"({len(shared)} shared trace group(s))"
+    )
+    if quarantined:
+        print(f"  quarantined cache entries: {len(quarantined)} "
+              f"(see 'repro analyze --rules cache')")
     return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: one-axis design-space sweep (vlen/cache/lanes)."""
+    net = _NETS[args.net]()
+    policy = _policy(args)
+    axis_name, values, factory, runner = _sweep_spec(args)
+    if args.dry_run:
+        return _sweep_dry_run(args, net, policy, axis_name, values, factory)
+    res = runner(
+        net, values, factory, policy, args.layers, args.jobs,
+        args.simcache, args.trace, resume=args.resume,
+        retry=_sweep_retry(args), max_failures=args.max_failures,
+    )
+    if args.as_json:
+        from .core.resilience import stats_payload
+
+        doc = {
+            "axis_name": res.axis_name,
+            "axis": res.axis,
+            "points": [
+                {
+                    "source": res.source_of(i),
+                    **(
+                        {"failure": {"error": s.error, "exc_type": s.exc_type,
+                                     "attempts": s.attempts}}
+                        if res.source_of(i) == "failed"
+                        else {"stats": stats_payload(s)}
+                    ),
+                }
+                for i, s in enumerate(res.stats)
+            ],
+        }
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(format_table(res.as_rows()))
+        print()
+        print(format_series(
+            "speedup", res.axis, res.speedups(), res.axis_name, "speedup"
+        ))
+        for failure in res.failures():
+            print(
+                f"point {failure.index} failed after {failure.attempts} "
+                f"attempt(s): {failure.exc_type}: {failure.error}",
+                file=sys.stderr,
+            )
+    return 0 if res.ok else 1
 
 
 def cmd_roofline(args) -> int:
@@ -296,6 +447,9 @@ def cmd_analyze(args) -> int:
         print(format_table(rule_rows(), title="analysis rules"))
         return 0
 
+    from .analysis import filter_findings
+    from .analysis.cachestate import cache_state_findings
+
     net = _NETS[args.net]()
     machine = _machine(args)
     report = net.analyze(
@@ -303,6 +457,13 @@ def cmd_analyze(args) -> int:
         max_examples=args.max_examples,
         rules=_split_prefixes(args.rules),
         ignore=_split_prefixes(args.ignore),
+    )
+    report.findings.extend(
+        filter_findings(
+            cache_state_findings(),
+            rules=_split_prefixes(args.rules),
+            ignore=_split_prefixes(args.ignore),
+        )
     )
     if args.as_json:
         print(report.to_json() if args.baseline is None

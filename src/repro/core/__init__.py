@@ -19,7 +19,16 @@ from .codesign import (
 )
 from .metrics import geomean, speedup, summarize_stats
 from .parallel import resolve_jobs, simulate_points
-from . import simcache
+from . import resilience, simcache, tracecache
+from .resilience import (
+    FailureBudget,
+    Journal,
+    PointFailure,
+    RetryPolicy,
+    SweepError,
+    list_journals,
+    list_quarantined,
+)
 from .multicore import (
     MulticoreResult,
     machine_per_core,
@@ -46,7 +55,16 @@ __all__ = [
     "geomean",
     "resolve_jobs",
     "simulate_points",
+    "resilience",
     "simcache",
+    "tracecache",
+    "FailureBudget",
+    "Journal",
+    "PointFailure",
+    "RetryPolicy",
+    "SweepError",
+    "list_journals",
+    "list_quarantined",
     "MulticoreResult",
     "machine_per_core",
     "scaling_curve",

@@ -10,14 +10,23 @@ and the ``sweep_*`` helpers reproduce the paper's parameter axes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..machine.config import MachineConfig
 from ..machine.simulator import SimStats
 from ..nets.layers import KernelPolicy
 from ..nets.network import Network
+from ..testing import faults
 from .parallel import resolve_jobs, simulate_points
+from .resilience import (
+    FailureBudget,
+    Journal,
+    PointFailure,
+    RetryPolicy,
+    call_with_retries,
+    sweep_key,
+)
 
 __all__ = [
     "DesignPoint",
@@ -51,15 +60,29 @@ class SweepResult:
     statistics per value, in the same order.  ``sources`` records each
     point's provenance: ``"direct"`` (fully simulated), ``"captured"``
     (simulated while recording the shared trace), ``"replayed"`` (priced
-    from a recorded trace without re-running kernels) or ``"cached"``
-    (persistent result cache hit).  It is empty for results built by
-    hand; consumers should treat a missing entry as ``"direct"``.
+    from a recorded trace without re-running kernels), ``"cached"``
+    (persistent result cache hit), ``"journal"`` (restored from a
+    resumed sweep's checkpoint) or ``"failed"`` (the entry in ``stats``
+    is a :class:`~repro.core.resilience.PointFailure`, not a
+    :class:`SimStats` — only possible with ``max_failures > 0``).  It
+    is empty for results built by hand; consumers should treat a
+    missing entry as ``"direct"``.
     """
 
     axis_name: str
     axis: List = field(default_factory=list)
     stats: List[SimStats] = field(default_factory=list)
     sources: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point produced real statistics."""
+        return not self.failures()
+
+    def failures(self) -> List[PointFailure]:
+        """The :class:`PointFailure` records of permanently failed
+        points (empty on a fully successful sweep)."""
+        return [s for s in self.stats if isinstance(s, PointFailure)]
 
     def cycles(self) -> List[float]:
         """Execution cycles per swept value."""
@@ -133,6 +156,11 @@ def _simulate_group(
     n_layers: Optional[int],
     use_cache: Optional[bool],
     use_trace: Optional[bool],
+    indices: Optional[Sequence[int]] = None,
+    retry: Optional[RetryPolicy] = None,
+    budget: Optional[FailureBudget] = None,
+    on_point=None,
+    on_failure=None,
 ):
     """Serially simulate one machine list with capture-once/replay-many.
 
@@ -147,11 +175,21 @@ def _simulate_group(
 
     Returns ``(stats, sources)`` in input order; statistics are bitwise
     identical to per-point simulation regardless of the path taken.
+
+    Supervision (see :mod:`repro.core.resilience`): a failing shared
+    pricing pass degrades its whole group to the per-point loop; a
+    failing point retries per *retry* and finally degrades to a
+    :class:`PointFailure` charged against *budget*.  *on_point* /
+    *on_failure* fire as each point settles — the journaling hook for
+    resumable sweeps.
     """
     from . import simcache, tracecache
     from ..machine.replay import capture_sweep, replay_sweep
 
     n = len(machines)
+    indices = list(indices) if indices is not None else list(range(n))
+    retry = retry if retry is not None else RetryPolicy.from_env()
+    budget = budget if budget is not None else FailureBudget(retry.max_failures)
     stats: List[Optional[SimStats]] = [None] * n
     sources = ["direct"] * n
     cache_on = simcache.cache_enabled(use_cache)
@@ -164,6 +202,8 @@ def _simulate_group(
             if hit is not None:
                 stats[i] = hit
                 sources[i] = "cached"
+                if on_point is not None:
+                    on_point(indices[i], hit, "cached")
                 continue
         pending.append(i)
 
@@ -178,16 +218,21 @@ def _simulate_group(
             if len(idxs) < 2:
                 continue  # capturing pays only when replayed
             group = [machines[i] for i in idxs]
-            trace = tracecache.get(key)
-            if trace is not None:
-                priced = replay_sweep(trace, group)
-                labels = ["replayed"] * len(idxs)
-            else:
-                priced = capture_sweep(
-                    lambda sim: net._emit_trace(sim, policy, n_layers, True),
-                    group,
-                )
-                labels = ["captured"] + ["replayed"] * (len(idxs) - 1)
+            try:
+                for i in idxs:
+                    faults.maybe_fault("worker.point", index=indices[i])
+                trace = tracecache.get(key)
+                if trace is not None:
+                    priced = replay_sweep(trace, group)
+                    labels = ["replayed"] * len(idxs)
+                else:
+                    priced = capture_sweep(
+                        lambda sim: net._emit_trace(sim, policy, n_layers, True),
+                        group,
+                    )
+                    labels = ["captured"] + ["replayed"] * (len(idxs) - 1)
+            except Exception:
+                continue  # degrade the group to the per-point loop below
             if priced is None:
                 continue  # non-uniform group: per-point fallback below
             for j, i in enumerate(idxs):
@@ -195,18 +240,42 @@ def _simulate_group(
                 sources[i] = labels[j]
                 if ckeys[i] is not None:
                     simcache.store(ckeys[i], priced[j])
+                if on_point is not None:
+                    on_point(indices[i], priced[j], labels[j])
 
     for i in pending:
         if stats[i] is None:
-            stats[i] = net.simulate(
-                machines[i],
-                policy,
-                n_layers=n_layers,
-                use_cache=False,
-                use_trace=False,
-            )
+            gidx = indices[i]
+
+            def run_point(i=i, gidx=gidx):
+                faults.maybe_fault("worker.point", index=gidx)
+                return net.simulate(
+                    machines[i],
+                    policy,
+                    n_layers=n_layers,
+                    use_cache=False,
+                    use_trace=False,
+                )
+
+            try:
+                stats[i], _ = call_with_retries(run_point, retry, f"pt{gidx}")
+            except Exception as exc:
+                failure = PointFailure(
+                    index=gidx,
+                    error=str(exc),
+                    exc_type=type(exc).__name__,
+                    attempts=retry.max_retries + 1,
+                )
+                stats[i] = failure
+                sources[i] = "failed"
+                if on_failure is not None:
+                    on_failure(failure)
+                budget.record(failure, exc)  # raises in fail-fast mode
+                continue
             if ckeys[i] is not None:
                 simcache.store(ckeys[i], stats[i])
+            if on_point is not None:
+                on_point(gidx, stats[i], sources[i])
     return stats, sources
 
 
@@ -220,6 +289,9 @@ def sweep(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     use_trace: Optional[bool] = None,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    max_failures: Optional[int] = None,
 ) -> SweepResult:
     """Generic one-axis sweep: build a machine per value and simulate.
 
@@ -238,24 +310,75 @@ def sweep(
     bitwise-identical statistics.  ``None`` (the default) enables it
     for sweeps unless ``REPRO_TRACE`` says otherwise; each point's
     provenance lands in ``SweepResult.sources``.
+
+    Fault tolerance (:mod:`repro.core.resilience`): with ``resume=True``
+    every completed point is checkpointed to a journal under
+    ``.simcache/journal/``, an interrupted sweep picks up exactly where
+    it left off on the next ``resume=True`` call (restored points get
+    source ``"journal"``; the re-run is bitwise identical to an
+    uninterrupted sweep), and a finished sweep re-runs for free.
+    *retry* configures per-point supervision (bounded retries with
+    exponential backoff and jitter, per-point timeout, dead-worker
+    recovery in parallel mode); *max_failures* overrides the policy's
+    failure budget — 0 (default) fails fast like the classic engine,
+    ``N > 0`` degrades up to N permanently failing points to
+    :class:`PointFailure` cells (source ``"failed"``) before a
+    :class:`~repro.core.resilience.SweepError` aborts the sweep.
     """
     if policy is None:
         policy = KernelPolicy()
     values = list(values)
     machines = [machine_for(v) for v in values]
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1:
-        out = simulate_points(
-            net, machines, policy, n_layers, n_jobs, use_cache, use_trace
+    retry = retry if retry is not None else RetryPolicy.from_env()
+    if max_failures is not None:
+        retry = replace(retry, max_failures=max_failures)
+    budget = FailureBudget(retry.max_failures)
+    n = len(machines)
+
+    journal: Optional[Journal] = None
+    stats_list: List[Optional[SimStats]] = [None] * n
+    sources = ["direct"] * n
+    pending = list(range(n))
+    if resume:
+        skey = sweep_key(net, axis_name, values, machines, policy, n_layers)
+        journal = Journal.open(
+            skey, n, meta={"axis_name": axis_name, "net": net.name}
         )
-        if out is not None:
-            stats_list, sources = out
-            return SweepResult(
-                axis_name=axis_name, axis=values, stats=stats_list, sources=sources
-            )
-    stats_list, sources = _simulate_group(
-        net, machines, policy, n_layers, use_cache, use_trace
-    )
+        for i, (stats, _src) in journal.completed.items():
+            stats_list[i] = stats
+            sources[i] = "journal"
+        pending = journal.pending()
+
+    on_point = journal.record_point if journal is not None else None
+    on_failure = journal.record_failure if journal is not None else None
+    try:
+        if pending:
+            sub_machines = [machines[i] for i in pending]
+            out = None
+            n_jobs = resolve_jobs(jobs)
+            if n_jobs > 1:
+                out = simulate_points(
+                    net, sub_machines, policy, n_layers, n_jobs, use_cache,
+                    use_trace, indices=pending, retry=retry, budget=budget,
+                    on_point=on_point, on_failure=on_failure,
+                )
+            if out is None:
+                out = _simulate_group(
+                    net, sub_machines, policy, n_layers, use_cache, use_trace,
+                    indices=pending, retry=retry, budget=budget,
+                    on_point=on_point, on_failure=on_failure,
+                )
+            sub_stats, sub_sources = out
+            for j, i in enumerate(pending):
+                stats_list[i] = sub_stats[j]
+                sources[i] = sub_sources[j]
+        if journal is not None and all(
+            not isinstance(s, PointFailure) and s is not None for s in stats_list
+        ):
+            journal.mark_done()
+    finally:
+        if journal is not None:
+            journal.close()
     return SweepResult(
         axis_name=axis_name, axis=values, stats=stats_list, sources=sources
     )
@@ -270,6 +393,9 @@ def sweep_vector_lengths(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     use_trace: Optional[bool] = None,
+    resume: bool = False,
+    retry=None,
+    max_failures: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 6 / Fig. 8 axis: vary the hardware vector length.
 
@@ -280,7 +406,8 @@ def sweep_vector_lengths(
         policy = KernelPolicy()
     return sweep(
         net, "vlen_bits", vlens, base_machine, policy, n_layers, jobs,
-        use_cache, use_trace,
+        use_cache, use_trace, resume=resume, retry=retry,
+        max_failures=max_failures,
     )
 
 
@@ -293,6 +420,9 @@ def sweep_cache_sizes(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     use_trace: Optional[bool] = None,
+    resume: bool = False,
+    retry=None,
+    max_failures: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 7 / Figs. 8-10 axis: vary the L2 capacity (1-256 MB).
 
@@ -303,7 +433,8 @@ def sweep_cache_sizes(
         policy = KernelPolicy()
     return sweep(
         net, "l2_mb", l2_mbs, base_machine, policy, n_layers, jobs,
-        use_cache, use_trace,
+        use_cache, use_trace, resume=resume, retry=retry,
+        max_failures=max_failures,
     )
 
 
@@ -316,6 +447,9 @@ def sweep_lanes(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     use_trace: Optional[bool] = None,
+    resume: bool = False,
+    retry=None,
+    max_failures: Optional[int] = None,
 ) -> SweepResult:
     """Section VI-B(c) axis: vary the number of vector lanes (2-8).
 
@@ -328,5 +462,6 @@ def sweep_lanes(
         policy = KernelPolicy()
     return sweep(
         net, "lanes", lanes, base_machine, policy, n_layers, jobs,
-        use_cache, use_trace,
+        use_cache, use_trace, resume=resume, retry=retry,
+        max_failures=max_failures,
     )

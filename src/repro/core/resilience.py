@@ -1,0 +1,583 @@
+"""Fault tolerance for long co-design sweeps.
+
+A production sweep over the paper's VL × lanes × L2-size grids runs for
+hours; this module makes that survivable.  Four cooperating pieces:
+
+* **Sweep journal** (:class:`Journal`) — an append-only, checksummed
+  JSONL file under ``.simcache/journal/`` recording each design point's
+  :class:`~repro.machine.simulator.SimStats` as it completes.  An
+  interrupted ``sweep(..., resume=True)`` (CLI ``repro sweep --resume``)
+  reloads completed points and simulates only the remainder; because
+  JSON float round-tripping is exact, the resumed result is bitwise
+  identical to an uninterrupted run.
+
+* **Retry policy** (:class:`RetryPolicy`) — bounded retries with
+  exponential backoff and deterministic jitter, plus an optional
+  per-point timeout used by the parallel supervisor to reclaim hung or
+  dead workers.
+
+* **Failure budget** (:class:`FailureBudget`, :class:`PointFailure`,
+  :class:`SweepError`) — with ``max_failures > 0`` a design point that
+  keeps failing degrades to a structured :class:`PointFailure` cell in
+  the :class:`~repro.core.codesign.SweepResult` instead of killing the
+  sweep; the default (0) preserves fail-fast semantics.
+
+* **Cache quarantine** (:func:`quarantine`) — corrupt, truncated, or
+  version-mismatched simcache entries and trace spills are moved to
+  ``.simcache/quarantine/`` (with a ``.reason.json`` sidecar) and
+  transparently recomputed; ``repro analyze`` surfaces leftovers via
+  the ``cache/corrupt-entry`` and ``sweep/orphaned-journal`` rules.
+
+:func:`atomic_replace` is the shared temp-file-plus-rename writer both
+caches use, so an interrupt mid-write can never publish a partial
+entry and never leaks the temp file (short of SIGKILL, which the next
+``clear()`` sweeps up).
+
+See docs/RESILIENCE.md for the journal format and the fault matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from contextlib import suppress
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..machine.simulator import SimStats
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "FailureBudget",
+    "Journal",
+    "PointFailure",
+    "RetryPolicy",
+    "SweepError",
+    "atomic_replace",
+    "call_with_retries",
+    "journal_dir",
+    "list_journals",
+    "list_quarantined",
+    "payload_digest",
+    "quarantine",
+    "quarantine_dir",
+    "stats_from_payload",
+    "stats_payload",
+    "sweep_key",
+]
+
+#: Bump when the journal line format changes; older journals are then
+#: quarantined and the sweep restarts from scratch.
+JOURNAL_VERSION = 1
+
+_ENV_RETRIES = "REPRO_RETRIES"
+_ENV_TIMEOUT = "REPRO_POINT_TIMEOUT"
+_ENV_BACKOFF = "REPRO_BACKOFF"
+_ENV_MAX_FAILURES = "REPRO_MAX_FAILURES"
+
+
+def _cache_dir() -> str:
+    from .simcache import cache_dir  # deferred: simcache imports this module
+
+    return cache_dir()
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+
+def atomic_replace(path: str, write: Callable[[str], None], suffix: str = ".tmp") -> None:
+    """Write *path* via ``write(tmp)`` + :func:`os.replace`.
+
+    Readers never observe a partial file, and the temp file is removed
+    on any failure — including :class:`KeyboardInterrupt` mid-write,
+    which used to leak partial ``.simcache/`` entries from interrupted
+    sweeps.  *suffix* matters for writers that key off the extension
+    (``numpy.savez`` appends ``.npz`` to anything else).
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=suffix)
+    os.close(fd)
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        with suppress(OSError):
+            os.unlink(tmp)  # no-op when the replace happened
+
+
+# ----------------------------------------------------------------------
+# SimStats (de)serialization with content digests
+# ----------------------------------------------------------------------
+
+def stats_payload(stats: SimStats) -> Dict:
+    """JSON-ready payload for *stats* (exact float round-trip)."""
+    return {
+        "fields": {name: getattr(stats, name) for name in SimStats.FIELDS},
+        "kernel_cycles": dict(stats.kernel_cycles),
+    }
+
+
+def stats_from_payload(payload: Dict) -> SimStats:
+    """Rebuild a :class:`SimStats` from :func:`stats_payload` output."""
+    fields = payload["fields"]
+    stats = SimStats(**{name: float(fields[name]) for name in SimStats.FIELDS})
+    stats.kernel_cycles = {
+        str(k): float(v) for k, v in payload["kernel_cycles"].items()
+    }
+    return stats
+
+
+def payload_digest(payload: Dict) -> str:
+    """sha256 over the canonical JSON encoding of *payload*."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+
+def quarantine_dir() -> str:
+    """Directory corrupt cache files are moved to (created lazily)."""
+    return os.path.join(_cache_dir(), "quarantine")
+
+
+def quarantine(path: str, reason: str) -> Optional[str]:
+    """Move *path* into the quarantine directory; returns the new path.
+
+    A ``<name>.reason.json`` sidecar records why.  Best-effort: when
+    the move itself fails the offending file is deleted instead, so a
+    bad entry can never be served twice.  Returns ``None`` when there
+    was nothing to move.
+    """
+    if not os.path.exists(path):
+        return None
+    directory = quarantine_dir()
+    tag = hashlib.sha256(path.encode("utf-8")).hexdigest()[:8]
+    dest = os.path.join(directory, f"{tag}-{os.path.basename(path)}")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        os.replace(path, dest)
+    except OSError:
+        with suppress(OSError):
+            os.unlink(path)
+        return None
+    with suppress(OSError, TypeError, ValueError):
+        with open(dest + ".reason.json", "w", encoding="utf-8") as fh:
+            json.dump({"path": path, "reason": reason, "when": time.time()}, fh)
+    return dest
+
+
+def list_quarantined() -> List[Dict]:
+    """One dict per quarantined file (path, reason, when)."""
+    directory = quarantine_dir()
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    out = []
+    for name in names:
+        if name.endswith(".reason.json"):
+            continue
+        info = {"file": os.path.join(directory, name), "reason": "", "when": 0.0}
+        with suppress(OSError, ValueError):
+            with open(
+                os.path.join(directory, name + ".reason.json"), encoding="utf-8"
+            ) as fh:
+                side = json.load(fh)
+            info["reason"] = str(side.get("reason", ""))
+            info["when"] = float(side.get("when", 0.0))
+        out.append(info)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Failures, retries, budgets
+# ----------------------------------------------------------------------
+
+class PointFailure:
+    """Structured error record standing in for one design point's stats.
+
+    Quacks enough like :class:`SimStats` (NaN cycles and rates, empty
+    ``kernel_cycles``) for :class:`~repro.core.codesign.SweepResult`
+    reporting to keep working on a partially failed sweep.
+    """
+
+    __slots__ = ("index", "error", "exc_type", "attempts")
+
+    def __init__(self, index: int, error: str, exc_type: str = "Exception",
+                 attempts: int = 1):
+        self.index = index
+        self.error = error
+        self.exc_type = exc_type
+        self.attempts = attempts
+
+    ok = False
+    cycles = float("nan")
+    l2_miss_rate = float("nan")
+    avg_vlen_elems = float("nan")
+
+    @property
+    def kernel_cycles(self) -> Dict[str, float]:
+        return {}
+
+    def __repr__(self) -> str:
+        return (
+            f"PointFailure(index={self.index}, exc_type={self.exc_type!r}, "
+            f"attempts={self.attempts}, error={self.error!r})"
+        )
+
+
+class SweepError(RuntimeError):
+    """Raised when a sweep exceeds its failure budget.
+
+    Completed points are already journaled (when journaling is on), so
+    the sweep is resumable despite the raise.
+    """
+
+    def __init__(self, failures: List[PointFailure]):
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"#{f.index}: {f.exc_type}: {f.error}" for f in self.failures[:4]
+        )
+        more = "" if len(self.failures) <= 4 else f" (+{len(self.failures) - 4} more)"
+        super().__init__(
+            f"{len(self.failures)} design point(s) failed permanently: "
+            f"{detail}{more}"
+        )
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-point supervision knobs for :func:`repro.core.codesign.sweep`.
+
+    ``max_retries`` extra attempts follow a failed one, separated by
+    ``backoff_s * factor**attempt`` (capped at ``max_backoff_s``) plus
+    deterministic jitter.  ``timeout_s`` is the per-task deadline the
+    parallel supervisor enforces (``None`` = no deadline; dead workers
+    are still detected by liveness, but a *hung* worker then blocks its
+    point forever).  ``max_failures`` is the sweep-wide budget of
+    points allowed to fail permanently: 0 (default) means fail fast.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    factor: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.25
+    timeout_s: Optional[float] = None
+    max_failures: int = 0
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Defaults, overridden by ``REPRO_RETRIES`` / ``REPRO_BACKOFF``
+        / ``REPRO_POINT_TIMEOUT`` / ``REPRO_MAX_FAILURES``."""
+        timeout = _env_float(_ENV_TIMEOUT, 0.0)
+        return cls(
+            max_retries=int(_env_float(_ENV_RETRIES, 2)),
+            backoff_s=_env_float(_ENV_BACKOFF, 0.05),
+            timeout_s=timeout if timeout > 0 else None,
+            max_failures=int(_env_float(_ENV_MAX_FAILURES, 0)),
+        )
+
+    def delay(self, attempt: int, seed: str) -> float:
+        """Backoff before retry *attempt* (1-based), jittered.
+
+        The jitter is a deterministic function of ``(seed, attempt)``
+        so sweeps — and their tests — are reproducible, while distinct
+        points still desynchronize instead of retrying in lockstep.
+        """
+        base = min(self.backoff_s * self.factor ** (attempt - 1), self.max_backoff_s)
+        h = hashlib.sha256(f"{seed}:{attempt}".encode("utf-8")).digest()
+        frac = int.from_bytes(h[:4], "big") / 2**32  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * frac - 1.0))
+
+
+def call_with_retries(fn: Callable[[], SimStats], retry: RetryPolicy, seed: str):
+    """Run *fn*, retrying :class:`Exception` per *retry*; re-raises the
+    last error once the budget is exhausted.  Returns ``(result,
+    attempts)``.  ``KeyboardInterrupt``/``SystemExit`` never retry."""
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(), attempt
+        except Exception:
+            if attempt > retry.max_retries:
+                raise
+            time.sleep(retry.delay(attempt, seed))
+
+
+class FailureBudget:
+    """Counts permanent point failures against ``max_failures``.
+
+    :meth:`record` re-raises the point's original exception in
+    fail-fast mode (budget 0, preserving historical sweep semantics)
+    and raises :class:`SweepError` once a positive budget overflows.
+    """
+
+    def __init__(self, max_failures: int = 0):
+        self.max_failures = max_failures
+        self.failures: List[PointFailure] = []
+
+    def record(self, failure: PointFailure, exc: Optional[BaseException] = None) -> None:
+        self.failures.append(failure)
+        if len(self.failures) > self.max_failures:
+            if self.max_failures == 0 and exc is not None:
+                raise exc
+            raise SweepError(self.failures)
+
+
+# ----------------------------------------------------------------------
+# Sweep journal
+# ----------------------------------------------------------------------
+
+def journal_dir() -> str:
+    """Directory holding sweep journals (created lazily)."""
+    return os.path.join(_cache_dir(), "journal")
+
+
+def sweep_key(net, axis_name, values, machines, policy, n_layers) -> str:
+    """Content hash identifying one sweep's full input grid.
+
+    Same recipe as :func:`repro.core.simcache.cache_key`, extended over
+    the whole axis, so a journal can never be replayed against a
+    different grid, network, policy, or timing-model version.
+    """
+    from .simcache import MODEL_VERSION, _canon  # deferred (import cycle)
+
+    payload = {
+        "journal_version": JOURNAL_VERSION,
+        "model_version": MODEL_VERSION,
+        "net": {
+            "name": net.name,
+            "input_shape": list(net.input_shape),
+            "layers": [repr(layer) for layer in net.layers],
+        },
+        "axis_name": axis_name,
+        "values": [repr(v) for v in values],
+        "machines": [_canon(m) for m in machines],
+        "policy": _canon(policy),
+        "n_layers": n_layers,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class Journal:
+    """Append-only per-sweep checkpoint file (JSONL, checksummed lines).
+
+    Line kinds: one ``header`` (sweep identity), any number of
+    ``point`` (completed design point with its exact stats payload) and
+    ``failure`` records, and a final ``done`` marker.  A journal
+    without ``done`` is an *orphan*: either a sweep in flight or an
+    interrupted one awaiting ``--resume`` (the
+    ``sweep/orphaned-journal`` analysis rule surfaces old ones).
+
+    Corrupt, truncated, or checksum-mismatched lines are skipped — the
+    affected point simply recomputes — and a header that does not match
+    the requesting sweep quarantines the stale file and starts fresh.
+    """
+
+    def __init__(self, path: str, key: str, n_points: int):
+        self.path = path
+        self.key = key
+        self.n_points = n_points
+        self.completed: Dict[int, Tuple[SimStats, str]] = {}
+        self.failed: Dict[int, Dict] = {}
+        self.done = False
+        self._fh = None
+
+    # -- reading -------------------------------------------------------
+    @classmethod
+    def _read_records(cls, path: str) -> List[Dict]:
+        records = []
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    with suppress(ValueError):
+                        rec = json.loads(line)
+                        if isinstance(rec, dict):
+                            records.append(rec)
+        except OSError:
+            return []
+        return records
+
+    def _absorb(self, records: List[Dict]) -> None:
+        for rec in records:
+            kind = rec.get("kind")
+            if kind == "point":
+                with suppress(KeyError, TypeError, ValueError):
+                    idx = int(rec["index"])
+                    payload = rec["stats"]
+                    if rec.get("sha256") != payload_digest(payload):
+                        continue  # damaged line: recompute that point
+                    if 0 <= idx < self.n_points:
+                        self.completed[idx] = (
+                            stats_from_payload(payload),
+                            str(rec.get("source", "direct")),
+                        )
+                        self.failed.pop(idx, None)
+            elif kind == "failure":
+                with suppress(KeyError, TypeError, ValueError):
+                    idx = int(rec["index"])
+                    if 0 <= idx < self.n_points and idx not in self.completed:
+                        self.failed[idx] = rec
+            elif kind == "done":
+                self.done = True
+
+    @classmethod
+    def open(cls, key: str, n_points: int, meta: Optional[Dict] = None) -> "Journal":
+        """Open (resuming) or create the journal for *key*.
+
+        Reads any prior run's records first, then reopens the file for
+        appending — an interrupted sweep's completed points survive.
+        """
+        path = os.path.join(journal_dir(), key[:32] + ".jsonl")
+        journal = cls(path, key, n_points)
+        records = cls._read_records(path)
+        header = next((r for r in records if r.get("kind") == "header"), None)
+        fresh = True
+        if header is not None:
+            if (
+                header.get("sweep_key") == key
+                and header.get("journal_version") == JOURNAL_VERSION
+                and header.get("n_points") == n_points
+            ):
+                journal._absorb(records)
+                fresh = False
+            else:
+                quarantine(path, "journal header mismatch (different sweep?)")
+        os.makedirs(journal_dir(), exist_ok=True)
+        journal._fh = open(path, "a", encoding="utf-8")
+        if fresh:
+            journal._append(
+                {
+                    "kind": "header",
+                    "journal_version": JOURNAL_VERSION,
+                    "sweep_key": key,
+                    "n_points": n_points,
+                    **(meta or {}),
+                }
+            )
+        return journal
+
+    @classmethod
+    def status(cls, key: str, n_points: int) -> "Journal":
+        """Read-only view of the journal for *key* (``--dry-run``);
+        never creates or modifies the file."""
+        path = os.path.join(journal_dir(), key[:32] + ".jsonl")
+        journal = cls(path, key, n_points)
+        records = cls._read_records(path)
+        header = next((r for r in records if r.get("kind") == "header"), None)
+        if (
+            header is not None
+            and header.get("sweep_key") == key
+            and header.get("journal_version") == JOURNAL_VERSION
+            and header.get("n_points") == n_points
+        ):
+            journal._absorb(records)
+        return journal
+
+    # -- writing -------------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        if self._fh is None:
+            return
+        with suppress(OSError, ValueError):
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())  # survive SIGKILL mid-sweep
+
+    def record_point(self, index: int, stats: SimStats, source: str) -> None:
+        """Checkpoint one completed design point."""
+        payload = stats_payload(stats)
+        self._append(
+            {
+                "kind": "point",
+                "index": index,
+                "source": source,
+                "stats": payload,
+                "sha256": payload_digest(payload),
+            }
+        )
+        self.completed[index] = (stats, source)
+        self.failed.pop(index, None)
+
+    def record_failure(self, failure: PointFailure) -> None:
+        """Checkpoint a permanent point failure (retried on resume)."""
+        rec = {
+            "kind": "failure",
+            "index": failure.index,
+            "error": failure.error,
+            "exc_type": failure.exc_type,
+            "attempts": failure.attempts,
+        }
+        self._append(rec)
+        self.failed[failure.index] = rec
+
+    def mark_done(self) -> None:
+        self._append({"kind": "done", "n_points": self.n_points})
+        self.done = True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            with suppress(OSError):
+                self._fh.close()
+            self._fh = None
+
+    def pending(self) -> List[int]:
+        """Indices still to simulate (failures are retried)."""
+        return [i for i in range(self.n_points) if i not in self.completed]
+
+
+def list_journals() -> List[Dict]:
+    """Summaries of every journal on disk (dry-run / analysis rules)."""
+    directory = journal_dir()
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    out = []
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        path = os.path.join(directory, name)
+        records = Journal._read_records(path)
+        header = next((r for r in records if r.get("kind") == "header"), None)
+        n_points = int(header.get("n_points", 0)) if header else 0
+        done = any(r.get("kind") == "done" for r in records)
+        n_ok = len({r.get("index") for r in records if r.get("kind") == "point"})
+        n_failed = len(
+            {r.get("index") for r in records if r.get("kind") == "failure"}
+        )
+        age = 0.0
+        with suppress(OSError):
+            age = time.time() - os.stat(path).st_mtime
+        out.append(
+            {
+                "path": path,
+                "sweep_key": str(header.get("sweep_key", "")) if header else "",
+                "n_points": n_points,
+                "n_ok": n_ok,
+                "n_failed": n_failed,
+                "done": done,
+                "age_s": age,
+            }
+        )
+    return out

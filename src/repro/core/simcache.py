@@ -25,9 +25,13 @@ be bumped whenever simulator/hierarchy arithmetic changes results.
 
 Entries are one JSON file per key under :func:`cache_dir` (default
 ``.simcache/``, override with ``REPRO_SIMCACHE_DIR``).  Writes are
-atomic (temp file + ``os.replace``), so concurrent sweep workers can
-share one cache directory.  A corrupt or unreadable entry is treated as
-a miss, never an error.
+atomic (temp file + ``os.replace`` via
+:func:`repro.core.resilience.atomic_replace`), so concurrent sweep
+workers can share one cache directory.  Every entry carries a sha256
+content digest; a corrupt, truncated, schema- or version-mismatched
+entry is quarantined to ``.simcache/quarantine/`` and treated as a
+miss — the point transparently recomputes, and ``repro analyze``
+surfaces the quarantined file (rule ``cache/corrupt-entry``).
 """
 
 from __future__ import annotations
@@ -36,11 +40,18 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 from contextlib import suppress
 from typing import Optional
 
 from ..machine.simulator import SimStats
+from ..testing import faults
+from .resilience import (
+    atomic_replace,
+    payload_digest,
+    quarantine,
+    stats_from_payload,
+    stats_payload,
+)
 
 __all__ = [
     "MODEL_VERSION",
@@ -120,21 +131,25 @@ def _entry_path(key: str) -> str:
 def load(key: str) -> Optional[SimStats]:
     """Return the cached :class:`SimStats` for *key*, or ``None``.
 
-    Any problem — missing file, bad JSON, wrong schema, stale model
-    version — is a miss, not an error.
+    A missing file is a plain miss.  Anything else wrong — bad JSON,
+    wrong schema, stale model version, content-digest mismatch — is
+    *quarantined* (moved to ``.simcache/quarantine/`` with a reason
+    sidecar) and then treated as a miss, never an error.
     """
+    path = _entry_path(key)
     try:
-        with open(_entry_path(key), "r", encoding="utf-8") as fh:
+        with open(path, "r", encoding="utf-8") as fh:
             entry = json.load(fh)
         if entry.get("model_version") != MODEL_VERSION:
-            return None
-        fields = entry["fields"]
-        stats = SimStats(**{name: float(fields[name]) for name in SimStats.FIELDS})
-        stats.kernel_cycles = {
-            str(k): float(v) for k, v in entry["kernel_cycles"].items()
-        }
-        return stats
-    except (OSError, ValueError, KeyError, TypeError):
+            raise ValueError(f"model version {entry.get('model_version')!r}")
+        payload = entry["payload"]
+        if entry.get("sha256") != payload_digest(payload):
+            raise ValueError("content digest mismatch")
+        return stats_from_payload(payload)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        quarantine(path, f"corrupt simcache entry: {exc}")
         return None
 
 
@@ -143,29 +158,35 @@ def store(key: str, stats: SimStats) -> None:
 
     JSON float round-tripping in Python is exact (repr is the shortest
     round-trip form), so a cache hit returns bitwise-identical numbers.
+    The entry carries a sha256 digest of its payload, verified by
+    :func:`load` so torn or bit-flipped files can never be served.
     """
+    payload = stats_payload(stats)
     entry = {
         "model_version": MODEL_VERSION,
-        "fields": {name: getattr(stats, name) for name in SimStats.FIELDS},
-        "kernel_cycles": dict(stats.kernel_cycles),
+        "payload": payload,
+        "sha256": payload_digest(payload),
     }
-    directory = cache_dir()
-    # read-only filesystem etc.: caching is best-effort
-    with suppress(OSError):
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh)
-            os.replace(tmp, _entry_path(key))
-        except BaseException:
-            with suppress(OSError):
-                os.unlink(tmp)
-            raise
+    path = _entry_path(key)
+
+    def write(tmp: str) -> None:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        faults.maybe_fault("simcache.write", key=key, path=tmp)
+
+    try:
+        atomic_replace(path, write)
+    except OSError:
+        return  # read-only filesystem etc.: caching is best-effort
+    faults.maybe_fault("simcache.store", key=key, path=path)
 
 
 def clear() -> int:
-    """Delete all entries in the cache directory; returns the count."""
+    """Delete all entries in the cache directory; returns the count.
+
+    Also sweeps up stray ``.tmp`` files a SIGKILLed writer may have
+    left behind (they are never read, only waste space).
+    """
     directory = cache_dir()
     removed = 0
     try:
@@ -177,4 +198,7 @@ def clear() -> int:
             with suppress(OSError):
                 os.unlink(os.path.join(directory, name))
                 removed += 1
+        elif name.endswith(".tmp"):
+            with suppress(OSError):
+                os.unlink(os.path.join(directory, name))
     return removed

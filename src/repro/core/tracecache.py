@@ -27,11 +27,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
-from contextlib import suppress
 from typing import Optional, Tuple
 
 from ..machine.trace import TRACE_FORMAT_VERSION, RecordedTrace
+from ..testing import faults
+from .resilience import atomic_replace, quarantine
 from .simcache import _canon, cache_dir
 
 __all__ = [
@@ -140,14 +140,22 @@ def get(key: str, spill: Optional[bool] = None) -> Optional[RecordedTrace]:
         _REGISTRY[key] = trace
         return trace
     if spill_enabled(spill):
+        path = _spill_path(key)
         try:
-            trace = RecordedTrace.load(_spill_path(key))
-        except (OSError, ValueError, KeyError, EOFError):
+            trace = RecordedTrace.load(path)
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            # Truncated zip, bit-flipped columns, stale format, digest
+            # mismatch: quarantine the spill and report a miss — the
+            # caller re-captures (or simulates the point directly).
+            quarantine(path, f"unreadable trace spill: {exc}")
             return None
         if verify_enabled():
             from ..analysis import verify_trace  # deferred import
 
             if verify_trace(trace):
+                quarantine(path, "spilled trace failed static verification")
                 return None  # corrupted spill: treat as a miss
         put(key, trace, spill=False)  # already on disk
         return trace
@@ -161,21 +169,19 @@ def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
     while len(_REGISTRY) > _REGISTRY_CAP:
         _REGISTRY.pop(next(iter(_REGISTRY)))
     if spill_enabled(spill):
-        directory = spill_dir()
-        # spilling is best-effort, like the simcache
-        with suppress(OSError):
-            os.makedirs(directory, exist_ok=True)
+        path = _spill_path(key)
+
+        def write(tmp: str) -> None:
+            trace.save(tmp)
+            faults.maybe_fault("tracecache.write", key=key, path=tmp)
+
+        try:
             # The .npz suffix matters: numpy would otherwise append one
-            # and write next to the (empty) mkstemp placeholder.
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz")
-            os.close(fd)
-            try:
-                trace.save(tmp)
-                os.replace(tmp, _spill_path(key))
-            except BaseException:
-                with suppress(OSError):
-                    os.unlink(tmp)
-                raise
+            # and write next to the (empty) temp placeholder.
+            atomic_replace(path, write, suffix=".npz")
+        except OSError:
+            return  # spilling is best-effort, like the simcache
+        faults.maybe_fault("tracecache.spill", key=key, path=path)
 
 
 def get_or_capture(

@@ -142,6 +142,9 @@ def replay(
     provenance (e.g. spill files from another process).
     """
     _check_compatible(trace, machine)
+    from ..testing import faults  # inert unless REPRO_FAULTS is set
+
+    faults.maybe_fault("replay.point", key=trace.key)
     if verify:
         from ..analysis import verify_trace  # deferred: analysis is optional
 

@@ -199,7 +199,10 @@ OP_NOTE_RANGE = 10
 #: changes; part of the trace content key (see repro.core.tracecache).
 #: v2 added the allocation table (``RecordedTrace.buffers``), which the
 #: static analyzers need to prove bounds (see repro.analysis).
-TRACE_FORMAT_VERSION = 2
+#: v3 added a mandatory sha256 content digest over the column data, so
+#: a truncated or bit-flipped spill file is rejected (and quarantined
+#: by repro.core.tracecache) instead of silently poisoning a sweep.
+TRACE_FORMAT_VERSION = 3
 
 
 class RecordedTrace:
@@ -328,8 +331,31 @@ class RecordedTrace:
         return self._rows
 
     # -- persistence ---------------------------------------------------
+    @staticmethod
+    def _content_digest(cols, labels, buffers) -> str:
+        """sha256 over the column bytes plus labels/buffers.
+
+        Stored in (and checked against) the spill header so a torn or
+        bit-flipped ``.npz`` can never replay: the loader raises and
+        the trace cache quarantines the file.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for c in cols:
+            arr = np.ascontiguousarray(c)
+            h.update(str(arr.dtype).encode("utf-8"))
+            h.update(arr.tobytes())
+        h.update(
+            json.dumps(
+                [list(labels), [list(b) for b in buffers]], sort_keys=True
+            ).encode("utf-8")
+        )
+        return h.hexdigest()
+
     def save(self, path: str) -> None:
         """Serialize to an ``.npz`` file (no pickling)."""
+        cols = self._columns()
         np.savez(
             path,
             op=self.op, w=self.w, kid=self.kid,
@@ -345,6 +371,9 @@ class RecordedTrace:
                         "format": TRACE_FORMAT_VERSION,
                         "buffers": [list(b) for b in self.buffers],
                         "meta": self.meta,
+                        "sha256": self._content_digest(
+                            cols, self.labels, self.buffers
+                        ),
                     }
                 ),
                 dtype=np.str_,
@@ -360,17 +389,23 @@ class RecordedTrace:
                     f"trace format {header.get('format')!r} != "
                     f"{TRACE_FORMAT_VERSION} (stale spill file)"
                 )
+            labels = [str(s) for s in z["labels"].tolist()]
+            buffers = header.get("buffers", ())
+            cols = tuple(
+                z[name].copy() for name, _ in cls._COLUMNS
+            )
+            digest = cls._content_digest(cols, labels, buffers)
+            if header.get("sha256") != digest:
+                raise ValueError("trace content digest mismatch (corrupt spill)")
             return cls(
                 header.get("key"),
                 header["isa_name"],
                 header["vlen_bits"],
                 header["l1_line_bytes"],
-                [str(s) for s in z["labels"].tolist()],
-                z["op"].copy(), z["w"].copy(), z["kid"].copy(),
-                z["i0"].copy(), z["i1"].copy(), z["i2"].copy(),
-                z["i3"].copy(), z["f0"].copy(),
+                labels,
+                *cols,
                 meta=header.get("meta"),
-                buffers=header.get("buffers", ()),
+                buffers=buffers,
             )
 
 

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness behind the resilience test suite (``REPRO_FAULTS``); it is
+imported by production modules but inert unless the environment
+variable points at a fault schedule.
+"""
+
+from .faults import FaultSpec, InjectedFault, install_faults, maybe_fault
+
+__all__ = ["FaultSpec", "InjectedFault", "install_faults", "maybe_fault"]

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the resilience test suite.
+
+The sweep engine, both persistent caches, and the replay engine call
+:func:`maybe_fault` at well-known *sites*.  When the ``REPRO_FAULTS``
+environment variable names a JSON schedule, a matching
+:class:`FaultSpec` fires there — crashing the process, hanging,
+raising, or corrupting the file just written — which lets the tests in
+``tests/test_resilience.py`` prove every recovery path end-to-end
+(checkpoint/resume, retry with backoff, dead-worker replacement, cache
+quarantine) without non-deterministic kill timing.
+
+Sites wired into the production code:
+
+===========================  =====================================================
+site                         fired
+===========================  =====================================================
+``worker.point``             before simulating/pricing one design point
+                             (``index`` = the point's global sweep index)
+``simcache.write``           inside the simcache writer, before the atomic rename
+``simcache.store``           after a simcache entry landed (``path`` usable by
+                             ``corrupt``/``truncate`` kinds)
+``tracecache.write``         inside the trace spill writer, before the rename
+``tracecache.spill``         after a trace spill landed on disk
+``replay.point``             on entry to single-trace replay
+===========================  =====================================================
+
+Fault kinds: ``raise`` (raises :class:`InjectedFault`),
+``keyboard-interrupt``, ``crash`` (``os._exit(137)`` — a hard worker
+death), ``hang`` (sleeps ``seconds``), ``corrupt`` (flips bytes in the
+middle of ``path``), ``truncate`` (cuts ``path`` in half).
+
+Every spec carries a ``times`` budget.  Fires are accounted with
+``O_CREAT|O_EXCL`` marker files next to the schedule, so the budget is
+shared between the parent and all pool workers and a spec never fires
+more than ``times`` times across processes — exactly what a
+"crash twice, then succeed" retry test needs.
+
+Everything is a no-op (one dict lookup) when ``REPRO_FAULTS`` is unset,
+so production paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import suppress
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultSpec",
+    "InjectedFault",
+    "install_faults",
+    "maybe_fault",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+_KINDS = ("raise", "keyboard-interrupt", "crash", "hang", "corrupt", "truncate")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``raise``-kind fault; never raised by real code."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``site`` must match the call site exactly; ``index`` (when given)
+    must equal the site's point index, and ``match`` (when given) must
+    be a substring of the site's ``key`` or ``path``.  ``times`` caps
+    how often the spec fires across all processes sharing the schedule.
+    """
+
+    site: str
+    kind: str
+    index: Optional[int] = None
+    match: Optional[str] = None
+    times: int = 1
+    seconds: float = 30.0
+    fault_id: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def ident(self) -> str:
+        return self.fault_id or f"{self.site}--{self.kind}--{self.index}"
+
+    def matches(self, site: str, index: Optional[int], text: str) -> bool:
+        if site != self.site:
+            return False
+        if self.index is not None and index != self.index:
+            return False
+        return not (self.match is not None and self.match not in text)
+
+
+def install_faults(path: str, specs: Sequence[FaultSpec]) -> str:
+    """Write *specs* as a schedule file; returns the ``REPRO_FAULTS`` value.
+
+    Test helper: ``monkeypatch.setenv(FAULTS_ENV, install_faults(...))``.
+    """
+    doc = [
+        {
+            "site": s.site,
+            "kind": s.kind,
+            "index": s.index,
+            "match": s.match,
+            "times": s.times,
+            "seconds": s.seconds,
+            "fault_id": s.ident(),
+        }
+        for s in specs
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return path
+
+
+#: Schedule cache: path -> (mtime_ns, specs).  Reloaded when the file
+#: changes so a test can rewrite the schedule mid-run.
+_loaded: Dict[str, Tuple[int, List[FaultSpec]]] = {}
+
+
+def _schedule(path: str) -> List[FaultSpec]:
+    try:
+        mtime = os.stat(path).st_mtime_ns
+    except OSError:
+        return []
+    cached = _loaded.get(path)
+    if cached is not None and cached[0] == mtime:
+        return cached[1]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        specs = [FaultSpec(**entry) for entry in doc]
+    except (OSError, ValueError, TypeError):
+        specs = []
+    _loaded[path] = (mtime, specs)
+    return specs
+
+
+def _claim_fire(path: str, spec: FaultSpec) -> bool:
+    """Atomically claim one of the spec's ``times`` fire slots.
+
+    Marker files live next to the schedule so every process (parent and
+    pool workers) shares the budget.
+    """
+    base = path + "." + spec.ident().replace("/", "_")
+    for i in range(spec.times):
+        try:
+            fd = os.open(f"{base}.fired.{i}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError:
+            continue  # slot already claimed
+        os.close(fd)
+        return True
+    return False
+
+
+def _mangle(target: str, kind: str) -> None:
+    """Corrupt or truncate *target* in place (deterministically)."""
+    try:
+        size = os.path.getsize(target)
+    except OSError:
+        return
+    if size == 0:
+        return
+    if kind == "truncate":
+        with open(target, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+        return
+    with open(target, "r+b") as fh:  # corrupt: flip a run of midfile bytes
+        fh.seek(size // 2)
+        chunk = fh.read(16) or b"\0"
+        fh.seek(size // 2)
+        fh.write(bytes(b ^ 0xFF for b in chunk))
+
+
+def maybe_fault(
+    site: str,
+    index: Optional[int] = None,
+    key: Optional[str] = None,
+    path: Optional[str] = None,
+) -> None:
+    """Fire the first scheduled fault matching this call site, if any.
+
+    No-op unless ``REPRO_FAULTS`` names a readable schedule.  ``crash``
+    kills the process immediately; ``raise``/``keyboard-interrupt``
+    raise; ``hang`` sleeps; ``corrupt``/``truncate`` mangle *path*.
+    """
+    schedule_path = os.environ.get(FAULTS_ENV, "")
+    if not schedule_path:
+        return
+    text = " ".join(filter(None, (key, path)))
+    for spec in _schedule(schedule_path):
+        if not spec.matches(site, index, text):
+            continue
+        if not _claim_fire(schedule_path, spec):
+            continue
+        if spec.kind == "crash":
+            os._exit(137)
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "raise":
+            raise InjectedFault(f"injected fault at {site} (index={index})")
+        if spec.kind == "keyboard-interrupt":
+            raise KeyboardInterrupt(f"injected interrupt at {site}")
+        if spec.kind in ("corrupt", "truncate") and path is not None:
+            with suppress(OSError):
+                _mangle(path, spec.kind)
+            return
+        return

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Kill-resume smoke test: SIGKILL a sweep mid-run, resume, diff stats.
+
+Unlike ``tests/test_resilience.py`` — which injects faults *inside* one
+process — this script proves the journal survives a real, untimed
+``SIGKILL`` of the whole CLI process: no ``atexit``, no ``finally``, no
+flushing courtesy.  Protocol:
+
+1. run ``repro sweep --json`` in a scratch cache dir → baseline stats;
+2. start the same sweep with ``--resume`` in a fresh scratch dir, poll
+   its journal until the first design point is checkpointed, and
+   ``SIGKILL`` the process;
+3. run ``repro sweep --resume --json`` to completion;
+4. assert the resumed stats are *exactly* equal to the baseline (JSON
+   float round-tripping is exact, so this is a bitwise comparison) and
+   that at least one point was restored from the journal.
+
+Deliberately not named ``test_*.py``: pytest must not collect it (it
+spawns subprocesses and takes tens of seconds).  CI runs it directly:
+``python tests/smoke_kill_resume.py``.  Exit code 0 on success.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+SWEEP_ARGS = [
+    "sweep", "--net", "yolov3-tiny", "--layers", "10",
+    "--axis", "cache", "--values", "1", "4", "16",
+    "--no-trace",  # one checkpoint per point, not one per trace group
+]
+POLL_S = 0.002
+KILL_DEADLINE_S = 120.0
+ENV_KEEP_JOURNAL = "SMOKE_KEEP_JOURNAL"  # CI artifact path, optional
+
+
+def run_sweep(extra, cache_dir, **popen_kw):
+    env = dict(os.environ, REPRO_SIMCACHE_DIR=cache_dir)
+    env.setdefault("PYTHONPATH", "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *SWEEP_ARGS, *extra],
+        env=env, **popen_kw,
+    )
+
+
+def sweep_json(extra, cache_dir):
+    proc = run_sweep(
+        [*extra, "--json"], cache_dir,
+        stdout=subprocess.PIPE, text=True,
+    )
+    out, _ = proc.communicate(timeout=600)
+    if proc.returncode != 0:
+        raise SystemExit(f"sweep {extra} failed with rc={proc.returncode}")
+    return json.loads(out)
+
+
+def journal_points(cache_dir):
+    """(n_checkpointed_points, done?) summed over all journals."""
+    directory = os.path.join(cache_dir, "journal")
+    points, done = 0, False
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0, False
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        try:
+            with open(os.path.join(directory, name), encoding="utf-8") as fh:
+                for line in fh:
+                    if '"kind": "point"' in line:
+                        points += 1
+                    elif '"kind": "done"' in line:
+                        done = True
+        except OSError:
+            pass
+    return points, done
+
+
+def main() -> int:
+    scratch = tempfile.mkdtemp(prefix="kill-resume-")
+    baseline_dir = os.path.join(scratch, "baseline")
+    victim_dir = os.path.join(scratch, "victim")
+
+    print("[1/4] baseline sweep (uninterrupted)...")
+    baseline = sweep_json([], baseline_dir)
+    n_points = len(baseline["points"])
+
+    print("[2/4] journaled sweep, SIGKILL after the first checkpoint...")
+    victim = run_sweep(
+        ["--resume"], victim_dir,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    while time.monotonic() < deadline:
+        points, _ = journal_points(victim_dir)
+        if points >= 1 or victim.poll() is not None:
+            break
+        time.sleep(POLL_S)
+    victim.kill()
+    victim.wait()
+    killed_points, killed_done = journal_points(victim_dir)
+    print(
+        f"      killed with {killed_points}/{n_points} points journaled "
+        f"(done={killed_done})"
+    )
+    if not 1 <= killed_points < n_points or killed_done:
+        raise SystemExit(
+            "smoke race lost: the sweep was not killed mid-run "
+            f"({killed_points}/{n_points} points, done={killed_done})"
+        )
+
+    print("[3/4] resuming the killed sweep...")
+    resumed = sweep_json(["--resume"], victim_dir)
+
+    print("[4/4] comparing resumed stats against the baseline...")
+    sources = [p["source"] for p in resumed["points"]]
+    if sources.count("journal") < killed_points:
+        raise SystemExit(f"expected journal-restored points, got {sources}")
+    for i, (a, b) in enumerate(zip(baseline["points"], resumed["points"])):
+        if a["stats"] != b["stats"]:
+            raise SystemExit(f"point {i} diverged after kill+resume")
+
+    keep = os.environ.get(ENV_KEEP_JOURNAL, "")
+    if keep:
+        import shutil
+
+        os.makedirs(keep, exist_ok=True)
+        src = os.path.join(victim_dir, "journal")
+        if os.path.isdir(src):
+            shutil.copytree(src, os.path.join(keep, "journal"), dirs_exist_ok=True)
+    print(f"OK: {n_points} points bitwise-identical after SIGKILL+resume "
+          f"(sources: {sources})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -524,6 +524,9 @@ def test_replay_verify_flag_rejects_corrupt_trace(trace, machine):
 def test_tracecache_verify_discards_corrupt_spill(tmp_path, monkeypatch, trace, machine):
     monkeypatch.setenv("REPRO_TRACE_SPILL", "1")
     monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+    # Rejected spills are *quarantined* under the simcache dir; keep that
+    # out of the developer's real .simcache/.
+    monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path / ".simcache"))
     monkeypatch.setenv("REPRO_TRACE_VERIFY", "1")
     tracecache.clear_registry()
 
