@@ -8,7 +8,9 @@ Usage (``python -m repro <command> ...``):
 * ``profile``  — per-kernel cycle breakdown (Section II-B);
 * ``select``   — per-layer convolution-algorithm selection;
 * ``analyze``  — static trace verifier, working-set and roofline-bound
-  report (exit code 1 on any finding; see docs/ANALYSIS.md).
+  report (exit code 1 on any finding; see docs/ANALYSIS.md);
+* ``trace-cache`` — inspect, verify or garbage-collect the spilled
+  trace files under ``.simcache/traces/`` (see docs/TRACE_REPLAY.md).
 """
 
 from __future__ import annotations
@@ -198,6 +200,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="write the canonical report to --baseline instead of "
              "diffing against it",
+    )
+
+    p = sub.add_parser(
+        "trace-cache",
+        help="inspect/verify/garbage-collect spilled kernel traces",
+    )
+    p.add_argument(
+        "action", choices=["list", "verify", "gc"],
+        help="list: sizes, event counts and compression ratios from the "
+             "container headers; verify: full decode + digest check per "
+             "file; gc: delete stale-format spills and quarantine "
+             "corrupt ones (PR-5 semantics: never served twice)",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON document instead of a table",
     )
     return parser
 
@@ -495,6 +513,99 @@ def cmd_analyze(args) -> int:
     return status
 
 
+def cmd_trace_cache(args) -> int:
+    """``repro trace-cache``: report on (and clean up) spilled traces.
+
+    ``list`` is header-only and cheap; ``verify`` fully decodes every
+    container, recomputing the sha256 content digest; ``gc`` deletes
+    stale-format files (regenerable by any sweep) and *quarantines*
+    corrupt ones — the same never-served-twice semantics the loader
+    applies (see repro.core.resilience).  Exit code 1 when any file is
+    corrupt.
+    """
+    import os
+
+    from .core import tracecache
+    from .core.resilience import quarantine
+    from .machine.trace import TRACE_FORMAT_VERSION
+
+    #: Decoded columnar bytes per event (op+w+kid+i0..i3+f0) — the
+    #: denominator-free way to report a compression ratio from headers.
+    row_bytes = 53
+    directory = tracecache.spill_dir()
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    rows, n_corrupt, freed = [], 0, 0
+    for name in names:
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        size = os.path.getsize(path)
+        row = {"file": name, "kb": round(size / 1024.0, 1)}
+        header, status = None, "ok"
+        if not name.endswith(tracecache.SPILL_SUFFIX):
+            status = "stale"  # pre-v4 spill (.npz) or foreign leftover
+        else:
+            try:
+                header = tracecache.read_header(path)
+                if header.get("format") != TRACE_FORMAT_VERSION:
+                    status = "stale"
+            except Exception:
+                status = "corrupt"
+        if header is not None:
+            n = int(header.get("n_events", 0))
+            row["events"] = n
+            row["ratio"] = round(n * row_bytes / size, 1) if size else 0.0
+            row["digest"] = "yes" if header.get("sha256") else "missing"
+        if args.action in ("verify", "gc") and status == "ok":
+            # Full decode recomputes the content digest — header-only
+            # parsing cannot see a bit-flip inside a column block.
+            try:
+                tracecache.load_compressed(path)
+                row["digest"] = "verified"
+            except Exception:
+                status = "corrupt"
+        if args.action == "gc" and status != "ok":
+            if status == "corrupt":
+                quarantine(path, "trace-cache gc: unreadable container")
+                status = "quarantined"
+            else:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                status = "removed"
+            freed += size
+        if status == "corrupt":
+            n_corrupt += 1
+        row["status"] = status
+        rows.append(row)
+    summary = {
+        "dir": directory,
+        "files": len(rows),
+        "total_kb": round(sum(r["kb"] for r in rows), 1),
+        "corrupt": n_corrupt,
+    }
+    if args.action == "gc":
+        summary["freed_kb"] = round(freed / 1024.0, 1)
+    if args.as_json:
+        print(json.dumps({"summary": summary, "files": rows}, sort_keys=True))
+    else:
+        if rows:
+            print(format_table(rows, title=f"trace cache: {directory}"))
+        else:
+            print(f"trace cache empty: {directory}")
+        parts = [f"{summary['files']} file(s)", f"{summary['total_kb']} KB"]
+        if args.action == "gc":
+            parts.append(f"freed {summary['freed_kb']} KB")
+        if n_corrupt:
+            parts.append(f"{n_corrupt} corrupt")
+        print("  " + ", ".join(parts))
+    return 1 if n_corrupt else 0
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
@@ -502,6 +613,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "select": cmd_select,
     "analyze": cmd_analyze,
+    "trace-cache": cmd_trace_cache,
 }
 
 

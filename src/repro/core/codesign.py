@@ -166,12 +166,18 @@ def _simulate_group(
 
     Points are first resolved against the persistent result cache, then
     grouped by trace key (:func:`repro.core.tracecache.trace_key`);
-    each multi-point group with a uniform event stream runs the kernels
-    once — via :func:`repro.machine.replay.capture_sweep`, or
+    each replayable group (:func:`repro.machine.replay.group_mode` —
+    L2/DRAM sweeps and VPU-pricing sweeps like lanes/MLP) runs the
+    kernels once — via :func:`repro.machine.replay.capture_sweep`, or
     :func:`~repro.machine.replay.replay_sweep` when the registry already
     holds the trace — and prices every sibling from the shared stream.
-    Anything left (singleton groups, lane/VL-coupled groups the replay
-    engine declines) falls back to ordinary per-point simulation.
+    Singleton groups (e.g. each point of a VL sweep, whose event
+    streams differ per point) capture a reusable trace and replay from
+    it, seeding the registry/spill so later sweeps along *any*
+    replayable axis price the figure without re-running kernels.
+    Groups varying in a genuinely un-replayable field fall back to
+    ordinary per-point simulation — or raise when ``use_trace=True``
+    was explicitly requested.
 
     Returns ``(stats, sources)`` in input order; statistics are bitwise
     identical to per-point simulation regardless of the path taken.
@@ -184,7 +190,12 @@ def _simulate_group(
     resumable sweeps.
     """
     from . import simcache, tracecache
-    from ..machine.replay import capture_sweep, replay_sweep
+    from ..machine.replay import (
+        capture_sweep,
+        group_mode,
+        nonuniform_fields,
+        replay_sweep,
+    )
 
     n = len(machines)
     indices = list(indices) if indices is not None else list(range(n))
@@ -208,16 +219,30 @@ def _simulate_group(
         pending.append(i)
 
     # Tracing defaults ON for sweeps: capture costs ~1/10 of pricing, so
-    # it pays for itself from the second point of a group onwards.
-    if tracecache.trace_enabled(use_trace, default=True) and len(pending) > 1:
+    # it pays for itself from the second point of a group onwards — and
+    # singleton groups still capture, seeding the registry/spill so the
+    # next sweep sharing the key replays instead of re-simulating.
+    if tracecache.trace_enabled(use_trace, default=True) and pending:
         groups: Dict[str, List[int]] = {}
         for i in pending:
             key = tracecache.trace_key(net, machines[i], policy, n_layers, True)
             groups.setdefault(key, []).append(i)
         for key, idxs in groups.items():
-            if len(idxs) < 2:
-                continue  # capturing pays only when replayed
             group = [machines[i] for i in idxs]
+            if len(idxs) > 1 and group_mode(group) is None:
+                if use_trace is True:
+                    # The caller explicitly demanded trace replay for an
+                    # axis the pricing pass cannot express: fail loudly
+                    # instead of silently simulating per point.
+                    raise ValueError(
+                        "trace replay cannot price this sweep group: "
+                        "machines vary in "
+                        f"{', '.join(nonuniform_fields(group))} "
+                        "(see repro.machine.replay.supports_axis for "
+                        "replayable axes); drop use_trace=True to "
+                        "simulate per point"
+                    )
+                continue  # un-replayable group: per-point fallback below
             try:
                 for i in idxs:
                     faults.maybe_fault("worker.point", index=indices[i])
@@ -225,6 +250,16 @@ def _simulate_group(
                 if trace is not None:
                     priced = replay_sweep(trace, group)
                     labels = ["replayed"] * len(idxs)
+                elif len(idxs) == 1:
+                    # Singleton (e.g. one VL point): record a reusable
+                    # trace and price from it.  Slightly dearer than a
+                    # direct simulation once, then every re-run — and
+                    # every other axis sharing the key — replays.
+                    trace, _ = tracecache.get_or_capture(
+                        net, group[0], policy, n_layers
+                    )
+                    priced = replay_sweep(trace, group)
+                    labels = ["captured"]
                 else:
                     priced = capture_sweep(
                         lambda sim: net._emit_trace(sim, policy, n_layers, True),
@@ -454,9 +489,11 @@ def sweep_lanes(
     """Section VI-B(c) axis: vary the number of vector lanes (2-8).
 
     Lane count changes pricing arithmetic, not the event stream, so the
-    points share a trace key — but the replay engine's shared pricing
-    pass does not split on lanes, so ``replay_sweep`` declines the
-    group and each point simulates directly (see docs/TRACE_REPLAY.md).
+    points share a trace key and form a ``"vpu"``-mode replay group
+    (:func:`repro.machine.replay.group_mode`): the kernels run once and
+    every lane point is priced from the shared capture with deferred
+    VPU pricing classes, bitwise identical to per-point simulation
+    (see docs/TRACE_REPLAY.md).
     """
     if policy is None:
         policy = KernelPolicy()

@@ -9,13 +9,17 @@ the kernel policy, and an optional trace-registry key.
 
 Capture-once / replay-many across processes: the parent groups points
 by :func:`repro.core.tracecache.trace_key`, captures each distinct
-kernel event stream once, and spills it to disk (``.npz`` next to
-``.simcache/``) so every worker — a separate process with its own
-in-memory registry — can load it and price its chunk of points with
+kernel event stream once, publishes it as a shared-memory segment
+(:func:`repro.core.tracecache.publish_shm`) and spills it to disk
+(compressed ``.rtz`` next to ``.simcache/``) so every worker — a
+separate process with its own in-memory registry — can attach/load it
+once and price its chunk of points with
 :func:`repro.machine.replay.replay_sweep` instead of re-running the
-kernels.  Workers that cannot load the trace (spill disabled by the
-filesystem, or a corrupt spill quarantined on load) silently fall back
-to direct per-point simulation.
+kernels.  Workers prefer the shared-memory tier (one decode per worker
+lifetime, no disk traffic per task); those that cannot obtain the
+trace at all (shared memory and spill both unavailable, or a corrupt
+spill quarantined on load) silently fall back to direct per-point
+simulation.
 
 Supervision (see docs/RESILIENCE.md): instead of one blocking
 ``Pool.map``, the parent runs a small event loop over ``apply_async``
@@ -110,7 +114,7 @@ def _run_chunk(task: _Chunk) -> Tuple[List[SimStats], List[str]]:
     machines, idxs, policy, n_layers, use_cache, tkey = task
     for i in idxs:
         faults.maybe_fault("worker.point", index=i)
-    if tkey is not None and len(machines) > 1:
+    if tkey is not None:
         from . import simcache, tracecache
         from ..machine.replay import replay_sweep
 
@@ -222,8 +226,8 @@ def _supervise(
         now = time.monotonic()
         if len(work.idxs) > 1:
             # Isolate the poison point: the chunk becomes single-point
-            # tasks (keeping the trace key — harmless for singletons,
-            # which take the direct path).
+            # tasks (keeping the trace key — the survivors still price
+            # by replay, bitwise-identical to the direct path).
             work.done = True
             machines, idxs, policy, n_layers, use_cache, tkey = work.task
             for m, i in zip(machines, idxs):
@@ -352,20 +356,26 @@ def simulate_points(
     trace_groups: Dict[Optional[str], List[int]] = {}
     captured_pos = None
     if tracecache.trace_enabled(use_trace, default=True):
-        from ..machine.replay import uniform_group
+        from ..machine.replay import group_mode
 
         for pos, machine in enumerate(machines):
             key = tracecache.trace_key(net, machine, policy, n_layers, True)
             trace_groups.setdefault(key, []).append(pos)
         for key, poss in list(trace_groups.items()):
             group = [machines[p] for p in poss]
-            if len(poss) < 2 or not uniform_group(group):
+            if len(poss) > 1 and group_mode(group) is None:
                 # Replay cannot price the group; run its points direct.
                 for p in poss:
                     trace_groups.setdefault(None, []).append(p)
                 del trace_groups[key]
                 continue
             if tracecache.get(key, spill=True) is None:
+                if len(poss) < 2:
+                    # A singleton with no existing capture: one direct
+                    # simulation is cheaper than capture + replay.
+                    trace_groups.setdefault(None, []).append(poss[0])
+                    del trace_groups[key]
+                    continue
                 # Capture once here; forced spill hands the stream to
                 # the worker processes.  record_trace may be slower
                 # than one direct simulation only for tiny nets, where
@@ -376,6 +386,10 @@ def simulate_points(
                 tracecache.put(key, trace, spill=True)
                 if captured_pos is None:
                     captured_pos = poss[0]
+            # Shared-memory fast path: workers attach and decode once
+            # per worker lifetime instead of re-reading the spill per
+            # task.  Best-effort; released after the pool is done.
+            tracecache.publish_shm(key)
     else:
         trace_groups[None] = list(range(len(machines)))
 
@@ -435,6 +449,8 @@ def simulate_points(
             _supervise(pool, works, retry, budget, on_result, on_fail)
     except (pickle.PicklingError, AttributeError):
         return None
+    finally:
+        tracecache.release_shm()
     if captured_pos is not None and sources[captured_pos] == "replayed":
         sources[captured_pos] = "captured"
     return stats, sources

@@ -10,9 +10,24 @@ not the event stream.  A one-axis co-design sweep along any of those
 axes therefore re-emits the exact same trace at every design point.
 
 This module keys traces by a content hash of exactly those inputs and
-holds them in a small in-process registry, with optional on-disk spill
-(``.npz`` next to ``.simcache/``) so parallel sweep workers — separate
-processes — can share one capture.  See docs/TRACE_REPLAY.md.
+holds them in a small in-process registry, with two cross-process
+tiers:
+
+* an **on-disk spill** (compressed ``.rtz`` next to ``.simcache/``) so
+  traces survive the process and can be committed as CI references, and
+* a **shared-memory segment** per published trace
+  (:func:`publish_shm`), so spawn-platform pool workers attach and
+  decode the parent's capture once instead of re-reading the spill
+  file from disk on every task.
+
+The ``.rtz`` container (trace format v4) is a magic + JSON header +
+per-column compressed blocks.  The address/size operand columns are
+delta + zigzag + varint encoded before block compression (zlib, or
+zstd when the ``zstandard`` package is importable) — trace addresses
+are bump-allocated and overwhelmingly sequential, so deltas are tiny
+and a multi-hundred-MB column set shrinks to a few MB.  Decoding
+recomputes the sha256 content digest and refuses (→ quarantine, see
+repro.core.resilience) on any mismatch.
 
 Resolution of the ``use_trace`` tri-state (mirrors simcache):
 explicit ``True``/``False`` wins; otherwise ``REPRO_TRACE`` ("0"/"off"
@@ -27,12 +42,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Optional, Tuple
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..machine.trace import TRACE_FORMAT_VERSION, RecordedTrace
 from ..testing import faults
 from .resilience import atomic_replace, quarantine
 from .simcache import _canon, cache_dir
+
+try:  # optional: the container may not ship zstandard
+    import zstandard as _zstd  # type: ignore
+except ImportError:  # pragma: no cover - environment-dependent
+    _zstd = None
 
 __all__ = [
     "trace_enabled",
@@ -44,12 +67,26 @@ __all__ = [
     "put",
     "get_or_capture",
     "clear_registry",
+    "encode_trace",
+    "decode_trace",
+    "save_compressed",
+    "load_compressed",
+    "read_header",
+    "publish_shm",
+    "release_shm",
+    "load_counts",
+    "reset_load_counts",
+    "SPILL_SUFFIX",
 ]
 
 _ENV_FLAG = "REPRO_TRACE"
 _ENV_SPILL = "REPRO_TRACE_SPILL"
 _ENV_DIR = "REPRO_TRACE_DIR"
 _ENV_VERIFY = "REPRO_TRACE_VERIFY"
+#: When set to a writable path, every cross-process trace load (shm
+#: attach or spill read) appends one ``"<pid> <source> <key>"`` line —
+#: the observability hook the single-load-per-worker test asserts on.
+_ENV_LOAD_LOG = "REPRO_TRACE_LOAD_LOG"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("0", "false", "no", "off")
@@ -59,6 +96,10 @@ _FALSE = ("0", "false", "no", "off")
 #: only the most recently used few stay resident.
 _REGISTRY: dict = {}
 _REGISTRY_CAP = 4
+
+#: Spill file suffix for the v4 compressed container.
+SPILL_SUFFIX = ".rtz"
+_MAGIC = b"RTRC"
 
 
 def trace_enabled(flag: Optional[bool] = None, default: bool = False) -> bool:
@@ -116,7 +157,7 @@ def trace_key(net, machine, policy, n_layers, deduplicate: bool = True) -> str:
 
 
 def _spill_path(key: str) -> str:
-    return os.path.join(spill_dir(), key + ".npz")
+    return os.path.join(spill_dir(), key + SPILL_SUFFIX)
 
 
 def verify_enabled() -> bool:
@@ -131,24 +172,395 @@ def verify_enabled() -> bool:
     return os.environ.get(_ENV_VERIFY, "").strip().lower() in _TRUE
 
 
+# ----------------------------------------------------------------------
+# v4 compressed container (.rtz)
+# ----------------------------------------------------------------------
+def _compress(blob: bytes) -> Tuple[str, bytes]:
+    if _zstd is not None:
+        return "zstd", _zstd.ZstdCompressor(level=19).compress(blob)
+    return "zlib", zlib.compress(blob, 9)
+
+
+def _decompress(codec: str, blob: bytes) -> bytes:
+    if codec == "zlib":
+        return zlib.decompress(blob)
+    if codec == "zstd":
+        if _zstd is None:
+            raise ValueError(
+                "trace block compressed with zstd but zstandard is not "
+                "installed; re-capture or re-encode with zlib"
+            )
+        return _zstd.ZstdDecompressor().decompress(blob)
+    raise ValueError(f"unknown trace block codec {codec!r}")
+
+
+def _varint_encode(u: np.ndarray) -> bytes:
+    """LEB128-style varint encoding of a uint64 array, vectorized.
+
+    Each value becomes 1-10 bytes of 7-bit groups, LSB first, high bit
+    set on every byte but the last.  Pure column arithmetic: byte
+    counts come from threshold comparisons, output offsets from a
+    cumulative sum, and the bytes themselves from at most ten masked
+    scatter passes.
+    """
+    n = len(u)
+    if n == 0:
+        return b""
+    nb = np.ones(n, np.int64)
+    for k in range(1, 10):  # 7*9 = 63 bits: the widest uint64 shift
+        nb += (u >= (np.uint64(1) << np.uint64(7 * k))).astype(np.int64)
+    offs = np.zeros(n + 1, np.int64)
+    np.cumsum(nb, out=offs[1:])
+    out = np.zeros(int(offs[-1]), np.uint8)
+    rem = u.copy()
+    starts = offs[:-1]
+    for j in range(int(nb.max())):
+        mask = nb > j
+        vals = (rem[mask] & np.uint64(0x7F)).astype(np.uint8)
+        cont = (nb[mask] > j + 1).astype(np.uint8) << np.uint8(7)
+        out[starts[mask] + j] = vals | cont
+        rem >>= np.uint64(7)
+    return out.tobytes()
+
+
+def _varint_decode(buf: bytes, n: int) -> np.ndarray:
+    """Inverse of :func:`_varint_encode`; returns *n* uint64 values."""
+    if n == 0:
+        if buf:
+            raise ValueError("varint stream: trailing bytes")
+        return np.zeros(0, np.uint64)
+    b = np.frombuffer(buf, np.uint8)
+    ends = np.flatnonzero((b & 0x80) == 0)  # terminator bytes
+    if len(ends) != n or (len(b) and ends[-1] != len(b) - 1):
+        raise ValueError("varint stream: value count mismatch")
+    starts = np.empty(n, np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    nb = ends - starts + 1
+    if int(nb.max()) > 10:
+        raise ValueError("varint stream: value wider than 64 bits")
+    payload = (b & np.uint8(0x7F)).astype(np.uint64)
+    out = np.zeros(n, np.uint64)
+    for j in range(int(nb.max())):
+        mask = nb > j
+        out[mask] |= payload[starts[mask] + j] << np.uint64(7 * j)
+    return out
+
+
+def _zigzag(v: np.ndarray) -> np.ndarray:
+    """Map int64 to uint64 so small magnitudes stay small: 0,-1,1,-2…"""
+    return ((v << 1) ^ (v >> 63)).view(np.uint64)
+
+
+def _unzigzag(u: np.ndarray) -> np.ndarray:
+    x = (u >> np.uint64(1)).view(np.int64)
+    return x ^ -((u & np.uint64(1)).view(np.int64))
+
+
+def _delta_encode(col: np.ndarray) -> bytes:
+    d = np.diff(col.astype(np.int64, copy=False), prepend=np.int64(0))
+    return _varint_encode(_zigzag(d))
+
+
+def _delta_decode(buf: bytes, n: int) -> np.ndarray:
+    return np.cumsum(_unzigzag(_varint_decode(buf, n)), dtype=np.int64)
+
+
+#: Per-column (filter, little-endian wire dtype).  The integer operand
+#: columns i0..i3 carry addresses and sizes — monotone-ish, tiny
+#: deltas — so they delta+zigzag+varint before block compression;
+#: the rest compress raw.
+_COLUMN_WIRE = {
+    "op": ("raw", "<u1"),
+    "w": ("raw", "<f8"),
+    "kid": ("raw", "<u4"),
+    "i0": ("delta", "<i8"),
+    "i1": ("delta", "<i8"),
+    "i2": ("delta", "<i8"),
+    "i3": ("delta", "<i8"),
+    "f0": ("raw", "<f8"),
+}
+
+
+def encode_trace(trace: RecordedTrace) -> bytes:
+    """Serialize *trace* into the v4 ``.rtz`` container (bytes)."""
+    cols = {name: getattr(trace, name) for name, _ in RecordedTrace._COLUMNS}
+    n = trace.n_events
+    blocks: List[bytes] = []
+    col_meta = []
+    for name, _ in RecordedTrace._COLUMNS:
+        filt, wire = _COLUMN_WIRE[name]
+        arr = np.ascontiguousarray(cols[name]).astype(wire, copy=False)
+        raw = _delta_encode(arr) if filt == "delta" else arr.tobytes()
+        codec, blob = _compress(raw)
+        blocks.append(blob)
+        col_meta.append(
+            {"name": name, "filter": filt, "codec": codec, "nbytes": len(blob)}
+        )
+    header = json.dumps(
+        {
+            "key": trace.key,
+            "isa_name": trace.isa_name,
+            "vlen_bits": trace.vlen_bits,
+            "l1_line_bytes": trace.l1_line_bytes,
+            "format": TRACE_FORMAT_VERSION,
+            "labels": list(trace.labels),
+            "buffers": [list(b) for b in trace.buffers],
+            "meta": trace.meta,
+            "n_events": n,
+            "columns": col_meta,
+            "sha256": RecordedTrace._content_digest(
+                tuple(cols[name] for name, _ in RecordedTrace._COLUMNS),
+                trace.labels,
+                trace.buffers,
+            ),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    parts = [_MAGIC, bytes([TRACE_FORMAT_VERSION]),
+             len(header).to_bytes(4, "little"), header]
+    parts.extend(blocks)
+    return b"".join(parts)
+
+
+def decode_trace(blob: bytes) -> RecordedTrace:
+    """Inverse of :func:`encode_trace`; digest-verified.
+
+    Raises :class:`ValueError` on a stale format, malformed container,
+    or content-digest mismatch — callers treat any failure as a cache
+    miss and quarantine the source file.
+    """
+    if blob[:4] != _MAGIC:
+        raise ValueError("not an .rtz trace container (bad magic)")
+    if blob[4] != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"trace format {blob[4]} != {TRACE_FORMAT_VERSION} "
+            "(stale spill file)"
+        )
+    hlen = int.from_bytes(blob[5:9], "little")
+    header = json.loads(blob[9:9 + hlen].decode("utf-8"))
+    n = int(header["n_events"])
+    pos = 9 + hlen
+    cols = {}
+    for meta in header["columns"]:
+        name = meta["name"]
+        filt, wire = _COLUMN_WIRE[name]
+        if meta["filter"] != filt:
+            raise ValueError(f"unexpected filter for column {name!r}")
+        block = blob[pos:pos + int(meta["nbytes"])]
+        if len(block) != int(meta["nbytes"]):
+            raise ValueError("truncated trace container")
+        pos += len(block)
+        raw = _decompress(meta["codec"], block)
+        if filt == "delta":
+            arr = _delta_decode(raw, n)
+        else:
+            arr = np.frombuffer(raw, wire)
+            if len(arr) != n:
+                raise ValueError(f"column {name!r}: row count mismatch")
+        dtype = dict(RecordedTrace._COLUMNS)[name]
+        cols[name] = np.ascontiguousarray(arr).astype(dtype, copy=False)
+    if pos != len(blob):
+        raise ValueError("trailing bytes after trace columns")
+    labels = [str(s) for s in header["labels"]]
+    buffers = header.get("buffers", ())
+    ordered = tuple(cols[name] for name, _ in RecordedTrace._COLUMNS)
+    digest = RecordedTrace._content_digest(ordered, labels, buffers)
+    if header.get("sha256") != digest:
+        raise ValueError("trace content digest mismatch (corrupt container)")
+    return RecordedTrace(
+        header.get("key"),
+        header["isa_name"],
+        header["vlen_bits"],
+        header["l1_line_bytes"],
+        labels,
+        *ordered,
+        meta=header.get("meta"),
+        buffers=buffers,
+    )
+
+
+def save_compressed(trace: RecordedTrace, path: str) -> None:
+    """Write *trace* to *path* in the v4 ``.rtz`` container format."""
+    blob = encode_trace(trace)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+
+def load_compressed(path: str) -> RecordedTrace:
+    """Load a v4 ``.rtz`` trace; raises on corruption or stale format."""
+    with open(path, "rb") as fh:
+        return decode_trace(fh.read())
+
+
+def read_header(path: str) -> dict:
+    """Parse just the JSON header of an ``.rtz`` container.
+
+    Cheap (no column decode, no digest check) — the inspection hook for
+    ``repro trace-cache list`` and the CI smoke job's key-drift guard.
+    The returned dict carries ``format``; compare it against
+    :data:`~repro.machine.trace.TRACE_FORMAT_VERSION` for staleness.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(9)
+        if head[:4] != _MAGIC:
+            raise ValueError("not an .rtz trace container (bad magic)")
+        hlen = int.from_bytes(head[5:9], "little")
+        return json.loads(fh.read(hlen).decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Cross-process load accounting
+# ----------------------------------------------------------------------
+_LOAD_COUNTS: Dict[str, int] = {"shm": 0, "spill": 0}
+
+
+def load_counts() -> Dict[str, int]:
+    """Cross-process trace loads this process has performed, by source."""
+    return dict(_LOAD_COUNTS)
+
+
+def reset_load_counts() -> None:
+    for k in _LOAD_COUNTS:
+        _LOAD_COUNTS[k] = 0
+
+
+def _note_load(source: str, key: str) -> None:
+    _LOAD_COUNTS[source] += 1
+    path = os.environ.get(_ENV_LOAD_LOG, "").strip()
+    if path:
+        try:
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(f"{os.getpid()} {source} {key}\n")
+        except OSError:
+            pass  # observability only; never fail a load over it
+
+
+# ----------------------------------------------------------------------
+# Shared-memory tier (parent publishes, pool workers attach)
+# ----------------------------------------------------------------------
+#: Shared-memory segments this process created, key -> SharedMemory.
+#: The creator keeps the handle so :func:`release_shm` can unlink at
+#: pool teardown; attachers close immediately after decoding.
+_SHM_OWNED: dict = {}
+_SHM_PREFIX = "rtc"
+
+
+def _shm_name(key: str) -> str:
+    return _SHM_PREFIX + key[:24]
+
+
+def publish_shm(key: str, trace: Optional[RecordedTrace] = None) -> bool:
+    """Publish *trace* (or the registry entry) as a shared-memory segment.
+
+    Workers' :func:`get` attaches and decodes the segment once per
+    worker lifetime instead of re-reading the spill file per task.
+    Best-effort: returns ``False`` when shared memory is unavailable,
+    ``True`` when the segment exists (fresh or already published).
+    The creating process must call :func:`release_shm` when the pool
+    is done, or the segment outlives it.
+    """
+    if key in _SHM_OWNED:
+        return True
+    trace = trace if trace is not None else _REGISTRY.get(key)
+    if trace is None:
+        return False
+    try:
+        from multiprocessing import shared_memory
+
+        blob = encode_trace(trace)
+        shm = shared_memory.SharedMemory(
+            name=_shm_name(key), create=True, size=8 + len(blob)
+        )
+    except FileExistsError:
+        return True  # already published (e.g. by an outer sweep)
+    except Exception:
+        return False
+    try:
+        shm.buf[:8] = len(blob).to_bytes(8, "little")
+        shm.buf[8:8 + len(blob)] = blob
+        _SHM_OWNED[key] = shm
+        return True
+    except Exception:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+        return False
+
+
+def _shm_get(key: str) -> Optional[RecordedTrace]:
+    """Attach + decode a published segment; None on any failure."""
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=_shm_name(key))
+    except Exception:
+        return None
+    try:
+        n = int.from_bytes(bytes(shm.buf[:8]), "little")
+        return decode_trace(bytes(shm.buf[8:8 + n]))
+    except Exception:
+        return None
+    finally:
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def release_shm(key: Optional[str] = None) -> None:
+    """Unlink shared-memory segments this process published.
+
+    With *key* ``None`` every owned segment is released.  Idempotent
+    and best-effort — safe to call from ``finally`` blocks.
+    """
+    keys = [key] if key is not None else list(_SHM_OWNED)
+    for k in keys:
+        shm = _SHM_OWNED.pop(k, None)
+        if shm is None:
+            continue
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
 def get(key: str, spill: Optional[bool] = None) -> Optional[RecordedTrace]:
-    """Look *key* up in the registry, then (optionally) on disk."""
+    """Look *key* up in the registry, then shared memory, then disk."""
     trace = _REGISTRY.get(key)
     if trace is not None:
         # Refresh LRU position.
         _REGISTRY.pop(key, None)
         _REGISTRY[key] = trace
         return trace
+    trace = _shm_get(key)
+    if trace is not None:
+        _note_load("shm", key)
+        put(key, trace, spill=False)  # the parent already persists it
+        return trace
     if spill_enabled(spill):
         path = _spill_path(key)
         try:
-            trace = RecordedTrace.load(path)
+            trace = load_compressed(path)
         except FileNotFoundError:
             return None
         except Exception as exc:
-            # Truncated zip, bit-flipped columns, stale format, digest
-            # mismatch: quarantine the spill and report a miss — the
-            # caller re-captures (or simulates the point directly).
+            # Truncated container, bit-flipped columns, stale format,
+            # digest mismatch: quarantine the spill and report a miss —
+            # the caller re-captures (or simulates the point directly).
             quarantine(path, f"unreadable trace spill: {exc}")
             return None
         if verify_enabled():
@@ -157,6 +569,7 @@ def get(key: str, spill: Optional[bool] = None) -> Optional[RecordedTrace]:
             if verify_trace(trace):
                 quarantine(path, "spilled trace failed static verification")
                 return None  # corrupted spill: treat as a miss
+        _note_load("spill", key)
         put(key, trace, spill=False)  # already on disk
         return trace
     return None
@@ -172,13 +585,11 @@ def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
         path = _spill_path(key)
 
         def write(tmp: str) -> None:
-            trace.save(tmp)
+            save_compressed(trace, tmp)
             faults.maybe_fault("tracecache.write", key=key, path=tmp)
 
         try:
-            # The .npz suffix matters: numpy would otherwise append one
-            # and write next to the (empty) temp placeholder.
-            atomic_replace(path, write, suffix=".npz")
+            atomic_replace(path, write, suffix=SPILL_SUFFIX)
         except OSError:
             return  # spilling is best-effort, like the simcache
         faults.maybe_fault("tracecache.spill", key=key, path=path)
@@ -194,7 +605,7 @@ def get_or_capture(
 ) -> Tuple[RecordedTrace, bool]:
     """Return ``(trace, was_cached)`` for the given simulation inputs.
 
-    On a registry/spill miss the network is re-traced once with a
+    On a registry/shm/spill miss the network is re-traced once with a
     :class:`~repro.machine.trace.TraceRecorder` and the result
     registered (and spilled, when enabled) for everyone else.
     """

@@ -171,6 +171,30 @@ class MemoryHierarchy:
         self._ranges = []
         self._range_budget = cfg.l2.size_bytes
 
+    @classmethod
+    def pricing_view(cls, cfg: MachineConfig) -> "MemoryHierarchy":
+        """A hierarchy shell for replay point passes that never touch
+        cache structure: the residency-range model plus the hoisted
+        timing constants, nothing else.
+
+        ``SetAssocCache`` allocates one dict per set, so a full
+        ``MemoryHierarchy`` for a 256 MB L2 builds half a million empty
+        dicts — prohibitive when a conflict-free point pass only reads
+        three scalars and walks the byte-range model.  The constants
+        below are computed by the exact expressions ``__init__`` uses,
+        so pricing stays bitwise identical.
+        """
+        self = cls.__new__(cls)
+        self.cfg = cfg
+        self._l1_lat = cfg.l1.latency
+        self._l2_lat = cfg.l2.latency
+        self._dram_lat = cfg.dram_latency
+        self._fill_l1 = cfg.l1.line_bytes / cfg.l2_to_l1_bytes_per_cycle
+        self._fill_l2 = cfg.l2.line_bytes / cfg.dram_bytes_per_cycle
+        self._ranges = []
+        self._range_budget = cfg.l2.size_bytes
+        return self
+
     # ------------------------------------------------------------------
     # Coarse residency model
     # ------------------------------------------------------------------

@@ -11,14 +11,22 @@ Three engines, three speed classes:
 
 * :func:`replay_sweep` — price one trace on a whole *group* of machines
   that differ only in L2 geometry/latency and DRAM parameters (the
-  paper's Fig. 7/8 cache sweeps).  The trace is walked **once** through
-  the group-invariant upstream levels (TLB, L1, prefetcher, VectorCache
+  paper's Fig. 7/8 cache sweeps) or only in VPU pricing parameters —
+  lanes, pipes, MLP, port width, issue overheads (the Fig. 6/8 lane
+  and MLP axes).  The trace is walked **once** through the
+  group-invariant upstream levels (TLB, L1, prefetcher, VectorCache
   — all identical across the group), producing a compact *program* of
   pre-priced invariant cycle contributions plus the per-event list of
   line addresses that reached the L2.  Each design point then replays
   only that program against its own L2/range model — typically a few
   percent of the events carry pending lines, so a point costs a small
-  fraction of a direct simulation.
+  fraction of a direct simulation.  In a VPU group
+  (:func:`group_mode` returns ``"vpu"``) the lane/MLP-dependent cycle
+  terms are not pre-priced: the shared pass records each distinct
+  (event kind, element count, operand shape) as a *pricing class*
+  (tag-6 program items), and every point resolves the class table
+  once against its own VPU before folding — so one capture prices a
+  whole lane sweep bitwise-identically to per-point simulation.
 
 * :func:`capture_sweep` — the same split, but the shared pass is driven
   directly by the kernels (no intermediate trace): one kernel run prices
@@ -53,6 +61,16 @@ count plus the list of first-touch lines).  Only the residency-range
 outcome still varies per point, so those points skip the cache walk
 entirely.  Prefetcher/prefetch-hint fills disable the shortcut (they
 insert lines outside the demand stream).
+
+Conflict-free points whose residency ranges also never trim (the
+recorded working set fits the point's L2) go one step further: their
+walk outcome is *point-invariant*, so the program is compiled once
+into flat NumPy columns (:func:`_compile_fast`) and each point is
+priced by :func:`_point_pass_vec` with ``np.add.accumulate`` /
+``np.bincount`` column arithmetic instead of a per-event Python loop.
+Both folds are strictly sequential in event order (NumPy accumulate
+and bincount-with-weights are defined as in-order loops, unlike the
+pairwise ``np.sum``), so the result stays bitwise identical.
 
 The hierarchy walks in :class:`_GroupCapture` mirror
 ``MemoryHierarchy._l1_path`` / ``_l2_path`` and their strided variants
@@ -95,7 +113,15 @@ from .trace import (
 )
 from .vpu import varith_cycles, vbroadcast_cycles
 
-__all__ = ["replay", "replay_sweep", "capture_sweep", "uniform_group"]
+__all__ = [
+    "replay",
+    "replay_sweep",
+    "capture_sweep",
+    "uniform_group",
+    "group_mode",
+    "supports_axis",
+    "nonuniform_fields",
+]
 
 #: SimStats fields that do not depend on L2/DRAM parameters: everything
 #: upstream of the L2 plus the pure instruction/byte/flop counts.
@@ -201,33 +227,117 @@ def replay(
 # ----------------------------------------------------------------------
 # Group replay: shared upstream pass + per-point L2 pass
 # ----------------------------------------------------------------------
-def uniform_group(machines: Sequence[MachineConfig]) -> bool:
-    """True if the machines differ only in fields the split supports:
-    L2 size/associativity/latency, DRAM latency/bandwidth (and labels).
+#: VPU fields that shape the upstream *walk* (which hierarchy level a
+#: vector access reaches, VectorCache residency) rather than just the
+#: per-event cycle price.  A group varying in these cannot share one
+#: shared pass; everything else on VPUParams is pricing-only and is
+#: deferred to the point pass in ``"vpu"`` mode.
+_VPU_WALK_FIELDS = ("mem_port", "vector_cache_bytes")
+
+
+def group_mode(machines: Sequence[MachineConfig]) -> Optional[str]:
+    """Classify a sweep group for the shared-pass split.
+
+    * ``"l2"`` — machines differ only in L2 size/associativity/latency
+      and DRAM latency/bandwidth (and labels).  Every per-event compute
+      price is group-invariant and pre-priced in the shared pass.
+    * ``"vpu"`` — machines additionally differ in VPU *pricing* fields
+      (lanes, pipes, MLP, port width, issue overheads, outstanding
+      limit).  The walk is still group-invariant, but vector compute
+      prices are deferred as tag-6 pricing classes and resolved per
+      point.
+    * ``None`` — the group varies in a field the split cannot express
+      (ISA, vector length, L1 geometry, core model, VPU port level,
+      VectorCache size, L2 line size); callers must fall back to
+      per-point simulation.
 
     The L2 *line size* must match across the group — it sets the line
     granularity of the recorded pending-line lists.
     """
     m0 = machines[0]
+    v0 = m0.vpu
+    mode = "l2"
     for m in machines[1:]:
         if m.l2.line_bytes != m0.l2.line_bytes:
-            return False
-        if (
-            replace(
-                m,
-                name=m0.name,
-                l2=m0.l2,
-                dram_latency=m0.dram_latency,
-                dram_bytes_per_cycle=m0.dram_bytes_per_cycle,
-                peak_gflops=m0.peak_gflops,
-            )
-            != m0
-        ):
-            return False
-    return True
+            return None
+        norm = replace(
+            m,
+            name=m0.name,
+            l2=m0.l2,
+            dram_latency=m0.dram_latency,
+            dram_bytes_per_cycle=m0.dram_bytes_per_cycle,
+            peak_gflops=m0.peak_gflops,
+        )
+        if norm == m0:
+            continue
+        v = m.vpu
+        if any(getattr(v, f) != getattr(v0, f) for f in _VPU_WALK_FIELDS):
+            return None
+        if replace(norm, vpu=v0) != m0:
+            return None
+        mode = "vpu"
+    return mode
+
+
+def uniform_group(machines: Sequence[MachineConfig]) -> bool:
+    """True if the machines differ only in L2/DRAM pricing fields (the
+    ``"l2"`` mode of :func:`group_mode`); kept for callers that cannot
+    defer VPU pricing."""
+    return group_mode(machines) == "l2"
 
 
 _uniform_group = uniform_group  # private alias kept for callers/tests
+
+
+#: Sweep axes the replay engines can price.  L2/DRAM axes and VPU
+#: pricing axes replay in a shared-pass group; ``vlen`` changes the
+#: event stream itself, so each VL records its own trace — but every
+#: such single-point group still replays from its (cached) capture.
+_REPLAY_AXES = frozenset(
+    {
+        "l2_mb",
+        "l2_size",
+        "l2_assoc",
+        "l2_latency",
+        "dram_latency",
+        "dram_bytes_per_cycle",
+        "dram_bw",
+        "lanes",
+        "pipes",
+        "mlp",
+        "vlen",
+        "vlen_bits",
+    }
+)
+
+
+def supports_axis(name: str) -> bool:
+    """True if the pricing pass can replay a sweep along axis *name*.
+
+    Capability query for sweep drivers: a supported axis either forms a
+    replayable group (:func:`group_mode` returns non-``None``) or, for
+    ``vlen``, splits into per-point captures that each replay.  An
+    unsupported axis (e.g. ``l1_size``, ``mem_port``) changes the
+    recorded walk itself and must simulate per point.
+    """
+    return name in _REPLAY_AXES
+
+
+def nonuniform_fields(machines: Sequence[MachineConfig]) -> List[str]:
+    """Names of ``MachineConfig`` fields that differ across *machines*.
+
+    Used to build actionable error messages when a group declines
+    replay (``name`` and the derived ``peak_gflops`` are ignored).
+    """
+    from dataclasses import fields
+
+    m0 = machines[0]
+    diff = set()
+    for m in machines[1:]:
+        for f in fields(m0):
+            if getattr(m, f.name) != getattr(m0, f.name):
+                diff.add(f.name)
+    return sorted(diff - {"name", "peak_gflops"})
 
 
 class _GroupCapture(SampledTraceBase):
@@ -261,9 +371,15 @@ class _GroupCapture(SampledTraceBase):
     * ``(4, w, addrs, inv_lat, occ1, write, nh0, ft)`` — a scalar
       access with at least one L1 miss.
     * ``(5, lines)`` — honoured software-prefetch fills into the L2.
+    * ``(6, w, cid)`` — (``defer_vpu`` mode only) a VPU-priced event
+      whose cycle cost depends on lane count / MLP / port width.  The
+      class table (``gc["classes"]``) maps ``cid`` to the event's
+      pricing inputs; each point resolves the table once against its
+      own VPU (:func:`_vpu_price_table`) and folds ``w * price``
+      exactly where the l2-mode float would have been.
     """
 
-    def __init__(self, base: MachineConfig):
+    def __init__(self, base: MachineConfig, defer_vpu: bool = False):
         super().__init__()
         self.machine = base
         self.address_space = AddressSpace()
@@ -310,6 +426,11 @@ class _GroupCapture(SampledTraceBase):
         self._inv_ids: dict = {}
         self._vmem_inv_memo: dict = {}
         self._varith_memo: dict = {}
+        # Deferred VPU pricing: the memos above then cache class ids
+        # instead of cycle prices (the mode is fixed per instance).
+        self._defer = defer_vpu
+        self._classes: list = []
+        self._cls_ids: dict = {}
         self._has_fills = False
         self._max_range_total = 0
         self._inf_ranges: list = []
@@ -355,6 +476,14 @@ class _GroupCapture(SampledTraceBase):
         if label != self._cur_label:
             append((1, label))
             self._cur_label = label
+
+    def _class_id(self, defn: tuple) -> int:
+        """Intern a VPU pricing-class descriptor, returning its id."""
+        cid = self._cls_ids.get(defn)
+        if cid is None:
+            cid = self._cls_ids[defn] = len(self._classes)
+            self._classes.append(defn)
+        return cid
 
     # -- events (TraceSimulator API) -----------------------------------
     def scalar(self, n: int = 1) -> None:
@@ -753,6 +882,15 @@ class _GroupCapture(SampledTraceBase):
                 (3, w, tuple(addrs), lat_i, occ1, nbytes, n_lines, write,
                  unit, iid, nh0, tuple(ft))
             )
+        elif self._defer:
+            # Fully served upstream, but the price reads the VPU:
+            # defer it as a pricing class.
+            mkey = (lat_i, occ1, nbytes, n_lines, write, unit)
+            memo = self._vmem_inv_memo
+            cid = memo.get(mkey)
+            if cid is None:
+                cid = memo[mkey] = self._class_id(("m",) + mkey)
+            append((6, w, cid))
         else:
             # Fully served upstream: the cycle cost is invariant.
             mkey = (lat_i, occ1, nbytes, n_lines, write, unit)
@@ -772,9 +910,14 @@ class _GroupCapture(SampledTraceBase):
             return
         vkey = (n_elems, n_instr, ew)
         memo = self._varith_memo
-        cycles = memo.get(vkey)
-        if cycles is None:
-            cycles = memo[vkey] = varith_cycles(self._vpu, n_elems, n_instr, ew)
+        cached = memo.get(vkey)
+        if cached is None:
+            if self._defer:
+                cached = memo[vkey] = self._class_id(("a",) + vkey)
+            else:
+                cached = memo[vkey] = varith_cycles(
+                    self._vpu, n_elems, n_instr, ew
+                )
         w = self._w
         self._vec_instrs += w * n_instr
         self._vec_elems += w * n_instr * n_elems
@@ -784,7 +927,10 @@ class _GroupCapture(SampledTraceBase):
         if label != self._cur_label:
             append((1, label))
             self._cur_label = label
-        append(w * cycles)
+        if self._defer:
+            append((6, w, cached))
+        else:
+            append(w * cached)
 
     def vbroadcast(self, n: int = 1) -> None:
         w = self._w
@@ -794,7 +940,10 @@ class _GroupCapture(SampledTraceBase):
         if label != self._cur_label:
             append((1, label))
             self._cur_label = label
-        append(w * (n * self._vb_cycles))
+        if self._defer:
+            append((6, w, self._class_id(("b", n))))
+        else:
+            append(w * (n * self._vb_cycles))
 
     def sw_prefetch(self, addr: int, nbytes: int, level: str = "L1") -> None:
         if level not in ("L1", "L2"):
@@ -880,13 +1029,42 @@ class _GroupCapture(SampledTraceBase):
             "max_range_total": self._max_range_total,
             "has_fills": self._has_fills,
             "pf2_cfg": self._pf2_cfg,
+            "classes": self._classes,
         }
         return self._prog, inv, gc
 
 
-def _shared_pass(trace: RecordedTrace, base: MachineConfig):
+def _vpu_price_table(classes: list, vpu, l1_lat, ooo_hide) -> list:
+    """Resolve deferred pricing classes against one point's VPU.
+
+    Returns ``prices`` such that a tag-6 item ``(6, w, cid)`` folds
+    ``w * prices[cid]`` — the very float the shared pass would have
+    appended had the group been VPU-uniform (bitwise: the class holds
+    the exact arguments the l2-mode pre-pricing would have used).
+    """
+    prices = []
+    append = prices.append
+    for d in classes:
+        kind = d[0]
+        if kind == "a":
+            append(varith_cycles(vpu, d[1], d[2], d[3]))
+        elif kind == "b":
+            append(d[1] * vbroadcast_cycles(vpu))
+        else:  # "m": fully-upstream-served vector memory event
+            append(
+                vmem_event_cycles(
+                    vpu, l1_lat, ooo_hide, d[1], d[2], 0.0, d[3], d[4],
+                    d[5], d[6],
+                )
+            )
+    return prices
+
+
+def _shared_pass(
+    trace: RecordedTrace, base: MachineConfig, defer_vpu: bool = False
+):
     """Drive a :class:`_GroupCapture` from a recorded trace's rows."""
-    cap = _GroupCapture(base)
+    cap = _GroupCapture(base, defer_vpu=defer_vpu)
     labels = trace.labels
     stack = cap._kernel_stack
     vmem = cap._vmem
@@ -940,11 +1118,17 @@ def _point_pass(prog: list, inv: SimStats, machine: MachineConfig, gc: dict) -> 
     l2_lat = hier._l2_lat
     dram_lat = hier._dram_lat
     fill_l2 = hier._fill_l2
-    vpu = gc["vpu"]
+    # The point's own VPU: identical to the capture VPU in an l2-mode
+    # group, the varying one in a vpu-mode group.
+    vpu = machine.vpu
     l1_lat = gc["l1_lat"]
     ooo_hide = gc["ooo_hide"]
     scalar_cpi = gc["scalar_cpi"]
     l2_shift = gc["l2_shift"]
+    classes = gc["classes"]
+    prices = (
+        _vpu_price_table(classes, vpu, l1_lat, ooo_hide) if classes else ()
+    )
     # Only the L1-port vector path feeds the L2 prefetcher (the RVV L2
     # path has no prefetcher); the scalar path always does.
     v_pf2 = pf2 if gc["port_l1"] else None
@@ -1052,6 +1236,10 @@ def _point_pass(prog: list, inv: SimStats, machine: MachineConfig, gc: dict) -> 
             l2_hits += wh
             l2_misses += wm
             dram_fills += wm
+        elif tag == 6:
+            wc = it[1] * prices[it[2]]
+            cycles += wc
+            kcur += wc
         elif tag == 1:
             if cur is not None:
                 kc[cur] = kcur
@@ -1105,11 +1293,15 @@ def _point_pass_hybrid(
     l2_lat = hier._l2_lat
     dram_lat = hier._dram_lat
     fill_l2 = hier._fill_l2
-    vpu = gc["vpu"]
+    vpu = machine.vpu
     l1_lat = gc["l1_lat"]
     ooo_hide = gc["ooo_hide"]
     scalar_cpi = gc["scalar_cpi"]
     l2_shift = gc["l2_shift"]
+    classes = gc["classes"]
+    prices = (
+        _vpu_price_table(classes, vpu, l1_lat, ooo_hide) if classes else ()
+    )
     occ_tab = [0.0]
     fin_memo = {}
     fin4 = {}
@@ -1266,6 +1458,10 @@ def _point_pass_hybrid(
             l2_hits += wh
             l2_misses += wm
             dram_fills += wm
+        elif tag == 6:
+            wc = it[1] * prices[it[2]]
+            cycles += wc
+            kcur += wc
         elif tag == 1:
             if cur is not None:
                 kc[cur] = kcur
@@ -1304,16 +1500,20 @@ def _point_pass_fast(
     structures entirely.  Caller guarantees: no prefetcher fills, no
     tag-5 items (checked via ``gc``), and the set-population bound.
     """
-    hier = MemoryHierarchy(machine)
+    hier = MemoryHierarchy.pricing_view(machine)
     range_hit = hier._range_hit
     note_range = hier.note_resident_range
     l2_lat = hier._l2_lat
     dram_lat = hier._dram_lat
     fill_l2 = hier._fill_l2
-    vpu = gc["vpu"]
+    vpu = machine.vpu
     l1_lat = gc["l1_lat"]
     ooo_hide = gc["ooo_hide"]
     scalar_cpi = gc["scalar_cpi"]
+    classes = gc["classes"]
+    prices = (
+        _vpu_price_table(classes, vpu, l1_lat, ooo_hide) if classes else ()
+    )
     occ_tab = [0.0]
     fin_memo = {}
     fin4 = {}
@@ -1396,6 +1596,10 @@ def _point_pass_fast(
             l2_hits += wh
             l2_misses += wm
             dram_fills += wm
+        elif tag == 6:
+            wc = it[1] * prices[it[2]]
+            cycles += wc
+            kcur += wc
         elif tag == 1:
             if cur is not None:
                 kc[cur] = kcur
@@ -1437,8 +1641,8 @@ def _point_pass_fast2(
     twice — which dominates a conflict-free pass.  Returns a pair of
     ``SimStats``.
     """
-    hier_a = MemoryHierarchy(ma)
-    hier_b = MemoryHierarchy(mb)
+    hier_a = MemoryHierarchy.pricing_view(ma)
+    hier_b = MemoryHierarchy.pricing_view(mb)
     range_hit_a = hier_a._range_hit
     range_hit_b = hier_b._range_hit
     note_range_a = hier_a.note_resident_range
@@ -1446,10 +1650,16 @@ def _point_pass_fast2(
     l2_lat_a, l2_lat_b = hier_a._l2_lat, hier_b._l2_lat
     dram_lat_a, dram_lat_b = hier_a._dram_lat, hier_b._dram_lat
     fill_l2_a, fill_l2_b = hier_a._fill_l2, hier_b._fill_l2
-    vpu = gc["vpu"]
+    vpu_a, vpu_b = ma.vpu, mb.vpu
     l1_lat = gc["l1_lat"]
     ooo_hide = gc["ooo_hide"]
     scalar_cpi = gc["scalar_cpi"]
+    classes = gc["classes"]
+    if classes:
+        prices_a = _vpu_price_table(classes, vpu_a, l1_lat, ooo_hide)
+        prices_b = _vpu_price_table(classes, vpu_b, l1_lat, ooo_hide)
+    else:
+        prices_a = prices_b = ()
     occ_tab_a = [0.0]
     occ_tab_b = [0.0]
     fin_a = {}
@@ -1499,7 +1709,7 @@ def _point_pass_fast2(
                     occ_tab_a.append(occ_tab_a[-1] + fill_l2_a)
                 lat = it[3] + l2_lat_a * (nh_a + nm_a) + dram_lat_a * nm_a
                 c = vmem_event_cycles(
-                    vpu, l1_lat, ooo_hide, lat, it[4], occ_tab_a[nm_a],
+                    vpu_a, l1_lat, ooo_hide, lat, it[4], occ_tab_a[nm_a],
                     it[5], it[6], it[7], it[8],
                 )
                 cached = fin_a[mkey] = (w * c, w * nh_a, w * nm_a)
@@ -1519,7 +1729,7 @@ def _point_pass_fast2(
                     occ_tab_b.append(occ_tab_b[-1] + fill_l2_b)
                 lat = it[3] + l2_lat_b * (nh_b + nm_b) + dram_lat_b * nm_b
                 c = vmem_event_cycles(
-                    vpu, l1_lat, ooo_hide, lat, it[4], occ_tab_b[nm_b],
+                    vpu_b, l1_lat, ooo_hide, lat, it[4], occ_tab_b[nm_b],
                     it[5], it[6], it[7], it[8],
                 )
                 cached = fin_b[mkey] = (w * c, w * nh_b, w * nm_b)
@@ -1594,6 +1804,15 @@ def _point_pass_fast2(
             l2h_b += wh
             l2m_b += wm
             df_b += wm
+        elif tag == 6:
+            w = it[1]
+            cid = it[2]
+            wc = w * prices_a[cid]
+            cycles_a += wc
+            kcur_a += wc
+            wc = w * prices_b[cid]
+            cycles_b += wc
+            kcur_b += wc
         elif tag == 1:
             if cur is not None:
                 kc_a[cur] = kcur_a
@@ -1629,6 +1848,398 @@ def _point_pass_fast2(
     return out
 
 
+class _VecProgram:
+    """The shared-pass program flattened into NumPy columns.
+
+    Valid only for conflict-free points sharing one L2 byte budget:
+    there the walk outcome (per-event hit/miss split) is identical
+    across the points, so it is resolved once at compile time and each
+    point only re-prices.
+    """
+
+    __slots__ = (
+        "base",
+        "kid",
+        "labels",
+        "cls_pos",
+        "cls_idx",
+        "cls_defs",
+        "wh_by_cls",
+        "wm_by_cls",
+        "max_nm",
+    )
+
+
+def _compile_fast(prog: list, gc: dict, hier=None) -> _VecProgram:
+    """Flatten *prog* for :func:`_point_pass_vec`.
+
+    Walks the program once, resolving every residency-range check.
+    With ``hier=None`` (never-trimming points) membership is checked
+    against the same infinite-budget range list every such point's
+    ``MemoryHierarchy`` would hold (``note_resident_range`` with
+    ``start == base``, no eviction, no tail trim — so membership is
+    the entire outcome and LRU order is irrelevant).  With a *hier*
+    (:meth:`MemoryHierarchy.pricing_view` of any point in the group),
+    the walk runs the true trimming range model in stream order —
+    valid for every point sharing that L2 byte budget, since the range
+    outcome depends on nothing else.  Events collapse into per-item
+    columns plus an interned table of pricing classes; two events
+    price identically on every point iff they share a class.
+    """
+    inf_ranges: list = []
+    if hier is not None:
+        range_hit = hier._range_hit
+        note_range = hier.note_resident_range
+    base_vals: list = []
+    kid_col: list = []
+    labels: list = []
+    label_ids: dict = {}
+    cls_pos: list = []
+    cls_idx: list = []
+    cls_ids: dict = {}
+    cls_defs: list = []
+    wh_by_cls: list = []
+    wm_by_cls: list = []
+    max_nm = 0
+    cur_kid = -1
+    n = 0
+    for it in prog:
+        if type(it) is float:
+            base_vals.append(it)
+            kid_col.append(cur_kid)
+            n += 1
+            continue
+        tag = it[0]
+        if tag == 3 or tag == 4:
+            if tag == 3:
+                nh, ft = it[10], it[11]
+            else:
+                nh, ft = it[6], it[7]
+            nm = 0
+            if hier is None:
+                for a in ft:
+                    for r in inf_ranges:
+                        if r[0] <= a < r[1]:
+                            nh += 1
+                            break
+                    else:
+                        nm += 1
+            else:
+                # Exact mirror of _point_pass_fast: MRU shortcut, then
+                # the LRU-refreshing lookup.
+                ranges = hier._ranges
+                for a in ft:
+                    if (
+                        ranges and ranges[-1][0] <= a < ranges[-1][1]
+                    ) or range_hit(a):
+                        nh += 1
+                    else:
+                        nm += 1
+            if tag == 3:
+                key = (3, it[9], nh, nm)
+            else:
+                key = (4, it[1], it[3], it[4], it[5], nh, nm)
+            cid = cls_ids.get(key)
+            if cid is None:
+                cid = cls_ids[key] = len(cls_defs)
+                w = it[1]
+                if tag == 3:
+                    cls_defs.append(
+                        (3, w, it[3], it[4], it[5], it[6], it[7], it[8],
+                         nh, nm)
+                    )
+                else:
+                    cls_defs.append((4, w, it[3], it[4], it[5], nh, nm))
+                wh_by_cls.append(w * nh)
+                wm_by_cls.append(w * nm)
+                if nm > max_nm:
+                    max_nm = nm
+            base_vals.append(0.0)
+            kid_col.append(cur_kid)
+            cls_pos.append(n)
+            cls_idx.append(cid)
+            n += 1
+        elif tag == 6:
+            key = (6, it[1], it[2])
+            cid = cls_ids.get(key)
+            if cid is None:
+                cid = cls_ids[key] = len(cls_defs)
+                cls_defs.append(key)
+                wh_by_cls.append(0.0)
+                wm_by_cls.append(0.0)
+            base_vals.append(0.0)
+            kid_col.append(cur_kid)
+            cls_pos.append(n)
+            cls_idx.append(cid)
+            n += 1
+        elif tag == 1:
+            kid = label_ids.get(it[1])
+            if kid is None:
+                kid = label_ids[it[1]] = len(labels)
+                labels.append(it[1])
+            cur_kid = kid
+        elif tag == 2:
+            if hier is not None:
+                note_range(it[1], it[2])
+                continue
+            # Mirror MemoryHierarchy.note_resident_range for a budget
+            # that never binds: drop overlapped older ranges, append.
+            nbytes = it[2]
+            if nbytes > 0:
+                b = it[1]
+                e = b + nbytes
+                inf_ranges = [
+                    r for r in inf_ranges if r[1] <= b or r[0] >= e
+                ]
+                inf_ranges.append((b, e))
+        else:
+            raise ValueError("prefetch fills in a vectorized point pass")
+    cols = _VecProgram()
+    cols.base = np.asarray(base_vals, dtype=np.float64)
+    cols.kid = np.asarray(kid_col, dtype=np.int64)
+    cols.labels = labels
+    cols.cls_pos = np.asarray(cls_pos, dtype=np.int64)
+    cols.cls_idx = np.asarray(cls_idx, dtype=np.int64)
+    cols.cls_defs = cls_defs
+    cols.wh_by_cls = np.asarray(wh_by_cls, dtype=np.float64)
+    cols.wm_by_cls = np.asarray(wm_by_cls, dtype=np.float64)
+    cols.max_nm = max_nm
+    return cols
+
+
+def _compile_walk(prog: list, gc: dict, machine: MachineConfig) -> _VecProgram:
+    """Resolve the full L2 walk once for a uniform-L2 group.
+
+    State transitions identical to :func:`_point_pass` — conflicted
+    sets evict, honoured prefetch fills land, residency ranges trim in
+    stream order — but each resolved event is interned into the column
+    layout of :func:`_compile_fast` instead of being priced.  The
+    walk reads only the L2 geometry, the L2 prefetcher, and the event
+    stream, so the compiled program is valid for every point sharing
+    those with *machine* (a lane sweep, or a DRAM-latency sweep over a
+    conflicted L2), whatever its latencies or VPU: the class keys here
+    are exactly the pricing-memo keys of :func:`_point_pass`.
+    """
+    hier = MemoryHierarchy(machine)
+    l2 = hier.l2
+    l2_sets, l2_num, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+    pf2 = hier.l2_prefetcher if hier._pf2_on else None
+    range_hit = hier._range_hit
+    note_range = hier.note_resident_range
+    l2_shift = gc["l2_shift"]
+    v_pf2 = pf2 if gc["port_l1"] else None
+    ranges = hier._ranges
+
+    base_vals: list = []
+    kid_col: list = []
+    labels: list = []
+    label_ids: dict = {}
+    cls_pos: list = []
+    cls_idx: list = []
+    cls_ids: dict = {}
+    cls_defs: list = []
+    wh_by_cls: list = []
+    wm_by_cls: list = []
+    max_nm = 0
+    cur_kid = -1
+    n = 0
+    for it in prog:
+        if type(it) is float:
+            base_vals.append(it)
+            kid_col.append(cur_kid)
+            n += 1
+            continue
+        tag = it[0]
+        if tag == 3:
+            (_, w, addrs, inv_lat, occ1, nbytes, n_lines, write, unit,
+             iid, _nh0, _ft) = it
+            nh = nm = 0
+            for a in addrs:
+                l2a = a >> l2_shift
+                ways = l2_sets[l2a % l2_num]
+                if ways.pop(l2a, None) is not None:
+                    ways[l2a] = True
+                    nh += 1
+                    continue
+                ways[l2a] = True
+                if len(ways) > l2_assoc:
+                    ways.pop(next(iter(ways)))
+                if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
+                    nh += 1
+                else:
+                    nm += 1
+                    if v_pf2 is not None:
+                        v_pf2.observe(l2, l2a)
+            key = (3, iid, nh, nm)
+            cid = cls_ids.get(key)
+            if cid is None:
+                cid = cls_ids[key] = len(cls_defs)
+                cls_defs.append(
+                    (3, w, inv_lat, occ1, nbytes, n_lines, write, unit,
+                     nh, nm)
+                )
+                wh_by_cls.append(w * nh)
+                wm_by_cls.append(w * nm)
+                if nm > max_nm:
+                    max_nm = nm
+            base_vals.append(0.0)
+            kid_col.append(cur_kid)
+            cls_pos.append(n)
+            cls_idx.append(cid)
+            n += 1
+        elif tag == 4:
+            _, w, addrs, inv_lat, occ1, write, _nh0, _ft = it
+            nh = nm = 0
+            for a in addrs:
+                l2a = a >> l2_shift
+                ways = l2_sets[l2a % l2_num]
+                if ways.pop(l2a, None) is not None:
+                    ways[l2a] = True
+                    nh += 1
+                    continue
+                ways[l2a] = True
+                if len(ways) > l2_assoc:
+                    ways.pop(next(iter(ways)))
+                if (ranges and ranges[-1][0] <= a < ranges[-1][1]) or range_hit(a):
+                    nh += 1
+                else:
+                    nm += 1
+                    if pf2 is not None:
+                        pf2.observe(l2, l2a)
+            key = (4, w, inv_lat, occ1, write, nh, nm)
+            cid = cls_ids.get(key)
+            if cid is None:
+                cid = cls_ids[key] = len(cls_defs)
+                cls_defs.append((4, w, inv_lat, occ1, write, nh, nm))
+                wh_by_cls.append(w * nh)
+                wm_by_cls.append(w * nm)
+                if nm > max_nm:
+                    max_nm = nm
+            base_vals.append(0.0)
+            kid_col.append(cur_kid)
+            cls_pos.append(n)
+            cls_idx.append(cid)
+            n += 1
+        elif tag == 6:
+            key = (6, it[1], it[2])
+            cid = cls_ids.get(key)
+            if cid is None:
+                cid = cls_ids[key] = len(cls_defs)
+                cls_defs.append(key)
+                wh_by_cls.append(0.0)
+                wm_by_cls.append(0.0)
+            base_vals.append(0.0)
+            kid_col.append(cur_kid)
+            cls_pos.append(n)
+            cls_idx.append(cid)
+            n += 1
+        elif tag == 1:
+            kid = label_ids.get(it[1])
+            if kid is None:
+                kid = label_ids[it[1]] = len(labels)
+                labels.append(it[1])
+            cur_kid = kid
+        elif tag == 2:
+            note_range(it[1], it[2])
+            ranges = hier._ranges
+        else:  # tag 5: honoured software-prefetch fills into the L2
+            for la in it[1]:
+                ways = l2_sets[la % l2_num]
+                if la not in ways:
+                    ways[la] = False
+                    if len(ways) > l2_assoc:
+                        ways.pop(next(iter(ways)))
+    cols = _VecProgram()
+    cols.base = np.asarray(base_vals, dtype=np.float64)
+    cols.kid = np.asarray(kid_col, dtype=np.int64)
+    cols.labels = labels
+    cols.cls_pos = np.asarray(cls_pos, dtype=np.int64)
+    cols.cls_idx = np.asarray(cls_idx, dtype=np.int64)
+    cols.cls_defs = cls_defs
+    cols.wh_by_cls = np.asarray(wh_by_cls, dtype=np.float64)
+    cols.wm_by_cls = np.asarray(wm_by_cls, dtype=np.float64)
+    cols.max_nm = max_nm
+    return cols
+
+
+def _point_pass_vec(
+    cols: _VecProgram, inv: SimStats, machine: MachineConfig, gc: dict
+) -> SimStats:
+    """Price a compiled program on one point with column arithmetic.
+
+    Bitwise identical to :func:`_point_pass_fast` on the same point:
+    ``np.add.accumulate`` and ``np.bincount`` with weights both fold
+    strictly left-to-right (no pairwise reassociation), class prices
+    are computed with the scalar formulas shared with the simulator,
+    and the extra ``+ 0.0`` terms this layout introduces (class items
+    contribute 0.0 to ``base``, tag-6 items 0.0 to the hit/miss
+    columns) are exact identities on these non-negative counters.
+    """
+    hier = MemoryHierarchy.pricing_view(machine)
+    l2_lat = hier._l2_lat
+    dram_lat = hier._dram_lat
+    fill_l2 = hier._fill_l2
+    vpu = machine.vpu
+    l1_lat = gc["l1_lat"]
+    ooo_hide = gc["ooo_hide"]
+    scalar_cpi = gc["scalar_cpi"]
+    classes = gc["classes"]
+    prices = (
+        _vpu_price_table(classes, vpu, l1_lat, ooo_hide) if classes else ()
+    )
+    occ_tab = [0.0]
+    while cols.max_nm >= len(occ_tab):
+        occ_tab.append(occ_tab[-1] + fill_l2)
+    cls_defs = cols.cls_defs
+    wc_by_cls = np.empty(len(cls_defs), dtype=np.float64)
+    for k, d in enumerate(cls_defs):
+        kind = d[0]
+        if kind == 3:
+            _, w, inv_lat, occ1, nbytes, n_lines, write, unit, nh, nm = d
+            lat = inv_lat + l2_lat * (nh + nm) + dram_lat * nm
+            wc_by_cls[k] = w * vmem_event_cycles(
+                vpu, l1_lat, ooo_hide, lat, occ1, occ_tab[nm],
+                nbytes, n_lines, write, unit,
+            )
+        elif kind == 4:
+            _, w, inv_lat, occ1, write, nh, nm = d
+            lat = inv_lat + l2_lat * (nh + nm) + dram_lat * nm
+            diff = lat - l1_lat
+            if diff > 0:
+                stall = max(0.0, diff) / _SCALAR_MLP
+                if write:
+                    stall *= _STORE_STALL_FACTOR * (1.0 - ooo_hide)
+                else:
+                    stall *= 1.0 - ooo_hide
+                wc_by_cls[k] = w * (scalar_cpi + stall + occ1 + occ_tab[nm])
+            else:
+                wc_by_cls[k] = w * scalar_cpi
+        else:  # kind == 6: deferred VPU class
+            wc_by_cls[k] = d[1] * prices[d[2]]
+
+    out = SimStats()
+    if len(cols.base):
+        contrib = cols.base.copy()
+        if len(cols.cls_pos):
+            contrib[cols.cls_pos] = wc_by_cls[cols.cls_idx]
+        out.cycles = float(np.add.accumulate(contrib)[-1])
+        binc = np.bincount(
+            cols.kid, weights=contrib, minlength=len(cols.labels)
+        )
+        out.kernel_cycles = {
+            label: float(binc[i]) for i, label in enumerate(cols.labels)
+        }
+    if len(cols.cls_pos):
+        wh_seq = cols.wh_by_cls[cols.cls_idx]
+        wm_seq = cols.wm_by_cls[cols.cls_idx]
+        out.l2_hits = float(np.add.accumulate(wh_seq)[-1])
+        out.l2_misses = float(np.add.accumulate(wm_seq)[-1])
+        out.dram_fills = out.l2_misses
+    for name in _INVARIANT_FIELDS:
+        setattr(out, name, getattr(inv, name))
+    return out
+
+
 def _copy_stats(st: SimStats) -> SimStats:
     out = SimStats()
     for name in SimStats.FIELDS:
@@ -1645,14 +2256,25 @@ def _run_points(
     Per point, picks the cheapest valid engine:
 
     * conflict-free points (no set over associativity, no prefetch
-      fills) run :func:`_point_pass_fast`;
-    * among those, points whose residency ranges never trim share walk
-      outcomes — results depend only on ``(l2_latency, dram_latency,
-      dram_bytes_per_cycle)``, so each such signature is priced once
-      and copied (on a constant-latency L2 model this collapses the
-      whole large-cache tail of a Fig. 7 sweep into one pass);
-    * points where under half the distinct lines map to conflicted
-      sets walk only those via :func:`_point_pass_hybrid`;
+      fills) have walk outcomes that depend only on the L2 byte budget
+      (``None`` when the residency ranges never trim): each budget
+      shared by two or more points is compiled once
+      (:func:`_compile_fast`) and every point priced with column
+      arithmetic (:func:`_point_pass_vec`); points that also share
+      ``(l2_latency, dram_latency, dram_bytes_per_cycle, vpu)`` are
+      exact duplicates and copy the owner's stats (on a
+      constant-latency L2 model this collapses the whole large-cache
+      tail of a Fig. 7 sweep into one pass, and a lane sweep into one
+      compile plus one cheap pricing per point).  A trimming budget
+      owned by a single point gains nothing from compiling (the
+      compile walk costs one pass) and runs :func:`_point_pass_fast`
+      instead, pairwise via :func:`_point_pass_fast2`;
+    * conflicted points of a group whose L2 geometry and prefetcher
+      are uniform (lane sweeps, DRAM-latency sweeps over a small L2)
+      run the exact cache walk once (:func:`_compile_walk`) and price
+      every point with column arithmetic;
+    * remaining points where under half the distinct lines map to
+      conflicted sets walk only those via :func:`_point_pass_hybrid`;
     * everything else takes the exact cache walk of :func:`_point_pass`.
     """
     distinct = gc["distinct"]
@@ -1666,8 +2288,17 @@ def _run_points(
     results: List[Optional[SimStats]] = [None] * len(machines)
     eq_owner = {}  # sig -> index of the point that computes it
     eq_copies = []  # (index, owner index)
-    fast_jobs = []  # indices, priced pairwise below
+    fast_cands = []  # (index, budget-or-None): conflict-free
+    walk_jobs = []  # indices: conflicted, uniform L2 walk
     slow_jobs = []  # (index, hot-or-None)
+    # The full walk reads only the L2 geometry+prefetcher (latencies
+    # and VPU price, they don't steer); when those are uniform across
+    # the group, one walk resolves every point.
+    m0 = machines[0]
+    walk_uniform = len(machines) > 1 and all(
+        m.l2 == m0.l2 and m.l2_prefetcher == m0.l2_prefetcher
+        for m in machines[1:]
+    )
     for i, m in enumerate(machines):
         engine = _point_pass
         hot = None
@@ -1688,18 +2319,58 @@ def _run_points(
                         engine = _point_pass_hybrid
                         hot = set(lines[line_hot].tolist())
         if engine is _point_pass_fast:
-            if max_total <= m.l2.size_bytes:
-                sig = (m.l2.latency, m.dram_latency, m.dram_bytes_per_cycle)
-                owner = eq_owner.get(sig)
-                if owner is not None:
-                    eq_copies.append((i, owner))
-                    continue
-                eq_owner[sig] = i
-            fast_jobs.append(i)
+            budget = (
+                None if max_total <= m.l2.size_bytes else m.l2.size_bytes
+            )
+            sig = (
+                budget,
+                m.l2.latency,
+                m.dram_latency,
+                m.dram_bytes_per_cycle,
+                m.vpu,
+            )
+            owner = eq_owner.get(sig)
+            if owner is not None:
+                eq_copies.append((i, owner))
+                continue
+            eq_owner[sig] = i
+            fast_cands.append((i, budget))
+        elif walk_uniform:
+            sig = (
+                "walk",
+                m.l2.latency,
+                m.dram_latency,
+                m.dram_bytes_per_cycle,
+                m.vpu,
+            )
+            owner = eq_owner.get(sig)
+            if owner is not None:
+                eq_copies.append((i, owner))
+                continue
+            eq_owner[sig] = i
+            walk_jobs.append(i)
         elif engine is _point_pass_hybrid:
             slow_jobs.append((i, hot))
         else:
             slow_jobs.append((i, None))
+    budget_count: dict = {}
+    for _, budget in fast_cands:
+        budget_count[budget] = budget_count.get(budget, 0) + 1
+    fast_jobs = []  # singleton trimming budgets: paired loop passes
+    cols_by_budget = {}
+    for i, budget in fast_cands:
+        if budget is not None and budget_count[budget] < 2:
+            fast_jobs.append(i)
+            continue
+        cols = cols_by_budget.get(budget)
+        if cols is None:
+            view = (
+                None
+                if budget is None
+                else MemoryHierarchy.pricing_view(machines[i])
+            )
+            cols = cols_by_budget[budget] = _compile_fast(prog, gc, view)
+        results[i] = _point_pass_vec(cols, inv, machines[i], gc)
     j = 0
     while j + 1 < len(fast_jobs):
         ia, ib = fast_jobs[j], fast_jobs[j + 1]
@@ -1710,6 +2381,10 @@ def _run_points(
     if j < len(fast_jobs):
         i = fast_jobs[j]
         results[i] = _point_pass_fast(prog, inv, machines[i], gc)
+    if walk_jobs:
+        cols = _compile_walk(prog, gc, machines[walk_jobs[0]])
+        for i in walk_jobs:
+            results[i] = _point_pass_vec(cols, inv, machines[i], gc)
     for i, hot in slow_jobs:
         results[i] = (
             _point_pass_hybrid(prog, inv, machines[i], gc, hot)
@@ -1721,24 +2396,85 @@ def _run_points(
     return results
 
 
+# Memo for _shared_pass results across replay_sweep calls.  A session
+# replaying several pricing axes from one capture (the paper-figures
+# flow: L2 size, DRAM latency, DRAM bandwidth, lanes) would otherwise
+# re-walk the full event stream once per axis — by far the dominant
+# cost on a multi-million-event trace.  Keyed by the trace's content
+# key and the group-invariant remainder of the base config (the
+# normalization mirrors group_mode: every per-point-priced field is
+# canonicalised away, so two bases that would group together share an
+# entry).  The cached (prog, inv, gc) is treated as immutable by every
+# point engine.  Small and bounded: one l2-mode and one vpu-mode entry
+# per live capture is the realistic working set.
+_SHARED_PASS_MEMO: "dict" = {}
+_SHARED_PASS_MEMO_MAX = 4
+
+
+def _shared_pass_sig(m: MachineConfig, defer_vpu: bool):
+    l2n = replace(m.l2, size_bytes=m.l2.line_bytes * 8, assoc=1, latency=0)
+    norm = replace(
+        m,
+        name="",
+        l2=l2n,
+        dram_latency=0,
+        dram_bytes_per_cycle=1,
+        peak_gflops=0.0,
+    )
+    if defer_vpu:
+        # VPU pricing is deferred per point; only the walk fields bind.
+        v = m.vpu
+        return (
+            replace(norm, vpu=None),
+            v.mem_port,
+            v.vector_cache_bytes,
+        )
+    return norm
+
+
+def _shared_pass_cached(
+    trace: RecordedTrace, base: MachineConfig, defer_vpu: bool
+):
+    if not trace.key:
+        return _shared_pass(trace, base, defer_vpu=defer_vpu)
+    key = (
+        trace.key,
+        trace.n_events,
+        defer_vpu,
+        _shared_pass_sig(base, defer_vpu),
+    )
+    hit = _SHARED_PASS_MEMO.get(key)
+    if hit is not None:
+        return hit
+    out = _shared_pass(trace, base, defer_vpu=defer_vpu)
+    while len(_SHARED_PASS_MEMO) >= _SHARED_PASS_MEMO_MAX:
+        _SHARED_PASS_MEMO.pop(next(iter(_SHARED_PASS_MEMO)))
+    _SHARED_PASS_MEMO[key] = out
+    return out
+
+
 def replay_sweep(
     trace: RecordedTrace, machines: Sequence[MachineConfig]
 ) -> Optional[List[SimStats]]:
-    """Price *trace* on every machine of an L2/DRAM sweep group.
+    """Price *trace* on every machine of an L2/DRAM or VPU sweep group.
 
     Returns one ``SimStats`` per machine (bitwise identical to direct
     simulation), or ``None`` when the group varies in a field the
-    shared-pass split does not support (e.g. a lane or VL sweep) — the
-    caller should fall back to per-point simulation.
+    shared-pass split does not support (see :func:`group_mode`; e.g. a
+    VL sweep, whose event streams differ per point) — the caller
+    should fall back to per-point simulation.
     """
     machines = list(machines)
     if not machines:
         return []
     for m in machines:
         _check_compatible(trace, m)
-    if not uniform_group(machines):
+    mode = group_mode(machines)
+    if mode is None:
         return None
-    prog, inv, gc = _shared_pass(trace, machines[0])
+    prog, inv, gc = _shared_pass_cached(
+        trace, machines[0], defer_vpu=mode == "vpu"
+    )
     return _run_points(prog, inv, gc, machines)
 
 
@@ -1750,12 +2486,12 @@ def capture_sweep(
     *emit* is called with a simulator-API object (a
     :class:`_GroupCapture`) and must drive the kernel event stream into
     it — e.g. ``lambda sim: net._emit_trace(sim, policy, n, True)``.
-    The kernels run against ``machines[0]``; since a uniform group only
-    varies in fields kernels never read (L2 geometry, DRAM), the event
-    stream is valid for the whole group.
+    The kernels run against ``machines[0]``; since a replayable group
+    only varies in fields kernels never read (L2 geometry, DRAM, VPU
+    pricing parameters), the event stream is valid for the whole group.
 
     Returns one ``SimStats`` per machine (bitwise identical to direct
-    simulation), or ``None`` for non-uniform groups — the caller should
+    simulation), or ``None`` for unsupported groups — the caller should
     fall back to per-point simulation.  This fuses capture and the
     shared pricing pass: nothing is re-walked, making it the fastest
     cold path for a serial one-axis sweep.
@@ -1763,9 +2499,10 @@ def capture_sweep(
     machines = list(machines)
     if not machines:
         return []
-    if not uniform_group(machines):
+    mode = group_mode(machines)
+    if mode is None:
         return None
-    cap = _GroupCapture(machines[0])
+    cap = _GroupCapture(machines[0], defer_vpu=mode == "vpu")
     emit(cap)
     prog, inv, gc = cap.finish()
     return _run_points(prog, inv, gc, machines)

@@ -202,7 +202,12 @@ OP_NOTE_RANGE = 10
 #: v3 added a mandatory sha256 content digest over the column data, so
 #: a truncated or bit-flipped spill file is rejected (and quarantined
 #: by repro.core.tracecache) instead of silently poisoning a sweep.
-TRACE_FORMAT_VERSION = 3
+#: v4 moved spill persistence to the compressed ``.rtz`` container
+#: (delta+zigzag+varint address/size columns, zlib/zstd block
+#: compression — see repro.core.tracecache) so reference traces are
+#: small enough to commit; the ``.npz`` writer below remains for
+#: ad-hoc export and analysis tooling.
+TRACE_FORMAT_VERSION = 4
 
 
 class RecordedTrace:

@@ -534,10 +534,10 @@ def test_tracecache_verify_discards_corrupt_spill(tmp_path, monkeypatch, trace, 
         cols["w"][0] = -1.0
 
     bad = mutate(trace, negate)
-    bad.save(str(tmp_path / "deadbeef.npz"))
+    tracecache.save_compressed(bad, str(tmp_path / "deadbeef.rtz"))
     assert tracecache.get("deadbeef") is None  # verified, rejected
 
-    trace.save(str(tmp_path / "goodf00d.npz"))
+    tracecache.save_compressed(trace, str(tmp_path / "goodf00d.rtz"))
     loaded = tracecache.get("goodf00d")
     assert loaded is not None and loaded.n_events == trace.n_events
     tracecache.clear_registry()

@@ -1,8 +1,17 @@
 """Parallel sweep execution: parity with the serial path and fallbacks."""
 
+import multiprocessing
 import os
 
-from repro.core import resolve_jobs, simulate_points, sweep_vector_lengths
+import pytest
+
+from repro.core import (
+    resolve_jobs,
+    simulate_points,
+    sweep_lanes,
+    sweep_vector_lengths,
+    tracecache,
+)
 from repro.core.parallel import JOBS_ENV
 from repro.machine import rvv_gem5, sve_gem5
 from repro.machine.simulator import SimStats
@@ -83,6 +92,93 @@ class TestParallelParity:
         # strictly follow the (unsorted) axis order, not completion order.
         by_vlen = dict(zip(res.axis, res.stats))
         assert by_vlen[512].vec_instrs > by_vlen[4096].vec_instrs
+
+
+class TestParallelReplay:
+    """Lane/VL sweeps must replay across processes, bitwise-identically,
+    with spill on or off (the shared-memory tier covers both)."""
+
+    @pytest.mark.parametrize("spill", ["0", "1"])
+    def test_lane_sweep_parallel_identical(self, monkeypatch, tmp_path, spill):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_SPILL", spill)
+        tracecache.clear_registry()
+        net = small_net()
+        lanes = [1, 2, 4, 8]
+
+        def factory(l):
+            return rvv_gem5(vlen_bits=512, lanes=l, l2_mb=1)
+
+        direct = sweep_lanes(net, lanes, factory, jobs=1, use_trace=False)
+        assert direct.sources == ["direct"] * 4
+        tracecache.clear_registry()
+        parallel = sweep_lanes(net, lanes, factory, jobs=2)
+        assert set(parallel.sources) <= {"captured", "replayed"}
+        assert parallel.sources.count("replayed") >= 3
+        for a, b in zip(direct.stats, parallel.stats):
+            assert_identical(a, b)
+        tracecache.clear_registry()
+
+    @pytest.mark.parametrize("spill", ["0", "1"])
+    def test_vl_sweep_parallel_replays_when_seeded(
+        self, monkeypatch, tmp_path, spill
+    ):
+        """VL points are singleton trace groups; once a serial sweep has
+        seeded their captures, a parallel sweep replays every point in
+        the workers instead of simulating."""
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_SPILL", spill)
+        tracecache.clear_registry()
+        net = small_net()
+        vlens = [512, 1024, 2048]
+
+        def factory(v):
+            return rvv_gem5(vlen_bits=v, lanes=4, l2_mb=1)
+
+        serial = sweep_vector_lengths(net, vlens, factory, jobs=1)
+        assert serial.sources == ["captured"] * 3
+        parallel = sweep_vector_lengths(net, vlens, factory, jobs=2)
+        assert parallel.sources == ["replayed"] * 3
+        for a, b in zip(serial.stats, parallel.stats):
+            assert_identical(a, b)
+        tracecache.clear_registry()
+
+    def test_single_trace_load_per_worker(self, monkeypatch, tmp_path):
+        """Spawn-platform workers must decode each event stream at most
+        once per worker lifetime — via the shared-memory segment the
+        parent publishes, never by re-reading the spill per task."""
+        log = tmp_path / "loads.log"
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_SPILL", "1")
+        monkeypatch.setenv("REPRO_TRACE_LOAD_LOG", str(log))
+        # Spawn (not fork) so workers start with empty registries —
+        # the platform the shared-memory tier exists for.
+        from repro.core import parallel as par
+
+        monkeypatch.setattr(
+            par, "multiprocessing", multiprocessing.get_context("spawn")
+        )
+        tracecache.clear_registry()
+        net = small_net()
+        # Two lane groups (distinct VLs -> distinct trace keys), two
+        # chunks each: workers handle several tasks per event stream.
+        machines = [
+            rvv_gem5(vlen_bits=v, lanes=l, l2_mb=1)
+            for v in (512, 1024)
+            for l in (1, 2, 4, 8)
+        ]
+        out = simulate_points(net, machines, KernelPolicy(), None, 2)
+        assert out is not None
+        stats, sources = out
+        assert sources.count("replayed") >= 6
+        lines = [ln.split() for ln in log.read_text().splitlines()]
+        assert lines, "workers should have loaded the published traces"
+        # Every cross-process load came from shared memory...
+        assert {src for _, src, _ in lines} == {"shm"}
+        # ...and no worker decoded the same stream twice.
+        seen = [(pid, key) for pid, _, key in lines]
+        assert len(seen) == len(set(seen))
+        tracecache.clear_registry()
 
 
 class TestFallbacks:

@@ -213,7 +213,7 @@ class TestTraceSpillQuarantine:
         mbs = [1, 2, 4]
         clean = sweep_cache_sizes(net, mbs, rvv_cache_factory, jobs=1)
         tracecache.get_or_capture(net, rvv_cache_factory(1), KernelPolicy(), None)
-        spills = list((cache_env / ".simcache" / "traces").glob("*.npz"))
+        spills = list((cache_env / ".simcache" / "traces").glob("*.rtz"))
         assert spills, "get_or_capture should have spilled the trace"
         tracecache.clear_registry()  # force the reload from disk
         arm = fault_env
@@ -233,11 +233,12 @@ class TestTraceSpillQuarantine:
         monkeypatch.setenv("REPRO_TRACE_SPILL", "1")
         net = small_net()
         tracecache.get_or_capture(net, rvv_cache_factory(1), KernelPolicy(), None)
-        import numpy as np
 
-        (spill,) = list((cache_env / ".simcache" / "traces").glob("*.npz"))
-        with np.load(spill, allow_pickle=False) as archive:
-            header = json.loads(str(archive["header"]))
+        (spill,) = list((cache_env / ".simcache" / "traces").glob("*.rtz"))
+        blob = spill.read_bytes()
+        assert blob[:4] == b"RTRC"
+        hlen = int.from_bytes(blob[5:9], "little")
+        header = json.loads(blob[9:9 + hlen].decode("utf-8"))
         assert "sha256" in header
 
 

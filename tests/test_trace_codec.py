@@ -1,0 +1,191 @@
+"""Property tests for the v4 compressed trace container (``.rtz``).
+
+The codec (repro.core.tracecache) must be lossless for *any* int64
+column content — delta + zigzag + varint round-trips exactly, including
+two's-complement wraparound at the extremes — and every body-byte
+corruption must be detected (block checksum or content digest), never
+decoded into a silently different trace.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tracecache as tc
+from repro.machine import rvv_gem5
+from repro.machine.replay import replay
+from repro.machine.trace import TRACE_FORMAT_VERSION, RecordedTrace
+from repro.nets import ConvLayer, KernelPolicy, MaxPoolLayer, Network
+
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def small_net():
+    return Network(
+        [ConvLayer(8, 3, 1), MaxPoolLayer(2, 2), ConvLayer(16, 3, 1)],
+        input_shape=(4, 32, 32),
+        name="small",
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return small_net().record_trace(
+        rvv_gem5(vlen_bits=512, lanes=4, l2_mb=1), KernelPolicy(), key="codec"
+    )
+
+
+class TestVarintDelta:
+    @given(st.lists(uint64s, max_size=300))
+    @settings(max_examples=120, deadline=None)
+    def test_varint_roundtrip_any_uint64(self, vals):
+        arr = np.array(vals, np.uint64)
+        out = tc._varint_decode(tc._varint_encode(arr), len(arr))
+        assert np.array_equal(out, arr)
+
+    @given(st.lists(int64s, max_size=300))
+    @settings(max_examples=120, deadline=None)
+    def test_delta_roundtrip_any_int64(self, vals):
+        """Exact even across two's-complement wraparound: diff and
+        cumsum wrap identically."""
+        arr = np.array(vals, np.int64)
+        out = tc._delta_decode(tc._delta_encode(arr), len(arr))
+        assert np.array_equal(out, arr)
+
+    @given(st.lists(int64s, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_zigzag_roundtrip_and_small_magnitudes_stay_small(self, vals):
+        arr = np.array(vals, np.int64)
+        zz = tc._zigzag(arr)
+        assert np.array_equal(tc._unzigzag(zz), arr)
+        # (not np.abs: |INT64_MIN| overflows right back to INT64_MIN)
+        small = (arr > -(2**20)) & (arr < 2**20)
+        assert np.all(zz[small] < 2**21)
+
+    def test_varint_rejects_truncation_and_wrong_count(self):
+        arr = np.arange(1000, dtype=np.uint64) * 257
+        buf = tc._varint_encode(arr)
+        with pytest.raises(ValueError):
+            tc._varint_decode(buf[:-1], len(arr))
+        with pytest.raises(ValueError):
+            tc._varint_decode(buf, len(arr) - 1)
+        with pytest.raises(ValueError):
+            tc._varint_decode(buf + b"\x00", len(arr))
+
+
+class TestContainerRoundtrip:
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_random_columns(self, seed, n):
+        rng = np.random.default_rng(seed)
+        synthetic = RecordedTrace(
+            "prop",
+            "rvv",
+            512,
+            64,
+            ["other", "gemm", "im2col"],
+            rng.integers(0, 11, n).astype(np.uint8),
+            rng.random(n),
+            rng.integers(0, 3, n).astype(np.uint32),
+            rng.integers(-(2**52), 2**52, n).astype(np.int64),
+            rng.integers(0, 2**30, n).astype(np.int64),
+            rng.integers(-64, 64, n).astype(np.int64),
+            rng.integers(0, 2, n).astype(np.int64),
+            rng.random(n) * 4.0,
+            meta={"seed": int(seed)},
+            buffers=[("A", 4096, 1024), ("B", 8192, 2048)],
+        )
+        back = tc.decode_trace(tc.encode_trace(synthetic))
+        for name, _ in RecordedTrace._COLUMNS:
+            a, b = getattr(synthetic, name), getattr(back, name)
+            assert a.dtype == b.dtype and np.array_equal(a, b), name
+        assert back.labels == synthetic.labels
+        assert back.buffers == synthetic.buffers
+        assert back.meta == synthetic.meta
+        assert back.key == "prop"
+
+    def test_real_trace_roundtrips_and_replays_bitwise(self, trace, tmp_path):
+        path = str(tmp_path / "t.rtz")
+        tc.save_compressed(trace, path)
+        loaded = tc.load_compressed(path)
+        m = rvv_gem5(vlen_bits=512, lanes=4, l2_mb=1)
+        a, b = replay(trace, m), replay(loaded, m)
+        for f in type(a).FIELDS:
+            assert getattr(a, f).hex() == getattr(b, f).hex(), f
+        assert a.kernel_cycles == b.kernel_cycles
+
+    def test_compression_is_substantial(self, trace):
+        blob = tc.encode_trace(trace)
+        assert len(blob) < trace.nbytes() / 10
+
+    def test_header_is_cheap_and_faithful(self, trace, tmp_path):
+        path = str(tmp_path / "t.rtz")
+        tc.save_compressed(trace, path)
+        header = tc.read_header(path)
+        assert header["format"] == TRACE_FORMAT_VERSION
+        assert header["key"] == "codec"
+        assert header["n_events"] == trace.n_events
+        assert header["sha256"]
+
+    def test_stale_format_rejected(self, trace):
+        blob = bytearray(tc.encode_trace(trace))
+        blob[4] = TRACE_FORMAT_VERSION - 1
+        with pytest.raises(ValueError, match="stale"):
+            tc.decode_trace(bytes(blob))
+
+    def test_bad_magic_rejected(self, trace):
+        blob = b"NOPE" + tc.encode_trace(trace)[4:]
+        with pytest.raises(ValueError, match="magic"):
+            tc.decode_trace(blob)
+
+    @given(frac=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_any_body_byte_flip_is_detected(self, trace, frac):
+        """Every byte after the header is covered by a block checksum
+        or the sha256 content digest: no single-bit body corruption can
+        decode into a (different) trace."""
+        blob = bytearray(tc.encode_trace(trace))
+        body = 9 + int.from_bytes(blob[5:9], "little")
+        pos = body + min(int(frac * (len(blob) - body)), len(blob) - body - 1)
+        blob[pos] ^= 0x01
+        with pytest.raises((ValueError, zlib.error, Exception)):
+            tc.decode_trace(bytes(blob))
+
+
+class TestSharedMemoryTier:
+    def test_publish_attach_release(self, trace):
+        key = "11fe" * 16
+        assert tc.publish_shm(key, trace)
+        assert tc.publish_shm(key, trace)  # idempotent
+        tc.clear_registry()
+        tc.reset_load_counts()
+        got = tc.get(key, spill=False)
+        assert got is not None and got.n_events == trace.n_events
+        assert tc.load_counts()["shm"] == 1
+        # A registry hit now; no second shm decode.
+        assert tc.get(key, spill=False) is not None
+        assert tc.load_counts()["shm"] == 1
+        tc.release_shm(key)
+        tc.clear_registry()
+        assert tc.get(key, spill=False) is None
+        tc.release_shm()  # idempotent, safe with nothing owned
+
+    def test_spill_loads_are_counted_and_logged(
+        self, trace, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        log = tmp_path / "loads.log"
+        monkeypatch.setenv("REPRO_TRACE_LOAD_LOG", str(log))
+        key = "ab" * 32
+        tc.put(key, trace, spill=True)
+        tc.clear_registry()
+        tc.reset_load_counts()
+        assert tc.get(key, spill=True) is not None
+        assert tc.load_counts() == {"shm": 0, "spill": 1}
+        pid, source, logged_key = log.read_text().split()
+        assert source == "spill" and logged_key == key
+        tc.clear_registry()

@@ -10,21 +10,30 @@ accumulation order exactly, and these tests are the tripwire for any
 drift (see the lock-step warning in ``repro/machine/replay.py``).
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.core import sweep_cache_sizes, sweep_lanes, tracecache
 from repro.core.codesign import SweepResult
 from repro.machine import a64fx, rvv_gem5, sve_gem5
+from repro.machine.hierarchy import MemoryHierarchy
 from repro.machine.replay import (
     _GroupCapture,
+    _compile_fast,
+    _compile_walk,
     _point_pass,
     _point_pass_fast,
     _point_pass_fast2,
     _point_pass_hybrid,
+    _point_pass_vec,
     capture_sweep,
+    group_mode,
+    nonuniform_fields,
     replay,
     replay_sweep,
+    supports_axis,
     uniform_group,
 )
 from repro.machine.simulator import SimStats, TraceSimulator
@@ -151,19 +160,40 @@ class TestBitwiseIdentity:
         trace = net.record_trace(m, KernelPolicy(), n_layers=0)
         assert_bitwise(direct(net, m, KernelPolicy(), 0), replay(trace, m))
 
-    def test_lane_group_declined(self):
-        """Lanes change pricing arithmetic itself -> engines decline."""
+    def test_lane_group_replays_deferred(self):
+        """Lanes change pricing arithmetic, not the walk: the engines
+        defer the VPU-dependent terms and replay bitwise."""
         net = yolov3_tiny()
-        group = [rvv_gem5(vlen_bits=1024, lanes=l, l2_mb=1) for l in (2, 8)]
-        assert not uniform_group(group)
+        group = [
+            rvv_gem5(vlen_bits=1024, lanes=l, l2_mb=1) for l in (1, 2, 4, 8)
+        ]
+        assert not uniform_group(group)  # not an L2/DRAM-only group...
+        assert group_mode(group) == "vpu"  # ...but a deferred-pricing one
+        ds = [direct(net, m, KernelPolicy(), 2) for m in group]
         trace = net.record_trace(group[0], KernelPolicy(), n_layers=2)
-        assert replay_sweep(trace, group) is None
-        assert (
-            capture_sweep(
-                lambda sim: net._emit_trace(sim, KernelPolicy(), 2, True), group
-            )
-            is None
+        for d, r in zip(ds, replay_sweep(trace, group)):
+            assert_bitwise(d, r)
+        cs = capture_sweep(
+            lambda sim: net._emit_trace(sim, KernelPolicy(), 2, True), group
         )
+        for d, r in zip(ds, cs):
+            assert_bitwise(d, r)
+
+    def test_vl_group_declined(self):
+        """VL changes the event stream itself -> the group engines
+        decline; each VL point records (and replays) its own trace."""
+        group = [rvv_gem5(vlen_bits=v, lanes=4, l2_mb=1) for v in (512, 1024)]
+        assert group_mode(group) is None
+        assert not supports_axis("l1_size")
+        assert supports_axis("lanes") and supports_axis("vlen_bits")
+        assert nonuniform_fields(group) == ["vlen_bits"]
+
+    def test_port_level_group_declined(self):
+        """The VPU memory-port level shapes the recorded walk: a group
+        varying in it must fall back to per-point simulation."""
+        m0 = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=1)
+        m1 = m0.with_(vpu=replace(m0.vpu, mem_port="L1"))
+        assert group_mode([m0, m1]) is None
 
     def test_incompatible_machine_raises(self):
         net = yolov3_tiny()
@@ -230,12 +260,42 @@ class TestPointPassEngines:
         assert_bitwise(ref_a, pair[0])
         assert_bitwise(ref_b, pair[1])
 
+    def test_budget_compile_matches_fast_when_trimming(self, captured):
+        """A finite-budget compile resolves trimming range walks into
+        the same classes the loop pass prices event by event."""
+        prog, inv, gc = captured
+        m = rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=2)
+        assert gc["max_range_total"] > m.l2.size_bytes  # ranges trim here
+        cols = _compile_fast(prog, gc, MemoryHierarchy.pricing_view(m))
+        assert_bitwise(
+            _point_pass_fast(prog, inv, m, gc),
+            _point_pass_vec(cols, inv, m, gc),
+        )
+
+    def test_walk_compile_matches_full_on_lane_group(self):
+        """A conflicted lane group (uniform 1 MB L2, varying lanes)
+        resolves its cache walk once and vec-prices every point."""
+        net = yolov3_tiny()
+        machines = [
+            rvv_gem5(vlen_bits=1024, lanes=l, l2_mb=1) for l in (2, 4, 8)
+        ]
+        cap = _GroupCapture(machines[0], defer_vpu=True)
+        net._emit_trace(cap, KernelPolicy(), 6, True)
+        prog, inv, gc = cap.finish()
+        cols = _compile_walk(prog, gc, machines[0])
+        for m in machines:
+            assert_bitwise(
+                _point_pass(prog, inv, m, gc),
+                _point_pass_vec(cols, inv, m, gc),
+            )
+
     def test_run_points_selects_all_engines(self, monkeypatch):
         """An L2 sweep of this net routes through every engine."""
         from repro.machine import replay as R
 
         calls = []
-        for name in ("_point_pass", "_point_pass_hybrid", "_point_pass_fast2"):
+        for name in ("_point_pass", "_point_pass_hybrid", "_point_pass_vec",
+                     "_point_pass_fast2", "_compile_fast"):
             orig = getattr(R, name)
             monkeypatch.setattr(
                 R, name,
@@ -244,7 +304,7 @@ class TestPointPassEngines:
                 ),
             )
         net = yolov3_tiny()
-        sizes = [1, 2, 4, 64]  # hybrid, fast2 pair x2, (64: fast pair member)
+        sizes = [1, 2, 4, 64]  # hybrid; fast2 pair; vec (never-trimming)
         machines = [rvv_gem5(vlen_bits=1024, lanes=4, l2_mb=mb) for mb in sizes]
         fused = capture_sweep(
             lambda sim: net._emit_trace(sim, KernelPolicy(), 6, True), machines
@@ -252,7 +312,12 @@ class TestPointPassEngines:
         for m, f in zip(machines, fused):
             assert_bitwise(direct(net, m, KernelPolicy(), 6), f)
         assert "_point_pass_hybrid" in calls
+        # 2 MB and 4 MB trim alone (singleton budgets): the paired loop
+        # pass beats a compile nothing else reuses.
         assert "_point_pass_fast2" in calls
+        # 64 MB never trims: compiled once, priced by column arithmetic.
+        assert calls.count("_point_pass_vec") == 1
+        assert calls.count("_compile_fast") == 1
 
 
 class TestTraceKey:
@@ -313,10 +378,57 @@ class TestSweepIntegration:
             assert_bitwise(a, b)
         assert [r["source"] for r in on.as_rows()] == on.sources
 
-    def test_lane_sweep_falls_back_to_direct(self):
+    def test_lane_sweep_replays(self):
         net = small_net()
-        res = sweep_lanes(
-            net, [2, 8], lambda l: rvv_gem5(vlen_bits=512, lanes=l, l2_mb=1)
+
+        def factory(lanes):
+            return rvv_gem5(vlen_bits=512, lanes=lanes, l2_mb=1)
+
+        on = sweep_lanes(net, [2, 4, 8], factory)
+        off = sweep_lanes(net, [2, 4, 8], factory, use_trace=False)
+        assert on.sources == ["captured", "replayed", "replayed"]
+        assert off.sources == ["direct", "direct", "direct"]
+        for a, b in zip(on.stats, off.stats):
+            assert_bitwise(a, b)
+
+    def test_vl_sweep_replays_from_seeded_registry(self):
+        """Each VL point is a singleton trace group: the first sweep
+        captures (and prices by replay); a second sweep along the same
+        axis replays every point without re-running kernels."""
+        from repro.core import sweep_vector_lengths
+
+        tracecache.clear_registry()
+        net = small_net()
+        vlens = [512, 1024, 2048]
+
+        def factory(v):
+            return rvv_gem5(vlen_bits=v, lanes=4, l2_mb=1)
+
+        first = sweep_vector_lengths(net, vlens, factory)
+        second = sweep_vector_lengths(net, vlens, factory)
+        off = sweep_vector_lengths(net, vlens, factory, use_trace=False)
+        assert first.sources == ["captured"] * 3
+        assert second.sources == ["replayed"] * 3
+        assert off.sources == ["direct"] * 3
+        for a, b, c in zip(first.stats, second.stats, off.stats):
+            assert_bitwise(a, c)
+            assert_bitwise(b, c)
+        tracecache.clear_registry()
+
+    def test_unreplayable_axis_raises_when_trace_forced(self):
+        net = small_net()
+        m0 = rvv_gem5(vlen_bits=512, lanes=4, l2_mb=1)
+        group = [m0, m0.with_(vpu=replace(m0.vpu, mem_port="L1"))]
+        from repro.core.codesign import sweep
+
+        with pytest.raises(ValueError, match="mem_port|vpu"):
+            sweep(net, "port", ["L2", "L1"], lambda i: group[
+                {"L2": 0, "L1": 1}[i]
+            ], use_trace=True)
+        # Default (auto) mode degrades to per-point simulation instead.
+        res = sweep(
+            net, "port", ["L2", "L1"],
+            lambda i: group[{"L2": 0, "L1": 1}[i]],
         )
         assert res.sources == ["direct", "direct"]
 
