@@ -208,10 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "action", choices=["list", "verify", "gc"],
-        help="list: sizes, event counts and compression ratios from the "
-             "container headers; verify: full decode + digest check per "
-             "file; gc: delete stale-format spills and quarantine "
-             "corrupt ones (PR-5 semantics: never served twice)",
+        help="list: sizes, event counts, codec versions and compiled-pass "
+             "counts from the container headers (.rtz traces plus their "
+             ".rpp/.rvp compiled passes); verify: full decode + digest "
+             "check per file; gc: delete stale-format spills and compiled "
+             "passes orphaned by a pruned or re-captured trace, and "
+             "quarantine corrupt files (PR-5 semantics: never served "
+             "twice)",
     )
     p.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -514,11 +517,14 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_trace_cache(args) -> int:
-    """``repro trace-cache``: report on (and clean up) spilled traces.
+    """``repro trace-cache``: report on (and clean up) cache artifacts.
 
+    Covers all three cache families: spilled traces (``.rtz``), shared
+    passes (``.rpp``), and compiled point-pass tiers (``.rvp``).
     ``list`` is header-only and cheap; ``verify`` fully decodes every
-    container, recomputing the sha256 content digest; ``gc`` deletes
-    stale-format files (regenerable by any sweep) and *quarantines*
+    container, recomputing the sha256 payload digest; ``gc`` deletes
+    stale-format files and compiled passes orphaned by a pruned or
+    re-captured trace (all regenerable by any sweep) and *quarantines*
     corrupt ones — the same never-served-twice semantics the loader
     applies (see repro.core.resilience).  Exit code 1 when any file is
     corrupt.
@@ -537,33 +543,77 @@ def cmd_trace_cache(args) -> int:
         names = sorted(os.listdir(directory))
     except OSError:
         names = []
-    rows, n_corrupt, freed = [], 0, 0
+    entries = []
+    trace_digest: dict = {}  # live trace key -> content sha256
+    n_passes: dict = {}  # trace key -> compiled artifacts bound to it
     for name in names:
         path = os.path.join(directory, name)
         if not os.path.isfile(path):
             continue
-        size = os.path.getsize(path)
-        row = {"file": name, "kb": round(size / 1024.0, 1)}
-        header, status = None, "ok"
-        if not name.endswith(tracecache.SPILL_SUFFIX):
-            status = "stale"  # pre-v4 spill (.npz) or foreign leftover
+        info = tracecache.split_cache_filename(name)
+        entries.append((name, path, info))
+        if info is None:
+            continue
+        if info["kind"] == "trace":
+            try:
+                hdr = tracecache.read_header(path)
+            except Exception:
+                hdr = {}
+            trace_digest[info["key"]] = hdr.get("sha256")
         else:
+            n_passes[info["key"]] = n_passes.get(info["key"], 0) + 1
+    rows, n_corrupt, freed = [], 0, 0
+    for name, path, info in entries:
+        size = os.path.getsize(path)
+        kind = info["kind"] if info is not None else "foreign"
+        row = {"file": name, "kind": kind, "kb": round(size / 1024.0, 1)}
+        header, status = None, "ok"
+        if info is None:
+            status = "stale"  # pre-v4 spill (.npz) or foreign leftover
+        elif kind == "trace":
             try:
                 header = tracecache.read_header(path)
+                row["v"] = header.get("format")
                 if header.get("format") != TRACE_FORMAT_VERSION:
                     status = "stale"
             except Exception:
                 status = "corrupt"
-        if header is not None:
-            n = int(header.get("n_events", 0))
-            row["events"] = n
-            row["ratio"] = round(n * row_bytes / size, 1) if size else 0.0
-            row["digest"] = "yes" if header.get("sha256") else "missing"
+            if header is not None:
+                n = int(header.get("n_events", 0))
+                row["events"] = n
+                row["ratio"] = round(n * row_bytes / size, 1) if size else 0.0
+                row["digest"] = "yes" if header.get("sha256") else "missing"
+                row["passes"] = n_passes.get(info["key"], 0)
+        else:
+            try:
+                header = tracecache.read_pass_header(path)
+                row["v"] = header.get("format")
+                if header.get("format") != tracecache.PASS_FORMAT_VERSION:
+                    status = "stale"
+            except Exception:
+                status = "corrupt"
+            if status == "ok":
+                live = trace_digest.get(info["key"])
+                if live is None:
+                    # The trace this pass derives from is gone (pruned,
+                    # quarantined, or never spilled here): regenerable
+                    # dead weight.
+                    status = "orphan"
+                elif header.get("trace_sha256") != live:
+                    status = "stale"  # derivative of a re-captured trace
         if args.action in ("verify", "gc") and status == "ok":
-            # Full decode recomputes the content digest — header-only
+            # Full decode recomputes the payload digest — header-only
             # parsing cannot see a bit-flip inside a column block.
             try:
-                tracecache.load_compressed(path)
+                if kind == "trace":
+                    tracecache.load_compressed(path)
+                else:
+                    with open(path, "rb") as fh:
+                        blob = fh.read()
+                    if kind == "pass":
+                        tracecache.decode_pass(blob)
+                    else:
+                        tracecache.decode_vecprog(blob)
                 row["digest"] = "verified"
             except Exception:
                 status = "corrupt"

@@ -116,21 +116,26 @@ def _run_chunk(task: _Chunk) -> Tuple[List[SimStats], List[str]]:
         faults.maybe_fault("worker.point", index=i)
     if tkey is not None:
         from . import simcache, tracecache
-        from ..machine.replay import replay_sweep
+        from ..machine.replay import replay_sweep, replay_sweep_cached
 
-        trace = tracecache.get(tkey, spill=True)
-        if trace is not None:
-            priced = replay_sweep(trace, machines)
-            if priced is not None:
-                if simcache.cache_enabled(use_cache):
-                    for machine, stats in zip(machines, priced):
-                        simcache.store(
-                            simcache.cache_key(
-                                _worker_net, machine, policy, n_layers, True
-                            ),
-                            stats,
-                        )
-                return priced, ["replayed"] * len(machines)
+        # Compiled-pass warm path first: a digest-matching .rpp (shared
+        # by the parent via shm, or on disk from a previous sweep)
+        # prices the chunk without attaching or decoding the trace.
+        priced = replay_sweep_cached(tkey, machines)
+        if priced is None:
+            trace = tracecache.get(tkey, spill=True)
+            if trace is not None:
+                priced = replay_sweep(trace, machines)
+        if priced is not None:
+            if simcache.cache_enabled(use_cache):
+                for machine, stats in zip(machines, priced):
+                    simcache.store(
+                        simcache.cache_key(
+                            _worker_net, machine, policy, n_layers, True
+                        ),
+                        stats,
+                    )
+            return priced, ["replayed"] * len(machines)
     out = [
         _worker_net.simulate(m, policy, n_layers=n_layers, use_cache=use_cache)
         for m in machines
@@ -390,6 +395,15 @@ def simulate_points(
             # per worker lifetime instead of re-reading the spill per
             # task.  Best-effort; released after the pool is done.
             tracecache.publish_shm(key)
+            if tracecache.pass_cache_enabled():
+                # Likewise for a previously compiled shared pass: a
+                # warm .rpp in shm lets every worker skip the event
+                # walk (replay_sweep_cached) without touching disk.
+                from ..machine.replay import _shared_pass_sig, _sig_token
+
+                tracecache.publish_pass_shm(
+                    key, _sig_token(_shared_pass_sig(group[0], True))
+                )
     else:
         trace_groups[None] = list(range(len(machines)))
 

@@ -77,6 +77,20 @@ __all__ = [
     "load_counts",
     "reset_load_counts",
     "SPILL_SUFFIX",
+    "PASS_SUFFIX",
+    "VECPROG_SUFFIX",
+    "pass_cache_enabled",
+    "encode_pass",
+    "decode_pass",
+    "store_pass",
+    "load_pass",
+    "encode_vecprog",
+    "decode_vecprog",
+    "store_vecprog",
+    "load_vecprog",
+    "read_pass_header",
+    "publish_pass_shm",
+    "split_cache_filename",
 ]
 
 _ENV_FLAG = "REPRO_TRACE"
@@ -87,6 +101,11 @@ _ENV_VERIFY = "REPRO_TRACE_VERIFY"
 #: attach or spill read) appends one ``"<pid> <source> <key>"`` line —
 #: the observability hook the single-load-per-worker test asserts on.
 _ENV_LOAD_LOG = "REPRO_TRACE_LOAD_LOG"
+#: Tri-state switch for the compiled-pass cache (``.rpp``/``.rvp``
+#: files next to the trace spills).  Unset, it follows
+#: :func:`spill_enabled` — persisting compiled passes only makes sense
+#: alongside persisted traces.
+_ENV_PASS = "REPRO_PASS_CACHE"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("0", "false", "no", "off")
@@ -100,6 +119,17 @@ _REGISTRY_CAP = 4
 #: Spill file suffix for the v4 compressed container.
 SPILL_SUFFIX = ".rtz"
 _MAGIC = b"RTRC"
+
+#: Compiled-pass containers: a serialized shared-pass output
+#: (``<key>.<sig>.rpp``) and a compiled point-pass tier
+#: (``<key>.<sig>.<tier>.rvp``).  Both are derived artifacts of an
+#: ``.rtz`` trace and carry its content digest, so they can never
+#: outlive a re-captured trace.
+PASS_SUFFIX = ".rpp"
+VECPROG_SUFFIX = ".rvp"
+PASS_FORMAT_VERSION = 1
+_PASS_MAGIC = b"RPSS"
+_VECPROG_MAGIC = b"RVPC"
 
 
 def trace_enabled(flag: Optional[bool] = None, default: bool = False) -> bool:
@@ -119,6 +149,23 @@ def spill_enabled(flag: Optional[bool] = None) -> bool:
     if flag is not None:
         return flag
     return os.environ.get(_ENV_SPILL, "").strip().lower() in _TRUE
+
+
+def pass_cache_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve the compiled-pass-cache tri-state.
+
+    ``REPRO_PASS_CACHE=1/0`` forces it; unset, it follows
+    :func:`spill_enabled` so a spilling sweep persists its compiled
+    passes alongside the traces they derive from.
+    """
+    if flag is not None:
+        return flag
+    env = os.environ.get(_ENV_PASS, "").strip().lower()
+    if env in _TRUE:
+        return True
+    if env in _FALSE:
+        return False
+    return spill_enabled()
 
 
 def spill_dir() -> str:
@@ -181,16 +228,38 @@ def _compress(blob: bytes) -> Tuple[str, bytes]:
     return "zlib", zlib.compress(blob, 9)
 
 
+def _compress_fast(blob: bytes) -> Tuple[str, bytes]:
+    """Low-effort codec for hot-path writes (spills, compiled passes).
+
+    The archive codec above costs seconds per sweep-sized trace; cache
+    artifacts are rewritten often and read back through the same
+    codec-tagged :func:`_decompress`, so they take the cheap setting.
+    Committed reference traces keep the archive codec.
+    """
+    if _zstd is not None:
+        return "zstd", _zstd.ZstdCompressor(level=3).compress(blob)
+    return "zlib", zlib.compress(blob, 1)
+
+
 def _decompress(codec: str, blob: bytes) -> bytes:
+    # Corruption inside a compressed block surfaces as zlib.error /
+    # ZstdError; normalise to ValueError so every loader's
+    # quarantine-on-ValueError path catches it.
     if codec == "zlib":
-        return zlib.decompress(blob)
+        try:
+            return zlib.decompress(blob)
+        except zlib.error as exc:
+            raise ValueError(f"corrupt zlib block: {exc}") from exc
     if codec == "zstd":
         if _zstd is None:
             raise ValueError(
                 "trace block compressed with zstd but zstandard is not "
                 "installed; re-capture or re-encode with zlib"
             )
-        return _zstd.ZstdDecompressor().decompress(blob)
+        try:
+            return _zstd.ZstdDecompressor().decompress(blob)
+        except Exception as exc:
+            raise ValueError(f"corrupt zstd block: {exc}") from exc
     raise ValueError(f"unknown trace block codec {codec!r}")
 
 
@@ -282,8 +351,14 @@ _COLUMN_WIRE = {
 }
 
 
-def encode_trace(trace: RecordedTrace) -> bytes:
-    """Serialize *trace* into the v4 ``.rtz`` container (bytes)."""
+def encode_trace(trace: RecordedTrace, level: str = "archive") -> bytes:
+    """Serialize *trace* into the v4 ``.rtz`` container (bytes).
+
+    ``level="fast"`` swaps in the low-effort block codec — the right
+    choice for sweep spills, where encode time is on the cold path and
+    the file is a local cache artifact, not a committed reference.
+    """
+    compress = _compress_fast if level == "fast" else _compress
     cols = {name: getattr(trace, name) for name, _ in RecordedTrace._COLUMNS}
     n = trace.n_events
     blocks: List[bytes] = []
@@ -292,7 +367,7 @@ def encode_trace(trace: RecordedTrace) -> bytes:
         filt, wire = _COLUMN_WIRE[name]
         arr = np.ascontiguousarray(cols[name]).astype(wire, copy=False)
         raw = _delta_encode(arr) if filt == "delta" else arr.tobytes()
-        codec, blob = _compress(raw)
+        codec, blob = compress(raw)
         blocks.append(blob)
         col_meta.append(
             {"name": name, "filter": filt, "codec": codec, "nbytes": len(blob)}
@@ -381,9 +456,11 @@ def decode_trace(blob: bytes) -> RecordedTrace:
     )
 
 
-def save_compressed(trace: RecordedTrace, path: str) -> None:
+def save_compressed(
+    trace: RecordedTrace, path: str, level: str = "archive"
+) -> None:
     """Write *trace* to *path* in the v4 ``.rtz`` container format."""
-    blob = encode_trace(trace)
+    blob = encode_trace(trace, level=level)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -414,9 +491,718 @@ def read_header(path: str) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Compiled-pass cache (.rpp / .rvp)
+# ----------------------------------------------------------------------
+# A shared pass over a multi-million-event trace costs seconds; its
+# output — the replay program, the folded invariant stats, and the
+# group constants — depends only on (trace content, group signature).
+# Serializing it means a warm sweep re-prices points without ever
+# re-walking the event stream.  The compiled point-pass tiers
+# (``_VecProgram`` columns) additionally capture the resolved L2 walk,
+# so a warm singleton point collapses to one column-arithmetic pricing.
+#
+# Both containers mirror the ``.rtz`` layout: magic + version + JSON
+# header + per-column compressed blocks, with two sha256 digests — the
+# source trace's (staleness) and the payload's own (corruption).  Any
+# decode failure quarantines the file and reports a miss; a digest
+# mismatch against a re-captured trace is a silent miss (the next
+# store overwrites the stale file).
+
+#: Wire layout of a serialized shared-pass program.  One row per prog
+#: item in ``kinds``; per-tag operand columns hold only that tag's
+#: items, in stream order.  Ragged tuple operands (pending-line and
+#: first-touch addresses) split into a count column plus a flattened
+#: delta-coded address column.
+_PASS_COLUMNS = (
+    ("kinds", "raw", "<u1"),
+    ("f0", "raw", "<f8"),
+    ("t1_kid", "varint", "<i8"),
+    ("t2_base", "delta", "<i8"),
+    ("t2_nbytes", "delta", "<i8"),
+    ("t3_w", "raw", "<f8"),
+    ("t3_lat", "delta", "<i8"),
+    ("t3_occ", "raw", "<f8"),
+    ("t3_nbytes", "delta", "<i8"),
+    ("t3_nlines", "delta", "<i8"),
+    ("t3_write", "raw", "<u1"),
+    ("t3_unit", "raw", "<u1"),
+    ("t3_iid", "delta", "<i8"),
+    ("t3_nh0", "delta", "<i8"),
+    ("t3_na", "varint", "<i8"),
+    ("t3_addrs", "delta", "<i8"),
+    ("t3_nft", "varint", "<i8"),
+    ("t3_ft", "delta", "<i8"),
+    ("t4_w", "raw", "<f8"),
+    ("t4_lat", "delta", "<i8"),
+    ("t4_occ", "raw", "<f8"),
+    ("t4_write", "raw", "<u1"),
+    ("t4_nh0", "delta", "<i8"),
+    ("t4_na", "varint", "<i8"),
+    ("t4_addrs", "delta", "<i8"),
+    ("t4_nft", "varint", "<i8"),
+    ("t4_ft", "delta", "<i8"),
+    ("t5_n", "varint", "<i8"),
+    ("t5_lines", "delta", "<i8"),
+    ("t6_w", "raw", "<f8"),
+    ("t6_cid", "varint", "<i8"),
+    ("gc_distinct", "delta", "<i8"),
+)
+
+_VECPROG_COLUMNS = (
+    ("base", "raw", "<f8"),
+    ("kid", "delta", "<i8"),
+    ("cls_pos", "delta", "<i8"),
+    ("cls_idx", "varint", "<i8"),
+    ("wh_by_cls", "raw", "<f8"),
+    ("wm_by_cls", "raw", "<f8"),
+)
+
+
+def _pass_path(key: str, sig: str) -> str:
+    return os.path.join(spill_dir(), f"{key}.{sig}{PASS_SUFFIX}")
+
+
+def _vecprog_path(key: str, sig: str, tier: str) -> str:
+    return os.path.join(spill_dir(), f"{key}.{sig}.{tier}{VECPROG_SUFFIX}")
+
+
+def _pass_shm_name(key: str, sig: str) -> str:
+    digest = hashlib.sha256(f"{key}.{sig}".encode("utf-8")).hexdigest()
+    return _SHM_PREFIX + "p" + digest[:23]
+
+
+def _int_col(vals: list) -> np.ndarray:
+    """Exact int64 column; refuses silently-truncating inputs."""
+    if not vals:
+        return np.zeros(0, np.int64)
+    arr = np.asarray(vals)
+    if arr.dtype.kind not in "iu":
+        raise ValueError("non-integral value in an integer pass column")
+    return arr.astype(np.int64, copy=False)
+
+
+def _encode_col(filt: str, wire: str, arr: np.ndarray) -> bytes:
+    if filt == "delta":
+        return _delta_encode(arr)
+    if filt == "varint":
+        if len(arr) and int(arr.min()) < 0:
+            raise ValueError("negative value in a varint pass column")
+        return _varint_encode(arr.astype(np.uint64, copy=False))
+    return np.ascontiguousarray(arr).astype(wire, copy=False).tobytes()
+
+
+def _decode_col(filt: str, wire: str, raw: bytes, n: int) -> np.ndarray:
+    if filt == "delta":
+        arr = _delta_decode(raw, n)
+    elif filt == "varint":
+        arr = _varint_decode(raw, n).astype(np.int64)
+    else:
+        arr = np.frombuffer(raw, wire)
+    if len(arr) != n:
+        raise ValueError("pass column: row count mismatch")
+    return arr
+
+
+def _tuples_to_lists(seq) -> list:
+    return [list(t) for t in seq]
+
+
+def _lists_to_tuples(seq) -> list:
+    return [tuple(t) for t in seq]
+
+
+def _ragged_split(flat: np.ndarray, counts: np.ndarray) -> list:
+    """Rebuild a list of int tuples from (flattened values, counts)."""
+    vals = flat.tolist()
+    out = []
+    pos = 0
+    for c in counts.tolist():
+        out.append(tuple(vals[pos:pos + c]))
+        pos += c
+    if pos != len(vals):
+        raise ValueError("ragged pass column: length mismatch")
+    return out
+
+
+def _pack_blocks(
+    magic: bytes, header_extra: dict, cols: dict, layout, fast: bool = True
+) -> bytes:
+    """Assemble a pass-family container: header + compressed columns."""
+    compress = _compress_fast if fast else _compress
+    blocks: List[bytes] = []
+    col_meta = []
+    payload = hashlib.sha256()
+    for name, filt, wire in layout:
+        arr = cols[name]
+        raw = _encode_col(filt, wire, arr)
+        payload.update(raw)
+        codec, blob = compress(raw)
+        blocks.append(blob)
+        col_meta.append(
+            {"name": name, "codec": codec, "nbytes": len(blob), "n": len(arr)}
+        )
+    header_extra = dict(header_extra)
+    header_extra["format"] = PASS_FORMAT_VERSION
+    header_extra["columns"] = col_meta
+    header_extra["sha256"] = payload.hexdigest()
+    header = json.dumps(
+        header_extra, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    parts = [magic, bytes([PASS_FORMAT_VERSION]),
+             len(header).to_bytes(4, "little"), header]
+    parts.extend(blocks)
+    return b"".join(parts)
+
+
+def _unpack_blocks(magic: bytes, blob: bytes, layout) -> Tuple[dict, dict]:
+    """Inverse of :func:`_pack_blocks`: ``(header, columns)``."""
+    if blob[:4] != magic:
+        raise ValueError("bad compiled-pass container magic")
+    if blob[4] != PASS_FORMAT_VERSION:
+        raise ValueError(
+            f"compiled-pass format {blob[4]} != {PASS_FORMAT_VERSION} "
+            "(stale cache file)"
+        )
+    hlen = int.from_bytes(blob[5:9], "little")
+    header = json.loads(blob[9:9 + hlen].decode("utf-8"))
+    wire_by_name = {name: (filt, wire) for name, filt, wire in layout}
+    pos = 9 + hlen
+    cols = {}
+    payload = hashlib.sha256()
+    for meta in header["columns"]:
+        name = meta["name"]
+        if name not in wire_by_name:
+            raise ValueError(f"unknown pass column {name!r}")
+        filt, wire = wire_by_name[name]
+        block = blob[pos:pos + int(meta["nbytes"])]
+        if len(block) != int(meta["nbytes"]):
+            raise ValueError("truncated compiled-pass container")
+        pos += len(block)
+        raw = _decompress(meta["codec"], block)
+        payload.update(raw)
+        cols[name] = _decode_col(filt, wire, raw, int(meta["n"]))
+    if pos != len(blob):
+        raise ValueError("trailing bytes after pass columns")
+    if header.get("sha256") != payload.hexdigest():
+        raise ValueError("compiled-pass digest mismatch (corrupt container)")
+    if set(cols) != {name for name, _, _ in layout}:
+        raise ValueError("compiled-pass container is missing columns")
+    return header, cols
+
+
+def encode_pass(
+    prog: list,
+    inv_fields: Dict[str, float],
+    gc: dict,
+    *,
+    key: str,
+    sig: str,
+    defer: bool,
+    trace_sha256: str,
+    compat: dict,
+) -> bytes:
+    """Serialize a shared-pass ``(prog, inv, gc)`` triple into ``.rpp``.
+
+    Exact by construction: floats travel as f8 (bit-preserving), ints
+    as int64 columns that refuse non-integral values, bools as u1.
+    ``gc["vpu"]`` is *not* stored — no point engine reads it, and the
+    loader rebinds the requesting machine's VPU.  Raises
+    :class:`ValueError` on any operand the layout cannot carry exactly
+    (callers treat that as "don't cache").
+    """
+    kinds: List[int] = []
+    f0: List[float] = []
+    labels: List[str] = []
+    label_ids: dict = {}
+    t1_kid: List[int] = []
+    t2_base: List[int] = []
+    t2_nbytes: List[int] = []
+    t3_w: List[float] = []
+    t3_lat: List[int] = []
+    t3_occ: List[float] = []
+    t3_nbytes: List[int] = []
+    t3_nlines: List[int] = []
+    t3_write: List[bool] = []
+    t3_unit: List[bool] = []
+    t3_iid: List[int] = []
+    t3_nh0: List[int] = []
+    t3_na: List[int] = []
+    t3_addrs: List[int] = []
+    t3_nft: List[int] = []
+    t3_ft: List[int] = []
+    t4_w: List[float] = []
+    t4_lat: List[int] = []
+    t4_occ: List[float] = []
+    t4_write: List[bool] = []
+    t4_nh0: List[int] = []
+    t4_na: List[int] = []
+    t4_addrs: List[int] = []
+    t4_nft: List[int] = []
+    t4_ft: List[int] = []
+    t5_n: List[int] = []
+    t5_lines: List[int] = []
+    t6_w: List[float] = []
+    t6_cid: List[int] = []
+    for it in prog:
+        if type(it) is float:
+            kinds.append(0)
+            f0.append(it)
+            continue
+        tag = it[0]
+        kinds.append(tag)
+        if tag == 3:
+            (_, w, addrs, lat, occ1, nbytes, n_lines, write, unit, iid,
+             nh0, ft) = it
+            t3_w.append(w)
+            t3_lat.append(lat)
+            t3_occ.append(occ1)
+            t3_nbytes.append(nbytes)
+            t3_nlines.append(n_lines)
+            t3_write.append(write)
+            t3_unit.append(unit)
+            t3_iid.append(iid)
+            t3_nh0.append(nh0)
+            t3_na.append(len(addrs))
+            t3_addrs.extend(addrs)
+            t3_nft.append(len(ft))
+            t3_ft.extend(ft)
+        elif tag == 4:
+            _, w, addrs, lat, occ1, write, nh0, ft = it
+            t4_w.append(w)
+            t4_lat.append(lat)
+            t4_occ.append(occ1)
+            t4_write.append(write)
+            t4_nh0.append(nh0)
+            t4_na.append(len(addrs))
+            t4_addrs.extend(addrs)
+            t4_nft.append(len(ft))
+            t4_ft.extend(ft)
+        elif tag == 6:
+            t6_w.append(it[1])
+            t6_cid.append(it[2])
+        elif tag == 1:
+            label = it[1]
+            kid = label_ids.get(label)
+            if kid is None:
+                kid = label_ids[label] = len(labels)
+                labels.append(label)
+            t1_kid.append(kid)
+        elif tag == 2:
+            t2_base.append(it[1])
+            t2_nbytes.append(it[2])
+        elif tag == 5:
+            t5_n.append(len(it[1]))
+            t5_lines.extend(it[1])
+        else:
+            raise ValueError(f"unknown prog item tag {tag!r}")
+    distinct = gc["distinct"]
+    cols = {
+        "kinds": np.asarray(kinds, np.uint8),
+        "f0": np.asarray(f0, np.float64),
+        "t1_kid": _int_col(t1_kid),
+        "t2_base": _int_col(t2_base),
+        "t2_nbytes": _int_col(t2_nbytes),
+        "t3_w": np.asarray(t3_w, np.float64),
+        "t3_lat": _int_col(t3_lat),
+        "t3_occ": np.asarray(t3_occ, np.float64),
+        "t3_nbytes": _int_col(t3_nbytes),
+        "t3_nlines": _int_col(t3_nlines),
+        "t3_write": np.asarray(t3_write, np.uint8),
+        "t3_unit": np.asarray(t3_unit, np.uint8),
+        "t3_iid": _int_col(t3_iid),
+        "t3_nh0": _int_col(t3_nh0),
+        "t3_na": _int_col(t3_na),
+        "t3_addrs": _int_col(t3_addrs),
+        "t3_nft": _int_col(t3_nft),
+        "t3_ft": _int_col(t3_ft),
+        "t4_w": np.asarray(t4_w, np.float64),
+        "t4_lat": _int_col(t4_lat),
+        "t4_occ": np.asarray(t4_occ, np.float64),
+        "t4_write": np.asarray(t4_write, np.uint8),
+        "t4_nh0": _int_col(t4_nh0),
+        "t4_na": _int_col(t4_na),
+        "t4_addrs": _int_col(t4_addrs),
+        "t4_nft": _int_col(t4_nft),
+        "t4_ft": _int_col(t4_ft),
+        "t5_n": _int_col(t5_n),
+        "t5_lines": _int_col(t5_lines),
+        "t6_w": np.asarray(t6_w, np.float64),
+        "t6_cid": _int_col(t6_cid),
+        "gc_distinct": _int_col(sorted(distinct)),
+    }
+    header = {
+        "kind": "pass",
+        "key": key,
+        "sig": sig,
+        "defer": bool(defer),
+        "trace_sha256": trace_sha256,
+        "compat": compat,
+        "labels": labels,
+        "inv": dict(inv_fields),
+        "gc": {
+            "port_l1": gc["port_l1"],
+            "l1_lat": gc["l1_lat"],
+            "ooo_hide": gc["ooo_hide"],
+            "scalar_cpi": gc["scalar_cpi"],
+            "l2_shift": gc["l2_shift"],
+            "max_range_total": gc["max_range_total"],
+            "has_fills": gc["has_fills"],
+            "pf2_cfg": gc["pf2_cfg"],
+            "classes": _tuples_to_lists(gc["classes"]),
+        },
+    }
+    return _pack_blocks(_PASS_MAGIC, header, cols, _PASS_COLUMNS)
+
+
+def decode_pass(blob: bytes) -> Tuple[dict, list, Dict[str, float], dict]:
+    """Inverse of :func:`encode_pass`.
+
+    Returns ``(header, prog, inv_fields, gc)``; ``gc["vpu"]`` is
+    ``None`` — the caller rebinds the requesting machine's VPU.  Raises
+    :class:`ValueError` on corruption (callers quarantine + miss).
+    """
+    header, cols = _unpack_blocks(_PASS_MAGIC, blob, _PASS_COLUMNS)
+    kinds = cols["kinds"]
+    n = len(kinds)
+    counts = np.bincount(kinds, minlength=7)
+    if len(counts) > 7 and counts[7:].any():
+        raise ValueError("pass container: unknown item tag")
+    for tag, name in ((0, "f0"), (1, "t1_kid"), (2, "t2_base"),
+                      (3, "t3_w"), (4, "t4_w"), (5, "t5_n"), (6, "t6_w")):
+        if counts[tag] != len(cols[name]):
+            raise ValueError("pass container: tag count mismatch")
+    labels = [str(s) for s in header["labels"]]
+    out = np.empty(n, dtype=object)
+    if counts[0]:
+        out[kinds == 0] = cols["f0"].astype(object)
+    if counts[1]:
+        items = [(1, labels[k]) for k in cols["t1_kid"].tolist()]
+        out[kinds == 1] = np.fromiter(items, object, count=len(items))
+    if counts[2]:
+        items = [
+            (2, b, s)
+            for b, s in zip(cols["t2_base"].tolist(),
+                            cols["t2_nbytes"].tolist())
+        ]
+        out[kinds == 2] = np.fromiter(items, object, count=len(items))
+    if counts[3]:
+        addrs = _ragged_split(cols["t3_addrs"], cols["t3_na"])
+        fts = _ragged_split(cols["t3_ft"], cols["t3_nft"])
+        items = [
+            (3, w, a, lat, occ, nb, nl, wr, un, iid, nh, ft)
+            for w, a, lat, occ, nb, nl, wr, un, iid, nh, ft in zip(
+                cols["t3_w"].tolist(), addrs, cols["t3_lat"].tolist(),
+                cols["t3_occ"].tolist(), cols["t3_nbytes"].tolist(),
+                cols["t3_nlines"].tolist(),
+                (cols["t3_write"] != 0).tolist(),
+                (cols["t3_unit"] != 0).tolist(),
+                cols["t3_iid"].tolist(), cols["t3_nh0"].tolist(), fts,
+            )
+        ]
+        out[kinds == 3] = np.fromiter(items, object, count=len(items))
+    if counts[4]:
+        addrs = _ragged_split(cols["t4_addrs"], cols["t4_na"])
+        fts = _ragged_split(cols["t4_ft"], cols["t4_nft"])
+        items = [
+            (4, w, a, lat, occ, wr, nh, ft)
+            for w, a, lat, occ, wr, nh, ft in zip(
+                cols["t4_w"].tolist(), addrs, cols["t4_lat"].tolist(),
+                cols["t4_occ"].tolist(),
+                (cols["t4_write"] != 0).tolist(),
+                cols["t4_nh0"].tolist(), fts,
+            )
+        ]
+        out[kinds == 4] = np.fromiter(items, object, count=len(items))
+    if counts[5]:
+        lines = _ragged_split(cols["t5_lines"], cols["t5_n"])
+        items = [(5, ln) for ln in lines]
+        out[kinds == 5] = np.fromiter(items, object, count=len(items))
+    if counts[6]:
+        items = [
+            (6, w, c)
+            for w, c in zip(cols["t6_w"].tolist(), cols["t6_cid"].tolist())
+        ]
+        out[kinds == 6] = np.fromiter(items, object, count=len(items))
+    prog = out.tolist()
+    hgc = header["gc"]
+    gc = {
+        "vpu": None,
+        "port_l1": bool(hgc["port_l1"]),
+        "l1_lat": hgc["l1_lat"],
+        "ooo_hide": hgc["ooo_hide"],
+        "scalar_cpi": hgc["scalar_cpi"],
+        "l2_shift": hgc["l2_shift"],
+        "distinct": set(cols["gc_distinct"].tolist()),
+        "max_range_total": hgc["max_range_total"],
+        "has_fills": bool(hgc["has_fills"]),
+        "pf2_cfg": bool(hgc["pf2_cfg"]),
+        "classes": _lists_to_tuples(hgc["classes"]),
+    }
+    inv_fields = {str(k): float(v) for k, v in header["inv"].items()}
+    return header, prog, inv_fields, gc
+
+
+def encode_vecprog(
+    cols: dict,
+    inv_fields: Dict[str, float],
+    gc: dict,
+    *,
+    key: str,
+    sig: str,
+    tier: dict,
+    trace_sha256: str,
+    compat: dict,
+) -> bytes:
+    """Serialize compiled ``_VecProgram`` columns into ``.rvp``.
+
+    *cols* is the column dict (``base``, ``kid``, ``labels``,
+    ``cls_pos``, ``cls_idx``, ``cls_defs``, ``wh_by_cls``,
+    ``wm_by_cls``, ``max_nm``).  The header embeds the invariant stats
+    and the pricing subset of *gc*, so a warm singleton point needs
+    only this file — no trace decode, no ``.rpp`` decode.
+    """
+    arrays = {
+        "base": np.asarray(cols["base"], np.float64),
+        "kid": np.asarray(cols["kid"], np.int64),
+        "cls_pos": np.asarray(cols["cls_pos"], np.int64),
+        "cls_idx": np.asarray(cols["cls_idx"], np.int64),
+        "wh_by_cls": np.asarray(cols["wh_by_cls"], np.float64),
+        "wm_by_cls": np.asarray(cols["wm_by_cls"], np.float64),
+    }
+    header = {
+        "kind": "vecprog",
+        "key": key,
+        "sig": sig,
+        "tier": tier,
+        "trace_sha256": trace_sha256,
+        "compat": compat,
+        "labels": list(cols["labels"]),
+        "cls_defs": _tuples_to_lists(cols["cls_defs"]),
+        "max_nm": int(cols["max_nm"]),
+        "inv": dict(inv_fields),
+        "gc": {
+            "l1_lat": gc["l1_lat"],
+            "ooo_hide": gc["ooo_hide"],
+            "scalar_cpi": gc["scalar_cpi"],
+            "classes": _tuples_to_lists(gc["classes"]),
+        },
+    }
+    return _pack_blocks(_VECPROG_MAGIC, header, arrays, _VECPROG_COLUMNS)
+
+
+def decode_vecprog(blob: bytes) -> Tuple[dict, dict, Dict[str, float], dict]:
+    """Inverse of :func:`encode_vecprog`.
+
+    Returns ``(header, cols, inv_fields, gc_pricing)`` where *cols* is
+    the column dict of :func:`encode_vecprog` and *gc_pricing* holds
+    just the fields :func:`repro.machine.replay._point_pass_vec` reads.
+    """
+    header, arrays = _unpack_blocks(_VECPROG_MAGIC, blob, _VECPROG_COLUMNS)
+    cols = dict(arrays)
+    cols["labels"] = [str(s) for s in header["labels"]]
+    cols["cls_defs"] = _lists_to_tuples(header["cls_defs"])
+    cols["max_nm"] = int(header["max_nm"])
+    hgc = header["gc"]
+    gc_pricing = {
+        "l1_lat": hgc["l1_lat"],
+        "ooo_hide": hgc["ooo_hide"],
+        "scalar_cpi": hgc["scalar_cpi"],
+        "classes": _lists_to_tuples(hgc["classes"]),
+    }
+    inv_fields = {str(k): float(v) for k, v in header["inv"].items()}
+    return header, cols, inv_fields, gc_pricing
+
+
+def read_pass_header(path: str) -> dict:
+    """Parse just the JSON header of an ``.rpp``/``.rvp`` container."""
+    with open(path, "rb") as fh:
+        head = fh.read(9)
+        if head[:4] not in (_PASS_MAGIC, _VECPROG_MAGIC):
+            raise ValueError("not a compiled-pass container (bad magic)")
+        hlen = int.from_bytes(head[5:9], "little")
+        return json.loads(fh.read(hlen).decode("utf-8"))
+
+
+def store_pass(
+    prog: list,
+    inv_fields: Dict[str, float],
+    gc: dict,
+    *,
+    key: str,
+    sig: str,
+    defer: bool,
+    trace_sha256: str,
+    compat: dict,
+) -> bool:
+    """Best-effort write of a shared-pass output to the cache dir."""
+    try:
+        blob = encode_pass(
+            prog, inv_fields, gc, key=key, sig=sig, defer=defer,
+            trace_sha256=trace_sha256, compat=compat,
+        )
+    except ValueError:
+        return False  # an operand the wire layout cannot carry exactly
+    path = _pass_path(key, sig)
+
+    def write(tmp: str) -> None:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        faults.maybe_fault("passcache.write", key=key, path=tmp)
+
+    try:
+        atomic_replace(path, write, suffix=PASS_SUFFIX)
+    except OSError:
+        return False
+    faults.maybe_fault("passcache.spill", key=key, path=path)
+    return True
+
+
+def load_pass(
+    key: str, sig: str, trace_sha256: str
+) -> Optional[Tuple[dict, list, Dict[str, float], dict]]:
+    """Load a cached shared pass; ``None`` on miss, stale, or corrupt.
+
+    Checks shared memory first (a sweeping parent may have published
+    the blob for its workers), then the cache directory.  A container
+    whose embedded trace digest does not match *trace_sha256* is a
+    stale derivative of a re-captured trace: treated as a miss (the
+    next store overwrites it), never served.  Corrupt disk files are
+    quarantined via the resilience layer.
+    """
+    blob = _shm_read(_pass_shm_name(key, sig))
+    if blob is not None:
+        try:
+            out = decode_pass(blob)
+        except ValueError:
+            out = None
+        if out is not None and out[0].get("trace_sha256") == trace_sha256:
+            _note_load("pass_shm", key)
+            return out
+    path = _pass_path(key, sig)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return None
+    try:
+        out = decode_pass(blob)
+    except ValueError as exc:
+        quarantine(path, f"unreadable compiled pass: {exc}")
+        return None
+    if out[0].get("trace_sha256") != trace_sha256:
+        return None
+    _note_load("pass_spill", key)
+    return out
+
+
+def store_vecprog(
+    cols: dict,
+    inv_fields: Dict[str, float],
+    gc: dict,
+    *,
+    key: str,
+    sig: str,
+    tier: dict,
+    trace_sha256: str,
+    compat: dict,
+) -> bool:
+    """Best-effort write of a compiled point-pass tier."""
+    try:
+        blob = encode_vecprog(
+            cols, inv_fields, gc, key=key, sig=sig, tier=tier,
+            trace_sha256=trace_sha256, compat=compat,
+        )
+    except ValueError:
+        return False
+    path = _vecprog_path(key, sig, tier["token"])
+
+    def write(tmp: str) -> None:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        faults.maybe_fault("passcache.write", key=key, path=tmp)
+
+    try:
+        atomic_replace(path, write, suffix=VECPROG_SUFFIX)
+    except OSError:
+        return False
+    faults.maybe_fault("passcache.spill", key=key, path=path)
+    return True
+
+
+def load_vecprog(
+    key: str, sig: str, tier_token: str, trace_sha256: str
+) -> Optional[Tuple[dict, dict, Dict[str, float], dict]]:
+    """Load a compiled point-pass tier; ``None`` on miss/stale/corrupt."""
+    path = _vecprog_path(key, sig, tier_token)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return None
+    try:
+        out = decode_vecprog(blob)
+    except ValueError as exc:
+        quarantine(path, f"unreadable compiled point pass: {exc}")
+        return None
+    if out[0].get("trace_sha256") != trace_sha256:
+        return None
+    _note_load("vecprog", key)
+    return out
+
+
+def publish_pass_shm(key: str, sig: str) -> bool:
+    """Publish an on-disk ``.rpp`` blob to shared memory for workers.
+
+    Mirrors :func:`publish_shm` for traces: the sweeping parent calls
+    this before forking its pool so each worker decodes the compiled
+    pass from memory instead of re-reading the cache file.  Best-effort.
+    """
+    owner = f"{key}.{sig}{PASS_SUFFIX}"
+    if owner in _SHM_OWNED:
+        return True
+    try:
+        with open(_pass_path(key, sig), "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return False
+    return _shm_create(_pass_shm_name(key, sig), blob, owner)
+
+
+def split_cache_filename(fn: str) -> Optional[dict]:
+    """Classify a cache-directory entry by suffix and name shape.
+
+    Returns ``{"kind": "trace"|"pass"|"vecprog", "key": ..., ...}``
+    with ``sig`` (pass/vecprog) and ``tier`` (vecprog) components, or
+    ``None`` for files that belong to none of the three families.
+    """
+    if fn.endswith(SPILL_SUFFIX):
+        return {"kind": "trace", "key": fn[: -len(SPILL_SUFFIX)]}
+    if fn.endswith(PASS_SUFFIX):
+        stem = fn[: -len(PASS_SUFFIX)]
+        key, _, sig = stem.rpartition(".")
+        if not key or not sig:
+            return None
+        return {"kind": "pass", "key": key, "sig": sig}
+    if fn.endswith(VECPROG_SUFFIX):
+        stem = fn[: -len(VECPROG_SUFFIX)]
+        parts = stem.rsplit(".", 2)
+        if len(parts) != 3 or not all(parts):
+            return None
+        return {"kind": "vecprog", "key": parts[0], "sig": parts[1],
+                "tier": parts[2]}
+    return None
+
+
+# ----------------------------------------------------------------------
 # Cross-process load accounting
 # ----------------------------------------------------------------------
-_LOAD_COUNTS: Dict[str, int] = {"shm": 0, "spill": 0}
+_LOAD_COUNTS: Dict[str, int] = {
+    "shm": 0,
+    "spill": 0,
+    "pass_shm": 0,
+    "pass_spill": 0,
+    "vecprog": 0,
+}
 
 
 def load_counts() -> Dict[str, int]:
@@ -454,6 +1240,60 @@ def _shm_name(key: str) -> str:
     return _SHM_PREFIX + key[:24]
 
 
+def _shm_create(name: str, blob: bytes, owner_key: str) -> bool:
+    """Create a length-prefixed shared-memory segment holding *blob*.
+
+    The handle is parked in ``_SHM_OWNED`` under *owner_key* so
+    :func:`release_shm` can unlink it at pool teardown.  Best-effort:
+    ``True`` when the segment exists (fresh or already published),
+    ``False`` when shared memory is unavailable.
+    """
+    if owner_key in _SHM_OWNED:
+        return True
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=8 + len(blob)
+        )
+    except FileExistsError:
+        return True  # already published (e.g. by an outer sweep)
+    except Exception:
+        return False
+    try:
+        shm.buf[:8] = len(blob).to_bytes(8, "little")
+        shm.buf[8:8 + len(blob)] = blob
+        _SHM_OWNED[owner_key] = shm
+        return True
+    except Exception:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+        return False
+
+
+def _shm_read(name: str) -> Optional[bytes]:
+    """Attach a published segment and copy its blob out; None on failure."""
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+    except Exception:
+        return None
+    try:
+        n = int.from_bytes(bytes(shm.buf[:8]), "little")
+        return bytes(shm.buf[8:8 + n])
+    except Exception:
+        return None
+    finally:
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
 def publish_shm(key: str, trace: Optional[RecordedTrace] = None) -> bool:
     """Publish *trace* (or the registry entry) as a shared-memory segment.
 
@@ -469,49 +1309,18 @@ def publish_shm(key: str, trace: Optional[RecordedTrace] = None) -> bool:
     trace = trace if trace is not None else _REGISTRY.get(key)
     if trace is None:
         return False
-    try:
-        from multiprocessing import shared_memory
-
-        blob = encode_trace(trace)
-        shm = shared_memory.SharedMemory(
-            name=_shm_name(key), create=True, size=8 + len(blob)
-        )
-    except FileExistsError:
-        return True  # already published (e.g. by an outer sweep)
-    except Exception:
-        return False
-    try:
-        shm.buf[:8] = len(blob).to_bytes(8, "little")
-        shm.buf[8:8 + len(blob)] = blob
-        _SHM_OWNED[key] = shm
-        return True
-    except Exception:
-        try:
-            shm.close()
-            shm.unlink()
-        except Exception:
-            pass
-        return False
+    return _shm_create(_shm_name(key), encode_trace(trace, level="fast"), key)
 
 
 def _shm_get(key: str) -> Optional[RecordedTrace]:
     """Attach + decode a published segment; None on any failure."""
-    try:
-        from multiprocessing import shared_memory
-
-        shm = shared_memory.SharedMemory(name=_shm_name(key))
-    except Exception:
+    blob = _shm_read(_shm_name(key))
+    if blob is None:
         return None
     try:
-        n = int.from_bytes(bytes(shm.buf[:8]), "little")
-        return decode_trace(bytes(shm.buf[8:8 + n]))
+        return decode_trace(blob)
     except Exception:
         return None
-    finally:
-        try:
-            shm.close()
-        except Exception:
-            pass
 
 
 def release_shm(key: Optional[str] = None) -> None:
@@ -585,7 +1394,7 @@ def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
         path = _spill_path(key)
 
         def write(tmp: str) -> None:
-            save_compressed(trace, tmp)
+            save_compressed(trace, tmp, level="fast")
             faults.maybe_fault("tracecache.write", key=key, path=tmp)
 
         try:

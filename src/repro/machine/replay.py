@@ -80,8 +80,9 @@ lock-step with hierarchy.py when the model changes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +108,7 @@ from .trace import (
     OP_VBROADCAST,
     OP_VLOAD,
     OP_VSTORE,
+    TRACE_FORMAT_VERSION,
     AddressSpace,
     RecordedTrace,
     SampledTraceBase,
@@ -116,6 +118,7 @@ from .vpu import varith_cycles, vbroadcast_cycles
 __all__ = [
     "replay",
     "replay_sweep",
+    "replay_sweep_cached",
     "capture_sweep",
     "uniform_group",
     "group_mode",
@@ -316,9 +319,12 @@ def supports_axis(name: str) -> bool:
 
     Capability query for sweep drivers: a supported axis either forms a
     replayable group (:func:`group_mode` returns non-``None``) or, for
-    ``vlen``, splits into per-point captures that each replay.  An
-    unsupported axis (e.g. ``l1_size``, ``mem_port``) changes the
-    recorded walk itself and must simulate per point.
+    ``vlen``, splits into per-point captures that each replay — one
+    capture per VL serving every pricing axis at that VL, with warm
+    runs served from the persistent compiled-pass cache
+    (:func:`replay_sweep_cached`).  An unsupported axis (e.g.
+    ``l1_size``, ``mem_port``) changes the recorded walk itself and
+    must simulate per point.
     """
     return name in _REPLAY_AXES
 
@@ -1060,10 +1066,47 @@ def _vpu_price_table(classes: list, vpu, l1_lat, ooo_hide) -> list:
     return prices
 
 
+#: Engine knob for the trace-driven shared pass.  ``vec`` (the default)
+#: runs the NumPy column engine (:mod:`repro.machine.replay_vec`);
+#: ``python`` runs the per-event reference loop below.  The two are
+#: hex-identical on every SimStats field (tests/test_replay_vec.py);
+#: the loop is retained as the oracle the column engine is checked
+#: against, and as the fallback of record.
+_ENGINE_ENV = "REPRO_REPLAY_ENGINE"
+_ENGINES = ("vec", "vectorized", "python", "")
+
+
+def _replay_engine() -> str:
+    import os
+
+    val = os.environ.get(_ENGINE_ENV, "").strip().lower()
+    if val not in _ENGINES:
+        raise ValueError(
+            f"{_ENGINE_ENV}={val!r}: expected 'vec' or 'python'"
+        )
+    return "python" if val == "python" else "vec"
+
+
 def _shared_pass(
     trace: RecordedTrace, base: MachineConfig, defer_vpu: bool = False
 ):
-    """Drive a :class:`_GroupCapture` from a recorded trace's rows."""
+    """Shared pass over *trace*: dispatches on ``REPRO_REPLAY_ENGINE``."""
+    if _replay_engine() == "python":
+        return _shared_pass_python(trace, base, defer_vpu=defer_vpu)
+    from .replay_vec import _shared_pass_vec  # deferred: import cycle
+
+    return _shared_pass_vec(trace, base, defer_vpu=defer_vpu)
+
+
+def _shared_pass_python(
+    trace: RecordedTrace, base: MachineConfig, defer_vpu: bool = False
+):
+    """Drive a :class:`_GroupCapture` from a recorded trace's rows.
+
+    The per-event reference loop — the oracle the vectorized engine
+    (:func:`repro.machine.replay_vec._shared_pass_vec`) is verified
+    against, selectable via ``REPRO_REPLAY_ENGINE=python``.
+    """
     cap = _GroupCapture(base, defer_vpu=defer_vpu)
     labels = trace.labels
     stack = cap._kernel_stack
@@ -2249,9 +2292,24 @@ def _copy_stats(st: SimStats) -> SimStats:
 
 
 def _run_points(
-    prog: list, inv: SimStats, gc: dict, machines: Sequence[MachineConfig]
+    prog: list,
+    inv: SimStats,
+    gc: dict,
+    machines: Sequence[MachineConfig],
+    cache_ctx: Optional[Tuple[str, str, str, dict]] = None,
 ) -> List[SimStats]:
     """Price the shared-pass program on every machine of the group.
+
+    With *cache_ctx* — ``(trace_key, sig_token, trace_sha256, compat)``
+    — compiled tiers are exchanged with the on-disk pass cache: every
+    compile tries a ``load_vecprog`` first and persists its result on
+    a miss, and points that would take a per-point loop pass anyway
+    (singleton trimming budgets, full exact walks) route through the
+    compiler at the same cost so the tier exists for the next process.
+    Fast tiers additionally record the walk fingerprints of every
+    machine whose engine choice endorsed them, which is what lets the
+    warm :func:`replay_sweep_cached` path trust a fast tier without
+    re-deriving conflict-freedom from the program.
 
     Per point, picks the cheapest valid engine:
 
@@ -2285,7 +2343,46 @@ def _run_points(
     )
     can_fast = not gc["has_fills"] and not gc["pf2_cfg"]
     max_total = gc["max_range_total"]
+    if cache_ctx is not None:
+        from ..core import tracecache
+
+        if not tracecache.pass_cache_enabled():
+            cache_ctx = None
+
+    def _load_tier(tier):
+        if cache_ctx is None:
+            return None
+        from ..core import tracecache
+
+        key, sig_tok, digest, compat = cache_ctx
+        hit = tracecache.load_vecprog(key, sig_tok, tier["token"], digest)
+        if hit is None:
+            return None
+        cols = _cols_from_dict(hit[1])
+        if tier["kind"] == "fast":
+            have = set(hit[0]["tier"].get("fps", ()))
+            want = set(tier["fps"])
+            if not want <= have:
+                # A new machine endorsed this tier: refresh the stored
+                # fingerprint list so replay_sweep_cached can serve it
+                # to that machine without the program in hand.
+                _store_tier(dict(tier, fps=sorted(have | want)), cols)
+        return cols
+
+    def _store_tier(tier, cols):
+        if cache_ctx is None:
+            return
+        from ..core import tracecache
+
+        key, sig_tok, digest, compat = cache_ctx
+        tracecache.store_vecprog(
+            _cols_to_dict(cols), _inv_fields(inv), gc,
+            key=key, sig=sig_tok, tier=tier,
+            trace_sha256=digest, compat=compat,
+        )
+
     results: List[Optional[SimStats]] = [None] * len(machines)
+    fast_fps: dict = {}  # budget -> walk fps of endorsing machines
     eq_owner = {}  # sig -> index of the point that computes it
     eq_copies = []  # (index, owner index)
     fast_cands = []  # (index, budget-or-None): conflict-free
@@ -2322,6 +2419,7 @@ def _run_points(
             budget = (
                 None if max_total <= m.l2.size_bytes else m.l2.size_bytes
             )
+            fast_fps.setdefault(budget, set()).add(_machine_walk_fp(m))
             sig = (
                 budget,
                 m.l2.latency,
@@ -2359,17 +2457,29 @@ def _run_points(
     fast_jobs = []  # singleton trimming budgets: paired loop passes
     cols_by_budget = {}
     for i, budget in fast_cands:
-        if budget is not None and budget_count[budget] < 2:
+        if (
+            budget is not None
+            and budget_count[budget] < 2
+            and cache_ctx is None
+        ):
+            # A trimming budget owned by one point gains nothing from
+            # compiling unless the tier can be persisted for reuse.
             fast_jobs.append(i)
             continue
         cols = cols_by_budget.get(budget)
         if cols is None:
-            view = (
-                None
-                if budget is None
-                else MemoryHierarchy.pricing_view(machines[i])
-            )
-            cols = cols_by_budget[budget] = _compile_fast(prog, gc, view)
+            tier = _fast_tier(budget)
+            tier["fps"] = sorted(fast_fps.get(budget, ()))
+            cols = _load_tier(tier)
+            if cols is None:
+                view = (
+                    None
+                    if budget is None
+                    else MemoryHierarchy.pricing_view(machines[i])
+                )
+                cols = _compile_fast(prog, gc, view)
+                _store_tier(tier, cols)
+            cols_by_budget[budget] = cols
         results[i] = _point_pass_vec(cols, inv, machines[i], gc)
     j = 0
     while j + 1 < len(fast_jobs):
@@ -2382,14 +2492,31 @@ def _run_points(
         i = fast_jobs[j]
         results[i] = _point_pass_fast(prog, inv, machines[i], gc)
     if walk_jobs:
-        cols = _compile_walk(prog, gc, machines[walk_jobs[0]])
+        m = machines[walk_jobs[0]]
+        tier = _walk_tier(m)
+        cols = _load_tier(tier)
+        if cols is None:
+            cols = _compile_walk(prog, gc, m)
+            _store_tier(tier, cols)
         for i in walk_jobs:
             results[i] = _point_pass_vec(cols, inv, machines[i], gc)
     for i, hot in slow_jobs:
+        m = machines[i]
+        if cache_ctx is not None:
+            tier = _walk_tier(m)
+            cols = _load_tier(tier)
+            if cols is None and hot is None:
+                # The full exact walk costs the same whether it prices
+                # one point or compiles a reusable tier.
+                cols = _compile_walk(prog, gc, m)
+                _store_tier(tier, cols)
+            if cols is not None:
+                results[i] = _point_pass_vec(cols, inv, m, gc)
+                continue
         results[i] = (
-            _point_pass_hybrid(prog, inv, machines[i], gc, hot)
+            _point_pass_hybrid(prog, inv, m, gc, hot)
             if hot is not None
-            else _point_pass(prog, inv, machines[i], gc)
+            else _point_pass(prog, inv, m, gc)
         )
     for i, owner in eq_copies:
         results[i] = _copy_stats(results[owner])
@@ -2401,14 +2528,16 @@ def _run_points(
 # flow: L2 size, DRAM latency, DRAM bandwidth, lanes) would otherwise
 # re-walk the full event stream once per axis — by far the dominant
 # cost on a multi-million-event trace.  Keyed by the trace's content
-# key and the group-invariant remainder of the base config (the
-# normalization mirrors group_mode: every per-point-priced field is
-# canonicalised away, so two bases that would group together share an
-# entry).  The cached (prog, inv, gc) is treated as immutable by every
-# point engine.  Small and bounded: one l2-mode and one vpu-mode entry
-# per live capture is the realistic working set.
+# *digest* (not just its key: a quarantined-and-recaptured trace must
+# never serve a stale pass) and the group-invariant remainder of the
+# base config (the normalization mirrors group_mode: every
+# per-point-priced field is canonicalised away, so two bases that
+# would group together share an entry).  The cached (prog, inv, gc)
+# is treated as immutable by every point engine.  Sized for the
+# paper-figures flow: one always-deferred entry per live VL capture
+# (Figs. 6/8 sweep eight) plus slack for direct _shared_pass callers.
 _SHARED_PASS_MEMO: "dict" = {}
-_SHARED_PASS_MEMO_MAX = 4
+_SHARED_PASS_MEMO_MAX = 16
 
 
 def _shared_pass_sig(m: MachineConfig, defer_vpu: bool):
@@ -2432,24 +2561,69 @@ def _shared_pass_sig(m: MachineConfig, defer_vpu: bool):
     return norm
 
 
+def _sig_token(sig) -> str:
+    """Filesystem token for a shared-pass signature.
+
+    Dataclass ``repr`` is deterministic across processes (field order
+    is declaration order, float repr round-trips), so the token is
+    stable for the on-disk compiled-pass cache keyed by it.
+    """
+    return hashlib.sha256(repr(sig).encode("utf-8")).hexdigest()[:12]
+
+
+def _trace_compat(trace: RecordedTrace) -> dict:
+    return {
+        "isa_name": trace.isa_name,
+        "vlen_bits": trace.vlen_bits,
+        "l1_line_bytes": trace.l1_line_bytes,
+    }
+
+
+def _inv_fields(inv: SimStats) -> dict:
+    return {f: getattr(inv, f) for f in _INVARIANT_FIELDS}
+
+
+def _inv_from_fields(fields: dict) -> SimStats:
+    inv = SimStats()
+    for f in _INVARIANT_FIELDS:
+        setattr(inv, f, fields[f])
+    return inv
+
+
 def _shared_pass_cached(
     trace: RecordedTrace, base: MachineConfig, defer_vpu: bool
 ):
     if not trace.key:
         return _shared_pass(trace, base, defer_vpu=defer_vpu)
-    key = (
-        trace.key,
-        trace.n_events,
-        defer_vpu,
-        _shared_pass_sig(base, defer_vpu),
-    )
+    from ..core import tracecache
+
+    digest = trace.content_digest()
+    sig = _shared_pass_sig(base, defer_vpu)
+    key = (trace.key, digest, defer_vpu, sig)
     hit = _SHARED_PASS_MEMO.get(key)
     if hit is not None:
         return hit
-    out = _shared_pass(trace, base, defer_vpu=defer_vpu)
+    out = None
+    from_disk = False
+    use_disk = tracecache.pass_cache_enabled()
+    if use_disk:
+        loaded = tracecache.load_pass(trace.key, _sig_token(sig), digest)
+        if loaded is not None:
+            _header, prog, inv_fields, gc = loaded
+            gc["vpu"] = base.vpu
+            out = (prog, _inv_from_fields(inv_fields), gc)
+            from_disk = True
+    if out is None:
+        out = _shared_pass(trace, base, defer_vpu=defer_vpu)
     while len(_SHARED_PASS_MEMO) >= _SHARED_PASS_MEMO_MAX:
         _SHARED_PASS_MEMO.pop(next(iter(_SHARED_PASS_MEMO)))
     _SHARED_PASS_MEMO[key] = out
+    if use_disk and not from_disk:
+        tracecache.store_pass(
+            out[0], _inv_fields(out[1]), out[2],
+            key=trace.key, sig=_sig_token(sig), defer=defer_vpu,
+            trace_sha256=digest, compat=_trace_compat(trace),
+        )
     return out
 
 
@@ -2463,6 +2637,13 @@ def replay_sweep(
     shared-pass split does not support (see :func:`group_mode`; e.g. a
     VL sweep, whose event streams differ per point) — the caller
     should fall back to per-point simulation.
+
+    The shared pass always runs in deferred-VPU mode: tag-6 classes
+    resolve to the exact floats an eagerly-priced pass would have
+    appended (see :func:`_vpu_price_table`), so the result is bitwise
+    unchanged, and one cached pass serves *every* replayable axis of a
+    capture — L2 size, DRAM latency/bandwidth, and lane count — both
+    in the memo and in the on-disk compiled-pass cache.
     """
     machines = list(machines)
     if not machines:
@@ -2472,10 +2653,162 @@ def replay_sweep(
     mode = group_mode(machines)
     if mode is None:
         return None
-    prog, inv, gc = _shared_pass_cached(
-        trace, machines[0], defer_vpu=mode == "vpu"
-    )
-    return _run_points(prog, inv, gc, machines)
+    prog, inv, gc = _shared_pass_cached(trace, machines[0], defer_vpu=True)
+    ctx = None
+    if trace.key:
+        sig = _shared_pass_sig(machines[0], True)
+        ctx = (
+            trace.key,
+            _sig_token(sig),
+            trace.content_digest(),
+            _trace_compat(trace),
+        )
+    return _run_points(prog, inv, gc, machines, cache_ctx=ctx)
+
+
+def _machine_walk_fp(m: MachineConfig) -> str:
+    """Fingerprint of the fields that steer a point's L2 walk."""
+    return f"{m.l2!r}|{m.l2_prefetcher!r}"
+
+
+def _fast_tier(budget) -> dict:
+    desc = f"fast:{budget}"
+    return {
+        "kind": "fast",
+        "token": hashlib.sha256(desc.encode("utf-8")).hexdigest()[:12],
+        "desc": desc,
+        "fps": [],
+    }
+
+
+def _walk_tier(m: MachineConfig) -> dict:
+    desc = f"walk:{_machine_walk_fp(m)}"
+    return {
+        "kind": "walk",
+        "token": hashlib.sha256(desc.encode("utf-8")).hexdigest()[:12],
+        "desc": desc,
+        "fps": [],
+    }
+
+
+def _cols_to_dict(cols: _VecProgram) -> dict:
+    return {s: getattr(cols, s) for s in _VecProgram.__slots__}
+
+
+def _cols_from_dict(d: dict) -> _VecProgram:
+    cols = _VecProgram()
+    for s in _VecProgram.__slots__:
+        setattr(cols, s, d[s])
+    return cols
+
+
+def replay_sweep_cached(
+    key: str, machines: Sequence[MachineConfig]
+) -> Optional[List[SimStats]]:
+    """Price a sweep group straight from the compiled-pass cache.
+
+    The warm path for a spilled trace: the trace's content digest and
+    compatibility fields come from the in-process registry or the
+    spill file's JSON header (no column decode), the shared pass from
+    the memo or its ``.rpp`` container, and — for a singleton group —
+    the whole answer from a compiled ``.rvp`` tier, collapsing a warm
+    figure point to one column-arithmetic pricing.  Returns ``None``
+    unless every needed artifact is cached and digest-consistent; the
+    caller falls back to :func:`replay_sweep` after loading (or
+    re-capturing) the trace.
+    """
+    from ..core import tracecache
+
+    if not key or not tracecache.pass_cache_enabled():
+        return None
+    machines = list(machines)
+    if not machines:
+        return []
+    mode = group_mode(machines)
+    if mode is None:
+        return None
+    trace = tracecache._REGISTRY.get(key)
+    if trace is not None:
+        digest = trace.content_digest()
+        compat = _trace_compat(trace)
+    else:
+        try:
+            header = tracecache.read_header(tracecache._spill_path(key))
+        except (OSError, ValueError):
+            return None
+        if header.get("format") != TRACE_FORMAT_VERSION:
+            return None
+        digest = header.get("sha256")
+        compat = {
+            "isa_name": header.get("isa_name"),
+            "vlen_bits": header.get("vlen_bits"),
+            "l1_line_bytes": header.get("l1_line_bytes"),
+        }
+    if not digest:
+        return None
+    for m in machines:
+        if (
+            compat["isa_name"] != m.isa_name
+            or compat["vlen_bits"] != m.vlen_bits
+            or compat["l1_line_bytes"] != m.l1.line_bytes
+        ):
+            return None
+    sig = _shared_pass_sig(machines[0], True)
+    tok = _sig_token(sig)
+    ctx = (key, tok, digest, compat)
+    memo_key = (key, digest, True, sig)
+    hit = _SHARED_PASS_MEMO.get(memo_key)
+    if hit is not None:
+        prog, inv, gc = hit
+        return _run_points(prog, inv, gc, machines, cache_ctx=ctx)
+    if len(machines) == 1:
+        st = _cached_point(key, tok, digest, machines[0])
+        if st is not None:
+            return [st]
+    loaded = tracecache.load_pass(key, tok, digest)
+    if loaded is None:
+        return None
+    _header, prog, inv_fields, gc = loaded
+    gc["vpu"] = machines[0].vpu
+    inv = _inv_from_fields(inv_fields)
+    out = (prog, inv, gc)
+    while len(_SHARED_PASS_MEMO) >= _SHARED_PASS_MEMO_MAX:
+        _SHARED_PASS_MEMO.pop(next(iter(_SHARED_PASS_MEMO)))
+    _SHARED_PASS_MEMO[memo_key] = out
+    return _run_points(prog, inv, gc, machines, cache_ctx=ctx)
+
+
+def _cached_point(
+    key: str, sig_token: str, digest: str, m: MachineConfig
+) -> Optional[SimStats]:
+    """Serve one point entirely from a compiled ``.rvp`` tier.
+
+    Tier files embed the invariant stats and the pricing subset of the
+    group constants, so nothing else needs decoding.  A walk tier's
+    token is derived from this machine's own L2 walk fields, so a
+    token match is validity; a fast tier is only trusted when this
+    machine's walk fingerprint is recorded in it (the engine choice
+    that compiled it was made for exactly this L2/prefetcher, so the
+    conflict-free eligibility and budget decision are known to apply).
+    """
+    from ..core import tracecache
+
+    fp = _machine_walk_fp(m)
+    for tier in (
+        _walk_tier(m),
+        _fast_tier(None),
+        _fast_tier(m.l2.size_bytes),
+    ):
+        hit = tracecache.load_vecprog(key, sig_token, tier["token"], digest)
+        if hit is None:
+            continue
+        header, col_dict, inv_fields, gc_pricing = hit
+        if tier["kind"] == "fast" and fp not in header["tier"].get("fps", ()):
+            continue
+        cols = _cols_from_dict(col_dict)
+        inv = _inv_from_fields(inv_fields)
+        return _point_pass_vec(cols, inv, m, gc_pricing)
+    return None
 
 
 def capture_sweep(

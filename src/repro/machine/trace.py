@@ -225,7 +225,7 @@ class RecordedTrace:
 
     __slots__ = (
         "key", "isa_name", "vlen_bits", "l1_line_bytes", "labels",
-        "buffers", "meta", "_cols", "_rows",
+        "buffers", "meta", "_cols", "_rows", "_digest",
     )
 
     #: Column (name, dtype) pairs, in row-tuple order.
@@ -257,6 +257,7 @@ class RecordedTrace:
             self._cols = None  # built lazily from rows (see _columns)
         self.meta: Dict = dict(meta or {})
         self._rows = rows
+        self._digest: Optional[str] = None
 
     def _columns(self) -> tuple:
         """The eight parallel arrays, columnarizing the rows on demand.
@@ -313,6 +314,22 @@ class RecordedTrace:
     def nbytes(self) -> int:
         """In-memory size of the columnar encoding."""
         return sum(c.nbytes for c in self._columns())
+
+    def content_digest(self) -> str:
+        """sha256 of the column data, labels and buffers — lazily cached.
+
+        Loaders that already computed (and verified) the digest pre-seed
+        the cache, so warm paths never re-hash; a freshly captured trace
+        pays one hash on first use.  The replay layer keys its shared-pass
+        memo and the persistent compiled-pass cache on this value, so a
+        quarantined-and-recaptured trace (same key, different bytes) can
+        never be served a stale compiled pass.
+        """
+        if self._digest is None:
+            self._digest = self._content_digest(
+                self._columns(), self.labels, self.buffers
+            )
+        return self._digest
 
     def compatible_with(self, machine) -> bool:
         """True if *machine* can replay this trace (VL bucket match)."""
@@ -402,7 +419,7 @@ class RecordedTrace:
             digest = cls._content_digest(cols, labels, buffers)
             if header.get("sha256") != digest:
                 raise ValueError("trace content digest mismatch (corrupt spill)")
-            return cls(
+            tr = cls(
                 header.get("key"),
                 header["isa_name"],
                 header["vlen_bits"],
@@ -412,6 +429,8 @@ class RecordedTrace:
                 meta=header.get("meta"),
                 buffers=buffers,
             )
+            tr._digest = digest
+            return tr
 
 
 class _RecorderHierarchy:

@@ -18,9 +18,14 @@ drive the paper's figure axes without running a single kernel:
 3. bitwise-compare one point per axis against a direct, trace-off
    simulation (``float.hex`` equality on every ``SimStats`` field).
 
-Vector-length axes (Figs. 6/8) are excluded by design: a VL change
-alters the event stream itself, so each VL point replays from its own
-capture rather than from this one (see docs/TRACE_REPLAY.md).
+Vector-length axes (Figs. 6/8) change the event stream itself, so each
+VL point replays from its own capture rather than from the committed
+one (see docs/TRACE_REPLAY.md).  Step 4 drives them anyway: a cold VL
+sweep (one capture per VL, the 512-bit point replaying from the
+committed trace) followed by a warm re-run with the process-local
+registry and pass memo cleared, asserting every warm point is served
+from the persistent compiled-pass cache (``.rpp``/``.rvp``) with zero
+trace-column decodes — bitwise identical to the cold run.
 
 Deliberately not named ``test_*.py``: pytest must not collect it.  CI
 runs it directly (``python tests/smoke_paper_figures.py``); it prints
@@ -30,12 +35,14 @@ one machine-parseable ``BENCH`` line and exits 0 on success.
 import json
 import os
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core import (  # noqa: E402
-    sweep, sweep_cache_sizes, sweep_lanes, tracecache as tc,
+    sweep, sweep_cache_sizes, sweep_lanes, sweep_vector_lengths,
+    tracecache as tc,
 )
 from repro.machine import rvv_gem5  # noqa: E402
 from repro.machine.simulator import SimStats  # noqa: E402
@@ -82,6 +89,90 @@ def assert_bitwise(a: SimStats, b: SimStats, what: str):
             raise SystemExit(f"{what}: field {name} drifted: {ah} != {bh}")
     if a.kernel_cycles != b.kernel_cycles:
         raise SystemExit(f"{what}: kernel_cycles drifted")
+
+
+VL_AXIS = [256, 512, 1024]
+
+
+def vl_axis_phase(net, policy, runtime_key, trace):
+    """Figs. 6/8: drive the vector-length axis through the VL path.
+
+    Cold sweep captures one trace per VL (the 512-bit point replays
+    from the committed capture seeded into the registry), with the
+    compiled-pass cache persisting ``.rpp``/``.rvp`` artifacts to a
+    scratch trace dir.  The warm re-run starts from a cleared registry
+    and pass memo, so every point must come back off those artifacts:
+    all sources ``replayed``, at least one compiled-pass hit per VL,
+    zero trace-column decodes, and bitwise-identical stats.
+    """
+    from repro.machine import replay
+
+    env_keys = ("REPRO_TRACE_DIR", "REPRO_TRACE_SPILL", "REPRO_PASS_CACHE")
+    saved = {k: os.environ.get(k) for k in env_keys}
+    timings = {}
+    with tempfile.TemporaryDirectory(prefix="figures-vl-") as tmp:
+        os.environ["REPRO_TRACE_DIR"] = tmp
+        os.environ["REPRO_TRACE_SPILL"] = "1"
+        os.environ["REPRO_PASS_CACHE"] = "1"
+        try:
+            tc.clear_registry()
+            replay._SHARED_PASS_MEMO.clear()
+            tc.put(runtime_key, trace, spill=True)
+
+            def run():
+                return sweep_vector_lengths(
+                    net, VL_AXIS, lambda v: base_machine(vlen_bits=v),
+                    policy, n_layers=N_LAYERS, use_cache=False,
+                )
+
+            t0 = time.perf_counter()
+            cold = run()
+            timings["cold_s"] = round(time.perf_counter() - t0, 3)
+            if cold.sources[VL_AXIS.index(512)] != "replayed":
+                raise SystemExit(
+                    "VL axis: the 512-bit point should have replayed from "
+                    f"the committed capture, got sources={cold.sources}"
+                )
+
+            # Forget everything this process learned; the warm sweep may
+            # only use what the cold one persisted to disk.
+            tc.clear_registry()
+            replay._SHARED_PASS_MEMO.clear()
+            tc.reset_load_counts()
+            t0 = time.perf_counter()
+            warm = run()
+            timings["warm_s"] = round(time.perf_counter() - t0, 3)
+            if warm.sources != ["replayed"] * len(VL_AXIS):
+                raise SystemExit(
+                    f"VL axis warm: expected every point replayed, got "
+                    f"sources={warm.sources}"
+                )
+            counts = tc.load_counts()
+            hits = (counts["vecprog"] + counts["pass_spill"]
+                    + counts["pass_shm"])
+            if hits < len(VL_AXIS):
+                raise SystemExit(
+                    f"VL axis warm: expected >= {len(VL_AXIS)} compiled-"
+                    f"pass cache hits, load counts were {counts}"
+                )
+            if counts["shm"] or counts["spill"]:
+                raise SystemExit(
+                    f"VL axis warm: replays should skip the event walk "
+                    f"entirely, but {counts['shm'] + counts['spill']} "
+                    f"trace streams were decoded"
+                )
+            for v, a, b in zip(VL_AXIS, cold.stats, warm.stats):
+                assert_bitwise(a, b, f"VL axis vlen={v} warm-vs-cold")
+            timings["compiled_pass_hits"] = hits
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+            tc.clear_registry()
+            replay._SHARED_PASS_MEMO.clear()
+    return timings
 
 
 def main() -> int:
@@ -157,6 +248,8 @@ def main() -> int:
             direct.stats[0], results[name].stats[idx], f"axis {name}"
         )
 
+    vl_axis = vl_axis_phase(net, policy, runtime_key, trace)
+
     elapsed = round(time.perf_counter() - t_start, 3)
     row = {
         "bench": "paper_figures_smoke",
@@ -164,7 +257,9 @@ def main() -> int:
         "n_events": trace.n_events,
         "decode_s": round(t_decode, 3),
         "axis_s": axis_s,
-        "points_replayed": sum(len(r.axis) for r in results.values()),
+        "vl_axis": vl_axis,
+        "points_replayed": sum(len(r.axis) for r in results.values())
+        + len(VL_AXIS),
         "total_s": elapsed,
     }
     print("BENCH " + json.dumps(row, sort_keys=True))

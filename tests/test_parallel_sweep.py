@@ -172,11 +172,19 @@ class TestParallelReplay:
         stats, sources = out
         assert sources.count("replayed") >= 6
         lines = [ln.split() for ln in log.read_text().splitlines()]
-        assert lines, "workers should have loaded the published traces"
-        # Every cross-process load came from shared memory...
-        assert {src for _, src, _ in lines} == {"shm"}
+        # Compiled-pass artifacts (vecprog/pass_shm/pass_spill) may also
+        # be loaded — they exist to *avoid* trace decodes, so only the
+        # trace-stream loads are constrained here.
+        trace_loads = [
+            (pid, src, key)
+            for pid, src, key in lines
+            if src in ("shm", "spill")
+        ]
+        assert trace_loads, "workers should have loaded the published traces"
+        # Every cross-process trace load came from shared memory...
+        assert {src for _, src, _ in trace_loads} == {"shm"}
         # ...and no worker decoded the same stream twice.
-        seen = [(pid, key) for pid, _, key in lines]
+        seen = [(pid, key) for pid, _, key in trace_loads]
         assert len(seen) == len(set(seen))
         tracecache.clear_registry()
 
