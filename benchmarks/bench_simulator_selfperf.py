@@ -564,6 +564,87 @@ def test_compiled_pass_cache_warm(benchmark, yolo_net, tmp_path):
     assert speedup >= 3.0
 
 
+def test_pruned_autotune_selfperf(benchmark):
+    """Model-guided block-size search vs the exhaustive grid.
+
+    Runs the 48-point Table-II-style blocking grid for one YOLOv3 GEMM
+    shape twice through ``autotune_blocks``: exhaustively (every point
+    simulated) and model-guided (``prune=9``: the static cost model
+    ranks all 48, only the top 9 simulate).  The headline numbers are
+    the wall-clock speedup and the quality of the shortcut — the
+    pruned search's winner must stay within a few percent of the
+    exhaustive winner (the top-1-containment acceptance bar itself is
+    asserted per-preset in tests/test_predict.py).
+    """
+    from repro.core import autotune_blocks
+    from repro.kernels.gemm_6loop import BlockSizes
+
+    M, N, K = 64, 5776, 288  # yolov3-tiny 76x76 im2col shape family
+    grid = [
+        BlockSizes(m, n, k)
+        for m in (16, 32, 48, 64)
+        for n in (256, 512, 1024)
+        for k in (64, 128, 256, 512)
+    ]
+    prune = 9
+    machine = rvv_gem5(vlen_bits=512, lanes=8, l2_mb=1)
+
+    def run():
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            best_full, full = autotune_blocks(machine, M, N, K,
+                                              candidates=grid)
+            t_full = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            best_pruned, pruned = autotune_blocks(machine, M, N, K,
+                                                  candidates=grid,
+                                                  prune=prune)
+            t_pruned = time.perf_counter() - t0
+        finally:
+            gc.enable()
+            gc.collect()
+        return best_full, full, best_pruned, pruned, t_full, t_pruned
+
+    best_full, full, best_pruned, pruned, t_full, t_pruned = run_once(
+        benchmark, run
+    )
+
+    n_sim = sum(r.source == "simulated" for r in pruned)
+    speedup = t_full / t_pruned if t_pruned > 0 else float("inf")
+    cycles = {r.blocks: r.cycles for r in full}
+    quality = cycles[best_pruned] / cycles[best_full]
+
+    row = {
+        "bench": "pruned_autotune",
+        "n_points": len(grid),
+        "simulated": n_sim,
+        "exhaustive_s": round(t_full, 4),
+        "pruned_s": round(t_pruned, 4),
+        "speedup": round(speedup, 3),
+        "best_exhaustive": str(best_full),
+        "best_pruned": str(best_pruned),
+        "quality": round(quality, 4),
+    }
+    banner(f"Model-guided autotune ({len(grid)}-point grid, prune={prune})")
+    print(f"exhaustive ({len(grid)} sims)    : {t_full:.3f}s")
+    print(f"pruned ({n_sim} sims + model) : {t_pruned:.3f}s")
+    print(f"speedup                 : {speedup:.2f}x")
+    print(f"winner quality          : {quality:.4f}x of exhaustive best")
+    print("BENCH " + json.dumps(row, sort_keys=True))
+    benchmark.extra_info.update(row)
+
+    # The model may only simulate the requested survivor budget...
+    assert n_sim == prune
+    assert all(
+        r.source in ("simulated", "pruned-by-model") for r in pruned
+    )
+    # ...must actually be the cheap path...
+    assert speedup >= 2.0
+    # ...and must not cost more than a few percent of winner quality.
+    assert quality <= 1.05
+
+
 def test_analysis_selfperf(benchmark, yolo_net):
     """Static-analyzer runtime on an already-captured trace.
 

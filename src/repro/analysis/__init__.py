@@ -14,7 +14,12 @@ The pass pipeline of ``repro analyze`` (see docs/ANALYSIS.md):
    where the miss curve knees (Table III / Fig. 5 without simulating);
 4. :func:`~repro.analysis.bounds.static_bounds` — per-kernel
    compute/memory cycle floors, a sound lower bound on simulated
-   cycles, optionally asserted against a real replay (*oracle* mode).
+   cycles, optionally asserted against a real replay (*oracle* mode);
+5. :func:`~repro.analysis.predict.predict_cycles` — the static cost
+   model: reuse-distance miss curves composed with the simulator's
+   pricing rules into an absolute cycle estimate, used to rank
+   co-design candidates before any simulation (``repro predict``,
+   ``autotune --prune``, ``sweep(prune=)``).
 
 Everything runs on the cached :class:`~repro.machine.trace
 .RecordedTrace` — analysis of an already-captured network re-traces
@@ -29,6 +34,16 @@ from .cachestate import cache_state_findings
 from .defuse import defuse_trace
 from .findings import AnalysisReport, Finding
 from .lint import lint_config
+from .predict import (
+    DRIFT_BAND,
+    PredictedCycles,
+    TraceSummary,
+    check_predict_against_sim,
+    gemm_summary,
+    predict_cycles,
+    predicted_stats,
+    summarize_trace,
+)
 from .reusedist import ReuseReport, reuse_distances
 from .rules import RULES, filter_findings, rule_rows
 from .verifier import verify_trace
@@ -36,22 +51,30 @@ from .workingset import predict_l2_knee, working_sets
 
 __all__ = [
     "AnalysisReport",
+    "DRIFT_BAND",
     "Finding",
+    "PredictedCycles",
     "RULES",
     "ReuseReport",
+    "TraceSummary",
     "analyze_network",
     "analyze_trace",
     "cache_state_findings",
     "canonical_report",
     "check_bounds_against_sim",
+    "check_predict_against_sim",
     "defuse_trace",
     "diff_documents",
     "filter_findings",
+    "gemm_summary",
     "lint_config",
+    "predict_cycles",
     "predict_l2_knee",
+    "predicted_stats",
     "reuse_distances",
     "rule_rows",
     "static_bounds",
+    "summarize_trace",
     "verify_trace",
     "working_sets",
 ]
@@ -70,7 +93,7 @@ def _policy_name(policy) -> str:
 def analyze_trace(trace, machine, policy=None, oracle: bool = False,
                   net_name: str = "?", max_examples: int = 3,
                   rules=None, ignore=None,
-                  reuse: bool = True) -> AnalysisReport:
+                  reuse: bool = True, predict: bool = True) -> AnalysisReport:
     """Run the full pass pipeline over an already-captured trace.
 
     *max_examples* caps the example events attached to each aggregated
@@ -79,7 +102,9 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
     of rule-id prefixes (``"dataflow"``, ``"trace/oob-overrun"``, ...)
     selecting which findings the report keeps — estimator sections are
     always produced.  *reuse* toggles the temporal reuse-distance pass
-    (:mod:`repro.analysis.reusedist`).
+    (:mod:`repro.analysis.reusedist`); *predict* the static cost model
+    (:mod:`repro.analysis.predict`), which under *oracle* is also
+    drift-gated against the replayed cycles (``predict/*`` rules).
     """
     findings = lint_config(machine, policy) if policy is not None else []
     findings += verify_trace(trace, machine, max_examples=max_examples)
@@ -95,6 +120,10 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
         reuse_knee = rr.predicted_knee_bytes()
         reuse_curve = rr.miss_curve()
 
+    pred = None
+    if predict:
+        pred = predict_cycles(summarize_trace(trace, machine), machine)
+
     oracle_info = None
     if oracle:
         from ..machine.replay import replay
@@ -109,6 +138,14 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
             "bound_tightness": bound / stats.cycles if stats.cycles else 0.0,
             "l2_miss_rate": stats.l2_miss_rate,
         }
+        if pred is not None:
+            findings += check_predict_against_sim(
+                pred, stats.cycles, bound_cycles=bound, where=net_name
+            )
+            oracle_info["predicted_mcycles"] = pred.cycles / 1e6
+            oracle_info["predict_ratio"] = (
+                pred.cycles / stats.cycles if stats.cycles else 0.0
+            )
 
     findings = filter_findings(findings, rules=rules, ignore=ignore)
 
@@ -126,6 +163,7 @@ def analyze_trace(trace, machine, policy=None, oracle: bool = False,
         reuse=reuse_rows,
         reuse_knee_bytes=reuse_knee,
         reuse_curve=reuse_curve,
+        predict=pred.as_dict() if pred is not None else None,
         max_examples=max_examples,
         oracle=oracle_info,
     )
@@ -142,6 +180,7 @@ def analyze_network(
     rules=None,
     ignore=None,
     reuse: bool = True,
+    predict: bool = True,
 ) -> AnalysisReport:
     """Analyze *net* on *machine*: lint, verify, estimate, bound.
 
@@ -164,6 +203,7 @@ def analyze_network(
     report = analyze_trace(
         trace, machine, policy=policy, oracle=oracle, net_name=net.name,
         max_examples=max_examples, rules=rules, ignore=ignore, reuse=reuse,
+        predict=predict,
     )
     report.trace_cached = was_cached
     return report

@@ -248,7 +248,7 @@ def _check_buffer(view, stream, kind, line, max_examples, findings):
         meta.append({
             "write": w,
             "hull": (int(stream.starts[sl].min()), int(stream.ends[sl].max())),
-            "labels": set(int(x) for x in labels),
+            "labels": {int(x) for x in labels},
             "slice": sl,
         })
 

@@ -108,6 +108,7 @@ class AnalysisReport:
     reuse: List[Dict] = field(default_factory=list)
     reuse_knee_bytes: int = 0
     reuse_curve: Dict = field(default_factory=dict)
+    predict: Optional[Dict] = None
     max_examples: int = 3
     oracle: Optional[Dict] = None
 
@@ -160,6 +161,18 @@ class AnalysisReport:
                 title=f"temporal reuse (predicted L2 knee "
                 f"{self.reuse_knee_bytes / 2**20:.0f}MB)",
             ))
+        if self.predict is not None:
+            head = {
+                k: f"{v / 1e6:.3f}M" if k.endswith("cycles") or k == "flops"
+                else f"{v:.4f}"
+                for k, v in self.predict.items()
+                if k != "buffers" and isinstance(v, (int, float))
+            }
+            parts.append(format_kv("static cost model (predicted)", head))
+            if self.predict.get("buffers"):
+                parts.append(format_table(
+                    self.predict["buffers"], title="predicted per-buffer traffic"
+                ))
         if self.oracle is not None:
             parts.append(format_kv("oracle (replayed simulation)", self.oracle))
         return "\n\n".join(parts)
@@ -183,6 +196,7 @@ class AnalysisReport:
                 "reuse": self.reuse,
                 "reuse_knee_bytes": self.reuse_knee_bytes,
                 "reuse_curve": self.reuse_curve,
+                "predict": self.predict,
                 "max_examples": self.max_examples,
                 "oracle": self.oracle,
             },

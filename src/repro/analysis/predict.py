@@ -1,0 +1,754 @@
+"""Static cost model: predicted cycles with no simulation or replay.
+
+The analysis passes already compute the three ingredients of a cycle
+count — reuse-distance miss curves (:mod:`repro.analysis.reusedist`),
+per-buffer working sets, and roofline compute floors
+(:mod:`repro.analysis.bounds`) — but as *diagnostics*.  This pass
+composes them into a **predictor**: :func:`predict_cycles` prices a
+:class:`TraceSummary` on any candidate :class:`MachineConfig` in
+microseconds, which is what lets the model-guided tuner
+(:mod:`repro.core.autotune`) and the ``prune=`` hook of
+:func:`repro.core.codesign.sweep` rank a whole co-design grid statically
+and simulate only the top-K survivors.
+
+Model structure (mirrors ``simulator.vmem_event_cycles`` term by term):
+
+* **Compute** — exact ``varith_cycles``/``vbroadcast`` masses per
+  distinct instruction shape, plus scalar bookkeeping at ``scalar_cpi``.
+* **Memory base** — per-event issue overheads and port-transfer cycles,
+  exact (they do not depend on cache state).
+* **Stall and fill occupancy** — the only stochastic part.  Each
+  buffer's reuse-distance histogram is converted to per-line-touch miss
+  probabilities at every cache level (set-associativity-corrected via
+  :func:`repro.analysis.reusedist.assoc_miss_probs`, VectorCache hits
+  from the small-distance mass, ``note_resident_range`` residency
+  capping DRAM exposure), then multiplied by the simulator's per-line
+  penalties and divided by the same effective-MLP overlap rule
+  ``vmem_event_cycles`` applies.
+
+The model is *approximate by construction* (expected-value pricing of a
+stateful hierarchy), so it is gated: :func:`check_predict_against_sim`
+raises ``predict/*`` findings whenever prediction drifts outside a
+documented band around a real simulation — the same oracle pattern as
+``bounds.check_bounds_against_sim``.  The contract is relative fidelity
+(ranking candidates), not absolute accuracy; docs/ANALYSIS.md states the
+band.
+
+:func:`gemm_summary` builds the same :class:`TraceSummary` *analytically*
+from ``(M, N, K, blocks, unroll)`` — exact event counts from the 6-loop
+structure (:mod:`repro.kernels.gemm_6loop`) and closed-form per-buffer
+reuse classes — so ranking a blocking candidate needs no trace capture
+at all (capturing costs as much as simulating, which would erase the
+pruning win).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..machine.simulator import (
+    _SCALAR_MLP,
+    _SPILL_SERIALIZE_CYCLES,
+    _STORE_STALL_FACTOR,
+)
+from ..machine.trace import (
+    OP_NOTE_RANGE,
+    OP_SCALAR,
+    OP_SCALAR_LOAD,
+    OP_SCALAR_STORE,
+    OP_SPILL,
+    OP_SW_PREFETCH,
+    OP_VARITH,
+    OP_VBROADCAST,
+    OP_VLOAD,
+    OP_VSTORE,
+)
+from ..machine.vpu import varith_cycles, vbroadcast_cycles, vmem_transfer_cycles
+from .findings import Finding
+from .reusedist import N_BUCKETS, assoc_miss_probs, reuse_distances
+
+__all__ = [
+    "TraceSummary",
+    "PredictedCycles",
+    "summarize_trace",
+    "gemm_summary",
+    "predict_cycles",
+    "predicted_stats",
+    "check_predict_against_sim",
+    "DRIFT_BAND",
+]
+
+#: Predicted cycles must stay within ``[sim / DRIFT_BAND, sim *
+#: DRIFT_BAND]`` of a real simulation or ``predict/cycles-drift`` fires.
+#: The static model prices a stateful hierarchy in expectation, so the
+#: contract is a factor band, not a percentage: wide enough to tolerate
+#: expected-value smoothing, tight enough to catch a broken term (every
+#: individual term that drifts 2x moves total cycles well past this).
+DRIFT_BAND = 2.0
+
+#: VectorCache latency, kept in lock-step with ``hierarchy._VC_HIT_LATENCY``.
+_VC_HIT_LATENCY = 2
+
+
+# ----------------------------------------------------------------------
+# Summary structure
+# ----------------------------------------------------------------------
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`predict_cycles` needs, per candidate-invariant
+    workload: per-buffer temporal profiles plus exact event-class masses.
+
+    Event classes are keyed on the tuple the simulator's pricing is a
+    pure function of: ``vmem[(buf, nbytes, n_lines, write, unit)]`` and
+    ``smem[(buf, write)]`` map to weighted event mass.  ``hist`` /
+    ``cold`` / ``total`` are weighted *line-touch* masses per buffer
+    (same construction as :class:`~repro.analysis.reusedist.ReuseReport`
+    with ``by="buffer"``), used only as per-buffer ratios.
+    """
+
+    buffers: List[str] = field(default_factory=list)
+    hist: np.ndarray = field(default_factory=lambda: np.zeros((0, N_BUCKETS)))
+    cold: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    total: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    footprint_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    line_bytes: int = 64
+    l1_line_bytes: int = 64
+    vmem: Dict[Tuple[int, int, int, bool, bool], float] = field(default_factory=dict)
+    smem: Dict[Tuple[int, bool], float] = field(default_factory=dict)
+    varith: Dict[Tuple[int, int, int], float] = field(default_factory=dict)
+    vbroadcast_mass: float = 0.0
+    scalar_mass: float = 0.0       # weighted plain-scalar instruction count
+    prefetch_mass: float = 0.0     # weighted sw_prefetch event count
+    spill_regs: float = 0.0        # weighted spilled-register count
+    flops: float = 0.0
+    n_events: int = 0
+    #: ``note_resident_range`` registrations: buffer index -> max bytes.
+    resident: Dict[int, int] = field(default_factory=dict)
+    meta: Dict = field(default_factory=dict)
+
+    def buffer_index(self, name: str) -> int:
+        return self.buffers.index(name)
+
+
+@dataclass
+class PredictedCycles:
+    """Cycle prediction with its term decomposition and per-buffer rows."""
+
+    cycles: float = 0.0
+    compute_cycles: float = 0.0    # varith + vbroadcast
+    scalar_cycles: float = 0.0     # scalar bookkeeping + priced prefetches
+    memory_cycles: float = 0.0     # issue overheads + port transfer
+    stall_cycles: float = 0.0      # exposed (MLP-divided) miss latency
+    occupancy_cycles: float = 0.0  # fill-bandwidth occupancy
+    l1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    flops: float = 0.0
+    buffer_rows: List[Dict] = field(default_factory=list)
+    meta: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "cycles": self.cycles,
+            "compute_cycles": self.compute_cycles,
+            "scalar_cycles": self.scalar_cycles,
+            "memory_cycles": self.memory_cycles,
+            "stall_cycles": self.stall_cycles,
+            "occupancy_cycles": self.occupancy_cycles,
+            "l1_miss_rate": self.l1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "flops": self.flops,
+            "buffers": self.buffer_rows,
+        }
+
+
+# ----------------------------------------------------------------------
+# Trace -> summary
+# ----------------------------------------------------------------------
+
+def summarize_trace(trace, machine) -> TraceSummary:
+    """Distill a recorded trace into a machine-portable cost summary.
+
+    ``machine`` supplies only the *line geometries* (the reuse profile's
+    granularity and the unit-stride line-span arithmetic); everything
+    that depends on VPU/cache/DRAM parameters is resolved later by
+    :func:`predict_cycles`, so one summary prices many candidates as
+    long as they share line sizes — the same constraint trace replay
+    imposes on pricing-axis sweeps.
+    """
+    # Trace clock: the oracle is the sampled-trace simulator, so the
+    # distances must be those its cache actually experiences.
+    prof = reuse_distances(trace, machine, by="buffer", clock="trace")
+    l1_line = int(machine.l1.line_bytes)
+    s = TraceSummary(
+        buffers=list(prof.labels),
+        hist=prof.hist,
+        cold=prof.cold,
+        total=prof.total,
+        footprint_bytes=prof.footprint_lines.astype(np.float64) * prof.line_bytes,
+        line_bytes=prof.line_bytes,
+        l1_line_bytes=l1_line,
+        n_events=int(trace.n_events),
+        meta={"trace_key": getattr(trace, "key", None)},
+    )
+
+    op = np.asarray(trace.op)
+    w = np.asarray(trace.w, dtype=np.float64)
+    i0 = np.asarray(trace.i0)
+    i1 = np.asarray(trace.i1)
+    i2 = np.asarray(trace.i2)
+    i3 = np.asarray(trace.i3)
+    f0 = np.asarray(trace.f0, dtype=np.float64)
+
+    # Buffer lookup table for event base addresses.
+    buffers = list(getattr(trace, "buffers", ()) or ())
+    unmapped = len(s.buffers) - 1 if s.buffers and s.buffers[-1] == "?" else 0
+    if buffers:
+        order = sorted(range(len(buffers)), key=lambda i: buffers[i][1])
+        bases = np.asarray([buffers[i][1] for i in order], dtype=np.int64)
+        ends = np.asarray([buffers[i][1] + buffers[i][2] for i in order], dtype=np.int64)
+        merged = [re.sub(r"#\d+$", "", str(buffers[i][0])) for i in order]
+        gid_of = np.asarray([s.buffers.index(n) for n in merged], dtype=np.int64)
+
+        def to_buf(addr):
+            j = np.searchsorted(bases, addr, side="right") - 1
+            jc = np.maximum(j, 0)
+            ok = (j >= 0) & (addr < ends[jc])
+            return np.where(ok, gid_of[jc], unmapped)
+    else:
+        def to_buf(addr):
+            return np.full(np.asarray(addr).shape, unmapped, dtype=np.int64)
+
+    # Vector memory: class = (buffer, nbytes, n_lines, write, unit).
+    vm = (op == OP_VLOAD) | (op == OP_VSTORE)
+    if vm.any():
+        idx = np.flatnonzero(vm)
+        addr, n, ew, stride = i0[idx], i1[idx], i2[idx], i3[idx]
+        nbytes = n * ew
+        unit = (stride == 0) | (stride == ew)
+        n_lines = np.where(
+            unit, (addr + nbytes - 1) // l1_line - addr // l1_line + 1, n
+        )
+        write = op[idx] == OP_VSTORE
+        buf = to_buf(addr)
+        keys = np.stack(
+            [buf, nbytes, n_lines, write.astype(np.int64), unit.astype(np.int64)],
+            axis=1,
+        )
+        uniq, inv = np.unique(keys, axis=0, return_inverse=True)
+        mass = np.bincount(inv, weights=w[idx], minlength=len(uniq))
+        for row, m in zip(uniq, mass):
+            s.vmem[(int(row[0]), int(row[1]), int(row[2]), bool(row[3]), bool(row[4]))] = \
+                float(m)
+
+    # Scalar memory: class = (buffer, write).
+    sm = (op == OP_SCALAR_LOAD) | (op == OP_SCALAR_STORE)
+    if sm.any():
+        idx = np.flatnonzero(sm)
+        buf = to_buf(i0[idx])
+        write = (op[idx] == OP_SCALAR_STORE).astype(np.int64)
+        keys = buf * 2 + write
+        for k in np.unique(keys):
+            s.smem[(int(k // 2), bool(k % 2))] = float(w[idx][keys == k].sum())
+
+    # Vector arithmetic: class = (n_elems, n_instr, ew).
+    va = op == OP_VARITH
+    if va.any():
+        idx = np.flatnonzero(va)
+        keys = np.stack([i0[idx], i1[idx], i2[idx]], axis=1)
+        uniq, inv = np.unique(keys, axis=0, return_inverse=True)
+        mass = np.bincount(inv, weights=w[idx], minlength=len(uniq))
+        for row, m in zip(uniq, mass):
+            s.varith[(int(row[0]), int(row[1]), int(row[2]))] = float(m)
+        s.flops += float((w[idx] * i0[idx] * i1[idx] * f0[idx]).sum())
+
+    s.vbroadcast_mass = float((w[op == OP_VBROADCAST] * i0[op == OP_VBROADCAST]).sum())
+    s.scalar_mass = float((w[op == OP_SCALAR] * i0[op == OP_SCALAR]).sum())
+    s.prefetch_mass = float(w[op == OP_SW_PREFETCH].sum())
+    s.spill_regs = float((w[op == OP_SPILL] * i0[op == OP_SPILL]).sum())
+
+    nr = op == OP_NOTE_RANGE
+    if nr.any():
+        idx = np.flatnonzero(nr)
+        buf = to_buf(i0[idx])
+        for b, nb in zip(buf, i1[idx]):
+            s.resident[int(b)] = max(s.resident.get(int(b), 0), int(nb))
+    return s
+
+
+# ----------------------------------------------------------------------
+# Analytic GEMM summary (no trace at all)
+# ----------------------------------------------------------------------
+
+def _edges(total: int, block: int) -> List[Tuple[int, int]]:
+    """Distinct (block_edge_size, multiplicity) pairs along one dim."""
+    n = -(-total // block)
+    rem = total - (n - 1) * block
+    if rem == block:
+        return [(block, n)]
+    out = [(block, n - 1)] if n > 1 else []
+    out.append((rem, 1))
+    return out
+
+
+def _panels(extent: int, width: int) -> List[Tuple[int, int]]:
+    """Distinct (panel_width, count) pairs of tiling *extent* by *width*."""
+    return _edges(extent, width)
+
+
+def gemm_summary(M: int, N: int, K: int, machine, blocks, unroll: int = 16
+                 ) -> TraceSummary:
+    """Analytic :class:`TraceSummary` of the 6-loop GEMM.
+
+    Event-class masses replicate ``trace_gemm_6loop`` +
+    ``trace_pack_a/b`` loop structure exactly (full counts, enumerated
+    over the <= 8 distinct block-edge combinations per dimension).  The
+    per-buffer reuse profile is closed-form: each access class is
+    assigned the stack distance of the loop level whose working set
+    separates it from its previous touch (B-source reads are cold; a
+    packed-B panel is re-read across the ``ig`` loop at the micro-kernel
+    working set, across ``i1`` at the block working set; C tiles return
+    once per ``k1``; A re-streams once per ``j1`` pass).  Distances use
+    the full-size blocks — edge blocks shift a touch one bucket at most,
+    invisible next to the pow2 bucketing.
+    """
+    if min(M, N, K) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    vl = machine.vlen_f32
+    l1_line = int(machine.l1.line_bytes)
+    lr = int(machine.l2.line_bytes)
+    u_max = min(unroll, blocks.m)
+    spilled = max(0, unroll + 3 - 32)
+    line4 = max(1, l1_line // 4)
+    period = max(1, line4 // math.gcd(u_max, line4))
+
+    names = ["A", "B", "C", "packA", "packB", "?"]
+    A, B, C, PA, PB, UN = range(6)
+    s = TraceSummary(
+        buffers=names,
+        hist=np.zeros((6, N_BUCKETS)),
+        cold=np.zeros(6),
+        total=np.zeros(6),
+        footprint_bytes=np.asarray(
+            [M * K * 4, K * N * 4, M * N * 4,
+             blocks.m * blocks.k * 4, blocks.k * blocks.n * 4, 0],
+            dtype=np.float64,
+        ),
+        line_bytes=lr,
+        l1_line_bytes=l1_line,
+        meta={"gemm": (M, N, K), "blocks": (blocks.m, blocks.n, blocks.k),
+              "unroll": unroll},
+    )
+    s.resident[A] = M * K * 4  # trace_gemm_6loop's note_resident_range
+
+    def span(nbytes: int) -> int:
+        return -(-nbytes // l1_line)
+
+    def lines(nbytes: float) -> float:
+        return max(1.0, nbytes / lr)
+
+    def add_vmem(buf, nbytes, n_lines, write, unit, mass):
+        if mass <= 0 or nbytes <= 0:
+            return
+        key = (buf, int(nbytes), int(n_lines), write, unit)
+        s.vmem[key] = s.vmem.get(key, 0.0) + mass
+
+    def add_reuse(buf, sd_lines, mass):
+        if mass <= 0:
+            return
+        b = min(N_BUCKETS - 1, max(0, int(math.floor(math.log2(max(sd_lines, 1.0))))))
+        s.hist[buf, b] += mass
+        s.total[buf] += mass
+
+    def add_cold(buf, mass):
+        if mass <= 0:
+            return
+        s.cold[buf] += mass
+        s.total[buf] += mass
+
+    n_j1 = -(-N // blocks.n)
+    n_k1 = -(-K // blocks.k)
+    n_i1 = -(-M // blocks.m)
+
+    # Closed-form working sets (lines) separating each reuse class.
+    #
+    # The oracle this model is gated against is the *trace simulator*,
+    # whose loops are sampled (``SampledTraceBase.loop``: warmup +
+    # ``sample`` interior iterations + tail).  The cache therefore sees
+    # the traced footprints — a loop over 64 panels touches at most
+    # warmup+sample+1 of them — which is why measured sweep cycles are
+    # nearly flat in the block sizes once sampling saturates.  Distances
+    # below use the traced trip counts; weighted event *masses* (above)
+    # stay exact, as in the simulator.
+    def t(n: int, warmup: int, sample: int) -> int:
+        return n if n <= warmup + sample + 1 else warmup + sample + 1
+
+    # Effective (clamped) block sizes — a nominal block larger than the
+    # matrix collapses to one edge block of the matrix dimension.
+    bn_f, bk_f, bm_f = min(blocks.n, N), min(blocks.k, K), min(blocks.m, M)
+    n_jc_f = max(1, -(-bn_f // vl))
+    n_ig_f = max(1, -(-bm_f // u_max))
+    t_k1 = t(n_k1, 1, 3)
+    t_i1 = t(n_i1, 1, 3)
+    t_jc = t(n_jc_f, 1, 3)
+    t_ig = t(n_ig_f, 1, 2)
+    t_pbp, t_pbk = t(n_jc_f, 1, 3), t(bk_f, 1, 4)
+    t_paq, t_pak = t(n_ig_f, 1, 2), t(bk_f, 1, 4)
+
+    pb_slice = lines(bk_f * vl * 4)          # one packed-B jc panel
+    pa_slice = lines(bk_f * u_max * 4)       # one packed-A ig panel
+    c_slice = u_max * lines(vl * 4)          # one C micro-tile
+    d_kloop = pb_slice + pa_slice            # load->store distance in C
+    d_ig = d_kloop + c_slice                 # between ig sweeps of a panel
+    d_jc = pb_slice + t_ig * (pa_slice + c_slice)      # one jc pass
+    d_i1 = (t_jc * pb_slice + t_ig * pa_slice          # one i1 iteration
+            + t_jc * t_ig * c_slice + t_paq * t_pak * (u_max + 1))
+    d_k1 = 2 * t_pbp * t_pbk + t_i1 * d_i1   # one k1 iteration (+ pack_b)
+    d_j1 = t_k1 * d_k1                       # one j1 pass
+
+    for bn, c_j1 in _edges(N, blocks.n):
+        for bk, c_k1 in _edges(K, blocks.k):
+            m_jk = c_j1 * c_k1  # multiplicity of this (j1, k1) combo
+
+            # ---- pack_b: per panel p, per k: scalar(3) + vload(B) +
+            # vstore(packB), both unit-stride of the panel width.
+            for wp, c_p in _panels(bn, vl):
+                cnt = m_jk * c_p * bk
+                s.scalar_mass += 3 * cnt
+                sp = span(wp * 4)
+                add_vmem(B, wp * 4, sp, False, True, cnt)
+                add_vmem(PB, wp * 4, sp, True, True, cnt)
+                add_cold(B, cnt * sp)                      # B is read exactly once
+                # packB rewrite: first (j1,k1) cold; afterwards the store
+                # trails the panel's last micro read by one i1 working set.
+                add_cold(PB, cnt * sp / (n_j1 * n_k1))
+                add_reuse(PB, d_i1, cnt * sp * (1 - 1 / (n_j1 * n_k1)))
+
+            for bm, c_i1 in _edges(M, blocks.m):
+                m_jki = m_jk * c_i1
+
+                # ---- pack_a: per panel q, per k: scalar(3) + strided
+                # vload(A, h) + unit vstore(packA, h).
+                for h, c_q in _panels(bm, u_max):
+                    cnt = m_jki * c_q * bk
+                    s.scalar_mass += 3 * cnt
+                    add_vmem(A, h * 4, h, False, False, cnt)   # strided: line/elem
+                    sp = span(h * 4)
+                    add_vmem(PA, h * 4, sp, True, True, cnt)
+                    # packA rewrite: globally cold once, then trailing the
+                    # last scalar read of the previous i1 by one jc pass.
+                    add_cold(PA, cnt * sp / (n_j1 * n_k1 * n_i1))
+                    add_reuse(PA, d_jc, cnt * sp * (1 - 1 / (n_j1 * n_k1 * n_i1)))
+                # A reads: in the sampled pack loop the traced k columns are
+                # spaced ~bk/4 apart, so line touches don't repeat within a
+                # block visit — every touch returns after a whole j1 sweep
+                # (cold on the first; later sweeps are range-resident hits).
+                a_total = bm * bk
+                add_cold(A, m_jki * a_total / n_j1)
+                add_reuse(A, d_j1, m_jki * a_total * (1 - 1 / n_j1))
+
+                s.prefetch_mass += 2 * m_jki  # panel prefetches into L2
+
+                # ---- micro-kernel.
+                for gvl, c_jc in _panels(bn, vl):
+                    m4 = m_jki * c_jc
+                    s.scalar_mass += 4 * m4
+                    for u, c_ig in _panels(bm, u_max):
+                        m5 = m4 * c_ig
+                        s.prefetch_mass += m5              # C-block prefetch
+                        spc = span(gvl * 4)
+                        # C loads (line 14) and stores (line 23).
+                        add_vmem(C, gvl * 4, spc, False, True, m5 * u)
+                        add_vmem(C, gvl * 4, spc, True, True, m5 * u)
+                        c_touch = m5 * u * spc
+                        add_cold(C, c_touch / n_k1)        # first k1 pass
+                        add_reuse(C, d_k1, c_touch * (1 - 1 / n_k1))
+                        add_reuse(C, d_kloop, c_touch)     # store-after-load
+                        # k loop (line 15).
+                        s.prefetch_mass += m5 * (bk + -(-bk // 8))
+                        add_vmem(PB, gvl * 4, spc, False, True, m5 * bk)
+                        pb_touch = m5 * bk * spc
+                        # One sweep per (i1, jc) is the panel's first read
+                        # since the previous k1 (i1 == 0; the sampled pack
+                        # only rewrote a few rows) or the previous i1; the
+                        # other (n_ig - 1) sweeps re-read at the ig set.
+                        n_ig = max(1, -(-bm // u_max))
+                        first_sweep = pb_touch / n_ig
+                        add_reuse(PB, d_k1, first_sweep / max(1, n_i1))
+                        add_reuse(PB, d_i1, first_sweep * (1 - 1 / max(1, n_i1)))
+                        add_reuse(PB, d_ig, pb_touch - first_sweep)
+                        # packA scalar reloads (line 19's operand feed):
+                        # the first jc pass returns after one i1 iteration
+                        # (the sampled pack rewrote only a few of its lines),
+                        # later passes after one jc working set.
+                        n_sl = m5 * (-(-bk // period))
+                        key = (PA, False)
+                        s.smem[key] = s.smem.get(key, 0.0) + n_sl
+                        n_jc = max(1, -(-bn // vl))
+                        add_reuse(PA, d_i1, n_sl / n_jc)
+                        add_reuse(PA, d_jc, n_sl * (1 - 1 / n_jc))
+                        # FMAs + loop bookkeeping.
+                        key = (gvl, u, 4)
+                        s.varith[key] = s.varith.get(key, 0.0) + m5 * bk
+                        s.flops += m5 * bk * gvl * u * 2.0
+                        s.scalar_mass += 2 * m5 * bk
+                        if spilled:
+                            s.spill_regs += spilled * m5 * bk
+
+    return s
+
+
+# ----------------------------------------------------------------------
+# Summary -> cycles
+# ----------------------------------------------------------------------
+
+def _fa_tail(capacity_lines: float) -> np.ndarray:
+    """Fully-associative per-bucket miss probability (sharp LRU step,
+    log2-interpolated within the capacity's bucket) — used for the
+    VectorCache, which *is* fully associative."""
+    p = np.zeros(N_BUCKETS)
+    b = math.log2(max(capacity_lines, 1.0))
+    whole = int(math.floor(b))
+    if whole < N_BUCKETS:
+        p[min(whole + 1, N_BUCKETS):] = 1.0
+        if whole >= 0:
+            p[whole] = 1.0 - (b - whole)
+        else:
+            p[:] = 1.0
+    return p
+
+
+def predict_cycles(summary: TraceSummary, machine) -> PredictedCycles:
+    """Price *summary* on *machine* analytically (microseconds, no sim).
+
+    See the module docstring for the model; every term cites the
+    simulator expression it mirrors.
+    """
+    vpu = machine.vpu
+    core = machine.core
+    lr = summary.line_bytes
+    l1_lat = machine.l1.latency
+    l2_lat = machine.l2.latency
+    dram_lat = machine.dram_latency
+    fill_l1 = machine.l1.line_bytes / machine.l2_to_l1_bytes_per_cycle
+    fill_l2 = machine.l2.line_bytes / machine.dram_bytes_per_cycle
+    ooo = core.ooo_hide
+    l1_fed = vpu.mem_port == "L1"
+
+    nb = len(summary.buffers)
+    hist, cold, total = summary.hist, summary.cold, summary.total
+    tot = np.maximum(total, 1e-12)
+
+    # Per-buffer per-touch miss probabilities at each level, under two
+    # placement models.  Dense unit-stride sweeps stripe *uniformly*
+    # across the sets of the simulator's set-associative caches, so they
+    # behave fully-associatively (sharp LRU step at capacity); strided
+    # walks revisit a subset of sets and see binomial conflict misses —
+    # that is what the StatStack set-associativity correction models.
+    # Each access class below picks the tail matching its stride.
+    def _tails(size_bytes: float, assoc: int):
+        cap = size_bytes / lr
+        fa = (hist @ _fa_tail(cap) + cold) / tot
+        corr = (hist @ assoc_miss_probs(cap, assoc) + cold) / tot
+        return fa, corr
+
+    p1_fa, p1_as = _tails(machine.l1.size_bytes, machine.l1.assoc)
+    p2_fa, p2_as = _tails(machine.l2.size_bytes, machine.l2.assoc)
+    if l1_fed:
+        p2_fa = np.minimum(p2_fa, p1_fa)
+        p2_as = np.minimum(p2_as, p1_as)
+    vc_bytes = vpu.vector_cache_bytes if not l1_fed else 0
+    if vc_bytes:
+        p_vc = (hist @ _fa_tail(vc_bytes / lr) + cold) / tot
+        p_vc_fa, p_vc_as = np.maximum(p_vc, p2_fa), np.maximum(p_vc, p2_as)
+    else:
+        p_vc_fa = p_vc_as = np.ones(nb)
+
+    # note_resident_range residency: demand L2 misses inside a registered
+    # range are priced as L2 hits (hierarchy._range_hit); only the part
+    # of the range that fits the budget survives.
+    res_frac = np.zeros(nb)
+    for b, nbytes in summary.resident.items():
+        if nbytes > 0:
+            res_frac[b] = min(1.0, machine.l2.size_bytes / nbytes)
+
+    # Expected per-line-touch latency / fill occupancy per buffer, for
+    # each placement model.
+    def _per_line(p1, p2, p_vc):
+        p_dram = p2 * (1.0 - res_frac)
+        if l1_fed:
+            # Net of the streamed-hit baseline vmem_event_cycles subtracts.
+            lat = p1 * l2_lat + p_dram * dram_lat
+            occ1 = p1 * fill_l1
+        else:
+            vc_hit = np.maximum(0.0, 1.0 - p_vc)
+            lat = vc_hit * _VC_HIT_LATENCY + p_vc * l2_lat + p_dram * dram_lat
+            occ1 = np.zeros(nb)
+        return lat, occ1, p_dram * fill_l2, p_dram
+
+    unit_tbl = _per_line(p1_fa, p2_fa, p_vc_fa)
+    strided_tbl = _per_line(p1_as, p2_as, p_vc_as)
+    p1, p2 = p1_fa, p2_fa            # unit-stride view, used for rates
+    p_dram = unit_tbl[3]
+
+    out = PredictedCycles(flops=summary.flops, meta=dict(summary.meta))
+
+    # -- compute -------------------------------------------------------
+    for (n, k, ew), mass in summary.varith.items():
+        out.compute_cycles += mass * varith_cycles(vpu, n, k, ew)
+    out.compute_cycles += summary.vbroadcast_mass * vbroadcast_cycles(vpu)
+    out.scalar_cycles += summary.scalar_mass * core.scalar_cpi
+    if machine.honors_sw_prefetch or machine.sw_prefetch_is_noop_instr:
+        out.scalar_cycles += summary.prefetch_mass * core.scalar_cpi
+
+    # -- vector memory -------------------------------------------------
+    stall_by_buf = np.zeros(nb)
+    for (buf, nbytes, n_lines, write, unit), mass in summary.vmem.items():
+        lat_line, occ1_line, occ2_line, _ = unit_tbl if unit else strided_tbl
+        lat = n_lines * lat_line[buf]
+        if not unit:
+            overlap = n_lines if n_lines < 4 else 4
+        elif n_lines == 1:
+            overlap = 1
+        elif l1_fed:
+            overlap = 2 * n_lines
+        else:
+            overlap = n_lines
+        overlap = min(overlap, vpu.max_outstanding)
+        mlp_eff = max(vpu.mlp, overlap)
+        stall = lat * (1.0 - ooo) / mlp_eff
+        if write:
+            stall *= _STORE_STALL_FACTOR
+        transfer = vmem_transfer_cycles(vpu, nbytes)
+        occ = max(0.0, n_lines * occ1_line[buf] - transfer) + n_lines * occ2_line[buf]
+        out.memory_cycles += mass * (vpu.mem_issue_overhead + vpu.issue_overhead
+                                     + transfer)
+        out.stall_cycles += mass * stall
+        out.occupancy_cycles += mass * occ
+        stall_by_buf[buf] += mass * (stall + occ)
+
+    # -- scalar memory (always the L1 path) ----------------------------
+    for (buf, write), mass in summary.smem.items():
+        net = (p1[buf] - p2[buf]) * l2_lat + p2[buf] * l2_lat + p_dram[buf] * dram_lat
+        stall = net / _SCALAR_MLP * (1.0 - ooo)
+        if write:
+            stall *= _STORE_STALL_FACTOR
+        occ = p1[buf] * fill_l1 + p_dram[buf] * fill_l2
+        out.scalar_cycles += mass * core.scalar_cpi
+        out.stall_cycles += mass * stall
+        out.occupancy_cycles += mass * occ
+        stall_by_buf[buf] += mass * (stall + occ)
+
+    # -- spills (hot stack: fastest-level hits, plus the serialization
+    # penalty simulator.spill charges per register) --------------------
+    if summary.spill_regs:
+        vlen_bytes = machine.vlen_bits // 8
+        n_lines = max(1, -(-vlen_bytes // summary.l1_line_bytes))
+        transfer = vmem_transfer_cycles(vpu, vlen_bytes)
+        per_access = vpu.mem_issue_overhead + vpu.issue_overhead + transfer
+        hit_lat = 0.0 if l1_fed else n_lines * _VC_HIT_LATENCY
+        stall = hit_lat * (1.0 - ooo) / max(vpu.mlp, min(n_lines, vpu.max_outstanding))
+        out.memory_cycles += summary.spill_regs * 2 * per_access
+        out.stall_cycles += summary.spill_regs * (stall * 1.25 + _SPILL_SERIALIZE_CYCLES)
+
+    # -- totals and rates ----------------------------------------------
+    out.cycles = (out.compute_cycles + out.scalar_cycles + out.memory_cycles
+                  + out.stall_cycles + out.occupancy_cycles)
+    t = float(total.sum())
+    if t > 0:
+        l2_acc = total * (p1 if l1_fed else p_vc_fa)
+        acc = float(l2_acc.sum())
+        out.l2_miss_rate = float((total * p_dram).sum()) / acc if acc > 0 else 0.0
+        out.l1_miss_rate = float((total * p1).sum()) / t
+    order = np.argsort(-stall_by_buf)
+    for i in order:
+        if total[i] <= 0:
+            continue
+        out.buffer_rows.append({
+            "buffer": summary.buffers[i],
+            "footprint_kb": float(summary.footprint_bytes[i]) / 1024.0,
+            "touches_m": float(total[i]) / 1e6,
+            "l2_miss_pct": 100.0 * float(p_dram[i]),
+            "stall_mcycles": float(stall_by_buf[i]) / 1e6,
+        })
+    return out
+
+
+def predicted_stats(pred: PredictedCycles):
+    """Materialize a prediction as a :class:`SimStats` shell.
+
+    Used for pruned sweep points (``source == "pruned-by-model"``): the
+    cycles/flops are the model's estimate and the hit/miss counters are
+    unit-mass encodings of the predicted rates, so ``l2_miss_rate`` /
+    ``l1_miss_rate`` consumers keep working.  It is NOT a simulation —
+    provenance must travel with it.
+    """
+    from ..machine.simulator import SimStats
+
+    st = SimStats()
+    st.cycles = pred.cycles
+    st.flops = pred.flops
+    st.l2_misses = pred.l2_miss_rate
+    st.l2_hits = 1.0 - pred.l2_miss_rate
+    st.l1_misses = pred.l1_miss_rate
+    st.l1_hits = 1.0 - pred.l1_miss_rate
+    return st
+
+
+# ----------------------------------------------------------------------
+# Drift gate (predict-vs-oracle contract)
+# ----------------------------------------------------------------------
+
+def check_predict_against_sim(
+    pred: PredictedCycles,
+    sim_cycles: float,
+    bound_cycles: Optional[float] = None,
+    where: str = "trace",
+    band: float = DRIFT_BAND,
+) -> List[Finding]:
+    """Gate the static model against a real simulation (the oracle).
+
+    Mirrors ``bounds.check_bounds_against_sim``: run only when a
+    simulation of the same trace/machine is available (``repro predict
+    --oracle``, CI), and emit error findings the CI gate fails on.
+
+    * ``predict/cycles-drift`` — prediction outside ``[sim/band,
+      sim*band]``.  The static model's contract is *ranking* fidelity;
+      this bounds its absolute error so it cannot silently rot.
+    * ``predict/below-floor`` — prediction below the proven static
+      lower bound, which a sane cost model can never be (it prices the
+      same floors plus stall terms).
+    """
+    findings: List[Finding] = []
+    if sim_cycles > 0:
+        ratio = pred.cycles / sim_cycles
+        if not (1.0 / band <= ratio <= band):
+            findings.append(Finding(
+                rule="predict/cycles-drift",
+                severity="error",
+                where=where,
+                message=(
+                    f"predicted {pred.cycles / 1e6:.2f} Mcycles vs simulated "
+                    f"{sim_cycles / 1e6:.2f} (ratio {ratio:.2f}, band "
+                    f"[{1 / band:.2f}, {band:.2f}])"
+                ),
+                detail={"predicted": pred.cycles, "simulated": sim_cycles,
+                        "ratio": ratio, "band": band},
+            ))
+    if bound_cycles is not None and pred.cycles < bound_cycles * (1.0 - 1e-6):
+        findings.append(Finding(
+            rule="predict/below-floor",
+            severity="error",
+            where=where,
+            message=(
+                f"predicted {pred.cycles / 1e6:.2f} Mcycles below the static "
+                f"floor {bound_cycles / 1e6:.2f}"
+            ),
+            detail={"predicted": pred.cycles, "bound": bound_cycles},
+        ))
+    return findings

@@ -41,10 +41,29 @@ The result supports a predicted miss-ratio curve ``miss(C)`` for
 arbitrary capacity and a predicted L2 knee, validated against a real
 ``sweep_cache_sizes`` run in ``tests/test_temporal.py`` (tolerance
 band documented in docs/ANALYSIS.md).
+
+Two refinements feed the static cost model (:mod:`repro.analysis
+.predict`):
+
+* **Set-associativity correction** — the pure StatStack curve models a
+  fully-associative LRU cache, which under-predicts misses on the
+  8-way L2 the paper sweeps.  A reuse at global stack distance ``D``
+  in an ``A``-way cache with ``S`` sets conflicts only with the
+  intervening distinct lines that hash to its own set — approximately
+  ``Binomial(D, 1/S)`` of them — and misses when at least ``A`` do.
+  ``miss_ratio(..., assoc=A)`` applies the Poisson limit of that tail
+  per histogram bucket, smoothing the fully-associative step into the
+  gradual roll-off a real set-indexed cache shows.
+* **Per-buffer temporal profiles** — ``reuse_distances(..,
+  by="buffer")`` bins the same global stack distances by *allocation*
+  (the trace's buffer table, ``#N`` dedup suffixes stripped) instead
+  of by kernel label, so the cost model can ask "does the im2col
+  workspace still fit?" per buffer rather than per kernel.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -57,7 +76,7 @@ from ..machine.trace import (
     OP_VSTORE,
 )
 
-__all__ = ["ReuseReport", "reuse_distances"]
+__all__ = ["ReuseReport", "reuse_distances", "assoc_miss_probs"]
 
 #: Number of log2 stack-distance buckets: bucket ``b`` holds reuses with
 #: stack distance in ``[2^b, 2^(b+1))`` lines.  42 buckets cover any
@@ -72,6 +91,48 @@ CURVE_CAPACITIES = tuple(1 << k for k in range(16, 29))
 #: mean lines-per-event; beyond this many touches, events are
 #: systematically subsampled (weights rescaled) to bound memory.
 MAX_LINE_TOUCHES = 32_000_000
+
+#: Dedup suffix appended by the trace allocator when two buffers share a
+#: name (``im2col#1``); stripped so per-buffer profiles merge them.
+_DEDUP_SUFFIX = re.compile(r"#\d+$")
+
+
+def _poisson_sf(lam: np.ndarray, k: int) -> np.ndarray:
+    """``P[Poisson(lam) >= k]`` for integer ``k >= 1``, vectorized.
+
+    Computed as ``1 - cdf(k-1)`` by direct pmf summation — ``k`` is a
+    cache associativity (<= a few dozen ways), so the sum is short and
+    needs nothing beyond numpy.  For large ``lam`` the pmf terms
+    underflow to zero and the tail correctly saturates at 1.
+    """
+    lam = np.asarray(lam, dtype=np.float64)
+    term = np.exp(-lam)
+    cdf = term.copy()
+    for i in range(1, int(k)):
+        term = term * lam / i
+        cdf = cdf + term
+    return np.clip(1.0 - cdf, 0.0, 1.0)
+
+
+def assoc_miss_probs(capacity_lines: float, assoc: int) -> np.ndarray:
+    """Per-bucket miss probability of an ``assoc``-way set-indexed cache.
+
+    The StatStack curve models a fully-associative LRU cache: a reuse at
+    stack distance ``D`` (distinct intervening lines) hits iff
+    ``D < capacity/line``.  A real cache with ``S = capacity_lines /
+    assoc`` sets evicts the line only when at least ``assoc`` of those
+    ``D`` distinct lines land in its own set; with uniform set hashing
+    that count is ``Binomial(D, 1/S) -> Poisson(D/S)``, so the miss
+    probability is the Poisson tail ``P[X >= assoc]`` evaluated at each
+    bucket's log2 midpoint.  At ``D = capacity_lines`` the mean conflict
+    count equals ``assoc`` and the correction yields ~50% misses — the
+    fully-associative step becomes the gradual roll-off (and the extra
+    misses *below* capacity) a set-indexed cache actually shows.
+    """
+    assoc = max(1, int(assoc))
+    n_sets = max(1.0, float(capacity_lines) / assoc)
+    mids = 2.0 ** (np.arange(N_BUCKETS, dtype=np.float64) + 0.5)
+    return _poisson_sf(mids / n_sets, assoc)
 
 
 @dataclass
@@ -92,26 +153,39 @@ class ReuseReport:
     line_bytes: int = 64
     n_lines: int = 0
     n_touches: int = 0
+    #: Distinct lines touched per label (unweighted) — the per-group
+    #: working-set footprint, in lines.  Zeros for legacy constructions.
+    footprint_lines: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
 
     # -- curves --------------------------------------------------------
-    def miss_ratio(self, capacity_bytes: int, label: Optional[str] = None) -> float:
-        """Predicted miss ratio of a fully-associative LRU cache.
-
-        A reuse whose stack distance (in lines) is at least
-        ``capacity/line_bytes`` misses; cold touches always miss.
-        Within a log2 bucket the mass is interpolated linearly in
-        log2(distance).
-        """
+    def _group(self, label: Optional[str]):
         if label is None:
-            hist = self.hist.sum(axis=0)
-            cold = float(self.cold.sum())
-            total = float(self.total.sum())
-        else:
-            i = self.labels.index(label)
-            hist, cold, total = self.hist[i], float(self.cold[i]), float(self.total[i])
+            return self.hist.sum(axis=0), float(self.cold.sum()), float(self.total.sum())
+        i = self.labels.index(label)
+        return self.hist[i], float(self.cold[i]), float(self.total[i])
+
+    def miss_ratio(
+        self,
+        capacity_bytes: int,
+        label: Optional[str] = None,
+        assoc: Optional[int] = None,
+    ) -> float:
+        """Predicted miss ratio of an LRU cache of *capacity_bytes*.
+
+        With ``assoc=None`` (default) the cache is fully associative: a
+        reuse whose stack distance (in lines) is at least
+        ``capacity/line_bytes`` misses, cold touches always miss, and
+        within a log2 bucket the mass is interpolated linearly in
+        log2(distance).  With ``assoc=A`` the set-conflict correction of
+        :func:`assoc_miss_probs` replaces the sharp capacity step.
+        """
+        hist, cold, total = self._group(label)
         if total <= 0:
             return 0.0
         cap_lines = max(1.0, capacity_bytes / self.line_bytes)
+        if assoc is not None:
+            tail = float(hist @ assoc_miss_probs(cap_lines, assoc))
+            return min(1.0, (tail + cold) / total)
         b = np.log2(cap_lines)
         whole = int(np.floor(b))
         tail = float(hist[min(whole + 1, N_BUCKETS):].sum()) if whole + 1 < N_BUCKETS else 0.0
@@ -122,23 +196,37 @@ class ReuseReport:
         return (tail + cold) / total
 
     def miss_curve(
-        self, capacities=CURVE_CAPACITIES, label: Optional[str] = None
+        self,
+        capacities=CURVE_CAPACITIES,
+        label: Optional[str] = None,
+        assoc: Optional[int] = None,
     ) -> Dict[str, float]:
         """``miss(C)`` tabulated at *capacities* (JSON-stable str keys)."""
-        return {str(int(c)): self.miss_ratio(int(c), label) for c in capacities}
+        return {str(int(c)): self.miss_ratio(int(c), label, assoc=assoc) for c in capacities}
 
-    def predicted_knee_bytes(self, coverage: float = 0.95) -> int:
+    def predicted_knee_bytes(
+        self, coverage: float = 0.95, assoc: Optional[int] = None
+    ) -> int:
         """Smallest power-of-two capacity capturing *coverage* of reuse.
 
         The knee of the capacity sweep: beyond it, growing the cache
-        only chips at the residual (cold misses are unavoidable).
+        only chips at the residual (cold misses are unavoidable).  With
+        ``assoc=A`` the residual is measured through the set-conflict
+        correction, so low-way caches typically need a larger capacity
+        to reach the same coverage.
         """
         hist = self.hist.sum(axis=0)
         reuse_mass = float(hist.sum())
         if reuse_mass <= 0:
             return self.line_bytes
-        residual = np.cumsum(hist[::-1])[::-1]  # mass with sd >= 2^b
         allowed = (1.0 - coverage) * reuse_mass
+        if assoc is not None:
+            for b in range(N_BUCKETS + 1):
+                cap_lines = float(1 << b)
+                if float(hist @ assoc_miss_probs(cap_lines, assoc)) <= allowed:
+                    return (1 << b) * self.line_bytes
+            return (1 << N_BUCKETS) * self.line_bytes
+        residual = np.cumsum(hist[::-1])[::-1]  # mass with sd >= 2^b
         for b in range(N_BUCKETS):
             above = float(residual[b + 1]) if b + 1 < N_BUCKETS else 0.0
             if above <= allowed:
@@ -244,17 +332,79 @@ def _expand_lines(trace, line: int, max_touches: int):
     return lines, w[eidx], kid[eidx]
 
 
+def _buffer_groups(trace, lines: np.ndarray, line: int):
+    """Map line touches to merged buffer names (``#N`` suffix stripped).
+
+    Returns ``(names, gid)`` where ``gid[t]`` indexes *names* for each
+    touch; touches outside every recorded buffer map to ``"?"``.
+    """
+    buffers = list(getattr(trace, "buffers", ()) or ())
+    names: List[str] = []
+    name_ix: Dict[str, int] = {}
+    buf_group = np.zeros(len(buffers), dtype=np.int64)
+    for i, (name, _base, _nbytes) in enumerate(buffers):
+        merged = _DEDUP_SUFFIX.sub("", str(name))
+        if merged not in name_ix:
+            name_ix[merged] = len(names)
+            names.append(merged)
+        buf_group[i] = name_ix[merged]
+    unmapped = len(names)
+    names.append("?")
+    if not buffers:
+        return names, np.full(lines.size, unmapped, dtype=np.int64)
+
+    order = np.argsort([b[1] for b in buffers], kind="stable")
+    bases = np.asarray([buffers[i][1] for i in order], dtype=np.int64)
+    ends = np.asarray([buffers[i][1] + buffers[i][2] for i in order], dtype=np.int64)
+    addr = lines * np.int64(line)  # first byte of the touched line
+    j = np.searchsorted(bases, addr, side="right") - 1
+    jc = np.maximum(j, 0)
+    ok = (j >= 0) & (addr < ends[jc])
+    gid = np.where(ok, buf_group[order[jc]], unmapped)
+    return names, gid.astype(np.int64)
+
+
 def reuse_distances(
-    trace, machine=None, max_touches: int = MAX_LINE_TOUCHES
+    trace, machine=None, max_touches: int = MAX_LINE_TOUCHES, by: str = "label",
+    clock: str = "stream",
 ) -> ReuseReport:
-    """Compute per-label reuse-distance histograms for *trace*.
+    """Compute grouped reuse-distance histograms for *trace*.
 
     Line granularity comes from the machine's L2 line (the capacity
     sweep this pass predicts is an L2 sweep); 64 bytes when *machine*
-    is ``None``.
+    is ``None``.  Grouping (``by``) is ``"label"`` — per kernel label,
+    the default — or ``"buffer"`` — per trace allocation, ``#N`` dedup
+    suffixes merged, with a ``"?"`` bucket for unmapped touches.  The
+    stack distances themselves are always *global* (computed on the
+    full interleaved stream); only the binning changes, so per-buffer
+    curves answer "how often does this buffer miss in a cache of C
+    bytes shared by everything else".
+
+    ``clock`` selects the virtual time the distances are measured in:
+
+    * ``"stream"`` (default) — the weighted clock.  A sampled loop
+      iteration standing for ``w`` real iterations advances time by
+      ``w``, so distances estimate the *real* execution's working sets
+      (what a physical cache would see; used by the capacity-knee
+      prediction).
+    * ``"trace"`` — the unweighted traced-touch clock.  Distances are
+      the distinct lines of the *sampled* stream itself — exactly what
+      the trace simulator's cache model experiences — while histogram
+      masses stay weighted.  This is the right clock when the consumer
+      is predicting the simulator (``analysis.predict``), whose sampled
+      loops compress per-iteration footprints.
     """
+    if by not in ("label", "buffer"):
+        raise ValueError(f"unknown grouping {by!r}: expected 'label' or 'buffer'")
+    if clock not in ("stream", "trace"):
+        raise ValueError(f"unknown clock {clock!r}: expected 'stream' or 'trace'")
     line = int(machine.l2.line_bytes) if machine is not None else 64
-    labels = list(trace.labels)
+    lines, w, kid = _expand_lines(trace, line, max_touches)
+    if by == "buffer":
+        labels, gid = _buffer_groups(trace, lines, line)
+    else:
+        labels = list(trace.labels)
+        gid = np.clip(kid, 0, len(labels) - 1) if lines.size else kid
     nlab = len(labels)
     report = ReuseReport(
         labels=labels,
@@ -262,16 +412,18 @@ def reuse_distances(
         cold=np.zeros(nlab),
         total=np.zeros(nlab),
         line_bytes=line,
+        footprint_lines=np.zeros(nlab, np.int64),
     )
-    lines, w, kid = _expand_lines(trace, line, max_touches)
     if lines.size == 0:
         return report
-    kid = np.clip(kid, 0, nlab - 1)
+    kid = gid
     report.n_touches = int(lines.size)
     report.total = np.bincount(kid, weights=w, minlength=nlab)
 
-    # Weighted virtual clock: the time *after* each touch.
-    vt = np.cumsum(w)
+    # Virtual clock: the time *after* each touch.  The stream clock is
+    # weight-advanced; the trace clock ticks once per traced touch.
+    cw_clock = w if clock == "stream" else np.ones_like(w)
+    vt = np.cumsum(cw_clock)
 
     # Previous-touch gap per line: stable sort by line id keeps time
     # order inside each line's group.
@@ -290,20 +442,24 @@ def reuse_distances(
     skid = kid[order]
 
     report.cold = np.bincount(skid[first], weights=sw[first], minlength=nlab)
+    report.footprint_lines = np.bincount(skid[first], minlength=nlab).astype(np.int64)
 
     reuse = ~first
     if not reuse.any():
         return report
     r = rt[reuse]
     rw = sw[reuse]
+    rcw = cw_clock[order][reuse]  # clock-mass of each reuse event
     rkid = skid[reuse]
 
     # StatStack tail integral: P(rt > tau) is piecewise constant
     # between sorted reuse times; sd(T) = integral of the tail to T.
-    total_mass = float(w.sum())
+    # The tail is measured in clock mass so sd stays "expected distinct
+    # lines" in whichever stream the clock models.
+    total_mass = float(cw_clock.sum())
     ro = np.argsort(r, kind="stable")
     rs = r[ro]
-    cw = np.cumsum(rw[ro])
+    cw = np.cumsum(rcw[ro])
     # Collapse duplicates so breakpoints are strictly increasing.
     uniq = np.empty(rs.size, dtype=bool)
     uniq[-1] = True

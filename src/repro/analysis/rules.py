@@ -40,6 +40,9 @@ RULES: Dict[str, Tuple[str, str, str]] = {
     "dataflow/dead-store": ("warning", "defuse", "scratch written repeatedly but never read by any kernel"),
     # -- oracle -----------------------------------------------------------
     "oracle/bound-exceeds-sim": ("error", "bounds", "static cycle floor exceeds the simulated cycles"),
+    # -- static cost model (predict vs. oracle drift gate) ----------------
+    "predict/cycles-drift": ("error", "predict", "cost-model cycles outside the drift band around the simulated cycles"),
+    "predict/below-floor": ("error", "predict", "cost-model cycles below the sound static lower bound"),
     # -- cache state (environmental; excluded from baselines) -------------
     "cache/corrupt-entry": ("warning", "cachestate", "cache file quarantined after failing its integrity check"),
     "sweep/orphaned-journal": ("warning", "cachestate", "interrupted sweep checkpoint nobody resumed"),

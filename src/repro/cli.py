@@ -9,6 +9,10 @@ Usage (``python -m repro <command> ...``):
 * ``select``   — per-layer convolution-algorithm selection;
 * ``analyze``  — static trace verifier, working-set and roofline-bound
   report (exit code 1 on any finding; see docs/ANALYSIS.md);
+* ``predict``  — static cost model: predict a network's cycles without
+  simulating, optionally drift-gated against a replay (``--oracle``);
+* ``autotune`` — GEMM block-size search, exhaustive or model-guided
+  (``--prune K`` simulates only the model's top-K candidates);
 * ``trace-cache`` — inspect, verify or garbage-collect the spilled
   trace files under ``.simcache/traces/`` (see docs/TRACE_REPLAY.md).
 """
@@ -144,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the sweep result as JSON (exact float round-trip) "
              "instead of tables",
     )
+    p.add_argument(
+        "--prune", type=int, default=None, metavar="K",
+        help="model-guided sweep: rank all points with the static cost "
+             "model and simulate only the top K; the rest carry "
+             "predicted cycles (source 'pruned-by-model')",
+    )
 
     p = sub.add_parser("roofline", help="Table IV roofline analysis")
     p.add_argument("--gemm", choices=["3loop", "6loop"], default="6loop")
@@ -155,6 +165,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--measured", action="store_true",
                    help="simulate both algorithms instead of the static rule")
+    p.add_argument("--tuned", action="store_true",
+                   help="like --measured, but model-guided-tune the GEMM "
+                        "blocking first (reports the chosen blocking)")
+
+    p = sub.add_parser(
+        "predict",
+        help="predict a network's cycles with the static cost model "
+             "(no simulation)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--oracle", action="store_true",
+        help="also replay the trace and drift-gate the prediction "
+             "against the simulated cycles (predict/* rules)",
+    )
+    p.add_argument(
+        "--band", type=float, default=None, metavar="FACTOR",
+        help="drift band for --oracle: fail when prediction is outside "
+             "[sim/FACTOR, sim*FACTOR] (default: analysis.DRIFT_BAND)",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the prediction as JSON instead of text",
+    )
+
+    p = sub.add_parser(
+        "autotune",
+        help="grid-search GEMM block sizes, exhaustively or model-guided",
+    )
+    p.add_argument("--machine", choices=["rvv", "sve", "a64fx"], default="rvv")
+    p.add_argument("--vlen", type=int, default=512, help="vector length in bits")
+    p.add_argument("--lanes", type=int, default=8)
+    p.add_argument("--l2-mb", type=int, default=1, dest="l2_mb")
+    p.add_argument("-M", type=int, default=64, dest="gemm_m",
+                   help="GEMM rows (default: YOLOv3 416x416 layer-2 shape)")
+    p.add_argument("-N", type=int, default=23104, dest="gemm_n")
+    p.add_argument("-K", type=int, default=288, dest="gemm_k")
+    p.add_argument(
+        "--prune", type=int, default=None, metavar="K",
+        help="simulate only the static model's top-K candidates; the "
+             "rest are returned with predicted cycles "
+             "(source 'pruned-by-model')",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the ranking as JSON instead of a table",
+    )
 
     p = sub.add_parser(
         "analyze",
@@ -364,6 +421,7 @@ def cmd_sweep(args) -> int:
         net, values, factory, policy, args.layers, args.jobs,
         args.simcache, args.trace, resume=args.resume,
         retry=_sweep_retry(args), max_failures=args.max_failures,
+        prune=args.prune,
     )
     if args.as_json:
         from .core.resilience import stats_payload
@@ -432,9 +490,14 @@ def cmd_select(args) -> int:
     machine = _machine(args)
     rows = []
     for spec in discrete_conv_specs(net):
-        choice = (
-            measured_choice(spec, machine) if args.measured else paper_rule(spec)
-        )
+        if args.tuned:
+            from .core import tuned_choice
+
+            choice = tuned_choice(spec, machine)
+        elif args.measured:
+            choice = measured_choice(spec, machine)
+        else:
+            choice = paper_rule(spec)
         rows.append(
             {
                 "layer": f"k{spec.ksize}s{spec.stride} "
@@ -514,6 +577,125 @@ def cmd_analyze(args) -> int:
             else:
                 print(f"baseline match: {args.baseline}", file=sys.stderr)
     return status
+
+
+def cmd_predict(args) -> int:
+    """``repro predict``: static cost model over a captured trace.
+
+    No simulation unless ``--oracle`` is given, in which case the trace
+    is also replayed and the prediction drift-gated against the
+    simulated cycles (``predict/cycles-drift`` / ``predict/below-floor``
+    findings fail the run with exit code 1).
+    """
+    from .analysis import (
+        DRIFT_BAND,
+        check_predict_against_sim,
+        predict_cycles,
+        summarize_trace,
+    )
+    from .core import tracecache
+    from .core.reporting import format_kv
+
+    net = _NETS[args.net]()
+    machine = _machine(args)
+    trace, was_cached = tracecache.get_or_capture(
+        net, machine, _policy(args), args.layers
+    )
+    pred = predict_cycles(summarize_trace(trace, machine), machine)
+
+    band = args.band if args.band is not None else DRIFT_BAND
+    findings, oracle_info = [], None
+    if args.oracle:
+        from .machine.replay import replay
+
+        stats = replay(trace, machine)
+        findings = check_predict_against_sim(
+            pred, stats.cycles, where=net.name, band=band
+        )
+        oracle_info = {
+            "simulated_mcycles": stats.cycles / 1e6,
+            "predicted_mcycles": pred.cycles / 1e6,
+            "predict_ratio": pred.cycles / stats.cycles if stats.cycles else 0.0,
+            "band": band,
+        }
+
+    if args.as_json:
+        print(json.dumps(
+            {
+                "net": net.name,
+                "machine": machine.name,
+                "trace_cached": was_cached,
+                "predict": pred.as_dict(),
+                "oracle": oracle_info,
+                "findings": [f.as_dict() for f in findings],
+                "ok": not findings,
+            },
+            sort_keys=True,
+        ))
+    else:
+        print(machine.describe())
+        print()
+        head = {
+            k: f"{v / 1e6:.3f}M" if k.endswith("cycles") or k == "flops"
+            else f"{v:.4f}"
+            for k, v in pred.as_dict().items()
+            if k != "buffers" and isinstance(v, (int, float))
+        }
+        print(format_kv(f"static cost model: {net.name}", head))
+        if pred.buffer_rows:
+            print()
+            print(format_table(
+                pred.buffer_rows, title="predicted per-buffer traffic"
+            ))
+        if oracle_info is not None:
+            print()
+            print(format_kv("oracle (replayed simulation)", oracle_info))
+        for f in findings:
+            print(f"{f.rule}: {f.message}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def cmd_autotune(args) -> int:
+    """``repro autotune``: block-size search for one GEMM shape."""
+    from .core import autotune_blocks
+
+    machine = _machine(args)
+    best, ranking = autotune_blocks(
+        machine, args.gemm_m, args.gemm_n, args.gemm_k, prune=args.prune
+    )
+    rows = [
+        {
+            "blocking": f"{r.blocks.m}x{r.blocks.n}x{r.blocks.k}",
+            "mcycles": round(r.cycles / 1e6, 4),
+            "predicted_mcycles": (
+                round(r.predicted_cycles / 1e6, 4)
+                if r.predicted_cycles is not None else ""
+            ),
+            "source": r.source,
+        }
+        for r in ranking
+    ]
+    if args.as_json:
+        print(json.dumps(
+            {
+                "machine": machine.name,
+                "gemm": {"M": args.gemm_m, "N": args.gemm_n, "K": args.gemm_k},
+                "best": {"m": best.m, "n": best.n, "k": best.k},
+                "prune": args.prune,
+                "simulated": sum(1 for r in ranking if r.source == "simulated"),
+                "ranking": rows,
+            },
+            sort_keys=True,
+        ))
+    else:
+        n_sim = sum(1 for r in ranking if r.source == "simulated")
+        print(format_table(
+            rows,
+            title=f"autotune {args.gemm_m}x{args.gemm_n}x{args.gemm_k} on "
+                  f"{machine.name}: best {best.m}x{best.n}x{best.k} "
+                  f"({n_sim}/{len(ranking)} simulated)",
+        ))
+    return 0
 
 
 def cmd_trace_cache(args) -> int:
@@ -663,6 +845,8 @@ _COMMANDS = {
     "profile": cmd_profile,
     "select": cmd_select,
     "analyze": cmd_analyze,
+    "predict": cmd_predict,
+    "autotune": cmd_autotune,
     "trace-cache": cmd_trace_cache,
 }
 

@@ -37,7 +37,13 @@ from .multicore import (
 )
 from .reporting import format_series, format_table, normalize
 from .roofline import RooflineRow, arithmetic_intensity, roofline_table, sustained_gflops
-from .selection import Choice, measured_choice, measured_choice_all, paper_rule
+from .selection import (
+    Choice,
+    measured_choice,
+    measured_choice_all,
+    paper_rule,
+    tuned_choice,
+)
 
 __all__ = [
     "TuneResult",
@@ -81,5 +87,6 @@ __all__ = [
     "Choice",
     "measured_choice",
     "measured_choice_all",
+    "tuned_choice",
     "paper_rule",
 ]

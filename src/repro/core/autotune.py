@@ -6,6 +6,13 @@ candidate blockings (filtered by a cache-footprint feasibility rule),
 simulate each on the target machine, and return the ranking.  A
 compiler or library (BLIS's own analytical model, ATLAS-style
 empirical search) would embed exactly this loop.
+
+With ``prune=K`` the tuner is *model-guided*: every candidate is first
+ranked by the static cost model (``analysis.predict`` — reuse-distance
+miss curves composed with the simulator's pricing, ~400x cheaper than
+a simulation) and only the top-``K`` survivors are simulated.  Pruned
+candidates keep their predicted cycle count and are marked
+``source="pruned-by-model"`` so provenance is never lost.
 """
 
 from __future__ import annotations
@@ -23,11 +30,19 @@ __all__ = ["TuneResult", "candidate_blockings", "autotune_blocks"]
 
 @dataclass(frozen=True)
 class TuneResult:
-    """Ranking entry for one blocking candidate."""
+    """Ranking entry for one blocking candidate.
+
+    ``cycles`` is simulated for ``source == "simulated"`` entries and
+    the static model's prediction for ``source == "pruned-by-model"``
+    ones; ``predicted_cycles`` carries the model's estimate whenever
+    the model ran (both sources under ``prune=``).
+    """
 
     blocks: BlockSizes
     cycles: float
     feasible: bool
+    predicted_cycles: Optional[float] = None
+    source: str = "simulated"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.blocks.m}x{self.blocks.n}x{self.blocks.k}: {self.cycles:.4g}"
@@ -43,11 +58,12 @@ def candidate_blockings(
     """Enumerate blockings whose packed working set fits the cache that
     feeds the VPU (the BLIS sizing rule, adapted to the VPU integration:
     on RVV that is the L2, per Section VI-A)."""
-    budget = (
-        machine.l2.size_bytes
-        if machine.vpu.mem_port == "L2"
-        else machine.l2.size_bytes  # B panel targets L2 on L1-fed VPUs too
-    )
+    # The budget is the L2 for *both* integration styles: an L2-fed VPU
+    # (RVV) streams panels straight from it, and on an L1-fed VPU (SVE)
+    # the packed B panel still lives in L2 — the L1 only holds the
+    # current jc slice, while the whole bn x bk panel must survive
+    # across i1 iterations for the packing cost to amortize.
+    budget = machine.l2.size_bytes
     out = []
     for m in ms:
         if m < unroll:
@@ -60,6 +76,17 @@ def candidate_blockings(
     return out
 
 
+def _simulate(machine: MachineConfig, M: int, N: int, K: int,
+              blocks: BlockSizes, unroll: int) -> float:
+    sim = TraceSimulator(machine)
+    a = sim.alloc("A", M * K * 4)
+    b = sim.alloc("B", K * N * 4)
+    c = sim.alloc("C", M * N * 4)
+    trace_gemm_6loop(sim, M, N, K, a.base, b.base, c.base, blocks=blocks,
+                     unroll=unroll)
+    return sim.stats.cycles
+
+
 def autotune_blocks(
     machine: MachineConfig,
     M: int,
@@ -67,27 +94,58 @@ def autotune_blocks(
     K: int,
     candidates: Optional[Sequence[BlockSizes]] = None,
     unroll: int = 16,
+    prune: Optional[int] = None,
 ) -> Tuple[BlockSizes, List[TuneResult]]:
     """Grid-search block sizes for one GEMM shape on *machine*.
 
     Returns the best blocking and the full ranking (fastest first).
+    ``prune=K`` switches to the model-guided search: all candidates are
+    ranked by the static cost model and only the best ``K`` are
+    simulated; the rest are returned after the survivors with their
+    predicted cycles and ``source="pruned-by-model"``.
     """
     if M <= 0 or N <= 0 or K <= 0:
         raise ValueError("GEMM dimensions must be positive")
+    if prune is not None and prune < 1:
+        raise ValueError(f"prune must be a positive candidate count, got {prune}")
     cands = (
         list(candidates) if candidates is not None
         else candidate_blockings(machine, unroll=unroll)
     )
     if not cands:
         raise ValueError("no feasible blocking candidates for this machine")
-    results: List[TuneResult] = []
-    for blocks in cands:
-        sim = TraceSimulator(machine)
-        a = sim.alloc("A", M * K * 4)
-        b = sim.alloc("B", K * N * 4)
-        c = sim.alloc("C", M * N * 4)
-        trace_gemm_6loop(sim, M, N, K, a.base, b.base, c.base, blocks=blocks,
-                         unroll=unroll)
-        results.append(TuneResult(blocks, sim.stats.cycles, True))
+
+    if prune is None:
+        results = [
+            TuneResult(blocks, _simulate(machine, M, N, K, blocks, unroll), True)
+            for blocks in cands
+        ]
+        results.sort(key=lambda r: r.cycles)
+        return results[0].blocks, results
+
+    # Model-guided path: static ranking first, simulate the survivors.
+    # Imported lazily: core must stay importable without the analysis
+    # package's numpy machinery on the exhaustive path.
+    from ..analysis.predict import gemm_summary, predict_cycles
+
+    predicted = [
+        (predict_cycles(gemm_summary(M, N, K, machine, blocks, unroll=unroll),
+                        machine).cycles, i)
+        for i, blocks in enumerate(cands)
+    ]
+    predicted.sort()
+    survivors = predicted[:prune]
+    pruned = predicted[prune:]
+
+    results = [
+        TuneResult(cands[i], _simulate(machine, M, N, K, cands[i], unroll),
+                   True, predicted_cycles=pc, source="simulated")
+        for pc, i in survivors
+    ]
     results.sort(key=lambda r: r.cycles)
+    results.extend(
+        TuneResult(cands[i], pc, True, predicted_cycles=pc,
+                   source="pruned-by-model")
+        for pc, i in pruned
+    )
     return results[0].blocks, results

@@ -333,6 +333,7 @@ def sweep(
     resume: bool = False,
     retry: Optional[RetryPolicy] = None,
     max_failures: Optional[int] = None,
+    prune: Optional[int] = None,
 ) -> SweepResult:
     """Generic one-axis sweep: build a machine per value and simulate.
 
@@ -365,9 +366,20 @@ def sweep(
     ``N > 0`` degrades up to N permanently failing points to
     :class:`PointFailure` cells (source ``"failed"``) before a
     :class:`~repro.core.resilience.SweepError` aborts the sweep.
+
+    Model-guided pruning: ``prune=K`` ranks every point with the static
+    cost model (:mod:`repro.analysis.predict` over the point's recorded
+    trace) and simulates only the ``K`` most promising ones; the rest
+    get the model's predicted statistics with source
+    ``"pruned-by-model"`` (their ``stats`` cells are estimates, not
+    simulations — check ``SweepResult.sources`` before trusting a
+    pruned cell).  Points restored from a resume journal are never
+    re-pruned.
     """
     if policy is None:
         policy = KernelPolicy()
+    if prune is not None and prune < 1:
+        raise ValueError(f"prune must be a positive point count, got {prune}")
     values = list(values)
     machines = [machine_for(v) for v in values]
     retry = retry if retry is not None else RetryPolicy.from_env()
@@ -392,7 +404,33 @@ def sweep(
 
     on_point = journal.record_point if journal is not None else None
     on_failure = journal.record_failure if journal is not None else None
+
     try:
+        if prune is not None and len(pending) > prune:
+            from ..analysis.predict import (
+                predict_cycles,
+                predicted_stats,
+                summarize_trace,
+            )
+            from . import tracecache
+
+            summaries: Dict = {}  # (trace id, line geometry) -> TraceSummary
+            ranked = []
+            for i in pending:
+                m = machines[i]
+                trace, _ = tracecache.get_or_capture(net, m, policy, n_layers)
+                skey = (id(trace), m.l2.line_bytes, m.l1.line_bytes)
+                if skey not in summaries:
+                    summaries[skey] = summarize_trace(trace, m)
+                ranked.append((predict_cycles(summaries[skey], m), i))
+            ranked.sort(key=lambda pi: pi[0].cycles)
+            for pred, i in ranked[prune:]:
+                stats_list[i] = predicted_stats(pred)
+                sources[i] = "pruned-by-model"
+                if on_point is not None:
+                    on_point(i, stats_list[i], sources[i])
+            pending = sorted(i for _, i in ranked[:prune])
+
         if pending:
             sub_machines = [machines[i] for i in pending]
             out = None
@@ -437,6 +475,7 @@ def sweep_vector_lengths(
     resume: bool = False,
     retry=None,
     max_failures: Optional[int] = None,
+    prune: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 6 / Fig. 8 axis: vary the hardware vector length.
 
@@ -456,7 +495,7 @@ def sweep_vector_lengths(
     return sweep(
         net, "vlen_bits", vlens, base_machine, policy, n_layers, jobs,
         use_cache, use_trace, resume=resume, retry=retry,
-        max_failures=max_failures,
+        max_failures=max_failures, prune=prune,
     )
 
 
@@ -472,6 +511,7 @@ def sweep_cache_sizes(
     resume: bool = False,
     retry=None,
     max_failures: Optional[int] = None,
+    prune: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 7 / Figs. 8-10 axis: vary the L2 capacity (1-256 MB).
 
@@ -483,7 +523,7 @@ def sweep_cache_sizes(
     return sweep(
         net, "l2_mb", l2_mbs, base_machine, policy, n_layers, jobs,
         use_cache, use_trace, resume=resume, retry=retry,
-        max_failures=max_failures,
+        max_failures=max_failures, prune=prune,
     )
 
 
@@ -499,6 +539,7 @@ def sweep_lanes(
     resume: bool = False,
     retry=None,
     max_failures: Optional[int] = None,
+    prune: Optional[int] = None,
 ) -> SweepResult:
     """Section VI-B(c) axis: vary the number of vector lanes (2-8).
 
@@ -514,5 +555,5 @@ def sweep_lanes(
     return sweep(
         net, "lanes", lanes, base_machine, policy, n_layers, jobs,
         use_cache, use_trace, resume=resume, retry=retry,
-        max_failures=max_failures,
+        max_failures=max_failures, prune=prune,
     )

@@ -15,21 +15,33 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..kernels import ConvSpec, trace_gemm_6loop, trace_im2col
+from ..kernels.gemm_6loop import BlockSizes
 from ..kernels.winograd import trace_winograd_conv
 from ..machine.config import MachineConfig
 from ..machine.simulator import TraceSimulator
 
-__all__ = ["Choice", "paper_rule", "measured_choice", "measured_choice_all"]
+__all__ = [
+    "Choice",
+    "paper_rule",
+    "measured_choice",
+    "measured_choice_all",
+    "tuned_choice",
+]
 
 
 @dataclass(frozen=True)
 class Choice:
-    """Outcome of algorithm selection for one layer."""
+    """Outcome of algorithm selection for one layer.
+
+    ``blocks`` is set by :func:`tuned_choice` only: the GEMM blocking
+    the model-guided tuner settled on for the im2col side.
+    """
 
     algorithm: str  # "winograd" or "im2col"
     reason: str
     gemm_cycles: Optional[float] = None
     winograd_cycles: Optional[float] = None
+    blocks: Optional[BlockSizes] = None
 
 
 def paper_rule(spec: ConvSpec) -> Choice:
@@ -42,7 +54,9 @@ def paper_rule(spec: ConvSpec) -> Choice:
     return Choice("im2col", f"{spec.ksize}x{spec.ksize} kernel: Winograd n/a")
 
 
-def _gemm_cycles(spec: ConvSpec, machine: MachineConfig) -> float:
+def _gemm_cycles(
+    spec: ConvSpec, machine: MachineConfig, blocks: Optional[BlockSizes] = None
+) -> float:
     sim = TraceSimulator(machine)
     a = sim.alloc("A", spec.M * spec.K * 4)
     b = sim.alloc("B", spec.K * spec.N * 4)
@@ -50,7 +64,8 @@ def _gemm_cycles(spec: ConvSpec, machine: MachineConfig) -> float:
     src = sim.alloc("x", spec.in_channels * spec.in_h * spec.in_w * 4)
     if not (spec.ksize == 1 and spec.stride == 1 and spec.pad == 0):
         trace_im2col(sim, spec, src.base, b.base)
-    trace_gemm_6loop(sim, spec.M, spec.N, spec.K, a.base, b.base, c.base)
+    trace_gemm_6loop(sim, spec.M, spec.N, spec.K, a.base, b.base, c.base,
+                     blocks=blocks)
     return sim.stats.cycles
 
 
@@ -76,6 +91,45 @@ def measured_choice(spec: ConvSpec, machine: MachineConfig) -> Choice:
         f"measured: winograd {w:.3g} vs im2col+gemm {g:.3g} cycles",
         gemm_cycles=g,
         winograd_cycles=w,
+    )
+
+
+def tuned_choice(
+    spec: ConvSpec, machine: MachineConfig, prune: Optional[int] = 8
+) -> Choice:
+    """Algorithm selection with a model-guided blocking search.
+
+    Like :func:`measured_choice`, but the im2col+GEMM side first tunes
+    its block sizes with :func:`repro.core.autotune.autotune_blocks` —
+    by default model-guided (``prune=8``: the static cost model ranks
+    every feasible blocking and only the 8 most promising simulate;
+    ``prune=None`` falls back to the exhaustive grid).  The winning
+    blocking is reported in ``Choice.blocks``, so a compiler/runtime
+    gets the algorithm *and* its tuned configuration from one call.
+    """
+    from .autotune import autotune_blocks
+
+    best, _ranking = autotune_blocks(
+        machine, spec.M, spec.N, spec.K, prune=prune
+    )
+    g = _gemm_cycles(spec, machine, blocks=best)
+    if spec.ksize != 3 or spec.stride not in (1, 2):
+        return Choice(
+            "im2col",
+            f"winograd inapplicable; tuned blocking "
+            f"{best.m}x{best.n}x{best.k}",
+            gemm_cycles=g,
+            blocks=best,
+        )
+    w = _winograd_cycles(spec, machine)
+    algo = "winograd" if w < g else "im2col"
+    return Choice(
+        algo,
+        f"measured: winograd {w:.3g} vs tuned im2col+gemm {g:.3g} cycles "
+        f"(blocking {best.m}x{best.n}x{best.k})",
+        gemm_cycles=g,
+        winograd_cycles=w,
+        blocks=best,
     )
 
 

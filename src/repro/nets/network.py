@@ -213,6 +213,7 @@ class Network:
         rules=None,
         ignore=None,
         reuse: bool = True,
+        predict: bool = True,
     ):
         """Statically analyze this network's trace on *machine*.
 
@@ -224,7 +225,8 @@ class Network:
         also cross-checks the static bounds against one simulated run.
         ``rules``/``ignore`` scope the reported findings by rule-id
         prefix, *max_examples* caps example events per finding, and
-        ``reuse=False`` skips the temporal reuse-distance pass.
+        ``reuse=False`` / ``predict=False`` skip the temporal
+        reuse-distance pass and the static cost model respectively.
         Returns an :class:`repro.analysis.AnalysisReport`.
         """
         if policy is None:
@@ -235,7 +237,7 @@ class Network:
             self, machine, policy=policy, n_layers=n_layers,
             deduplicate=deduplicate, oracle=oracle,
             max_examples=max_examples, rules=rules, ignore=ignore,
-            reuse=reuse,
+            reuse=reuse, predict=predict,
         )
 
     def _emit_trace(self, sim, policy, n_layers, deduplicate) -> None:

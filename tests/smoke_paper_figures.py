@@ -77,7 +77,7 @@ and commit the new file.
 
 
 def base_machine(**overrides):
-    cfg = dict(vlen_bits=512, lanes=4, l2_mb=1)
+    cfg = {"vlen_bits": 512, "lanes": 4, "l2_mb": 1}
     cfg.update(overrides)
     return rvv_gem5(**cfg)
 

@@ -1,0 +1,352 @@
+"""Static cost model (repro.analysis.predict) and model-guided pruning.
+
+Four layers of guarantees:
+
+* **Miss-curve properties** (hypothesis) — for any reuse histogram,
+  ``miss(C)`` is bounded in [0, 1] and monotone non-increasing in
+  capacity (fully-associative and set-conflict-corrected), and the
+  predicted knee is monotone in the coverage target.
+* **Calibration gates** — the predicted cycles stay within
+  ``DRIFT_BAND`` of a real replay on the yolov3-tiny preset pair, and
+  the assoc-corrected knee lands within one power of two of a real
+  ``sweep_cache_sizes`` flattening on both presets.
+* **Pruning acceptance** — on a 48-point block-size grid the model
+  simulates at most 1/5 of the candidates while the survivors still
+  contain the exhaustive search's true top-1 (both presets).
+* **Plumbing** — autotune/sweep provenance (``pruned-by-model``),
+  ``predicted_stats`` rate encodings, drift findings, CLI surfaces.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DRIFT_BAND,
+    check_predict_against_sim,
+    gemm_summary,
+    predict_cycles,
+    predicted_stats,
+    summarize_trace,
+)
+from repro.analysis.reusedist import N_BUCKETS, ReuseReport, reuse_distances
+from repro.cli import main
+from repro.core import autotune_blocks, sweep_cache_sizes, tracecache, tuned_choice
+from repro.kernels import ConvSpec, trace_gemm_6loop
+from repro.kernels.gemm_6loop import BlockSizes
+from repro.machine import rvv_gem5, sve_gem5
+from repro.machine.config import MB
+from repro.machine.simulator import TraceSimulator
+from repro.nets import KernelPolicy
+from repro.nets.zoo import yolov3_tiny
+
+#: The YOLOv3 416x416 layer-2 im2col GEMM (Table II's shape family) —
+#: the shape every calibration in this file prices.
+M, N, K = 64, 23104, 288
+
+PRESETS = {
+    "rvv": lambda **kw: rvv_gem5(vlen_bits=512, l2_mb=1, **kw),
+    "sve": lambda **kw: sve_gem5(vlen_bits=512, l2_mb=1, **kw),
+}
+
+
+def _sim_gemm(machine, blocks, unroll=16):
+    sim = TraceSimulator(machine)
+    a = sim.alloc("A", M * K * 4)
+    b = sim.alloc("B", K * N * 4)
+    c = sim.alloc("C", M * N * 4)
+    trace_gemm_6loop(sim, M, N, K, a.base, b.base, c.base, blocks=blocks,
+                     unroll=unroll)
+    return sim.stats.cycles
+
+
+# ----------------------------------------------------------------------
+# Miss-curve properties (hypothesis)
+# ----------------------------------------------------------------------
+
+def _report(hist, cold):
+    h = np.zeros((1, N_BUCKETS))
+    h[0, : len(hist)] = hist
+    return ReuseReport(
+        labels=["x"],
+        hist=h,
+        cold=np.array([cold]),
+        total=np.array([float(h.sum() + cold)]),
+        line_bytes=64,
+        footprint_lines=np.array([max(1, int(cold))], dtype=np.int64),
+    )
+
+
+masses = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    min_size=1, max_size=N_BUCKETS,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(hist=masses, cold=st.floats(min_value=0.0, max_value=1e9),
+       assoc=st.sampled_from([None, 1, 4, 8]))
+def test_miss_curve_bounded_and_monotone(hist, cold, assoc):
+    """miss(C) lies in [0, 1] and never increases with capacity."""
+    rr = _report(hist, cold)
+    caps = [64 << b for b in range(0, N_BUCKETS + 2, 2)]
+    prev = None
+    for cap in caps:
+        miss = rr.miss_ratio(cap, assoc=assoc)
+        assert 0.0 <= miss <= 1.0 + 1e-12, (cap, miss)
+        if prev is not None:
+            assert miss <= prev + 1e-9, (cap, miss, prev)
+        prev = miss
+
+
+@settings(max_examples=60, deadline=None)
+@given(hist=masses, cold=st.floats(min_value=0.0, max_value=1e9),
+       cov=st.tuples(st.floats(min_value=0.5, max_value=0.999),
+                     st.floats(min_value=0.5, max_value=0.999)),
+       assoc=st.sampled_from([None, 8]))
+def test_knee_monotone_in_coverage(hist, cold, cov, assoc):
+    """A stricter coverage target can only grow the predicted knee."""
+    rr = _report(hist, cold)
+    lo, hi = min(cov), max(cov)
+    assert rr.predicted_knee_bytes(lo, assoc=assoc) <= rr.predicted_knee_bytes(
+        hi, assoc=assoc
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-buffer profiles and the trace clock
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    m = PRESETS["rvv"]()
+    t, _ = tracecache.get_or_capture(yolov3_tiny(), m, KernelPolicy(), 8)
+    return t, m
+
+
+def test_by_buffer_profile_partitions_mass(tiny_trace):
+    """by="buffer" groups the same touch mass as by="kernel"."""
+    t, m = tiny_trace
+    rk = reuse_distances(t, m)
+    rb = reuse_distances(t, m, by="buffer")
+    assert rb.labels and set(rb.labels) != set(rk.labels)
+    assert np.isclose(rb.total.sum(), rk.total.sum())
+    assert np.isclose(rb.cold.sum() + rb.hist.sum(), rk.cold.sum() + rk.hist.sum())
+
+
+def test_trace_clock_keeps_mass_moves_distances(tiny_trace):
+    """clock="trace" re-times distances on the unweighted touch clock
+    but keeps the weighted masses; clock="stream" is the default."""
+    t, m = tiny_trace
+    stream = reuse_distances(t, m)
+    default = reuse_distances(t, m, clock="stream")
+    traced = reuse_distances(t, m, clock="trace")
+    assert np.array_equal(stream.hist, default.hist)
+    assert np.isclose(traced.total.sum(), stream.total.sum())
+    assert np.isclose(traced.cold.sum(), stream.cold.sum())
+    # The sampled-trace clock compresses distances, never inflates them.
+    assert traced.predicted_knee_bytes() <= stream.predicted_knee_bytes()
+    with pytest.raises(ValueError):
+        reuse_distances(t, m, clock="wallclock")
+
+
+# ----------------------------------------------------------------------
+# Calibration gates (the predict-vs-oracle contract)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_network_prediction_within_drift_band(preset):
+    """Predicted cycles within DRIFT_BAND of a replayed simulation, and
+    the drift gate agrees (no predict/* findings)."""
+    from repro.machine.replay import replay
+
+    m = PRESETS[preset]()
+    t, _ = tracecache.get_or_capture(yolov3_tiny(), m, KernelPolicy(), 20)
+    pred = predict_cycles(summarize_trace(t, m), m)
+    stats = replay(t, m)
+    assert stats.cycles / DRIFT_BAND <= pred.cycles <= stats.cycles * DRIFT_BAND
+    assert check_predict_against_sim(pred, stats.cycles, where=preset) == []
+    # The decomposition adds up to the headline number.
+    total = (pred.compute_cycles + pred.scalar_cycles + pred.memory_cycles
+             + pred.stall_cycles + pred.occupancy_cycles)
+    assert np.isclose(total, pred.cycles, rtol=1e-6)
+    assert pred.buffer_rows and all(r["footprint_kb"] > 0 for r in pred.buffer_rows)
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_assoc_knee_matches_real_cache_sweep(preset):
+    """Assoc-corrected knee within one power of two of the capacity
+    where a real sweep_cache_sizes miss curve flattens."""
+    net = yolov3_tiny()
+    factory = {
+        "rvv": lambda mb: rvv_gem5(vlen_bits=512, l2_mb=mb),
+        "sve": lambda mb: sve_gem5(vlen_bits=512, l2_mb=mb),
+    }[preset]
+    m = factory(1)
+    t, _ = tracecache.get_or_capture(net, m, KernelPolicy(), 13)
+    knee = reuse_distances(t, m).predicted_knee_bytes(assoc=m.l2.assoc)
+
+    sizes = [4, 32, 64]
+    res = sweep_cache_sizes(net, sizes, factory, n_layers=13, use_trace=True)
+    sim = {r["l2_mb"]: r["l2_miss_rate"] for r in res.as_rows()}
+    flat = next(mb for mb in sizes if abs(sim[mb] - sim[sizes[-1]]) < 1e-9)
+    assert flat * MB // 2 <= knee <= 2 * flat * MB, (knee, flat)
+
+
+def test_drift_findings_fire():
+    """check_predict_against_sim: silent in band, loud outside it."""
+    m = PRESETS["rvv"]()
+    pred = predict_cycles(gemm_summary(M, N, K, m, BlockSizes(64, 512, 128)), m)
+    assert check_predict_against_sim(pred, pred.cycles, where="x") == []
+    drift = check_predict_against_sim(pred, pred.cycles * 4.0, where="x")
+    assert [f.rule for f in drift] == ["predict/cycles-drift"]
+    assert all(f.severity == "error" for f in drift)
+    floor = check_predict_against_sim(
+        pred, pred.cycles, bound_cycles=pred.cycles * 2.0, where="x"
+    )
+    assert "predict/below-floor" in {f.rule for f in floor}
+
+
+def test_predicted_stats_roundtrip():
+    m = PRESETS["rvv"]()
+    pred = predict_cycles(gemm_summary(M, N, K, m, BlockSizes(64, 512, 128)), m)
+    st_ = predicted_stats(pred)
+    assert st_.cycles == pred.cycles
+    assert st_.flops == pred.flops
+    assert np.isclose(st_.l2_miss_rate, pred.l2_miss_rate)
+    assert np.isclose(st_.l1_miss_rate, pred.l1_miss_rate)
+
+
+# ----------------------------------------------------------------------
+# Pruning acceptance: the 48-point grid
+# ----------------------------------------------------------------------
+
+GRID = [
+    BlockSizes(m_, n_, k_)
+    for m_ in (16, 32, 48, 64)
+    for n_ in (256, 512, 1024)
+    for k_ in (64, 128, 256, 512)
+]
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_pruned_grid_keeps_exhaustive_top1(preset):
+    """On the 48-point grid, prune=9 (< 48/5 = 9.6 simulations) still
+    simulates the exhaustive search's true top-1 — the acceptance bar
+    for replacing a grid search with the model-guided one."""
+    machine = PRESETS[preset]()
+    assert len(GRID) == 48
+    prune = 9
+    assert prune * 5 <= len(GRID) + 4  # simulate at most ~1/5 of the grid
+
+    oracle = min(GRID, key=lambda b: _sim_gemm(machine, b))
+
+    best, ranking = autotune_blocks(machine, M, N, K, candidates=GRID,
+                                    prune=prune)
+    simulated = [r for r in ranking if r.source == "simulated"]
+    pruned = [r for r in ranking if r.source == "pruned-by-model"]
+    assert len(simulated) == prune
+    assert len(pruned) == len(GRID) - prune
+    assert oracle in [r.blocks for r in simulated]
+    assert best == oracle
+    # Survivors are sim-sorted; pruned entries carry their estimate.
+    assert [r.cycles for r in simulated] == sorted(r.cycles for r in simulated)
+    assert all(r.predicted_cycles == r.cycles for r in pruned)
+
+
+# ----------------------------------------------------------------------
+# Plumbing: autotune / sweep / selection / CLI
+# ----------------------------------------------------------------------
+
+def test_autotune_prune_contract():
+    machine = PRESETS["rvv"]()
+    cands = [BlockSizes(16, 512, 64), BlockSizes(32, 512, 128),
+             BlockSizes(64, 1024, 64), BlockSizes(16, 256, 256)]
+    best, ranking = autotune_blocks(machine, 64, 2048, 288,
+                                    candidates=cands, prune=2)
+    assert sum(r.source == "simulated" for r in ranking) == 2
+    assert all(r.predicted_cycles is not None for r in ranking)
+    assert best == ranking[0].blocks and ranking[0].source == "simulated"
+    with pytest.raises(ValueError):
+        autotune_blocks(machine, 64, 2048, 288, candidates=cands, prune=0)
+    # prune >= len(candidates): degenerates to the exhaustive ranking.
+    _, full = autotune_blocks(machine, 64, 2048, 288, candidates=cands,
+                              prune=len(cands))
+    assert all(r.source == "simulated" for r in full)
+
+
+def test_sweep_prune_provenance():
+    """Pruned design points are journaled as 'pruned-by-model' and keep
+    a usable stats shell (rates, cycles)."""
+    net = yolov3_tiny()
+    res = sweep_cache_sizes(
+        net, [1, 8, 64],
+        lambda mb: rvv_gem5(vlen_bits=512, l2_mb=mb),
+        n_layers=8, use_trace=True, prune=2,
+    )
+    sources = [res.source_of(i) for i in range(3)]
+    assert sources.count("pruned-by-model") == 1
+    assert all(s.cycles > 0 for s in res.stats)
+    i = sources.index("pruned-by-model")
+    assert 0.0 <= res.stats[i].l2_miss_rate <= 1.0
+    with pytest.raises(ValueError):
+        sweep_cache_sizes(
+            net, [1, 8], lambda mb: rvv_gem5(vlen_bits=512, l2_mb=mb),
+            n_layers=8, prune=0,
+        )
+
+
+def test_tuned_choice_reports_blocking():
+    spec = ConvSpec(in_channels=16, out_channels=32, in_h=32, in_w=32,
+                    ksize=3, stride=1, pad=1)
+    choice = tuned_choice(spec, PRESETS["rvv"](), prune=2)
+    assert choice.blocks is not None
+    assert choice.algorithm in ("winograd", "im2col")
+    assert f"{choice.blocks.m}x{choice.blocks.n}x{choice.blocks.k}" in choice.reason
+
+
+def test_predict_rules_registered():
+    from repro.analysis import rule_rows
+    from repro.analysis.rules import RULES
+
+    assert RULES["predict/cycles-drift"][0] == "error"
+    assert RULES["predict/below-floor"][0] == "error"
+    assert {"predict/cycles-drift", "predict/below-floor"} <= {
+        r["rule"] for r in rule_rows()
+    }
+
+
+def test_analyze_report_carries_predict_section(tiny_trace):
+    from repro.analysis import analyze_trace, canonical_report
+
+    t, m = tiny_trace
+    rep = analyze_trace(t, m, oracle=True, net_name="tiny")
+    assert rep.predict is not None and rep.predict["cycles"] > 0
+    assert rep.oracle is not None and rep.oracle["predict_ratio"] > 0
+    assert not rep.findings_for("predict/cycles-drift")
+    doc = canonical_report(rep)
+    assert doc["predict"]["cycles"] > 0
+    assert "static cost model" in rep.to_text()
+    # predict=False drops the section (and the oracle gate on it).
+    bare = analyze_trace(t, m, oracle=False, net_name="tiny", predict=False)
+    assert bare.predict is None
+
+
+def test_cli_predict_and_autotune(capsys):
+    assert main(["predict", "--net", "yolov3-tiny", "--layers", "8",
+                 "--oracle", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] and doc["predict"]["cycles"] > 0
+    assert doc["oracle"]["predict_ratio"] > 0
+
+    assert main(["autotune", "--machine", "rvv", "-M", "64", "-N", "2048",
+                 "-K", "288", "--prune", "2", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["simulated"] == 2
+    assert len(doc["ranking"]) > 2
+    assert {r["source"] for r in doc["ranking"]} == {
+        "simulated", "pruned-by-model"
+    }
