@@ -713,3 +713,46 @@ def test_analysis_selfperf(benchmark, yolo_net):
     assert t_analyze < 5.0
     # The reuse-distance pass alone must also stay interactive.
     assert t_reuse < 5.0
+
+
+def test_codecheck_selfperf(benchmark):
+    """Code-invariant analyzer runtime over the repro package itself.
+
+    ``repro check-code`` runs in the CI lint job on every push, so its
+    end-to-end cost (parse ~80 modules, build the call graph, classify
+    zones, run 13 rule families) is a gate, not just a datapoint: it
+    must stay well under interactive latency or people stop running it
+    locally before committing.
+    """
+    from repro.analysis.codecheck import check_package, default_config
+
+    def run():
+        config = default_config()
+        t0 = time.perf_counter()
+        first = check_package(config)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        second = check_package(config)
+        t_warm = time.perf_counter() - t0
+        return first, second, t_cold, t_warm
+
+    first, second, t_cold, t_warm = run_once(benchmark, run)
+
+    row = {
+        "bench": "codecheck_selfperf",
+        "cold_s": round(t_cold, 4),
+        "warm_s": round(t_warm, 4),
+        "findings": len(first),
+    }
+    banner("Code-invariant analyzer (repro check-code, full package)")
+    print(f"cold run                : {t_cold:.3f}s")
+    print(f"repeat run              : {t_warm:.3f}s")
+    print("BENCH " + json.dumps(row, sort_keys=True))
+    benchmark.extra_info.update(row)
+
+    # The gate the repo ships under: zero findings on its own tree...
+    assert not first, [f.as_row() for f in first]
+    # ...reported deterministically...
+    assert [f.as_dict() for f in first] == [f.as_dict() for f in second]
+    # ...and fast enough to run on every commit.
+    assert t_cold < 5.0

@@ -31,6 +31,7 @@ from __future__ import annotations
 from .baseline import canonical_report, diff_documents
 from .bounds import check_bounds_against_sim, static_bounds
 from .cachestate import cache_state_findings
+from .codecheck import CheckConfig, check_package, default_config
 from .defuse import defuse_trace
 from .findings import AnalysisReport, Finding
 from .lint import lint_config
@@ -51,6 +52,7 @@ from .workingset import predict_l2_knee, working_sets
 
 __all__ = [
     "AnalysisReport",
+    "CheckConfig",
     "DRIFT_BAND",
     "Finding",
     "PredictedCycles",
@@ -62,7 +64,9 @@ __all__ = [
     "cache_state_findings",
     "canonical_report",
     "check_bounds_against_sim",
+    "check_package",
     "check_predict_against_sim",
+    "default_config",
     "defuse_trace",
     "diff_documents",
     "filter_findings",

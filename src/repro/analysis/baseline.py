@@ -25,8 +25,11 @@ diff pasted into the PR description.
 from __future__ import annotations
 
 import json
-import os
+from pathlib import Path
 from typing import Dict, List
+
+from ..core.resilience import atomic_replace
+from ..testing import faults
 
 __all__ = [
     "canonical_report",
@@ -101,12 +104,17 @@ def _short(value, limit: int = 120) -> str:
 
 
 def load_baseline(path: str) -> Dict:
-    with open(path, encoding="utf-8") as fh:
+    with Path(path).open(encoding="utf-8") as fh:
         return json.load(fh)
 
 
 def write_baseline(path: str, doc: Dict) -> None:
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    """Atomically (re)write a committed baseline document."""
+
+    def write(tmp: str) -> None:
+        with Path(tmp).open("w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        faults.maybe_fault("baseline.write", path=tmp)
+
+    atomic_replace(path, write)

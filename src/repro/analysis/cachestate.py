@@ -19,7 +19,7 @@ with the state of whoever's scratch cache.
 
 from __future__ import annotations
 
-import os
+from pathlib import Path
 from typing import List
 
 from ..core.resilience import list_journals, list_quarantined
@@ -46,7 +46,7 @@ def cache_state_findings(min_age_s: float = _ORPHAN_MIN_AGE_S) -> List[Finding]:
             Finding(
                 rule="cache/corrupt-entry",
                 severity="warning",
-                where=os.path.basename(entry["file"]),
+                where=Path(entry["file"]).name,
                 message=entry["reason"] or "quarantined cache file",
                 detail={"file": entry["file"], "when": entry["when"]},
             )
@@ -58,7 +58,7 @@ def cache_state_findings(min_age_s: float = _ORPHAN_MIN_AGE_S) -> List[Finding]:
             Finding(
                 rule="sweep/orphaned-journal",
                 severity="warning",
-                where=os.path.basename(journal["path"]),
+                where=Path(journal["path"]).name,
                 message=(
                     f"interrupted sweep checkpoint: "
                     f"{journal['n_ok']}/{journal['n_points']} points done"

@@ -1,0 +1,34 @@
+"""``repro check-code``: AST/call-graph invariant analyzer.
+
+Parses the package into ASTs (never importing it), builds a module
+level call graph, classifies functions into zones (sim-core, worker,
+durable-io, emitter), and checks 13 zone-aware rule families covering
+determinism, atomic persistence, fork safety, and knob hygiene.  The
+rule catalog lives in :mod:`repro.analysis.rules` under the
+``codecheck`` pass; docs/ANALYSIS.md has the prose contracts.
+"""
+
+from __future__ import annotations
+
+from .callgraph import FunctionInfo, build_callgraph, reachable
+from .checks import CHECKERS, Context, RawFinding, run_checks
+from .engine import CheckConfig, check_package, default_config
+from .loader import Module, load_package
+from .zones import Zones, classify
+
+__all__ = [
+    "CHECKERS",
+    "CheckConfig",
+    "Context",
+    "FunctionInfo",
+    "Module",
+    "RawFinding",
+    "Zones",
+    "build_callgraph",
+    "check_package",
+    "classify",
+    "default_config",
+    "load_package",
+    "reachable",
+    "run_checks",
+]

@@ -1,0 +1,220 @@
+"""Module-level call graph over a parsed package.
+
+Every top-level function and every class method becomes a
+:class:`FunctionInfo` keyed by qualname (``"pkg.mod:fn"`` or
+``"pkg.mod:Class.method"``).  Call edges are resolved best-effort and
+*conservatively*: a call we cannot attribute to a package function is
+simply not an edge (it can still be flagged by the pattern checkers,
+which work on raw AST nodes).  Resolution covers the shapes this
+codebase actually uses:
+
+* plain names — local functions, ``from x import f`` imports;
+* ``module.attr`` — where ``module`` is an imported package module;
+* ``self.method`` / ``cls.method`` — within the defining class.
+
+:func:`reachable` runs the BFS that underlies zone classification;
+*barrier_modules* are never traversed **into** (their functions do not
+join the reachable set, and nothing is explored through them), which is
+how the sim-core zone stays clear of the durable-IO layer it invokes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .loader import Module
+
+__all__ = ["FunctionInfo", "build_callgraph", "reachable"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) of the analyzed package."""
+
+    qual: str  # "pkg.mod:fn" or "pkg.mod:Class.method"
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    calls: Set[str] = field(default_factory=set)  # resolved qualnames
+    tokens: Set[str] = field(default_factory=set)  # identifiers + str literals
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleScope:
+    """Name-resolution context for one module."""
+
+    module: Module
+    #: local alias -> absolute module name (``import x.y as z``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (absolute module, attr) for ``from m import attr``
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: names of functions/classes defined at module top level
+    top_functions: Set[str] = field(default_factory=set)
+    top_classes: Set[str] = field(default_factory=set)
+
+
+def _scan_imports(scope: ModuleScope) -> None:
+    mod = scope.module
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                scope.module_aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = mod.resolve_relative(node.level, node.module or "")
+            for alias in node.names:
+                local = alias.asname or alias.name
+                scope.from_imports[local] = (base, alias.name)
+
+
+def _function_nodes(mod: Module):
+    """Yield ``(class_name, def_node)`` for top-level defs and methods."""
+    for node in mod.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, sub
+
+
+def _collect_tokens(node: ast.AST) -> Set[str]:
+    tokens: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if len(sub.value) < 80:
+                tokens.add(sub.value)
+    return tokens
+
+
+def resolve_callable(
+    expr: ast.AST,
+    scope: ModuleScope,
+    modules: Dict[str, Module],
+    functions: Dict[str, FunctionInfo],
+    class_name: Optional[str] = None,
+) -> Optional[str]:
+    """Best-effort qualname for a callable expression; None if unknown."""
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if name in scope.top_functions:
+            return f"{scope.module.name}:{name}"
+        if name in scope.from_imports:
+            target_mod, attr = scope.from_imports[name]
+            qual = f"{target_mod}:{attr}"
+            if qual in functions:
+                return qual
+            # ``from pkg import mod`` — the name is a module, not a fn.
+            sub = f"{target_mod}.{attr}"
+            if sub in modules:
+                return None
+        return None
+    if isinstance(expr, ast.Attribute):
+        base = expr.value
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and class_name is not None:
+                qual = f"{scope.module.name}:{class_name}.{expr.attr}"
+                if qual in functions:
+                    return qual
+                return None
+            target_mod = None
+            if base.id in scope.module_aliases:
+                target_mod = scope.module_aliases[base.id]
+            elif base.id in scope.from_imports:
+                m, attr = scope.from_imports[base.id]
+                cand = f"{m}.{attr}"
+                if cand in modules:
+                    target_mod = cand
+                else:
+                    # ``from m import Cls`` then ``Cls.method(...)``
+                    qual = f"{m}:{attr}.{expr.attr}"
+                    if qual in functions:
+                        return qual
+            if target_mod is not None:
+                qual = f"{target_mod}:{expr.attr}"
+                if qual in functions:
+                    return qual
+            # ``Cls.method`` on a locally defined class
+            if base.id in scope.top_classes:
+                qual = f"{scope.module.name}:{base.id}.{expr.attr}"
+                if qual in functions:
+                    return qual
+    return None
+
+
+def build_callgraph(
+    modules: Dict[str, Module],
+) -> Tuple[Dict[str, FunctionInfo], Dict[str, ModuleScope]]:
+    """Build the function table and call edges for *modules*."""
+    scopes: Dict[str, ModuleScope] = {}
+    functions: Dict[str, FunctionInfo] = {}
+    for name, mod in modules.items():
+        scope = ModuleScope(module=mod)
+        _scan_imports(scope)
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.top_functions.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                scope.top_classes.add(node.name)
+        scopes[name] = scope
+        for class_name, fn_node in _function_nodes(mod):
+            qual = (
+                f"{name}:{class_name}.{fn_node.name}"
+                if class_name
+                else f"{name}:{fn_node.name}"
+            )
+            functions[qual] = FunctionInfo(
+                qual=qual,
+                module=name,
+                name=fn_node.name,
+                class_name=class_name,
+                node=fn_node,
+                tokens=_collect_tokens(fn_node),
+            )
+    # Second pass: resolve call edges (needs the full function table).
+    for info in functions.values():
+        scope = scopes[info.module]
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Call):
+                qual = resolve_callable(
+                    sub.func, scope, modules, functions, info.class_name
+                )
+                if qual is not None:
+                    info.calls.add(qual)
+    return functions, scopes
+
+
+def reachable(
+    functions: Dict[str, FunctionInfo],
+    roots: Iterable[str],
+    barrier_modules: Iterable[str] = (),
+) -> Set[str]:
+    """Qualnames reachable from *roots* without entering a barrier module."""
+    barriers = set(barrier_modules)
+    seen: Set[str] = set()
+    stack: List[str] = [
+        q for q in roots if q in functions and functions[q].module not in barriers
+    ]
+    while stack:
+        qual = stack.pop()
+        if qual in seen:
+            continue
+        seen.add(qual)
+        for callee in functions[qual].calls:
+            info = functions.get(callee)
+            if info is None or callee in seen or info.module in barriers:
+                continue
+            stack.append(callee)
+    return seen

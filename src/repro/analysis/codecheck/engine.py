@@ -1,0 +1,166 @@
+"""Driver for ``repro check-code``.
+
+Wires the loader, call graph, zone classifier, and checkers together
+and converts surviving :class:`RawFinding` rows into the pipeline's
+:class:`~repro.analysis.findings.Finding` type so the CLI can reuse the
+analyze plumbing (text/JSON rendering, ``--rules``/``--ignore``
+prefixes, baseline diffing).
+
+Suppressions: a finding is dropped when its source line carries a
+``# reprolint: ignore[rule-id]`` comment naming the rule (several ids
+may be listed, comma-separated).  Suppressions are per-line and
+per-rule — there is no file-level or wildcard escape hatch.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Tuple
+
+from ..findings import Finding
+from .callgraph import build_callgraph
+from .checks import Context, RawFinding, run_checks
+from .loader import load_package
+from .zones import Zones, classify
+
+__all__ = ["CheckConfig", "check_package", "default_config"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*ignore\[([^\]]+)\]")
+
+#: entry points of the timing model; ``Class.*`` selects every method.
+DEFAULT_SIM_ROOTS = (
+    "repro.machine.simulator:TraceSimulator.*",
+    "repro.machine.replay:replay",
+    "repro.machine.replay:replay_sweep",
+    "repro.analysis.predict:predict_cycles",
+    "repro.nets.network:Network.simulate",
+)
+
+#: infrastructure the sim-core traversal never enters (wall-clock and
+#: retry logic is their job, not a determinism leak).
+DEFAULT_BARRIERS = (
+    "repro.core.simcache",
+    "repro.core.tracecache",
+    "repro.core.resilience",
+    "repro.core.parallel",
+    "repro.core.knobs",
+    "repro.testing.faults",
+)
+
+#: modules owning crash-safe persistent artifacts.
+DEFAULT_DURABLE = (
+    "repro.core.simcache",
+    "repro.core.tracecache",
+    "repro.core.resilience",
+)
+
+#: modules writing user-facing report artifacts.
+DEFAULT_EMITTERS = (
+    "repro.machine.report",
+    "repro.analysis.baseline",
+    "repro.core.export",
+)
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """What to analyze and which module plays which role."""
+
+    package_root: Path
+    package: str = "repro"
+    sim_roots: Tuple[str, ...] = DEFAULT_SIM_ROOTS
+    barrier_modules: Tuple[str, ...] = DEFAULT_BARRIERS
+    durable_modules: Tuple[str, ...] = DEFAULT_DURABLE
+    emitter_modules: Tuple[str, ...] = DEFAULT_EMITTERS
+    knobs_module: str = "repro.core.knobs"
+    known_knobs: frozenset = field(default_factory=frozenset)
+
+
+def default_config() -> CheckConfig:
+    """Config for the repro package itself (the self-check gate)."""
+    import repro
+
+    from ...core.knobs import KNOBS
+
+    return CheckConfig(
+        package_root=Path(repro.__file__).resolve().parent,
+        known_knobs=frozenset(KNOBS),
+    )
+
+
+def _severity(rule: str) -> str:
+    from ..rules import RULES
+
+    entry = RULES.get(rule)
+    return entry[0] if entry is not None else "error"
+
+
+def _suppressed(raw: RawFinding, ctx: Context) -> bool:
+    mod = ctx.modules.get(raw.module)
+    if mod is None or not (1 <= raw.lineno <= len(mod.lines)):
+        return False
+    match = _SUPPRESS_RE.search(mod.lines[raw.lineno - 1])
+    if match is None:
+        return False
+    ids = {part.strip() for part in match.group(1).split(",")}
+    return raw.rule in ids
+
+
+def check_package(config: CheckConfig) -> List[Finding]:
+    """Run every checker over *config.package_root*; return findings.
+
+    The result is deterministic: modules load in sorted order, checkers
+    run in a fixed order, and findings sort by (module, line, rule).
+    """
+    modules = load_package(config.package_root, config.package)
+    functions, scopes = build_callgraph(modules)
+    zones = classify(
+        modules, functions, scopes,
+        sim_roots=config.sim_roots,
+        barrier_modules=config.barrier_modules,
+        durable_modules=config.durable_modules,
+        emitter_modules=config.emitter_modules,
+    )
+    ctx = Context(
+        modules=modules,
+        functions=functions,
+        scopes=scopes,
+        zones=zones,
+        knobs_module=config.knobs_module,
+        known_knobs=config.known_knobs,
+    )
+    anchor = config.package_root.parent
+    findings: List[Finding] = []
+    for raw in run_checks(ctx):
+        if _suppressed(raw, ctx):
+            continue
+        mod = ctx.modules[raw.module]
+        try:
+            where = str(mod.path.relative_to(anchor))
+        except ValueError:
+            where = str(mod.path)
+        detail = dict(raw.detail)
+        detail["zone"] = _zone_label(raw, zones)
+        findings.append(Finding(
+            rule=raw.rule,
+            severity=_severity(raw.rule),
+            where=f"{where}:{raw.lineno}",
+            message=raw.message,
+            detail=detail,
+        ))
+    return findings
+
+
+def _zone_label(raw: RawFinding, zones: Zones) -> str:
+    qual = raw.detail.get("function")
+    if isinstance(qual, str) and qual in zones.sim_core:
+        return "sim-core"
+    if isinstance(qual, str) and qual in zones.worker:
+        return "worker"
+    if raw.module in zones.durable_modules:
+        return "durable-io"
+    if raw.module in zones.emitter_modules:
+        return "emitter"
+    return "general"

@@ -1,0 +1,148 @@
+"""Zone classification: which contract applies to which function.
+
+The analyzer's rules are *zone-aware* — a ``time.time()`` call is fine
+in a retry loop and fatal in the cycle-accounting path.  Zones:
+
+* **sim-core** — everything reachable from the simulation roots
+  (``TraceSimulator`` methods, trace replay, the static cost model,
+  ``Network.simulate``) without crossing a *barrier* module.  Barrier
+  modules (the caches, the resilience layer, the parallel engine, the
+  fault harness) are infrastructure around the timing model; wall-clock
+  and retry logic is their job, so traversal never enters them.
+* **durable-io** — modules owning crash-safe persistent artifacts
+  (simcache entries, trace spills, journals, quarantine).  Writes here
+  must be atomic, digest-carried, and canonically ordered.
+* **emitter** — modules writing user-facing artifacts (gem5 stats
+  dumps, analysis baselines, CSV exports).  Atomicity and canonical
+  JSON apply; content digests are not required.
+* **worker** — functions shipped to pool workers (submission-site
+  arguments).  They must be fork-safe: module-level, closure-free, and
+  free of ``global`` mutation.  Functions passed via ``initializer=``
+  are exempt from the mutation rule — per-process setup is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set, Tuple
+
+from .callgraph import FunctionInfo, ModuleScope, reachable, resolve_callable
+from .loader import Module
+
+__all__ = ["Zones", "classify", "SUBMIT_METHODS"]
+
+#: Pool-submission attribute names whose first positional argument is a
+#: callable shipped to another process.
+SUBMIT_METHODS = ("apply_async", "apply", "submit", "map_async",
+                  "imap", "imap_unordered", "starmap", "starmap_async")
+
+
+@dataclass
+class Zones:
+    sim_core: Set[str] = field(default_factory=set)
+    worker: Set[str] = field(default_factory=set)
+    initializers: Set[str] = field(default_factory=set)
+    durable_modules: Set[str] = field(default_factory=set)
+    emitter_modules: Set[str] = field(default_factory=set)
+    #: raw submission sites: (module, Call node, submitted expr or None)
+    submit_sites: list = field(default_factory=list)
+
+    def zone_of(self, qual: str) -> str:
+        if qual in self.sim_core:
+            return "sim-core"
+        if qual in self.worker:
+            return "worker"
+        return "general"
+
+
+def expand_roots(
+    roots: Iterable[str], functions: Dict[str, FunctionInfo]
+) -> Set[str]:
+    """Expand root specs; ``"mod:Class.*"`` selects every method."""
+    out: Set[str] = set()
+    for spec in roots:
+        if spec.endswith(".*"):
+            prefix = spec[:-1]  # keep the trailing dot
+            out.update(q for q in functions if q.startswith(prefix))
+        elif spec in functions:
+            out.add(spec)
+    return out
+
+
+def _submitted_exprs(call: ast.Call) -> Tuple[list, list]:
+    """Split a submission call into (task exprs, initializer exprs)."""
+    tasks: list = []
+    inits: list = []
+    func = call.func
+    is_process = (
+        isinstance(func, ast.Name) and func.id == "Process"
+    ) or (isinstance(func, ast.Attribute) and func.attr == "Process")
+    if is_process:
+        for kw in call.keywords:
+            if kw.arg == "target":
+                tasks.append(kw.value)
+        return tasks, inits
+    if isinstance(func, ast.Attribute) and func.attr in SUBMIT_METHODS:
+        if call.args:
+            tasks.append(call.args[0])
+        for kw in call.keywords:
+            if kw.arg in ("func", "target"):
+                tasks.append(kw.value)
+    # Pool construction: initializer= names a per-process setup hook.
+    for kw in call.keywords:
+        if kw.arg == "initializer":
+            inits.append(kw.value)
+    return tasks, inits
+
+
+def collect_workers(
+    modules: Dict[str, Module],
+    functions: Dict[str, FunctionInfo],
+    scopes: Dict[str, ModuleScope],
+) -> Tuple[Set[str], Set[str], list]:
+    """Find worker/initializer functions at every submission site."""
+    workers: Set[str] = set()
+    initializers: Set[str] = set()
+    sites: list = []
+    for name, mod in modules.items():
+        scope = scopes[name]
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tasks, inits = _submitted_exprs(node)
+            for expr in tasks:
+                sites.append((name, node, expr))
+                qual = resolve_callable(expr, scope, modules, functions)
+                if qual is not None:
+                    workers.add(qual)
+            for expr in inits:
+                qual = resolve_callable(expr, scope, modules, functions)
+                if qual is not None:
+                    initializers.add(qual)
+    # Everything a worker calls runs in the worker process too — but
+    # only within non-barrier modules' own code; the checkers that use
+    # the worker zone (``mp/global-mutation``) care about the directly
+    # submitted functions, so no closure is taken here.
+    return workers, initializers, sites
+
+
+def classify(
+    modules: Dict[str, Module],
+    functions: Dict[str, FunctionInfo],
+    scopes: Dict[str, ModuleScope],
+    sim_roots: Iterable[str],
+    barrier_modules: Iterable[str],
+    durable_modules: Iterable[str],
+    emitter_modules: Iterable[str],
+) -> Zones:
+    roots = expand_roots(sim_roots, functions)
+    workers, initializers, sites = collect_workers(modules, functions, scopes)
+    return Zones(
+        sim_core=reachable(functions, roots, barrier_modules),
+        worker=workers,
+        initializers=initializers,
+        durable_modules=set(durable_modules),
+        emitter_modules=set(emitter_modules),
+        submit_sites=sites,
+    )

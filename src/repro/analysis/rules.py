@@ -46,6 +46,20 @@ RULES: Dict[str, Tuple[str, str, str]] = {
     # -- cache state (environmental; excluded from baselines) -------------
     "cache/corrupt-entry": ("warning", "cachestate", "cache file quarantined after failing its integrity check"),
     "sweep/orphaned-journal": ("warning", "cachestate", "interrupted sweep checkpoint nobody resumed"),
+    # -- code invariants (repro check-code; source-level contracts) --------
+    "det/wall-clock": ("error", "codecheck", "time/datetime call inside the sim-core zone"),
+    "det/unseeded-random": ("error", "codecheck", "global-state or unseeded randomness inside sim-core"),
+    "det/float-cycles": ("error", "codecheck", "float32/float16 narrowing inside sim-core accumulation"),
+    "det/unsorted-iteration": ("warning", "codecheck", "iterating a directory listing or set without sorted()"),
+    "io/bare-write": ("error", "codecheck", "non-atomic write in a durable-io or emitter module"),
+    "io/digest-gap": ("warning", "codecheck", "durable atomic_replace with no sha256/digest within 3 calls"),
+    "io/json-unsorted": ("error", "codecheck", "json.dump(s) without sort_keys=True in a durable/emitter module"),
+    "mp/fork-unsafe": ("error", "codecheck", "lambda/closure/bound-method submitted to a worker pool"),
+    "mp/global-mutation": ("error", "codecheck", "worker task rebinds module globals"),
+    "mp/shm-leak": ("error", "codecheck", "publish_shm without release_shm in a finally"),
+    "api/env-knob": ("error", "codecheck", "os.environ/os.getenv read outside the knob registry"),
+    "api/knob-undeclared": ("error", "codecheck", "REPRO_* literal with no declaration in core.knobs"),
+    "exc/silent-swallow": ("warning", "codecheck", "broad except silently dropping errors in durable-io"),
 }
 
 

@@ -14,7 +14,12 @@ Usage (``python -m repro <command> ...``):
 * ``autotune`` — GEMM block-size search, exhaustive or model-guided
   (``--prune K`` simulates only the model's top-K candidates);
 * ``trace-cache`` — inspect, verify or garbage-collect the spilled
-  trace files under ``.simcache/traces/`` (see docs/TRACE_REPLAY.md).
+  trace files under ``.simcache/traces/`` (see docs/TRACE_REPLAY.md);
+* ``check-code`` — AST/call-graph invariant analyzer over the repro
+  sources themselves: determinism, atomic persistence, fork-safety and
+  knob-hygiene contracts (exit code 1 on any finding);
+* ``knobs``    — list every declared ``REPRO_*`` environment knob with
+  its type, default, and current value.
 """
 
 from __future__ import annotations
@@ -276,6 +281,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit one JSON document instead of a table",
+    )
+
+    p = sub.add_parser(
+        "check-code",
+        help="statically check the repro sources against the "
+             "determinism/atomicity/fork-safety contracts "
+             "(docs/ANALYSIS.md, 'Code invariants')",
+    )
+    p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="package directory to analyze (default: the installed "
+             "repro package itself)",
+    )
+    p.add_argument(
+        "--package", default="repro", metavar="NAME",
+        help="dotted package name the directory corresponds to",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the findings as one JSON document",
+    )
+    p.add_argument(
+        "--rules", default=None, metavar="PREFIX[,PREFIX...]",
+        help="only report findings whose rule id starts with one of "
+             "these comma-separated prefixes (e.g. 'det,mp/shm-leak')",
+    )
+    p.add_argument(
+        "--ignore", default=None, metavar="PREFIX[,PREFIX...]",
+        help="drop findings whose rule id starts with one of these "
+             "comma-separated prefixes",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the code-invariant rule table and exit",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="diff the findings document against a committed baseline "
+             "JSON; a non-empty diff fails the run",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the findings document to --baseline instead of "
+             "diffing against it",
+    )
+
+    p = sub.add_parser(
+        "knobs",
+        help="list every declared REPRO_* environment knob "
+             "(type, default, current value)",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the knob table as JSON instead of text",
     )
     return parser
 
@@ -579,6 +638,97 @@ def cmd_analyze(args) -> int:
     return status
 
 
+def cmd_check_code(args) -> int:
+    """``repro check-code``: source-level invariant gate.
+
+    Exit code 0 means every checked module honors the determinism,
+    atomic-persistence, fork-safety, and knob-hygiene contracts (and,
+    with ``--baseline``, that the findings document matches the
+    committed reference).  Any finding — error or warning — returns 1:
+    the gate is zero-findings, with per-line ``# reprolint:
+    ignore[rule-id]`` comments as the only sanctioned escape hatch.
+    """
+    from pathlib import Path
+
+    from .analysis import diff_documents, filter_findings, rule_rows
+    from .analysis.baseline import load_baseline, write_baseline
+    from .analysis.codecheck import CheckConfig, check_package, default_config
+
+    if args.list_rules:
+        rows = [r for r in rule_rows() if r["pass"] == "codecheck"]
+        print(format_table(rows, title="code-invariant rules"))
+        return 0
+
+    if args.root is None:
+        config = default_config()
+    else:
+        from .core.knobs import KNOBS
+
+        config = CheckConfig(
+            package_root=Path(args.root).resolve(),
+            package=args.package,
+            known_knobs=frozenset(KNOBS),
+        )
+    findings = filter_findings(
+        check_package(config),
+        rules=_split_prefixes(args.rules),
+        ignore=_split_prefixes(args.ignore),
+    )
+
+    doc = {
+        "package": config.package,
+        "n_findings": len(findings),
+        "findings": [f.as_dict() for f in findings],
+        "ok": not findings,
+    }
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    elif findings:
+        print(format_table(
+            [f.as_row() for f in findings],
+            title=f"code invariants: {len(findings)} finding(s)",
+        ))
+    else:
+        print(f"code invariants: clean ({config.package})")
+
+    status = 0 if not findings else 1
+    if args.baseline is not None:
+        if args.update_baseline:
+            write_baseline(args.baseline, doc)
+            print(f"baseline written: {args.baseline}", file=sys.stderr)
+        else:
+            drift = diff_documents(load_baseline(args.baseline), doc)
+            if drift:
+                print(
+                    f"findings drifted from baseline {args.baseline} "
+                    f"({len(drift)} differences):",
+                    file=sys.stderr,
+                )
+                for line in drift[:200]:
+                    print(f"  {line}", file=sys.stderr)
+                status = status or 1
+            else:
+                print(f"baseline match: {args.baseline}", file=sys.stderr)
+    return status
+
+
+def cmd_knobs(args) -> int:
+    """``repro knobs``: the declared environment-knob registry.
+
+    Every ``REPRO_*`` variable the toolkit reads is declared in
+    :mod:`repro.core.knobs`; ``check-code`` (``api/env-knob``,
+    ``api/knob-undeclared``) keeps it that way.
+    """
+    from .core.knobs import knob_rows
+
+    rows = knob_rows()
+    if args.as_json:
+        print(json.dumps(rows, sort_keys=True))
+    else:
+        print(format_table(rows, title="environment knobs"))
+    return 0
+
+
 def cmd_predict(args) -> int:
     """``repro predict``: static cost model over a captured trace.
 
@@ -711,7 +861,7 @@ def cmd_trace_cache(args) -> int:
     applies (see repro.core.resilience).  Exit code 1 when any file is
     corrupt.
     """
-    import os
+    from pathlib import Path
 
     from .core import tracecache
     from .core.resilience import quarantine
@@ -720,18 +870,18 @@ def cmd_trace_cache(args) -> int:
     #: Decoded columnar bytes per event (op+w+kid+i0..i3+f0) — the
     #: denominator-free way to report a compression ratio from headers.
     row_bytes = 53
-    directory = tracecache.spill_dir()
+    directory = Path(tracecache.spill_dir())
     try:
-        names = sorted(os.listdir(directory))
+        children = sorted(directory.iterdir())
     except OSError:
-        names = []
+        children = []
     entries = []
     trace_digest: dict = {}  # live trace key -> content sha256
     n_passes: dict = {}  # trace key -> compiled artifacts bound to it
-    for name in names:
-        path = os.path.join(directory, name)
-        if not os.path.isfile(path):
+    for child in children:
+        if not child.is_file():
             continue
+        name, path = child.name, str(child)
         info = tracecache.split_cache_filename(name)
         entries.append((name, path, info))
         if info is None:
@@ -746,7 +896,7 @@ def cmd_trace_cache(args) -> int:
             n_passes[info["key"]] = n_passes.get(info["key"], 0) + 1
     rows, n_corrupt, freed = [], 0, 0
     for name, path, info in entries:
-        size = os.path.getsize(path)
+        size = Path(path).stat().st_size
         kind = info["kind"] if info is not None else "foreign"
         row = {"file": name, "kind": kind, "kb": round(size / 1024.0, 1)}
         header, status = None, "ok"
@@ -790,8 +940,7 @@ def cmd_trace_cache(args) -> int:
                 if kind == "trace":
                     tracecache.load_compressed(path)
                 else:
-                    with open(path, "rb") as fh:
-                        blob = fh.read()
+                    blob = Path(path).read_bytes()
                     if kind == "pass":
                         tracecache.decode_pass(blob)
                     else:
@@ -805,7 +954,7 @@ def cmd_trace_cache(args) -> int:
                 status = "quarantined"
             else:
                 try:
-                    os.remove(path)
+                    Path(path).unlink()
                 except OSError:
                     pass
                 status = "removed"
@@ -815,7 +964,7 @@ def cmd_trace_cache(args) -> int:
         row["status"] = status
         rows.append(row)
     summary = {
-        "dir": directory,
+        "dir": str(directory),
         "files": len(rows),
         "total_kb": round(sum(r["kb"] for r in rows), 1),
         "corrupt": n_corrupt,
@@ -848,6 +997,8 @@ _COMMANDS = {
     "predict": cmd_predict,
     "autotune": cmd_autotune,
     "trace-cache": cmd_trace_cache,
+    "check-code": cmd_check_code,
+    "knobs": cmd_knobs,
 }
 
 

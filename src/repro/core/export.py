@@ -8,21 +8,30 @@ series as CSV so users can plot Figs. 6-10 with their tool of choice
 from __future__ import annotations
 
 import csv
+from pathlib import Path
 from typing import Sequence
 
+from ..testing import faults
 from .codesign import SweepResult
+from .resilience import atomic_replace
 
 __all__ = ["sweep_to_csv", "rows_to_csv"]
 
 
 def rows_to_csv(rows: Sequence[dict], path: str) -> None:
-    """Write dict rows to *path* (header from the first row's keys)."""
+    """Atomically write dict rows to *path* (header from the first
+    row's keys); a crash mid-export never leaves a torn CSV."""
     if not rows:
         raise ValueError("no rows to export")
-    with open(path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
-        writer.writeheader()
-        writer.writerows(rows)
+
+    def write(tmp: str) -> None:
+        with Path(tmp).open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+        faults.maybe_fault("export.write", path=tmp)
+
+    atomic_replace(path, write)
 
 
 def sweep_to_csv(result: SweepResult, path: str) -> None:

@@ -58,6 +58,7 @@ from ..machine.config import MachineConfig
 from ..machine.simulator import SimStats
 from ..nets.layers import KernelPolicy
 from ..testing import faults
+from . import knobs
 from .resilience import FailureBudget, PointFailure, RetryPolicy
 
 __all__ = ["resolve_jobs", "simulate_points"]
@@ -86,11 +87,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     1, i.e. serial); 0 or a negative value means "all cores".
     """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        try:
-            jobs = int(raw) if raw else 1
-        except ValueError:
-            jobs = 1
+        jobs = knobs.get_int(JOBS_ENV, 1)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs

@@ -45,9 +45,11 @@ import tempfile
 import time
 from contextlib import suppress
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..machine.simulator import SimStats
+from . import knobs
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -90,7 +92,7 @@ def _cache_dir() -> str:
 # ----------------------------------------------------------------------
 
 def atomic_replace(path: str, write: Callable[[str], None], suffix: str = ".tmp") -> None:
-    """Write *path* via ``write(tmp)`` + :func:`os.replace`.
+    """Write *path* via ``write(tmp)`` + :meth:`pathlib.Path.replace`.
 
     Readers never observe a partial file, and the temp file is removed
     on any failure — including :class:`KeyboardInterrupt` mid-write,
@@ -98,16 +100,16 @@ def atomic_replace(path: str, write: Callable[[str], None], suffix: str = ".tmp"
     sweeps.  *suffix* matters for writers that key off the extension
     (``numpy.savez`` appends ``.npz`` to anything else).
     """
-    directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=suffix)
+    directory = Path(path).parent
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(directory), suffix=suffix)
     os.close(fd)
     try:
         write(tmp)
-        os.replace(tmp, path)
+        Path(tmp).replace(path)
     finally:
         with suppress(OSError):
-            os.unlink(tmp)  # no-op when the replace happened
+            Path(tmp).unlink()  # no-op when the replace happened
 
 
 # ----------------------------------------------------------------------
@@ -144,7 +146,7 @@ def payload_digest(payload: Dict) -> str:
 
 def quarantine_dir() -> str:
     """Directory corrupt cache files are moved to (created lazily)."""
-    return os.path.join(_cache_dir(), "quarantine")
+    return str(Path(_cache_dir()) / "quarantine")
 
 
 def quarantine(path: str, reason: str) -> Optional[str]:
@@ -155,41 +157,45 @@ def quarantine(path: str, reason: str) -> Optional[str]:
     bad entry can never be served twice.  Returns ``None`` when there
     was nothing to move.
     """
-    if not os.path.exists(path):
+    source = Path(path)
+    if not source.exists():
         return None
-    directory = quarantine_dir()
+    directory = Path(quarantine_dir())
     tag = hashlib.sha256(path.encode("utf-8")).hexdigest()[:8]
-    dest = os.path.join(directory, f"{tag}-{os.path.basename(path)}")
+    dest = str(directory / f"{tag}-{source.name}")
     try:
-        os.makedirs(directory, exist_ok=True)
-        os.replace(path, dest)
+        directory.mkdir(parents=True, exist_ok=True)
+        source.replace(dest)
     except OSError:
         with suppress(OSError):
-            os.unlink(path)
+            source.unlink()
         return None
+    sidecar = {"path": path, "reason": reason, "when": time.time()}
+
+    def write(tmp: str) -> None:
+        with Path(tmp).open("w", encoding="utf-8") as fh:
+            json.dump(sidecar, fh, sort_keys=True)
+
     with suppress(OSError, TypeError, ValueError):
-        with open(dest + ".reason.json", "w", encoding="utf-8") as fh:
-            json.dump({"path": path, "reason": reason, "when": time.time()}, fh)
+        atomic_replace(dest + ".reason.json", write)
     return dest
 
 
 def list_quarantined() -> List[Dict]:
     """One dict per quarantined file (path, reason, when)."""
-    directory = quarantine_dir()
+    directory = Path(quarantine_dir())
     try:
-        names = sorted(os.listdir(directory))
+        entries = sorted(directory.iterdir())
     except OSError:
         return []
     out = []
-    for name in names:
-        if name.endswith(".reason.json"):
+    for entry in entries:
+        if entry.name.endswith(".reason.json"):
             continue
-        info = {"file": os.path.join(directory, name), "reason": "", "when": 0.0}
+        info = {"file": str(entry), "reason": "", "when": 0.0}
         with suppress(OSError, ValueError):
-            with open(
-                os.path.join(directory, name + ".reason.json"), encoding="utf-8"
-            ) as fh:
-                side = json.load(fh)
+            sidecar = entry.with_name(entry.name + ".reason.json")
+            side = json.loads(sidecar.read_text(encoding="utf-8"))
             info["reason"] = str(side.get("reason", ""))
             info["when"] = float(side.get("when", 0.0))
         out.append(info)
@@ -252,14 +258,6 @@ class SweepError(RuntimeError):
         )
 
 
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name, "").strip()
-    try:
-        return float(raw) if raw else default
-    except ValueError:
-        return default
-
-
 @dataclass(frozen=True)
 class RetryPolicy:
     """Per-point supervision knobs for :func:`repro.core.codesign.sweep`.
@@ -285,12 +283,12 @@ class RetryPolicy:
     def from_env(cls) -> "RetryPolicy":
         """Defaults, overridden by ``REPRO_RETRIES`` / ``REPRO_BACKOFF``
         / ``REPRO_POINT_TIMEOUT`` / ``REPRO_MAX_FAILURES``."""
-        timeout = _env_float(_ENV_TIMEOUT, 0.0)
+        timeout = knobs.get_float(_ENV_TIMEOUT, 0.0)
         return cls(
-            max_retries=int(_env_float(_ENV_RETRIES, 2)),
-            backoff_s=_env_float(_ENV_BACKOFF, 0.05),
+            max_retries=knobs.get_int(_ENV_RETRIES, 2),
+            backoff_s=knobs.get_float(_ENV_BACKOFF, 0.05),
             timeout_s=timeout if timeout > 0 else None,
-            max_failures=int(_env_float(_ENV_MAX_FAILURES, 0)),
+            max_failures=knobs.get_int(_ENV_MAX_FAILURES, 0),
         )
 
     def delay(self, attempt: int, seed: str) -> float:
@@ -347,7 +345,7 @@ class FailureBudget:
 
 def journal_dir() -> str:
     """Directory holding sweep journals (created lazily)."""
-    return os.path.join(_cache_dir(), "journal")
+    return str(Path(_cache_dir()) / "journal")
 
 
 def sweep_key(net, axis_name, values, machines, policy, n_layers) -> str:
@@ -406,7 +404,7 @@ class Journal:
     def _read_records(cls, path: str) -> List[Dict]:
         records = []
         try:
-            with open(path, encoding="utf-8") as fh:
+            with Path(path).open(encoding="utf-8") as fh:
                 for line in fh:
                     line = line.strip()
                     if not line:
@@ -449,7 +447,7 @@ class Journal:
         Reads any prior run's records first, then reopens the file for
         appending — an interrupted sweep's completed points survive.
         """
-        path = os.path.join(journal_dir(), key[:32] + ".jsonl")
+        path = str(Path(journal_dir()) / (key[:32] + ".jsonl"))
         journal = cls(path, key, n_points)
         records = cls._read_records(path)
         header = next((r for r in records if r.get("kind") == "header"), None)
@@ -464,8 +462,11 @@ class Journal:
                 fresh = False
             else:
                 quarantine(path, "journal header mismatch (different sweep?)")
-        os.makedirs(journal_dir(), exist_ok=True)
-        journal._fh = open(path, "a", encoding="utf-8")
+        Path(journal_dir()).mkdir(parents=True, exist_ok=True)
+        # Append mode is the journal's whole point: completed points
+        # accumulate across interrupted runs (fsync'd per line), so
+        # this is the one sanctioned non-atomic durable write.
+        journal._fh = Path(path).open("a", encoding="utf-8")  # reprolint: ignore[io/bare-write]
         if fresh:
             journal._append(
                 {
@@ -482,7 +483,7 @@ class Journal:
     def status(cls, key: str, n_points: int) -> "Journal":
         """Read-only view of the journal for *key* (``--dry-run``);
         never creates or modifies the file."""
-        path = os.path.join(journal_dir(), key[:32] + ".jsonl")
+        path = str(Path(journal_dir()) / (key[:32] + ".jsonl"))
         journal = cls(path, key, n_points)
         records = cls._read_records(path)
         header = next((r for r in records if r.get("kind") == "header"), None)
@@ -548,16 +549,16 @@ class Journal:
 
 def list_journals() -> List[Dict]:
     """Summaries of every journal on disk (dry-run / analysis rules)."""
-    directory = journal_dir()
+    directory = Path(journal_dir())
     try:
-        names = sorted(os.listdir(directory))
+        entries = sorted(directory.iterdir())
     except OSError:
         return []
     out = []
-    for name in names:
-        if not name.endswith(".jsonl"):
+    for entry in entries:
+        if not entry.name.endswith(".jsonl"):
             continue
-        path = os.path.join(directory, name)
+        path = str(entry)
         records = Journal._read_records(path)
         header = next((r for r in records if r.get("kind") == "header"), None)
         n_points = int(header.get("n_points", 0)) if header else 0
@@ -568,7 +569,7 @@ def list_journals() -> List[Dict]:
         )
         age = 0.0
         with suppress(OSError):
-            age = time.time() - os.stat(path).st_mtime
+            age = time.time() - entry.stat().st_mtime
         out.append(
             {
                 "path": path,

@@ -25,7 +25,7 @@ be bumped whenever simulator/hierarchy arithmetic changes results.
 
 Entries are one JSON file per key under :func:`cache_dir` (default
 ``.simcache/``, override with ``REPRO_SIMCACHE_DIR``).  Writes are
-atomic (temp file + ``os.replace`` via
+atomic (temp file + ``Path.replace`` via
 :func:`repro.core.resilience.atomic_replace`), so concurrent sweep
 workers can share one cache directory.  Every entry carries a sha256
 content digest; a corrupt, truncated, schema- or version-mismatched
@@ -39,12 +39,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from contextlib import suppress
+from pathlib import Path
 from typing import Optional
 
 from ..machine.simulator import SimStats
 from ..testing import faults
+from . import knobs
 from .resilience import (
     atomic_replace,
     payload_digest,
@@ -77,12 +78,12 @@ def cache_enabled(flag: Optional[bool] = None) -> bool:
     ``REPRO_SIMCACHE`` environment variable ("1"/"true"/"yes" enable)."""
     if flag is not None:
         return flag
-    return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+    return knobs.get_bool(_ENV_FLAG)
 
 
 def cache_dir() -> str:
     """Directory holding cache entries (created lazily by :func:`store`)."""
-    return os.environ.get(_ENV_DIR, "").strip() or ".simcache"
+    return knobs.get_str(_ENV_DIR, ".simcache")
 
 
 def _canon(obj):
@@ -125,7 +126,7 @@ def cache_key(net, machine, policy, n_layers, deduplicate: bool = True) -> str:
 
 
 def _entry_path(key: str) -> str:
-    return os.path.join(cache_dir(), key + ".json")
+    return str(Path(cache_dir()) / (key + ".json"))
 
 
 def load(key: str) -> Optional[SimStats]:
@@ -138,7 +139,7 @@ def load(key: str) -> Optional[SimStats]:
     """
     path = _entry_path(key)
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        with Path(path).open(encoding="utf-8") as fh:
             entry = json.load(fh)
         if entry.get("model_version") != MODEL_VERSION:
             raise ValueError(f"model version {entry.get('model_version')!r}")
@@ -170,8 +171,8 @@ def store(key: str, stats: SimStats) -> None:
     path = _entry_path(key)
 
     def write(tmp: str) -> None:
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(entry, fh)
+        with Path(tmp).open("w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
         faults.maybe_fault("simcache.write", key=key, path=tmp)
 
     try:
@@ -187,18 +188,18 @@ def clear() -> int:
     Also sweeps up stray ``.tmp`` files a SIGKILLed writer may have
     left behind (they are never read, only waste space).
     """
-    directory = cache_dir()
+    directory = Path(cache_dir())
     removed = 0
     try:
-        names = os.listdir(directory)
+        entries = sorted(directory.iterdir())
     except OSError:
         return 0
-    for name in names:
-        if name.endswith(".json"):
+    for entry in entries:
+        if entry.name.endswith(".json"):
             with suppress(OSError):
-                os.unlink(os.path.join(directory, name))
+                entry.unlink()
                 removed += 1
-        elif name.endswith(".tmp"):
+        elif entry.name.endswith(".tmp"):
             with suppress(OSError):
-                os.unlink(os.path.join(directory, name))
+                entry.unlink()
     return removed

@@ -43,12 +43,14 @@ import hashlib
 import json
 import os
 import zlib
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..machine.trace import TRACE_FORMAT_VERSION, RecordedTrace
 from ..testing import faults
+from . import knobs
 from .resilience import atomic_replace, quarantine
 from .simcache import _canon, cache_dir
 
@@ -107,9 +109,6 @@ _ENV_LOAD_LOG = "REPRO_TRACE_LOAD_LOG"
 #: alongside persisted traces.
 _ENV_PASS = "REPRO_PASS_CACHE"
 
-_TRUE = ("1", "true", "yes", "on")
-_FALSE = ("0", "false", "no", "off")
-
 #: In-process registry: key -> RecordedTrace.  Bounded — a 20-layer
 #: YOLOv3 trace is ~1.4M events (~60 MB columnar, more once decoded), so
 #: only the most recently used few stay resident.
@@ -136,11 +135,9 @@ def trace_enabled(flag: Optional[bool] = None, default: bool = False) -> bool:
     """Resolve the ``use_trace`` tri-state (see module docstring)."""
     if flag is not None:
         return flag
-    env = os.environ.get(_ENV_FLAG, "").strip().lower()
-    if env in _TRUE:
-        return True
-    if env in _FALSE:
-        return False
+    env = knobs.get_tristate(_ENV_FLAG)
+    if env is not None:
+        return env
     return default
 
 
@@ -148,7 +145,7 @@ def spill_enabled(flag: Optional[bool] = None) -> bool:
     """Whether traces spill to disk (``REPRO_TRACE_SPILL``; default off)."""
     if flag is not None:
         return flag
-    return os.environ.get(_ENV_SPILL, "").strip().lower() in _TRUE
+    return knobs.get_bool(_ENV_SPILL)
 
 
 def pass_cache_enabled(flag: Optional[bool] = None) -> bool:
@@ -160,19 +157,15 @@ def pass_cache_enabled(flag: Optional[bool] = None) -> bool:
     """
     if flag is not None:
         return flag
-    env = os.environ.get(_ENV_PASS, "").strip().lower()
-    if env in _TRUE:
-        return True
-    if env in _FALSE:
-        return False
+    env = knobs.get_tristate(_ENV_PASS)
+    if env is not None:
+        return env
     return spill_enabled()
 
 
 def spill_dir() -> str:
     """Directory for spilled traces (next to the simcache by default)."""
-    return os.environ.get(_ENV_DIR, "").strip() or os.path.join(
-        cache_dir(), "traces"
-    )
+    return knobs.get_str(_ENV_DIR) or str(Path(cache_dir()) / "traces")
 
 
 def trace_key(net, machine, policy, n_layers, deduplicate: bool = True) -> str:
@@ -204,7 +197,7 @@ def trace_key(net, machine, policy, n_layers, deduplicate: bool = True) -> str:
 
 
 def _spill_path(key: str) -> str:
-    return os.path.join(spill_dir(), key + SPILL_SUFFIX)
+    return str(Path(spill_dir()) / (key + SPILL_SUFFIX))
 
 
 def verify_enabled() -> bool:
@@ -216,7 +209,7 @@ def verify_enabled() -> bool:
     re-captured), never replayed.  Off by default — in-process traces
     are trusted, and the verifier costs a few ms per load.
     """
-    return os.environ.get(_ENV_VERIFY, "").strip().lower() in _TRUE
+    return knobs.get_bool(_ENV_VERIFY)
 
 
 # ----------------------------------------------------------------------
@@ -459,19 +452,23 @@ def decode_trace(blob: bytes) -> RecordedTrace:
 def save_compressed(
     trace: RecordedTrace, path: str, level: str = "archive"
 ) -> None:
-    """Write *trace* to *path* in the v4 ``.rtz`` container format."""
+    """Write *trace* to *path* in the v4 ``.rtz`` container format.
+
+    The write is atomic (temp file + rename in the target directory),
+    so a reader — or a crash — can never observe a torn container.
+    """
     blob = encode_trace(trace, level=level)
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "wb") as fh:
-        fh.write(blob)
+
+    def write(tmp: str) -> None:
+        Path(tmp).write_bytes(blob)
+        faults.maybe_fault("tracecache.write", key=trace.key, path=tmp)
+
+    atomic_replace(path, write, suffix=SPILL_SUFFIX)
 
 
 def load_compressed(path: str) -> RecordedTrace:
     """Load a v4 ``.rtz`` trace; raises on corruption or stale format."""
-    with open(path, "rb") as fh:
-        return decode_trace(fh.read())
+    return decode_trace(Path(path).read_bytes())
 
 
 def read_header(path: str) -> dict:
@@ -482,7 +479,7 @@ def read_header(path: str) -> dict:
     The returned dict carries ``format``; compare it against
     :data:`~repro.machine.trace.TRACE_FORMAT_VERSION` for staleness.
     """
-    with open(path, "rb") as fh:
+    with Path(path).open("rb") as fh:
         head = fh.read(9)
         if head[:4] != _MAGIC:
             raise ValueError("not an .rtz trace container (bad magic)")
@@ -559,11 +556,11 @@ _VECPROG_COLUMNS = (
 
 
 def _pass_path(key: str, sig: str) -> str:
-    return os.path.join(spill_dir(), f"{key}.{sig}{PASS_SUFFIX}")
+    return str(Path(spill_dir()) / f"{key}.{sig}{PASS_SUFFIX}")
 
 
 def _vecprog_path(key: str, sig: str, tier: str) -> str:
-    return os.path.join(spill_dir(), f"{key}.{sig}.{tier}{VECPROG_SUFFIX}")
+    return str(Path(spill_dir()) / f"{key}.{sig}.{tier}{VECPROG_SUFFIX}")
 
 
 def _pass_shm_name(key: str, sig: str) -> str:
@@ -1015,7 +1012,7 @@ def decode_vecprog(blob: bytes) -> Tuple[dict, dict, Dict[str, float], dict]:
 
 def read_pass_header(path: str) -> dict:
     """Parse just the JSON header of an ``.rpp``/``.rvp`` container."""
-    with open(path, "rb") as fh:
+    with Path(path).open("rb") as fh:
         head = fh.read(9)
         if head[:4] not in (_PASS_MAGIC, _VECPROG_MAGIC):
             raise ValueError("not a compiled-pass container (bad magic)")
@@ -1045,8 +1042,7 @@ def store_pass(
     path = _pass_path(key, sig)
 
     def write(tmp: str) -> None:
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
+        Path(tmp).write_bytes(blob)
         faults.maybe_fault("passcache.write", key=key, path=tmp)
 
     try:
@@ -1080,8 +1076,7 @@ def load_pass(
             return out
     path = _pass_path(key, sig)
     try:
-        with open(path, "rb") as fh:
-            blob = fh.read()
+        blob = Path(path).read_bytes()
     except OSError:
         return None
     try:
@@ -1117,8 +1112,7 @@ def store_vecprog(
     path = _vecprog_path(key, sig, tier["token"])
 
     def write(tmp: str) -> None:
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
+        Path(tmp).write_bytes(blob)
         faults.maybe_fault("passcache.write", key=key, path=tmp)
 
     try:
@@ -1135,8 +1129,7 @@ def load_vecprog(
     """Load a compiled point-pass tier; ``None`` on miss/stale/corrupt."""
     path = _vecprog_path(key, sig, tier_token)
     try:
-        with open(path, "rb") as fh:
-            blob = fh.read()
+        blob = Path(path).read_bytes()
     except OSError:
         return None
     try:
@@ -1161,8 +1154,7 @@ def publish_pass_shm(key: str, sig: str) -> bool:
     if owner in _SHM_OWNED:
         return True
     try:
-        with open(_pass_path(key, sig), "rb") as fh:
-            blob = fh.read()
+        blob = Path(_pass_path(key, sig)).read_bytes()
     except OSError:
         return False
     return _shm_create(_pass_shm_name(key, sig), blob, owner)
@@ -1217,10 +1209,10 @@ def reset_load_counts() -> None:
 
 def _note_load(source: str, key: str) -> None:
     _LOAD_COUNTS[source] += 1
-    path = os.environ.get(_ENV_LOAD_LOG, "").strip()
+    path = knobs.get_str(_ENV_LOAD_LOG)
     if path:
         try:
-            with open(path, "a", encoding="utf-8") as fh:
+            with Path(path).open("a", encoding="utf-8") as fh:
                 fh.write(f"{os.getpid()} {source} {key}\n")
         except OSError:
             pass  # observability only; never fail a load over it
@@ -1269,7 +1261,7 @@ def _shm_create(name: str, blob: bytes, owner_key: str) -> bool:
         try:
             shm.close()
             shm.unlink()
-        except Exception:
+        except (OSError, BufferError):
             pass
         return False
 
@@ -1290,7 +1282,7 @@ def _shm_read(name: str) -> Optional[bytes]:
     finally:
         try:
             shm.close()
-        except Exception:
+        except (OSError, BufferError):
             pass
 
 
@@ -1336,11 +1328,11 @@ def release_shm(key: Optional[str] = None) -> None:
             continue
         try:
             shm.close()
-        except Exception:
+        except (OSError, BufferError):
             pass
         try:
             shm.unlink()
-        except Exception:
+        except OSError:
             pass
 
 
@@ -1392,13 +1384,8 @@ def put(key: str, trace: RecordedTrace, spill: Optional[bool] = None) -> None:
         _REGISTRY.pop(next(iter(_REGISTRY)))
     if spill_enabled(spill):
         path = _spill_path(key)
-
-        def write(tmp: str) -> None:
-            save_compressed(trace, tmp, level="fast")
-            faults.maybe_fault("tracecache.write", key=key, path=tmp)
-
         try:
-            atomic_replace(path, write, suffix=SPILL_SUFFIX)
+            save_compressed(trace, path, level="fast")
         except OSError:
             return  # spilling is best-effort, like the simcache
         faults.maybe_fault("tracecache.spill", key=key, path=path)

@@ -1077,9 +1077,9 @@ _ENGINES = ("vec", "vectorized", "python", "")
 
 
 def _replay_engine() -> str:
-    import os
+    from ..core.knobs import get_raw  # deferred: machine must not import core eagerly
 
-    val = os.environ.get(_ENGINE_ENV, "").strip().lower()
+    val = get_raw(_ENGINE_ENV).lower()
     if val not in _ENGINES:
         raise ValueError(
             f"{_ENGINE_ENV}={val!r}: expected 'vec' or 'python'"

@@ -8,8 +8,11 @@ grepped and post-processed with existing gem5 tooling habits.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
+from ..core.resilience import atomic_replace
+from ..testing import faults
 from .config import MachineConfig
 from .simulator import SimStats
 
@@ -66,6 +69,15 @@ def format_gem5_stats(
 def dump_gem5_stats(
     stats: SimStats, path: str, machine: Optional[MachineConfig] = None
 ) -> None:
-    """Write :func:`format_gem5_stats` output to *path*."""
-    with open(path, "w") as fh:
-        fh.write(format_gem5_stats(stats, machine) + "\n")
+    """Write :func:`format_gem5_stats` output to *path* atomically.
+
+    A crash (or injected fault) mid-dump leaves either the previous
+    file or the complete new one — never a torn stats report.
+    """
+    text = format_gem5_stats(stats, machine) + "\n"
+
+    def write(tmp: str) -> None:
+        Path(tmp).write_text(text, encoding="utf-8")
+        faults.maybe_fault("report.write", path=tmp)
+
+    atomic_replace(path, write)

@@ -22,6 +22,9 @@ site                         fired
 ``tracecache.write``         inside the trace spill writer, before the rename
 ``tracecache.spill``         after a trace spill landed on disk
 ``replay.point``             on entry to single-trace replay
+``report.write``             inside the gem5-stats dump, before the rename
+``baseline.write``           inside the analysis-baseline writer, before the rename
+``export.write``             inside the CSV exporter, before the rename
 ===========================  =====================================================
 
 Fault kinds: ``raise`` (raises :class:`InjectedFault`),
@@ -46,7 +49,10 @@ import os
 import time
 from contextlib import suppress
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.knobs import get_str
 
 __all__ = [
     "FAULTS_ENV",
@@ -115,8 +121,8 @@ def install_faults(path: str, specs: Sequence[FaultSpec]) -> str:
         }
         for s in specs
     ]
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=1)
+    with Path(path).open("w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
     return path
 
 
@@ -127,14 +133,14 @@ _loaded: Dict[str, Tuple[int, List[FaultSpec]]] = {}
 
 def _schedule(path: str) -> List[FaultSpec]:
     try:
-        mtime = os.stat(path).st_mtime_ns
+        mtime = Path(path).stat().st_mtime_ns
     except OSError:
         return []
     cached = _loaded.get(path)
     if cached is not None and cached[0] == mtime:
         return cached[1]
     try:
-        with open(path, encoding="utf-8") as fh:
+        with Path(path).open(encoding="utf-8") as fh:
             doc = json.load(fh)
         specs = [FaultSpec(**entry) for entry in doc]
     except (OSError, ValueError, TypeError):
@@ -163,16 +169,16 @@ def _claim_fire(path: str, spec: FaultSpec) -> bool:
 def _mangle(target: str, kind: str) -> None:
     """Corrupt or truncate *target* in place (deterministically)."""
     try:
-        size = os.path.getsize(target)
+        size = Path(target).stat().st_size
     except OSError:
         return
     if size == 0:
         return
     if kind == "truncate":
-        with open(target, "r+b") as fh:
+        with Path(target).open("r+b") as fh:
             fh.truncate(max(1, size // 2))
         return
-    with open(target, "r+b") as fh:  # corrupt: flip a run of midfile bytes
+    with Path(target).open("r+b") as fh:  # corrupt: flip a run of midfile bytes
         fh.seek(size // 2)
         chunk = fh.read(16) or b"\0"
         fh.seek(size // 2)
@@ -191,7 +197,7 @@ def maybe_fault(
     kills the process immediately; ``raise``/``keyboard-interrupt``
     raise; ``hang`` sleeps; ``corrupt``/``truncate`` mangle *path*.
     """
-    schedule_path = os.environ.get(FAULTS_ENV, "")
+    schedule_path = get_str(FAULTS_ENV)
     if not schedule_path:
         return
     text = " ".join(filter(None, (key, path)))

@@ -1,0 +1,452 @@
+"""Tests for ``repro check-code`` — the source-level invariant analyzer.
+
+Every rule family is proven *live* with a seeded-violation fixture: a
+tiny package written to ``tmp_path`` containing exactly one contract
+breach, which the analyzer must flag (and whose fixed twin it must
+not).  The final gate asserts the repro package itself is clean — the
+same zero-findings contract CI enforces.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.codecheck import (
+    CHECKERS,
+    CheckConfig,
+    check_package,
+    default_config,
+)
+from repro.analysis.rules import RULES
+from repro.core import knobs
+
+
+def make_pkg(tmp_path, files, known_knobs=("REPRO_GOOD",)):
+    """Write a fixture package ``fx`` and return its CheckConfig.
+
+    Module roles mirror the real config: ``fx.sim:run`` is the sim-core
+    root, ``fx.cache`` a barrier, ``fx.store`` durable-io, ``fx.emit``
+    an emitter, ``fx.knobs`` the knob registry.
+    """
+    root = tmp_path / "fx"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for name, src in files.items():
+        path = root / (name.replace(".", "/") + ".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(src)
+    return CheckConfig(
+        package_root=root,
+        package="fx",
+        sim_roots=("fx.sim:run",),
+        barrier_modules=("fx.cache",),
+        durable_modules=("fx.store",),
+        emitter_modules=("fx.emit",),
+        knobs_module="fx.knobs",
+        known_knobs=frozenset(known_knobs),
+    )
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestDeterminismRules:
+    def test_wall_clock_flagged_in_sim_core(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "import time\n\n\ndef run():\n    return time.time()\n",
+        })
+        found = check_package(cfg)
+        assert "det/wall-clock" in rules_of(found)
+        assert any("sim.py:5" in f.where for f in found)
+
+    def test_wall_clock_ignored_behind_barrier(self, tmp_path):
+        # The same time.time() call is fine inside a barrier module the
+        # sim-core zone never enters (retry backoff is the cache's job).
+        cfg = make_pkg(tmp_path, {
+            "sim": "from . import cache\n\n\ndef run():\n"
+                   "    return cache.fetch()\n",
+            "cache": "import time\n\n\ndef fetch():\n"
+                     "    return time.time()\n",
+        })
+        assert "det/wall-clock" not in rules_of(check_package(cfg))
+
+    def test_wall_clock_ignored_outside_sim_core(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "other": "import time\n\n\ndef unrelated():\n"
+                     "    return time.time()\n",
+        })
+        assert "det/wall-clock" not in rules_of(check_package(cfg))
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "import random\n\n\ndef run():\n"
+                   "    return random.random()\n",
+        })
+        assert "det/unseeded-random" in rules_of(check_package(cfg))
+
+    def test_numpy_global_random_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "import numpy as np\n\n\ndef run():\n"
+                   "    return np.random.rand(3)\n",
+        })
+        assert "det/unseeded-random" in rules_of(check_package(cfg))
+
+    def test_unseeded_default_rng_flagged_seeded_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "from numpy.random import default_rng\n\n\n"
+                   "def run(seed):\n"
+                   "    bad = default_rng()\n"
+                   "    good = default_rng(seed)\n"
+                   "    return bad, good\n",
+        })
+        found = [f for f in check_package(cfg)
+                 if f.rule == "det/unseeded-random"]
+        assert len(found) == 1
+        assert found[0].where.endswith(":5")
+
+    def test_float_narrowing_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "import numpy as np\n\n\ndef run(x):\n"
+                   "    a = np.float32(x)\n"
+                   "    b = x.astype('float16')\n"
+                   "    c = np.zeros(4, dtype=np.float32)\n"
+                   "    return a, b, c\n",
+        })
+        found = [f for f in check_package(cfg) if f.rule == "det/float-cycles"]
+        assert len(found) == 3
+
+    def test_float64_not_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "import numpy as np\n\n\ndef run(x):\n"
+                   "    return np.zeros(4, dtype=np.float64)\n",
+        })
+        assert "det/float-cycles" not in rules_of(check_package(cfg))
+
+    def test_unsorted_listdir_flagged_sorted_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "util": "import os\n\n\ndef walk(d):\n"
+                    "    bad = [n for n in os.listdir(d)]\n"
+                    "    good = [n for n in sorted(os.listdir(d))]\n"
+                    "    return bad, good\n",
+        })
+        found = [f for f in check_package(cfg)
+                 if f.rule == "det/unsorted-iteration"]
+        assert len(found) == 1
+        assert found[0].where.endswith(":5")
+
+    def test_unsorted_iterdir_and_set_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "util": "def walk(root, items):\n"
+                    "    for p in root.iterdir():\n"
+                    "        pass\n"
+                    "    for x in set(items):\n"
+                    "        pass\n",
+        })
+        found = [f for f in check_package(cfg)
+                 if f.rule == "det/unsorted-iteration"]
+        assert len(found) == 2
+
+
+class TestIoRules:
+    BARE = ("def save(path, text):\n"
+            "    with open(path, 'w') as fh:\n"
+            "        fh.write(text)\n")
+
+    def test_bare_write_flagged_in_durable(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"sim": "def run():\n    return 1\n",
+                                  "store": self.BARE})
+        assert "io/bare-write" in rules_of(check_package(cfg))
+
+    def test_bare_write_ignored_outside_io_modules(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"sim": "def run():\n    return 1\n",
+                                  "free": self.BARE})
+        assert "io/bare-write" not in rules_of(check_package(cfg))
+
+    def test_tmp_callback_write_allowed(self, tmp_path):
+        # The write-to-temp inside an atomic_replace callback is the
+        # sanctioned pattern — 'tmp' in the path expression marks it.
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def save(path, text):\n"
+                     "    def write(tmp):\n"
+                     "        with open(tmp, 'w') as fh:\n"
+                     "            fh.write(text)\n"
+                     "    atomic_replace(path, write)\n"
+                     "    h = sha256(text)\n"
+                     "    return h\n",
+        })
+        assert "io/bare-write" not in rules_of(check_package(cfg))
+
+    def test_append_mode_allowed(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def log(path, line):\n"
+                     "    with open(path, 'a') as fh:\n"
+                     "        fh.write(line)\n",
+        })
+        assert "io/bare-write" not in rules_of(check_package(cfg))
+
+    def test_digest_gap_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def save(path, blob):\n"
+                     "    atomic_replace(path, blob)\n",
+        })
+        assert "io/digest-gap" in rules_of(check_package(cfg))
+
+    def test_digest_within_hops_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def _seal(blob):\n"
+                     "    return sha256(blob)\n\n\n"
+                     "def save(path, blob):\n"
+                     "    atomic_replace(path, _seal(blob))\n",
+        })
+        assert "io/digest-gap" not in rules_of(check_package(cfg))
+
+    def test_json_unsorted_flagged_sorted_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "emit": "import json\n\n\ndef emit(doc, fh):\n"
+                    "    json.dump(doc, fh)\n"
+                    "    json.dump(doc, fh, sort_keys=True)\n",
+        })
+        found = [f for f in check_package(cfg) if f.rule == "io/json-unsorted"]
+        assert len(found) == 1
+        assert found[0].where.endswith(":5")
+
+
+class TestMpRules:
+    def test_lambda_bound_method_and_closure_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "pool": "def sweep(pool, obj):\n"
+                    "    pool.apply_async(lambda: 1)\n"
+                    "    pool.apply_async(obj.work)\n"
+                    "    def task():\n"
+                    "        return 1\n"
+                    "    pool.apply_async(task)\n",
+        })
+        found = [f for f in check_package(cfg) if f.rule == "mp/fork-unsafe"]
+        assert len(found) == 3
+
+    def test_module_level_task_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "pool": "def task():\n    return 1\n\n\n"
+                    "def sweep(pool):\n"
+                    "    pool.apply_async(task)\n",
+        })
+        assert "mp/fork-unsafe" not in rules_of(check_package(cfg))
+
+    def test_global_mutation_flagged_initializer_exempt(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "pool": "G = 0\n\n\n"
+                    "def task():\n"
+                    "    global G\n"
+                    "    G = 1\n\n\n"
+                    "def setup():\n"
+                    "    global G\n"
+                    "    G = 2\n\n\n"
+                    "def sweep(Pool):\n"
+                    "    pool = Pool(4, initializer=setup)\n"
+                    "    pool.apply_async(task)\n",
+        })
+        found = [f for f in check_package(cfg)
+                 if f.rule == "mp/global-mutation"]
+        assert len(found) == 1
+        assert found[0].detail["function"] == "fx.pool:task"
+
+    def test_shm_leak_flagged_finally_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "shm": "def serve(cache):\n"
+                   "    cache.publish_shm()\n\n\n"
+                   "def serve_ok(cache):\n"
+                   "    try:\n"
+                   "        cache.publish_shm()\n"
+                   "    finally:\n"
+                   "        cache.release_shm()\n",
+        })
+        found = [f for f in check_package(cfg) if f.rule == "mp/shm-leak"]
+        assert len(found) == 1
+        assert found[0].detail["function"] == "fx.shm:serve"
+
+
+class TestApiRules:
+    def test_env_read_flagged_outside_registry(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "util": "import os\n\n\ndef home():\n"
+                    "    return os.environ.get('HOME')\n",
+        })
+        assert "api/env-knob" in rules_of(check_package(cfg))
+
+    def test_env_read_allowed_in_registry_module(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "knobs": "import os\n\n\ndef get_raw(name):\n"
+                     "    return os.environ.get(name, '')\n",
+        })
+        assert "api/env-knob" not in rules_of(check_package(cfg))
+
+    def test_undeclared_knob_literal_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "util": "GOOD = 'REPRO_GOOD'\nBAD = 'REPRO_BOGUS'\n",
+        })
+        found = [f for f in check_package(cfg)
+                 if f.rule == "api/knob-undeclared"]
+        assert len(found) == 1
+        assert found[0].detail["knob"] == "REPRO_BOGUS"
+
+
+class TestExcRules:
+    def test_broad_silent_except_flagged_narrow_ok(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def load(path, read):\n"
+                     "    try:\n"
+                     "        return read(path)\n"
+                     "    except Exception:\n"
+                     "        pass\n"
+                     "    try:\n"
+                     "        return read(path)\n"
+                     "    except OSError:\n"
+                     "        pass\n",
+        })
+        found = [f for f in check_package(cfg)
+                 if f.rule == "exc/silent-swallow"]
+        assert len(found) == 1
+        assert found[0].where.endswith(":4")
+
+    def test_bare_except_always_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def load(path, read):\n"
+                     "    try:\n"
+                     "        return read(path)\n"
+                     "    except:\n"
+                     "        return None\n",
+        })
+        assert "exc/silent-swallow" in rules_of(check_package(cfg))
+
+    def test_suppress_exception_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "from contextlib import suppress\n\n\n"
+                     "def load(path, read):\n"
+                     "    with suppress(Exception):\n"
+                     "        return read(path)\n",
+        })
+        assert "exc/silent-swallow" in rules_of(check_package(cfg))
+
+    def test_broad_except_with_handling_ok(self, tmp_path):
+        # Returning a sentinel communicates the failure; only silent
+        # pass/continue bodies are flagged.
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def load(path, read):\n"
+                     "    try:\n"
+                     "        return read(path)\n"
+                     "    except Exception:\n"
+                     "        return None\n",
+        })
+        assert "exc/silent-swallow" not in rules_of(check_package(cfg))
+
+
+class TestSuppression:
+    def test_inline_ignore_drops_named_rule(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def save(path, text):\n"
+                     "    fh = open(path, 'w')  "
+                     "# reprolint: ignore[io/bare-write]\n"
+                     "    fh.write(text)\n",
+        })
+        assert "io/bare-write" not in rules_of(check_package(cfg))
+
+    def test_ignore_of_other_rule_does_not_mask(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "def run():\n    return 1\n",
+            "store": "def save(path, text):\n"
+                     "    fh = open(path, 'w')  "
+                     "# reprolint: ignore[io/json-unsorted]\n"
+                     "    fh.write(text)\n",
+        })
+        assert "io/bare-write" in rules_of(check_package(cfg))
+
+
+class TestGate:
+    def test_every_rule_family_registered(self):
+        for rule in CHECKERS:
+            assert rule in RULES, rule
+            severity, pass_name, _ = RULES[rule]
+            assert pass_name == "codecheck"
+            assert severity in ("error", "warning")
+        assert len(CHECKERS) >= 12
+
+    def test_repo_tip_is_clean(self):
+        findings = check_package(default_config())
+        details = "\n".join(
+            f"{f.rule} {f.where} {f.message}" for f in findings
+        )
+        assert not findings, f"repo tip has code-invariant findings:\n{details}"
+
+    def test_findings_deterministic_and_serializable(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "sim": "import time\n\n\ndef run():\n    return time.time()\n",
+            "store": TestIoRules.BARE,
+        })
+        a = check_package(cfg)
+        b = check_package(cfg)
+        assert [f.as_dict() for f in a] == [f.as_dict() for f in b]
+        json.dumps([f.as_dict() for f in a], sort_keys=True)
+
+
+class TestKnobs:
+    def test_get_raw_rejects_undeclared(self):
+        with pytest.raises(KeyError):
+            knobs.get_raw("REPRO_NOT_A_KNOB")
+
+    def test_bool_parsing(self, monkeypatch):
+        for val, expect in [("1", True), ("true", True), ("YES", True),
+                            ("on", True), ("0", False), ("", False),
+                            ("banana", False)]:
+            monkeypatch.setenv("REPRO_SIMCACHE", val)
+            assert knobs.get_bool("REPRO_SIMCACHE") is expect
+
+    def test_tristate_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert knobs.get_tristate("REPRO_TRACE") is None
+        monkeypatch.setenv("REPRO_TRACE", "off")
+        assert knobs.get_tristate("REPRO_TRACE") is False
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert knobs.get_tristate("REPRO_TRACE") is True
+        monkeypatch.setenv("REPRO_TRACE", "maybe")
+        assert knobs.get_tristate("REPRO_TRACE") is None
+
+    def test_numeric_fallbacks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "7")
+        assert knobs.get_int("REPRO_RETRIES", 2) == 7
+        monkeypatch.setenv("REPRO_RETRIES", "2.5")
+        assert knobs.get_int("REPRO_RETRIES", 2) == 2
+        monkeypatch.setenv("REPRO_BACKOFF", "0.5")
+        assert knobs.get_float("REPRO_BACKOFF", 0.05) == 0.5
+        monkeypatch.setenv("REPRO_BACKOFF", "soon")
+        assert knobs.get_float("REPRO_BACKOFF", 0.05) == 0.05
+
+    def test_rows_sorted_and_complete(self):
+        rows = knobs.knob_rows()
+        names = [r["knob"] for r in rows]
+        assert names == sorted(names)
+        assert set(names) == set(knobs.KNOBS)
+        for row in rows:
+            assert row["doc"]
+            assert row["type"] in ("bool", "tristate", "int", "float",
+                                   "str", "path")

@@ -1,0 +1,169 @@
+"""Crash-consistency tests for the user-facing emitters.
+
+A fault injected *inside* the write callback of ``dump_gem5_stats``,
+``write_baseline``, and ``rows_to_csv`` — after the temp file is
+written, before the atomic rename — must never leave a torn artifact:
+either the old content survives untouched or no file exists at all,
+and no ``.tmp`` litter remains.  Both a plain exception and a
+KeyboardInterrupt (ctrl-C mid-emission) are exercised, and each
+emitter is re-run afterwards to prove clean recovery.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.core.export import rows_to_csv
+from repro.machine import TraceSimulator, dump_gem5_stats, rvv_gem5
+from repro.testing.faults import (
+    FAULTS_ENV,
+    FaultSpec,
+    InjectedFault,
+    install_faults,
+)
+
+KINDS = [("raise", InjectedFault), ("keyboard-interrupt", KeyboardInterrupt)]
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+
+
+def arm(monkeypatch, tmp_path, site, kind):
+    sched = install_faults(
+        str(tmp_path / "faults.json"), [FaultSpec(site=site, kind=kind)]
+    )
+    monkeypatch.setenv(FAULTS_ENV, sched)
+
+
+def make_stats(extra_scalar=0):
+    sim = TraceSimulator(rvv_gem5(1024))
+    buf = sim.alloc("x", 4096)
+    with sim.kernel("gemm"):
+        sim.vload(buf.base, 32)
+        sim.varith(32, 4)
+    sim.scalar(10 + extra_scalar)
+    return sim
+
+
+def assert_no_litter(directory):
+    litter = [p.name for p in sorted(directory.iterdir())
+              if "tmp" in p.name]
+    assert litter == [], f"temp litter after crash: {litter}"
+
+
+class TestReportEmission:
+    @pytest.mark.parametrize("kind,exc", KINDS)
+    def test_fresh_emission_crash_leaves_nothing(
+        self, tmp_path, monkeypatch, kind, exc
+    ):
+        out = tmp_path / "out"
+        target = out / "stats.txt"
+        sim = make_stats()
+        arm(monkeypatch, tmp_path, "report.write", kind)
+        with pytest.raises(exc):
+            dump_gem5_stats(sim.stats, str(target), sim.machine)
+        assert not target.exists()
+        assert_no_litter(out)
+
+    @pytest.mark.parametrize("kind,exc", KINDS)
+    def test_overwrite_crash_keeps_old_then_recovers(
+        self, tmp_path, monkeypatch, kind, exc
+    ):
+        out = tmp_path / "out"
+        target = out / "stats.txt"
+        dump_gem5_stats(make_stats().stats, str(target), make_stats().machine)
+        before = target.read_text()
+
+        newer = make_stats(extra_scalar=100)
+        arm(monkeypatch, tmp_path, "report.write", kind)
+        with pytest.raises(exc):
+            dump_gem5_stats(newer.stats, str(target), newer.machine)
+        assert target.read_text() == before
+        assert_no_litter(out)
+
+        # The fault budget (times=1) is spent: the retry lands whole.
+        dump_gem5_stats(newer.stats, str(target), newer.machine)
+        after = target.read_text()
+        assert after != before
+        assert "End Simulation Statistics" in after
+        assert_no_litter(out)
+
+
+class TestBaselineEmission:
+    @pytest.mark.parametrize("kind,exc", KINDS)
+    def test_crash_keeps_old_then_recovers(
+        self, tmp_path, monkeypatch, kind, exc
+    ):
+        out = tmp_path / "out"
+        target = out / "baseline.json"
+        write_baseline(str(target), {"net": "a", "version": 1})
+        assert load_baseline(str(target))["version"] == 1
+
+        arm(monkeypatch, tmp_path, "baseline.write", kind)
+        with pytest.raises(exc):
+            write_baseline(str(target), {"net": "a", "version": 2})
+        assert load_baseline(str(target))["version"] == 1
+        assert_no_litter(out)
+
+        write_baseline(str(target), {"net": "a", "version": 2})
+        assert load_baseline(str(target))["version"] == 2
+        assert_no_litter(out)
+
+    def test_fresh_crash_leaves_nothing(self, tmp_path, monkeypatch):
+        out = tmp_path / "out"
+        target = out / "baseline.json"
+        arm(monkeypatch, tmp_path, "baseline.write", "raise")
+        with pytest.raises(InjectedFault):
+            write_baseline(str(target), {"net": "a"})
+        assert not target.exists()
+        assert_no_litter(out)
+
+
+class TestCsvEmission:
+    @pytest.mark.parametrize("kind,exc", KINDS)
+    def test_crash_keeps_old_then_recovers(
+        self, tmp_path, monkeypatch, kind, exc
+    ):
+        out = tmp_path / "out"
+        target = out / "sweep.csv"
+        rows_to_csv([{"vlen": 512, "cycles": 10}], str(target))
+        before = target.read_text()
+        assert "vlen" in before
+
+        arm(monkeypatch, tmp_path, "export.write", kind)
+        with pytest.raises(exc):
+            rows_to_csv([{"vlen": 1024, "cycles": 7}], str(target))
+        assert target.read_text() == before
+        assert_no_litter(out)
+
+        rows_to_csv([{"vlen": 1024, "cycles": 7}], str(target))
+        assert "1024" in target.read_text()
+        assert_no_litter(out)
+
+    def test_fresh_crash_leaves_nothing(self, tmp_path, monkeypatch):
+        out = tmp_path / "out"
+        target = out / "sweep.csv"
+        arm(monkeypatch, tmp_path, "export.write", "raise")
+        with pytest.raises(InjectedFault):
+            rows_to_csv([{"vlen": 512}], str(target))
+        assert not target.exists()
+        assert_no_litter(out)
+
+
+class TestCorruptionKinds:
+    def test_corrupt_fault_hits_temp_not_target(self, tmp_path, monkeypatch):
+        """A 'corrupt' fault mangles the temp file mid-flight; the rename
+        still publishes it — proving the fault path exercises the real
+        pre-rename window (the resilience loader is what catches this
+        for digest-carried formats)."""
+        out = tmp_path / "out"
+        target = out / "baseline.json"
+        write_baseline(str(target), {"version": 1})
+        arm(monkeypatch, tmp_path, "baseline.write", "corrupt")
+        write_baseline(str(target), {"version": 2})
+        with pytest.raises(ValueError):
+            json.loads(target.read_text())
+        assert_no_litter(out)
