@@ -564,6 +564,86 @@ def test_compiled_pass_cache_warm(benchmark, yolo_net, tmp_path):
     assert speedup >= 3.0
 
 
+def test_duplicate_submit_warm(benchmark):
+    """Warm duplicate-submit latency: the sealed record answers, <1s.
+
+    Submits one small sweep as a durable job (docs/SERVICE.md), then
+    submits the identical grid again.  The second submission must
+    attach by content-derived id and answer entirely from the sealed,
+    digest-chained results record — zero point simulations, statistics
+    bitwise identical — and do so in under a second: the dedup
+    guarantee that makes concurrent identical submissions free.
+    """
+    from repro.service import scheduler
+
+    spec = {
+        "net": "yolov3-tiny", "machine": "rvv", "vlen": 512, "lanes": 8,
+        "l2_mb": 1, "gemm": "3loop", "winograd": "off", "layers": _LAYERS,
+        "axis": "cache", "values": [1, 4],
+    }
+
+    def run():
+        tmp = tempfile.mkdtemp(prefix="jobs-bench-")
+        old_dir = os.environ.get("REPRO_SIMCACHE_DIR")
+        os.environ["REPRO_SIMCACHE_DIR"] = tmp
+        tracecache.clear_registry()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            first = scheduler.submit_and_run(spec)
+            t_cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            dup = scheduler.submit_and_run(spec)
+            t_warm = time.perf_counter() - t0
+        finally:
+            gc.enable()
+            gc.collect()
+            tracecache.clear_registry()
+            if old_dir is None:
+                os.environ.pop("REPRO_SIMCACHE_DIR", None)
+            else:
+                os.environ["REPRO_SIMCACHE_DIR"] = old_dir
+            shutil.rmtree(tmp, ignore_errors=True)
+        return first, dup, t_cold, t_warm
+
+    first, dup, t_cold, t_warm = run_once(benchmark, run)
+
+    def hex_identical(a, b):
+        return all(
+            getattr(a, f).hex() == getattr(b, f).hex()
+            for f in SimStats.FIELDS
+        ) and {k: v.hex() for k, v in a.kernel_cycles.items()} == {
+            k: v.hex() for k, v in b.kernel_cycles.items()
+        }
+
+    identical = all(
+        hex_identical(a, b) for a, b in zip(first.result.stats, dup.result.stats)
+    )
+    row = {
+        "bench": "duplicate_submit_warm",
+        "n_points": len(spec["values"]),
+        "n_layers": _LAYERS,
+        "cold_submit_s": round(t_cold, 4),
+        "warm_submit_s": round(t_warm, 4),
+        "warm_sources": dup.result.sources,
+        "bitwise_identical": identical,
+    }
+    banner(f"Duplicate-submit dedup (yolov3-tiny, {_LAYERS} layers)")
+    print(f"first submission        : {t_cold:.3f}s")
+    print(f"duplicate submission    : {t_warm:.4f}s")
+    print("BENCH " + json.dumps(row, sort_keys=True))
+    benchmark.extra_info.update(row)
+
+    assert first.state == "done" and first.sealed
+    # The dedup contract: attached by content id, answered from the
+    # sealed record, zero extra point simulations, bitwise identical.
+    assert dup.attached and dup.sealed
+    assert dup.result.sources == ["sealed"] * len(spec["values"])
+    assert identical
+    # The latency gate: a warm duplicate must answer in under a second.
+    assert t_warm < 1.0
+
+
 def test_pruned_autotune_selfperf(benchmark):
     """Model-guided block-size search vs the exhaustive grid.
 

@@ -16,6 +16,9 @@ Subpackages
     Darknet-like framework with YOLOv3 / YOLOv3-tiny / VGG16.
 ``repro.core``
     Co-design sweeps, roofline analysis, algorithm selection, reporting.
+``repro.service``
+    Durable sweep jobs: crash-safe job store, supervising scheduler,
+    journal sealing and garbage collection (docs/SERVICE.md).
 ``repro.workloads``
     Synthetic images and the paper's layer-shape tables.
 
@@ -32,6 +35,9 @@ True
 
 __version__ = "1.0.0"
 
-from . import core, isa, kernels, machine, nets, workloads  # noqa: F401
+from . import core, isa, kernels, machine, nets, service, workloads  # noqa: F401
 
-__all__ = ["core", "isa", "kernels", "machine", "nets", "workloads", "__version__"]
+__all__ = [
+    "core", "isa", "kernels", "machine", "nets", "service", "workloads",
+    "__version__",
+]

@@ -10,9 +10,17 @@ resumed it.  This pass turns that on-disk state into ordinary
 ``warning`` findings so ``repro analyze`` (and the CI lint gate's
 ``--rules``/``--ignore`` filters) can report it.
 
-Both rules are *environmental*: they describe the local ``.simcache/``
-directory, not the network under analysis.  They are therefore stripped
-from the canonical baseline document (see
+With the durable job layer (:mod:`repro.service.jobs`) an interrupted
+journal is not necessarily dead: if its grid has a job record whose
+lease went stale, the journal is *adoptable* — the next ``repro
+submit`` of the same grid takes the lease over and resumes it.  Those
+journals get the ``sweep/stale-lease`` rule (remedy: resubmit), while
+``sweep/orphaned-journal`` is reserved for journals no job addresses
+(remedy: ``repro sweep --resume`` or deletion).
+
+All rules here are *environmental*: they describe the local
+``.simcache/`` directory, not the network under analysis.  They are
+therefore stripped from the canonical baseline document (see
 :mod:`repro.analysis.baseline`) — committed baselines must not drift
 with the state of whoever's scratch cache.
 """
@@ -35,11 +43,14 @@ _ORPHAN_MIN_AGE_S = 60.0
 def cache_state_findings(min_age_s: float = _ORPHAN_MIN_AGE_S) -> List[Finding]:
     """Findings for quarantined cache files and unfinished journals.
 
-    Read-only: nothing is deleted or resumed here.  Remedies are in the
-    finding messages — ``repro sweep --resume`` finishes an orphaned
+    Read-only: nothing is deleted, resumed, or adopted here.  Remedies
+    are in the finding messages — ``repro submit`` adopts a
+    stale-leased job, ``repro sweep --resume`` finishes an unaddressed
     journal, deleting the quarantine directory acknowledges corrupt
     entries.
     """
+    from ..service import jobs as jobstore
+
     findings: List[Finding] = []
     for entry in list_quarantined():
         findings.append(
@@ -51,19 +62,54 @@ def cache_state_findings(min_age_s: float = _ORPHAN_MIN_AGE_S) -> List[Finding]:
                 detail={"file": entry["file"], "when": entry["when"]},
             )
         )
+    # sweep key -> job record, to tell adoptable journals from dead ones.
+    jobs_by_key = {r.sweep_key: r for r in jobstore.list_jobs() if r.sweep_key}
     for journal in list_journals():
         if journal["done"] or journal["age_s"] < min_age_s:
             continue
+        progress = (
+            f"{journal['n_ok']}/{journal['n_points']} points done"
+            + (f", {journal['n_failed']} failed" if journal["n_failed"] else "")
+        )
+        record = jobs_by_key.get(journal["sweep_key"])
+        lease = (
+            jobstore.lease_state(record.job_id)[0] if record is not None else "none"
+        )
+        if record is not None and lease != "live":
+            findings.append(
+                Finding(
+                    rule="sweep/stale-lease",
+                    severity="warning",
+                    where=Path(journal["path"]).name,
+                    message=(
+                        f"job {record.job_id} orphaned mid-run ({progress})"
+                        " — adoptable: resubmit the same grid with "
+                        "'repro submit' to finish it"
+                    ),
+                    detail={
+                        "path": journal["path"],
+                        "sweep_key": journal["sweep_key"],
+                        "job": record.job_id,
+                        "job_state": record.state,
+                        "lease": lease,
+                        "n_points": journal["n_points"],
+                        "n_ok": journal["n_ok"],
+                        "n_failed": journal["n_failed"],
+                        "age_s": journal["age_s"],
+                    },
+                )
+            )
+            continue
+        if record is not None and lease == "live":
+            continue  # someone is running it right now: not a finding
         findings.append(
             Finding(
                 rule="sweep/orphaned-journal",
                 severity="warning",
                 where=Path(journal["path"]).name,
                 message=(
-                    f"interrupted sweep checkpoint: "
-                    f"{journal['n_ok']}/{journal['n_points']} points done"
-                    + (f", {journal['n_failed']} failed" if journal["n_failed"] else "")
-                    + " — finish it with 'repro sweep --resume' or delete it"
+                    f"interrupted sweep checkpoint: {progress}"
+                    " — finish it with 'repro sweep --resume' or delete it"
                 ),
                 detail={
                     "path": journal["path"],

@@ -47,6 +47,8 @@ DEFAULT_BARRIERS = (
     "repro.core.parallel",
     "repro.core.knobs",
     "repro.testing.faults",
+    "repro.service.jobs",
+    "repro.service.scheduler",
 )
 
 #: modules owning crash-safe persistent artifacts.
@@ -54,6 +56,8 @@ DEFAULT_DURABLE = (
     "repro.core.simcache",
     "repro.core.tracecache",
     "repro.core.resilience",
+    "repro.service.jobs",
+    "repro.service.scheduler",
 )
 
 #: modules writing user-facing report artifacts.

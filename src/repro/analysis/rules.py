@@ -46,6 +46,7 @@ RULES: Dict[str, Tuple[str, str, str]] = {
     # -- cache state (environmental; excluded from baselines) -------------
     "cache/corrupt-entry": ("warning", "cachestate", "cache file quarantined after failing its integrity check"),
     "sweep/orphaned-journal": ("warning", "cachestate", "interrupted sweep checkpoint nobody resumed"),
+    "sweep/stale-lease": ("warning", "cachestate", "job orphaned by a dead owner; adoptable via 'repro submit'"),
     # -- code invariants (repro check-code; source-level contracts) --------
     "det/wall-clock": ("error", "codecheck", "time/datetime call inside the sim-core zone"),
     "det/unseeded-random": ("error", "codecheck", "global-state or unseeded randomness inside sim-core"),

@@ -19,7 +19,11 @@ Usage (``python -m repro <command> ...``):
   sources themselves: determinism, atomic persistence, fork-safety and
   knob-hygiene contracts (exit code 1 on any finding);
 * ``knobs``    — list every declared ``REPRO_*`` environment knob with
-  its type, default, and current value.
+  its type, default, and current value;
+* ``submit`` / ``status`` / ``results`` / ``cancel`` / ``jobs`` — the
+  durable job layer (docs/SERVICE.md): run sweeps as crash-safe,
+  addressable, content-deduplicated jobs with lease-based adoption,
+  sealed results records, and cross-run garbage collection.
 """
 
 from __future__ import annotations
@@ -336,6 +340,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the knob table as JSON instead of text",
     )
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep as a durable job (crash-safe, addressable, "
+             "deduplicated by grid content; see docs/SERVICE.md)",
+    )
+    _add_common(p)
+    p.add_argument("--axis", choices=["vlen", "cache", "lanes"], default="vlen")
+    p.add_argument(
+        "--values", type=int, nargs="+", default=None,
+        help="axis values (bits / MB / lanes)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers for design points (default: $REPRO_JOBS "
+             "or serial; 0 = all cores)",
+    )
+    p.add_argument(
+        "--no-wait", action="store_false", dest="wait",
+        help="register (or attach to) the job and return immediately "
+             "instead of driving it to a terminal state",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="per-point retry budget on failure (default: $REPRO_RETRIES)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point timeout in parallel mode",
+    )
+    p.add_argument(
+        "--max-failures", type=int, default=None, dest="max_failures",
+        metavar="N", help="tolerate up to N permanently failed points",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the job outcome (and results, if terminal) as JSON",
+    )
+
+    p = sub.add_parser(
+        "status", help="show one durable job's state, lease and progress"
+    )
+    p.add_argument(
+        "job", nargs="?", default=None,
+        help="job id (or unique prefix); omit to summarize every job",
+    )
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    p = sub.add_parser(
+        "results",
+        help="print a finished (or partially journaled) job's results "
+             "without simulating anything",
+    )
+    p.add_argument("job", help="job id (or unique prefix)")
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the results as JSON (exact float round-trip, same "
+             "point shape as 'repro sweep --json')",
+    )
+
+    p = sub.add_parser(
+        "cancel",
+        help="cancel a durable job: queued jobs stop now, running owners "
+             "observe the durable marker at their next heartbeat",
+    )
+    p.add_argument("job", help="job id (or unique prefix)")
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    p = sub.add_parser(
+        "jobs", help="job-store maintenance: list jobs, garbage-collect"
+    )
+    p.add_argument(
+        "action", choices=["list", "gc"],
+        help="list: one row per job with lease and seal state; gc: prune "
+             "journals superseded by verified sealed records, expired "
+             "leases, stale cancel markers and orphaned quarantine "
+             "sidecars (job records and sealed results are kept)",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="report what gc would remove without deleting anything",
+    )
+    p.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -399,19 +486,44 @@ def _sweep_retry(args):
 def _sweep_dry_run(args, net, policy, axis_name, values, factory) -> int:
     """``repro sweep --dry-run``: report planned work without simulating.
 
-    Classifies every design point as journal-complete, simcache-hit or
-    pending, groups pending points by trace key (the kernels run once
-    per multi-point group), and lists quarantined cache entries — all
-    from on-disk state; nothing is written.
+    Classifies every design point as sealed, journal-complete,
+    simcache-hit or pending, groups pending points by trace key (the
+    kernels run once per multi-point group), and lists quarantined
+    cache entries plus the grid's job-store state — the job record,
+    its lease (a stale lease means the job is adoptable), and whether
+    a sealed results record already answers the whole grid — all from
+    on-disk state; nothing is written.
     """
     from .core import simcache, tracecache
-    from .core.resilience import Journal, list_quarantined, sweep_key
+    from .core.resilience import (
+        Journal,
+        list_quarantined,
+        load_sealed,
+        sweep_key,
+    )
+    from .service import jobs as jobstore
 
     machines = [factory(v) for v in values]
     n = len(machines)
-    journal = Journal.status(
-        sweep_key(net, axis_name, values, machines, policy, args.layers), n
-    )
+    skey = sweep_key(net, axis_name, values, machines, policy, args.layers)
+    sealed = load_sealed(skey, n)
+    if sealed is not None:
+        summary = {
+            "net": net.name, "axis": axis_name, "points": n,
+            "sealed": True, "pending": 0, "estimated_kernel_runs": 0,
+            "job": jobstore.job_id_for(skey),
+        }
+        if args.as_json:
+            rows = [{axis_name: v, "state": "sealed"} for v in values]
+            print(json.dumps({"summary": summary, "points": rows},
+                             sort_keys=True))
+        else:
+            print(f"dry run: {net.name} {axis_name} sweep — all {n} "
+                  "point(s) sealed; a resume run answers with zero "
+                  "simulations (see 'repro results "
+                  f"{summary['job']}')")
+        return 0
+    journal = Journal.status(skey, n)
     cache_on = simcache.cache_enabled(args.simcache)
     trace_on = tracecache.trace_enabled(args.trace, default=True)
     rows, pending, groups = [], [], {}
@@ -434,6 +546,9 @@ def _sweep_dry_run(args, net, policy, axis_name, values, factory) -> int:
         1 for idxs in groups.values() if len(idxs) == 1
     ) if trace_on else len(pending)
     quarantined = list_quarantined()
+    job_id = jobstore.job_id_for(skey)
+    record = jobstore.load(job_id)
+    lease, _doc = jobstore.lease_state(job_id)
     summary = {
         "net": net.name,
         "axis": axis_name,
@@ -446,6 +561,10 @@ def _sweep_dry_run(args, net, policy, axis_name, values, factory) -> int:
         "trace_groups": len(shared),
         "estimated_kernel_runs": kernel_runs,
         "quarantined": len(quarantined),
+        "sealed": False,
+        "job": job_id if record is not None else "",
+        "job_state": record.state if record is not None else "",
+        "lease": lease,
     }
     if args.as_json:
         print(json.dumps({"summary": summary, "points": rows}, sort_keys=True))
@@ -466,6 +585,13 @@ def _sweep_dry_run(args, net, policy, axis_name, values, factory) -> int:
     if quarantined:
         print(f"  quarantined cache entries: {len(quarantined)} "
               f"(see 'repro analyze --rules cache')")
+    if record is not None:
+        line = f"  job {job_id}: {record.state}"
+        if lease == "live":
+            line += " (live lease: another owner is running it)"
+        elif lease == "stale":
+            line += " (stale lease: orphaned, adoptable by 'repro submit')"
+        print(line)
     return 0
 
 
@@ -987,6 +1113,225 @@ def cmd_trace_cache(args) -> int:
     return 1 if n_corrupt else 0
 
 
+def _points_doc(stats_list, sources) -> List[dict]:
+    """The ``points`` JSON array shared by ``sweep --json``, ``submit
+    --json`` and ``results --json`` — one shape, so chaos tests can
+    diff results bitwise across commands."""
+    from .core.resilience import PointFailure, stats_payload
+
+    out = []
+    for s, src in zip(stats_list, sources):
+        if isinstance(s, PointFailure) or src == "failed":
+            out.append({
+                "source": "failed",
+                "failure": {"error": s.error, "exc_type": s.exc_type,
+                            "attempts": s.attempts},
+            })
+        else:
+            out.append({"source": src, "stats": stats_payload(s)})
+    return out
+
+
+def _resolve_job(token: str) -> Optional[str]:
+    from .service import jobs as jobstore
+
+    job_id = jobstore.resolve(token)
+    if job_id is None:
+        print(f"no unique job matches {token!r} (see 'repro jobs list')",
+              file=sys.stderr)
+    return job_id
+
+
+def _job_row(record) -> dict:
+    """One display row per job: record state + lease + seal."""
+    from .core.resilience import load_sealed
+    from .service import jobs as jobstore
+
+    row = record.as_row()
+    row["lease"] = jobstore.lease_state(record.job_id)[0]
+    row["sealed"] = load_sealed(record.sweep_key, record.n_points) is not None
+    row["cancel"] = jobstore.cancel_requested(record.job_id)
+    return row
+
+
+def cmd_submit(args) -> int:
+    """``repro submit``: run a sweep as a durable, deduplicated job."""
+    from .service import scheduler
+
+    spec = scheduler.spec_from_args(args)
+    outcome = scheduler.submit_and_run(
+        spec, wait=args.wait, jobs=args.jobs, retry=_sweep_retry(args),
+        max_failures=args.max_failures,
+    )
+    doc = {
+        "job": outcome.job_id,
+        "state": outcome.state,
+        "attached": outcome.attached,
+        "adopted": outcome.adopted,
+        "sealed": outcome.sealed,
+    }
+    if outcome.error:
+        doc["error"] = outcome.error
+    if outcome.result is not None:
+        doc["axis_name"] = outcome.result.axis_name
+        doc["axis"] = outcome.result.axis
+        doc["points"] = _points_doc(outcome.result.stats, outcome.result.sources)
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        flags = [k for k in ("attached", "adopted", "sealed") if doc[k]]
+        print(f"job {outcome.job_id}: {outcome.state}"
+              + (f" ({', '.join(flags)})" if flags else ""))
+        if outcome.error:
+            print(f"  {outcome.error}", file=sys.stderr)
+        if outcome.result is not None:
+            print(format_table(outcome.result.as_rows()))
+    return 0 if outcome.state in ("done", "queued", "running") else 1
+
+
+def cmd_status(args) -> int:
+    """``repro status``: job state, lease, progress — no simulation."""
+    from .core.resilience import Journal
+    from .service import jobs as jobstore
+
+    if args.job is None:
+        rows = [_job_row(r) for r in jobstore.list_jobs()]
+        if args.as_json:
+            print(json.dumps({"jobs": rows}, sort_keys=True))
+        elif rows:
+            print(format_table(rows, title="durable jobs"))
+        else:
+            print(f"job store empty: {jobstore.jobs_dir()}")
+        return 0
+    job_id = _resolve_job(args.job)
+    if job_id is None:
+        return 2
+    record = jobstore.load(job_id)
+    journal = Journal.status(record.sweep_key, record.n_points)
+    doc = _job_row(record)
+    doc["journal"] = len(journal.completed)
+    doc["journal_failed"] = len(journal.failed)
+    doc["owner"] = record.owner
+    if record.error:
+        doc["error"] = record.error
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(format_table([doc], title=f"job {job_id}"))
+    return 0
+
+
+def cmd_results(args) -> int:
+    """``repro results``: a job's answers from durable state only.
+
+    Served from the sealed record when the grid is compacted, else
+    from the live journal (possibly partial).  Never simulates; exit
+    code 1 when any point is still missing or failed.
+    """
+    from .core.resilience import (
+        Journal,
+        load_sealed,
+        stats_from_payload,
+    )
+    from .service import jobs as jobstore
+
+    job_id = _resolve_job(args.job)
+    if job_id is None:
+        return 2
+    record = jobstore.load(job_id)
+    n = record.n_points
+    sealed = load_sealed(record.sweep_key, n)
+    if sealed is not None:
+        stats_list = [stats_from_payload(p) for p in sealed["points"]]
+        sources = ["sealed"] * n
+        missing: List[int] = []
+    else:
+        journal = Journal.status(record.sweep_key, n)
+        stats_list, sources, missing = [], [], []
+        for i in range(n):
+            if i in journal.completed:
+                s, src = journal.completed[i]
+                stats_list.append(s)
+                sources.append(src if src == "failed" else "journal")
+            else:
+                missing.append(i)
+    doc = {
+        "job": job_id,
+        "state": record.state,
+        "sealed": sealed is not None,
+        "points_total": n,
+        "points_available": n - len(missing),
+        "points": _points_doc(stats_list, sources),
+    }
+    complete = not missing and "failed" not in sources
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        axis = record.spec.get("axis", "value")
+        values = record.spec.get("values") or list(range(n))
+        rows = [
+            {axis: values[i] if i < len(values) else i, "cycles": s.cycles,
+             "source": src}
+            for i, (s, src) in enumerate(zip(stats_list, sources))
+            if src != "failed"
+        ]
+        if rows:
+            print(format_table(rows, title=f"job {job_id} ({record.state})"))
+        print(f"  {doc['points_available']}/{n} point(s) available"
+              + (" [sealed]" if doc["sealed"] else ""))
+    return 0 if complete else 1
+
+
+def cmd_cancel(args) -> int:
+    """``repro cancel``: durable cancellation intent for one job."""
+    from .service import jobs as jobstore
+
+    job_id = _resolve_job(args.job)
+    if job_id is None:
+        return 2
+    state = jobstore.request_cancel(job_id)
+    if args.as_json:
+        print(json.dumps({"job": job_id, "state": state}, sort_keys=True))
+    else:
+        print(f"job {job_id}: {state}")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """``repro jobs``: store-wide listing and garbage collection."""
+    from .service import jobs as jobstore
+
+    if args.action == "list":
+        rows = [_job_row(r) for r in jobstore.list_jobs()]
+        if args.as_json:
+            print(json.dumps({"jobs": rows}, sort_keys=True))
+        elif rows:
+            print(format_table(rows, title=f"job store: {jobstore.jobs_dir()}"))
+        else:
+            print(f"job store empty: {jobstore.jobs_dir()}")
+        return 0
+    actions = jobstore.gc_state(dry_run=args.dry_run)
+    freed = sum(a["bytes"] for a in actions)
+    summary = {
+        "actions": len(actions),
+        "freed_kb": round(freed / 1024.0, 1),
+        "dry_run": args.dry_run,
+    }
+    if args.as_json:
+        print(json.dumps({"summary": summary, "actions": actions},
+                         sort_keys=True))
+    else:
+        if actions:
+            print(format_table(
+                [{k: a[k] for k in ("kind", "action", "reason", "path")}
+                 for a in actions],
+                title="job-store gc",
+            ))
+        verb = "would free" if args.dry_run else "freed"
+        print(f"  {len(actions)} action(s), {verb} {summary['freed_kb']} KB")
+    return 0
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
@@ -999,6 +1344,11 @@ _COMMANDS = {
     "trace-cache": cmd_trace_cache,
     "check-code": cmd_check_code,
     "knobs": cmd_knobs,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "results": cmd_results,
+    "cancel": cmd_cancel,
+    "jobs": cmd_jobs,
 }
 
 

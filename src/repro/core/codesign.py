@@ -25,6 +25,8 @@ from .resilience import (
     PointFailure,
     RetryPolicy,
     call_with_retries,
+    load_sealed,
+    stats_from_payload,
     sweep_key,
 )
 
@@ -62,7 +64,10 @@ class SweepResult:
     (simulated while recording the shared trace), ``"replayed"`` (priced
     from a recorded trace without re-running kernels), ``"cached"``
     (persistent result cache hit), ``"journal"`` (restored from a
-    resumed sweep's checkpoint) or ``"failed"`` (the entry in ``stats``
+    resumed sweep's checkpoint), ``"sealed"`` (the whole grid answered
+    from a compacted, digest-chained results record — see
+    :func:`repro.core.resilience.seal_journal`) or ``"failed"`` (the
+    entry in ``stats``
     is a :class:`~repro.core.resilience.PointFailure`, not a
     :class:`SimStats` — only possible with ``max_failures > 0``).  It
     is empty for results built by hand; consumers should treat a
@@ -334,6 +339,7 @@ def sweep(
     retry: Optional[RetryPolicy] = None,
     max_failures: Optional[int] = None,
     prune: Optional[int] = None,
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> SweepResult:
     """Generic one-axis sweep: build a machine per value and simulate.
 
@@ -375,6 +381,18 @@ def sweep(
     simulations — check ``SweepResult.sources`` before trusting a
     pruned cell).  Points restored from a resume journal are never
     re-pruned.
+
+    *heartbeat* (used by the durable job scheduler,
+    :mod:`repro.service.scheduler`) is a zero-argument callable invoked
+    as each point settles — and on every supervisor tick in parallel
+    mode — so a job owner can renew its lease and observe cancellation
+    while a long sweep runs; an exception it raises aborts the sweep
+    after the journal has checkpointed every completed point.
+
+    With ``resume=True``, a grid whose journal was compacted into a
+    verified sealed record (:func:`repro.core.resilience.seal_journal`)
+    is answered entirely from that record — zero simulations, source
+    ``"sealed"``, statistics bitwise-identical to the original run.
     """
     if policy is None:
         policy = KernelPolicy()
@@ -394,6 +412,14 @@ def sweep(
     pending = list(range(n))
     if resume:
         skey = sweep_key(net, axis_name, values, machines, policy, n_layers)
+        sealed = load_sealed(skey, n)
+        if sealed is not None:
+            return SweepResult(
+                axis_name=axis_name,
+                axis=values,
+                stats=[stats_from_payload(p) for p in sealed["points"]],
+                sources=["sealed"] * n,
+            )
         journal = Journal.open(
             skey, n, meta={"axis_name": axis_name, "net": net.name}
         )
@@ -404,6 +430,13 @@ def sweep(
 
     on_point = journal.record_point if journal is not None else None
     on_failure = journal.record_failure if journal is not None else None
+    if heartbeat is not None:
+        heartbeat()  # observe a pre-existing cancel before any work
+
+        def on_point(i, stats, src, _chain=on_point):
+            if _chain is not None:
+                _chain(i, stats, src)
+            heartbeat()
 
     try:
         if prune is not None and len(pending) > prune:
@@ -440,6 +473,7 @@ def sweep(
                     net, sub_machines, policy, n_layers, n_jobs, use_cache,
                     use_trace, indices=pending, retry=retry, budget=budget,
                     on_point=on_point, on_failure=on_failure,
+                    on_tick=heartbeat,
                 )
             if out is None:
                 out = _simulate_group(

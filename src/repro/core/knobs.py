@@ -92,6 +92,21 @@ _declare(
     "REPRO_MAX_FAILURES", "int", "0",
     "sweep-wide budget of permanently failed points (0 = fail fast)",
 )
+# -- durable job layer -------------------------------------------------
+_declare(
+    "REPRO_LEASE_TTL", "float", "60",
+    "seconds an unrenewed job lease stays live before the job becomes "
+    "adoptable (same-host dead owners are adoptable immediately)",
+)
+_declare(
+    "REPRO_HEARTBEAT", "float", "5",
+    "minimum seconds between job-lease heartbeat renewals",
+)
+_declare(
+    "REPRO_MAX_JOBS", "int", "0",
+    "max concurrently leased (running) jobs the scheduler allows before "
+    "queueing new submissions (0 = unlimited)",
+)
 # -- result cache ------------------------------------------------------
 _declare(
     "REPRO_SIMCACHE", "bool", "off",

@@ -212,6 +212,7 @@ def _supervise(
     budget: FailureBudget,
     on_result: Callable[[_Work, List[SimStats], List[str]], None],
     on_fail: Callable[[PointFailure, Optional[BaseException]], None],
+    on_tick: Optional[Callable[[], None]] = None,
 ) -> None:
     """Drive *works* to completion (or budget exhaustion, which raises).
 
@@ -220,6 +221,12 @@ def _supervise(
     timeouts, and observed worker deaths into retries — splitting
     multi-point chunks into single points first, so a poison point is
     isolated before it is finally declared a :class:`PointFailure`.
+
+    *on_tick* fires once per loop iteration (~every ``_POLL_S``
+    seconds while work is outstanding): the durable job layer's lease
+    heartbeat, which must keep renewing even when a single chunk runs
+    for minutes.  An exception from it aborts the supervision loop (the
+    pool context manager terminates the workers).
     """
     watch = _PoolWatch(pool)
     queue: List[_Work] = list(works)
@@ -252,6 +259,8 @@ def _supervise(
         work.next_at = now + retry.delay(work.attempts, f"pt{work.idxs[0]}")
 
     while True:
+        if on_tick is not None:
+            on_tick()
         now = time.monotonic()
         watch.poll(pool)
         alive = [w for w in queue if not w.done]
@@ -318,6 +327,7 @@ def simulate_points(
     budget: Optional[FailureBudget] = None,
     on_point: Optional[Callable[[int, SimStats, str], None]] = None,
     on_failure: Optional[Callable[[PointFailure], None]] = None,
+    on_tick: Optional[Callable[[], None]] = None,
 ) -> Optional[Tuple[List, List[str]]]:
     """Simulate *net* on each machine in *machines* using *jobs* workers.
 
@@ -338,7 +348,8 @@ def simulate_points(
     *indices* carries each machine's global sweep index (for resumed
     sweeps operating on a pending subset); *on_point* / *on_failure*
     are invoked in the parent as results arrive, in completion order —
-    the journaling hook.
+    the journaling hook.  *on_tick* fires in the parent on every
+    supervisor poll — the job-lease heartbeat hook.
     """
     if jobs <= 1 or len(machines) <= 1:
         return None
@@ -457,7 +468,7 @@ def simulate_points(
         with multiprocessing.Pool(
             processes=n_procs, initializer=_init_worker, initargs=(payload,)
         ) as pool:
-            _supervise(pool, works, retry, budget, on_result, on_fail)
+            _supervise(pool, works, retry, budget, on_result, on_fail, on_tick)
     except (pickle.PicklingError, AttributeError):
         return None
     finally:

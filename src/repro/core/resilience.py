@@ -49,10 +49,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..machine.simulator import SimStats
+from ..testing import faults
 from . import knobs
 
 __all__ = [
     "JOURNAL_VERSION",
+    "SEALED_VERSION",
     "FailureBudget",
     "Journal",
     "PointFailure",
@@ -60,12 +62,18 @@ __all__ = [
     "SweepError",
     "atomic_replace",
     "call_with_retries",
+    "finish_seal",
     "journal_dir",
+    "journal_path",
     "list_journals",
     "list_quarantined",
+    "list_sealed",
+    "load_sealed",
     "payload_digest",
     "quarantine",
     "quarantine_dir",
+    "seal_journal",
+    "sealed_path",
     "stats_from_payload",
     "stats_payload",
     "sweep_key",
@@ -74,6 +82,10 @@ __all__ = [
 #: Bump when the journal line format changes; older journals are then
 #: quarantined and the sweep restarts from scratch.
 JOURNAL_VERSION = 1
+
+#: Bump when the sealed-record format changes; older sealed records are
+#: then quarantined and the live journal (or a re-run) takes over.
+SEALED_VERSION = 1
 
 _ENV_RETRIES = "REPRO_RETRIES"
 _ENV_TIMEOUT = "REPRO_POINT_TIMEOUT"
@@ -348,6 +360,16 @@ def journal_dir() -> str:
     return str(Path(_cache_dir()) / "journal")
 
 
+def journal_path(key: str) -> str:
+    """Live (JSONL) journal file for sweep *key*."""
+    return str(Path(journal_dir()) / (key[:32] + ".jsonl"))
+
+
+def sealed_path(key: str) -> str:
+    """Sealed (compacted) results record for sweep *key*."""
+    return str(Path(journal_dir()) / (key[:32] + ".sealed.json"))
+
+
 def sweep_key(net, axis_name, values, machines, policy, n_layers) -> str:
     """Content hash identifying one sweep's full input grid.
 
@@ -447,7 +469,7 @@ class Journal:
         Reads any prior run's records first, then reopens the file for
         appending — an interrupted sweep's completed points survive.
         """
-        path = str(Path(journal_dir()) / (key[:32] + ".jsonl"))
+        path = journal_path(key)
         journal = cls(path, key, n_points)
         records = cls._read_records(path)
         header = next((r for r in records if r.get("kind") == "header"), None)
@@ -483,7 +505,7 @@ class Journal:
     def status(cls, key: str, n_points: int) -> "Journal":
         """Read-only view of the journal for *key* (``--dry-run``);
         never creates or modifies the file."""
-        path = str(Path(journal_dir()) / (key[:32] + ".jsonl"))
+        path = journal_path(key)
         journal = cls(path, key, n_points)
         records = cls._read_records(path)
         header = next((r for r in records if r.get("kind") == "header"), None)
@@ -545,6 +567,178 @@ class Journal:
     def pending(self) -> List[int]:
         """Indices still to simulate (failures are retried)."""
         return [i for i in range(self.n_points) if i not in self.completed]
+
+
+# ----------------------------------------------------------------------
+# Journal lifecycle: sealing (compaction) and sealed-record loading
+# ----------------------------------------------------------------------
+
+def _results_chain(points: List[Dict]) -> str:
+    """Rolling sha256 chain over the per-point payload digests.
+
+    Each link hashes the previous link plus the next point's digest, so
+    the final value commits to every point *and* their order — a sealed
+    record cannot be truncated, reordered, or spliced undetected.
+    """
+    chain = ""
+    for payload in points:
+        blob = (chain + payload_digest(payload)).encode("utf-8")
+        chain = hashlib.sha256(blob).hexdigest()
+    return chain
+
+
+def load_sealed(key: str, n_points: Optional[int] = None) -> Optional[Dict]:
+    """Verified sealed-record payload for sweep *key*, or ``None``.
+
+    Verification is total: document digest, sealed/journal versions,
+    sweep key, point count (when the caller knows it), and the replayed
+    digest chain must all match.  Any mismatch quarantines the file —
+    PR-5 semantics, a bad record is never served twice — and returns
+    ``None`` so the caller falls back to the live journal or a re-run.
+    """
+    path = sealed_path(key)
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError:
+        return None
+    except ValueError:
+        quarantine(path, "sealed record is not valid JSON")
+        return None
+    try:
+        payload = doc["payload"]
+        ok = (
+            doc.get("sha256") == payload_digest(payload)
+            and payload.get("sealed_version") == SEALED_VERSION
+            and payload.get("journal_version") == JOURNAL_VERSION
+            and payload.get("sweep_key") == key
+            and (n_points is None or payload.get("n_points") == n_points)
+            and len(payload["points"]) == payload["n_points"]
+            and len(payload["sources"]) == payload["n_points"]
+            and payload.get("chain") == _results_chain(payload["points"])
+        )
+    except (KeyError, TypeError, ValueError):
+        ok = False
+    if not ok:
+        quarantine(path, "sealed record failed its integrity check")
+        return None
+    return payload
+
+
+def _sealed_matches_journal(sealed: Dict, journal: "Journal") -> bool:
+    """True when *sealed* round-trips to the journal's replayed state."""
+    if len(journal.completed) != sealed.get("n_points"):
+        return False
+    for i in range(sealed["n_points"]):
+        stats, _source = journal.completed[i]
+        if sealed["points"][i] != stats_payload(stats):
+            return False
+    return True
+
+
+def finish_seal(key: str, n_points: int) -> bool:
+    """Complete an interrupted compaction: verify, then drop the journal.
+
+    Re-verifies the sealed record against the live journal's replayed
+    state and unlinks the journal only on an exact match (the write →
+    verify → unlink protocol's last two steps, re-runnable any number
+    of times).  Returns True when no live journal remains afterwards.
+    """
+    live = Path(journal_path(key))
+    if not live.exists():
+        return True
+    sealed = load_sealed(key, n_points)
+    if sealed is None:
+        return False
+    journal = Journal.status(key, n_points)
+    if not _sealed_matches_journal(sealed, journal):
+        # The journal moved past the sealed snapshot (or the record is
+        # subtly wrong): keep both, never destroy the source of truth.
+        return False
+    with suppress(OSError):
+        live.unlink()
+    return True
+
+
+def seal_journal(key: str, n_points: int, meta: Optional[Dict] = None) -> Optional[Dict]:
+    """Compact sweep *key*'s finished journal into one sealed record.
+
+    The sealed record is a single atomic JSON document holding every
+    point's exact stats payload (in index order), its provenance, a
+    digest chain over the points, and a whole-document sha256.  The
+    write → verify → unlink protocol makes compaction crash-safe:
+
+    1. write the sealed record via :func:`atomic_replace`;
+    2. re-load it from disk and compare against the journal's replayed
+       state (bitwise payload equality);
+    3. only then unlink the live journal.
+
+    A kill between (1) and (3) — the ``journal.seal`` fault site —
+    leaves a *recoverable pair*: both files exist, the sealed record is
+    self-verifying, and the next resume (or ``repro jobs gc``) finishes
+    the protocol.  Returns the sealed payload, or ``None`` when the
+    journal is not complete (failures or pending points cannot seal).
+    """
+    existing = load_sealed(key, n_points)
+    if existing is not None:
+        finish_seal(key, n_points)
+        return existing
+    journal = Journal.status(key, n_points)
+    if len(journal.completed) != n_points:
+        return None
+    points = [stats_payload(journal.completed[i][0]) for i in range(n_points)]
+    sources = [journal.completed[i][1] for i in range(n_points)]
+    payload = {
+        "sealed_version": SEALED_VERSION,
+        "journal_version": JOURNAL_VERSION,
+        "sweep_key": key,
+        "n_points": n_points,
+        "points": points,
+        "sources": sources,
+        "chain": _results_chain(points),
+        "meta": dict(meta or {}),
+    }
+    doc = {"payload": payload, "sha256": payload_digest(payload)}
+    path = sealed_path(key)
+
+    def write(tmp: str) -> None:
+        with Path(tmp).open("w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+
+    atomic_replace(path, write)
+    faults.maybe_fault("journal.seal", key=key, path=path)
+    if not finish_seal(key, n_points):
+        return None  # unreadable round-trip: keep the journal authoritative
+    return payload
+
+
+def list_sealed() -> List[Dict]:
+    """Summaries of every sealed record on disk (gc / dry-run / CLI)."""
+    directory = Path(journal_dir())
+    try:
+        entries = sorted(directory.iterdir())
+    except OSError:
+        return []
+    out = []
+    for entry in entries:
+        if not entry.name.endswith(".sealed.json"):
+            continue
+        info = {
+            "path": str(entry),
+            "sweep_key": "",
+            "n_points": 0,
+            "meta": {},
+            "age_s": 0.0,
+        }
+        with suppress(OSError):
+            info["age_s"] = time.time() - entry.stat().st_mtime
+        with suppress(OSError, KeyError, TypeError, ValueError):
+            doc = json.loads(entry.read_text(encoding="utf-8"))
+            payload = doc["payload"]
+            info["sweep_key"] = str(payload.get("sweep_key", ""))
+            info["n_points"] = int(payload.get("n_points", 0))
+            info["meta"] = dict(payload.get("meta") or {})
+        out.append(info)
+    return out
 
 
 def list_journals() -> List[Dict]:

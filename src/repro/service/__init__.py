@@ -1,0 +1,35 @@
+"""Durable sweep jobs: the simulation-as-a-service layer.
+
+Every submitted sweep becomes an addressable, restartable,
+garbage-collected *job* riding on the resilience substrate of
+:mod:`repro.core.resilience` (fsync'd journals, atomic replace,
+quarantine, supervised execution):
+
+* :mod:`repro.service.jobs` — the crash-safe job store: content-derived
+  job ids, an append-only state machine under ``.simcache/jobs/``,
+  lease/heartbeat files for orphan detection and adoption, cancellation
+  markers, and cross-run garbage collection;
+* :mod:`repro.service.scheduler` — the supervising scheduler: runs a
+  job spec through ``codesign.sweep(resume=True)`` under a heartbeated
+  lease, deduplicates identical submissions by id, seals finished
+  journals into digest-chained results records.
+
+CLI surface: ``repro submit / status / results / cancel / jobs
+list|gc``.  Semantics, state diagram and GC policy: docs/SERVICE.md.
+"""
+
+from . import jobs, scheduler
+from .jobs import FAULT_SITES, JobRecord, gc_state, list_jobs
+from .scheduler import JobCancelled, JobOutcome, submit_and_run
+
+__all__ = [
+    "FAULT_SITES",
+    "JobCancelled",
+    "JobOutcome",
+    "JobRecord",
+    "gc_state",
+    "jobs",
+    "list_jobs",
+    "scheduler",
+    "submit_and_run",
+]

@@ -1,0 +1,644 @@
+"""Crash-safe job store: every sweep becomes an addressable, durable job.
+
+A *job* is one submitted sweep grid, identified by a content-derived id
+(the first 16 hex digits of :func:`repro.core.resilience.sweep_key`,
+which hashes the grid values, the network structure, every machine
+config, the kernel policy, and the timing-model version).  Identical
+submissions therefore collide by construction — the second submitter
+*attaches* to the first job instead of creating a duplicate — and a job
+id stays valid across process death, machine reboots, and re-clones of
+the cache directory.
+
+On-disk layout, under ``<cache_dir>/jobs/<job_id>/``:
+
+``record.jsonl``
+    Append-only, fsync'd, per-line-checksummed event log (the same
+    discipline as the sweep journal): one ``created`` record carrying
+    the submission spec, then ``state`` records tracking the machine
+    ``queued → running → done | failed | cancelled``.  Corrupt lines
+    are skipped; the record is the fold of the surviving lines.
+
+``lease.json``
+    The ownership lease, rewritten atomically on every heartbeat.  A
+    job with a *live* lease is being run by the recorded owner; a lease
+    whose owner pid is dead (same host) or whose last renewal is older
+    than the TTL is *stale*, and the job is **adoptable**: the next
+    submitter takes the lease over and resumes from the sweep journal.
+    Acquisition is last-writer-wins with a read-back verify, so an
+    adoption race resolves deterministically — exactly one winner, the
+    loser attaches.
+
+``cancel.json``
+    Cancellation intent, written atomically by ``repro cancel``.  A
+    running owner observes it at its next heartbeat and stops (the
+    journal keeps every completed point); a queued job cancels
+    immediately.  Re-submitting a cancelled job clears the marker and
+    requeues.
+
+Every write site is covered by deterministic fault injection
+(:data:`FAULT_SITES`) so the chaos suite can SIGKILL a scheduler at
+each one and prove adoption + bitwise-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from contextlib import suppress
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core import knobs
+from ..core.resilience import atomic_replace, payload_digest, quarantine
+from ..testing import faults
+
+__all__ = [
+    "FAULT_SITES",
+    "JOB_VERSION",
+    "STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "Lease",
+    "acquire",
+    "cancel_requested",
+    "clear_cancel",
+    "gc_state",
+    "heartbeat_period",
+    "job_dir",
+    "job_id_for",
+    "jobs_dir",
+    "lease_state",
+    "lease_ttl",
+    "list_jobs",
+    "live_lease_count",
+    "load",
+    "max_jobs",
+    "record_state",
+    "request_cancel",
+    "resolve",
+    "submit",
+]
+
+#: Bump when the job-record line format changes; older records are then
+#: ignored (the job re-registers on the next submission).
+JOB_VERSION = 1
+
+#: Job state machine.  ``queued`` and ``running`` are live; the rest
+#: are terminal (though a terminal ``failed``/``cancelled`` job is
+#: requeued by a fresh submission of the same grid).
+STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Fault-injection sites of the durable job layer, in the order the
+#: chaos smoke exercises them (see tests/smoke_kill_resume.py).
+#: ``journal.seal`` lives in repro.core.resilience (compaction); the
+#: rest fire in this module.
+FAULT_SITES = (
+    "jobs.record",
+    "jobs.lease",
+    "jobs.heartbeat",
+    "jobs.adopt",
+    "jobs.cancel",
+    "journal.seal",
+)
+
+_ENV_TTL = "REPRO_LEASE_TTL"
+_ENV_HEARTBEAT = "REPRO_HEARTBEAT"
+_ENV_MAX_JOBS = "REPRO_MAX_JOBS"
+
+
+def lease_ttl() -> float:
+    """Seconds an unrenewed lease stays live (``REPRO_LEASE_TTL``)."""
+    return knobs.get_float(_ENV_TTL, 60.0)
+
+
+def heartbeat_period() -> float:
+    """Minimum seconds between lease renewals (``REPRO_HEARTBEAT``)."""
+    return knobs.get_float(_ENV_HEARTBEAT, 5.0)
+
+
+def max_jobs() -> int:
+    """Concurrent running-job cap (``REPRO_MAX_JOBS``; 0 = unlimited)."""
+    return knobs.get_int(_ENV_MAX_JOBS, 0)
+
+
+def _cache_dir() -> str:
+    from ..core.simcache import cache_dir  # deferred: follows REPRO_SIMCACHE_DIR
+
+    return cache_dir()
+
+
+def jobs_dir() -> str:
+    """Root directory of the job store (created lazily)."""
+    return str(Path(_cache_dir()) / "jobs")
+
+
+def job_id_for(sweep_key: str) -> str:
+    """Content-derived job id: 16 hex digits of the full sweep key."""
+    return sweep_key[:16]
+
+
+def job_dir(job_id: str) -> str:
+    return str(Path(jobs_dir()) / job_id)
+
+
+def _record_path(job_id: str) -> str:
+    return str(Path(job_dir(job_id)) / "record.jsonl")
+
+
+def _lease_path(job_id: str) -> str:
+    return str(Path(job_dir(job_id)) / "lease.json")
+
+
+def _cancel_path(job_id: str) -> str:
+    return str(Path(job_dir(job_id)) / "cancel.json")
+
+
+def _host() -> str:
+    return platform.node() or "localhost"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort same-host liveness probe (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+# ----------------------------------------------------------------------
+# Job records
+# ----------------------------------------------------------------------
+
+@dataclass
+class JobRecord:
+    """Folded view of one job's ``record.jsonl`` event log."""
+
+    job_id: str
+    sweep_key: str = ""
+    n_points: int = 0
+    state: str = "queued"
+    spec: Dict = field(default_factory=dict)
+    created: float = 0.0
+    updated: float = 0.0
+    owner: str = ""
+    error: str = ""
+    n_events: int = 0
+
+    def as_row(self) -> Dict:
+        """Row dict for ``repro jobs list`` / ``repro status``."""
+        net = str(self.spec.get("net", ""))
+        axis = str(self.spec.get("axis", self.spec.get("axis_name", "")))
+        return {
+            "job": self.job_id,
+            "state": self.state,
+            "net": net,
+            "axis": axis,
+            "points": self.n_points,
+            "age_s": round(max(0.0, time.time() - self.created), 1),
+        }
+
+
+def _line_digest(rec: Dict) -> str:
+    body = {k: v for k, v in rec.items() if k != "sha256"}
+    return payload_digest(body)
+
+
+def _append(job_id: str, rec: Dict) -> None:
+    """Append one checksummed, fsync'd line to the job record."""
+    faults.maybe_fault("jobs.record", key=job_id)
+    rec = dict(rec)
+    rec["sha256"] = _line_digest(rec)
+    path = Path(_record_path(job_id))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Append mode is the event log's whole point (same sanctioned
+    # exception as the sweep journal): state transitions accumulate
+    # across owners and crashes, fsync'd per line.
+    with path.open("a", encoding="utf-8") as fh:  # reprolint: ignore[io/bare-write]
+        fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _read_lines(job_id: str) -> List[Dict]:
+    out: List[Dict] = []
+    try:
+        with Path(_record_path(job_id)).open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                with suppress(ValueError):
+                    rec = json.loads(line)
+                    if (
+                        isinstance(rec, dict)
+                        and rec.get("sha256") == _line_digest(rec)
+                    ):
+                        out.append(rec)
+    except OSError:
+        return []
+    return out
+
+
+def load(job_id: str) -> Optional[JobRecord]:
+    """Fold *job_id*'s event log into a :class:`JobRecord` (or None)."""
+    lines = _read_lines(job_id)
+    record: Optional[JobRecord] = None
+    for rec in lines:
+        kind = rec.get("kind")
+        if kind == "created" and rec.get("job_version") == JOB_VERSION:
+            record = JobRecord(
+                job_id=job_id,
+                sweep_key=str(rec.get("sweep_key", "")),
+                n_points=int(rec.get("n_points", 0)),
+                spec=dict(rec.get("spec") or {}),
+                created=float(rec.get("when", 0.0)),
+                updated=float(rec.get("when", 0.0)),
+            )
+        elif kind == "state" and record is not None:
+            state = str(rec.get("state", ""))
+            if state in STATES:
+                record.state = state
+                record.updated = float(rec.get("when", record.updated))
+                record.owner = str(rec.get("owner", ""))
+                record.error = str(rec.get("error", ""))
+    if record is not None:
+        record.n_events = len(lines)
+    return record
+
+
+def _job_names() -> List[str]:
+    """Directory names in the job store, sorted (deterministic)."""
+    try:
+        children = sorted(Path(jobs_dir()).iterdir())
+    except OSError:
+        return []
+    return [p.name for p in children if p.is_dir()]
+
+
+def list_jobs() -> List[JobRecord]:
+    """Every job in the store, sorted by id (deterministic)."""
+    out = []
+    for name in _job_names():
+        record = load(name)
+        if record is not None:
+            out.append(record)
+    return out
+
+
+def resolve(prefix: str) -> Optional[str]:
+    """Resolve a unique job-id prefix to the full id (CLI convenience)."""
+    matches = [n for n in _job_names() if n.startswith(prefix)]
+    return matches[0] if len(matches) == 1 else None
+
+
+def record_state(job_id: str, state: str, owner: str = "", error: str = "",
+                 note: str = "") -> None:
+    """Append one state transition to the job's event log."""
+    if state not in STATES:
+        raise ValueError(f"unknown job state {state!r}")
+    rec = {"kind": "state", "state": state, "when": time.time()}
+    if owner:
+        rec["owner"] = owner
+    if error:
+        rec["error"] = error
+    if note:
+        rec["note"] = note
+    _append(job_id, rec)
+
+
+def submit(sweep_key: str, n_points: int, spec: Optional[Dict] = None
+           ) -> Tuple[JobRecord, bool]:
+    """Register (or re-attach to) the job for *sweep_key*.
+
+    Idempotent and deduplicating: an existing record for the same
+    content id is returned as-is (``created=False``) so a concurrent
+    identical submission attaches instead of re-registering.  A job in
+    a terminal ``failed``/``cancelled`` state is requeued — a fresh
+    submission expresses fresh intent — and any unprocessed cancel
+    marker on a non-running job is cleared for the same reason.
+    """
+    job_id = job_id_for(sweep_key)
+    record = load(job_id)
+    if record is None:
+        _append(job_id, {
+            "kind": "created",
+            "job_version": JOB_VERSION,
+            "job_id": job_id,
+            "sweep_key": sweep_key,
+            "n_points": n_points,
+            "spec": dict(spec or {}),
+            "when": time.time(),
+        })
+        record_state(job_id, "queued")
+        return load(job_id), True
+    if record.state in ("failed", "cancelled"):
+        clear_cancel(job_id)
+        record_state(job_id, "queued", note="resubmitted")
+        record = load(job_id)
+    elif record.state == "queued" and cancel_requested(job_id):
+        clear_cancel(job_id)
+    return record, False
+
+
+# ----------------------------------------------------------------------
+# Cancellation intent
+# ----------------------------------------------------------------------
+
+def request_cancel(job_id: str) -> Optional[str]:
+    """Record cancellation intent; returns the job's new/likely state.
+
+    A queued (ownerless) job is cancelled on the spot; a running job
+    gets a durable marker its owner acts on at the next heartbeat
+    (``"cancel-requested"`` is returned).  Unknown ids return ``None``.
+    """
+    record = load(job_id)
+    if record is None:
+        return None
+    if record.state in TERMINAL_STATES:
+        return record.state
+    faults.maybe_fault("jobs.cancel", key=job_id)
+    doc = {"job_id": job_id, "when": time.time()}
+    doc["sha256"] = payload_digest(doc)
+
+    def write(tmp: str) -> None:
+        with Path(tmp).open("w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+
+    atomic_replace(_cancel_path(job_id), write)
+    state, _doc = lease_state(job_id)
+    if state != "live":
+        # Nobody is running it, so nobody would process the marker.
+        record_state(job_id, "cancelled", note="no live owner")
+        clear_cancel(job_id)
+        return "cancelled"
+    return "cancel-requested"
+
+
+def cancel_requested(job_id: str) -> bool:
+    """True when a durable cancel marker is pending for *job_id*."""
+    return Path(_cancel_path(job_id)).exists()
+
+
+def clear_cancel(job_id: str) -> None:
+    with suppress(OSError):
+        Path(_cancel_path(job_id)).unlink()
+
+
+# ----------------------------------------------------------------------
+# Leases and heartbeats
+# ----------------------------------------------------------------------
+
+def _read_lease(job_id: str) -> Optional[Dict]:
+    path = _lease_path(job_id)
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError:
+        return None
+    except ValueError:
+        quarantine(path, "job lease is not valid JSON")
+        return None
+    body = {k: v for k, v in doc.items() if k != "sha256"}
+    if not isinstance(doc, dict) or doc.get("sha256") != payload_digest(body):
+        quarantine(path, "job lease failed its integrity check")
+        return None
+    return doc
+
+
+def _write_lease(job_id: str, doc: Dict) -> None:
+    doc = {k: v for k, v in doc.items() if k != "sha256"}
+    doc["sha256"] = payload_digest(doc)
+
+    def write(tmp: str) -> None:
+        with Path(tmp).open("w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+
+    atomic_replace(_lease_path(job_id), write)
+
+
+def lease_state(job_id: str, now: Optional[float] = None
+                ) -> Tuple[str, Optional[Dict]]:
+    """Classify *job_id*'s lease: ``("none"|"live"|"stale", doc)``.
+
+    A lease is *stale* — the job orphaned and adoptable — when its
+    owner pid is dead on this host, or its last renewal is older than
+    the TTL it was taken with.  Anything else with a readable lease is
+    *live*.
+    """
+    doc = _read_lease(job_id)
+    if doc is None:
+        return "none", None
+    now = time.time() if now is None else now
+    try:
+        renewed = float(doc.get("renewed", 0.0))
+        ttl = float(doc.get("ttl_s", lease_ttl()))
+        pid = int(doc.get("pid", 0))
+        host = str(doc.get("host", ""))
+    except (TypeError, ValueError):
+        return "stale", doc
+    if host == _host() and not _pid_alive(pid):
+        return "stale", doc
+    if now - renewed > ttl:
+        return "stale", doc
+    return "live", doc
+
+
+class Lease:
+    """A held job lease; renew it within the TTL or lose ownership."""
+
+    __slots__ = ("job_id", "token", "ttl_s", "acquired", "adopted")
+
+    def __init__(self, job_id: str, token: str, ttl_s: float,
+                 acquired: float, adopted: bool):
+        self.job_id = job_id
+        self.token = token
+        self.ttl_s = ttl_s
+        self.acquired = acquired
+        self.adopted = adopted
+
+    def _doc(self, renewed: float) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "owner": self.token,
+            "host": _host(),
+            "pid": os.getpid(),
+            "acquired": self.acquired,
+            "renewed": renewed,
+            "ttl_s": self.ttl_s,
+        }
+
+    def renew(self) -> None:
+        """Heartbeat: push the staleness horizon forward atomically."""
+        faults.maybe_fault(
+            "jobs.heartbeat", key=self.job_id, path=_lease_path(self.job_id)
+        )
+        _write_lease(self.job_id, self._doc(time.time()))
+
+    def release(self) -> None:
+        """Drop the lease iff we still own it (lost races stay lost)."""
+        doc = _read_lease(self.job_id)
+        if doc is not None and doc.get("owner") == self.token:
+            with suppress(OSError):
+                Path(_lease_path(self.job_id)).unlink()
+
+
+def acquire(job_id: str, ttl: Optional[float] = None) -> Optional[Lease]:
+    """Take (or adopt) *job_id*'s lease; ``None`` when someone owns it.
+
+    Protocol: read → refuse a live lease → write ours atomically →
+    read back and verify.  ``atomic_replace`` makes concurrent writes
+    last-writer-wins, so the read-back resolves an adoption race to
+    exactly one winner; the ``jobs.lease`` and ``jobs.adopt`` fault
+    sites bracket the write for the chaos suite.
+    """
+    state, doc = lease_state(job_id)
+    if state == "live":
+        return None
+    adopting = doc is not None
+    now = time.time()
+    token = f"{_host()}:{os.getpid()}:{time.monotonic_ns():x}"
+    lease = Lease(job_id, token, ttl if ttl is not None else lease_ttl(),
+                  now, adopting)
+    faults.maybe_fault("jobs.lease", key=job_id, path=_lease_path(job_id))
+    _write_lease(job_id, lease._doc(now))
+    if adopting:
+        faults.maybe_fault("jobs.adopt", key=job_id, path=_lease_path(job_id))
+    check = _read_lease(job_id)
+    if check is None or check.get("owner") != token:
+        return None  # lost the race; the winner's lease stands
+    return lease
+
+
+def live_lease_count(exclude: Optional[str] = None) -> int:
+    """Number of jobs currently held by a live lease (QoS gate)."""
+    count = 0
+    for record in list_jobs():
+        if record.job_id == exclude:
+            continue
+        if lease_state(record.job_id)[0] == "live":
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Cross-run garbage collection
+# ----------------------------------------------------------------------
+
+def _gc_action(actions: List[Dict], path: str, kind: str, reason: str,
+               dry_run: bool) -> None:
+    size = 0
+    with suppress(OSError):
+        size = Path(path).stat().st_size
+    removed = False
+    if not dry_run:
+        try:
+            Path(path).unlink()
+            removed = True
+        except OSError:
+            return
+    actions.append({
+        "path": path,
+        "kind": kind,
+        "action": "removed" if removed else "would-remove",
+        "reason": reason,
+        "bytes": size,
+    })
+
+
+def gc_state(dry_run: bool = False) -> List[Dict]:
+    """Prune derivable/stale durable state; returns one row per action.
+
+    Policy (everything removed here is either superseded by a verified
+    sealed record or describes an owner/intent that no longer exists):
+
+    * **sealed journals** — a live JSONL journal whose sweep key has a
+      verified sealed record is the leftover of an interrupted
+      compaction; finish the write → verify → unlink protocol.
+    * **unaddressable sealed records** — a sealed record whose job
+      record is gone can no longer be reached by id; drop it.
+    * **expired leases** — stale leases, and any lease on a
+      terminal-state job.
+    * **stale cancel markers** — markers on terminal-state jobs.
+    * **quarantine sidecar strays** — ``.reason.json`` files whose
+      quarantined data file has been deleted.
+
+    Job records and (addressable) sealed results are never pruned:
+    they are the durable answers the store exists to keep.
+    """
+    from ..core.resilience import (
+        finish_seal,
+        journal_path,
+        list_journals,
+        list_sealed,
+        load_sealed,
+        quarantine_dir,
+        sealed_path,
+    )
+
+    actions: List[Dict] = []
+    records = {r.sweep_key: r for r in list_jobs()}
+
+    # 1. finish interrupted compactions (journal superseded by sealed).
+    for journal in list_journals():
+        key = journal["sweep_key"]
+        if not key or load_sealed(key) is None:
+            continue
+        live = journal_path(key)
+        if dry_run:
+            _gc_action(actions, live, "journal",
+                       "superseded by a verified sealed record", True)
+        elif finish_seal(key, journal["n_points"]):
+            actions.append({
+                "path": live,
+                "kind": "journal",
+                "action": "removed",
+                "reason": "superseded by a verified sealed record",
+                "bytes": 0,
+            })
+
+    # 2. sealed records whose job record is gone.
+    for sealed in list_sealed():
+        key = sealed["sweep_key"]
+        if key and key not in records:
+            _gc_action(actions, sealed_path(key), "sealed",
+                       "no job record addresses this sealed result", dry_run)
+
+    # 3/4. leases and cancel markers.
+    for record in records.values():
+        state, _doc = lease_state(record.job_id)
+        if state == "stale" or (state == "live" and record.state in TERMINAL_STATES):
+            _gc_action(actions, _lease_path(record.job_id), "lease",
+                       "expired lease" if state == "stale"
+                       else f"lease on {record.state} job", dry_run)
+        if record.state in TERMINAL_STATES and cancel_requested(record.job_id):
+            _gc_action(actions, _cancel_path(record.job_id), "cancel-marker",
+                       f"cancel marker on {record.state} job", dry_run)
+
+    # 5. quarantine sidecars orphaned by a deleted data file.
+    qdir = Path(quarantine_dir())
+    try:
+        children = sorted(qdir.iterdir())
+    except OSError:
+        children = []
+    for child in children:
+        if not child.name.endswith(".reason.json"):
+            continue
+        data = child.with_name(child.name[: -len(".reason.json")])
+        if not data.exists():
+            _gc_action(actions, str(child), "sidecar",
+                       "quarantined file already deleted", dry_run)
+    return actions
+
+
+def _digest_short(text: str) -> str:
+    """8-hex fingerprint used in display contexts (not security)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:8]

@@ -25,6 +25,17 @@ site                         fired
 ``report.write``             inside the gem5-stats dump, before the rename
 ``baseline.write``           inside the analysis-baseline writer, before the rename
 ``export.write``             inside the CSV exporter, before the rename
+``jobs.record``              before appending a line to a job's event log
+``jobs.lease``               before writing a job lease (fresh acquisition or
+                             adoption; ``key`` = job id, ``path`` = lease file)
+``jobs.adopt``               after an adopting lease write, before the read-back
+                             verify — the adoption-race window
+``jobs.heartbeat``           before a lease renewal write
+``jobs.cancel``              before writing a durable cancel marker
+``journal.seal``             between writing a sealed results record and
+                             unlinking the journal it compacts — the
+                             recoverable-pair window (``repro jobs gc``
+                             finishes the protocol)
 ===========================  =====================================================
 
 Fault kinds: ``raise`` (raises :class:`InjectedFault`),

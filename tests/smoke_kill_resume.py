@@ -18,6 +18,16 @@ flushing courtesy.  Protocol:
 Deliberately not named ``test_*.py``: pytest must not collect it (it
 spawns subprocesses and takes tens of seconds).  CI runs it directly:
 ``python tests/smoke_kill_resume.py``.  Exit code 0 on success.
+
+``--jobs-chaos`` runs the durable-job chaos matrix instead: for every
+registered job-store fault site (``jobs.record``, ``jobs.lease``,
+``jobs.heartbeat``, ``jobs.adopt``, ``jobs.cancel``, ``journal.seal``)
+it SIGKILLs (``os._exit(137)`` via the ``crash`` fault kind) a ``repro
+submit`` owner at that site, resubmits the same grid, and asserts the
+job is adopted and the final stats are bitwise-identical to an
+uninterrupted baseline — serially and with ``--jobs 2`` — plus the
+dedup proof (a duplicate submission answers from the sealed record
+with zero simulations) and a ``repro jobs gc`` pass over the wreckage.
 """
 
 import json
@@ -137,5 +147,197 @@ def main() -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Durable-job chaos matrix (--jobs-chaos)
+# ----------------------------------------------------------------------
+
+SUBMIT_ARGS = [
+    "submit", "--net", "yolov3-tiny", "--layers", "4",
+    "--axis", "cache", "--values", "1", "4", "16",
+]
+CRASH_RC = 137  # the 'crash' fault kind calls os._exit(137)
+
+
+def _write_faults(path, specs):
+    """Write a REPRO_FAULTS schedule; *specs* are (site, kind[, index])."""
+    doc = []
+    for spec in specs:
+        site, kind = spec[0], spec[1]
+        doc.append({
+            "site": site, "kind": kind,
+            "index": spec[2] if len(spec) > 2 else None,
+            "match": None, "times": 1, "seconds": 30.0,
+            "fault_id": f"{site}--{kind}--smoke",
+        })
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def run_cli(args, cache_dir, faults=None, want_json=False, jobs=None):
+    """Run ``python -m repro <args>`` against *cache_dir*.
+
+    Returns ``(rc, parsed_json_or_None)``.  Heartbeats are unthrottled
+    (``REPRO_HEARTBEAT=0``) so lease renewals — and the heartbeat fault
+    site — fire at every opportunity.
+    """
+    env = dict(os.environ, REPRO_SIMCACHE_DIR=cache_dir, REPRO_HEARTBEAT="0")
+    env.setdefault("PYTHONPATH", "src")
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    argv = list(args)
+    if want_json:
+        argv.append("--json")
+    if jobs is not None and argv[0] == "submit":
+        argv += ["--jobs", str(jobs)]
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, timeout=600,
+    )
+    doc = None
+    if want_json and proc.returncode == 0 and proc.stdout.strip():
+        doc = json.loads(proc.stdout)
+    return proc.returncode, doc
+
+
+def _assert_bitwise(label, baseline_points, points):
+    if len(points) != len(baseline_points):
+        raise SystemExit(f"{label}: expected {len(baseline_points)} points, "
+                         f"got {len(points)}")
+    for i, (a, b) in enumerate(zip(baseline_points, points)):
+        if a["stats"] != b["stats"]:
+            raise SystemExit(f"{label}: point {i} diverged after kill+resume")
+
+
+def _chaos_case(label, scratch, baseline_points, jobs, crash_phases,
+                final_args=None):
+    """One matrix entry: crash phases, then a clean resubmit, then diff.
+
+    *crash_phases* is a list of fault-spec lists; each runs ``repro
+    submit`` (or *final_args*-style custom argv via a (argv, specs)
+    tuple) expecting the injected ``os._exit(137)``.
+    """
+    victim = os.path.join(scratch, label.replace("/", "_").replace(" ", "_"))
+    os.makedirs(victim, exist_ok=True)
+    for n, phase in enumerate(crash_phases):
+        argv, specs = phase if isinstance(phase, tuple) else (SUBMIT_ARGS, phase)
+        faults = _write_faults(os.path.join(victim, f"faults{n}.json"), specs)
+        rc, _ = run_cli(argv, victim, faults=faults, jobs=jobs)
+        if rc != CRASH_RC:
+            raise SystemExit(
+                f"{label} phase {n}: expected injected crash rc={CRASH_RC}, "
+                f"got rc={rc}"
+            )
+    rc, doc = run_cli(final_args or SUBMIT_ARGS, victim, want_json=True,
+                      jobs=jobs)
+    if rc != 0 or doc is None:
+        raise SystemExit(f"{label}: clean resubmit failed with rc={rc}")
+    if doc.get("state") != "done":
+        raise SystemExit(f"{label}: resubmit ended {doc.get('state')!r}")
+    _assert_bitwise(label, baseline_points, doc["points"])
+    print(f"      {label}: adopted={doc.get('adopted')} "
+          f"sealed={doc.get('sealed')} "
+          f"sources={[p['source'] for p in doc['points']]}")
+    return victim, doc
+
+
+def jobs_chaos() -> int:
+    scratch = tempfile.mkdtemp(prefix="jobs-chaos-")
+    print("[1/4] uninterrupted baseline submit...")
+    rc, baseline = run_cli(SUBMIT_ARGS, os.path.join(scratch, "baseline"),
+                           want_json=True)
+    if rc != 0 or baseline is None or baseline["state"] != "done":
+        raise SystemExit(f"baseline submit failed (rc={rc})")
+    base_points = baseline["points"]
+
+    for engine, jobs in (("serial", None), ("parallel", 2)):
+        print(f"[2/4] chaos matrix, {engine} engine...")
+        # Crash before the job record is even created.
+        _chaos_case(f"{engine}/jobs.record", scratch, base_points, jobs,
+                    [[("jobs.record", "crash")]])
+        # Crash before the first lease write: record exists, no owner.
+        _chaos_case(f"{engine}/jobs.lease", scratch, base_points, jobs,
+                    [[("jobs.lease", "crash")]])
+        # Crash at the first heartbeat renewal: dead owner holds the
+        # lease; the resubmit must adopt it (same-host pid liveness).
+        _, doc = _chaos_case(f"{engine}/jobs.heartbeat", scratch, base_points,
+                             jobs, [[("jobs.heartbeat", "crash")]])
+        if not doc.get("adopted"):
+            raise SystemExit(f"{engine}/jobs.heartbeat: expected adoption")
+        # Adoption race: kill one owner mid-run, kill the *adopter* in
+        # its adoption window, then adopt cleanly on the third try.
+        _chaos_case(f"{engine}/jobs.adopt", scratch, base_points, jobs,
+                    [[("jobs.heartbeat", "crash")],
+                     [("jobs.adopt", "crash")]])
+        # Kill an owner mid-run (state=running, stale lease), then kill
+        # 'repro cancel' before its durable marker lands: no intent was
+        # recorded, so the resubmit must adopt and complete normally.
+        job_id = baseline["job"]  # content-derived: same id in every store
+        _chaos_case(
+            f"{engine}/jobs.cancel", scratch, base_points, jobs,
+            [[("jobs.heartbeat", "crash")],
+             (["cancel", job_id], [("jobs.cancel", "crash")])],
+        )
+        # Crash between writing the sealed record and unlinking the
+        # journal: both halves of the recoverable pair must exist, the
+        # resubmit answers warm from the sealed record, and gc finishes
+        # the compaction protocol.
+        victim, doc = _chaos_case(f"{engine}/journal.seal", scratch,
+                                  base_points, jobs,
+                                  [[("journal.seal", "crash")]])
+        journal_dir = os.path.join(victim, "journal")
+        names = sorted(os.listdir(journal_dir))
+        if not any(n.endswith(".sealed.json") for n in names):
+            raise SystemExit(f"{engine}/journal.seal: sealed record missing "
+                             f"after resubmit ({names})")
+        if [p["source"] for p in doc["points"]] != ["sealed"] * len(base_points):
+            raise SystemExit(
+                f"{engine}/journal.seal: expected a warm sealed answer, got "
+                f"{[p['source'] for p in doc['points']]}"
+            )
+        rc, gc_doc = run_cli(["jobs", "gc"], victim, want_json=True)
+        if rc != 0:
+            raise SystemExit(f"{engine}/journal.seal: gc failed rc={rc}")
+        if any(n.endswith(".jsonl") for n in sorted(os.listdir(journal_dir))):
+            raise SystemExit(f"{engine}/journal.seal: gc left the live "
+                             "journal behind")
+
+    print("[3/4] duplicate-submission dedup (zero extra simulations)...")
+    dedup_dir = os.path.join(scratch, "baseline")
+    rc, doc = run_cli(SUBMIT_ARGS, dedup_dir, want_json=True)
+    if rc != 0 or [p["source"] for p in doc["points"]] != \
+            ["sealed"] * len(base_points):
+        raise SystemExit(
+            "duplicate submission simulated instead of attaching: "
+            f"{[p['source'] for p in doc['points']]}"
+        )
+    if not doc.get("attached"):
+        raise SystemExit("duplicate submission did not report attachment")
+    _assert_bitwise("dedup", base_points, doc["points"])
+
+    print("[4/4] store-wide gc --dry-run over all scratch stores...")
+    rc, _ = run_cli(["jobs", "gc", "--dry-run"], dedup_dir, want_json=True)
+    if rc != 0:
+        raise SystemExit(f"jobs gc --dry-run failed rc={rc}")
+
+    keep = os.environ.get(ENV_KEEP_JOURNAL, "")
+    if keep:
+        import shutil
+
+        os.makedirs(keep, exist_ok=True)
+        for sub in ("jobs", "journal"):
+            src = os.path.join(dedup_dir, sub)
+            if os.path.isdir(src):
+                shutil.copytree(src, os.path.join(keep, sub),
+                                dirs_exist_ok=True)
+    print("OK: every job-store fault site survived SIGKILL + resubmit with "
+          "bitwise-identical results (serial and parallel)")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--jobs-chaos" in sys.argv:
+        sys.exit(jobs_chaos())
     sys.exit(main())
